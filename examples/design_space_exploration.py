@@ -1,0 +1,52 @@
+"""Architectural design-space exploration with the framework (Sec. V-C).
+
+Given a fixed silicon budget (total PEs and SRAM), how should it be carved
+into engines?  And how much buffer does each engine need?  The paper's
+Fig. 12/13 experiments, runnable on any workload.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from dataclasses import replace
+
+from repro import models, optimize
+from repro.config import ArchConfig, EngineConfig
+
+graph = models.get_model("vgg19_bench")
+
+# ------------------------------------------------ engine-count sweep (Fig. 12)
+budget = ArchConfig(
+    mesh_rows=1,
+    mesh_cols=1,
+    engine=EngineConfig(pe_rows=64, pe_cols=64, buffer_bytes=2 * 1024 * 1024),
+)
+print(f"Workload {graph.name}; budget: {budget.total_pes} PEs, "
+      f"{budget.total_buffer_bytes // 1024} KB SRAM\n")
+print("Engine-grid sweep (fixed budget):")
+sweep = []
+for rows, cols in ((1, 1), (2, 2), (4, 4), (8, 8)):
+    arch = budget.repartitioned(rows, cols)
+    res = optimize(graph, arch, scheduler="greedy").result
+    sweep.append(((rows, cols), res))
+    print(f"  {rows}x{cols} engines "
+          f"({arch.engine.pe_rows}x{arch.engine.pe_cols} PEs each): "
+          f"{res.total_cycles:>9} cycles, util {res.pe_utilization:.1%}")
+
+best_grid, best = min(sweep, key=lambda s: s[1].total_cycles)
+print(f"  -> sweet spot: {best_grid[0]}x{best_grid[1]} engines "
+      f"(the paper's U-shaped curve: monolithic arrays under-utilize,\n"
+      f"     over-fragmented ones lose intra-engine reuse)\n")
+
+# ----------------------------------------------- buffer-size sweep (Fig. 13)
+base = ArchConfig(mesh_rows=4, mesh_cols=4)
+print("Per-engine buffer sweep (4x4 engines):")
+prev = None
+for kb in (16, 32, 64, 128, 256):
+    arch = replace(base, engine=replace(base.engine, buffer_bytes=kb * 1024))
+    res = optimize(graph, arch, scheduler="greedy").result
+    gain = "" if prev is None else f"  ({(prev - res.total_cycles) / prev:+.1%})"
+    print(f"  {kb:>4} KB: {res.total_cycles:>9} cycles, "
+          f"reuse {res.onchip_reuse_ratio:.1%}{gain}")
+    prev = res.total_cycles
+print("  -> growth saturates: the buffering strategy keeps small buffers "
+      "efficient (Fig. 13).")

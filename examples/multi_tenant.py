@@ -1,0 +1,54 @@
+"""Multi-tenant co-scheduling: two networks share one accelerator.
+
+Beyond the paper's single-network evaluation, the atomic DAG makes
+multi-tenancy (HDA-style deployments) a natural extension: merge the graphs
+and the scheduler fills engines with atoms from whichever network has work
+ready.  The win appears exactly when a network's own schedule leaves engine
+slots empty (occupancy < 100% — thin dependency frontiers); slots one
+tenant cannot fill are claimed by the other's atoms.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro import AtomicDataflowOptimizer, OptimizerOptions
+from repro.config import ArchConfig
+from repro.ir import merge_graphs, subgraph_layers
+from repro.models import get_model
+from repro.report import summarize_schedule
+
+arch = ArchConfig(mesh_rows=4, mesh_cols=4)
+options = OptimizerOptions(scheduler="dp")
+
+resnet = get_model("resnet50_bench")
+inception = get_model("inception_v3_bench")
+
+# --------------------------------------------------------------- isolated
+outcomes = {}
+for g in (resnet, inception):
+    o = AtomicDataflowOptimizer(g, arch, options).optimize()
+    s = summarize_schedule(o.dag, o.schedule, arch.num_engines)
+    outcomes[g.name] = o
+    print(f"{g.name:<22} alone : {o.result.latency_ms:8.3f} ms "
+          f"(engine occupancy {s.mean_occupancy:.0%} — "
+          f"{'slots to spare' if s.mean_occupancy < 0.9 else 'nearly full'})")
+serial_ms = sum(o.result.latency_ms for o in outcomes.values())
+print(f"{'serial total':<22}       : {serial_ms:8.3f} ms\n")
+
+# ------------------------------------------------------------ co-scheduled
+merged = merge_graphs([resnet, inception], name="resnet50+inception")
+om = AtomicDataflowOptimizer(merged, arch, options).optimize()
+sm = summarize_schedule(om.dag, om.schedule, arch.num_engines)
+print(f"co-scheduled (one merged atomic DAG): {om.result.latency_ms:.3f} ms "
+      f"(occupancy {sm.mean_occupancy:.0%})")
+print(f"speedup over back-to-back execution : "
+      f"{serial_ms / om.result.latency_ms:.2f}x")
+
+# The merged graph stays introspectable per tenant:
+res_layers = subgraph_layers(merged, resnet.name)
+inc_layers = subgraph_layers(merged, inception.name)
+print(f"\nmerged graph: {len(merged)} nodes "
+      f"({len(res_layers)} from {resnet.name}, {len(inc_layers)} from "
+      f"{inception.name})")
+print("\nNote: co-scheduling helps when isolated schedules leave engines "
+      "idle;\nit cannot repair per-atom inefficiency (e.g. reload-bound "
+      "depthwise layers).")

@@ -1,0 +1,77 @@
+"""Scheduling an irregular NAS cell: inside the atomic DAG.
+
+Builds the kind of irregularly wired cell the paper uses to illustrate
+graph-level parallelism (Fig. 6, a PNASNet cell), partitions it into atoms,
+and prints how the DP scheduler exploits the four parallelism types:
+intra-layer atoms, same-depth layers, dependent layers, and batch samples.
+
+Run:  python examples/nas_cell_scheduling.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.atoms import AtomGenerator, SAParams, build_atomic_dag
+from repro.config import ArchConfig
+from repro.engine import EngineCostModel, get_dataflow
+from repro.ir import GraphBuilder
+from repro.ir.transforms import fuse_elementwise
+from repro.mapping import optimized_placement
+from repro.noc import Mesh2D
+from repro.scheduling import schedule_pruned
+from repro.sim import SystemSimulator
+
+# ---------------------------------------------------------------- the cell
+b = GraphBuilder(name="nas_cell")
+x = b.input(32, 32, 32)
+# Five add-pairs over two inputs, PNASNet-style irregular wiring.
+a1 = b.add(b.separable_conv(x, 32, kernel=5, name="b1l"),
+           b.max_pool(x, kernel=3, stride=1, padding=1, name="b1r"), name="blk1")
+a2 = b.add(b.separable_conv(x, 32, kernel=7, name="b2l"),
+           b.separable_conv(x, 32, kernel=3, name="b2r"), name="blk2")
+a3 = b.add(b.separable_conv(a1, 32, kernel=3, name="b3l"), a2, name="blk3")
+out = b.concat(a1, a2, a3, name="cell_out")
+graph = fuse_elementwise(b.build()).graph
+
+arch = ArchConfig(mesh_rows=4, mesh_cols=4)
+cost_model = EngineCostModel(arch.engine, get_dataflow("kc"))
+
+# ------------------------------------------------- atoms (Algorithm 1, SA)
+generator = AtomGenerator(graph, cost_model, rng=np.random.default_rng(0))
+gen = generator.generate_sa(SAParams(max_iterations=80),
+                            parallel_hint=arch.num_engines)
+print(f"SA atom generation: unified cycle S = {gen.unified_cycle:.0f}, "
+      f"normalized Var = {gen.energy:.4f}")
+
+# Batch of 2 samples gathered into one DAG (batch-level parallelism).
+dag = build_atomic_dag(graph, gen.tiling, cost_model, batch=2)
+depths = dag.layer_depth
+print(f"Atomic DAG: {dag.num_atoms} atoms over {len(dag.grids)} layers, "
+      f"max depth {max(depths.values())}\n")
+
+# ------------------------------------------------ schedule (Algorithm 2)
+schedule = schedule_pruned(dag, arch.num_engines, lookahead=1)
+placement = optimized_placement(dag, Mesh2D(4, 4), schedule)
+
+print("Per-Round composition (layers x atoms | samples):")
+for rnd in schedule.rounds[:10]:
+    per_layer = Counter(
+        graph.node(dag.atoms[a].layer).name for a in rnd.atom_indices
+    )
+    samples = {dag.atoms[a].sample for a in rnd.atom_indices}
+    comp = ", ".join(f"{l} x{n}" for l, n in per_layer.items())
+    print(f"  Round {rnd.index:>2} [{len(rnd):>2} engines] "
+          f"samples={sorted(samples)}: {comp}")
+if schedule.num_rounds > 10:
+    print(f"  ... ({schedule.num_rounds} rounds total)")
+
+# ------------------------------------------------------------- simulate
+result = SystemSimulator(arch, dag).run(schedule, placement)
+print(f"""
+Simulated on {arch.num_engines} engines:
+  total cycles     : {result.total_cycles}
+  PE utilization   : {result.pe_utilization:.1%}
+  on-chip reuse    : {result.onchip_reuse_ratio:.1%}
+  NoC blocking     : {result.noc_overhead_fraction:.1%}
+""")

@@ -1,0 +1,42 @@
+"""Quickstart: optimize one workload with atomic dataflow and inspect it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import models, optimize
+from repro.config import ArchConfig
+
+# A scalable accelerator: 4x4 engines, each a 16x16 PE array with 128 KB of
+# SRAM, joined by a 2D-mesh NoC and backed by HBM (see repro.config for all
+# knobs; ArchConfig() with no arguments is the paper's 8x8 platform).
+arch = ArchConfig(mesh_rows=4, mesh_cols=4)
+
+# Any model from the zoo (see repro.models.available_models()), or build
+# your own with repro.ir.GraphBuilder.
+graph = models.get_model("resnet50_bench")
+
+print(f"Optimizing {graph.name}: {len(graph)} layers, "
+      f"{graph.num_params() / 1e6:.1f}M params ...")
+
+outcome = optimize(graph, arch, batch=1, dataflow="kc", scheduler="dp")
+result = outcome.result
+
+print(f"""
+Solution found
+--------------
+atoms generated     : {outcome.dag.num_atoms}
+scheduling rounds   : {result.num_rounds}
+inference latency   : {result.latency_ms:.3f} ms
+PE utilization      : {result.pe_utilization:.1%}
+on-chip data reuse  : {result.onchip_reuse_ratio:.1%}
+NoC blocking share  : {result.noc_overhead_fraction:.1%}
+DRAM traffic        : {result.dram_bytes_read / 1e6:.2f} MB read, \
+{result.dram_bytes_written / 1e6:.2f} MB written
+total energy        : {result.energy.total_mj:.2f} mJ
+""")
+
+# The outcome also exposes the full solution for inspection:
+first = outcome.schedule.rounds[0]
+print(f"Round 0 runs {len(first)} atoms:",
+      ", ".join(str(outcome.dag.atoms[a].atom_id) for a in first.atom_indices[:8]),
+      "...")

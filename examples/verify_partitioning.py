@@ -1,0 +1,61 @@
+"""Verify a mapping solution computes the right numbers, atom by atom.
+
+Compile-time orchestration is only useful if the partitioned execution is
+functionally identical to running the network whole.  This example builds
+a custom network, optimizes it, then executes it twice with numpy —
+layer-by-layer (ground truth) and atom-by-atom in the optimizer's exact
+Round order — and checks bit-level agreement.
+
+Run:  python examples/verify_partitioning.py
+"""
+
+import numpy as np
+
+from repro import AtomicDataflowOptimizer, OptimizerOptions
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig
+from repro.exec import execute_atomwise, execute_graph, random_weights
+from repro.ir import GraphBuilder
+from repro.ir.transforms import fuse_elementwise
+
+# A custom network with every dependency pattern the partitioner must get
+# right: halos (3x3), strides, a residual add, a concat, and an SE gate.
+b = GraphBuilder(name="verify_net")
+x = b.input(24, 24, 8)
+c1 = b.conv_bn_relu(x, 16, kernel=3, name="c1")
+c2 = b.conv_bn_relu(c1, 16, kernel=3, stride=2, name="c2")
+branch = b.conv(c2, 16, kernel=1, name="branch")
+c3 = b.conv(c2, 16, kernel=3, name="c3")
+merged = b.add(c3, branch, name="res")
+wide = b.concat(merged, c2, name="cat")
+gate = b.sigmoid(b.fc(b.global_avg_pool(wide, name="sq"), 32, name="exc"), name="gate")
+gated = b.scale(wide, gate, name="se")
+b.conv(gated, 8, kernel=3, name="head")
+graph = fuse_elementwise(b.build()).graph
+
+arch = ArchConfig(mesh_rows=2, mesh_cols=2)
+outcome = AtomicDataflowOptimizer(
+    graph, arch, OptimizerOptions(scheduler="dp", sa_params=SAParams(max_iterations=60))
+).optimize()
+print(f"optimized {graph.name}: {outcome.dag.num_atoms} atoms in "
+      f"{outcome.schedule.num_rounds} rounds")
+
+rng = np.random.default_rng(0)
+weights = random_weights(graph, rng)
+feeds = {graph.sources()[0]: rng.standard_normal((24, 24, 8))}
+
+direct = execute_graph(graph, feeds, weights)
+atomwise = execute_atomwise(
+    outcome.dag, feeds, weights, schedule=outcome.schedule
+)
+
+worst = 0.0
+for layer, expected in direct.items():
+    scale_ref = max(1.0, float(np.abs(expected).max()))
+    err = float(np.abs(atomwise[layer] - expected).max()) / scale_ref
+    worst = max(worst, err)
+print(f"max relative |atomwise - direct| over {len(direct)} tensors: "
+      f"{worst:.2e}")
+assert worst < 1e-9, "partitioned execution diverged!"
+print("partitioned execution matches to floating-point accuracy — the "
+      "atomic DAG's halos, offsets, and dependencies are exact.")

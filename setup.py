@@ -1,0 +1,7 @@
+"""Setup shim enabling legacy editable installs where the ``wheel`` package
+is unavailable (offline environments): ``pip install -e . --no-build-isolation``.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Atomic Dataflow: graph-level workload orchestration for scalable DNN
+accelerators.
+
+A from-scratch reproduction of Zheng et al., *Atomic Dataflow based
+Graph-Level Workload Orchestration for Scalable DNN Accelerators*
+(HPCA 2022).  Quickstart::
+
+    from repro import models, optimize
+
+    outcome = optimize(models.get_model("resnet50_bench"), batch=1)
+    print(outcome.result.latency_ms, outcome.result.pe_utilization)
+
+The public surface: :mod:`repro.models` (workloads), :func:`optimize` /
+:class:`AtomicDataflowOptimizer` (the paper's framework),
+:mod:`repro.baselines` (LS / CNN-P / IL-Pipe / Rammer comparators), and
+:class:`repro.config.ArchConfig` (the machine model).
+"""
+
+from repro import baselines, models, report, serialize
+from repro.config import (
+    DEFAULT_ARCH,
+    PROTOTYPE_ARCH,
+    ArchConfig,
+    EnergyConfig,
+    EngineConfig,
+    HbmConfig,
+    NocConfig,
+)
+from repro.framework import (
+    AtomicDataflowOptimizer,
+    OptimizationOutcome,
+    OptimizerOptions,
+    optimize,
+)
+from repro.metrics import EnergyBreakdown, RunResult, UtilizationReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchConfig",
+    "AtomicDataflowOptimizer",
+    "DEFAULT_ARCH",
+    "EnergyBreakdown",
+    "EnergyConfig",
+    "EngineConfig",
+    "HbmConfig",
+    "NocConfig",
+    "OptimizationOutcome",
+    "OptimizerOptions",
+    "PROTOTYPE_ARCH",
+    "RunResult",
+    "UtilizationReport",
+    "baselines",
+    "models",
+    "report",
+    "serialize",
+    "optimize",
+]

@@ -1,0 +1,32 @@
+"""Atoms: scheduling units, layer partitioning, atomic DAGs, generation."""
+
+from repro.atoms.atom import Atom, AtomId, TileSize
+from repro.atoms.dag import AtomicDAG, build_atomic_dag
+from repro.atoms.generation import (
+    AtomGenerator,
+    GAParams,
+    GenerationResult,
+    SAParams,
+    derive_vector_tiling,
+    layer_sequential_tiling,
+    uniform_tiling,
+)
+from repro.atoms.partition import TileGrid, clamp_tile, grid_for
+
+__all__ = [
+    "Atom",
+    "AtomGenerator",
+    "AtomId",
+    "AtomicDAG",
+    "GAParams",
+    "GenerationResult",
+    "SAParams",
+    "TileGrid",
+    "TileSize",
+    "build_atomic_dag",
+    "clamp_tile",
+    "derive_vector_tiling",
+    "grid_for",
+    "layer_sequential_tiling",
+    "uniform_tiling",
+]

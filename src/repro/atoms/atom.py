@@ -1,0 +1,84 @@
+"""Atom: the scheduling unit of atomic dataflow (Sec. III of the paper).
+
+An atom is one tile of one layer's output tensor for one batch sample —
+``Atom_{l,x,(b)} : [(h_s,h_e),(w_s,w_e),(c_s,c_e)]`` — small enough to fit a
+single engine's PE array well, large enough to amortize control overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ops import Region
+
+
+@dataclass(frozen=True, order=True)
+class AtomId:
+    """Identity of an atom: (sample, layer, tile index).
+
+    Ordering is lexicographic (sample, layer, index), which matches the
+    natural layer-sequential enumeration used by baselines.
+
+    Attributes:
+        sample: Batch sample ``b`` (0 when batch size is 1).
+        layer: Graph node id ``l`` of the producing layer.
+        index: Tile index ``x`` within the layer, row-major over the grid.
+    """
+
+    sample: int
+    layer: int
+    index: int
+
+    def __str__(self) -> str:
+        if self.sample:
+            return f"{self.layer}-{self.index}@{self.sample}"
+        return f"{self.layer}-{self.index}"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom: an output region of a layer for one sample.
+
+    Attributes:
+        atom_id: Identity.
+        region: Output-tensor coordinates this atom produces.
+    """
+
+    atom_id: AtomId
+    region: Region
+
+    @property
+    def layer(self) -> int:
+        return self.atom_id.layer
+
+    @property
+    def sample(self) -> int:
+        return self.atom_id.sample
+
+    def __str__(self) -> str:
+        return f"Atom[{self.atom_id}]"
+
+
+@dataclass(frozen=True)
+class TileSize:
+    """Tile extents partitioning a layer's output: (h, w, ci, co).
+
+    ``ci`` is the input-channel tile processed per PE-array pass (it shapes
+    the cost model's utilization, not the atom grid, which tiles output
+    coordinates); ``h``/``w``/``co`` define the atom grid.
+
+    Attributes:
+        h: Output tile height (``h_p``).
+        w: Output tile width (``w_p``).
+        ci: Input-channel tile per pass (``c_p^i``).
+        co: Output-channel tile (``c_p^o``).
+    """
+
+    h: int
+    w: int
+    ci: int
+    co: int
+
+    def __post_init__(self) -> None:
+        if min(self.h, self.w, self.ci, self.co) <= 0:
+            raise ValueError(f"tile extents must be positive: {self}")

@@ -1,0 +1,212 @@
+"""The atomic DAG: batch-replicated, atom-granularity dependency graph.
+
+Construction follows Sec. III of the paper: each (non-input) layer of each
+batch sample is partitioned into a tile grid of atoms; fine-grained edges
+connect an atom to exactly the producer atoms whose output regions its
+receptive field touches (Fig. 6(b)).  All samples of a batch live in one
+unified DAG of ``#Batch`` identical sub-DAGs.
+
+Atoms are indexed densely (0..num_atoms-1) so schedulers can use flat
+arrays; :class:`AtomId` remains available for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atoms.atom import Atom, AtomId, TileSize
+from repro.atoms.partition import TileGrid, grid_for
+from repro.engine.cost_model import EngineCost, EngineCostModel
+from repro.ir.graph import Graph
+from repro.ir.ops import Concat, Input
+
+
+@dataclass
+class AtomicDAG:
+    """Atom-level dependency graph over a (possibly batched) workload.
+
+    Build with :func:`build_atomic_dag`; attributes are flat and index-
+    aligned (position ``i`` describes atom ``i``).
+
+    Attributes:
+        graph: The layer graph the DAG was derived from.
+        batch: Number of batch samples replicated into the DAG.
+        atoms: All atoms.
+        preds: Predecessor atom indices per atom (deduplicated, sorted).
+        succs: Successor atom indices per atom.
+        costs: Per-atom engine cost (cycles, traffic) from the cost model.
+        layer_depth: Layer id -> longest-path depth in the layer graph.
+        dram_input_bytes: Per-atom bytes that must come from DRAM because
+            the producer is the network input (no on-chip producer).
+        grids: Layer id -> tile grid used to partition it.
+        edge_bytes: (producer atom, consumer atom) -> bytes of producer
+            output the consumer reads (the overlap of its receptive field
+            with the producer's region) — the NoC payload of that edge.
+    """
+
+    graph: Graph
+    batch: int
+    atoms: list[Atom] = field(default_factory=list)
+    preds: list[tuple[int, ...]] = field(default_factory=list)
+    succs: list[tuple[int, ...]] = field(default_factory=list)
+    costs: list[EngineCost] = field(default_factory=list)
+    layer_depth: dict[int, int] = field(default_factory=dict)
+    dram_input_bytes: list[int] = field(default_factory=list)
+    grids: dict[int, TileGrid] = field(default_factory=dict)
+    edge_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    _base: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    def index_of(self, atom_id: AtomId) -> int:
+        """Dense index of an atom by identity.
+
+        Raises:
+            KeyError: For unknown (sample, layer) pairs or out-of-range
+                tile indices.
+        """
+        base = self._base[(atom_id.sample, atom_id.layer)]
+        grid = self.grids[atom_id.layer]
+        if not 0 <= atom_id.index < grid.num_tiles:
+            raise KeyError(f"tile index out of range: {atom_id}")
+        return base + atom_id.index
+
+    def atoms_of_layer(self, layer: int, sample: int = 0) -> range:
+        """Dense index range of one layer's atoms for one sample."""
+        base = self._base[(sample, layer)]
+        return range(base, base + self.grids[layer].num_tiles)
+
+    def weight_key(self, atom_index: int) -> tuple[int, int] | None:
+        """Identity of the weight slice an atom needs, or None if weightless.
+
+        Atoms of the same layer covering the same output-channel tile share
+        one weight slice; scheduling them on one engine reuses it.
+        """
+        if self.costs[atom_index].weight_bytes == 0:
+            return None
+        atom = self.atoms[atom_index]
+        grid = self.grids[atom.layer]
+        return (atom.layer, atom.region.c[0] // grid.tile.co)
+
+    def total_compute_cycles(self) -> int:
+        """Sum of per-atom engine cycles (the serial lower bound's numerator)."""
+        return sum(c.cycles for c in self.costs)
+
+    def indegrees(self) -> list[int]:
+        """Fresh indegree array for scheduler initialization."""
+        return [len(p) for p in self.preds]
+
+    def validate(self) -> None:
+        """Check structural invariants.
+
+        Verified: pred/succ symmetry, acyclicity via layer topology (edges
+        only point from earlier layers to later ones within a sample), and
+        full coverage (each layer's atoms tile its output exactly).
+
+        Raises:
+            ValueError: On any violation.
+        """
+        for i, ps in enumerate(self.preds):
+            for p in ps:
+                if i not in self.succs[p]:
+                    raise ValueError(f"asymmetric edge {p}->{i}")
+                if self.atoms[p].sample != self.atoms[i].sample:
+                    raise ValueError(f"cross-sample edge {p}->{i}")
+                if self.atoms[p].layer >= self.atoms[i].layer:
+                    raise ValueError(f"non-topological edge {p}->{i}")
+        for layer, grid in self.grids.items():
+            covered = sum(r.num_elements for r in grid.regions())
+            if covered != grid.shape.num_elements:
+                raise ValueError(f"layer {layer} tiles do not cover its output")
+
+
+def build_atomic_dag(
+    graph: Graph,
+    tiling: dict[int, TileSize],
+    cost_model: EngineCostModel,
+    batch: int = 1,
+) -> AtomicDAG:
+    """Partition a layer graph into its atomic DAG.
+
+    Args:
+        graph: Layer graph (typically already elementwise-fused).
+        tiling: Tile size per non-input layer id (from the SA generator or a
+            baseline policy).  Missing layers default to whole-layer tiles.
+        cost_model: Engine cost model used to price each atom.
+        batch: Batch size; the DAG contains ``batch`` identical sub-DAGs.
+
+    Returns:
+        The constructed :class:`AtomicDAG`.
+
+    Raises:
+        ValueError: On non-positive batch size.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+
+    dag = AtomicDAG(graph=graph, batch=batch)
+    dag.layer_depth = graph.depths()
+
+    layer_nodes = [n for n in graph.nodes if not isinstance(n.op, Input)]
+    input_ids = {n.node_id for n in graph.nodes if isinstance(n.op, Input)}
+
+    for node in layer_nodes:
+        shape = node.output_shape
+        in_shapes = graph.input_shapes(node.node_id)
+        in_channels = in_shapes[0].channels if in_shapes else 1
+        tile = tiling.get(
+            node.node_id,
+            TileSize(shape.height, shape.width, max(in_channels, 1), shape.channels),
+        )
+        dag.grids[node.node_id] = grid_for(shape, tile, in_channels)
+
+    for sample in range(batch):
+        for node in layer_nodes:
+            grid = dag.grids[node.node_id]
+            dag._base[(sample, node.node_id)] = len(dag.atoms)
+            in_shapes = graph.input_shapes(node.node_id)
+            for x in range(grid.num_tiles):
+                region = grid.region(x)
+                atom = Atom(AtomId(sample, node.node_id, x), region)
+                dag.atoms.append(atom)
+                dag.costs.append(cost_model.cost(node.op, in_shapes, region))
+                dag.preds.append(())
+                dag.succs.append(())
+                dag.dram_input_bytes.append(0)
+
+    succs_mut: list[list[int]] = [[] for _ in range(dag.num_atoms)]
+    bpe = cost_model.bytes_per_element
+    for sample in range(batch):
+        for node in layer_nodes:
+            in_shapes = graph.input_shapes(node.node_id)
+            grid = dag.grids[node.node_id]
+            base = dag._base[(sample, node.node_id)]
+            for x in range(grid.num_tiles):
+                gi = base + x
+                region = dag.atoms[gi].region
+                pred_bytes: dict[int, int] = {}
+                for idx, src in enumerate(node.inputs):
+                    if isinstance(node.op, Concat) and not node.op.overlaps_input(
+                        idx, in_shapes, region
+                    ):
+                        continue
+                    in_region = node.op.input_region(idx, in_shapes, region)
+                    if src in input_ids:
+                        dag.dram_input_bytes[gi] += in_region.num_elements * bpe
+                        continue
+                    src_base = dag._base[(sample, src)]
+                    src_grid = dag.grids[src]
+                    for t in src_grid.tiles_covering(in_region):
+                        overlap = src_grid.region(t).intersection(in_region)
+                        nbytes = overlap.num_elements * bpe if overlap else 0
+                        p = src_base + t
+                        pred_bytes[p] = pred_bytes.get(p, 0) + nbytes
+                preds = tuple(sorted(pred_bytes))
+                dag.preds[gi] = preds
+                for p in preds:
+                    succs_mut[p].append(gi)
+                    dag.edge_bytes[(p, gi)] = pred_bytes[p]
+    dag.succs = [tuple(s) for s in succs_mut]
+    return dag

@@ -1,0 +1,576 @@
+"""Atomic tensor generation: the paper's Algorithm 1 (simulated annealing).
+
+Finds, per compute layer, the tile coefficients ``[c0, c1, c2, c3]`` whose
+atom execution cycles cluster around one *unified cycle* ``S`` — parallel
+atoms with equal runtimes avoid load imbalance (target 2 of Sec. IV-A) —
+while the dataflow-aware coefficient scaling keeps the spatially unrolled
+extents divisible by the PE array (target 1).
+
+A genetic-algorithm comparator is included because Fig. 5(b) contrasts SA
+and GA convergence.  Non-compute (vector-unit) layers do not enter the
+search; their tiling is derived grid-aligned from their producers by
+:func:`derive_vector_tiling`, yielding one-to-one atom dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atoms.atom import TileSize
+from repro.atoms.partition import grid_for
+from repro.config import EngineConfig
+from repro.engine.cost_model import EngineCostModel
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import Input, Region
+from repro.ir.tensor import TensorShape
+
+Coeffs = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Outcome of an atom-generation search.
+
+    Attributes:
+        tiling: Layer id -> tile size, for every non-input layer (compute
+            layers from the search, vector layers derived).
+        unified_cycle: The converged system state ``S``.
+        energy: Final energy (variance of atom cycles, normalized by the
+            squared mean so the threshold is scale-free).
+        history: Energy after each search iteration (convergence curve of
+            Fig. 5(b)).
+        layer_cycles: Compute-layer id -> representative atom cycles.
+        iterations: Iterations actually executed.
+    """
+
+    tiling: dict[int, TileSize]
+    unified_cycle: float
+    energy: float
+    history: tuple[float, ...]
+    layer_cycles: dict[int, int]
+    iterations: int
+
+
+@dataclass(frozen=True)
+class SAParams:
+    """Simulated-annealing hyperparameters (Algorithm 1 line 4).
+
+    Attributes:
+        max_iterations: ``ite_max``.
+        move_length_frac: ``Len`` as a fraction of the initial state ``S``.
+        epsilon: Convergence threshold on normalized variance.
+        temperature: Initial ``Temp``.
+        cooling: Decrease factor ``lambda`` applied each iteration.
+    """
+
+    max_iterations: int = 200
+    move_length_frac: float = 0.25
+    epsilon: float = 0.01
+    temperature: float = 1.0
+    cooling: float = 0.98
+
+
+@dataclass(frozen=True)
+class GAParams:
+    """Genetic-algorithm hyperparameters for the Fig. 5(b) comparison."""
+
+    generations: int = 200
+    population: int = 24
+    mutation_rate: float = 0.3
+    tournament: int = 3
+
+
+@dataclass
+class AtomGenerator:
+    """Searches per-layer atom sizes for one workload on one engine design.
+
+    Args:
+        graph: Layer graph (elementwise-fused).
+        cost_model: Single-engine cost model (fixes the dataflow).
+        rng: Seeded random generator; all stochasticity flows through it.
+    """
+
+    graph: Graph
+    cost_model: EngineCostModel
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        self._compute_nodes: list[Node] = [
+            n for n in self.graph.nodes if n.op.is_compute_heavy
+        ]
+        if not self._compute_nodes:
+            raise ValueError("graph has no compute layers to partition")
+        self._bounds: dict[int, Coeffs] = {
+            n.node_id: self._coeff_bounds(n) for n in self._compute_nodes
+        }
+        self._hint: int | None = None
+
+    # ----------------------------------------------------------- coefficients
+
+    @property
+    def engine(self) -> EngineConfig:
+        return self.cost_model.engine
+
+    def _coeff_bounds(self, node: Node) -> Coeffs:
+        """Maximum useful value of each coefficient for one layer."""
+        shape = node.output_shape
+        in_shapes = self.graph.input_shapes(node.node_id)
+        ci = in_shapes[0].channels if in_shapes else 1
+        tile_of = self.cost_model.dataflow.atom_tile
+        # Find, per coefficient, the smallest value whose tile extent already
+        # saturates the corresponding dimension.
+        bounds = []
+        full = (shape.height, shape.width, ci, shape.channels)
+        for k in range(4):
+            hi = 1
+            while True:
+                probe = [1, 1, 1, 1]
+                probe[k] = hi
+                if tile_of(tuple(probe), self.engine)[k] >= full[k] or hi > 4096:
+                    break
+                hi += 1
+            bounds.append(hi)
+        return tuple(bounds)  # type: ignore[return-value]
+
+    def _tile(self, node: Node, coeffs: Coeffs) -> TileSize:
+        h, w, ci, co = self.cost_model.dataflow.atom_tile(coeffs, self.engine)
+        return TileSize(h=h, w=w, ci=ci, co=co)
+
+    def _representative_region(self, node: Node, tile: TileSize) -> Region:
+        shape = node.output_shape
+        return Region(
+            (0, min(tile.h, shape.height) - 1),
+            (0, min(tile.w, shape.width) - 1),
+            (0, min(tile.co, shape.channels) - 1),
+        )
+
+    def atom_cycles(self, node: Node, coeffs: Coeffs) -> int:
+        """Execution cycles of one full-size atom of a layer.
+
+        This is the ``Cycle(Atom_l)`` oracle of Algorithm 1 (the MAESTRO
+        call in the paper).  Tiles violating the buffer-capacity constraint
+        are priced infinite so the search routes around them.  The resident
+        set is the input tile plus a double-buffered output tile plus the
+        weight slice — except that weight slices too large to retain
+        (> 1/4 of the buffer) stream from DRAM and only occupy a streaming
+        window, as on real engines (e.g. VGG's fully-connected layers).
+        """
+        cycles, _ = self.atom_cost(node, coeffs)
+        return cycles
+
+    def atom_cost(self, node: Node, coeffs: Coeffs) -> tuple[int, float]:
+        """(cycles, PE utilization) of one full-size atom of a layer."""
+        tile = self._tile(node, coeffs)
+        region = self._representative_region(node, tile)
+        in_shapes = self.graph.input_shapes(node.node_id)
+        cost = self.cost_model.cost(node.op, in_shapes, region)
+        resident_weights = min(cost.weight_bytes, self.engine.buffer_bytes // 4)
+        footprint = cost.ifmap_bytes + resident_weights + 2 * cost.ofmap_bytes
+        if footprint > self.engine.buffer_bytes:
+            return _INFEASIBLE_CYCLES, 0.0
+        return cost.cycles, cost.pe_utilization
+
+    def _fit_layer_to_state(self, node: Node, start: Coeffs, target: float) -> Coeffs:
+        """Algorithm 1 line 13: argmin_coeffs |Cycle(Atom_l) - S_move|.
+
+        Coordinate descent over a geometric value ladder per coefficient,
+        so the search can jump between qualitatively different tile shapes
+        (e.g. from a spatial split to a channel split) instead of crawling
+        +/-1.  The distance adds a PE-utilization penalty so the search
+        never "balances" a layer by picking an equally slow but inefficient
+        tile (target 1 of Sec. IV-A: atoms must keep the array busy).
+        """
+        bounds = self._bounds[node.node_id]
+        ladders = [_ladder(b) for b in bounds]
+
+        def score(coeffs: Coeffs) -> float:
+            cycles, util = self.atom_cost(node, coeffs)
+            return abs(cycles - target) + _UTIL_PENALTY * target * (1.0 - util)
+
+        best = start
+        best_gap = score(best)
+        for _ in range(_FIT_SWEEPS):
+            improved = False
+            for k in range(4):
+                for v in ladders[k]:
+                    if v == best[k]:
+                        continue
+                    cand = best[:k] + (v,) + best[k + 1:]
+                    gap = score(cand)
+                    if gap < best_gap:
+                        best, best_gap = cand, gap
+                        improved = True
+            if not improved:
+                break
+        return best
+
+    def _random_coeffs(self, node: Node) -> Coeffs:
+        bounds = self._bounds[node.node_id]
+        return tuple(int(self.rng.integers(1, b + 1)) for b in bounds)  # type: ignore
+
+    def _even_coeffs(self, node: Node, parts: int) -> Coeffs:
+        """Coefficients whose tile splits the layer into ~``parts`` atoms.
+
+        The inverse of the dataflow's ``atom_tile`` applied to an even
+        spatial/channel split — the parallelism-aware seed the framework
+        uses so atoms are fine enough to fill all engines.
+        """
+        shape = node.output_shape
+        in_shapes = self.graph.input_shapes(node.node_id)
+        ci = in_shapes[0].channels if in_shapes else 1
+        gh, gw, gc = _split_grid(shape, parts)
+        target = (
+            max(1, math.ceil(shape.height / gh)),
+            max(1, math.ceil(shape.width / gw)),
+            ci,
+            max(1, math.ceil(shape.channels / gc)),
+        )
+        bounds = self._bounds[node.node_id]
+        coeffs = []
+        for k in range(4):
+            # Smallest coefficient whose tile extent reaches the target.
+            lo = 1
+            while lo < bounds[k]:
+                probe = [1, 1, 1, 1]
+                probe[k] = lo
+                if (
+                    self.cost_model.dataflow.atom_tile(tuple(probe), self.engine)[k]
+                    >= target[k]
+                ):
+                    break
+                lo += 1
+            coeffs.append(lo)
+        return tuple(coeffs)  # type: ignore[return-value]
+
+    def _energy(self, cycles: list[int], counts: list[int] | None = None) -> float:
+        """SA system energy: normalized cycle variance + parallelism deficit.
+
+        The variance term is Algorithm 1's ``Var`` (normalized by the squared
+        mean so the epsilon threshold is scale-free).  When a parallelism
+        hint (the engine count) is active, layers yielding fewer atoms than
+        engines add a deficit penalty — atoms must be able to "maximally
+        fill the physical engines" (Sec. II-B), not merely be balanced.
+        """
+        arr = np.asarray(cycles, dtype=float)
+        mean = arr.mean()
+        if mean == 0:
+            return 0.0
+        energy = float(arr.var() / mean**2)
+        if counts is not None and self._hint:
+            deficit = float(
+                np.mean([max(0.0, 1.0 - n / self._hint) for n in counts])
+            )
+            energy += _PARALLELISM_PENALTY * deficit
+        return energy
+
+    def _cycles_of(self, assignment: dict[int, Coeffs]) -> list[int]:
+        return [
+            self.atom_cycles(n, assignment[n.node_id]) for n in self._compute_nodes
+        ]
+
+    def _counts_of(self, assignment: dict[int, Coeffs]) -> list[int]:
+        """Atoms each layer yields under an assignment (grid tile counts)."""
+        counts = []
+        for n in self._compute_nodes:
+            tile = self._tile(n, assignment[n.node_id])
+            grid = grid_for(n.output_shape, tile, in_channels=1)
+            counts.append(grid.num_tiles)
+        return counts
+
+    # ------------------------------------------------------------------ SA
+
+    def generate_sa(
+        self,
+        params: SAParams = SAParams(),
+        parallel_hint: int | None = None,
+    ) -> GenerationResult:
+        """Run Algorithm 1 and return the balanced tiling.
+
+        Args:
+            params: Annealing hyperparameters.
+            parallel_hint: When given (the framework passes the engine
+                count), layers are seeded at an even split into this many
+                atoms before annealing, so balance converges around a
+                granularity fine enough to occupy every engine; omitted
+                (Algorithm 1 verbatim), seeding is random.
+        """
+        self._hint = parallel_hint
+        if parallel_hint is not None:
+            assignment: dict[int, Coeffs] = {
+                n.node_id: self._even_coeffs(n, parallel_hint)
+                for n in self._compute_nodes
+            }
+        else:
+            assignment = {
+                n.node_id: self._random_coeffs(n) for n in self._compute_nodes
+            }
+        # Seed each layer near a feasible operating point before annealing.
+        cycles = self._cycles_of(assignment)
+        state = float(np.median(cycles))
+        for node in self._compute_nodes:
+            assignment[node.node_id] = self._fit_layer_to_state(
+                node, assignment[node.node_id], state
+            )
+        cycles = self._cycles_of(assignment)
+        state = float(np.mean(cycles))
+        energy = self._energy(cycles, self._counts_of(assignment))
+        move_len = params.move_length_frac * state
+        temperature = params.temperature
+
+        best_assignment, best_energy, best_state = dict(assignment), energy, state
+        history = [energy]
+        iterations = 0
+        for _ in range(params.max_iterations):
+            iterations += 1
+            state_move = max(1.0, state + float(self.rng.uniform(-1, 1)) * move_len)
+            candidate = {
+                n.node_id: self._fit_layer_to_state(
+                    n, assignment[n.node_id], state_move
+                )
+                for n in self._compute_nodes
+            }
+            cycles_move = [
+                self.atom_cycles(n, candidate[n.node_id])
+                for n in self._compute_nodes
+            ]
+            energy_move = self._energy(cycles_move, self._counts_of(candidate))
+            temperature *= params.cooling
+            accept_p = math.exp(
+                min(0.0, (energy - energy_move)) / max(params.cooling * temperature, 1e-12)
+            ) if energy_move > energy else 1.0
+            if self.rng.uniform(0, 1) <= accept_p:
+                state, energy = state_move, energy_move
+                assignment, cycles = candidate, cycles_move
+            if energy < best_energy:
+                best_assignment, best_energy = dict(assignment), energy
+                best_state = state
+            history.append(energy)
+            if energy <= params.epsilon:
+                break
+
+        return self._result(
+            best_assignment, best_state, best_energy, history, iterations
+        )
+
+    # ------------------------------------------------------------------ GA
+
+    def generate_ga(self, params: GAParams = GAParams()) -> GenerationResult:
+        """Genetic-algorithm comparator (Fig. 5(b) orange curve)."""
+        self._hint = None
+        population = [
+            {n.node_id: self._random_coeffs(n) for n in self._compute_nodes}
+            for _ in range(params.population)
+        ]
+        energies = [self._energy(self._cycles_of(ind)) for ind in population]
+        history = [min(energies)]
+        iterations = 0
+        for _ in range(params.generations):
+            iterations += 1
+            new_pop = []
+            for _ in range(params.population):
+                a = self._tournament(energies, params.tournament)
+                b = self._tournament(energies, params.tournament)
+                child = self._crossover(population[a], population[b])
+                self._mutate(child, params.mutation_rate)
+                new_pop.append(child)
+            # Elitism: keep the best individual.
+            best = int(np.argmin(energies))
+            new_pop[0] = population[best]
+            population = new_pop
+            energies = [self._energy(self._cycles_of(ind)) for ind in population]
+            history.append(min(energies))
+
+        best = int(np.argmin(energies))
+        assignment = population[best]
+        cycles = self._cycles_of(assignment)
+        return self._result(
+            assignment, float(np.mean(cycles)), energies[best], history, iterations
+        )
+
+    def _tournament(self, energies: list[float], k: int) -> int:
+        contenders = self.rng.integers(0, len(energies), size=k)
+        return int(min(contenders, key=lambda i: energies[i]))
+
+    def _crossover(
+        self, a: dict[int, Coeffs], b: dict[int, Coeffs]
+    ) -> dict[int, Coeffs]:
+        return {
+            layer: (a[layer] if self.rng.uniform() < 0.5 else b[layer])
+            for layer in a
+        }
+
+    def _mutate(self, individual: dict[int, Coeffs], rate: float) -> None:
+        for node in self._compute_nodes:
+            if self.rng.uniform() >= rate:
+                continue
+            coeffs = list(individual[node.node_id])
+            k = int(self.rng.integers(0, 4))
+            coeffs[k] = int(
+                np.clip(
+                    coeffs[k] + int(self.rng.integers(-2, 3)),
+                    1,
+                    self._bounds[node.node_id][k],
+                )
+            )
+            individual[node.node_id] = tuple(coeffs)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------- assembly
+
+    def _result(
+        self,
+        assignment: dict[int, Coeffs],
+        state: float,
+        energy: float,
+        history: list[float],
+        iterations: int,
+    ) -> GenerationResult:
+        tiling = {
+            n.node_id: self._tile(n, assignment[n.node_id])
+            for n in self._compute_nodes
+        }
+        layer_cycles = {
+            n.node_id: self.atom_cycles(n, assignment[n.node_id])
+            for n in self._compute_nodes
+        }
+        tiling = derive_vector_tiling(self.graph, tiling)
+        return GenerationResult(
+            tiling=tiling,
+            unified_cycle=state,
+            energy=energy,
+            history=tuple(history),
+            layer_cycles=layer_cycles,
+            iterations=iterations,
+        )
+
+
+_FIT_SWEEPS = 3
+_INFEASIBLE_CYCLES = 10**12
+#: Weight of the engine-filling deficit term in the SA energy.
+_PARALLELISM_PENALTY = 1.0
+#: Weight of the (1 - utilization) term in the per-layer fit distance,
+#: relative to the cycle-balance target.
+_UTIL_PENALTY = 0.75
+
+
+def _ladder(bound: int) -> tuple[int, ...]:
+    """Geometric candidate values 1..bound (ratio ~1.5, bound included)."""
+    values = []
+    v = 1
+    while v < bound:
+        values.append(v)
+        v = max(v + 1, int(v * 1.5))
+    values.append(bound)
+    return tuple(dict.fromkeys(values))
+
+
+def derive_vector_tiling(
+    graph: Graph, compute_tiling: dict[int, TileSize]
+) -> dict[int, TileSize]:
+    """Extend a compute-layer tiling to vector-unit layers, grid-aligned.
+
+    Each vector layer (Pool, Add, Concat, GlobalPool, ...) copies the tile
+    *grid resolution* of its first already-tiled producer: its output is cut
+    into the same number of row/column/channel tiles, making most atom
+    dependencies one-to-one and avoiding synchronization barriers at cheap
+    layers.  Layers without a tiled producer (e.g. fed by the input) get a
+    single whole-output tile.
+
+    Returns:
+        A new mapping covering every non-input layer.
+    """
+    tiling = dict(compute_tiling)
+    for node in graph.nodes:
+        if isinstance(node.op, Input) or node.node_id in tiling:
+            continue
+        shape = node.output_shape
+        producer_grid = None
+        for src in node.inputs:
+            if src in tiling:
+                src_shape = graph.node(src).output_shape
+                producer_grid = grid_for(
+                    src_shape, tiling[src], in_channels=1
+                )
+                break
+        in_shapes = graph.input_shapes(node.node_id)
+        ci = in_shapes[0].channels if in_shapes else 1
+        if producer_grid is None:
+            tiling[node.node_id] = TileSize(shape.height, shape.width, ci, shape.channels)
+            continue
+        tiling[node.node_id] = TileSize(
+            h=max(1, math.ceil(shape.height / producer_grid.tiles_h)),
+            w=max(1, math.ceil(shape.width / producer_grid.tiles_w)),
+            ci=max(ci, 1),
+            co=max(1, math.ceil(shape.channels / producer_grid.tiles_c)),
+        )
+    return tiling
+
+
+def uniform_tiling(
+    graph: Graph, tile: TileSize
+) -> dict[int, TileSize]:
+    """A trivial tiling giving every layer the same (clamped) tile.
+
+    Useful as a baseline and in tests; clamping happens at grid build.
+    """
+    return {
+        n.node_id: tile for n in graph.nodes if not isinstance(n.op, Input)
+    }
+
+
+def layer_sequential_tiling(
+    graph: Graph, num_engines: int
+) -> dict[int, TileSize]:
+    """The LS baseline's tiling: split each layer evenly across all engines.
+
+    Mirrors Sec. II-B's strawman — each layer is partitioned along its
+    largest dimensions into exactly ``num_engines`` near-equal sub-tasks,
+    with no regard for PE-array divisibility (the source of the mismatch
+    the paper measures in Fig. 2).
+    """
+    tiling: dict[int, TileSize] = {}
+    for node in graph.nodes:
+        if isinstance(node.op, Input):
+            continue
+        shape = node.output_shape
+        in_shapes = graph.input_shapes(node.node_id)
+        ci = in_shapes[0].channels if in_shapes else 1
+        # Factor num_engines into a (gh, gw, gc) grid biased to spatial dims.
+        gh, gw, gc = _split_grid(shape, num_engines)
+        tiling[node.node_id] = TileSize(
+            h=max(1, math.ceil(shape.height / gh)),
+            w=max(1, math.ceil(shape.width / gw)),
+            ci=max(ci, 1),
+            co=max(1, math.ceil(shape.channels / gc)),
+        )
+    return tiling
+
+
+def _split_grid(shape: TensorShape, parts: int) -> tuple[int, int, int]:
+    """Split ``parts`` ways across (H, W, C), spatial dimensions first.
+
+    This is the partitioning direction order of the LS strawman (following
+    TETRIS-style fmap partitioning): halve H, then W, alternating, and only
+    fall back to channels once the spatial extents are exhausted — blind to
+    the engine's array dimensions, which is precisely the mismatch source
+    the paper measures in Fig. 2.
+    """
+    gh = gw = gc = 1
+    remaining = parts
+    h, w, c = shape.height, shape.width, shape.channels
+    while remaining > 1:
+        if h >= w and h > 1:
+            gh *= 2
+            h = (h + 1) // 2
+        elif w > 1:
+            gw *= 2
+            w = (w + 1) // 2
+        elif c > 1:
+            gc *= 2
+            c = (c + 1) // 2
+        else:
+            break
+        remaining = (remaining + 1) // 2
+    return gh, gw, gc

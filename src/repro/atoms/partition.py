@@ -1,0 +1,107 @@
+"""Layer -> atom-grid partitioning and atom-level dependency inference.
+
+Partitioning a layer clips a regular ``(h, w, co)`` tile grid to the output
+tensor (edge tiles shrink).  Because the grid is regular, mapping an input
+region back to the producer atoms covering it is pure index arithmetic —
+no scan over all atoms — which keeps atomic-DAG construction fast even for
+thousand-layer networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.atoms.atom import TileSize
+from repro.ir.ops import Region
+from repro.ir.tensor import TensorShape
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The regular tile grid a :class:`TileSize` induces on a tensor.
+
+    Attributes:
+        shape: The partitioned tensor's shape.
+        tile: Tile extents.
+    """
+
+    shape: TensorShape
+    tile: TileSize
+
+    @property
+    def tiles_h(self) -> int:
+        return math.ceil(self.shape.height / self.tile.h)
+
+    @property
+    def tiles_w(self) -> int:
+        return math.ceil(self.shape.width / self.tile.w)
+
+    @property
+    def tiles_c(self) -> int:
+        return math.ceil(self.shape.channels / self.tile.co)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.tiles_h * self.tiles_w * self.tiles_c
+
+    def region(self, index: int) -> Region:
+        """Output region of tile ``index`` (row-major over h, w, c).
+
+        Raises:
+            ValueError: When the index is out of range.
+        """
+        if not 0 <= index < self.num_tiles:
+            raise ValueError(f"tile index {index} out of range")
+        ih, rest = divmod(index, self.tiles_w * self.tiles_c)
+        iw, ic = divmod(rest, self.tiles_c)
+        h0 = ih * self.tile.h
+        w0 = iw * self.tile.w
+        c0 = ic * self.tile.co
+        return Region(
+            (h0, min(h0 + self.tile.h, self.shape.height) - 1),
+            (w0, min(w0 + self.tile.w, self.shape.width) - 1),
+            (c0, min(c0 + self.tile.co, self.shape.channels) - 1),
+        )
+
+    def regions(self) -> list[Region]:
+        """All tile regions in index order."""
+        return [self.region(i) for i in range(self.num_tiles)]
+
+    def tiles_covering(self, region: Region) -> list[int]:
+        """Indices of every tile intersecting ``region``.
+
+        This is the dependency-inference primitive: a consumer atom whose
+        input region is ``region`` depends on exactly these producer tiles.
+        """
+        region = region.clipped_to(self.shape)
+        h_lo, h_hi = region.h[0] // self.tile.h, region.h[1] // self.tile.h
+        w_lo, w_hi = region.w[0] // self.tile.w, region.w[1] // self.tile.w
+        c_lo, c_hi = region.c[0] // self.tile.co, region.c[1] // self.tile.co
+        out: list[int] = []
+        stride_h = self.tiles_w * self.tiles_c
+        for ih in range(h_lo, h_hi + 1):
+            for iw in range(w_lo, w_hi + 1):
+                base = ih * stride_h + iw * self.tiles_c
+                out.extend(base + ic for ic in range(c_lo, c_hi + 1))
+        return out
+
+
+def clamp_tile(tile: TileSize, shape: TensorShape, in_channels: int) -> TileSize:
+    """Clamp tile extents to the tensor/layer they partition.
+
+    Oversized coefficients from the SA search simply saturate at the full
+    extent, which keeps the search space unconstrained and the semantics
+    well-defined.
+    """
+    return TileSize(
+        h=min(tile.h, shape.height),
+        w=min(tile.w, shape.width),
+        ci=min(tile.ci, max(in_channels, 1)),
+        co=min(tile.co, shape.channels),
+    )
+
+
+def grid_for(shape: TensorShape, tile: TileSize, in_channels: int = 1) -> TileGrid:
+    """Build the tile grid of a layer output, clamping the tile first."""
+    return TileGrid(shape=shape, tile=clamp_tile(tile, shape, in_channels))

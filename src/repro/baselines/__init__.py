@@ -1,0 +1,20 @@
+"""Baseline orchestration strategies: LS, CNN-P, IL-Pipe, Rammer, Ideal."""
+
+from repro.baselines.cnn_partition import (
+    cnn_partition_utilization,
+    run_cnn_partition,
+)
+from repro.baselines.common import ideal_result
+from repro.baselines.il_pipe import run_il_pipe
+from repro.baselines.ls import ls_utilization_report, run_layer_sequential
+from repro.baselines.rammer import run_rammer
+
+__all__ = [
+    "cnn_partition_utilization",
+    "ideal_result",
+    "ls_utilization_report",
+    "run_cnn_partition",
+    "run_il_pipe",
+    "run_layer_sequential",
+    "run_rammer",
+]

@@ -1,0 +1,173 @@
+"""CNN-Partition (CNN-P) baseline [Shen et al., ISCA'17].
+
+On-chip engines are clustered into convolutional-layer processors (CLPs);
+the network's layers are distributed over the CLPs, and batched images
+pipeline through each CLP at layer granularity (Fig. 3(a) of the paper).
+Every CLP reads its inputs/weights from off-chip memory and writes outputs
+back — there is no inter-CLP on-chip reuse — and a segment completes at the
+pace of its slowest CLP.
+
+With batch size 1 no pipelining is possible and CNN-P degenerates to LS
+(the paper omits it from Fig. 8 for this reason); we return the LS result
+in that case.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.common import even_split_layer_cycles, prepare
+from repro.baselines.ls import run_layer_sequential
+from repro.config import ArchConfig
+from repro.engine.energy import atom_energy
+from repro.ir.graph import Graph
+from repro.ir.ops import Input, Region
+from repro.metrics import EnergyBreakdown, RunResult
+
+
+def _assign_layers_to_clps(
+    layer_costs: dict[int, int], num_clps: int
+) -> list[list[int]]:
+    """Greedy makespan-balancing assignment of layers to CLPs.
+
+    Sorted-by-cost longest-processing-time placement; data dependencies are
+    irrelevant to the assignment because CLPs communicate through DRAM and
+    images pipeline at layer granularity.
+    """
+    clp_layers: list[list[int]] = [[] for _ in range(num_clps)]
+    clp_load = [0] * num_clps
+    for layer in sorted(layer_costs, key=lambda l: -layer_costs[l]):
+        i = min(range(num_clps), key=lambda j: clp_load[j])
+        clp_layers[i].append(layer)
+        clp_load[i] += layer_costs[layer]
+    return clp_layers
+
+
+def run_cnn_partition(
+    graph: Graph,
+    arch: ArchConfig,
+    dataflow: str = "kc",
+    batch: int = 1,
+    num_clps: int | None = None,
+) -> RunResult:
+    """Simulate the CNN-P strategy analytically.
+
+    Args:
+        graph: The workload.
+        arch: Machine configuration.
+        dataflow: Engine dataflow ("kc" or "yx").
+        batch: Batch size; 1 falls back to LS (no pipelining possible).
+        num_clps: CLP count; when None, 2/4/8 are tried and the best kept.
+
+    Returns:
+        The :class:`RunResult` labelled ``"CNN-P"``.
+    """
+    if batch <= 1:
+        result = run_layer_sequential(graph, arch, dataflow, batch=1)
+        return _relabel(result, "CNN-P")
+    if num_clps is None:
+        candidates = [
+            run_cnn_partition(graph, arch, dataflow, batch, k)
+            for k in (2, 4, 8)
+            if arch.num_engines % k == 0 and arch.num_engines // k >= 1
+        ]
+        return min(candidates, key=lambda r: r.total_cycles)
+
+    fused, cost_model = prepare(graph, arch, dataflow)
+    engines_per_clp = arch.num_engines // num_clps
+    layer_cycles = even_split_layer_cycles(fused, cost_model, engines_per_clp)
+    clp_layers = _assign_layers_to_clps(layer_cycles, num_clps)
+
+    # Per-image time on each CLP: every layer's compute overlaps (double
+    # buffering) with its own DRAM round-trip of ifmap + weights + ofmap.
+    bpe = arch.bytes_per_element
+    bw_cycles_per_byte = arch.engine.frequency_hz / arch.hbm.peak_bandwidth_bytes_per_s
+    dram_bytes_per_image = 0
+    clp_time = [0] * num_clps
+    macs_total = 0
+    mac_pj = 0.0
+    sram_pj = 0.0
+    for i, layers in enumerate(clp_layers):
+        for layer in layers:
+            node = fused.node(layer)
+            in_shapes = fused.input_shapes(layer)
+            full = Region.full(node.output_shape)
+            cost = cost_model.cost(node.op, in_shapes, full)
+            io_bytes = cost.ifmap_bytes + cost.weight_bytes + cost.ofmap_bytes
+            dram_bytes_per_image += io_bytes
+            io_cycles = math.ceil(io_bytes * bw_cycles_per_byte)
+            clp_time[i] += max(layer_cycles[layer], io_cycles)
+            macs_total += cost.macs
+            e = atom_energy(cost, arch.energy)
+            mac_pj += e.mac_pj
+            sram_pj += e.sram_pj
+
+    # The segment advances at the slowest CLP's pace; a batch of B images
+    # pipelines with fill time of one stage per CLP.
+    stage = max(clp_time)
+    total_cycles = stage * batch + sum(clp_time) - stage
+    compute_cycles = total_cycles
+
+    dram_read = int(dram_bytes_per_image * batch * 2 / 3)
+    dram_write = int(dram_bytes_per_image * batch) - dram_read
+    dram_pj = 8 * dram_bytes_per_image * batch * arch.energy.hbm_pj_per_bit
+    seconds = total_cycles / arch.engine.frequency_hz
+    static_pj = arch.energy.static_w_per_engine * arch.num_engines * seconds * 1e12
+    energy = EnergyBreakdown(
+        mac_pj=mac_pj * batch,
+        sram_pj=sram_pj * batch,
+        noc_pj=0.0,
+        dram_pj=dram_pj,
+        static_pj=static_pj,
+    )
+    peak = total_cycles * arch.num_engines * arch.engine.macs_per_cycle
+    return RunResult(
+        strategy="CNN-P",
+        workload=fused.name,
+        batch=batch,
+        total_cycles=total_cycles,
+        compute_cycles=compute_cycles,
+        noc_blocking_cycles=0,
+        dram_blocking_cycles=0,
+        num_rounds=0,
+        pe_utilization=(macs_total * batch) / peak if peak else 0.0,
+        onchip_reuse_ratio=0.0,
+        dram_bytes_read=dram_read,
+        dram_bytes_written=dram_write,
+        noc_bytes_hops=0,
+        energy=energy,
+        frequency_hz=arch.engine.frequency_hz,
+    )
+
+
+def cnn_partition_utilization(
+    graph: Graph, arch: ArchConfig, dataflow: str = "kc", num_clps: int = 4
+) -> float:
+    """Compute-only PE utilization of CNN-P (Table II row, no memory delay).
+
+    In steady state every CLP works continuously on its own layers, so
+    utilization is the MAC total against the peak over the slowest CLP's
+    per-image time (the pipeline's stage time).
+    """
+    fused, cost_model = prepare(graph, arch, dataflow)
+    engines_per_clp = arch.num_engines // num_clps
+    layer_cycles = even_split_layer_cycles(fused, cost_model, engines_per_clp)
+    clp_layers = _assign_layers_to_clps(layer_cycles, num_clps)
+    stage = max(
+        sum(layer_cycles[l] for l in layers) for layers in clp_layers
+    )
+    macs = 0
+    for node in fused.nodes:
+        if isinstance(node.op, Input) or not node.op.is_compute_heavy:
+            continue
+        macs += node.op.macs_for_region(
+            fused.input_shapes(node.node_id), Region.full(node.output_shape)
+        )
+    peak = stage * arch.num_engines * arch.engine.macs_per_cycle
+    return min(1.0, macs / peak) if peak else 0.0
+
+
+def _relabel(result: RunResult, strategy: str) -> RunResult:
+    from dataclasses import replace
+
+    return replace(result, strategy=strategy)

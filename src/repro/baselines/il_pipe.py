@@ -1,0 +1,177 @@
+"""Inter-Layer Pipelining (IL-Pipe) baseline [Tangram, ASPLOS'19].
+
+All engines are partitioned into contiguous regions, one per layer, sized
+in proportion to each layer's computation; cascaded layers map to adjacent
+regions so intermediate feature maps move over the NoC instead of DRAM
+(Fig. 3(b) of the paper).  The pipeline advances at the slowest region's
+pace and suffers fill/drain overhead; the ALLO fine-grained pipelining
+enhancement the paper grants this baseline halves that overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.common import even_split_layer_cycles, prepare
+from repro.config import ArchConfig
+from repro.engine.energy import atom_energy
+from repro.ir.graph import Graph
+from repro.ir.ops import Input, Region
+from repro.metrics import EnergyBreakdown, RunResult
+
+
+def _proportional_regions(
+    layer_macs: dict[int, int], num_engines: int
+) -> dict[int, int]:
+    """Engines per layer, proportional to MACs, each layer at least one.
+
+    When layers outnumber engines, the network is processed in consecutive
+    *spans* of at most ``num_engines`` layers; this function handles one
+    span (callers split).
+    """
+    if len(layer_macs) > num_engines:
+        raise ValueError("one span may hold at most num_engines layers")
+    total = sum(layer_macs.values()) or 1
+    alloc = {l: 1 for l in layer_macs}
+    spare = num_engines - len(layer_macs)
+    # Largest-remainder apportionment of the spare engines.
+    quotas = {
+        l: spare * layer_macs[l] / total for l in layer_macs
+    }
+    for l in quotas:
+        alloc[l] += int(quotas[l])
+    leftovers = spare - sum(int(q) for q in quotas.values())
+    by_frac = sorted(quotas, key=lambda l: quotas[l] - int(quotas[l]), reverse=True)
+    for l in by_frac[:leftovers]:
+        alloc[l] += 1
+    return alloc
+
+
+def run_il_pipe(
+    graph: Graph, arch: ArchConfig, dataflow: str = "kc", batch: int = 1
+) -> RunResult:
+    """Simulate IL-Pipe analytically.
+
+    Layers are processed in spans of at most N layers; within a span each
+    layer owns a proportional engine region and images stream through.
+    Latency pays half the fill/drain (ALLO); throughput is gated by the
+    slowest region.
+
+    Returns:
+        The :class:`RunResult` labelled ``"IL-Pipe"``.
+    """
+    fused, cost_model = prepare(graph, arch, dataflow)
+    n = arch.num_engines
+    layers = [
+        node for node in fused.nodes if not isinstance(node.op, Input)
+    ]
+    layer_macs = {
+        node.node_id: node.op.macs_for_region(
+            fused.input_shapes(node.node_id), Region.full(node.output_shape)
+        )
+        for node in layers
+    }
+
+    mac_pj = 0.0
+    sram_pj = 0.0
+    noc_pj = 0.0
+    noc_bytes_hops = 0
+    dram_bytes = 0
+    total_cycles = 0
+    macs_total = sum(layer_macs.values())
+    bpe = arch.bytes_per_element
+
+    span_ids = [
+        [node.node_id for node in layers[i:i + n]]
+        for i in range(0, len(layers), n)
+    ]
+    for span in span_ids:
+        alloc = _proportional_regions(
+            {l: layer_macs[l] for l in span}, n
+        )
+        stage_times: dict[int, int] = {}
+        for l in span:
+            cycles = even_split_layer_cycles_single(
+                fused, cost_model, l, alloc[l]
+            )
+            stage_times[l] = cycles
+        stage = max(stage_times.values())
+        fill = sum(stage_times.values()) - stage
+        # ALLO halves the fill/drain penalty.
+        total_cycles += stage * batch + fill // 2
+
+        for l in span:
+            node = fused.node(l)
+            in_shapes = fused.input_shapes(l)
+            cost = cost_model.cost(node.op, in_shapes, Region.full(node.output_shape))
+            e = atom_energy(cost, arch.energy)
+            mac_pj += e.mac_pj * batch
+            sram_pj += e.sram_pj * batch
+            # Weights come from DRAM once per span traversal; feature maps
+            # ride the NoC between adjacent regions (~sqrt(region) hops).
+            dram_bytes += cost.weight_bytes
+            hops = max(1, int(math.sqrt(alloc[l])))
+            fmap_bits = 8 * cost.ofmap_bytes * batch
+            noc_pj += fmap_bits * hops * arch.energy.noc_pj_per_bit_hop
+            noc_bytes_hops += cost.ofmap_bytes * hops * batch
+        # Span boundaries spill the boundary feature map to DRAM.
+        boundary = fused.node(span[-1]).output_shape.num_elements * bpe
+        dram_bytes += boundary * batch
+
+    dram_pj = 8 * dram_bytes * arch.energy.hbm_pj_per_bit
+    seconds = total_cycles / arch.engine.frequency_hz
+    static_pj = arch.energy.static_w_per_engine * n * seconds * 1e12
+    energy = EnergyBreakdown(
+        mac_pj=mac_pj,
+        sram_pj=sram_pj,
+        noc_pj=noc_pj,
+        dram_pj=dram_pj,
+        static_pj=static_pj,
+    )
+    peak = total_cycles * n * arch.engine.macs_per_cycle
+    served = noc_bytes_hops + dram_bytes
+    return RunResult(
+        strategy="IL-Pipe",
+        workload=fused.name,
+        batch=batch,
+        total_cycles=total_cycles,
+        compute_cycles=total_cycles,
+        noc_blocking_cycles=0,
+        dram_blocking_cycles=0,
+        num_rounds=0,
+        pe_utilization=(macs_total * batch) / peak if peak else 0.0,
+        onchip_reuse_ratio=(noc_bytes_hops / served) if served else 0.0,
+        dram_bytes_read=int(dram_bytes * 0.6),
+        dram_bytes_written=dram_bytes - int(dram_bytes * 0.6),
+        noc_bytes_hops=noc_bytes_hops,
+        energy=energy,
+        frequency_hz=arch.engine.frequency_hz,
+    )
+
+
+def even_split_layer_cycles_single(
+    graph: Graph, cost_model, layer: int, num_engines: int
+) -> int:
+    """Cycles of one layer evenly split across a region of engines."""
+    cycles = even_split_layer_cycles(
+        _single_layer_view(graph, layer), cost_model, num_engines
+    )
+    return cycles[layer]
+
+
+class _single_layer_view:
+    """Adapter presenting one layer of a graph to even_split_layer_cycles."""
+
+    def __init__(self, graph: Graph, layer: int) -> None:
+        self._graph = graph
+        self._layer = layer
+
+    @property
+    def nodes(self):
+        return (self._graph.node(self._layer),)
+
+    def input_shapes(self, node_id: int):
+        return self._graph.input_shapes(node_id)
+
+    def node(self, node_id: int):
+        return self._graph.node(node_id)

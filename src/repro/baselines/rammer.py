@@ -1,0 +1,37 @@
+"""Rammer-like baseline [Ma et al., OSDI'20] for the Sec. V-D comparison.
+
+Rammer co-locates fine-grained rTasks of independent operators on the
+accelerator but — as the paper's related-work section notes — does not
+derive task granularity from the PE microarchitecture, does not optimize
+spatial data reuse or inter-array communication, and does not fuse layers.
+We model it as: LS-style even tiling (no SA), greedy readiness-order
+co-scheduling across operators (its core contribution), and naive zig-zag
+mapping.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ls_atomic_dag, prepare
+from repro.config import ArchConfig
+from repro.ir.graph import Graph
+from repro.mapping.placement import zigzag_placement
+from repro.metrics import RunResult
+from repro.noc.torus import make_topology
+from repro.scheduling.dp import schedule_greedy
+from repro.sim.simulator import SystemSimulator
+
+
+def run_rammer(
+    graph: Graph, arch: ArchConfig, dataflow: str = "kc", batch: int = 1
+) -> RunResult:
+    """Simulate the Rammer-like strategy.
+
+    Returns:
+        The :class:`RunResult` labelled ``"Rammer"``.
+    """
+    fused, cost_model = prepare(graph, arch, dataflow)
+    dag = ls_atomic_dag(fused, arch, cost_model, batch)
+    schedule = schedule_greedy(dag, arch.num_engines)
+    mesh = make_topology(arch.mesh_rows, arch.mesh_cols, arch.noc.topology)
+    placement = zigzag_placement(dag, mesh, schedule)
+    return SystemSimulator(arch, dag, strategy="Rammer").run(schedule, placement)

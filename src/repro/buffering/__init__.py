@@ -1,0 +1,5 @@
+"""On-chip buffering strategy (the paper's Algorithm 3)."""
+
+from repro.buffering.policy import BufferPolicy, Eviction, weight_entry_key
+
+__all__ = ["BufferPolicy", "Eviction", "weight_entry_key"]

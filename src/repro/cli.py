@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``models`` — list the model zoo and Table I characteristics.
+* ``optimize`` — run the atomic-dataflow framework on one workload and
+  print the solution (optionally save it as JSON).
+* ``compare`` — run AD and the baselines on one workload, print the table.
+* ``dse`` — engine-grid design-space sweep under a fixed silicon budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.atoms.generation import SAParams
+from repro.baselines import (
+    ideal_result,
+    run_cnn_partition,
+    run_il_pipe,
+    run_layer_sequential,
+    run_rammer,
+)
+from repro.config import ArchConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import available_models, characterize, get_model
+from repro.report import comparison_table, render_gantt, summarize_schedule
+from repro.serialize import save_solution
+
+
+def _parse_mesh(spec: str) -> tuple[int, int]:
+    try:
+        rows, cols = spec.lower().split("x")
+        return int(rows), int(cols)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like 4x4, got {spec!r}"
+        ) from None
+
+
+def _arch_from_args(args: argparse.Namespace) -> ArchConfig:
+    rows, cols = args.mesh
+    return ArchConfig(mesh_rows=rows, mesh_cols=cols)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", required=True, help="model zoo name")
+    p.add_argument(
+        "--mesh", type=_parse_mesh, default=(4, 4),
+        help="engine grid, e.g. 8x8 (default 4x4)",
+    )
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--dataflow", choices=("kc", "yx", "kcw"), default="kc")
+    p.add_argument(
+        "--sa-iterations", type=int, default=120,
+        help="simulated-annealing iteration budget",
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    print(f"{'name':<22}{'layers':>8}{'params':>12}{'GMACs':>9}  class")
+    for name in available_models():
+        info = characterize(name)
+        print(
+            f"{name:<22}{info.num_layers:>8}"
+            f"{info.num_params / 1e6:>11.1f}M"
+            f"{info.total_macs / 1e9:>9.2f}  {info.characteristics}"
+        )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    arch = _arch_from_args(args)
+    graph = get_model(args.model)
+    options = OptimizerOptions(
+        dataflow=args.dataflow,
+        batch=args.batch,
+        scheduler=args.scheduler,
+        sa_params=SAParams(max_iterations=args.sa_iterations),
+        seed=args.seed,
+    )
+    outcome = AtomicDataflowOptimizer(graph, arch, options).optimize()
+    r = outcome.result
+    summary = summarize_schedule(outcome.dag, outcome.schedule, arch.num_engines)
+    print(
+        f"{graph.name} on {arch.mesh_rows}x{arch.mesh_cols} engines "
+        f"({args.dataflow.upper()}-Partition, batch {args.batch})\n"
+        f"  search time       : {outcome.search_seconds:.1f} s\n"
+        f"  atoms / rounds    : {outcome.dag.num_atoms} / {summary.num_rounds}\n"
+        f"  engine occupancy  : {summary.mean_occupancy:.1%}"
+        f" ({summary.layers_per_round:.1f} layers/round)\n"
+        f"  latency           : {r.latency_ms:.3f} ms"
+        f" ({r.throughput_fps:.1f} fps)\n"
+        f"  PE utilization    : {r.pe_utilization:.1%}\n"
+        f"  on-chip reuse     : {r.onchip_reuse_ratio:.1%}\n"
+        f"  NoC blocking      : {r.noc_overhead_fraction:.1%}\n"
+        f"  energy            : {r.energy.total_mj:.2f} mJ"
+    )
+    if args.gantt:
+        print()
+        print(
+            render_gantt(
+                outcome.dag, outcome.schedule, outcome.placement,
+                arch.num_engines, max_rounds=args.gantt,
+            )
+        )
+    if args.save:
+        save_solution(outcome, args.save, dataflow=args.dataflow)
+        print(f"\nsolution written to {args.save}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    arch = _arch_from_args(args)
+    graph = get_model(args.model)
+    options = OptimizerOptions(
+        dataflow=args.dataflow,
+        batch=args.batch,
+        scheduler=args.scheduler,
+        sa_params=SAParams(max_iterations=args.sa_iterations),
+        seed=args.seed,
+    )
+    results = [
+        AtomicDataflowOptimizer(graph, arch, options).optimize().result,
+        run_layer_sequential(graph, arch, args.dataflow, args.batch),
+        run_cnn_partition(graph, arch, args.dataflow, args.batch),
+        run_il_pipe(graph, arch, args.dataflow, args.batch),
+        run_rammer(graph, arch, args.dataflow, args.batch),
+        ideal_result(graph, arch, args.dataflow, args.batch),
+    ]
+    print(comparison_table(results))
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.config import EngineConfig
+
+    graph = get_model(args.model)
+    rows, cols = args.budget_mesh
+    budget = ArchConfig(
+        mesh_rows=1,
+        mesh_cols=1,
+        engine=EngineConfig(
+            pe_rows=rows * 16, pe_cols=cols * 16,
+            buffer_bytes=rows * cols * 128 * 1024,
+        ),
+    )
+    print(
+        f"budget: {budget.total_pes} PEs, "
+        f"{budget.total_buffer_bytes // 1024} KB SRAM"
+    )
+    grids = [(1, 1), (2, 2), (4, 4), (8, 8)]
+    best = None
+    for gr, gc in grids:
+        try:
+            arch = budget.repartitioned(gr, gc)
+        except ValueError:
+            continue
+        options = OptimizerOptions(
+            dataflow=args.dataflow,
+            batch=args.batch,
+            scheduler="greedy",
+            sa_params=SAParams(max_iterations=args.sa_iterations),
+            seed=args.seed,
+        )
+        r = AtomicDataflowOptimizer(graph, arch, options).optimize().result
+        if best is None or r.total_cycles < best[1]:
+            best = (f"{gr}x{gc}", r.total_cycles)
+        print(
+            f"  {gr}x{gc}: {r.total_cycles:>10} cycles "
+            f"(util {r.pe_utilization:.1%})"
+        )
+    assert best is not None
+    print(f"sweet spot: {best[0]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atomic dataflow workload orchestration (HPCA 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    p_opt = sub.add_parser("optimize", help="optimize one workload")
+    _add_common(p_opt)
+    p_opt.add_argument(
+        "--scheduler", choices=("dp", "greedy", "exact"), default="dp"
+    )
+    p_opt.add_argument(
+        "--gantt", type=int, default=0, metavar="ROUNDS",
+        help="print an engine-occupancy chart for the first N rounds",
+    )
+    p_opt.add_argument("--save", help="write the solution JSON here")
+
+    p_cmp = sub.add_parser("compare", help="AD vs all baselines")
+    _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--scheduler", choices=("dp", "greedy", "exact"), default="dp"
+    )
+
+    p_dse = sub.add_parser("dse", help="engine-grid design-space sweep")
+    _add_common(p_dse)
+    p_dse.add_argument(
+        "--budget-mesh", type=_parse_mesh, default=(4, 4),
+        help="budget expressed as an equivalent engine grid (default 4x4)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": _cmd_models,
+        "optimize": _cmd_optimize,
+        "compare": _cmd_compare,
+        "dse": _cmd_dse,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Single-engine analytical cost model (MAESTRO substitute)."""
+
+from repro.engine.cost_model import EngineCost, EngineCostModel
+from repro.engine.dataflow import (
+    ConvDims,
+    Dataflow,
+    KCPartition,
+    KCWPartition,
+    YXPartition,
+    conv_dims_for_region,
+    get_dataflow,
+)
+from repro.engine.energy import AtomEnergy, atom_energy
+
+__all__ = [
+    "AtomEnergy",
+    "ConvDims",
+    "Dataflow",
+    "EngineCost",
+    "EngineCostModel",
+    "KCPartition",
+    "KCWPartition",
+    "YXPartition",
+    "atom_energy",
+    "conv_dims_for_region",
+    "get_dataflow",
+]

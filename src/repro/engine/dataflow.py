@@ -1,0 +1,228 @@
+"""Spatial dataflow strategies for a single 2D-PE-array engine.
+
+A dataflow decides which two loop variables of a CONV layer are unrolled
+spatially across the PE array (the rest iterate temporally).  The paper uses
+the two canonical strategies from MAESTRO's taxonomy:
+
+* **KC-Partition** (NVDLA style): input channels across PE rows, output
+  channels across PE columns; weights stay stationary per PE.
+* **YX-Partition** (ShiDianNao style): output-feature-map rows across PE
+  rows, columns across PE columns.
+
+The spatially unrolled extents determine PE coverage, hence the atom-size
+rule of Sec. IV-A: the unrolled atom dimensions should be multiples of the
+array dimensions (``c_2 x PE_x``, ``c_3 x PE_y`` for KC-Partition).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.config import EngineConfig
+from repro.ir.ops import Conv2D, FullyConnected, Op, Region
+from repro.ir.tensor import TensorShape
+
+
+@dataclass(frozen=True)
+class ConvDims:
+    """The six loop extents of one CONV tile (atom).
+
+    Attributes:
+        h: Output tile height (``h_p``).
+        w: Output tile width (``w_p``).
+        ci: Input channels reduced per output (per group).
+        co: Output channels produced by the tile (``c_p^o``).
+        kh: Kernel height.
+        kw: Kernel width.
+    """
+
+    h: int
+    w: int
+    ci: int
+    co: int
+    kh: int
+    kw: int
+
+    @property
+    def macs(self) -> int:
+        return self.h * self.w * self.ci * self.co * self.kh * self.kw
+
+
+def conv_dims_for_region(
+    op: Op, in_shapes: tuple[TensorShape, ...], region: Region
+) -> ConvDims:
+    """Extract CONV loop extents for an output region of a Conv/FC node.
+
+    Raises:
+        TypeError: For ops that do not run on the PE array.
+    """
+    if isinstance(op, Conv2D):
+        (x,) = in_shapes
+        return ConvDims(
+            h=region.height,
+            w=region.width,
+            ci=x.channels // op.groups,
+            co=region.channels,
+            kh=op.kernel[0],
+            kw=op.kernel[1],
+        )
+    if isinstance(op, FullyConnected):
+        (x,) = in_shapes
+        # FC as CONV with H_o = W_o = K = 1 (footnote 2 of the paper).
+        return ConvDims(h=1, w=1, ci=x.num_elements, co=region.channels, kh=1, kw=1)
+    raise TypeError(f"{type(op).__name__} does not execute on the PE array")
+
+
+class Dataflow(abc.ABC):
+    """A spatial unrolling strategy for the 2D PE array."""
+
+    #: Short identifier used in configs and reports ("kc", "yx").
+    name: str
+
+    @abc.abstractmethod
+    def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
+        """The two loop extents mapped across (PE rows, PE columns)."""
+
+    @abc.abstractmethod
+    def temporal_iterations(self, dims: ConvDims) -> int:
+        """Product of the loop extents iterated sequentially."""
+
+    @abc.abstractmethod
+    def atom_tile(
+        self, coeffs: tuple[int, int, int, int], engine: EngineConfig
+    ) -> tuple[int, int, int, int]:
+        """Map SA coefficients ``(c0..c3)`` to tile sizes ``(h, w, ci, co)``.
+
+        Per Sec. IV-A, coefficients multiplying a spatially unrolled
+        dimension are scaled by the matching PE-array dimension so the
+        unrolled extent is divisible by the array, guaranteeing coverage.
+        """
+
+    def fill_cycles(self, engine: EngineConfig) -> int:
+        """Systolic pipeline fill/drain overhead, charged once per atom."""
+        return engine.pe_rows + engine.pe_cols
+
+    @abc.abstractmethod
+    def weight_elements_per_pass(
+        self, dims: ConvDims, engine: EngineConfig
+    ) -> int:
+        """Weight values an array pass consumes.
+
+        Weights enter through the engine's buffer port; with double-buffered
+        weight registers the reload of pass ``k+1`` overlaps the compute of
+        pass ``k``, so a pass takes ``max(temporal, reload)`` cycles.  This
+        is the microarchitectural source of the paper's task-engine
+        *mismatch*: tiles whose temporal loop is shorter than the weight
+        reload leave the array idle (Sec. II-B / Sec. IV-A).
+        """
+
+
+class KCPartition(Dataflow):
+    """NVDLA-style: input channels on rows, output channels on columns."""
+
+    name = "kc"
+
+    def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
+        return dims.ci, dims.co
+
+    def temporal_iterations(self, dims: ConvDims) -> int:
+        return dims.h * dims.w * dims.kh * dims.kw
+
+    def atom_tile(self, coeffs, engine) -> tuple[int, int, int, int]:
+        c0, c1, c2, c3 = coeffs
+        return c0, c1, c2 * engine.pe_rows, c3 * engine.pe_cols
+
+    def weight_elements_per_pass(self, dims: ConvDims, engine: EngineConfig) -> int:
+        # One stationary weight per active PE, refreshed at each (kh, kw)
+        # step of the temporal loop.
+        active = min(dims.ci, engine.pe_rows) * min(dims.co, engine.pe_cols)
+        return active * dims.kh * dims.kw
+
+
+class YXPartition(Dataflow):
+    """ShiDianNao-style: ofmap height on rows, ofmap width on columns."""
+
+    name = "yx"
+
+    def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
+        return dims.h, dims.w
+
+    def temporal_iterations(self, dims: ConvDims) -> int:
+        return dims.ci * dims.co * dims.kh * dims.kw
+
+    def atom_tile(self, coeffs, engine) -> tuple[int, int, int, int]:
+        c0, c1, c2, c3 = coeffs
+        return c0 * engine.pe_rows, c1 * engine.pe_cols, c2, c3
+
+    def weight_elements_per_pass(self, dims: ConvDims, engine: EngineConfig) -> int:
+        # Weights are broadcast: the pass streams the full ci x co x k x k
+        # filter set once while every PE works on its own output pixel.
+        return dims.ci * dims.co * dims.kh * dims.kw
+
+
+class KCWPartition(Dataflow):
+    """Flexible 3-parameter dataflow from the paper's Sec. VI discussion.
+
+    "More powerful arrays that can spatially map more than 2 loop
+    parameters ... can also benefit from atomic dataflow.  The key
+    adaptation is to merely change the atoms' coefficients: [h_p, w_p,
+    c_p^i, c_p^o] = [c0, c1 x PE_z, c2 x PE_x, c3 x PE_y]."
+
+    Modelled here: input channels across PE rows (as KC), while the columns
+    jointly unroll output channels *and* ``PE_z`` output-width positions.
+    Width positions sharing a filter reuse the same weights, so the per-pass
+    weight reload shrinks by the width-split factor — small-channel layers
+    that are reload-bound under KC regain utilization.
+
+    Attributes:
+        width_lanes: ``PE_z``, the width positions co-mapped per column
+            group (4 by default).
+    """
+
+    name = "kcw"
+
+    def __init__(self, width_lanes: int = 4) -> None:
+        if width_lanes <= 0:
+            raise ValueError("width_lanes must be positive")
+        self.width_lanes = width_lanes
+
+    def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
+        return dims.ci, dims.co * min(dims.w, self.width_lanes)
+
+    def temporal_iterations(self, dims: ConvDims) -> int:
+        return dims.h * -(-dims.w // min(dims.w, self.width_lanes)) * dims.kh * dims.kw
+
+    def atom_tile(self, coeffs, engine) -> tuple[int, int, int, int]:
+        c0, c1, c2, c3 = coeffs
+        return (
+            c0,
+            c1 * self.width_lanes,
+            c2 * engine.pe_rows,
+            c3 * max(1, engine.pe_cols // self.width_lanes),
+        )
+
+    def weight_elements_per_pass(self, dims: ConvDims, engine: EngineConfig) -> int:
+        # Width lanes broadcast-share filters: the column group needs one
+        # weight set per co lane, not per width lane.
+        z = min(dims.w, self.width_lanes)
+        active_cols = min(dims.co * z, engine.pe_cols)
+        co_lanes = max(1, active_cols // z)
+        return min(dims.ci, engine.pe_rows) * co_lanes * dims.kh * dims.kw
+
+
+_DATAFLOWS = {cls.name: cls for cls in (KCPartition, YXPartition, KCWPartition)}
+
+
+def get_dataflow(name: str) -> Dataflow:
+    """Look up a dataflow by name (``"kc"`` or ``"yx"``).
+
+    Raises:
+        KeyError: On unknown names.
+    """
+    try:
+        return _DATAFLOWS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown dataflow {name!r}; available: {sorted(_DATAFLOWS)}"
+        ) from None

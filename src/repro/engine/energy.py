@@ -1,0 +1,40 @@
+"""Per-atom energy accounting for a single engine.
+
+Splits an atom's energy into MAC, local-SRAM, and (filled in later by the
+system simulator) NoC/HBM shares, using the Sec. V-A constants collected in
+:class:`repro.config.EnergyConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EnergyConfig
+from repro.engine.cost_model import EngineCost
+
+
+@dataclass(frozen=True)
+class AtomEnergy:
+    """Energy of one atom execution, in picojoules.
+
+    Attributes:
+        mac_pj: Arithmetic energy.
+        sram_pj: Local global-buffer read/write energy (inputs read once,
+            outputs written once; intra-array register reuse is folded into
+            ``mac_pj``).
+    """
+
+    mac_pj: float
+    sram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.mac_pj + self.sram_pj
+
+
+def atom_energy(cost: EngineCost, energy: EnergyConfig) -> AtomEnergy:
+    """Compute-side energy of one atom from its engine cost."""
+    mac_pj = cost.macs * energy.mac_pj
+    accessed_bits = 8 * (cost.ifmap_bytes + cost.weight_bytes + cost.ofmap_bytes)
+    sram_pj = accessed_bits * energy.sram_pj_per_bit
+    return AtomEnergy(mac_pj=mac_pj, sram_pj=sram_pj)

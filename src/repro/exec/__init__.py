@@ -1,0 +1,23 @@
+"""Functional executors: numpy reference and atom-wise verification."""
+
+from repro.exec.atomwise import (
+    AtomExecutionError,
+    execute_atom,
+    execute_atomwise,
+)
+from repro.exec.reference import (
+    WeightStore,
+    execute_graph,
+    execute_node,
+    random_weights,
+)
+
+__all__ = [
+    "AtomExecutionError",
+    "WeightStore",
+    "execute_atom",
+    "execute_atomwise",
+    "execute_graph",
+    "execute_node",
+    "random_weights",
+]

@@ -1,0 +1,206 @@
+"""Reference numpy executor for the graph IR.
+
+Executes a :class:`~repro.ir.graph.Graph` directly, layer by layer, with
+plain numpy — the functional ground truth used to verify that the atomic
+partitioning (tile grids, receptive-field algebra, concat channel offsets)
+computes exactly the same numbers when a network is executed atom by atom
+(:mod:`repro.exec.atomwise`).
+
+Tensors are numpy arrays in (H, W, C) layout, float64.  Weights are
+supplied per layer through a :class:`WeightStore`; use
+:func:`random_weights` for testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import (
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Pool,
+    ReLU,
+    Scale,
+    Sigmoid,
+)
+
+
+@dataclass
+class WeightStore:
+    """Per-layer parameters for functional execution.
+
+    Attributes:
+        conv: Layer id -> kernel array of shape (Kh, Kw, Ci_per_group, Co).
+        fc: Layer id -> weight matrix of shape (in_features, out_features).
+        bn: Layer id -> (scale, shift) arrays of shape (C,).
+    """
+
+    conv: dict[int, np.ndarray] = field(default_factory=dict)
+    fc: dict[int, np.ndarray] = field(default_factory=dict)
+    bn: dict[int, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+
+def random_weights(graph: Graph, rng: np.random.Generator) -> WeightStore:
+    """Draw random parameters matching every layer of a graph."""
+    store = WeightStore()
+    for node in graph.nodes:
+        op = node.op
+        in_shapes = graph.input_shapes(node.node_id)
+        if isinstance(op, Conv2D):
+            ci = in_shapes[0].channels // op.groups
+            store.conv[node.node_id] = rng.standard_normal(
+                (op.kernel[0], op.kernel[1], ci, op.out_channels)
+            )
+        elif isinstance(op, FullyConnected):
+            store.fc[node.node_id] = rng.standard_normal(
+                (in_shapes[0].num_elements, op.out_features)
+            )
+        elif isinstance(op, BatchNorm):
+            c = in_shapes[0].channels
+            store.bn[node.node_id] = (
+                rng.standard_normal(c),
+                rng.standard_normal(c),
+            )
+    return store
+
+
+def _conv2d(x: np.ndarray, kernel: np.ndarray, op: Conv2D) -> np.ndarray:
+    kh, kw, ci_g, co = kernel.shape
+    sh, sw = op.stride
+    ph, pw = op.padding
+    padded = np.pad(x, ((ph, ph), (pw, pw), (0, 0)))
+    out_h = (x.shape[0] + 2 * ph - kh) // sh + 1
+    out_w = (x.shape[1] + 2 * pw - kw) // sw + 1
+    out = np.zeros((out_h, out_w, co))
+    co_per_group = co // op.groups
+    for g in range(op.groups):
+        xin = padded[:, :, g * ci_g:(g + 1) * ci_g]
+        kg = kernel[:, :, :, g * co_per_group:(g + 1) * co_per_group]
+        for i in range(out_h):
+            for j in range(out_w):
+                window = xin[i * sh:i * sh + kh, j * sw:j * sw + kw, :]
+                out[i, j, g * co_per_group:(g + 1) * co_per_group] = np.tensordot(
+                    window, kg, axes=([0, 1, 2], [0, 1, 2])
+                )
+    return out
+
+
+def _pool(x: np.ndarray, op: Pool) -> np.ndarray:
+    kh, kw = op.kernel
+    sh, sw = op.stride
+    ph, pw = op.padding
+    if op.kind == "max":
+        pad_value = -np.inf
+    else:
+        pad_value = 0.0
+    padded = np.pad(
+        x, ((ph, ph), (pw, pw), (0, 0)), constant_values=pad_value
+    )
+    out_h = (x.shape[0] + 2 * ph - kh) // sh + 1
+    out_w = (x.shape[1] + 2 * pw - kw) // sw + 1
+    out = np.zeros((out_h, out_w, x.shape[2]))
+    for i in range(out_h):
+        for j in range(out_w):
+            window = padded[i * sh:i * sh + kh, j * sw:j * sw + kw, :]
+            if op.kind == "max":
+                out[i, j] = window.max(axis=(0, 1))
+            else:
+                out[i, j] = window.mean(axis=(0, 1))
+    return out
+
+
+def execute_node(
+    node: Node,
+    inputs: list[np.ndarray],
+    weights: WeightStore,
+) -> np.ndarray:
+    """Execute one layer on concrete inputs.
+
+    Raises:
+        TypeError: For unsupported operators.
+    """
+    op = node.op
+    if isinstance(op, Input):
+        raise TypeError("Input nodes are fed externally")
+    if isinstance(op, Conv2D):
+        return _conv2d(inputs[0], weights.conv[node.node_id], op)
+    if isinstance(op, FullyConnected):
+        flat = inputs[0].reshape(-1)
+        return (flat @ weights.fc[node.node_id]).reshape(1, 1, -1)
+    if isinstance(op, Pool):
+        return _pool(inputs[0], op)
+    if isinstance(op, GlobalPool):
+        return inputs[0].mean(axis=(0, 1), keepdims=True)
+    if isinstance(op, ReLU):
+        return np.maximum(inputs[0], 0.0)
+    if isinstance(op, Sigmoid):
+        return 1.0 / (1.0 + np.exp(-inputs[0]))
+    if isinstance(op, BatchNorm):
+        scale, shift = weights.bn[node.node_id]
+        return inputs[0] * scale + shift
+    if isinstance(op, Add):
+        return np.sum(inputs, axis=0)
+    if isinstance(op, Scale):
+        return inputs[0] * inputs[1][0, 0, :]
+    if isinstance(op, Concat):
+        return np.concatenate(inputs, axis=2)
+    raise TypeError(f"unsupported op {type(op).__name__}")
+
+
+def execute_graph(
+    graph: Graph,
+    feeds: dict[int, np.ndarray],
+    weights: WeightStore,
+) -> dict[int, np.ndarray]:
+    """Run the whole graph, returning every node's output tensor.
+
+    Args:
+        graph: The network.
+        feeds: Input-node id -> concrete tensor (H, W, C).
+        weights: Layer parameters.
+
+    Returns:
+        Node id -> output array, for all nodes including inputs.
+
+    Raises:
+        ValueError: When a graph input has no feed or a feed mismatches
+            the declared shape.
+    """
+    values: dict[int, np.ndarray] = {}
+    for node in graph.nodes:
+        if isinstance(node.op, Input):
+            if node.node_id not in feeds:
+                raise ValueError(f"missing feed for input {node.name!r}")
+            x = np.asarray(feeds[node.node_id], dtype=float)
+            expected = (
+                node.output_shape.height,
+                node.output_shape.width,
+                node.output_shape.channels,
+            )
+            if x.shape != expected:
+                raise ValueError(
+                    f"feed for {node.name!r} has shape {x.shape}, "
+                    f"expected {expected}"
+                )
+            values[node.node_id] = x
+            continue
+        ins = [values[i] for i in node.inputs]
+        out = execute_node(node, ins, weights)
+        expected = (
+            node.output_shape.height,
+            node.output_shape.width,
+            node.output_shape.channels,
+        )
+        assert out.shape == expected, (
+            f"{node.name}: executor produced {out.shape}, IR says {expected}"
+        )
+        values[node.node_id] = out
+    return values

@@ -1,0 +1,45 @@
+"""Graph intermediate representation: tensors, operators, DAGs, builders."""
+
+from repro.ir.builder import GraphBuilder, graph_from_spec, graph_to_spec
+from repro.ir.compose import merge_graphs, subgraph_layers
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import (
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Op,
+    Pool,
+    Region,
+    ReLU,
+    Scale,
+    Sigmoid,
+)
+from repro.ir.tensor import TensorShape
+
+__all__ = [
+    "Add",
+    "BatchNorm",
+    "Concat",
+    "Conv2D",
+    "FullyConnected",
+    "GlobalPool",
+    "Graph",
+    "GraphBuilder",
+    "Input",
+    "Node",
+    "Op",
+    "Pool",
+    "ReLU",
+    "Scale",
+    "Region",
+    "Sigmoid",
+    "TensorShape",
+    "graph_from_spec",
+    "graph_to_spec",
+    "merge_graphs",
+    "subgraph_layers",
+]

@@ -1,0 +1,355 @@
+"""Fluent front-end for constructing DNN graphs.
+
+This plays the role of the paper's ONNX front-end parser: downstream stages
+only ever see the :class:`~repro.ir.graph.Graph`, so building it
+programmatically (the model zoo) or from a serialized description
+(:func:`graph_from_spec`) exercises identical code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.graph import Graph
+from repro.ir.ops import (
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    GlobalPool,
+    Pool,
+    ReLU,
+    Scale,
+    Sigmoid,
+)
+from repro.ir.tensor import TensorShape
+
+
+@dataclass
+class GraphBuilder:
+    """Builds a :class:`Graph` with composite-layer helpers.
+
+    Helpers return node ids, so arbitrary wiring (residuals, branches,
+    NAS cells) is expressed by passing ids around.
+
+    Attributes:
+        graph: The graph under construction.
+        fold_batchnorm: When True (default), ``conv_bn_relu`` folds BN into
+            the conv at inference time instead of emitting a BN node, as
+            deployment compilers do.  Set False to keep explicit BN nodes.
+    """
+
+    name: str = "model"
+    fold_batchnorm: bool = True
+    graph: Graph = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.graph = Graph(name=self.name)
+
+    def input(self, height: int, width: int, channels: int, name: str = "input") -> int:
+        """Add the network input tensor."""
+        return self.graph.add_input(TensorShape(height, width, channels), name)
+
+    def conv(
+        self,
+        src: int,
+        out_channels: int,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] | str = "same",
+        groups: int = 1,
+        name: str | None = None,
+    ) -> int:
+        """Add a Conv2D node.
+
+        Args:
+            src: Producer node id.
+            out_channels: Output channel count.
+            kernel: Square size or (kh, kw).
+            stride: Square stride or (sh, sw).
+            padding: Explicit pad, or ``"same"`` (half-kernel) / ``"valid"``.
+            groups: Channel groups (set to input channels for depthwise).
+            name: Optional node name.
+        """
+        k = kernel if isinstance(kernel, tuple) else (kernel, kernel)
+        s = stride if isinstance(stride, tuple) else (stride, stride)
+        if padding == "same":
+            p = (k[0] // 2, k[1] // 2)
+        elif padding == "valid":
+            p = (0, 0)
+        elif isinstance(padding, int):
+            p = (padding, padding)
+        else:
+            p = padding
+        op = Conv2D(out_channels, kernel=k, stride=s, padding=p, groups=groups)
+        return self.graph.add(op, (src,), name)
+
+    def depthwise_conv(
+        self,
+        src: int,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] | str = "same",
+        name: str | None = None,
+    ) -> int:
+        """Depthwise conv: one filter per input channel."""
+        channels = self.graph.node(src).output_shape.channels
+        return self.conv(
+            src, channels, kernel=kernel, stride=stride, padding=padding,
+            groups=channels, name=name,
+        )
+
+    def separable_conv(
+        self,
+        src: int,
+        out_channels: int,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        name: str | None = None,
+    ) -> int:
+        """Depthwise-separable conv (depthwise followed by pointwise)."""
+        prefix = name or f"sep_{len(self.graph)}"
+        dw = self.depthwise_conv(
+            src, kernel=kernel, stride=stride, name=f"{prefix}_dw"
+        )
+        return self.conv(dw, out_channels, kernel=1, name=f"{prefix}_pw")
+
+    def relu(self, src: int, name: str | None = None) -> int:
+        return self.graph.add(ReLU(), (src,), name)
+
+    def sigmoid(self, src: int, name: str | None = None) -> int:
+        return self.graph.add(Sigmoid(), (src,), name)
+
+    def batch_norm(self, src: int, name: str | None = None) -> int:
+        return self.graph.add(BatchNorm(), (src,), name)
+
+    def conv_bn_relu(
+        self,
+        src: int,
+        out_channels: int,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] | str = "same",
+        groups: int = 1,
+        name: str | None = None,
+    ) -> int:
+        """The ubiquitous Conv -> BN -> ReLU block."""
+        prefix = name or f"cbr_{len(self.graph)}"
+        x = self.conv(
+            src, out_channels, kernel, stride, padding, groups,
+            name=f"{prefix}_conv",
+        )
+        if not self.fold_batchnorm:
+            x = self.batch_norm(x, name=f"{prefix}_bn")
+        return self.relu(x, name=f"{prefix}_relu")
+
+    def max_pool(
+        self,
+        src: int,
+        kernel: int | tuple[int, int] = 2,
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+        name: str | None = None,
+    ) -> int:
+        return self._pool("max", src, kernel, stride, padding, name)
+
+    def avg_pool(
+        self,
+        src: int,
+        kernel: int | tuple[int, int] = 2,
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+        name: str | None = None,
+    ) -> int:
+        return self._pool("avg", src, kernel, stride, padding, name)
+
+    def _pool(self, kind, src, kernel, stride, padding, name) -> int:
+        k = kernel if isinstance(kernel, tuple) else (kernel, kernel)
+        s = None if stride is None else (
+            stride if isinstance(stride, tuple) else (stride, stride)
+        )
+        p = padding if isinstance(padding, tuple) else (padding, padding)
+        return self.graph.add(
+            Pool(kind=kind, kernel=k, stride=s, padding=p), (src,), name
+        )
+
+    def global_avg_pool(self, src: int, name: str | None = None) -> int:
+        return self.graph.add(GlobalPool("avg"), (src,), name)
+
+    def add(self, *srcs: int, name: str | None = None) -> int:
+        """Elementwise sum join (residual connections)."""
+        return self.graph.add(Add(arity=len(srcs)), tuple(srcs), name)
+
+    def scale(self, src: int, gate: int, name: str | None = None) -> int:
+        """Channel-wise gating (squeeze-and-excitation multiply)."""
+        return self.graph.add(Scale(), (src, gate), name)
+
+    def concat(self, *srcs: int, name: str | None = None) -> int:
+        """Channel concatenation join (Inception/NAS branches)."""
+        return self.graph.add(Concat(arity=len(srcs)), tuple(srcs), name)
+
+    def fc(self, src: int, out_features: int, name: str | None = None) -> int:
+        """Fully-connected classification head."""
+        return self.graph.add(FullyConnected(out_features), (src,), name)
+
+    def build(self) -> Graph:
+        """Validate and return the finished graph."""
+        self.graph.validate()
+        return self.graph
+
+
+_SPEC_OPS = {
+    "conv": "conv",
+    "dwconv": "depthwise_conv",
+    "sepconv": "separable_conv",
+    "relu": "relu",
+    "sigmoid": "sigmoid",
+    "bn": "batch_norm",
+    "maxpool": "max_pool",
+    "avgpool": "avg_pool",
+    "gap": "global_avg_pool",
+    "add": "add",
+    "concat": "concat",
+    "scale": "scale",
+    "fc": "fc",
+}
+
+
+def graph_from_spec(spec: dict) -> Graph:
+    """Deserialize a graph from a plain-dict description.
+
+    The textual equivalent of the ONNX import path.  Format::
+
+        {"name": "tiny",
+         "input": [32, 32, 3],
+         "layers": [
+            {"op": "conv", "src": "input", "out_channels": 16, "kernel": 3},
+            {"op": "relu", "src": -1},                    # -1 = previous node
+            {"op": "add", "src": ["conv_1", -1]},
+         ]}
+
+    ``src`` accepts node names, explicit ids, or negative indices relative to
+    the nodes added so far.
+
+    Raises:
+        ValueError: On unknown op names or malformed entries.
+    """
+    builder = GraphBuilder(name=spec.get("name", "model"))
+    h, w, c = spec["input"]
+    builder.input(h, w, c)
+
+    def resolve(ref) -> int:
+        if isinstance(ref, str):
+            return builder.graph.by_name(ref).node_id
+        if ref < 0:
+            return len(builder.graph) + ref
+        return ref
+
+    for entry in spec["layers"]:
+        entry = dict(entry)
+        op_name = entry.pop("op")
+        if op_name not in _SPEC_OPS:
+            raise ValueError(f"unknown spec op {op_name!r}")
+        src = entry.pop("src")
+        for key in ("kernel", "stride", "padding"):
+            if isinstance(entry.get(key), list):
+                entry[key] = tuple(entry[key])
+        method = getattr(builder, _SPEC_OPS[op_name])
+        if op_name in ("add", "concat", "scale"):
+            srcs = [resolve(r) for r in src]
+            method(*srcs, **entry)
+        else:
+            method(resolve(src), **entry)
+    return builder.build()
+
+
+def graph_to_spec(graph: Graph) -> dict:
+    """Serialize a graph back into the plain-dict spec format.
+
+    The inverse of :func:`graph_from_spec` for graphs with exactly one
+    input; custom op parameters are preserved exactly, so
+    ``graph_from_spec(graph_to_spec(g))`` rebuilds an identical graph.
+
+    Raises:
+        ValueError: For graphs with multiple inputs or unsupported ops.
+    """
+    from repro.ir.ops import (
+        Add,
+        BatchNorm,
+        Concat,
+        Conv2D,
+        FullyConnected,
+        GlobalPool,
+        Input,
+        Pool,
+        ReLU,
+        Scale,
+        Sigmoid,
+    )
+
+    sources = graph.sources()
+    if len(sources) != 1:
+        raise ValueError("graph_to_spec supports exactly one input")
+    src_shape = graph.node(sources[0]).output_shape
+    layers: list[dict] = []
+    for node in graph.nodes:
+        op = node.op
+        if isinstance(op, Input):
+            continue
+        entry: dict = {"name": node.name}
+        if isinstance(op, Conv2D):
+            entry |= {
+                "op": "conv",
+                "src": graph.node(node.inputs[0]).name,
+                "out_channels": op.out_channels,
+                "kernel": list(op.kernel),
+                "stride": list(op.stride),
+                "padding": list(op.padding),
+                "groups": op.groups,
+            }
+        elif isinstance(op, FullyConnected):
+            entry |= {
+                "op": "fc",
+                "src": graph.node(node.inputs[0]).name,
+                "out_features": op.out_features,
+            }
+        elif isinstance(op, Pool):
+            entry |= {
+                "op": "maxpool" if op.kind == "max" else "avgpool",
+                "src": graph.node(node.inputs[0]).name,
+                "kernel": list(op.kernel),
+                "stride": list(op.stride),
+                "padding": list(op.padding),
+            }
+        elif isinstance(op, GlobalPool):
+            entry |= {"op": "gap", "src": graph.node(node.inputs[0]).name}
+        elif isinstance(op, ReLU):
+            entry |= {"op": "relu", "src": graph.node(node.inputs[0]).name}
+        elif isinstance(op, Sigmoid):
+            entry |= {"op": "sigmoid", "src": graph.node(node.inputs[0]).name}
+        elif isinstance(op, BatchNorm):
+            entry |= {"op": "bn", "src": graph.node(node.inputs[0]).name}
+        elif isinstance(op, Add):
+            entry |= {
+                "op": "add",
+                "src": [graph.node(i).name for i in node.inputs],
+            }
+        elif isinstance(op, Scale):
+            entry |= {
+                "op": "scale",
+                "src": [graph.node(i).name for i in node.inputs],
+            }
+        elif isinstance(op, Concat):
+            entry |= {
+                "op": "concat",
+                "src": [graph.node(i).name for i in node.inputs],
+            }
+        else:
+            raise ValueError(f"unsupported op {type(op).__name__}")
+        layers.append(entry)
+    return {
+        "name": graph.name,
+        "input": [src_shape.height, src_shape.width, src_shape.channels],
+        "layers": layers,
+    }

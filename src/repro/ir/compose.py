@@ -1,0 +1,64 @@
+"""Graph composition: co-schedule several networks as one workload.
+
+Scalable accelerators are increasingly shared between models (multi-tenant
+inference, HDA-style deployments).  Because the atomic DAG scheduler only
+sees vertices and dependencies, co-scheduling falls out naturally: merge
+the models into one graph with disjoint inputs and let the framework fill
+engines with atoms from whichever network has work ready.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph
+
+
+def merge_graphs(graphs: list[Graph], name: str | None = None) -> Graph:
+    """Union several independent graphs into one schedulable workload.
+
+    Node names are prefixed with their source graph's name (and position,
+    when names collide) so merged graphs stay introspectable.
+
+    Args:
+        graphs: The networks to co-schedule; each keeps its own input.
+        name: Name of the merged graph; defaults to joining the parts.
+
+    Returns:
+        A single validated :class:`Graph` containing every network.
+
+    Raises:
+        ValueError: When fewer than two graphs are given.
+    """
+    if len(graphs) < 2:
+        raise ValueError("merge_graphs needs at least two graphs")
+    merged = Graph(name=name or "+".join(g.name for g in graphs))
+    seen_prefixes: dict[str, int] = {}
+    for graph in graphs:
+        prefix = graph.name
+        count = seen_prefixes.get(prefix, 0)
+        seen_prefixes[prefix] = count + 1
+        if count:
+            prefix = f"{prefix}#{count}"
+        id_map: dict[int, int] = {}
+        for node in graph.nodes:
+            new_inputs = tuple(id_map[i] for i in node.inputs)
+            id_map[node.node_id] = merged.add(
+                node.op, new_inputs, name=f"{prefix}/{node.name}"
+            )
+    merged.validate()
+    return merged
+
+
+def subgraph_layers(merged: Graph, prefix: str) -> tuple[int, ...]:
+    """Node ids of one constituent network inside a merged graph.
+
+    Args:
+        merged: A graph built by :func:`merge_graphs`.
+        prefix: The constituent's name prefix (its original graph name).
+
+    Returns:
+        The node ids whose names start with ``prefix + "/"``.
+    """
+    marker = f"{prefix}/"
+    return tuple(
+        n.node_id for n in merged.nodes if n.name.startswith(marker)
+    )

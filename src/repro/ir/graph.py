@@ -1,0 +1,197 @@
+"""DNN computation graph: a DAG of operator nodes, one output tensor each.
+
+This is the in-memory form the paper's front-end parser produces from ONNX;
+our model zoo (:mod:`repro.models`) builds the same structure
+programmatically.  Arbitrary wiring topologies are supported — residual
+bypasses, multi-branch cells, NAS-style irregular fan-in/fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.ops import Input, Op
+from repro.ir.tensor import TensorShape
+
+
+@dataclass(frozen=True)
+class Node:
+    """One graph vertex: an operator and the tensor it produces.
+
+    Attributes:
+        node_id: Dense integer id, assigned in insertion order.
+        name: Human-readable unique name.
+        op: The operator.
+        inputs: Producer node ids, ordered by the op's input index.
+        output_shape: Inferred shape of the produced tensor.
+    """
+
+    node_id: int
+    name: str
+    op: Op
+    inputs: tuple[int, ...]
+    output_shape: TensorShape
+
+
+@dataclass
+class Graph:
+    """A directed acyclic computation graph.
+
+    Nodes must be added producers-first, which makes insertion order a valid
+    topological order (enforced: an input id must already exist).
+
+    Attributes:
+        name: Model name (e.g. ``"resnet50"``).
+    """
+
+    name: str = "graph"
+    _nodes: list[Node] = field(default_factory=list, repr=False)
+    _by_name: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def add(self, op: Op, inputs: tuple[int, ...] = (), name: str | None = None) -> int:
+        """Append a node and infer its output shape.
+
+        Args:
+            op: The operator.
+            inputs: Ids of producer nodes, in op input order.
+            name: Optional unique name; auto-generated when omitted.
+
+        Returns:
+            The new node's id.
+
+        Raises:
+            ValueError: On unknown input ids, duplicate names, or shape
+                inference failure.
+        """
+        node_id = len(self._nodes)
+        for src in inputs:
+            if not 0 <= src < node_id:
+                raise ValueError(
+                    f"input id {src} does not refer to an existing node"
+                )
+        if name is None:
+            name = f"{type(op).__name__.lower()}_{node_id}"
+        if name in self._by_name:
+            raise ValueError(f"duplicate node name {name!r}")
+        in_shapes = tuple(self._nodes[i].output_shape for i in inputs)
+        shape = op.infer_shape(in_shapes)
+        node = Node(node_id, name, op, tuple(inputs), shape)
+        self._nodes.append(node)
+        self._by_name[name] = node_id
+        return node_id
+
+    def add_input(self, shape: TensorShape, name: str = "input") -> int:
+        """Convenience wrapper to add a graph :class:`~repro.ir.ops.Input`."""
+        return self.add(Input(shape), (), name)
+
+    # ------------------------------------------------------------------ views
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes in topological (= insertion) order."""
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Node by id."""
+        return self._nodes[node_id]
+
+    def by_name(self, name: str) -> Node:
+        """Node by unique name.
+
+        Raises:
+            KeyError: When no node carries the name.
+        """
+        return self._nodes[self._by_name[name]]
+
+    def input_shapes(self, node_id: int) -> tuple[TensorShape, ...]:
+        """Shapes of a node's inputs, in op input order."""
+        node = self._nodes[node_id]
+        return tuple(self._nodes[i].output_shape for i in node.inputs)
+
+    def consumers(self) -> dict[int, tuple[int, ...]]:
+        """Map node id -> ids of nodes that read its output."""
+        out: dict[int, list[int]] = {n.node_id: [] for n in self._nodes}
+        for node in self._nodes:
+            for src in node.inputs:
+                out[src].append(node.node_id)
+        return {k: tuple(v) for k, v in out.items()}
+
+    def sources(self) -> tuple[int, ...]:
+        """Ids of nodes with no inputs (graph entry points)."""
+        return tuple(n.node_id for n in self._nodes if not n.inputs)
+
+    def sinks(self) -> tuple[int, ...]:
+        """Ids of nodes nothing consumes (graph outputs)."""
+        cons = self.consumers()
+        return tuple(n.node_id for n in self._nodes if not cons[n.node_id])
+
+    def depths(self) -> dict[int, int]:
+        """Longest-path depth of each node from any source (Fig. 6(a)).
+
+        Layers sharing a depth value have no dependency between them and may
+        run in parallel once all shallower depths complete.
+        """
+        depth: dict[int, int] = {}
+        for node in self._nodes:  # insertion order is topological
+            if not node.inputs:
+                depth[node.node_id] = 0
+            else:
+                depth[node.node_id] = 1 + max(depth[i] for i in node.inputs)
+        return depth
+
+    # ------------------------------------------------------------- statistics
+
+    def num_params(self) -> int:
+        """Total learned parameters over all nodes."""
+        return sum(
+            n.op.weight_params(self.input_shapes(n.node_id))
+            for n in self._nodes
+            if n.inputs
+        )
+
+    def total_macs(self) -> int:
+        """Total MAC operations for one inference sample."""
+        from repro.ir.ops import Region
+
+        total = 0
+        for n in self._nodes:
+            if not n.inputs:
+                continue
+            total += n.op.macs_for_region(
+                self.input_shapes(n.node_id), Region.full(n.output_shape)
+            )
+        return total
+
+    def compute_nodes(self) -> tuple[Node, ...]:
+        """Nodes that occupy the PE array (Conv/FC), in topological order."""
+        return tuple(n for n in self._nodes if n.op.is_compute_heavy)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation.
+
+        Verified: ids dense and ordered, names unique, every input precedes
+        its consumer, shapes re-infer identically, and the graph has at
+        least one source and one sink.
+        """
+        if not self._nodes:
+            raise ValueError("graph is empty")
+        names = set()
+        for i, node in enumerate(self._nodes):
+            if node.node_id != i:
+                raise ValueError(f"node id {node.node_id} != position {i}")
+            if node.name in names:
+                raise ValueError(f"duplicate name {node.name}")
+            names.add(node.name)
+            for src in node.inputs:
+                if src >= i:
+                    raise ValueError(f"node {i} consumes later node {src}")
+            shape = node.op.infer_shape(self.input_shapes(i))
+            if shape != node.output_shape:
+                raise ValueError(f"shape mismatch at node {i}")
+        if not self.sources():
+            raise ValueError("graph has no source")
+        if not self.sinks():
+            raise ValueError("graph has no sink")

@@ -1,0 +1,493 @@
+"""Operator definitions for the DNN graph IR.
+
+Each operator knows how to (1) infer its output shape, (2) count its weight
+parameters and MAC operations, and (3) map an *output region* back to the
+*input region* it depends on.  The last capability is what the atomic DAG
+builder uses to derive fine-grained atom-level dependencies (Fig. 6(b) of the
+paper): an output tile of a convolution depends only on the input tile that
+its receptive field covers, not on the whole previous layer.
+
+Coordinates are inclusive ``(start, end)`` index pairs, zero-based, in the
+(H, W, C) layout of :class:`repro.ir.tensor.TensorShape`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.ir.tensor import TensorShape
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned box of tensor coordinates, bounds inclusive.
+
+    Attributes:
+        h: ``(start, end)`` rows.
+        w: ``(start, end)`` columns.
+        c: ``(start, end)`` channels.
+    """
+
+    h: tuple[int, int]
+    w: tuple[int, int]
+    c: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        for lo, hi in (self.h, self.w, self.c):
+            if lo < 0 or hi < lo:
+                raise ValueError(f"invalid region bounds {self}")
+
+    @classmethod
+    def full(cls, shape: TensorShape) -> "Region":
+        """The region covering an entire tensor."""
+        return cls(
+            (0, shape.height - 1), (0, shape.width - 1), (0, shape.channels - 1)
+        )
+
+    @property
+    def height(self) -> int:
+        return self.h[1] - self.h[0] + 1
+
+    @property
+    def width(self) -> int:
+        return self.w[1] - self.w[0] + 1
+
+    @property
+    def channels(self) -> int:
+        return self.c[1] - self.c[0] + 1
+
+    @property
+    def num_elements(self) -> int:
+        return self.height * self.width * self.channels
+
+    def intersects(self, other: "Region") -> bool:
+        """True when the two boxes share at least one coordinate."""
+        return (
+            self.h[0] <= other.h[1]
+            and other.h[0] <= self.h[1]
+            and self.w[0] <= other.w[1]
+            and other.w[0] <= self.w[1]
+            and self.c[0] <= other.c[1]
+            and other.c[0] <= self.c[1]
+        )
+
+    def intersection(self, other: "Region") -> "Region | None":
+        """The overlapping box, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Region(
+            (max(self.h[0], other.h[0]), min(self.h[1], other.h[1])),
+            (max(self.w[0], other.w[0]), min(self.w[1], other.w[1])),
+            (max(self.c[0], other.c[0]), min(self.c[1], other.c[1])),
+        )
+
+    def clipped_to(self, shape: TensorShape) -> "Region":
+        """Clip the box to the bounds of ``shape`` (used after padding math)."""
+        return Region(
+            (max(self.h[0], 0), min(self.h[1], shape.height - 1)),
+            (max(self.w[0], 0), min(self.w[1], shape.width - 1)),
+            (max(self.c[0], 0), min(self.c[1], shape.channels - 1)),
+        )
+
+
+def _conv_out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution collapses dimension: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def _window_input_span(
+    out_lo: int, out_hi: int, kernel: int, stride: int, pad: int, size: int
+) -> tuple[int, int]:
+    """Input coordinate span feeding output rows/cols [out_lo, out_hi].
+
+    The raw receptive field may extend into the zero padding; the span is
+    clamped to the valid input range ``[0, size-1]``.
+    """
+    lo = max(out_lo * stride - pad, 0)
+    hi = min(out_hi * stride - pad + kernel - 1, size - 1)
+    return lo, max(hi, lo)
+
+
+class Op(abc.ABC):
+    """Base class of all graph operators."""
+
+    #: Compute-heavy ops run on the PE array; light ops go to the vector unit.
+    is_compute_heavy: bool = False
+
+    @abc.abstractmethod
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        """Output shape given input shapes.
+
+        Raises:
+            ValueError: When the input arity or shapes are invalid.
+        """
+
+    def weight_params(self, inputs: tuple[TensorShape, ...]) -> int:
+        """Number of learned parameters (weights + biases)."""
+        return 0
+
+    @abc.abstractmethod
+    def macs_for_region(
+        self, inputs: tuple[TensorShape, ...], region: Region
+    ) -> int:
+        """MAC (or elementwise-op) count to produce the given output region."""
+
+    @abc.abstractmethod
+    def input_region(
+        self, index: int, inputs: tuple[TensorShape, ...], out_region: Region
+    ) -> Region:
+        """Input region of input ``index`` required to compute ``out_region``."""
+
+    def _check_arity(self, inputs: tuple[TensorShape, ...], arity: int) -> None:
+        if len(inputs) != arity:
+            raise ValueError(
+                f"{type(self).__name__} expects {arity} input(s), got {len(inputs)}"
+            )
+
+
+@dataclass(frozen=True)
+class Input(Op):
+    """Graph entry point producing an externally supplied tensor."""
+
+    shape: TensorShape
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 0)
+        return self.shape
+
+    def macs_for_region(self, inputs, region):
+        return 0
+
+    def input_region(self, index, inputs, out_region):
+        raise ValueError("Input op has no inputs")
+
+
+@dataclass(frozen=True)
+class Conv2D(Op):
+    """2D convolution, optionally grouped (``groups == C_i`` -> depthwise).
+
+    Attributes:
+        out_channels: ``C_o``.
+        kernel: ``(K_h, K_w)``.
+        stride: ``(S_h, S_w)``.
+        padding: ``(P_h, P_w)`` symmetric zero padding.
+        groups: Channel groups; input and output channels must divide it.
+    """
+
+    out_channels: int
+    kernel: tuple[int, int] = (3, 3)
+    stride: tuple[int, int] = (1, 1)
+    padding: tuple[int, int] = (1, 1)
+    groups: int = 1
+
+    is_compute_heavy = True
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise ValueError("out_channels must be positive")
+        if min(self.kernel) <= 0 or min(self.stride) <= 0:
+            raise ValueError("kernel and stride must be positive")
+        if min(self.padding) < 0:
+            raise ValueError("padding must be non-negative")
+        if self.groups <= 0 or self.out_channels % self.groups != 0:
+            raise ValueError("groups must divide out_channels")
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 1)
+        (x,) = inputs
+        if x.channels % self.groups != 0:
+            raise ValueError(
+                f"input channels {x.channels} not divisible by groups {self.groups}"
+            )
+        return TensorShape(
+            _conv_out_dim(x.height, self.kernel[0], self.stride[0], self.padding[0]),
+            _conv_out_dim(x.width, self.kernel[1], self.stride[1], self.padding[1]),
+            self.out_channels,
+        )
+
+    def weight_params(self, inputs: tuple[TensorShape, ...]) -> int:
+        (x,) = inputs
+        cin_per_group = x.channels // self.groups
+        kh, kw = self.kernel
+        return self.out_channels * cin_per_group * kh * kw + self.out_channels
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        (x,) = inputs
+        cin_per_group = x.channels // self.groups
+        kh, kw = self.kernel
+        return region.num_elements * cin_per_group * kh * kw
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        self._check_arity(inputs, 1)
+        if index != 0:
+            raise ValueError("Conv2D has a single input")
+        (x,) = inputs
+        h = _window_input_span(
+            out_region.h[0], out_region.h[1], self.kernel[0], self.stride[0],
+            self.padding[0], x.height,
+        )
+        w = _window_input_span(
+            out_region.w[0], out_region.w[1], self.kernel[1], self.stride[1],
+            self.padding[1], x.width,
+        )
+        if self.groups == 1:
+            c = (0, x.channels - 1)
+        else:
+            # Grouped conv: output-channel group g reads input-channel group g.
+            cout_per_group = self.out_channels // self.groups
+            cin_per_group = x.channels // self.groups
+            g_lo = out_region.c[0] // cout_per_group
+            g_hi = out_region.c[1] // cout_per_group
+            c = (g_lo * cin_per_group, (g_hi + 1) * cin_per_group - 1)
+        return Region(h, w, c)
+
+    def weight_bytes_for_region(
+        self, inputs: tuple[TensorShape, ...], region: Region,
+        bytes_per_element: int = 1,
+    ) -> int:
+        """Weight footprint needed to compute an output-channel slice."""
+        (x,) = inputs
+        cin_per_group = x.channels // self.groups
+        kh, kw = self.kernel
+        return region.channels * cin_per_group * kh * kw * bytes_per_element
+
+
+@dataclass(frozen=True)
+class FullyConnected(Op):
+    """Dense layer; the paper treats it as CONV with all spatial dims = 1."""
+
+    out_features: int
+
+    is_compute_heavy = True
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError("out_features must be positive")
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 1)
+        return TensorShape(1, 1, self.out_features)
+
+    def weight_params(self, inputs: tuple[TensorShape, ...]) -> int:
+        (x,) = inputs
+        return x.num_elements * self.out_features + self.out_features
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        (x,) = inputs
+        return region.channels * x.num_elements
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        self._check_arity(inputs, 1)
+        (x,) = inputs
+        return Region.full(x)
+
+
+@dataclass(frozen=True)
+class Pool(Op):
+    """Max or average pooling window.
+
+    Attributes:
+        kind: ``"max"`` or ``"avg"``.
+        kernel: ``(K_h, K_w)``.
+        stride: ``(S_h, S_w)``; defaults to the kernel (non-overlapping).
+        padding: Symmetric zero padding.
+    """
+
+    kind: str = "max"
+    kernel: tuple[int, int] = (2, 2)
+    stride: tuple[int, int] | None = None
+    padding: tuple[int, int] = (0, 0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("max", "avg"):
+            raise ValueError(f"unknown pool kind {self.kind!r}")
+        if self.stride is None:
+            object.__setattr__(self, "stride", self.kernel)
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 1)
+        (x,) = inputs
+        return TensorShape(
+            _conv_out_dim(x.height, self.kernel[0], self.stride[0], self.padding[0]),
+            _conv_out_dim(x.width, self.kernel[1], self.stride[1], self.padding[1]),
+            x.channels,
+        )
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        kh, kw = self.kernel
+        return region.num_elements * kh * kw
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        self._check_arity(inputs, 1)
+        (x,) = inputs
+        h = _window_input_span(
+            out_region.h[0], out_region.h[1], self.kernel[0], self.stride[0],
+            self.padding[0], x.height,
+        )
+        w = _window_input_span(
+            out_region.w[0], out_region.w[1], self.kernel[1], self.stride[1],
+            self.padding[1], x.width,
+        )
+        return Region(h, w, out_region.c)
+
+
+@dataclass(frozen=True)
+class GlobalPool(Op):
+    """Global average pooling collapsing H and W to 1."""
+
+    kind: str = "avg"
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 1)
+        (x,) = inputs
+        return TensorShape(1, 1, x.channels)
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        (x,) = inputs
+        return region.channels * x.height * x.width
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        (x,) = inputs
+        return Region((0, x.height - 1), (0, x.width - 1), out_region.c)
+
+
+class _Elementwise(Op):
+    """Shared behaviour of unary elementwise ops (same-shape in/out)."""
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 1)
+        return inputs[0]
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        return region.num_elements
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        self._check_arity(inputs, 1)
+        return out_region
+
+
+@dataclass(frozen=True)
+class ReLU(_Elementwise):
+    """Rectified linear activation (vector unit)."""
+
+
+@dataclass(frozen=True)
+class Sigmoid(_Elementwise):
+    """Sigmoid activation (vector unit)."""
+
+
+@dataclass(frozen=True)
+class BatchNorm(_Elementwise):
+    """Batch normalization folded to scale+shift at inference time."""
+
+    def weight_params(self, inputs: tuple[TensorShape, ...]) -> int:
+        return 2 * inputs[0].channels
+
+
+@dataclass(frozen=True)
+class Add(Op):
+    """Elementwise sum of two or more same-shape tensors (residual joins)."""
+
+    arity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise ValueError("Add needs at least two inputs")
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, self.arity)
+        if len(set(inputs)) != 1:
+            raise ValueError(f"Add inputs must share a shape, got {inputs}")
+        return inputs[0]
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        return region.num_elements * (self.arity - 1)
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        if not 0 <= index < self.arity:
+            raise ValueError(f"input index {index} out of range")
+        return out_region
+
+
+@dataclass(frozen=True)
+class Scale(Op):
+    """Channel-wise scaling: ``y = x * s`` with ``s`` of shape 1x1xC.
+
+    Used by squeeze-and-excitation blocks (EfficientNet): the second input
+    is a per-channel gate broadcast over the spatial dimensions.
+    """
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, 2)
+        x, s = inputs
+        if (s.height, s.width) != (1, 1) or s.channels != x.channels:
+            raise ValueError(
+                f"scale input must be 1x1x{x.channels}, got {s}"
+            )
+        return x
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        return region.num_elements
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        self._check_arity(inputs, 2)
+        if index == 0:
+            return out_region
+        if index == 1:
+            return Region((0, 0), (0, 0), out_region.c)
+        raise ValueError(f"input index {index} out of range")
+
+
+@dataclass(frozen=True)
+class Concat(Op):
+    """Channel-axis concatenation (branch joins in Inception/NAS cells)."""
+
+    arity: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise ValueError("Concat needs at least two inputs")
+
+    def infer_shape(self, inputs: tuple[TensorShape, ...]) -> TensorShape:
+        self._check_arity(inputs, self.arity)
+        h, w = inputs[0].height, inputs[0].width
+        for x in inputs[1:]:
+            if (x.height, x.width) != (h, w):
+                raise ValueError(f"Concat inputs must share spatial dims: {inputs}")
+        return TensorShape(h, w, sum(x.channels for x in inputs))
+
+    def macs_for_region(self, inputs, region: Region) -> int:
+        # Pure data movement; charged one op per element moved.
+        return region.num_elements
+
+    def _channel_offset(self, inputs: tuple[TensorShape, ...], index: int) -> int:
+        return sum(x.channels for x in inputs[:index])
+
+    def input_region(self, index, inputs, out_region: Region) -> Region:
+        self._check_arity(inputs, self.arity)
+        if not 0 <= index < self.arity:
+            raise ValueError(f"input index {index} out of range")
+        off = self._channel_offset(inputs, index)
+        x = inputs[index]
+        lo = max(out_region.c[0] - off, 0)
+        hi = min(out_region.c[1] - off, x.channels - 1)
+        if hi < lo:
+            # The output slice does not touch this input; return its first
+            # channel as a degenerate (empty-intersection handled by caller
+            # via overlaps_input).
+            lo = hi = 0
+        return Region(out_region.h, out_region.w, (lo, hi))
+
+    def overlaps_input(
+        self, index: int, inputs: tuple[TensorShape, ...], out_region: Region
+    ) -> bool:
+        """Whether an output region actually reads from input ``index``."""
+        off = self._channel_offset(inputs, index)
+        x = inputs[index]
+        return out_region.c[0] <= off + x.channels - 1 and out_region.c[1] >= off

@@ -1,0 +1,41 @@
+"""Tensor shape descriptions used throughout the IR.
+
+The framework schedules *feature-map* tensors laid out as (H, W, C); batch is
+handled at the graph level (the atomic DAG replicates per-sample sub-DAGs),
+so shapes here are per-sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of one feature-map tensor: height x width x channels.
+
+    Attributes:
+        height: Spatial height (``H``).
+        width: Spatial width (``W``).
+        channels: Channel count (``C``).
+    """
+
+    height: int
+    width: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0 or self.channels <= 0:
+            raise ValueError(f"all dimensions must be positive, got {self}")
+
+    @property
+    def num_elements(self) -> int:
+        """Total scalar elements in the tensor."""
+        return self.height * self.width * self.channels
+
+    def size_bytes(self, bytes_per_element: int = 1) -> int:
+        """Storage footprint of the tensor."""
+        return self.num_elements * bytes_per_element
+
+    def __str__(self) -> str:
+        return f"{self.height}x{self.width}x{self.channels}"

@@ -1,0 +1,60 @@
+"""Graph transforms applied before atomic partitioning.
+
+The engine's vector unit post-processes PE-array output in place (Fig. 1(a)
+of the paper), so unary elementwise layers (ReLU, sigmoid, folded BN) fuse
+into their producer: they never become separate scheduling units.  This
+mirrors the implicit layer fusion the paper attributes to atomic dataflow
+and keeps the atomic DAG focused on tensor-producing layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import Graph
+from repro.ir.ops import BatchNorm, ReLU, Sigmoid
+
+#: Unary ops absorbed into their producer node.
+FUSABLE_OPS = (ReLU, Sigmoid, BatchNorm)
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Outcome of :func:`fuse_elementwise`.
+
+    Attributes:
+        graph: The fused graph.
+        node_map: Original node id -> fused node id (fused-away elementwise
+            nodes map to the id their producer received).
+        fused_counts: Fused node id -> number of elementwise ops absorbed.
+    """
+
+    graph: Graph
+    node_map: dict[int, int]
+    fused_counts: dict[int, int]
+
+
+def fuse_elementwise(graph: Graph) -> FusionResult:
+    """Fold unary elementwise nodes into their producers.
+
+    A fusable node is removed and all its consumers are rewired to its
+    input.  Chains (conv -> bn -> relu) collapse fully.  Multi-input ops
+    (Add, Concat) and shape-changing ops are never fused.
+
+    Returns:
+        A :class:`FusionResult` with the new graph and the id mapping.
+    """
+    node_map: dict[int, int] = {}
+    fused_counts: dict[int, int] = {}
+    fused = Graph(name=graph.name)
+    for node in graph.nodes:
+        if isinstance(node.op, FUSABLE_OPS) and len(node.inputs) == 1:
+            target = node_map[node.inputs[0]]
+            node_map[node.node_id] = target
+            fused_counts[target] = fused_counts.get(target, 0) + 1
+            continue
+        new_inputs = tuple(node_map[i] for i in node.inputs)
+        new_id = fused.add(node.op, new_inputs, name=node.name)
+        node_map[node.node_id] = new_id
+    fused.validate()
+    return FusionResult(graph=fused, node_map=node_map, fused_counts=fused_counts)

@@ -1,0 +1,17 @@
+"""Atom-engine mapping: zig-zag baseline and TransferCost-optimized search."""
+
+from repro.mapping.placement import (
+    MAX_PERMUTATION_LAYERS,
+    optimized_placement,
+    placement_transfer_cost,
+    zigzag_placement,
+)
+from repro.mapping.transfer_cost import round_transfer_cost
+
+__all__ = [
+    "MAX_PERMUTATION_LAYERS",
+    "optimized_placement",
+    "placement_transfer_cost",
+    "round_transfer_cost",
+    "zigzag_placement",
+]

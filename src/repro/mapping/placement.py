@@ -1,0 +1,172 @@
+"""Atom-engine mapping strategies (Sec. IV-C, Fig. 7).
+
+Atoms scheduled in one Round are laid onto the mesh along the zig-zag
+logical direction; *which layer's atoms come first* changes how far
+dependent data must travel.  The paper searches the ``M!`` permutations of
+the Round's involved layers and keeps the one minimizing TransferCost;
+we do the same, falling back to a greedy slot assignment when ``M`` is
+large enough that enumerating permutations would dominate search time.
+
+Beyond feature-map edges, the optimized mapper tracks each weight slice's
+*home* engine (where it was first loaded) and pulls same-slice atoms back
+to it, which is what makes the priority-rule-1 reuse of Sec. IV-B pay off
+physically.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.atoms.dag import AtomicDAG
+from repro.mapping.transfer_cost import round_transfer_cost
+from repro.noc.mesh import Mesh2D
+from repro.scheduling.rounds import Schedule
+
+#: Enumerate layer permutations up to this many layers per Round (6! = 720).
+MAX_PERMUTATION_LAYERS = 6
+
+
+def zigzag_placement(
+    dag: AtomicDAG, mesh: Mesh2D, schedule: Schedule
+) -> dict[int, int]:
+    """Baseline mapping: Round atoms fill engines in zig-zag order as-is.
+
+    Returns:
+        Map atom index -> engine index.
+    """
+    order = mesh.zigzag_order()
+    placement: dict[int, int] = {}
+    for rnd in schedule.rounds:
+        for slot, atom in enumerate(rnd.atom_indices):
+            placement[atom] = order[slot]
+    return placement
+
+
+def _group_by_layer(
+    dag: AtomicDAG, atoms: tuple[int, ...]
+) -> list[list[int]]:
+    """Round atoms grouped by (sample, layer), preserving intra-layer order."""
+    groups: dict[tuple[int, int], list[int]] = {}
+    for a in atoms:
+        atom = dag.atoms[a]
+        groups.setdefault((atom.sample, atom.layer), []).append(a)
+    return list(groups.values())
+
+
+def optimized_placement(
+    dag: AtomicDAG, mesh: Mesh2D, schedule: Schedule
+) -> dict[int, int]:
+    """The paper's mapping: per Round, pick the layer permutation with the
+    minimum TransferCost (solution B beating solution A in Fig. 7).
+
+    Rounds are placed in order, so each Round sees the final placement of
+    all earlier Rounds and the accumulated weight-slice homes.  When a
+    Round involves more than :data:`MAX_PERMUTATION_LAYERS` layers, a
+    greedy per-atom assignment (heaviest incoming traffic first, cheapest
+    free engine each) replaces enumeration.
+
+    Returns:
+        Map atom index -> engine index.
+    """
+    order = mesh.zigzag_order()
+    placement: dict[int, int] = {}
+    weight_home: dict[tuple[int, int], int] = {}
+    for rnd in schedule.rounds:
+        atoms = rnd.atom_indices
+        groups = _group_by_layer(dag, atoms)
+        slots = order[: len(atoms)]
+        candidates = [
+            list(atoms),  # zig-zag as-is: optimal for slot-aligned chains
+            _greedy_assignment(dag, mesh, placement, atoms, weight_home),
+        ]
+        if 1 < len(groups) <= MAX_PERMUTATION_LAYERS:
+            candidates.append(
+                _best_permutation(dag, mesh, placement, groups, slots, weight_home)
+            )
+        assignment = min(
+            candidates,
+            key=lambda ordered: round_transfer_cost(
+                dag, mesh, placement, tuple(ordered), slots, weight_home
+            ),
+        )
+        for a, e in zip(assignment, slots):
+            placement[a] = e
+            wk = dag.weight_key(a)
+            if wk is not None and wk not in weight_home:
+                weight_home[wk] = e
+    return placement
+
+
+def _best_permutation(
+    dag: AtomicDAG,
+    mesh: Mesh2D,
+    placement: dict[int, int],
+    groups: list[list[int]],
+    slots: tuple[int, ...],
+    weight_home: dict[tuple[int, int], int],
+) -> list[int]:
+    best_cost = None
+    best: list[int] = []
+    for perm in permutations(range(len(groups))):
+        ordered = [a for g in perm for a in groups[g]]
+        cost = round_transfer_cost(
+            dag, mesh, placement, tuple(ordered), slots, weight_home
+        )
+        if best_cost is None or cost < best_cost:
+            best_cost, best = cost, ordered
+    return best
+
+
+def _greedy_assignment(
+    dag: AtomicDAG,
+    mesh: Mesh2D,
+    placement: dict[int, int],
+    atoms: tuple[int, ...],
+    weight_home: dict[tuple[int, int], int],
+) -> list[int]:
+    """Assign heaviest-traffic atoms first to their cheapest free engine."""
+
+    def incoming(a: int) -> int:
+        total = sum(dag.edge_bytes[(p, a)] for p in dag.preds[a])
+        if dag.weight_key(a) is not None:
+            total += dag.costs[a].weight_bytes
+        return total
+
+    def cost_on(a: int, e: int) -> int:
+        total = 0
+        for p in dag.preds[a]:
+            src = placement.get(p)
+            if src is not None:
+                total += mesh.hop_distance(src, e) * dag.edge_bytes[(p, a)]
+        wk = dag.weight_key(a)
+        if wk is not None:
+            home = weight_home.get(wk)
+            if home is not None:
+                total += mesh.hop_distance(home, e) * dag.costs[a].weight_bytes
+        return total
+
+    remaining = sorted(atoms, key=incoming, reverse=True)
+    free = list(mesh.zigzag_order()[: len(atoms)])
+    engine_of: dict[int, int] = {}
+    for a in remaining:
+        best_e = min(free, key=lambda e: cost_on(a, e))
+        engine_of[a] = best_e
+        free.remove(best_e)
+    # Re-express as an atom ordering over the zig-zag slots.
+    order = mesh.zigzag_order()[: len(atoms)]
+    engine_to_atom = {e: a for a, e in engine_of.items()}
+    return [engine_to_atom[e] for e in order]
+
+
+def placement_transfer_cost(
+    dag: AtomicDAG, mesh: Mesh2D, schedule: Schedule, placement: dict[int, int]
+) -> int:
+    """Total hop-weighted bytes of a full placement (for comparisons)."""
+    total = 0
+    prior: dict[int, int] = {}
+    for rnd in schedule.rounds:
+        slots = tuple(placement[a] for a in rnd.atom_indices)
+        total += round_transfer_cost(dag, mesh, prior, rnd.atom_indices, slots)
+        for a in rnd.atom_indices:
+            prior[a] = placement[a]
+    return total

@@ -1,0 +1,68 @@
+"""TransferCost evaluation for atom-engine mappings (Sec. IV-C).
+
+The paper's objective for placing one Round's atoms:
+
+    TransferCost(P) = sum_i sum_j D(i, j) * Size(tensor moved i -> j)
+
+where ``D`` is the mesh hop distance and ``P`` a permutation of the layers
+involved in the Round.  Data already resident on the destination engine
+costs zero, which is exactly what good placements exploit.
+"""
+
+from __future__ import annotations
+
+from repro.atoms.dag import AtomicDAG
+from repro.noc.mesh import Mesh2D
+
+
+#: Hop-equivalent penalty for fetching a byte from DRAM instead of a
+#: neighbouring buffer (an HBM access costs far more than one mesh hop).
+DRAM_HOP_PENALTY = 8
+
+
+def round_transfer_cost(
+    dag: AtomicDAG,
+    mesh: Mesh2D,
+    placement: dict[int, int],
+    round_atoms: tuple[int, ...],
+    slots: tuple[int, ...],
+    weight_home: dict[tuple[int, int], int] | None = None,
+) -> int:
+    """Hop-weighted bytes moved to feed one Round under a slot assignment.
+
+    Args:
+        dag: The atomic DAG (provides edges and payload sizes).
+        mesh: The engine mesh (provides ``D(i, j)``).
+        placement: Engine of every atom placed in *earlier* Rounds.
+        round_atoms: Atoms of this Round, in slot order.
+        slots: Engine index per round atom (parallel to ``round_atoms``).
+        weight_home: Engine that first loaded each weight slice; when given,
+            atoms are drawn toward their slice's home (reuse) and charged a
+            DRAM penalty for homeless slices, so the permutation search also
+            optimizes weight locality.
+
+    Returns:
+        Sum over dependencies of ``hops x bytes``.  Data that must come from
+        DRAM (spilled predecessors, first-touch weights) is charged a flat
+        position-independent penalty — it costs the same from any engine, so
+        it must not bias the slot assignment.
+    """
+    total = 0
+    for atom, engine in zip(round_atoms, slots):
+        for p in dag.preds[atom]:
+            nbytes = dag.edge_bytes[(p, atom)]
+            src = placement.get(p)
+            if src is None:
+                total += DRAM_HOP_PENALTY * nbytes
+            else:
+                total += mesh.hop_distance(src, engine) * nbytes
+        if weight_home is not None:
+            wk = dag.weight_key(atom)
+            if wk is not None:
+                wbytes = dag.costs[atom].weight_bytes
+                home = weight_home.get(wk)
+                if home is None:
+                    total += DRAM_HOP_PENALTY * wbytes
+                else:
+                    total += mesh.hop_distance(home, engine) * wbytes
+    return total

@@ -1,0 +1,30 @@
+"""Memory substrates: HBM off-chip model and distributed on-chip buffers."""
+
+from repro.memory.buffer import BufferOverflowError, EngineBuffer, make_buffers
+from repro.memory.dram_detail import (
+    DetailedDram,
+    DramGeometry,
+    DramTimings,
+    Request,
+    TraceResult,
+    calibrate_hbm,
+    scattered_trace,
+    streaming_trace,
+)
+from repro.memory.hbm import HbmAccessCost, HbmModel
+
+__all__ = [
+    "BufferOverflowError",
+    "DetailedDram",
+    "DramGeometry",
+    "DramTimings",
+    "EngineBuffer",
+    "HbmAccessCost",
+    "HbmModel",
+    "Request",
+    "TraceResult",
+    "calibrate_hbm",
+    "make_buffers",
+    "scattered_trace",
+    "streaming_trace",
+]

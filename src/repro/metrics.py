@@ -1,0 +1,123 @@
+"""Result types reported by the system simulator and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy by component, in picojoules.
+
+    Attributes:
+        mac_pj: PE-array arithmetic.
+        sram_pj: On-chip buffer accesses.
+        noc_pj: Inter-engine transfers.
+        dram_pj: Off-chip HBM accesses.
+        static_pj: Leakage/clock power integrated over runtime.
+    """
+
+    mac_pj: float = 0.0
+    sram_pj: float = 0.0
+    noc_pj: float = 0.0
+    dram_pj: float = 0.0
+    static_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.mac_pj + self.sram_pj + self.noc_pj + self.dram_pj
+            + self.static_pj
+        )
+
+    @property
+    def total_mj(self) -> float:
+        """Total in millijoules (the unit of the paper's Fig. 11)."""
+        return self.total_pj * 1e-9
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.mac_pj + other.mac_pj,
+            self.sram_pj + other.sram_pj,
+            self.noc_pj + other.noc_pj,
+            self.dram_pj + other.dram_pj,
+            self.static_pj + other.static_pj,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of simulating one workload under one orchestration strategy.
+
+    Attributes:
+        strategy: Strategy label ("AD", "LS", "CNN-P", "IL-Pipe", ...).
+        workload: Model name.
+        batch: Batch size simulated.
+        total_cycles: End-to-end cycles including blocking NoC/DRAM time.
+        compute_cycles: Sum over Rounds of the slowest atom (pure compute).
+        noc_blocking_cycles: NoC time that could not overlap compute.
+        dram_blocking_cycles: DRAM time that could not overlap compute.
+        num_rounds: Rounds executed.
+        pe_utilization: MACs done / peak MAC capacity over compute time.
+        onchip_reuse_ratio: Input bytes served on-chip / all input bytes.
+        dram_bytes_read: Total HBM read traffic.
+        dram_bytes_written: Total HBM write traffic (spills).
+        noc_bytes_hops: Total bits*hops / 8 moved over the mesh.
+        energy: Energy breakdown.
+        frequency_hz: Clock used to convert cycles to time.
+    """
+
+    strategy: str
+    workload: str
+    batch: int
+    total_cycles: int
+    compute_cycles: int
+    noc_blocking_cycles: int
+    dram_blocking_cycles: int
+    num_rounds: int
+    pe_utilization: float
+    onchip_reuse_ratio: float
+    dram_bytes_read: int
+    dram_bytes_written: int
+    noc_bytes_hops: int
+    energy: EnergyBreakdown
+    frequency_hz: float
+
+    @property
+    def time_seconds(self) -> float:
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency of the whole batch in milliseconds."""
+        return self.time_seconds * 1e3
+
+    @property
+    def throughput_fps(self) -> float:
+        """Inferences per second at the simulated batch size."""
+        return self.batch / self.time_seconds
+
+    @property
+    def noc_overhead_fraction(self) -> float:
+        """Share of total time where NoC blocks compute (Table II row)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.noc_blocking_cycles / self.total_cycles
+
+
+@dataclass
+class UtilizationReport:
+    """Layer-wise PE utilization (Fig. 2 / Table II support).
+
+    Attributes:
+        per_layer: Layer id -> utilization in [0, 1].
+        average: Layer-averaged utilization.
+    """
+
+    per_layer: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def average(self) -> float:
+        if not self.per_layer:
+            return 0.0
+        return sum(self.per_layer.values()) / len(self.per_layer)

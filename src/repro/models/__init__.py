@@ -1,0 +1,35 @@
+"""Model zoo: the paper's eight evaluation workloads (Table I)."""
+
+from repro.models.efficientnet import efficientnet
+from repro.models.inception import inception_v3
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.nasnet import nasnet
+from repro.models.pnasnet import pnasnet
+from repro.models.resnet import resnet50, resnet152, resnet1001
+from repro.models.vgg import vgg19
+from repro.models.zoo import (
+    BENCH_WORKLOADS,
+    PAPER_WORKLOADS,
+    WorkloadInfo,
+    available_models,
+    characterize,
+    get_model,
+)
+
+__all__ = [
+    "BENCH_WORKLOADS",
+    "PAPER_WORKLOADS",
+    "WorkloadInfo",
+    "available_models",
+    "characterize",
+    "efficientnet",
+    "get_model",
+    "inception_v3",
+    "mobilenet_v2",
+    "nasnet",
+    "pnasnet",
+    "resnet50",
+    "resnet152",
+    "resnet1001",
+    "vgg19",
+]

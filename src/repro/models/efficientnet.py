@@ -1,0 +1,113 @@
+"""EfficientNet-B0: compound-scaled NAS workload (Table I).
+
+MBConv inverted-bottleneck blocks with depthwise convolutions and
+squeeze-and-excitation gating (Tan & Le, ICML 2019).  SE blocks exercise
+the :class:`~repro.ir.ops.Scale` broadcast op and GlobalPool->FC->gate
+sub-DAGs, giving this workload its fine-grained irregularity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+#: (expansion, channels, repeats, stride, kernel) per stage of B0.
+_B0_STAGES = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+
+def _se_block(b: GraphBuilder, x: int, reduced: int, name: str) -> int:
+    """Squeeze-and-excitation: global context gates each channel."""
+    channels = b.graph.node(x).output_shape.channels
+    s = b.global_avg_pool(x, name=f"{name}_sq")
+    s = b.fc(s, max(1, reduced), name=f"{name}_red")
+    s = b.relu(s, name=f"{name}_relu")
+    s = b.fc(s, channels, name=f"{name}_exp")
+    s = b.sigmoid(s, name=f"{name}_gate")
+    return b.scale(x, s, name=f"{name}_out")
+
+
+def _mbconv(
+    b: GraphBuilder,
+    x: int,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+    kernel: int,
+    se_ratio: float,
+    name: str,
+) -> int:
+    in_channels = b.graph.node(x).output_shape.channels
+    y = x
+    if expansion != 1:
+        y = b.conv_bn_relu(y, in_channels * expansion, kernel=1, name=f"{name}_exp")
+    y = b.depthwise_conv(y, kernel=kernel, stride=stride, name=f"{name}_dw")
+    y = b.relu(y, name=f"{name}_dw_relu")
+    if se_ratio > 0:
+        y = _se_block(b, y, int(in_channels * se_ratio), name=f"{name}_se")
+    y = b.conv(y, out_channels, kernel=1, name=f"{name}_proj")
+    if stride == 1 and in_channels == out_channels:
+        y = b.add(y, x, name=f"{name}_add")
+    return y
+
+
+def efficientnet(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    depth_mult: float = 1.0,
+    se_ratio: float = 0.25,
+) -> Graph:
+    """Build EfficientNet (B0 by default; scale via the multipliers).
+
+    Args:
+        input_size: Input resolution (224 for B0).
+        num_classes: Classifier width.
+        width_mult: Channel multiplier (B1+: 1.0, 1.1, 1.2, ...).
+        depth_mult: Per-stage repeat multiplier.
+        se_ratio: Squeeze-and-excitation reduction ratio (0 disables SE).
+    """
+
+    def ch(c: int) -> int:
+        scaled = c * width_mult
+        # Round to a multiple of 8, never dropping below 90% (the paper's
+        # channel-rounding rule).
+        new = max(8, int(scaled + 4) // 8 * 8)
+        if new < 0.9 * scaled:
+            new += 8
+        return new
+
+    name = (
+        "efficientnet"
+        if (width_mult, depth_mult, input_size) == (1.0, 1.0, 224)
+        else f"efficientnet_w{width_mult}d{depth_mult}"
+    )
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    x = b.conv_bn_relu(x, ch(32), kernel=3, stride=2, name="stem")
+    for si, (exp, c, reps, stride, k) in enumerate(_B0_STAGES):
+        reps = max(1, math.ceil(reps * depth_mult))
+        for i in range(reps):
+            x = _mbconv(
+                b,
+                x,
+                exp,
+                ch(c),
+                stride if i == 0 else 1,
+                k,
+                se_ratio,
+                name=f"mb{si}_{i}",
+            )
+    x = b.conv_bn_relu(x, ch(1280), kernel=1, name="head")
+    x = b.global_avg_pool(x, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()

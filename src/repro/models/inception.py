@@ -1,0 +1,105 @@
+"""Inception-v3: the branching-cells workload of Table I.
+
+Follows the Szegedy et al. "Rethinking the Inception Architecture" layout:
+stem, 3x Inception-A, Reduction-A, 4x Inception-B, Reduction-B,
+2x Inception-C, classifier.  Branch widths are the published ones.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+def _inception_a(b: GraphBuilder, x: int, pool_ch: int, name: str) -> int:
+    b1 = b.conv_bn_relu(x, 64, kernel=1, name=f"{name}_1x1")
+    b2 = b.conv_bn_relu(x, 48, kernel=1, name=f"{name}_5x5a")
+    b2 = b.conv_bn_relu(b2, 64, kernel=5, name=f"{name}_5x5b")
+    b3 = b.conv_bn_relu(x, 64, kernel=1, name=f"{name}_3x3a")
+    b3 = b.conv_bn_relu(b3, 96, kernel=3, name=f"{name}_3x3b")
+    b3 = b.conv_bn_relu(b3, 96, kernel=3, name=f"{name}_3x3c")
+    b4 = b.avg_pool(x, kernel=3, stride=1, padding=1, name=f"{name}_pool")
+    b4 = b.conv_bn_relu(b4, pool_ch, kernel=1, name=f"{name}_poolproj")
+    return b.concat(b1, b2, b3, b4, name=f"{name}_out")
+
+
+def _reduction_a(b: GraphBuilder, x: int, name: str) -> int:
+    b1 = b.conv_bn_relu(x, 384, kernel=3, stride=2, padding="valid", name=f"{name}_3x3")
+    b2 = b.conv_bn_relu(x, 64, kernel=1, name=f"{name}_dbl_a")
+    b2 = b.conv_bn_relu(b2, 96, kernel=3, name=f"{name}_dbl_b")
+    b2 = b.conv_bn_relu(b2, 96, kernel=3, stride=2, padding="valid", name=f"{name}_dbl_c")
+    b3 = b.max_pool(x, kernel=3, stride=2, name=f"{name}_pool")
+    return b.concat(b1, b2, b3, name=f"{name}_out")
+
+
+def _inception_b(b: GraphBuilder, x: int, mid: int, name: str) -> int:
+    b1 = b.conv_bn_relu(x, 192, kernel=1, name=f"{name}_1x1")
+    b2 = b.conv_bn_relu(x, mid, kernel=1, name=f"{name}_7a")
+    b2 = b.conv_bn_relu(b2, mid, kernel=(1, 7), padding=(0, 3), name=f"{name}_7b")
+    b2 = b.conv_bn_relu(b2, 192, kernel=(7, 1), padding=(3, 0), name=f"{name}_7c")
+    b3 = b.conv_bn_relu(x, mid, kernel=1, name=f"{name}_d7a")
+    b3 = b.conv_bn_relu(b3, mid, kernel=(7, 1), padding=(3, 0), name=f"{name}_d7b")
+    b3 = b.conv_bn_relu(b3, mid, kernel=(1, 7), padding=(0, 3), name=f"{name}_d7c")
+    b3 = b.conv_bn_relu(b3, mid, kernel=(7, 1), padding=(3, 0), name=f"{name}_d7d")
+    b3 = b.conv_bn_relu(b3, 192, kernel=(1, 7), padding=(0, 3), name=f"{name}_d7e")
+    b4 = b.avg_pool(x, kernel=3, stride=1, padding=1, name=f"{name}_pool")
+    b4 = b.conv_bn_relu(b4, 192, kernel=1, name=f"{name}_poolproj")
+    return b.concat(b1, b2, b3, b4, name=f"{name}_out")
+
+
+def _reduction_b(b: GraphBuilder, x: int, name: str) -> int:
+    b1 = b.conv_bn_relu(x, 192, kernel=1, name=f"{name}_3a")
+    b1 = b.conv_bn_relu(b1, 320, kernel=3, stride=2, padding="valid", name=f"{name}_3b")
+    b2 = b.conv_bn_relu(x, 192, kernel=1, name=f"{name}_7a")
+    b2 = b.conv_bn_relu(b2, 192, kernel=(1, 7), padding=(0, 3), name=f"{name}_7b")
+    b2 = b.conv_bn_relu(b2, 192, kernel=(7, 1), padding=(3, 0), name=f"{name}_7c")
+    b2 = b.conv_bn_relu(b2, 192, kernel=3, stride=2, padding="valid", name=f"{name}_7d")
+    b3 = b.max_pool(x, kernel=3, stride=2, name=f"{name}_pool")
+    return b.concat(b1, b2, b3, name=f"{name}_out")
+
+
+def _inception_c(b: GraphBuilder, x: int, name: str) -> int:
+    b1 = b.conv_bn_relu(x, 320, kernel=1, name=f"{name}_1x1")
+    b2 = b.conv_bn_relu(x, 384, kernel=1, name=f"{name}_3a")
+    b2a = b.conv_bn_relu(b2, 384, kernel=(1, 3), padding=(0, 1), name=f"{name}_3b1")
+    b2b = b.conv_bn_relu(b2, 384, kernel=(3, 1), padding=(1, 0), name=f"{name}_3b2")
+    b3 = b.conv_bn_relu(x, 448, kernel=1, name=f"{name}_d3a")
+    b3 = b.conv_bn_relu(b3, 384, kernel=3, name=f"{name}_d3b")
+    b3a = b.conv_bn_relu(b3, 384, kernel=(1, 3), padding=(0, 1), name=f"{name}_d3c1")
+    b3b = b.conv_bn_relu(b3, 384, kernel=(3, 1), padding=(1, 0), name=f"{name}_d3c2")
+    b4 = b.avg_pool(x, kernel=3, stride=1, padding=1, name=f"{name}_pool")
+    b4 = b.conv_bn_relu(b4, 192, kernel=1, name=f"{name}_poolproj")
+    return b.concat(b1, b2a, b2b, b3a, b3b, b4, name=f"{name}_out")
+
+
+def inception_v3(input_size: int = 299, num_classes: int = 1000) -> Graph:
+    """Build Inception-v3.
+
+    Args:
+        input_size: Input resolution (299 canonical; must be large enough
+            to survive the stem's five stride-2 reductions, i.e. >= 75).
+        num_classes: Classifier width.
+    """
+    name = (
+        "inception_v3" if input_size == 299 else f"inception_v3_{input_size}"
+    )
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    x = b.conv_bn_relu(x, 32, kernel=3, stride=2, padding="valid", name="stem1")
+    x = b.conv_bn_relu(x, 32, kernel=3, padding="valid", name="stem2")
+    x = b.conv_bn_relu(x, 64, kernel=3, name="stem3")
+    x = b.max_pool(x, kernel=3, stride=2, name="stem_pool1")
+    x = b.conv_bn_relu(x, 80, kernel=1, name="stem4")
+    x = b.conv_bn_relu(x, 192, kernel=3, padding="valid", name="stem5")
+    x = b.max_pool(x, kernel=3, stride=2, name="stem_pool2")
+    for i, pool_ch in enumerate((32, 64, 64)):
+        x = _inception_a(b, x, pool_ch, name=f"mixed_a{i}")
+    x = _reduction_a(b, x, name="reduction_a")
+    for i, mid in enumerate((128, 160, 160, 192)):
+        x = _inception_b(b, x, mid, name=f"mixed_b{i}")
+    x = _reduction_b(b, x, name="reduction_b")
+    for i in range(2):
+        x = _inception_c(b, x, name=f"mixed_c{i}")
+    x = b.global_avg_pool(x, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()

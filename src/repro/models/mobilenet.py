@@ -1,0 +1,74 @@
+"""MobileNetV2: an extension workload (inverted residual bottlenecks).
+
+Not part of the paper's Table I, but the archetypal edge-inference network:
+expansion -> depthwise -> projection blocks with residuals on stride-1
+stages.  Exercises the depthwise cost-model path and gives the multi-tenant
+example a realistic co-tenant.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+#: (expansion, channels, repeats, stride) per stage of MobileNetV2.
+_V2_STAGES = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(
+    b: GraphBuilder, x: int, expansion: int, out: int, stride: int, name: str
+) -> int:
+    in_channels = b.graph.node(x).output_shape.channels
+    y = x
+    if expansion != 1:
+        y = b.conv_bn_relu(y, in_channels * expansion, kernel=1, name=f"{name}_exp")
+    y = b.depthwise_conv(y, kernel=3, stride=stride, name=f"{name}_dw")
+    y = b.relu(y, name=f"{name}_dw_relu")
+    y = b.conv(y, out, kernel=1, name=f"{name}_proj")
+    if stride == 1 and in_channels == out:
+        y = b.add(y, x, name=f"{name}_add")
+    return y
+
+
+def mobilenet_v2(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+) -> Graph:
+    """Build MobileNetV2.
+
+    Args:
+        input_size: Input resolution.
+        num_classes: Classifier width.
+        width_mult: Uniform channel multiplier (rounded to multiples of 8).
+    """
+
+    def ch(c: int) -> int:
+        return max(8, int(c * width_mult + 4) // 8 * 8)
+
+    name = (
+        "mobilenet_v2"
+        if (input_size, width_mult) == (224, 1.0)
+        else f"mobilenet_v2_{input_size}w{width_mult}"
+    )
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    x = b.conv_bn_relu(x, ch(32), kernel=3, stride=2, name="stem")
+    for si, (exp, c, reps, stride) in enumerate(_V2_STAGES):
+        for i in range(reps):
+            x = _inverted_residual(
+                b, x, exp, ch(c), stride if i == 0 else 1, name=f"ir{si}_{i}"
+            )
+    head = ch(1280) if width_mult > 1.0 else 1280
+    x = b.conv_bn_relu(x, head, kernel=1, name="head")
+    x = b.global_avg_pool(x, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()

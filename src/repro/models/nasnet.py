@@ -1,0 +1,133 @@
+"""NASNet-A: NAS-generated workload with irregular cell wiring (Table I).
+
+Implements the NASNet-A architecture (Zoph et al., CVPR 2018): stacked
+normal cells with reduction cells between stages, each cell combining the
+two previous cell outputs through five add-pairs of separable convolutions,
+poolings, and identities, concatenated at the cell output.  The default
+(``filters=168, repeat=6``) matches NASNet-A-Large's ~89M parameters.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+def _fit(b: GraphBuilder, x: int, channels: int, height: int, name: str) -> int:
+    """Project a cell input to the target channel count and spatial size."""
+    shape = b.graph.node(x).output_shape
+    if shape.height > height:
+        stride = shape.height // height
+        x = b.avg_pool(x, kernel=stride, stride=stride, name=f"{name}_ds")
+        shape = b.graph.node(x).output_shape
+    if shape.channels != channels:
+        x = b.conv_bn_relu(x, channels, kernel=1, name=f"{name}_sq")
+    return x
+
+
+def _normal_cell(
+    b: GraphBuilder, prev: int, prev_prev: int, filters: int, name: str
+) -> int:
+    """NASNet-A normal cell: five add-pairs over {h_{i}, h_{i-1}}."""
+    height = b.graph.node(prev).output_shape.height
+    h0 = _fit(b, prev_prev, filters, height, f"{name}_fit0")
+    h1 = _fit(b, prev, filters, height, f"{name}_fit1")
+    b1 = b.add(
+        b.separable_conv(h1, filters, kernel=3, name=f"{name}_b1l"),
+        h1,
+        name=f"{name}_b1",
+    )
+    b2 = b.add(
+        b.separable_conv(h0, filters, kernel=3, name=f"{name}_b2l"),
+        b.separable_conv(h1, filters, kernel=5, name=f"{name}_b2r"),
+        name=f"{name}_b2",
+    )
+    b3 = b.add(
+        b.avg_pool(h1, kernel=3, stride=1, padding=1, name=f"{name}_b3l"),
+        h0,
+        name=f"{name}_b3",
+    )
+    b4 = b.add(
+        b.avg_pool(h0, kernel=3, stride=1, padding=1, name=f"{name}_b4l"),
+        b.avg_pool(h0, kernel=3, stride=1, padding=1, name=f"{name}_b4r"),
+        name=f"{name}_b4",
+    )
+    b5 = b.add(
+        b.separable_conv(h0, filters, kernel=5, name=f"{name}_b5l"),
+        b.separable_conv(h0, filters, kernel=3, name=f"{name}_b5r"),
+        name=f"{name}_b5",
+    )
+    return b.concat(b1, b2, b3, b4, b5, name=f"{name}_out")
+
+
+def _reduction_cell(
+    b: GraphBuilder, prev: int, prev_prev: int, filters: int, name: str
+) -> int:
+    """NASNet-A reduction cell: stride-2 pairs halving the resolution."""
+    height = b.graph.node(prev).output_shape.height
+    h0 = _fit(b, prev_prev, filters, height, f"{name}_fit0")
+    h1 = _fit(b, prev, filters, height, f"{name}_fit1")
+    b1 = b.add(
+        b.separable_conv(h1, filters, kernel=5, stride=2, name=f"{name}_b1l"),
+        b.separable_conv(h0, filters, kernel=7, stride=2, name=f"{name}_b1r"),
+        name=f"{name}_b1",
+    )
+    b2 = b.add(
+        b.max_pool(h1, kernel=3, stride=2, padding=1, name=f"{name}_b2l"),
+        b.separable_conv(h0, filters, kernel=7, stride=2, name=f"{name}_b2r"),
+        name=f"{name}_b2",
+    )
+    b3 = b.add(
+        b.avg_pool(h1, kernel=3, stride=2, padding=1, name=f"{name}_b3l"),
+        b.separable_conv(h0, filters, kernel=5, stride=2, name=f"{name}_b3r"),
+        name=f"{name}_b3",
+    )
+    b4 = b.add(
+        b.max_pool(h1, kernel=3, stride=2, padding=1, name=f"{name}_b4l"),
+        b.separable_conv(b1, filters, kernel=3, name=f"{name}_b4r"),
+        name=f"{name}_b4",
+    )
+    b5 = b.add(
+        b.avg_pool(b1, kernel=3, stride=1, padding=1, name=f"{name}_b5l"),
+        b2,
+        name=f"{name}_b5",
+    )
+    return b.concat(b3, b4, b5, name=f"{name}_out")
+
+
+def nasnet(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    filters: int = 168,
+    repeat: int = 6,
+) -> Graph:
+    """Build NASNet-A.
+
+    Args:
+        input_size: Input resolution.
+        num_classes: Classifier width.
+        filters: Base cell filter count (168 = NASNet-A-Large).
+        repeat: Normal cells per stage; lower for reduced variants.
+    """
+    name = (
+        "nasnet"
+        if (filters, repeat, input_size) == (168, 6, 224)
+        else f"nasnet_f{filters}r{repeat}"
+    )
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    stem = b.conv_bn_relu(x, 32, kernel=3, stride=2, name="stem")
+    prev_prev, prev = stem, _reduction_cell(b, stem, stem, filters // 4, "stem_r1")
+    prev_prev, prev = prev, _reduction_cell(b, prev, prev_prev, filters // 2, "stem_r2")
+    f = filters
+    for stage in range(3):
+        for i in range(repeat):
+            out = _normal_cell(b, prev, prev_prev, f, f"s{stage}_c{i}")
+            prev_prev, prev = prev, out
+        if stage < 2:
+            out = _reduction_cell(b, prev, prev_prev, f * 2, f"s{stage}_r")
+            prev_prev, prev = prev, out
+            f *= 2
+    x = b.global_avg_pool(prev, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()

@@ -1,0 +1,101 @@
+"""PNASNet-5: progressively searched NAS workload (Table I; also the cell
+the paper uses to illustrate irregular-topology scheduling in Fig. 6(a)).
+
+Implements the PNASNet-5 architecture (Liu et al., ECCV 2018): a single
+learned cell (five add-pairs) stacked with stride-2 instances acting as
+reduction cells.  The default (``filters=216, repeat=4``) corresponds to
+PNASNet-5-Large's ~86M parameters.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+def _fit(b: GraphBuilder, x: int, channels: int, height: int, name: str) -> int:
+    shape = b.graph.node(x).output_shape
+    if shape.height > height:
+        stride = shape.height // height
+        x = b.avg_pool(x, kernel=stride, stride=stride, name=f"{name}_ds")
+        shape = b.graph.node(x).output_shape
+    if shape.channels != channels:
+        x = b.conv_bn_relu(x, channels, kernel=1, name=f"{name}_sq")
+    return x
+
+
+def _pnas_cell(
+    b: GraphBuilder,
+    prev: int,
+    prev_prev: int,
+    filters: int,
+    stride: int,
+    name: str,
+) -> int:
+    """The PNASNet-5 cell: five add-pairs, stride > 1 makes it a reducer."""
+    height = b.graph.node(prev).output_shape.height // stride
+    h0 = _fit(b, prev_prev, filters, height * stride, f"{name}_fit0")
+    h1 = _fit(b, prev, filters, height * stride, f"{name}_fit1")
+
+    def pool(src: int, nm: str) -> int:
+        return b.max_pool(src, kernel=3, stride=stride, padding=1, name=nm)
+
+    def sep(src: int, k: int, nm: str) -> int:
+        return b.separable_conv(src, filters, kernel=k, stride=stride, name=nm)
+
+    def ident(src: int, nm: str) -> int:
+        if stride == 1:
+            return src
+        return b.avg_pool(src, kernel=stride, stride=stride, name=nm)
+
+    b1 = b.add(sep(h0, 7, f"{name}_b1l"), pool(h0, f"{name}_b1r"), name=f"{name}_b1")
+    b2 = b.add(sep(h1, 5, f"{name}_b2l"), sep(h0, 3, f"{name}_b2r"), name=f"{name}_b2")
+    b3 = b.add(sep(h1, 5, f"{name}_b3l"), pool(h1, f"{name}_b3r"), name=f"{name}_b3")
+    b4 = b.add(sep(h1, 3, f"{name}_b4l"), ident(h1, f"{name}_b4r"), name=f"{name}_b4")
+    # Block 5 consumes block 1's output (intra-cell wiring), stride already
+    # applied there, so its ops run at the cell's output resolution.
+    b5 = b.add(
+        b.separable_conv(b1, filters, kernel=3, name=f"{name}_b5l"),
+        b1,
+        name=f"{name}_b5",
+    )
+    return b.concat(b1, b2, b3, b4, b5, name=f"{name}_out")
+
+
+def pnasnet(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    filters: int = 216,
+    repeat: int = 4,
+) -> Graph:
+    """Build PNASNet-5.
+
+    Args:
+        input_size: Input resolution.
+        num_classes: Classifier width.
+        filters: Base cell filter count (216 = PNASNet-5-Large).
+        repeat: Normal cells per stage; lower for reduced variants.
+    """
+    name = (
+        "pnasnet"
+        if (filters, repeat, input_size) == (216, 4, 224)
+        else f"pnasnet_f{filters}r{repeat}"
+    )
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    stem = b.conv_bn_relu(x, 32, kernel=3, stride=2, name="stem")
+    prev_prev, prev = stem, _pnas_cell(b, stem, stem, filters // 4, 2, "stem_c1")
+    out = _pnas_cell(b, prev, prev_prev, filters // 2, 2, "stem_c2")
+    prev_prev, prev = prev, out
+    f = filters
+    for stage in range(3):
+        for i in range(repeat):
+            out = _pnas_cell(b, prev, prev_prev, f, 1, f"s{stage}_c{i}")
+            prev_prev, prev = prev, out
+        if stage < 2:
+            out = _pnas_cell(b, prev, prev_prev, f * 2, 2, f"s{stage}_r")
+            prev_prev, prev = prev, out
+            f *= 2
+    x = b.global_avg_pool(prev, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()

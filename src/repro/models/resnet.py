@@ -1,0 +1,99 @@
+"""ResNet family: the residual-bypass workloads of Table I.
+
+``resnet50``/``resnet152`` are the standard ImageNet bottleneck networks;
+``resnet1001`` is the very deep pre-activation bottleneck ResNet evaluated
+on CIFAR-scale inputs (as in He et al.'s identity-mappings paper, which the
+1329-layer count of Table I corresponds to).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: int,
+    mid: int,
+    out: int,
+    stride: int,
+    name: str,
+) -> int:
+    """Standard 1x1 -> 3x3 -> 1x1 bottleneck with projection on mismatch."""
+    in_channels = b.graph.node(x).output_shape.channels
+    y = b.conv_bn_relu(x, mid, kernel=1, name=f"{name}_a")
+    y = b.conv_bn_relu(y, mid, kernel=3, stride=stride, name=f"{name}_b")
+    y = b.conv(y, out, kernel=1, name=f"{name}_c")
+    if stride != 1 or in_channels != out:
+        shortcut = b.conv(x, out, kernel=1, stride=stride, name=f"{name}_proj")
+    else:
+        shortcut = x
+    y = b.add(y, shortcut, name=f"{name}_add")
+    return b.relu(y, name=f"{name}_out")
+
+
+def _imagenet_resnet(
+    name: str, blocks: tuple[int, int, int, int], input_size: int, num_classes: int
+) -> Graph:
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    x = b.conv_bn_relu(x, 64, kernel=7, stride=2, name="conv1")
+    x = b.max_pool(x, kernel=3, stride=2, padding=1, name="pool1")
+    channels = 64
+    for stage, n_blocks in enumerate(blocks, start=2):
+        out = channels * 4
+        for i in range(n_blocks):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            x = _bottleneck(
+                b, x, channels, out, stride, name=f"res{stage}_{i}"
+            )
+        channels *= 2
+    x = b.global_avg_pool(x, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()
+
+
+def resnet50(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-50 (blocks 3-4-6-3)."""
+    return _imagenet_resnet("resnet50", (3, 4, 6, 3), input_size, num_classes)
+
+
+def resnet152(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-152 (blocks 3-8-36-3)."""
+    return _imagenet_resnet("resnet152", (3, 8, 36, 3), input_size, num_classes)
+
+
+def resnet1001(
+    input_size: int = 32, num_classes: int = 10, blocks_per_stage: int = 111
+) -> Graph:
+    """ResNet-1001: pre-activation bottleneck ResNet for CIFAR inputs.
+
+    Depth = 9 * blocks_per_stage + 2 conv layers; the canonical 1001-layer
+    network uses 111 bottlenecks in each of its three stages.
+
+    Args:
+        input_size: Input resolution (32 for CIFAR).
+        num_classes: Classifier width.
+        blocks_per_stage: Bottlenecks per stage; lower it for reduced
+            benchmark variants (depth scales 9x + 2).
+    """
+    name = (
+        "resnet1001"
+        if blocks_per_stage == 111
+        else f"resnet{9 * blocks_per_stage + 2}"
+    )
+    b = GraphBuilder(name=name)
+    x = b.input(input_size, input_size, 3)
+    x = b.conv_bn_relu(x, 16, kernel=3, name="conv1")
+    channels = 16
+    for stage in range(3):
+        out = channels * 4 if stage == 0 else channels * 2
+        mid = out // 4
+        for i in range(blocks_per_stage):
+            stride = 2 if (i == 0 and stage > 0) else 1
+            x = _bottleneck(b, x, mid, out, stride, name=f"s{stage}_{i}")
+        channels = out
+    x = b.global_avg_pool(x, name="gap")
+    x = b.fc(x, num_classes, name="fc")
+    return b.build()

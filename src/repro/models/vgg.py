@@ -1,0 +1,52 @@
+"""VGG-19: the paper's layer-cascaded (purely linear) workload."""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+
+#: Channel plan per stage; "M" marks a 2x2 max-pool.
+_VGG19_PLAN = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+def vgg19(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+) -> Graph:
+    """Build VGG-19.
+
+    Args:
+        input_size: Input resolution (224 for the paper's ImageNet setting;
+            smaller values give reduced benchmark variants).
+        num_classes: Classifier width.
+        width_mult: Uniform channel scaling for reduced variants.
+
+    Returns:
+        The layer graph.
+    """
+    b = GraphBuilder(name=f"vgg19_{input_size}" if input_size != 224 else "vgg19")
+    x = b.input(input_size, input_size, 3)
+    stage, idx = 1, 1
+    for entry in _VGG19_PLAN:
+        if entry == "M":
+            x = b.max_pool(x, kernel=2, name=f"pool{stage}")
+            stage += 1
+            idx = 1
+            continue
+        channels = max(1, int(entry * width_mult))
+        x = b.conv_bn_relu(x, channels, kernel=3, name=f"conv{stage}_{idx}")
+        idx += 1
+    fc_width = max(16, int(4096 * width_mult))
+    x = b.fc(x, fc_width, name="fc6")
+    x = b.relu(x, name="fc6_relu")
+    x = b.fc(x, fc_width, name="fc7")
+    x = b.relu(x, name="fc7_relu")
+    x = b.fc(x, num_classes, name="fc8")
+    return b.build()

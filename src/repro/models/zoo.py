@@ -1,0 +1,125 @@
+"""Model registry: the paper's eight workloads plus reduced variants.
+
+``get_model(name)`` returns the full Table I network.  The ``*_bench``
+variants shrink resolution and/or repeated-cell counts so a pure-Python
+scheduling run completes in seconds; every layer-shape class of the parent
+network is preserved (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.graph import Graph
+from repro.models.efficientnet import efficientnet
+from repro.models.inception import inception_v3
+from repro.models.mobilenet import mobilenet_v2
+from repro.models.nasnet import nasnet
+from repro.models.pnasnet import pnasnet
+from repro.models.resnet import resnet50, resnet152, resnet1001
+from repro.models.vgg import vgg19
+
+_REGISTRY: dict[str, Callable[[], Graph]] = {
+    # Full Table I workloads.
+    "vgg19": vgg19,
+    "resnet50": resnet50,
+    "resnet152": resnet152,
+    "resnet1001": resnet1001,
+    "inception_v3": inception_v3,
+    "nasnet": nasnet,
+    "pnasnet": pnasnet,
+    "efficientnet": efficientnet,
+    # Extension workloads (not in the paper's Table I).
+    "mobilenet_v2": mobilenet_v2,
+    "mobilenet_v2_bench": lambda: mobilenet_v2(input_size=128, width_mult=0.5),
+    # Reduced benchmark variants (same topology classes, smaller scale).
+    "vgg19_bench": lambda: vgg19(input_size=112, width_mult=0.5),
+    "resnet50_bench": lambda: resnet50(input_size=128),
+    "resnet152_bench": lambda: resnet152(input_size=128),
+    "resnet1001_bench": lambda: resnet1001(input_size=64, blocks_per_stage=7),
+    "inception_v3_bench": lambda: inception_v3(input_size=139),
+    "nasnet_bench": lambda: nasnet(input_size=128, filters=44, repeat=1),
+    "pnasnet_bench": lambda: pnasnet(input_size=128, filters=54, repeat=1),
+    "efficientnet_bench": lambda: efficientnet(input_size=128, depth_mult=0.5),
+}
+
+#: The eight evaluation workloads in the paper's Table I order.
+PAPER_WORKLOADS = (
+    "vgg19",
+    "resnet50",
+    "resnet152",
+    "inception_v3",
+    "nasnet",
+    "pnasnet",
+    "efficientnet",
+    "resnet1001",
+)
+
+#: Matching reduced variants, same order, for tractable benchmark runs.
+BENCH_WORKLOADS = tuple(f"{w}_bench" for w in PAPER_WORKLOADS)
+
+
+def available_models() -> tuple[str, ...]:
+    """All registered model names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_model(name: str) -> Graph:
+    """Build a model by registry name.
+
+    Raises:
+        KeyError: With the available names listed, on unknown models.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Table I style characterization of one workload.
+
+    Attributes:
+        name: Registry name.
+        num_layers: Graph node count (excluding the input node).
+        num_params: Learned parameters.
+        total_macs: MACs for one inference sample.
+        characteristics: Structural class from Table I.
+    """
+
+    name: str
+    num_layers: int
+    num_params: int
+    total_macs: int
+    characteristics: str
+
+
+_CHARACTERISTICS = {
+    "vgg19": "layer cascaded",
+    "resnet50": "residual bypass",
+    "resnet152": "residual bypass",
+    "resnet1001": "residual bypass",
+    "inception_v3": "branching cells",
+    "nasnet": "NAS-generated",
+    "pnasnet": "NAS-generated",
+    "efficientnet": "NAS-generated",
+    "mobilenet_v2": "inverted residual",
+}
+
+
+def characterize(name: str) -> WorkloadInfo:
+    """Compute the Table I row for a registered workload."""
+    graph = get_model(name)
+    base = name.removesuffix("_bench")
+    return WorkloadInfo(
+        name=name,
+        num_layers=len(graph) - len(graph.sources()),
+        num_params=graph.num_params(),
+        total_macs=graph.total_macs(),
+        characteristics=_CHARACTERISTICS.get(base, "custom"),
+    )

@@ -1,0 +1,18 @@
+"""2D-mesh NoC topology and contention-aware traffic model."""
+
+from repro.noc.mesh import Mesh2D
+from repro.noc.traffic import NocModel, NocRoundCost, Transfer
+from repro.noc.torus import Torus2D, make_topology
+from repro.noc.wormhole import PacketTiming, WormholeResult, WormholeSimulator
+
+__all__ = [
+    "Mesh2D",
+    "NocModel",
+    "NocRoundCost",
+    "PacketTiming",
+    "Torus2D",
+    "Transfer",
+    "WormholeResult",
+    "WormholeSimulator",
+    "make_topology",
+]

@@ -1,0 +1,107 @@
+"""2D-mesh network-on-chip topology with dimension-ordered (XY) routing.
+
+Models the TILE64-style static network the paper adopts: single-cycle hops
+between adjacent engines, a full-crossbar switch per engine, data travelling
+X-first then Y.  Deadlock freedom of XY routing means we never model retries;
+credit-based flow control appears as link serialization in
+:mod:`repro.noc.traffic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """An ``rows x cols`` grid of engines joined by bidirectional mesh links.
+
+    Engines are indexed ``0 .. rows*cols-1`` in row-major order.  Links are
+    identified by directed ``(from_engine, to_engine)`` pairs between
+    adjacent engines.
+
+    Attributes:
+        rows: Grid rows.
+        cols: Grid columns.
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def num_engines(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, engine: int) -> tuple[int, int]:
+        """(row, col) of an engine index.
+
+        Raises:
+            ValueError: When the index is out of range.
+        """
+        if not 0 <= engine < self.num_engines:
+            raise ValueError(f"engine {engine} out of range")
+        return divmod(engine, self.cols)
+
+    def engine_at(self, row: int, col: int) -> int:
+        """Engine index at grid coordinates."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coordinates ({row}, {col}) out of range")
+        return row * self.cols + col
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Shortest NoC hops between two engines (Manhattan distance).
+
+        This is the ``D(i, j)`` of the paper's TransferCost formula.
+        """
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def route(self, src: int, dst: int) -> tuple[tuple[int, int], ...]:
+        """Directed links traversed under XY routing (X first, then Y)."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        links: list[tuple[int, int]] = []
+        cur_r, cur_c = r1, c1
+        step_c = 1 if c2 > c1 else -1
+        while cur_c != c2:
+            nxt = self.engine_at(cur_r, cur_c + step_c)
+            links.append((self.engine_at(cur_r, cur_c), nxt))
+            cur_c += step_c
+        step_r = 1 if r2 > r1 else -1
+        while cur_r != r2:
+            nxt = self.engine_at(cur_r + step_r, cur_c)
+            links.append((self.engine_at(cur_r, cur_c), nxt))
+            cur_r += step_r
+        return tuple(links)
+
+    def zigzag_order(self) -> tuple[int, ...]:
+        """Engines in boustrophedon (zig-zag) order, the paper's Fig. 7
+        placement baseline: left-to-right on even rows, right-to-left on odd.
+        """
+        order: list[int] = []
+        for r in range(self.rows):
+            cols = range(self.cols) if r % 2 == 0 else range(self.cols - 1, -1, -1)
+            order.extend(self.engine_at(r, c) for c in cols)
+        return tuple(order)
+
+    def memory_port_engine(self) -> int:
+        """Engine adjacent to the off-chip memory controller (corner 0).
+
+        DRAM traffic is injected/drained through this corner; the extra NoC
+        distance to reach it is part of an off-chip access's cost.
+        """
+        return 0
+
+    @lru_cache(maxsize=None)
+    def _distance_row(self, src: int) -> tuple[int, ...]:
+        return tuple(self.hop_distance(src, d) for d in range(self.num_engines))
+
+    def distance_matrix(self) -> tuple[tuple[int, ...], ...]:
+        """Full pairwise hop-distance matrix."""
+        return tuple(self._distance_row(s) for s in range(self.num_engines))

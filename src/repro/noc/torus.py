@@ -1,0 +1,70 @@
+"""2D-torus interconnect: the mesh with wraparound links.
+
+The paper lists 2D-mesh, H-tree, and Torus as the interconnects scalable
+accelerators use (Sec. IV-C).  The torus halves worst-case hop distance at
+the price of long wrap wires; because every consumer of
+:class:`~repro.noc.mesh.Mesh2D` goes through ``hop_distance``/``route``,
+swapping the topology re-targets the whole mapping/NoC stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.mesh import Mesh2D
+
+
+@dataclass(frozen=True)
+class Torus2D(Mesh2D):
+    """An ``rows x cols`` torus (mesh plus wraparound links per row/column)."""
+
+    def _axis_step(self, cur: int, dst: int, size: int) -> int:
+        """Direction (+1/-1) of the shorter way around one axis."""
+        forward = (dst - cur) % size
+        backward = (cur - dst) % size
+        return 1 if forward <= backward else -1
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Shortest hops with wraparound (per-axis min of the two ways)."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def route(self, src: int, dst: int) -> tuple[tuple[int, int], ...]:
+        """XY routing taking the shorter direction around each axis."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        links: list[tuple[int, int]] = []
+        cur_r, cur_c = r1, c1
+        if c1 != c2:
+            step = self._axis_step(c1, c2, self.cols)
+            while cur_c != c2:
+                nxt_c = (cur_c + step) % self.cols
+                links.append(
+                    (self.engine_at(cur_r, cur_c), self.engine_at(cur_r, nxt_c))
+                )
+                cur_c = nxt_c
+        if r1 != r2:
+            step = self._axis_step(r1, r2, self.rows)
+            while cur_r != r2:
+                nxt_r = (cur_r + step) % self.rows
+                links.append(
+                    (self.engine_at(cur_r, cur_c), self.engine_at(nxt_r, cur_c))
+                )
+                cur_r = nxt_r
+        return tuple(links)
+
+
+def make_topology(rows: int, cols: int, kind: str = "mesh") -> Mesh2D:
+    """Construct an interconnect by name (``"mesh"`` or ``"torus"``).
+
+    Raises:
+        ValueError: On unknown topology names.
+    """
+    if kind == "mesh":
+        return Mesh2D(rows, cols)
+    if kind == "torus":
+        return Torus2D(rows, cols)
+    raise ValueError(f"unknown topology {kind!r}; use 'mesh' or 'torus'")

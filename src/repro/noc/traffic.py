@@ -1,0 +1,114 @@
+"""Contention-aware NoC traffic accounting for one scheduling Round.
+
+The simulator hands this module the set of inter-engine transfers a Round
+performs; it returns the blocking delay and energy.  Latency model per
+transfer: router overhead + hop latency + serialization of the payload over
+the link width.  Contention: transfers sharing a directed link serialize on
+it, so the Round's NoC delay is bounded below by the busiest link's total
+occupancy (a standard static-network bound; the paper's STN schedules routes
+at compile time, making this bound tight).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.config import EnergyConfig, NocConfig
+from repro.noc.mesh import Mesh2D
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One tensor movement between engines over the mesh.
+
+    Attributes:
+        src: Source engine index.
+        dst: Destination engine index.
+        size_bytes: Payload size.
+        tag: Free-form label for tracing (e.g. the atom id moved).
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class NocRoundCost:
+    """NoC cost of one Round.
+
+    Attributes:
+        cycles: Blocking delay the Round's compute must wait for.
+        energy_pj: Transfer energy (bits x hops x pJ/bit/hop).
+        total_hop_bits: Sum over transfers of bits * hops (traffic volume).
+        busiest_link_cycles: Occupancy of the most contended link.
+    """
+
+    cycles: int
+    energy_pj: float
+    total_hop_bits: int
+    busiest_link_cycles: int
+
+
+class NocModel:
+    """Evaluates transfer batches on a 2D mesh.
+
+    Args:
+        mesh: Mesh topology.
+        config: Link/router timing parameters.
+        energy: Energy constants (uses ``noc_pj_per_bit_hop``).
+    """
+
+    def __init__(self, mesh: Mesh2D, config: NocConfig, energy: EnergyConfig) -> None:
+        self.mesh = mesh
+        self.config = config
+        self.energy = energy
+
+    def transfer_cycles(self, transfer: Transfer) -> int:
+        """Uncontended latency of a single transfer."""
+        if transfer.src == transfer.dst or transfer.size_bytes == 0:
+            return 0
+        hops = self.mesh.hop_distance(transfer.src, transfer.dst)
+        serialization = math.ceil(8 * transfer.size_bytes / self.config.link_bits)
+        return (
+            self.config.router_overhead_cycles
+            + hops * self.config.hop_cycles
+            + serialization
+        )
+
+    def round_cost(self, transfers: list[Transfer]) -> NocRoundCost:
+        """Delay and energy of a batch of transfers issued together.
+
+        The batch's blocking delay is ``max(single-transfer latency,
+        busiest-link occupancy)``: transfers on disjoint routes proceed in
+        parallel, transfers sharing a link serialize.
+        """
+        link_occupancy: dict[tuple[int, int], int] = defaultdict(int)
+        max_single = 0
+        total_hop_bits = 0
+        energy_pj = 0.0
+        for t in transfers:
+            if t.src == t.dst or t.size_bytes == 0:
+                continue
+            max_single = max(max_single, self.transfer_cycles(t))
+            serialization = math.ceil(8 * t.size_bytes / self.config.link_bits)
+            route = self.mesh.route(t.src, t.dst)
+            for link in route:
+                link_occupancy[link] += serialization
+            bits = 8 * t.size_bytes
+            total_hop_bits += bits * len(route)
+            energy_pj += bits * len(route) * self.energy.noc_pj_per_bit_hop
+        busiest = max(link_occupancy.values(), default=0)
+        return NocRoundCost(
+            cycles=max(max_single, busiest),
+            energy_pj=energy_pj,
+            total_hop_bits=total_hop_bits,
+            busiest_link_cycles=busiest,
+        )

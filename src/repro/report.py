@@ -1,0 +1,247 @@
+"""Human-readable reports of optimization solutions.
+
+Renders Round schedules as per-engine occupancy timelines (a text Gantt
+chart), summarizes utilization per layer, and formats strategy-comparison
+tables — the inspection tools a compiler developer reaches for when a
+mapping underperforms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.atoms.dag import AtomicDAG
+from repro.metrics import RunResult
+from repro.scheduling.rounds import Schedule
+
+
+@dataclass(frozen=True)
+class ScheduleSummary:
+    """Aggregate statistics of one Round schedule.
+
+    Attributes:
+        num_rounds: Rounds in the schedule.
+        num_atoms: Atoms scheduled.
+        mean_occupancy: Average engines busy per Round / engine count.
+        full_rounds: Rounds that used every engine.
+        layers_per_round: Mean distinct (sample, layer) groups per Round —
+            > 1 indicates graph-level mixing beyond layer-sequential order.
+        samples_per_round: Mean distinct batch samples per Round.
+    """
+
+    num_rounds: int
+    num_atoms: int
+    mean_occupancy: float
+    full_rounds: int
+    layers_per_round: float
+    samples_per_round: float
+
+
+def summarize_schedule(
+    dag: AtomicDAG, schedule: Schedule, num_engines: int
+) -> ScheduleSummary:
+    """Compute aggregate schedule statistics."""
+    if not schedule.rounds:
+        return ScheduleSummary(0, 0, 0.0, 0, 0.0, 0.0)
+    total_slots = 0
+    full = 0
+    layer_groups = 0
+    sample_groups = 0
+    for rnd in schedule.rounds:
+        total_slots += len(rnd)
+        if len(rnd) == num_engines:
+            full += 1
+        layer_groups += len(
+            {(dag.atoms[a].sample, dag.atoms[a].layer) for a in rnd.atom_indices}
+        )
+        sample_groups += len({dag.atoms[a].sample for a in rnd.atom_indices})
+    n = schedule.num_rounds
+    return ScheduleSummary(
+        num_rounds=n,
+        num_atoms=total_slots,
+        mean_occupancy=total_slots / (n * num_engines),
+        full_rounds=full,
+        layers_per_round=layer_groups / n,
+        samples_per_round=sample_groups / n,
+    )
+
+
+def render_gantt(
+    dag: AtomicDAG,
+    schedule: Schedule,
+    placement: dict[int, int],
+    num_engines: int,
+    max_rounds: int = 24,
+    cell_width: int = 7,
+) -> str:
+    """Render the schedule as an engines x Rounds occupancy chart.
+
+    Each cell shows the atom id (``layer-index``) an engine runs that
+    Round; ``.`` marks an idle engine.
+
+    Args:
+        dag: The atomic DAG.
+        schedule: The Round schedule.
+        placement: Atom -> engine mapping.
+        num_engines: Total engines.
+        max_rounds: Truncate the chart after this many Rounds.
+        cell_width: Characters per cell.
+
+    Returns:
+        A multi-line string.
+    """
+    rounds = schedule.rounds[:max_rounds]
+    lines = []
+    header = "engine".ljust(8) + "".join(
+        f"R{r.index}".ljust(cell_width) for r in rounds
+    )
+    lines.append(header)
+    grid: dict[int, dict[int, str]] = defaultdict(dict)
+    for rnd in rounds:
+        for a in rnd.atom_indices:
+            grid[placement[a]][rnd.index] = str(dag.atoms[a].atom_id)
+    for e in range(num_engines):
+        row = f"E{e}".ljust(8)
+        for rnd in rounds:
+            cell = grid[e].get(rnd.index, ".")
+            row += cell[: cell_width - 1].ljust(cell_width)
+        lines.append(row)
+    if schedule.num_rounds > max_rounds:
+        lines.append(f"... ({schedule.num_rounds - max_rounds} more rounds)")
+    return "\n".join(lines)
+
+
+def layer_utilization_table(dag: AtomicDAG, max_rows: int = 30) -> str:
+    """Per-layer mean atom PE-utilization, worst layers first."""
+    per_layer: dict[int, list[float]] = defaultdict(list)
+    for i in range(dag.num_atoms):
+        cost = dag.costs[i]
+        if cost.uses_pe_array:
+            per_layer[dag.atoms[i].layer].append(cost.pe_utilization)
+    rows = sorted(
+        (
+            (sum(v) / len(v), layer, len(v))
+            for layer, v in per_layer.items()
+        ),
+    )
+    lines = [f"{'layer':<28}{'atoms':>6}  {'mean PE util':>12}"]
+    for util, layer, count in rows[:max_rows]:
+        name = dag.graph.node(layer).name
+        lines.append(f"{name:<28}{count:>6}  {util:>12.1%}")
+    if len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more layers)")
+    return "\n".join(lines)
+
+
+def round_composition(dag: AtomicDAG, schedule: Schedule, index: int) -> str:
+    """Describe one Round: layers, samples, and atom counts."""
+    rnd = schedule.rounds[index]
+    per = Counter(
+        (dag.atoms[a].sample, dag.graph.node(dag.atoms[a].layer).name)
+        for a in rnd.atom_indices
+    )
+    parts = [
+        f"s{sample}/{layer} x{count}" for (sample, layer), count in per.items()
+    ]
+    return f"Round {index} [{len(rnd)} engines]: " + ", ".join(parts)
+
+
+def export_chrome_trace(
+    dag: AtomicDAG,
+    schedule: Schedule,
+    placement: dict[int, int],
+    traces: list,
+    path: str,
+    frequency_hz: float = 500e6,
+) -> None:
+    """Write a Chrome trace-event JSON (open in ``chrome://tracing``).
+
+    One timeline lane per engine with a complete-event per atom, plus a
+    "NoC/DRAM blocking" lane showing the serialization gaps between
+    Rounds.  Durations use microseconds derived from the clock.
+
+    Args:
+        dag: The atomic DAG.
+        schedule: The Round schedule.
+        placement: Atom -> engine mapping.
+        traces: Per-Round timing from
+            :meth:`repro.sim.SystemSimulator.run_traced`.
+        path: Output JSON path.
+        frequency_hz: Clock for cycle -> time conversion.
+    """
+    import json
+
+    def us(cycles: int) -> float:
+        return cycles / frequency_hz * 1e6
+
+    events = []
+    t_cursor = 0
+    for rnd, trace in zip(schedule.rounds, traces):
+        blocking = trace.blocking_noc_cycles + trace.blocking_dram_cycles
+        if blocking:
+            events.append(
+                {
+                    "name": "blocking I/O",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": "noc+dram",
+                    "ts": us(t_cursor),
+                    "dur": us(blocking),
+                    "args": {"round": rnd.index},
+                }
+            )
+        compute_start = t_cursor + blocking
+        for a in rnd.atom_indices:
+            atom = dag.atoms[a]
+            events.append(
+                {
+                    "name": str(atom.atom_id),
+                    "cat": dag.graph.node(atom.layer).name,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": f"engine {placement[a]}",
+                    "ts": us(compute_start),
+                    "dur": us(dag.costs[a].cycles),
+                    "args": {
+                        "round": rnd.index,
+                        "layer": dag.graph.node(atom.layer).name,
+                        "bound_by": trace.bound_by,
+                    },
+                }
+            )
+        t_cursor += trace.round_cycles
+    with open(path, "w") as f:
+        json.dump({"traceEvents": events}, f)
+
+
+def comparison_table(results: list[RunResult]) -> str:
+    """Format a strategy comparison like the examples and benchmarks print.
+
+    Args:
+        results: Results of different strategies on the *same* workload.
+
+    Returns:
+        An aligned text table (strategy, latency, fps, util, reuse, energy).
+
+    Raises:
+        ValueError: When results mix workloads or the list is empty.
+    """
+    if not results:
+        raise ValueError("no results to compare")
+    workloads = {r.workload for r in results}
+    if len(workloads) > 1:
+        raise ValueError(f"results mix workloads: {sorted(workloads)}")
+    header = (
+        f"{'strategy':<10}{'latency ms':>12}{'fps':>10}{'PE util':>9}"
+        f"{'reuse':>8}{'energy mJ':>11}"
+    )
+    lines = [f"workload: {results[0].workload}  batch: {results[0].batch}",
+             header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.strategy:<10}{r.latency_ms:>12.3f}{r.throughput_fps:>10.1f}"
+            f"{r.pe_utilization:>9.1%}{r.onchip_reuse_ratio:>8.1%}"
+            f"{r.energy.total_mj:>11.2f}"
+        )
+    return "\n".join(lines)

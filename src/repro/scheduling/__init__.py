@@ -1,0 +1,30 @@
+"""Atomic DAG scheduling: Rounds, priority rules, DP and pruned searchers."""
+
+from repro.scheduling.dp import (
+    SearchBudgetExceeded,
+    default_round_cost,
+    schedule_exact_dp,
+    schedule_greedy,
+    schedule_pruned,
+)
+from repro.scheduling.priority import (
+    SchedulerState,
+    candidate_combinations,
+    classify_ready,
+    fill_by_priority,
+)
+from repro.scheduling.rounds import Round, Schedule
+
+__all__ = [
+    "Round",
+    "Schedule",
+    "SchedulerState",
+    "SearchBudgetExceeded",
+    "candidate_combinations",
+    "classify_ready",
+    "default_round_cost",
+    "fill_by_priority",
+    "schedule_exact_dp",
+    "schedule_greedy",
+    "schedule_pruned",
+]

@@ -1,0 +1,94 @@
+"""Schedule data types: Rounds of concurrently executing atoms.
+
+Per Sec. III of the paper, execution proceeds in discrete *Rounds*: at most
+``N`` atoms (one per engine) run concurrently and synchronize on the slowest
+before the next Round starts.  Consequently an atom's dependencies must all
+be scheduled in strictly earlier Rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atoms.dag import AtomicDAG
+
+
+@dataclass(frozen=True)
+class Round:
+    """One synchronized execution step.
+
+    Attributes:
+        index: Round number ``t``.
+        atom_indices: Dense atom indices running this Round (≤ N of them).
+    """
+
+    index: int
+    atom_indices: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.atom_indices)
+
+
+@dataclass
+class Schedule:
+    """A complete ordering of an atomic DAG into Rounds.
+
+    Attributes:
+        rounds: The Rounds in execution order.
+    """
+
+    rounds: list[Round] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def atom_round(self) -> dict[int, int]:
+        """Map atom index -> the Round it executes in."""
+        return {
+            a: r.index for r in self.rounds for a in r.atom_indices
+        }
+
+    def validate(self, dag: AtomicDAG, num_engines: int) -> None:
+        """Check schedule feasibility against a DAG.
+
+        Verified: every atom appears exactly once, no Round exceeds the
+        engine count, and every dependency resolves in an earlier Round.
+
+        Raises:
+            ValueError: On any violation.
+        """
+        seen: dict[int, int] = {}
+        for r in self.rounds:
+            if len(r.atom_indices) == 0:
+                raise ValueError(f"round {r.index} is empty")
+            if len(r.atom_indices) > num_engines:
+                raise ValueError(
+                    f"round {r.index} schedules {len(r.atom_indices)} atoms "
+                    f"on {num_engines} engines"
+                )
+            for a in r.atom_indices:
+                if a in seen:
+                    raise ValueError(f"atom {a} scheduled twice")
+                seen[a] = r.index
+        if len(seen) != dag.num_atoms:
+            raise ValueError(
+                f"schedule covers {len(seen)} of {dag.num_atoms} atoms"
+            )
+        for a, t in seen.items():
+            for p in dag.preds[a]:
+                if seen[p] >= t:
+                    raise ValueError(
+                        f"atom {a} in round {t} depends on atom {p} in "
+                        f"round {seen[p]}"
+                    )
+
+    def compute_cycles(self, dag: AtomicDAG) -> int:
+        """Total compute cycles: sum over Rounds of the slowest atom.
+
+        This is the synchronization-aware compute time, before NoC/DRAM
+        delays are added by the system simulator.
+        """
+        return sum(
+            max(dag.costs[a].cycles for a in r.atom_indices) for r in self.rounds
+        )

@@ -1,0 +1,172 @@
+"""Save and load optimization solutions as JSON.
+
+DNN workloads are static, so the paper generates scheduling and mapping
+solutions at compile time and loads them onto the accelerator as
+configuration streams.  This module provides that deployment path: a
+solution (tiling, Round schedule, placement) serializes to a portable JSON
+document keyed by stable atom identities, and can be re-validated against a
+freshly built graph on load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.atoms.atom import AtomId, TileSize
+from repro.atoms.dag import AtomicDAG, build_atomic_dag
+from repro.config import ArchConfig
+from repro.engine.cost_model import EngineCostModel
+from repro.engine.dataflow import get_dataflow
+from repro.framework import OptimizationOutcome
+from repro.ir.graph import Graph
+from repro.ir.transforms import fuse_elementwise
+from repro.scheduling.rounds import Round, Schedule
+
+#: Format identifier embedded in every solution document.
+FORMAT = "atomic-dataflow-solution"
+VERSION = 1
+
+
+@dataclass(frozen=True)
+class SolutionDocument:
+    """A deserialized solution, re-bound to an atomic DAG.
+
+    Attributes:
+        dag: The rebuilt atomic DAG.
+        schedule: The Round schedule.
+        placement: Atom index -> engine.
+        dataflow: Dataflow name the solution was generated for.
+        batch: Batch size of the solution.
+    """
+
+    dag: AtomicDAG
+    schedule: Schedule
+    placement: dict[int, int]
+    dataflow: str
+    batch: int
+
+
+def solution_to_dict(
+    outcome: OptimizationOutcome, dataflow: str
+) -> dict:
+    """Convert an optimizer outcome into a JSON-serializable document.
+
+    Atoms are referenced by their stable ``(sample, layer, index)``
+    identity, not by dense position, so the document survives reordering of
+    DAG construction internals.
+    """
+    dag = outcome.dag
+    tiling = {
+        str(layer): [grid.tile.h, grid.tile.w, grid.tile.ci, grid.tile.co]
+        for layer, grid in dag.grids.items()
+    }
+    rounds = [
+        [
+            [dag.atoms[a].sample, dag.atoms[a].layer, dag.atoms[a].atom_id.index]
+            for a in rnd.atom_indices
+        ]
+        for rnd in outcome.schedule.rounds
+    ]
+    placement = [
+        [
+            dag.atoms[a].sample,
+            dag.atoms[a].layer,
+            dag.atoms[a].atom_id.index,
+            engine,
+        ]
+        for a, engine in sorted(outcome.placement.items())
+    ]
+    return {
+        "format": FORMAT,
+        "version": VERSION,
+        "workload": dag.graph.name,
+        "dataflow": dataflow,
+        "batch": dag.batch,
+        "tiling": tiling,
+        "rounds": rounds,
+        "placement": placement,
+        "metrics": {
+            "total_cycles": outcome.result.total_cycles,
+            "pe_utilization": outcome.result.pe_utilization,
+            "onchip_reuse_ratio": outcome.result.onchip_reuse_ratio,
+        },
+    }
+
+
+def save_solution(
+    outcome: OptimizationOutcome, path: str | Path, dataflow: str = "kc"
+) -> None:
+    """Write a solution document to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(solution_to_dict(outcome, dataflow), f, indent=2)
+
+
+def load_solution(
+    path: str | Path, graph: Graph, arch: ArchConfig
+) -> SolutionDocument:
+    """Load a solution and re-bind it to a freshly built graph.
+
+    The graph is fused and re-partitioned with the document's tiling; the
+    schedule and placement are resolved through stable atom identities and
+    validated against the rebuilt DAG.
+
+    Args:
+        path: JSON file written by :func:`save_solution`.
+        graph: The workload (pre-fusion), e.g. from :mod:`repro.models`.
+        arch: Architecture the solution targets.
+
+    Returns:
+        The re-bound solution.
+
+    Raises:
+        ValueError: On format mismatches, workload-name mismatches, or a
+            schedule that fails validation against the rebuilt DAG.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("format") != FORMAT:
+        raise ValueError(f"not a solution document: {path}")
+    if doc.get("version") != VERSION:
+        raise ValueError(f"unsupported solution version {doc.get('version')}")
+
+    fused = fuse_elementwise(graph).graph
+    if fused.name != doc["workload"]:
+        raise ValueError(
+            f"solution is for workload {doc['workload']!r}, got {fused.name!r}"
+        )
+    tiling = {
+        int(layer): TileSize(*extents) for layer, extents in doc["tiling"].items()
+    }
+    cost_model = EngineCostModel(
+        arch.engine,
+        get_dataflow(doc["dataflow"]),
+        bytes_per_element=arch.bytes_per_element,
+    )
+    dag = build_atomic_dag(fused, tiling, cost_model, batch=doc["batch"])
+
+    schedule = Schedule(
+        rounds=[
+            Round(
+                index=t,
+                atom_indices=tuple(
+                    dag.index_of(AtomId(sample, layer, index))
+                    for sample, layer, index in combo
+                ),
+            )
+            for t, combo in enumerate(doc["rounds"])
+        ]
+    )
+    placement = {
+        dag.index_of(AtomId(sample, layer, index)): engine
+        for sample, layer, index, engine in doc["placement"]
+    }
+    schedule.validate(dag, arch.num_engines)
+    return SolutionDocument(
+        dag=dag,
+        schedule=schedule,
+        placement=placement,
+        dataflow=doc["dataflow"],
+        batch=doc["batch"],
+    )

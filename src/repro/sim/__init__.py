@@ -1,0 +1,17 @@
+"""Event-driven system simulator for the scalable accelerator."""
+
+from repro.sim.events import Event, EventQueue, Resource
+from repro.sim.simulator import (
+    RoundTrace,
+    SystemSimulator,
+    WEIGHT_RESIDENCY_FRACTION,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Resource",
+    "RoundTrace",
+    "SystemSimulator",
+    "WEIGHT_RESIDENCY_FRACTION",
+]

@@ -1,0 +1,95 @@
+"""A minimal event-driven kernel used by the system simulator.
+
+Rounds synchronize globally, but *within* the window between two Round
+boundaries three resources race: engine compute, the NoC, and the HBM
+channel.  The kernel resolves their overlap: events complete in timestamp
+order, and each resource serializes its own work while running concurrently
+with the others (double buffering).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled completion.
+
+    Attributes:
+        time: Completion timestamp in cycles.
+        seq: Tie-breaker preserving insertion order.
+        kind: Free-form label ("compute", "noc", "dram").
+        payload: Arbitrary attached data.
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of events keyed by completion time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        """Schedule an event at an absolute time.
+
+        Raises:
+            ValueError: On negative timestamps.
+        """
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, Event(time, self._seq, kind, payload))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: When the queue is empty.
+        """
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def drain(self) -> list[Event]:
+        """Pop everything, in time order."""
+        out = []
+        while self._heap:
+            out.append(self.pop())
+        return out
+
+
+@dataclass
+class Resource:
+    """A serially occupied resource (one engine, the NoC, the HBM channel).
+
+    Attributes:
+        name: Label for tracing.
+        busy_until: Timestamp the resource frees up.
+    """
+
+    name: str
+    busy_until: float = 0.0
+
+    def occupy(self, start: float, duration: float) -> float:
+        """Reserve the resource at the earliest feasible time.
+
+        Args:
+            start: Earliest start (dependencies ready).
+            duration: Occupancy length in cycles.
+
+        Returns:
+            Completion timestamp.
+        """
+        begin = max(start, self.busy_until)
+        self.busy_until = begin + duration
+        return self.busy_until

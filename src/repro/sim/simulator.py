@@ -1,0 +1,435 @@
+"""System-level simulator of the scalable accelerator (Sec. V-A).
+
+Executes a Round schedule with an atom-engine placement over the full
+machine model — engines (compute), distributed buffers (capacity +
+Algorithm 3 evictions), 2D-mesh NoC (contention), and HBM (bandwidth) —
+and reports the paper's metrics: end-to-end cycles, PE utilization, NoC
+blocking overhead, on-chip reuse ratio, DRAM traffic, and energy.
+
+Timing model per Round ``t`` (double buffering):
+
+* *blocking* I/O — data produced in Round ``t-1`` (no chance to prefetch)
+  must arrive before compute starts;
+* *prefetchable* I/O — weights, network inputs, and data produced earlier
+  than ``t-1`` overlap with compute;
+* ``round_time = blocking + max(compute, prefetch_noc, prefetch_dram)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atoms.dag import AtomicDAG
+from repro.buffering.policy import BufferPolicy, weight_entry_key
+from repro.config import ArchConfig
+from repro.engine.energy import atom_energy
+from repro.memory.buffer import EngineBuffer, make_buffers
+from repro.memory.hbm import HbmModel
+from repro.metrics import EnergyBreakdown, RunResult
+from repro.noc.torus import make_topology
+from repro.noc.traffic import NocModel, Transfer
+from repro.noc.wormhole import WormholeSimulator
+from repro.scheduling.rounds import Schedule
+
+#: Weight slices larger than this fraction of the buffer stream from DRAM
+#: instead of being retained for reuse.
+WEIGHT_RESIDENCY_FRACTION = 2
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Timing breakdown of one executed Round (for profiling reports).
+
+    Attributes:
+        index: Round number.
+        num_atoms: Atoms executed.
+        compute_cycles: Slowest atom's compute.
+        blocking_noc_cycles: NoC time serialized before compute.
+        blocking_dram_cycles: DRAM time serialized before compute.
+        prefetch_noc_cycles: NoC time overlapped with compute.
+        prefetch_dram_cycles: DRAM time overlapped with compute.
+        round_cycles: Total wall time of the Round.
+    """
+
+    index: int
+    num_atoms: int
+    compute_cycles: int
+    blocking_noc_cycles: int
+    blocking_dram_cycles: int
+    prefetch_noc_cycles: int
+    prefetch_dram_cycles: int
+    round_cycles: int
+
+    @property
+    def bound_by(self) -> str:
+        """What limited this Round: "compute", "noc", or "dram"."""
+        overlapped = max(
+            self.compute_cycles,
+            self.prefetch_noc_cycles,
+            self.prefetch_dram_cycles,
+        )
+        if overlapped == self.compute_cycles:
+            return "compute"
+        if overlapped == self.prefetch_noc_cycles:
+            return "noc"
+        return "dram"
+
+
+@dataclass
+class _RoundIO:
+    """Accumulated I/O of one Round, split by overlap class."""
+
+    blocking_transfers: list[Transfer] = field(default_factory=list)
+    prefetch_transfers: list[Transfer] = field(default_factory=list)
+    blocking_dram_bytes: int = 0
+    blocking_dram_requests: int = 0
+    prefetch_dram_bytes: int = 0
+    prefetch_dram_requests: int = 0
+    writeback_bytes: int = 0
+    onchip_bytes: int = 0
+    offchip_bytes: int = 0
+
+
+class SystemSimulator:
+    """Simulates one (schedule, placement) solution on one architecture.
+
+    Args:
+        arch: Machine configuration.
+        dag: The atomic DAG being executed.
+        strategy: Label recorded in the result (e.g. ``"AD"``).
+    """
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        dag: AtomicDAG,
+        strategy: str = "AD",
+        noc_mode: str = "analytical",
+    ) -> None:
+        if noc_mode not in ("analytical", "wormhole"):
+            raise ValueError(f"unknown noc_mode {noc_mode!r}")
+        self.arch = arch
+        self.dag = dag
+        self.strategy = strategy
+        self.noc_mode = noc_mode
+        self.mesh = make_topology(
+            arch.mesh_rows, arch.mesh_cols, arch.noc.topology
+        )
+        self.noc = NocModel(self.mesh, arch.noc, arch.energy)
+        self._wormhole = (
+            WormholeSimulator(self.mesh, arch.noc)
+            if noc_mode == "wormhole"
+            else None
+        )
+
+    def _noc_cycles(self, transfers: list[Transfer]) -> int:
+        """Round NoC delay under the selected fidelity model."""
+        if self._wormhole is not None and transfers:
+            return self._wormhole.simulate(transfers).makespan
+        return self.noc.round_cost(transfers).cycles
+
+    def run(self, schedule: Schedule, placement: dict[int, int]) -> RunResult:
+        """Execute the schedule and return the full metric set.
+
+        Raises:
+            ValueError: When the schedule or placement is inconsistent with
+                the DAG (validated up front).
+        """
+        result, _ = self._run(schedule, placement, collect_trace=False)
+        return result
+
+    def run_traced(
+        self, schedule: Schedule, placement: dict[int, int]
+    ) -> tuple[RunResult, list[RoundTrace]]:
+        """Like :meth:`run`, also returning the per-Round timing trace."""
+        return self._run(schedule, placement, collect_trace=True)
+
+    def _run(
+        self,
+        schedule: Schedule,
+        placement: dict[int, int],
+        collect_trace: bool,
+    ) -> tuple[RunResult, list[RoundTrace]]:
+        schedule.validate(self.dag, self.arch.num_engines)
+        for rnd in schedule.rounds:
+            for a in rnd.atom_indices:
+                if a not in placement:
+                    raise ValueError(f"atom {a} has no engine placement")
+
+        dag = self.dag
+        arch = self.arch
+        policy = BufferPolicy(dag, schedule)
+        buffers = make_buffers(arch.num_engines, arch.engine.buffer_bytes)
+        hbm = HbmModel(arch.hbm, arch.energy, arch.engine.frequency_hz)
+        atom_round = schedule.atom_round()
+
+        atom_location: dict[int, int] = {}
+        weight_locations: dict[tuple[int, int], set[int]] = {}
+        weight_limit = arch.engine.buffer_bytes // WEIGHT_RESIDENCY_FRACTION
+
+        total_cycles = 0
+        compute_cycles_total = 0
+        noc_blocking_total = 0
+        dram_blocking_total = 0
+        noc_energy_pj = 0.0
+        dram_energy_pj = 0.0
+        mac_energy_pj = 0.0
+        sram_energy_pj = 0.0
+        noc_bytes_hops = 0
+        total_macs_pe = 0
+        onchip_bytes_total = 0
+        offchip_bytes_total = 0
+        traces: list[RoundTrace] = []
+
+        for rnd in schedule.rounds:
+            io = _RoundIO()
+            t = rnd.index
+            for a in rnd.atom_indices:
+                engine = placement[a]
+                self._gather_inputs(
+                    a, engine, t, atom_round, atom_location, buffers, io
+                )
+                self._gather_weights(
+                    a, engine, weight_locations, buffers, weight_limit, io,
+                    policy, t,
+                )
+                self._store_output(
+                    a, engine, buffers, policy, t, atom_location,
+                    weight_locations, io,
+                )
+                cost = dag.costs[a]
+                e = atom_energy(cost, arch.energy)
+                mac_energy_pj += e.mac_pj
+                sram_energy_pj += e.sram_pj
+                if cost.uses_pe_array:
+                    total_macs_pe += cost.macs
+
+            compute = max(dag.costs[a].cycles for a in rnd.atom_indices)
+            blocking_noc = self.noc.round_cost(io.blocking_transfers)
+            prefetch_noc = self.noc.round_cost(io.prefetch_transfers)
+            blocking_noc_cycles = (
+                self._noc_cycles(io.blocking_transfers)
+                if self._wormhole is not None
+                else blocking_noc.cycles
+            )
+            prefetch_noc_cycles = (
+                self._noc_cycles(io.prefetch_transfers)
+                if self._wormhole is not None
+                else prefetch_noc.cycles
+            )
+            blocking_dram = hbm.batch_cycles(
+                io.blocking_dram_bytes, io.blocking_dram_requests
+            )
+            prefetch_dram = hbm.batch_cycles(
+                io.prefetch_dram_bytes + io.writeback_bytes,
+                io.prefetch_dram_requests + (1 if io.writeback_bytes else 0),
+            )
+            round_time = (
+                blocking_noc_cycles
+                + blocking_dram
+                + max(compute, prefetch_noc_cycles, prefetch_dram)
+            )
+            if collect_trace:
+                traces.append(
+                    RoundTrace(
+                        index=rnd.index,
+                        num_atoms=len(rnd.atom_indices),
+                        compute_cycles=compute,
+                        blocking_noc_cycles=blocking_noc_cycles,
+                        blocking_dram_cycles=blocking_dram,
+                        prefetch_noc_cycles=prefetch_noc_cycles,
+                        prefetch_dram_cycles=prefetch_dram,
+                        round_cycles=round_time,
+                    )
+                )
+            total_cycles += round_time
+            compute_cycles_total += compute
+            noc_blocking_total += blocking_noc_cycles
+            dram_blocking_total += blocking_dram
+            noc_energy_pj += blocking_noc.energy_pj + prefetch_noc.energy_pj
+            noc_bytes_hops += (
+                blocking_noc.total_hop_bits + prefetch_noc.total_hop_bits
+            ) // 8
+            read_bytes = io.blocking_dram_bytes + io.prefetch_dram_bytes
+            if read_bytes:
+                dram_energy_pj += hbm.access(read_bytes).energy_pj
+            if io.writeback_bytes:
+                dram_energy_pj += hbm.access(
+                    io.writeback_bytes, write=True
+                ).energy_pj
+            onchip_bytes_total += io.onchip_bytes
+            offchip_bytes_total += io.offchip_bytes
+
+        seconds = total_cycles / arch.engine.frequency_hz
+        static_pj = (
+            arch.energy.static_w_per_engine * arch.num_engines * seconds * 1e12
+        )
+        energy = EnergyBreakdown(
+            mac_pj=mac_energy_pj,
+            sram_pj=sram_energy_pj,
+            noc_pj=noc_energy_pj,
+            dram_pj=dram_energy_pj,
+            static_pj=static_pj,
+        )
+        peak = compute_cycles_total * arch.num_engines * arch.engine.macs_per_cycle
+        served = onchip_bytes_total + offchip_bytes_total
+        result = RunResult(
+            strategy=self.strategy,
+            workload=dag.graph.name,
+            batch=dag.batch,
+            total_cycles=total_cycles,
+            compute_cycles=compute_cycles_total,
+            noc_blocking_cycles=noc_blocking_total,
+            dram_blocking_cycles=dram_blocking_total,
+            num_rounds=schedule.num_rounds,
+            pe_utilization=(total_macs_pe / peak) if peak else 0.0,
+            onchip_reuse_ratio=(
+                onchip_bytes_total / served if served else 0.0
+            ),
+            dram_bytes_read=hbm.total_bytes_read,
+            dram_bytes_written=hbm.total_bytes_written,
+            noc_bytes_hops=noc_bytes_hops,
+            energy=energy,
+            frequency_hz=arch.engine.frequency_hz,
+        )
+        return result, traces
+
+    # ------------------------------------------------------------- internals
+
+    def _gather_inputs(
+        self,
+        a: int,
+        engine: int,
+        t: int,
+        atom_round: dict[int, int],
+        atom_location: dict[int, int],
+        buffers: list[EngineBuffer],
+        io: _RoundIO,
+    ) -> None:
+        """Resolve where each input tile comes from and charge the movement.
+
+        Network inputs always stream from DRAM (prefetchable).  Produced
+        tiles come from the local buffer (free), a remote buffer (NoC), or
+        DRAM if they were spilled; data produced in the immediately
+        preceding Round cannot be prefetched and blocks.
+        """
+        dag = self.dag
+        if dag.dram_input_bytes[a]:
+            io.prefetch_dram_bytes += dag.dram_input_bytes[a]
+            io.prefetch_dram_requests += 1
+        for p in dag.preds[a]:
+            nbytes = dag.edge_bytes[(p, a)]
+            if nbytes == 0:
+                continue
+            blocking = atom_round[p] == t - 1
+            loc = atom_location.get(p)
+            if loc is not None and buffers[loc].contains(p):
+                if loc == engine:
+                    io.onchip_bytes += nbytes
+                    continue
+                transfer = Transfer(src=loc, dst=engine, size_bytes=nbytes, tag=str(p))
+                if blocking:
+                    io.blocking_transfers.append(transfer)
+                else:
+                    io.prefetch_transfers.append(transfer)
+                io.onchip_bytes += nbytes
+            else:
+                # Spilled to DRAM earlier; read it back.
+                if blocking:
+                    io.blocking_dram_bytes += nbytes
+                    io.blocking_dram_requests += 1
+                else:
+                    io.prefetch_dram_bytes += nbytes
+                    io.prefetch_dram_requests += 1
+                io.offchip_bytes += nbytes
+
+    def _gather_weights(
+        self,
+        a: int,
+        engine: int,
+        weight_locations: dict[tuple[int, int], set[int]],
+        buffers: list[EngineBuffer],
+        weight_limit: int,
+        io: _RoundIO,
+        policy: BufferPolicy,
+        t: int,
+    ) -> None:
+        """Source the atom's weight slice: local hit, remote copy, or DRAM."""
+        dag = self.dag
+        wk = dag.weight_key(a)
+        if wk is None:
+            return
+        nbytes = dag.costs[a].weight_bytes
+        key = weight_entry_key(*wk)
+        holders = weight_locations.get(wk, set())
+        if engine in holders and buffers[engine].contains(key):
+            io.onchip_bytes += nbytes
+            return
+        live_holders = [h for h in holders if buffers[h].contains(key)]
+        if live_holders:
+            src = min(
+                live_holders, key=lambda h: self.mesh.hop_distance(h, engine)
+            )
+            io.prefetch_transfers.append(
+                Transfer(src=src, dst=engine, size_bytes=nbytes, tag=f"w{wk}")
+            )
+            io.onchip_bytes += nbytes
+        else:
+            io.prefetch_dram_bytes += nbytes
+            io.prefetch_dram_requests += 1
+            io.offchip_bytes += nbytes
+        if nbytes <= weight_limit:
+            evs = policy.make_room(buffers[engine], nbytes, t)
+            self._apply_evictions(evs, engine, weight_locations, io)
+            if buffers[engine].fits(nbytes):
+                buffers[engine].store(key, nbytes)
+                weight_locations.setdefault(wk, set()).add(engine)
+
+    def _store_output(
+        self,
+        a: int,
+        engine: int,
+        buffers: list[EngineBuffer],
+        policy: BufferPolicy,
+        t: int,
+        atom_location: dict[int, int],
+        weight_locations: dict[tuple[int, int], set[int]],
+        io: _RoundIO,
+    ) -> None:
+        """Retain the atom's output on-chip, or drain results to DRAM."""
+        dag = self.dag
+        nbytes = dag.costs[a].ofmap_bytes
+        if nbytes == 0:
+            return
+        if not dag.succs[a]:
+            # Network output: drained off-chip, never buffered.
+            io.writeback_bytes += nbytes
+            return
+        if nbytes > buffers[engine].capacity_bytes:
+            # Tile larger than the whole buffer: stream straight to DRAM.
+            io.writeback_bytes += nbytes
+            return
+        evs = policy.make_room(buffers[engine], nbytes, t + 1)
+        self._apply_evictions(evs, engine, weight_locations, io)
+        if buffers[engine].fits(nbytes):
+            buffers[engine].store(a, nbytes)
+            atom_location[a] = engine
+        else:
+            # Even a fully drained buffer cannot hold it: spill immediately.
+            io.writeback_bytes += nbytes
+
+    def _apply_evictions(
+        self,
+        evictions,
+        engine: int,
+        weight_locations: dict[tuple[int, int], set[int]],
+        io: _RoundIO,
+    ) -> None:
+        for ev in evictions:
+            io.writeback_bytes += ev.writeback_bytes
+            if (
+                isinstance(ev.key, tuple)
+                and len(ev.key) == 3
+                and ev.key[0] == "w"
+            ):
+                weight_locations.get((ev.key[1], ev.key[2]), set()).discard(engine)

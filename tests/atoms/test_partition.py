@@ -1,0 +1,75 @@
+"""Tests for tile grids and dependency-covering index math."""
+
+import pytest
+
+from repro.atoms import TileSize, clamp_tile, grid_for
+from repro.atoms.partition import TileGrid
+from repro.ir import Region, TensorShape
+
+
+class TestTileGrid:
+    def test_exact_division(self):
+        grid = grid_for(TensorShape(8, 8, 16), TileSize(4, 4, 16, 8))
+        assert (grid.tiles_h, grid.tiles_w, grid.tiles_c) == (2, 2, 2)
+        assert grid.num_tiles == 8
+
+    def test_ragged_edges_shrink(self):
+        grid = grid_for(TensorShape(10, 10, 10), TileSize(4, 4, 10, 4))
+        assert grid.tiles_h == 3
+        last = grid.region(grid.num_tiles - 1)
+        assert last.height == 2 and last.width == 2 and last.channels == 2
+
+    def test_regions_cover_tensor_exactly(self):
+        shape = TensorShape(10, 7, 5)
+        grid = grid_for(shape, TileSize(3, 2, 5, 2))
+        total = sum(r.num_elements for r in grid.regions())
+        assert total == shape.num_elements
+
+    def test_regions_disjoint(self):
+        grid = grid_for(TensorShape(6, 6, 6), TileSize(4, 4, 6, 4))
+        regions = grid.regions()
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_region_index_out_of_range(self):
+        grid = grid_for(TensorShape(4, 4, 4), TileSize(2, 2, 4, 4))
+        with pytest.raises(ValueError):
+            grid.region(grid.num_tiles)
+
+
+class TestTilesCovering:
+    def test_single_tile_query(self):
+        grid = grid_for(TensorShape(8, 8, 8), TileSize(4, 4, 8, 8))
+        hits = grid.tiles_covering(Region((0, 3), (0, 3), (0, 7)))
+        assert hits == [0]
+
+    def test_halo_query_spans_neighbours(self):
+        grid = grid_for(TensorShape(8, 8, 8), TileSize(4, 4, 8, 8))
+        # A region straddling the h/w tile boundary touches all 4 tiles.
+        hits = grid.tiles_covering(Region((3, 4), (3, 4), (0, 7)))
+        assert sorted(hits) == [0, 1, 2, 3]
+
+    def test_covering_matches_intersection_scan(self):
+        grid = grid_for(TensorShape(9, 7, 6), TileSize(4, 3, 6, 4))
+        query = Region((2, 6), (1, 5), (1, 4))
+        brute = [
+            i for i in range(grid.num_tiles)
+            if grid.region(i).intersects(query)
+        ]
+        assert sorted(grid.tiles_covering(query)) == brute
+
+    def test_out_of_bounds_query_clipped(self):
+        grid = grid_for(TensorShape(4, 4, 4), TileSize(2, 2, 4, 4))
+        hits = grid.tiles_covering(Region((0, 100), (0, 100), (0, 100)))
+        assert sorted(hits) == list(range(grid.num_tiles))
+
+
+class TestClampTile:
+    def test_oversized_tile_saturates(self):
+        t = clamp_tile(TileSize(100, 100, 100, 100), TensorShape(8, 8, 4), 16)
+        assert t == TileSize(8, 8, 16, 4)
+
+    def test_fitting_tile_unchanged(self):
+        t = clamp_tile(TileSize(4, 4, 8, 2), TensorShape(8, 8, 4), 16)
+        assert t == TileSize(4, 4, 8, 2)

@@ -1,0 +1,146 @@
+"""Tests for the LS / CNN-P / IL-Pipe / Rammer / Ideal baselines."""
+
+import pytest
+
+from repro.baselines import (
+    cnn_partition_utilization,
+    ideal_result,
+    ls_utilization_report,
+    run_cnn_partition,
+    run_il_pipe,
+    run_layer_sequential,
+    run_rammer,
+)
+from repro.baselines.common import layer_sequential_schedule, ls_atomic_dag, prepare
+from repro.config import ArchConfig, EngineConfig
+from repro.models import resnet50, vgg19
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig(mesh_rows=2, mesh_cols=2)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return resnet50(input_size=64)
+
+
+class TestLayerSequential:
+    def test_runs_and_labels(self, net, arch):
+        r = run_layer_sequential(net, arch)
+        assert r.strategy == "LS"
+        assert r.total_cycles > 0
+
+    def test_schedule_is_layer_ordered(self, net, arch):
+        fused, cm = prepare(net, arch, "kc")
+        dag = ls_atomic_dag(fused, arch, cm, batch=1)
+        schedule = layer_sequential_schedule(dag, arch.num_engines)
+        schedule.validate(dag, arch.num_engines)
+        seen_layers = []
+        for rnd in schedule.rounds:
+            for a in rnd.atom_indices:
+                layer = dag.atoms[a].layer
+                if not seen_layers or seen_layers[-1] != layer:
+                    seen_layers.append(layer)
+        assert seen_layers == sorted(seen_layers)
+
+    def test_batch_enhancement_fills_rounds(self, net, arch):
+        fused, cm = prepare(net, arch, "kc")
+        dag2 = ls_atomic_dag(fused, arch, cm, batch=2)
+        interleaved = layer_sequential_schedule(dag2, arch.num_engines)
+        serial = layer_sequential_schedule(
+            dag2, arch.num_engines, interleave_batch=False
+        )
+        interleaved.validate(dag2, arch.num_engines)
+        assert interleaved.num_rounds <= serial.num_rounds
+
+    def test_utilization_report(self, net, arch):
+        rep = ls_utilization_report(net, arch)
+        assert rep.per_layer
+        assert 0 < rep.average <= 1.0
+
+
+class TestCnnPartition:
+    def test_batch1_equals_ls(self, net, arch):
+        cnnp = run_cnn_partition(net, arch, batch=1)
+        ls = run_layer_sequential(net, arch, batch=1)
+        assert cnnp.strategy == "CNN-P"
+        assert cnnp.total_cycles == ls.total_cycles
+
+    def test_batched_pipelines_beat_ls(self, net, arch):
+        cnnp = run_cnn_partition(net, arch, batch=8)
+        ls = run_layer_sequential(net, arch, batch=8)
+        assert cnnp.total_cycles < ls.total_cycles
+
+    def test_auto_clp_count_picks_best(self, net, arch):
+        auto = run_cnn_partition(net, arch, batch=8)
+        manual = [
+            run_cnn_partition(net, arch, batch=8, num_clps=k) for k in (2, 4)
+        ]
+        assert auto.total_cycles == min(m.total_cycles for m in manual)
+
+    def test_no_onchip_reuse(self, net, arch):
+        r = run_cnn_partition(net, arch, batch=8, num_clps=2)
+        assert r.onchip_reuse_ratio == 0.0
+        assert r.dram_bytes_read > 0 and r.dram_bytes_written > 0
+
+    def test_utilization_helper_in_range(self, net, arch):
+        u = cnn_partition_utilization(net, arch, num_clps=2)
+        assert 0 < u <= 1.0
+
+
+class TestIlPipe:
+    def test_runs_and_labels(self, net, arch):
+        r = run_il_pipe(net, arch)
+        assert r.strategy == "IL-Pipe"
+        assert r.total_cycles > 0
+
+    def test_throughput_improves_with_batch(self, net, arch):
+        r1 = run_il_pipe(net, arch, batch=1)
+        r8 = run_il_pipe(net, arch, batch=8)
+        assert r8.throughput_fps > r1.throughput_fps
+
+    def test_low_dram_traffic_vs_cnnp(self, net, arch):
+        ilp = run_il_pipe(net, arch, batch=8)
+        cnnp = run_cnn_partition(net, arch, batch=8, num_clps=2)
+        total_ilp = ilp.dram_bytes_read + ilp.dram_bytes_written
+        total_cnnp = cnnp.dram_bytes_read + cnnp.dram_bytes_written
+        assert total_ilp < total_cnnp
+
+
+class TestRammer:
+    def test_runs_and_labels(self, net, arch):
+        r = run_rammer(net, arch)
+        assert r.strategy == "Rammer"
+        assert r.total_cycles > 0
+
+    def test_not_slower_than_ls_on_branching_net(self, arch):
+        # Rammer's co-scheduling pays off when independent operators exist.
+        from repro.models import inception_v3
+
+        net = inception_v3(input_size=107)
+        ram = run_rammer(net, arch)
+        ls = run_layer_sequential(net, arch)
+        assert ram.total_cycles <= ls.total_cycles * 1.02
+
+
+class TestIdeal:
+    def test_perfect_utilization(self, net, arch):
+        r = ideal_result(net, arch)
+        assert r.pe_utilization == 1.0
+        assert r.onchip_reuse_ratio == 1.0
+        assert r.dram_bytes_read == 0
+
+    def test_lower_bound_on_everything(self, net, arch):
+        ideal = ideal_result(net, arch)
+        for result in (
+            run_layer_sequential(net, arch),
+            run_il_pipe(net, arch),
+        ):
+            assert ideal.total_cycles <= result.total_cycles
+
+    def test_scales_with_batch(self, net, arch):
+        r1 = ideal_result(net, arch, batch=1)
+        r4 = ideal_result(net, arch, batch=4)
+        assert r4.total_cycles == pytest.approx(4 * r1.total_cycles, rel=0.01)

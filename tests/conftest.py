@@ -1,0 +1,81 @@
+"""Shared fixtures: small graphs, architectures, cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atoms import TileSize, build_atomic_dag, uniform_tiling
+from repro.config import ArchConfig, EngineConfig
+from repro.engine import EngineCostModel, get_dataflow
+from repro.ir import GraphBuilder
+
+
+@pytest.fixture
+def small_arch() -> ArchConfig:
+    """A 2x2-engine machine with 8x8 PE arrays — fast to simulate."""
+    return ArchConfig(
+        mesh_rows=2,
+        mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=32 * 1024),
+    )
+
+
+@pytest.fixture
+def default_arch() -> ArchConfig:
+    """The paper's 8x8-engine platform."""
+    return ArchConfig()
+
+
+@pytest.fixture
+def kc_model(small_arch) -> EngineCostModel:
+    return EngineCostModel(small_arch.engine, get_dataflow("kc"))
+
+
+@pytest.fixture
+def yx_model(small_arch) -> EngineCostModel:
+    return EngineCostModel(small_arch.engine, get_dataflow("yx"))
+
+
+@pytest.fixture
+def chain_graph():
+    """input -> conv -> relu -> conv -> relu: a linear (VGG-like) chain."""
+    b = GraphBuilder(name="chain")
+    x = b.input(16, 16, 8)
+    x = b.conv_bn_relu(x, 8, kernel=3, name="c1")
+    x = b.conv_bn_relu(x, 8, kernel=3, name="c2")
+    return b.build()
+
+
+@pytest.fixture
+def residual_graph():
+    """A minimal residual-bypass block (ResNet-like)."""
+    b = GraphBuilder(name="residual")
+    x = b.input(16, 16, 8)
+    y = b.conv_bn_relu(x, 8, kernel=3, name="c1")
+    y = b.conv(y, 8, kernel=3, name="c2")
+    s = b.conv(x, 8, kernel=1, name="proj")
+    y = b.add(y, s, name="join")
+    y = b.relu(y, name="out")
+    return b.build()
+
+
+@pytest.fixture
+def branching_graph():
+    """A two-branch concat cell (Inception-like)."""
+    b = GraphBuilder(name="branching")
+    x = b.input(8, 8, 8)
+    b1 = b.conv(x, 8, kernel=1, name="b1")
+    b2 = b.conv(x, 8, kernel=3, name="b2")
+    y = b.concat(b1, b2, name="join")
+    y = b.conv(y, 8, kernel=1, name="tail")
+    return b.build()
+
+
+@pytest.fixture
+def chain_dag(chain_graph, kc_model):
+    """Atomic DAG of the chain graph with 4x4 tiles (fused first)."""
+    from repro.ir.transforms import fuse_elementwise
+
+    fused = fuse_elementwise(chain_graph).graph
+    tiling = uniform_tiling(fused, TileSize(8, 8, 8, 8))
+    return build_atomic_dag(fused, tiling, kc_model, batch=1)

@@ -1,0 +1,121 @@
+"""Tests for the single-engine analytical cost model."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import EngineCostModel, get_dataflow
+from repro.ir import Add, Conv2D, FullyConnected, Pool, Region, TensorShape
+
+ENGINE = EngineConfig(pe_rows=16, pe_cols=16, buffer_bytes=128 * 1024)
+
+
+@pytest.fixture
+def kc():
+    return EngineCostModel(ENGINE, get_dataflow("kc"))
+
+
+@pytest.fixture
+def yx():
+    return EngineCostModel(ENGINE, get_dataflow("yx"))
+
+
+class TestConvCosts:
+    def test_perfectly_matched_tile_high_utilization(self, kc):
+        # ci=co=16 exactly covers the 16x16 array; 8x8 spatial, 3x3 kernel.
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 16),)
+        cost = kc.cost(op, x, Region((0, 7), (0, 7), (0, 15)))
+        assert cost.uses_pe_array
+        assert cost.pe_utilization > 0.9
+
+    def test_mismatched_channels_strand_rows(self, kc):
+        # Only 3 input channels: at most 3/16 of the rows can be active.
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 3),)
+        cost = kc.cost(op, x, Region((0, 7), (0, 7), (0, 15)))
+        assert cost.pe_utilization <= 3 / 16 + 0.01
+
+    def test_reload_bound_tiny_spatial_tile(self, kc):
+        # 1x1 conv over a 2x2 tile: temporal loop (4) << weight reload (32).
+        op = Conv2D(256, kernel=(1, 1), padding=(0, 0))
+        x = (TensorShape(2, 2, 256),)
+        cost = kc.cost(op, x, Region((0, 1), (0, 1), (0, 255)))
+        assert cost.pe_utilization < 0.2
+
+    def test_cycles_scale_with_channel_passes(self, kc):
+        op = Conv2D(16, kernel=(1, 1), padding=(0, 0))
+        small = kc.cost(op, (TensorShape(8, 8, 16),), Region((0, 7), (0, 7), (0, 15)))
+        big = kc.cost(op, (TensorShape(8, 8, 64),), Region((0, 7), (0, 7), (0, 15)))
+        # 4x the input channels -> 4 passes instead of 1 (fill charged once).
+        assert big.cycles >= 3 * small.cycles
+        assert big.cycles - small.cycles == 3 * (small.cycles - 32)
+
+    def test_macs_independent_of_dataflow(self, kc, yx):
+        op = Conv2D(32, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(16, 16, 32),)
+        r = Region((0, 15), (0, 15), (0, 31))
+        assert kc.cost(op, x, r).macs == yx.cost(op, x, r).macs
+
+    def test_yx_fits_spatial_tiles(self, yx):
+        # A 16x16 spatial tile exactly covers the YX array.
+        op = Conv2D(8, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(16, 16, 64),)
+        cost = yx.cost(op, x, Region((0, 15), (0, 15), (0, 7)))
+        assert cost.pe_utilization > 0.8
+
+    def test_traffic_volumes(self, kc):
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 4),)
+        r = Region((0, 3), (0, 3), (0, 7))
+        cost = kc.cost(op, x, r)
+        # ofmap: the region itself at 1 B/elem.
+        assert cost.ofmap_bytes == 4 * 4 * 8
+        # ifmap: 4x4 tile + 1-halo (5x5, clamped at border) x 4 channels.
+        assert cost.ifmap_bytes == 5 * 5 * 4
+        # weights: co_tile x ci x kh x kw.
+        assert cost.weight_bytes == 8 * 4 * 9
+
+    def test_fc_weight_traffic(self, kc):
+        op = FullyConnected(100)
+        x = (TensorShape(4, 4, 8),)
+        cost = kc.cost(op, x, Region((0, 0), (0, 0), (0, 99)))
+        assert cost.weight_bytes == 128 * 100
+        assert cost.ifmap_bytes == 128
+
+
+class TestVectorCosts:
+    def test_pool_runs_on_vector_unit(self, kc):
+        op = Pool(kind="max", kernel=(2, 2))
+        x = (TensorShape(8, 8, 16),)
+        cost = kc.cost(op, x, Region((0, 3), (0, 3), (0, 15)))
+        assert not cost.uses_pe_array
+        assert cost.pe_utilization == 0.0
+        assert cost.cycles >= 1
+
+    def test_add_traffic_counts_both_inputs(self, kc):
+        op = Add()
+        x = TensorShape(4, 4, 8)
+        cost = kc.cost(op, (x, x), Region.full(x))
+        assert cost.ifmap_bytes == 2 * x.num_elements
+
+
+class TestMemoizationAndHelpers:
+    def test_cost_is_memoized(self, kc):
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 16),)
+        r = Region((0, 7), (0, 7), (0, 15))
+        assert kc.cost(op, x, r) is kc.cost(op, x, r)
+
+    def test_layer_cost_covers_full_output(self, kc):
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 4),)
+        full = kc.layer_cost(op, x)
+        assert full.macs == op.macs_for_region(x, Region.full(op.infer_shape(x)))
+
+    def test_bytes_per_element_scales_traffic(self):
+        m1 = EngineCostModel(ENGINE, get_dataflow("kc"), bytes_per_element=1)
+        m2 = EngineCostModel(ENGINE, get_dataflow("kc"), bytes_per_element=2)
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 4),)
+        r = Region((0, 7), (0, 7), (0, 15))
+        assert m2.cost(op, x, r).ofmap_bytes == 2 * m1.cost(op, x, r).ofmap_bytes

@@ -1,0 +1,155 @@
+"""Tests for the KC-/YX-Partition spatial dataflows."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import (
+    ConvDims,
+    KCPartition,
+    YXPartition,
+    conv_dims_for_region,
+    get_dataflow,
+)
+from repro.ir import Conv2D, FullyConnected, Pool, Region, TensorShape
+
+ENGINE = EngineConfig(pe_rows=16, pe_cols=16)
+
+
+class TestConvDims:
+    def test_macs(self):
+        dims = ConvDims(h=4, w=4, ci=8, co=16, kh=3, kw=3)
+        assert dims.macs == 4 * 4 * 8 * 16 * 9
+
+    def test_from_conv_region(self):
+        op = Conv2D(32, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(8, 8, 16),)
+        dims = conv_dims_for_region(op, x, Region((0, 3), (0, 3), (0, 15)))
+        assert (dims.h, dims.w, dims.ci, dims.co) == (4, 4, 16, 16)
+        assert (dims.kh, dims.kw) == (3, 3)
+
+    def test_grouped_conv_uses_per_group_ci(self):
+        op = Conv2D(32, kernel=(3, 3), padding=(1, 1), groups=4)
+        x = (TensorShape(8, 8, 16),)
+        dims = conv_dims_for_region(op, x, Region((0, 7), (0, 7), (0, 31)))
+        assert dims.ci == 4
+
+    def test_fc_as_1x1_conv(self):
+        op = FullyConnected(100)
+        x = (TensorShape(7, 7, 64),)
+        dims = conv_dims_for_region(op, x, Region((0, 0), (0, 0), (0, 99)))
+        assert (dims.h, dims.w, dims.kh, dims.kw) == (1, 1, 1, 1)
+        assert dims.ci == 7 * 7 * 64 and dims.co == 100
+
+    def test_vector_op_rejected(self):
+        with pytest.raises(TypeError):
+            conv_dims_for_region(
+                Pool(), (TensorShape(8, 8, 4),), Region((0, 0), (0, 0), (0, 0))
+            )
+
+
+class TestKCPartition:
+    def test_spatial_extents_are_channels(self):
+        dims = ConvDims(h=4, w=4, ci=32, co=64, kh=3, kw=3)
+        assert KCPartition().spatial_extents(dims) == (32, 64)
+
+    def test_temporal_is_spatial_times_kernel(self):
+        dims = ConvDims(h=4, w=5, ci=32, co=64, kh=3, kw=3)
+        assert KCPartition().temporal_iterations(dims) == 4 * 5 * 9
+
+    def test_atom_tile_scales_channels_by_array(self):
+        tile = KCPartition().atom_tile((2, 3, 4, 5), ENGINE)
+        assert tile == (2, 3, 4 * 16, 5 * 16)
+
+    def test_weights_per_pass(self):
+        dims = ConvDims(h=4, w=4, ci=32, co=64, kh=3, kw=3)
+        # Active PEs capped at array dims, refreshed per kernel position.
+        assert KCPartition().weight_elements_per_pass(dims, ENGINE) == 16 * 16 * 9
+
+
+class TestYXPartition:
+    def test_spatial_extents_are_hw(self):
+        dims = ConvDims(h=4, w=5, ci=32, co=64, kh=3, kw=3)
+        assert YXPartition().spatial_extents(dims) == (4, 5)
+
+    def test_atom_tile_scales_spatial_by_array(self):
+        tile = YXPartition().atom_tile((2, 3, 4, 5), ENGINE)
+        assert tile == (2 * 16, 3 * 16, 4, 5)
+
+    def test_weights_streamed_once_per_pass(self):
+        dims = ConvDims(h=32, w=32, ci=8, co=8, kh=3, kw=3)
+        assert YXPartition().weight_elements_per_pass(dims, ENGINE) == 8 * 8 * 9
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_dataflow("kc"), KCPartition)
+        assert isinstance(get_dataflow("yx"), YXPartition)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataflow"):
+            get_dataflow("ws")
+
+
+class TestKCWPartition:
+    def test_registry_lookup(self):
+        from repro.engine import KCWPartition
+
+        df = get_dataflow("kcw")
+        assert isinstance(df, KCWPartition)
+
+    def test_spatial_extents_co_map_width(self):
+        from repro.engine import KCWPartition
+
+        df = KCWPartition(width_lanes=4)
+        dims = ConvDims(h=8, w=8, ci=32, co=8, kh=3, kw=3)
+        assert df.spatial_extents(dims) == (32, 8 * 4)
+
+    def test_width_smaller_than_lanes(self):
+        from repro.engine import KCWPartition
+
+        df = KCWPartition(width_lanes=4)
+        dims = ConvDims(h=8, w=2, ci=32, co=8, kh=1, kw=1)
+        assert df.spatial_extents(dims) == (32, 8 * 2)
+
+    def test_temporal_folds_width(self):
+        from repro.engine import KCWPartition
+
+        df = KCWPartition(width_lanes=4)
+        dims = ConvDims(h=8, w=8, ci=32, co=8, kh=3, kw=3)
+        # w iterates in ceil(8/4)=2 chunks.
+        assert df.temporal_iterations(dims) == 8 * 2 * 9
+
+    def test_macs_preserved(self):
+        from repro.engine import KCWPartition
+        from repro.engine.cost_model import EngineCostModel
+        from repro.ir import Conv2D, Region, TensorShape
+
+        kc = EngineCostModel(ENGINE, get_dataflow("kc"))
+        kcw = EngineCostModel(ENGINE, get_dataflow("kcw"))
+        op = Conv2D(32, kernel=(3, 3), padding=(1, 1))
+        x = (TensorShape(16, 16, 32),)
+        r = Region((0, 15), (0, 15), (0, 31))
+        assert kc.cost(op, x, r).macs == kcw.cost(op, x, r).macs
+
+    def test_depthwise_less_reload_bound_than_kc(self):
+        from repro.engine.cost_model import EngineCostModel
+        from repro.ir import Conv2D, Region, TensorShape
+
+        kc = EngineCostModel(ENGINE, get_dataflow("kc"))
+        kcw = EngineCostModel(ENGINE, get_dataflow("kcw"))
+        # Depthwise conv: ci per group is 1, KC's rows are nearly idle and
+        # every pass is reload-bound; kcw spreads width over columns.
+        op = Conv2D(64, kernel=(3, 3), padding=(1, 1), groups=64)
+        x = (TensorShape(16, 16, 64),)
+        r = Region((0, 15), (0, 15), (0, 63))
+        assert (
+            kcw.cost(op, x, r).pe_utilization
+            >= kc.cost(op, x, r).pe_utilization
+        )
+
+    def test_invalid_lanes_rejected(self):
+        from repro.engine import KCWPartition
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            KCWPartition(width_lanes=0)

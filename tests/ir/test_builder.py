@@ -1,0 +1,141 @@
+"""Tests for GraphBuilder helpers and the spec deserializer."""
+
+import pytest
+
+from repro.ir import Conv2D, GraphBuilder, TensorShape, graph_from_spec
+
+
+class TestBuilderHelpers:
+    def test_same_padding_from_kernel(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 3)
+        c = b.conv(x, 8, kernel=5, padding="same")
+        assert b.graph.node(c).output_shape == TensorShape(8, 8, 8)
+
+    def test_valid_padding(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 3)
+        c = b.conv(x, 8, kernel=3, padding="valid")
+        assert b.graph.node(c).output_shape == TensorShape(6, 6, 8)
+
+    def test_depthwise_uses_groups(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 16)
+        d = b.depthwise_conv(x)
+        op = b.graph.node(d).op
+        assert isinstance(op, Conv2D) and op.groups == 16
+
+    def test_separable_conv_is_dw_plus_pw(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 16)
+        s = b.separable_conv(x, 32, name="sep")
+        assert b.graph.node(s).output_shape == TensorShape(8, 8, 32)
+        assert b.graph.by_name("sep_dw").op.groups == 16
+        assert b.graph.by_name("sep_pw").op.kernel == (1, 1)
+
+    def test_conv_bn_relu_folds_bn_by_default(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 3)
+        b.conv_bn_relu(x, 8, name="blk")
+        names = [n.name for n in b.graph.nodes]
+        assert "blk_conv" in names and "blk_relu" in names
+        assert "blk_bn" not in names
+
+    def test_conv_bn_relu_explicit_bn(self):
+        b = GraphBuilder(fold_batchnorm=False)
+        x = b.input(8, 8, 3)
+        b.conv_bn_relu(x, 8, name="blk")
+        assert "blk_bn" in [n.name for n in b.graph.nodes]
+
+    def test_se_style_scale_wiring(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 16)
+        g = b.global_avg_pool(x)
+        g = b.fc(g, 16)
+        g = b.sigmoid(g)
+        y = b.scale(x, g)
+        assert b.graph.node(y).output_shape == TensorShape(8, 8, 16)
+
+    def test_rectangular_kernels(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 3)
+        c = b.conv(x, 8, kernel=(1, 7), padding=(0, 3))
+        assert b.graph.node(c).output_shape == TensorShape(8, 8, 8)
+
+
+class TestGraphFromSpec:
+    def test_round_trips_simple_net(self):
+        g = graph_from_spec(
+            {
+                "name": "tiny",
+                "input": [8, 8, 3],
+                "layers": [
+                    {"op": "conv", "src": "input", "out_channels": 8, "name": "c1"},
+                    {"op": "relu", "src": -1},
+                    {"op": "conv", "src": -1, "out_channels": 8, "name": "c2"},
+                    {"op": "add", "src": ["c1", -1]},
+                    {"op": "gap", "src": -1},
+                    {"op": "fc", "src": -1, "out_features": 10},
+                ],
+            }
+        )
+        assert g.name == "tiny"
+        assert g.node(g.sinks()[0]).output_shape == TensorShape(1, 1, 10)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec op"):
+            graph_from_spec(
+                {"input": [8, 8, 3], "layers": [{"op": "warp", "src": -1}]}
+            )
+
+    def test_name_and_negative_refs_agree(self):
+        spec = {
+            "input": [8, 8, 3],
+            "layers": [
+                {"op": "conv", "src": 0, "out_channels": 4, "name": "a"},
+                {"op": "conv", "src": "a", "out_channels": 4, "name": "b"},
+                {"op": "add", "src": ["a", "b"]},
+            ],
+        }
+        g = graph_from_spec(spec)
+        add_node = g.node(g.sinks()[0])
+        assert add_node.inputs == (
+            g.by_name("a").node_id,
+            g.by_name("b").node_id,
+        )
+
+
+class TestGraphToSpec:
+    def test_round_trip_identity(self, residual_graph):
+        from repro.ir import graph_from_spec, graph_to_spec
+
+        spec = graph_to_spec(residual_graph)
+        rebuilt = graph_from_spec(spec)
+        assert len(rebuilt) == len(residual_graph)
+        for a, b in zip(residual_graph.nodes, rebuilt.nodes):
+            assert a.name == b.name
+            assert a.op == b.op
+            assert a.inputs == b.inputs
+            assert a.output_shape == b.output_shape
+
+    def test_json_serializable(self, branching_graph):
+        import json
+
+        from repro.ir import graph_to_spec
+
+        spec = graph_to_spec(branching_graph)
+        rebuilt = json.loads(json.dumps(spec))
+        assert rebuilt["name"] == branching_graph.name
+
+    def test_multi_input_rejected(self):
+        from repro.ir import graph_to_spec, merge_graphs
+
+        b1 = GraphBuilder(name="a")
+        x = b1.input(4, 4, 4)
+        b1.conv(x, 4, name="c")
+        b2 = GraphBuilder(name="b")
+        x = b2.input(4, 4, 4)
+        b2.conv(x, 4, name="c")
+        merged = merge_graphs([b1.build(), b2.build()])
+        with pytest.raises(ValueError, match="one input"):
+            graph_to_spec(merged)

@@ -1,0 +1,91 @@
+"""Tests for multi-graph composition."""
+
+import pytest
+
+from repro.ir import GraphBuilder, merge_graphs, subgraph_layers
+
+
+def _net(name: str, channels: int = 8):
+    b = GraphBuilder(name=name)
+    x = b.input(8, 8, 4)
+    x = b.conv(x, channels, name="c1")
+    b.conv(x, channels, name="c2")
+    return b.build()
+
+
+class TestMergeGraphs:
+    def test_union_of_nodes(self):
+        a, b = _net("a"), _net("b", channels=16)
+        merged = merge_graphs([a, b])
+        assert len(merged) == len(a) + len(b)
+        assert merged.name == "a+b"
+
+    def test_two_independent_inputs(self):
+        merged = merge_graphs([_net("a"), _net("b")])
+        assert len(merged.sources()) == 2
+        assert len(merged.sinks()) == 2
+
+    def test_no_cross_edges(self):
+        a, b = _net("a"), _net("b")
+        merged = merge_graphs([a, b])
+        a_ids = set(subgraph_layers(merged, "a"))
+        b_ids = set(subgraph_layers(merged, "b"))
+        for node in merged.nodes:
+            for src in node.inputs:
+                same_side = (node.node_id in a_ids) == (src in a_ids)
+                assert same_side
+
+    def test_name_prefixing(self):
+        merged = merge_graphs([_net("a"), _net("b")])
+        assert merged.by_name("a/c1") is not None
+        assert merged.by_name("b/c1") is not None
+
+    def test_same_graph_twice_disambiguated(self):
+        n = _net("net")
+        merged = merge_graphs([n, n])
+        assert merged.by_name("net/c1") is not None
+        assert merged.by_name("net#1/c1") is not None
+
+    def test_single_graph_rejected(self):
+        with pytest.raises(ValueError):
+            merge_graphs([_net("a")])
+
+    def test_shapes_preserved(self):
+        a = _net("a", channels=8)
+        merged = merge_graphs([a, _net("b", channels=16)])
+        assert (
+            merged.by_name("a/c2").output_shape
+            == a.by_name("c2").output_shape
+        )
+
+    def test_subgraph_layers_partition_nodes(self):
+        merged = merge_graphs([_net("a"), _net("b")])
+        a_ids = subgraph_layers(merged, "a")
+        b_ids = subgraph_layers(merged, "b")
+        assert len(a_ids) + len(b_ids) == len(merged)
+        assert not set(a_ids) & set(b_ids)
+
+
+class TestMergedScheduling:
+    def test_merged_graph_optimizes(self):
+        from repro.atoms.generation import SAParams
+        from repro.config import ArchConfig, EngineConfig
+        from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+
+        arch = ArchConfig(
+            mesh_rows=2, mesh_cols=2,
+            engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=32 * 1024),
+        )
+        merged = merge_graphs([_net("a"), _net("b")])
+        outcome = AtomicDataflowOptimizer(
+            merged, arch,
+            OptimizerOptions(
+                scheduler="greedy", sa_params=SAParams(max_iterations=10)
+            ),
+        ).optimize()
+        outcome.schedule.validate(outcome.dag, arch.num_engines)
+        # Atoms from both tenants appear in the schedule.
+        layers = {outcome.dag.atoms[a].layer for a in range(outcome.dag.num_atoms)}
+        a_ids = set(subgraph_layers(outcome.dag.graph, "a"))
+        b_ids = set(subgraph_layers(outcome.dag.graph, "b"))
+        assert layers & a_ids and layers & b_ids

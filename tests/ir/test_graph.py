@@ -1,0 +1,107 @@
+"""Tests for the Graph DAG container."""
+
+import pytest
+
+from repro.ir import Conv2D, Graph, GraphBuilder, ReLU, TensorShape
+
+
+def _chain() -> Graph:
+    g = Graph(name="t")
+    i = g.add_input(TensorShape(8, 8, 4))
+    c = g.add(Conv2D(8, kernel=(3, 3), padding=(1, 1)), (i,), "conv")
+    g.add(ReLU(), (c,), "relu")
+    return g
+
+
+class TestGraphConstruction:
+    def test_insertion_assigns_dense_ids(self):
+        g = _chain()
+        assert [n.node_id for n in g.nodes] == [0, 1, 2]
+
+    def test_shape_inference_on_add(self):
+        g = _chain()
+        assert g.by_name("conv").output_shape == TensorShape(8, 8, 8)
+
+    def test_forward_reference_rejected(self):
+        g = Graph()
+        g.add_input(TensorShape(4, 4, 4))
+        with pytest.raises(ValueError):
+            g.add(ReLU(), (5,))
+
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add_input(TensorShape(4, 4, 4), "x")
+        with pytest.raises(ValueError):
+            g.add_input(TensorShape(4, 4, 4), "x")
+
+    def test_auto_names_unique(self):
+        g = Graph()
+        i = g.add_input(TensorShape(4, 4, 4))
+        a = g.add(ReLU(), (i,))
+        b = g.add(ReLU(), (a,))
+        assert g.node(a).name != g.node(b).name
+
+
+class TestGraphViews:
+    def test_sources_and_sinks(self):
+        g = _chain()
+        assert g.sources() == (0,)
+        assert g.sinks() == (2,)
+
+    def test_consumers(self):
+        g = _chain()
+        cons = g.consumers()
+        assert cons[0] == (1,)
+        assert cons[1] == (2,)
+        assert cons[2] == ()
+
+    def test_depths_linear(self):
+        g = _chain()
+        assert g.depths() == {0: 0, 1: 1, 2: 2}
+
+    def test_depths_longest_path(self, residual_graph):
+        # The join's depth is via the longer conv branch, not the shortcut.
+        g = residual_graph
+        depths = g.depths()
+        join = g.by_name("join")
+        branch_end = g.by_name("c2")
+        short = g.by_name("proj")
+        assert depths[join.node_id] == depths[branch_end.node_id] + 1
+        assert depths[join.node_id] > depths[short.node_id] + 1
+
+    def test_input_shapes(self):
+        g = _chain()
+        assert g.input_shapes(1) == (TensorShape(8, 8, 4),)
+
+
+class TestGraphStats:
+    def test_num_params_counts_weights_and_bias(self):
+        g = _chain()
+        assert g.num_params() == 8 * 4 * 9 + 8
+
+    def test_total_macs(self):
+        g = _chain()
+        conv_macs = 8 * 8 * 8 * 4 * 9
+        relu_ops = 8 * 8 * 8
+        assert g.total_macs() == conv_macs + relu_ops
+
+    def test_compute_nodes(self):
+        g = _chain()
+        assert [n.name for n in g.compute_nodes()] == ["conv"]
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, residual_graph, branching_graph):
+        residual_graph.validate()
+        branching_graph.validate()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().validate()
+
+    def test_builder_validates_on_build(self):
+        b = GraphBuilder(name="ok")
+        x = b.input(8, 8, 3)
+        b.conv(x, 8)
+        g = b.build()
+        assert len(g) == 2

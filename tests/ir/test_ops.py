@@ -1,0 +1,268 @@
+"""Tests for operator shape inference, MAC counting, and receptive fields."""
+
+import pytest
+
+from repro.ir import (
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Pool,
+    Region,
+    ReLU,
+    Scale,
+    TensorShape,
+)
+
+
+class TestRegion:
+    def test_full_covers_shape(self):
+        r = Region.full(TensorShape(4, 5, 6))
+        assert (r.height, r.width, r.channels) == (4, 5, 6)
+        assert r.num_elements == 120
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Region((2, 1), (0, 0), (0, 0))
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValueError):
+            Region((-1, 0), (0, 0), (0, 0))
+
+    def test_intersection_overlapping(self):
+        a = Region((0, 3), (0, 3), (0, 3))
+        b = Region((2, 5), (1, 2), (0, 0))
+        got = a.intersection(b)
+        assert got == Region((2, 3), (1, 2), (0, 0))
+
+    def test_intersection_disjoint_is_none(self):
+        a = Region((0, 1), (0, 1), (0, 1))
+        b = Region((5, 6), (0, 1), (0, 1))
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_intersects_is_symmetric(self):
+        a = Region((0, 3), (0, 3), (0, 3))
+        b = Region((3, 4), (2, 7), (1, 2))
+        assert a.intersects(b) and b.intersects(a)
+
+
+class TestConv2D:
+    def test_same_padding_preserves_spatial(self):
+        op = Conv2D(16, kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        assert op.infer_shape((TensorShape(8, 8, 4),)) == TensorShape(8, 8, 16)
+
+    def test_stride_halves_spatial(self):
+        op = Conv2D(16, kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+        assert op.infer_shape((TensorShape(8, 8, 4),)) == TensorShape(4, 4, 16)
+
+    def test_valid_padding_shrinks(self):
+        op = Conv2D(16, kernel=(3, 3), stride=(1, 1), padding=(0, 0))
+        assert op.infer_shape((TensorShape(8, 8, 4),)) == TensorShape(6, 6, 16)
+
+    def test_collapsing_conv_raises(self):
+        op = Conv2D(16, kernel=(5, 5), stride=(1, 1), padding=(0, 0))
+        with pytest.raises(ValueError):
+            op.infer_shape((TensorShape(3, 3, 4),))
+
+    def test_macs_full_layer(self):
+        op = Conv2D(16, kernel=(3, 3), padding=(1, 1))
+        x = TensorShape(8, 8, 4)
+        out = op.infer_shape((x,))
+        # H*W*Co * Ci * Kh*Kw
+        assert op.macs_for_region((x,), Region.full(out)) == 8 * 8 * 16 * 4 * 9
+
+    def test_weight_params(self):
+        op = Conv2D(16, kernel=(3, 3))
+        assert op.weight_params((TensorShape(8, 8, 4),)) == 16 * 4 * 9 + 16
+
+    def test_receptive_field_interior(self):
+        op = Conv2D(16, kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        x = TensorShape(8, 8, 4)
+        r = op.input_region(0, (x,), Region((2, 3), (2, 3), (0, 15)))
+        assert r.h == (1, 4) and r.w == (1, 4)
+        assert r.c == (0, 3)  # all input channels
+
+    def test_receptive_field_clamped_at_border(self):
+        op = Conv2D(16, kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        x = TensorShape(8, 8, 4)
+        r = op.input_region(0, (x,), Region((0, 0), (0, 0), (0, 15)))
+        assert r.h == (0, 1) and r.w == (0, 1)
+
+    def test_strided_receptive_field(self):
+        op = Conv2D(16, kernel=(3, 3), stride=(2, 2), padding=(1, 1))
+        x = TensorShape(8, 8, 4)
+        r = op.input_region(0, (x,), Region((1, 1), (1, 1), (0, 0)))
+        assert r.h == (1, 3) and r.w == (1, 3)
+
+    def test_depthwise_group_channel_mapping(self):
+        op = Conv2D(8, kernel=(3, 3), padding=(1, 1), groups=8)
+        x = TensorShape(8, 8, 8)
+        r = op.input_region(0, (x,), Region((0, 7), (0, 7), (2, 4)))
+        assert r.c == (2, 4)  # depthwise: output ch g reads input ch g
+
+    def test_depthwise_macs_exclude_cross_channel(self):
+        op = Conv2D(8, kernel=(3, 3), padding=(1, 1), groups=8)
+        x = TensorShape(8, 8, 8)
+        out = op.infer_shape((x,))
+        assert op.macs_for_region((x,), Region.full(out)) == 8 * 8 * 8 * 9
+
+    def test_groups_must_divide_out_channels(self):
+        with pytest.raises(ValueError):
+            Conv2D(8, groups=3)
+
+    def test_groups_must_divide_in_channels(self):
+        op = Conv2D(9, groups=3)
+        with pytest.raises(ValueError):
+            op.infer_shape((TensorShape(4, 4, 8),))
+
+
+class TestFullyConnected:
+    def test_shape(self):
+        op = FullyConnected(100)
+        assert op.infer_shape((TensorShape(7, 7, 64),)) == TensorShape(1, 1, 100)
+
+    def test_reads_whole_input(self):
+        op = FullyConnected(100)
+        x = TensorShape(7, 7, 64)
+        assert op.input_region(0, (x,), Region((0, 0), (0, 0), (0, 9))) == Region.full(x)
+
+    def test_macs(self):
+        op = FullyConnected(10)
+        x = TensorShape(2, 2, 4)
+        out = op.infer_shape((x,))
+        assert op.macs_for_region((x,), Region.full(out)) == 10 * 16
+
+
+class TestPool:
+    def test_default_stride_equals_kernel(self):
+        op = Pool(kind="max", kernel=(2, 2))
+        assert op.stride == (2, 2)
+        assert op.infer_shape((TensorShape(8, 8, 4),)) == TensorShape(4, 4, 4)
+
+    def test_overlapping_pool(self):
+        op = Pool(kind="max", kernel=(3, 3), stride=(1, 1), padding=(1, 1))
+        assert op.infer_shape((TensorShape(8, 8, 4),)) == TensorShape(8, 8, 4)
+
+    def test_pool_preserves_channel_slice(self):
+        op = Pool(kind="avg", kernel=(2, 2))
+        x = TensorShape(8, 8, 4)
+        r = op.input_region(0, (x,), Region((0, 1), (0, 1), (1, 2)))
+        assert r.c == (1, 2)
+        assert r.h == (0, 3) and r.w == (0, 3)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Pool(kind="median")
+
+
+class TestGlobalPool:
+    def test_collapses_spatial(self):
+        op = GlobalPool()
+        assert op.infer_shape((TensorShape(7, 7, 64),)) == TensorShape(1, 1, 64)
+
+    def test_reads_full_spatial_extent(self):
+        op = GlobalPool()
+        x = TensorShape(7, 7, 64)
+        r = op.input_region(0, (x,), Region((0, 0), (0, 0), (3, 7)))
+        assert r.h == (0, 6) and r.w == (0, 6) and r.c == (3, 7)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", [ReLU(), BatchNorm()])
+    def test_identity_shape(self, op):
+        assert op.infer_shape((TensorShape(4, 4, 4),)) == TensorShape(4, 4, 4)
+
+    def test_region_passthrough(self):
+        r = Region((1, 2), (1, 2), (0, 3))
+        assert ReLU().input_region(0, (TensorShape(4, 4, 4),), r) == r
+
+    def test_batchnorm_params(self):
+        assert BatchNorm().weight_params((TensorShape(4, 4, 32),)) == 64
+
+
+class TestAdd:
+    def test_shape_and_arity(self):
+        op = Add(arity=3)
+        x = TensorShape(4, 4, 8)
+        assert op.infer_shape((x, x, x)) == x
+
+    def test_mismatched_shapes_rejected(self):
+        op = Add()
+        with pytest.raises(ValueError):
+            op.infer_shape((TensorShape(4, 4, 8), TensorShape(4, 4, 16)))
+
+    def test_all_inputs_see_same_region(self):
+        op = Add()
+        x = TensorShape(4, 4, 8)
+        r = Region((0, 1), (2, 3), (4, 7))
+        assert op.input_region(0, (x, x), r) == r
+        assert op.input_region(1, (x, x), r) == r
+
+
+class TestScale:
+    def test_shape(self):
+        op = Scale()
+        x = TensorShape(4, 4, 8)
+        s = TensorShape(1, 1, 8)
+        assert op.infer_shape((x, s)) == x
+
+    def test_gate_shape_must_match_channels(self):
+        op = Scale()
+        with pytest.raises(ValueError):
+            op.infer_shape((TensorShape(4, 4, 8), TensorShape(1, 1, 4)))
+
+    def test_gate_region_is_channel_slice(self):
+        op = Scale()
+        x, s = TensorShape(4, 4, 8), TensorShape(1, 1, 8)
+        r = Region((0, 3), (0, 3), (2, 5))
+        assert op.input_region(1, (x, s), r) == Region((0, 0), (0, 0), (2, 5))
+
+
+class TestConcat:
+    def test_channel_sum(self):
+        op = Concat(arity=2)
+        shapes = (TensorShape(4, 4, 8), TensorShape(4, 4, 16))
+        assert op.infer_shape(shapes) == TensorShape(4, 4, 24)
+
+    def test_spatial_mismatch_rejected(self):
+        op = Concat()
+        with pytest.raises(ValueError):
+            op.infer_shape((TensorShape(4, 4, 8), TensorShape(2, 2, 8)))
+
+    def test_channel_offset_mapping(self):
+        op = Concat(arity=2)
+        shapes = (TensorShape(4, 4, 8), TensorShape(4, 4, 8))
+        # Output channels 10..13 live in input 1 at channels 2..5.
+        r = Region((0, 3), (0, 3), (10, 13))
+        assert op.input_region(1, shapes, r).c == (2, 5)
+
+    def test_overlaps_input(self):
+        op = Concat(arity=2)
+        shapes = (TensorShape(4, 4, 8), TensorShape(4, 4, 8))
+        r = Region((0, 3), (0, 3), (10, 13))
+        assert not op.overlaps_input(0, shapes, r)
+        assert op.overlaps_input(1, shapes, r)
+
+    def test_region_spanning_both_inputs(self):
+        op = Concat(arity=2)
+        shapes = (TensorShape(4, 4, 8), TensorShape(4, 4, 8))
+        r = Region((0, 0), (0, 0), (6, 9))
+        assert op.overlaps_input(0, shapes, r)
+        assert op.overlaps_input(1, shapes, r)
+        assert op.input_region(0, shapes, r).c == (6, 7)
+        assert op.input_region(1, shapes, r).c == (0, 1)
+
+
+class TestInput:
+    def test_shape_passthrough(self):
+        op = Input(TensorShape(8, 8, 3))
+        assert op.infer_shape(()) == TensorShape(8, 8, 3)
+
+    def test_no_inputs_allowed(self):
+        op = Input(TensorShape(8, 8, 3))
+        with pytest.raises(ValueError):
+            op.infer_shape((TensorShape(1, 1, 1),))

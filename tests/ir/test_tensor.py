@@ -1,0 +1,28 @@
+"""Tests for TensorShape."""
+
+import pytest
+
+from repro.ir import TensorShape
+
+
+class TestTensorShape:
+    def test_num_elements(self):
+        assert TensorShape(4, 5, 6).num_elements == 120
+
+    def test_size_bytes_default_int8(self):
+        assert TensorShape(2, 2, 2).size_bytes() == 8
+
+    def test_size_bytes_wider_elements(self):
+        assert TensorShape(2, 2, 2).size_bytes(bytes_per_element=2) == 16
+
+    def test_str_format(self):
+        assert str(TensorShape(224, 224, 3)) == "224x224x3"
+
+    @pytest.mark.parametrize("h,w,c", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_non_positive_dims(self, h, w, c):
+        with pytest.raises(ValueError):
+            TensorShape(h, w, c)
+
+    def test_hashable_and_equal(self):
+        assert TensorShape(1, 2, 3) == TensorShape(1, 2, 3)
+        assert len({TensorShape(1, 2, 3), TensorShape(1, 2, 3)}) == 1

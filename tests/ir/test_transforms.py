@@ -1,0 +1,55 @@
+"""Tests for the elementwise-fusion transform."""
+
+from repro.ir import Add, Conv2D, GraphBuilder, ReLU
+from repro.ir.transforms import fuse_elementwise
+
+
+class TestFuseElementwise:
+    def test_relu_folds_into_conv(self, chain_graph):
+        res = fuse_elementwise(chain_graph)
+        ops = [type(n.op).__name__ for n in res.graph.nodes]
+        assert "ReLU" not in ops
+        assert ops.count("Conv2D") == 2
+
+    def test_consumers_rewired_through_fused_node(self, chain_graph):
+        res = fuse_elementwise(chain_graph)
+        # c2's conv must now consume c1's conv directly.
+        c1 = res.graph.by_name("c1_conv")
+        c2 = res.graph.by_name("c2_conv")
+        assert c2.inputs == (c1.node_id,)
+
+    def test_fused_counts_recorded(self, chain_graph):
+        res = fuse_elementwise(chain_graph)
+        c1 = res.graph.by_name("c1_conv").node_id
+        assert res.fused_counts[c1] == 1
+
+    def test_node_map_covers_all_original_nodes(self, residual_graph):
+        res = fuse_elementwise(residual_graph)
+        assert set(res.node_map) == {n.node_id for n in residual_graph.nodes}
+
+    def test_add_not_fused(self, residual_graph):
+        res = fuse_elementwise(residual_graph)
+        assert any(isinstance(n.op, Add) for n in res.graph.nodes)
+
+    def test_chain_of_fusables_collapses(self):
+        b = GraphBuilder(fold_batchnorm=False)
+        x = b.input(8, 8, 3)
+        b.conv_bn_relu(x, 8, name="blk")  # conv -> bn -> relu
+        res = fuse_elementwise(b.build())
+        assert len(res.graph) == 2  # input + conv
+        assert isinstance(res.graph.nodes[1].op, Conv2D)
+
+    def test_shapes_preserved(self, branching_graph):
+        res = fuse_elementwise(branching_graph)
+        assert (
+            res.graph.node(res.graph.sinks()[0]).output_shape
+            == branching_graph.node(branching_graph.sinks()[0]).output_shape
+        )
+
+    def test_trailing_relu_on_sink_is_fused(self):
+        b = GraphBuilder()
+        x = b.input(8, 8, 3)
+        c = b.conv(x, 8, name="c")
+        b.graph.add(ReLU(), (c,), "final_relu")
+        res = fuse_elementwise(b.graph)
+        assert res.graph.sinks() == (res.graph.by_name("c").node_id,)

@@ -1,0 +1,90 @@
+"""Tests for the TransferCost(P) objective."""
+
+from repro.mapping import round_transfer_cost
+from repro.mapping.transfer_cost import DRAM_HOP_PENALTY
+from repro.noc import Mesh2D
+from repro.scheduling import schedule_greedy
+
+
+def _first_consumer_round(dag, schedule):
+    """First round containing atoms with on-chip predecessors."""
+    done: dict[int, int] = {}
+    for rnd in schedule.rounds:
+        if any(dag.preds[a] for a in rnd.atom_indices):
+            return rnd, done
+        for a in rnd.atom_indices:
+            done[a] = 0
+    raise AssertionError("no dependent round found")
+
+
+class TestRoundTransferCost:
+    def test_local_placement_costs_nothing(self, chain_dag):
+        mesh = Mesh2D(2, 2)
+        schedule = schedule_greedy(chain_dag, 4)
+        rnd, _ = _first_consumer_round(chain_dag, schedule)
+        # Place every predecessor on engine 0 and every consumer on 0 too.
+        placement = {p: 0 for a in rnd.atom_indices for p in chain_dag.preds[a]}
+        cost = round_transfer_cost(
+            chain_dag, mesh, placement, rnd.atom_indices,
+            tuple(0 for _ in rnd.atom_indices),
+        )
+        assert cost == 0
+
+    def test_distance_scales_cost(self, chain_dag):
+        mesh = Mesh2D(2, 2)
+        schedule = schedule_greedy(chain_dag, 4)
+        rnd, _ = _first_consumer_round(chain_dag, schedule)
+        placement = {p: 0 for a in rnd.atom_indices for p in chain_dag.preds[a]}
+        near = round_transfer_cost(
+            chain_dag, mesh, placement, rnd.atom_indices,
+            tuple(1 for _ in rnd.atom_indices),  # 1 hop from engine 0
+        )
+        far = round_transfer_cost(
+            chain_dag, mesh, placement, rnd.atom_indices,
+            tuple(3 for _ in rnd.atom_indices),  # 2 hops from engine 0
+        )
+        assert far == 2 * near
+
+    def test_unplaced_predecessor_charged_dram_penalty(self, chain_dag):
+        mesh = Mesh2D(2, 2)
+        schedule = schedule_greedy(chain_dag, 4)
+        rnd, _ = _first_consumer_round(chain_dag, schedule)
+        bytes_in = sum(
+            chain_dag.edge_bytes[(p, a)]
+            for a in rnd.atom_indices
+            for p in chain_dag.preds[a]
+        )
+        cost = round_transfer_cost(
+            chain_dag, mesh, {}, rnd.atom_indices,
+            tuple(0 for _ in rnd.atom_indices),
+        )
+        assert cost == DRAM_HOP_PENALTY * bytes_in
+
+    def test_dram_penalty_position_independent(self, chain_dag):
+        mesh = Mesh2D(2, 2)
+        schedule = schedule_greedy(chain_dag, 4)
+        rnd, _ = _first_consumer_round(chain_dag, schedule)
+        at0 = round_transfer_cost(
+            chain_dag, mesh, {}, rnd.atom_indices,
+            tuple(0 for _ in rnd.atom_indices),
+        )
+        at3 = round_transfer_cost(
+            chain_dag, mesh, {}, rnd.atom_indices,
+            tuple(3 for _ in rnd.atom_indices),
+        )
+        assert at0 == at3
+
+    def test_weight_home_attracts(self, chain_dag):
+        mesh = Mesh2D(2, 2)
+        schedule = schedule_greedy(chain_dag, 4)
+        rnd = schedule.rounds[0]
+        atom = rnd.atom_indices[0]
+        wk = chain_dag.weight_key(atom)
+        assert wk is not None
+        home_cost = round_transfer_cost(
+            chain_dag, mesh, {}, (atom,), (2,), weight_home={wk: 2}
+        )
+        away_cost = round_transfer_cost(
+            chain_dag, mesh, {}, (atom,), (1,), weight_home={wk: 2}
+        )
+        assert home_cost < away_cost

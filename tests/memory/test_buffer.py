@@ -1,0 +1,86 @@
+"""Tests for the per-engine SRAM buffer."""
+
+import pytest
+
+from repro.memory import BufferOverflowError, EngineBuffer, make_buffers
+
+
+class TestStoreRelease:
+    def test_store_and_query(self):
+        b = EngineBuffer(capacity_bytes=1000)
+        b.store("a", 300)
+        assert b.contains("a")
+        assert b.size_of("a") == 300
+        assert b.used_bytes == 300
+        assert b.free_bytes == 700
+
+    def test_release_returns_size(self):
+        b = EngineBuffer(capacity_bytes=1000)
+        b.store("a", 300)
+        assert b.release("a") == 300
+        assert not b.contains("a")
+
+    def test_release_missing_raises(self):
+        b = EngineBuffer(capacity_bytes=1000)
+        with pytest.raises(KeyError):
+            b.release("ghost")
+
+    def test_release_if_present(self):
+        b = EngineBuffer(capacity_bytes=1000)
+        assert b.release_if_present("ghost") == 0
+        b.store("a", 10)
+        assert b.release_if_present("a") == 10
+
+    def test_restore_replaces_size(self):
+        b = EngineBuffer(capacity_bytes=1000)
+        b.store("a", 300)
+        b.store("a", 500)
+        assert b.used_bytes == 500
+
+    def test_clear(self):
+        b = EngineBuffer(capacity_bytes=100)
+        b.store("a", 50)
+        b.clear()
+        assert b.used_bytes == 0
+
+
+class TestCapacity:
+    def test_overflow_raises(self):
+        b = EngineBuffer(capacity_bytes=100)
+        b.store("a", 80)
+        with pytest.raises(BufferOverflowError):
+            b.store("b", 30)
+        assert not b.contains("b")
+
+    def test_entry_larger_than_buffer_rejected(self):
+        b = EngineBuffer(capacity_bytes=100)
+        with pytest.raises(ValueError):
+            b.store("a", 101)
+
+    def test_exact_fit_allowed(self):
+        b = EngineBuffer(capacity_bytes=100)
+        b.store("a", 100)
+        assert b.free_bytes == 0
+
+    def test_fits(self):
+        b = EngineBuffer(capacity_bytes=100)
+        b.store("a", 60)
+        assert b.fits(40) and not b.fits(41)
+
+    def test_non_positive_sizes_rejected(self):
+        b = EngineBuffer(capacity_bytes=100)
+        with pytest.raises(ValueError):
+            b.store("a", 0)
+
+
+class TestMakeBuffers:
+    def test_creates_indexed_buffers(self):
+        bufs = make_buffers(4, 1024)
+        assert len(bufs) == 4
+        assert [b.engine_index for b in bufs] == [0, 1, 2, 3]
+        assert all(b.capacity_bytes == 1024 for b in bufs)
+
+    def test_buffers_independent(self):
+        bufs = make_buffers(2, 100)
+        bufs[0].store("a", 50)
+        assert not bufs[1].contains("a")

@@ -1,0 +1,121 @@
+"""Tests for the bank-level DRAM model and HBM calibration."""
+
+import pytest
+
+from repro.memory.dram_detail import (
+    DetailedDram,
+    DramGeometry,
+    DramTimings,
+    Request,
+    calibrate_hbm,
+    scattered_trace,
+    streaming_trace,
+)
+
+
+@pytest.fixture
+def dram():
+    return DetailedDram()
+
+
+class TestAddressMapping:
+    def test_consecutive_bursts_interleave_channels(self, dram):
+        channels = [dram._map(i)[0] for i in range(dram.geometry.channels)]
+        assert channels == list(range(dram.geometry.channels))
+
+    def test_rows_advance_within_channel(self, dram):
+        g = dram.geometry
+        bursts_per_row = g.row_bytes // g.burst_bytes
+        # Burst N*channels*bursts_per_row on channel 0 starts a new row.
+        c0, b0, r0 = dram._map(0)
+        c1, b1, r1 = dram._map(g.channels * bursts_per_row)
+        assert c0 == c1 == 0
+        assert (b0, r0) != (b1, r1)
+
+
+class TestRowBuffer:
+    def test_second_access_same_row_hits(self, dram):
+        res = dram.process([Request(0, 32), Request(0, 32)])
+        assert res.row_misses == 1
+        assert res.row_hits == 1
+
+    def test_scattered_accesses_miss(self, dram):
+        res = dram.process(scattered_trace(64))
+        assert res.row_hit_rate < 0.5
+
+    def test_streaming_mostly_hits(self, dram):
+        res = dram.process(streaming_trace(1 << 20))
+        assert res.row_hit_rate > 0.9
+
+    def test_row_miss_costs_more(self):
+        t = DramTimings()
+        d = DetailedDram(timings=t)
+        hit_trace = d.process([Request(0, 32), Request(32 * 8, 32)])
+        # Same channel, same row (second burst maps to channel 0 too after
+        # 8-burst interleave) vs a far-away row.
+        miss_trace = d.process([Request(0, 32), Request(1 << 22, 32)])
+        assert miss_trace.dram_cycles >= hit_trace.dram_cycles
+
+
+class TestBandwidth:
+    def test_streaming_reaches_most_of_peak(self, dram):
+        g, t = dram.geometry, dram.timings
+        peak = g.channels * g.burst_bytes / t.t_burst * t.clock_hz
+        eff = dram.effective_bandwidth(streaming_trace(8 << 20))
+        assert eff > 0.6 * peak
+
+    def test_scattered_bandwidth_much_lower(self, dram):
+        stream = dram.effective_bandwidth(streaming_trace(1 << 20))
+        scattered = dram.effective_bandwidth(scattered_trace(1024))
+        assert scattered < stream / 2
+
+    def test_channel_parallelism(self):
+        one = DetailedDram(DramGeometry(channels=1))
+        eight = DetailedDram(DramGeometry(channels=8))
+        trace = streaming_trace(1 << 20)
+        assert eight.effective_bandwidth(trace) > 4 * one.effective_bandwidth(
+            trace
+        )
+
+
+class TestCalibration:
+    def test_calibrated_config_is_sane(self):
+        cfg = calibrate_hbm()
+        # HBM-class numbers: within 2x of the paper's 128 GB/s headline,
+        # double-digit-ns latency.
+        assert 50e9 < cfg.peak_bandwidth_bytes_per_s < 300e9
+        assert 10 < cfg.access_latency_ns < 200
+        assert cfg.burst_bytes == 256
+
+    def test_calibrated_config_drives_queue_model(self):
+        from repro.config import EnergyConfig
+        from repro.memory import HbmModel
+
+        cfg = calibrate_hbm()
+        model = HbmModel(cfg, EnergyConfig(), engine_frequency_hz=500e6)
+        cost = model.access(1 << 20)
+        assert cost.cycles > 0
+
+    def test_slower_dram_calibrates_slower(self):
+        slow = DetailedDram(timings=DramTimings(clock_hz=0.5e9))
+        fast = DetailedDram(timings=DramTimings(clock_hz=2e9))
+        assert (
+            calibrate_hbm(slow).peak_bandwidth_bytes_per_s
+            < calibrate_hbm(fast).peak_bandwidth_bytes_per_s
+        )
+
+
+class TestValidation:
+    def test_invalid_request(self):
+        with pytest.raises(ValueError):
+            Request(address=-1, size_bytes=4)
+        with pytest.raises(ValueError):
+            Request(address=0, size_bytes=0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            DramGeometry(channels=0)
+
+    def test_empty_trace(self, dram):
+        res = dram.process([])
+        assert res.dram_cycles == 0 and res.bursts == 0

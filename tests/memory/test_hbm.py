@@ -1,0 +1,71 @@
+"""Tests for the HBM bandwidth/latency model."""
+
+import pytest
+
+from repro.config import EnergyConfig, HbmConfig
+from repro.memory import HbmModel
+
+
+@pytest.fixture
+def hbm():
+    return HbmModel(
+        HbmConfig(
+            peak_bandwidth_bytes_per_s=128e9,
+            access_latency_ns=100.0,
+            burst_bytes=64,
+        ),
+        EnergyConfig(hbm_pj_per_bit=7.0),
+        engine_frequency_hz=500e6,
+    )
+
+
+class TestAccess:
+    def test_latency_floor(self, hbm):
+        # 100 ns at 500 MHz = 50 cycles, plus a negligible transfer term.
+        cost = hbm.access(64)
+        assert cost.cycles == pytest.approx(51, abs=1)
+
+    def test_bandwidth_bound_for_large_transfers(self, hbm):
+        mb = 1 << 20
+        cost = hbm.access(mb)
+        # 1 MiB / 128 GB/s = 8.19 us = ~4096 cycles; latency is minor.
+        assert 4000 <= cost.cycles <= 4250
+
+    def test_burst_rounding(self, hbm):
+        assert hbm.access(1).bytes_moved == 64
+        assert hbm.access(65).bytes_moved == 128
+
+    def test_energy_per_bit(self, hbm):
+        cost = hbm.access(64)
+        assert cost.energy_pj == pytest.approx(8 * 64 * 7.0)
+
+    def test_zero_access_free(self, hbm):
+        cost = hbm.access(0)
+        assert cost.cycles == 0 and cost.bytes_moved == 0
+
+    def test_negative_rejected(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.access(-1)
+
+
+class TestStatistics:
+    def test_read_write_counters(self, hbm):
+        hbm.access(64)
+        hbm.access(128, write=True)
+        assert hbm.total_bytes_read == 64
+        assert hbm.total_bytes_written == 128
+
+    def test_reset(self, hbm):
+        hbm.access(64)
+        hbm.reset_stats()
+        assert hbm.total_bytes_read == 0
+
+
+class TestBatch:
+    def test_batch_charges_latency_once(self, hbm):
+        single = hbm.access(64).cycles
+        batch = hbm.batch_cycles(64 * 10, num_requests=10)
+        assert batch < 10 * single
+
+    def test_empty_batch_free(self, hbm):
+        assert hbm.batch_cycles(0, 0) == 0

@@ -1,0 +1,191 @@
+"""Tests for the model zoo: shapes, parameter counts, registry."""
+
+import pytest
+
+from repro.ir import TensorShape
+from repro.models import (
+    BENCH_WORKLOADS,
+    PAPER_WORKLOADS,
+    available_models,
+    characterize,
+    efficientnet,
+    get_model,
+    inception_v3,
+    nasnet,
+    pnasnet,
+    resnet50,
+    resnet152,
+    resnet1001,
+    vgg19,
+)
+
+
+class TestRegistry:
+    def test_all_paper_workloads_registered(self):
+        for name in PAPER_WORKLOADS:
+            assert name in available_models()
+
+    def test_bench_variants_registered(self):
+        for name in BENCH_WORKLOADS:
+            assert name in available_models()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("alexnet")
+
+    def test_bench_variants_build_and_validate(self):
+        for name in BENCH_WORKLOADS:
+            g = get_model(name)
+            g.validate()
+            assert len(g) > 5
+
+
+class TestVgg19:
+    def test_structure(self):
+        g = vgg19()
+        convs = [n for n in g.compute_nodes() if type(n.op).__name__ == "Conv2D"]
+        fcs = [n for n in g.compute_nodes() if type(n.op).__name__ == "FullyConnected"]
+        assert len(convs) == 16
+        assert len(fcs) == 3
+
+    def test_params_match_published(self):
+        # VGG-19: ~143.7M parameters (Table I rounds to 137M ex. classifier
+        # variations); check the conv+fc total is in the published range.
+        p = vgg19().num_params()
+        assert 130e6 < p < 150e6
+
+    def test_output_is_classifier(self):
+        g = vgg19(num_classes=1000)
+        assert g.node(g.sinks()[0]).output_shape == TensorShape(1, 1, 1000)
+
+    def test_width_multiplier(self):
+        small = vgg19(width_mult=0.5).num_params()
+        full = vgg19().num_params()
+        assert small < full / 3
+
+
+class TestResNets:
+    def test_resnet50_params(self):
+        p = resnet50().num_params()
+        assert 24e6 < p < 27e6  # published: 25.6M
+
+    def test_resnet152_params(self):
+        p = resnet152().num_params()
+        assert 57e6 < p < 62e6  # published: 60.2M
+
+    def test_resnet50_spatial_pyramid(self):
+        g = resnet50()
+        # Final stage feature map is 7x7x2048 for 224 inputs.
+        gap = g.by_name("gap")
+        pre_gap = g.node(gap.inputs[0])
+        assert pre_gap.output_shape.channels == 2048
+        assert pre_gap.output_shape.height == 7
+
+    def test_resnet1001_depth(self):
+        g = resnet1001(blocks_per_stage=3)  # reduced for test speed
+        convs = len(g.compute_nodes())
+        # 3 stages x 3 blocks x (3 convs + occasional proj) + stem + fc.
+        assert convs >= 29
+
+    def test_residual_joins_present(self):
+        g = resnet50(input_size=64)
+        adds = [n for n in g.nodes if type(n.op).__name__ == "Add"]
+        assert len(adds) == 16  # 3 + 4 + 6 + 3 blocks
+
+
+class TestInceptionV3:
+    def test_params_match_published(self):
+        p = inception_v3().num_params()
+        assert 21e6 < p < 25e6  # published: 23.9M
+
+    def test_branch_concats_present(self):
+        g = inception_v3()
+        concats = [n for n in g.nodes if type(n.op).__name__ == "Concat"]
+        assert len(concats) == 11  # 3A + 1RA + 4B + 1RB + 2C
+
+    def test_mixed_channel_count(self):
+        g = inception_v3()
+        out = g.by_name("mixed_a0_out")
+        assert out.output_shape.channels == 64 + 64 + 96 + 32
+
+
+class TestNasNets:
+    def test_nasnet_params_scale(self):
+        # Published NASNet-A-Large is 88.9M; our cell omits the doubled
+        # separable-conv applications, landing somewhat below.
+        p = nasnet(filters=168, repeat=6).num_params()
+        assert 40e6 < p < 120e6
+
+    def test_pnasnet_params_scale(self):
+        p = pnasnet(filters=216, repeat=4).num_params()
+        assert 60e6 < p < 120e6  # published PNASNet-5-Large: 86.1M
+
+    def test_nasnet_cells_concat(self):
+        g = nasnet(filters=44, repeat=1, input_size=64)
+        concats = [n for n in g.nodes if type(n.op).__name__ == "Concat"]
+        assert len(concats) >= 5
+
+    def test_reduction_halves_resolution(self):
+        g = nasnet(filters=44, repeat=1, input_size=64)
+        s0 = g.by_name("s0_c0_out").output_shape
+        s1 = g.by_name("s1_c0_out").output_shape
+        assert s1.height == s0.height // 2
+
+
+class TestEfficientNet:
+    def test_b0_structure(self):
+        g = efficientnet()
+        dw = [
+            n
+            for n in g.compute_nodes()
+            if getattr(n.op, "groups", 1) > 1
+        ]
+        assert len(dw) == 16  # one depthwise conv per MBConv block
+
+    def test_se_blocks_present(self):
+        g = efficientnet()
+        scales = [n for n in g.nodes if type(n.op).__name__ == "Scale"]
+        assert len(scales) == 16
+
+    def test_se_disabled(self):
+        g = efficientnet(se_ratio=0.0)
+        scales = [n for n in g.nodes if type(n.op).__name__ == "Scale"]
+        assert not scales
+
+    def test_width_rounding_to_8(self):
+        g = efficientnet(width_mult=1.1)
+        for n in g.compute_nodes():
+            if type(n.op).__name__ == "Conv2D" and n.op.groups == 1:
+                assert n.output_shape.channels % 8 == 0 or n.output_shape.channels == 1000
+
+
+class TestCharacterize:
+    def test_table1_fields(self):
+        info = characterize("resnet50")
+        assert info.characteristics == "residual bypass"
+        assert info.num_params == resnet50().num_params()
+        assert info.num_layers > 50
+        assert info.total_macs > 1e9
+
+    def test_bench_inherits_characteristics(self):
+        info = characterize("nasnet_bench")
+        assert info.characteristics == "NAS-generated"
+
+
+class TestMobileNetV2:
+    def test_params_match_published(self):
+        from repro.models import mobilenet_v2
+
+        p = mobilenet_v2().num_params()
+        assert 3.0e6 < p < 4.0e6  # published: 3.5M
+
+    def test_inverted_residual_adds(self):
+        from repro.models import mobilenet_v2
+
+        g = mobilenet_v2()
+        adds = [n for n in g.nodes if type(n.op).__name__ == "Add"]
+        assert len(adds) == 10  # stride-1 repeats with matching channels
+
+    def test_bench_variant_registered(self):
+        info = characterize("mobilenet_v2_bench")
+        assert info.characteristics == "inverted residual"

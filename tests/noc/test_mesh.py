@@ -1,0 +1,89 @@
+"""Tests for the 2D-mesh topology and XY routing."""
+
+import pytest
+
+from repro.noc import Mesh2D
+
+
+class TestCoordinates:
+    def test_row_major_indexing(self):
+        m = Mesh2D(3, 4)
+        assert m.coords(0) == (0, 0)
+        assert m.coords(5) == (1, 1)
+        assert m.engine_at(2, 3) == 11
+
+    def test_out_of_range_rejected(self):
+        m = Mesh2D(2, 2)
+        with pytest.raises(ValueError):
+            m.coords(4)
+        with pytest.raises(ValueError):
+            m.engine_at(2, 0)
+
+
+class TestDistance:
+    def test_manhattan(self):
+        m = Mesh2D(4, 4)
+        assert m.hop_distance(0, 15) == 6  # (0,0) -> (3,3)
+        assert m.hop_distance(0, 3) == 3
+        assert m.hop_distance(5, 5) == 0
+
+    def test_symmetric(self):
+        m = Mesh2D(3, 5)
+        for a in range(m.num_engines):
+            for b in range(m.num_engines):
+                assert m.hop_distance(a, b) == m.hop_distance(b, a)
+
+    def test_triangle_inequality(self):
+        m = Mesh2D(3, 3)
+        for a in range(9):
+            for b in range(9):
+                for c in range(9):
+                    assert (
+                        m.hop_distance(a, c)
+                        <= m.hop_distance(a, b) + m.hop_distance(b, c)
+                    )
+
+    def test_distance_matrix_matches_pairwise(self):
+        m = Mesh2D(2, 3)
+        mat = m.distance_matrix()
+        for a in range(6):
+            for b in range(6):
+                assert mat[a][b] == m.hop_distance(a, b)
+
+
+class TestRouting:
+    def test_x_first_then_y(self):
+        m = Mesh2D(3, 3)
+        route = m.route(0, 8)  # (0,0) -> (2,2)
+        assert route == ((0, 1), (1, 2), (2, 5), (5, 8))
+
+    def test_route_length_equals_distance(self):
+        m = Mesh2D(4, 4)
+        for a in range(16):
+            for b in range(16):
+                assert len(m.route(a, b)) == m.hop_distance(a, b)
+
+    def test_route_links_are_adjacent(self):
+        m = Mesh2D(3, 4)
+        for src, dst in ((0, 11), (7, 2), (10, 1)):
+            for u, v in m.route(src, dst):
+                assert m.hop_distance(u, v) == 1
+
+    def test_self_route_empty(self):
+        assert Mesh2D(2, 2).route(3, 3) == ()
+
+
+class TestZigzag:
+    def test_boustrophedon_order(self):
+        m = Mesh2D(3, 3)
+        assert m.zigzag_order() == (0, 1, 2, 5, 4, 3, 6, 7, 8)
+
+    def test_permutation_of_all_engines(self):
+        m = Mesh2D(4, 5)
+        assert sorted(m.zigzag_order()) == list(range(20))
+
+    def test_consecutive_slots_adjacent(self):
+        m = Mesh2D(4, 4)
+        order = m.zigzag_order()
+        for a, b in zip(order, order[1:]):
+            assert m.hop_distance(a, b) == 1

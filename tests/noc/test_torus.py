@@ -1,0 +1,96 @@
+"""Tests for the torus interconnect."""
+
+import pytest
+
+from repro.noc import Mesh2D, Torus2D, make_topology
+
+
+class TestTorusDistance:
+    def test_wraparound_shortens(self):
+        t = Torus2D(4, 4)
+        m = Mesh2D(4, 4)
+        # Corner to corner: mesh 6 hops, torus 2 (one wrap per axis).
+        assert m.hop_distance(0, 15) == 6
+        assert t.hop_distance(0, 15) == 2
+
+    def test_never_longer_than_mesh(self):
+        t, m = Torus2D(4, 5), Mesh2D(4, 5)
+        for a in range(20):
+            for b in range(20):
+                assert t.hop_distance(a, b) <= m.hop_distance(a, b)
+
+    def test_metric_axioms(self):
+        t = Torus2D(3, 4)
+        for a in range(12):
+            assert t.hop_distance(a, a) == 0
+            for b in range(12):
+                assert t.hop_distance(a, b) == t.hop_distance(b, a)
+                for c in range(12):
+                    assert (
+                        t.hop_distance(a, c)
+                        <= t.hop_distance(a, b) + t.hop_distance(b, c)
+                    )
+
+    def test_max_distance_is_half_dims(self):
+        t = Torus2D(4, 4)
+        worst = max(
+            t.hop_distance(a, b) for a in range(16) for b in range(16)
+        )
+        assert worst == 4  # rows/2 + cols/2
+
+
+class TestTorusRouting:
+    def test_route_length_equals_distance(self):
+        t = Torus2D(4, 4)
+        for a in range(16):
+            for b in range(16):
+                assert len(t.route(a, b)) == t.hop_distance(a, b)
+
+    def test_wrap_links_used(self):
+        t = Torus2D(4, 4)
+        route = t.route(0, 3)  # one wrap hop west: (0,0)->(0,3)
+        assert route == ((0, 3),)
+
+    def test_links_are_torus_adjacent(self):
+        t = Torus2D(3, 5)
+        for src, dst in ((0, 14), (7, 2), (10, 1)):
+            for u, v in t.route(src, dst):
+                assert t.hop_distance(u, v) == 1
+
+
+class TestFactory:
+    def test_make_topology(self):
+        assert isinstance(make_topology(2, 2, "mesh"), Mesh2D)
+        assert isinstance(make_topology(2, 2, "torus"), Torus2D)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_topology(2, 2, "hypercube")
+
+
+class TestEndToEnd:
+    def test_torus_arch_simulates(self):
+        from dataclasses import replace
+
+        from repro.atoms.generation import SAParams
+        from repro.config import ArchConfig, NocConfig
+        from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+        from repro.models import vgg19
+
+        g = vgg19(input_size=32, width_mult=0.25)
+        mesh_arch = ArchConfig(mesh_rows=2, mesh_cols=2)
+        torus_arch = replace(mesh_arch, noc=NocConfig(topology="torus"))
+        opts = OptimizerOptions(
+            scheduler="greedy", sa_params=SAParams(max_iterations=10)
+        )
+        rm = AtomicDataflowOptimizer(g, mesh_arch, opts).optimize().result
+        rt = AtomicDataflowOptimizer(g, torus_arch, opts).optimize().result
+        assert rt.total_cycles > 0
+        # Wraparound can only shorten transfers.
+        assert rt.noc_bytes_hops <= rm.noc_bytes_hops
+
+    def test_invalid_topology_in_config(self):
+        from repro.config import NocConfig
+
+        with pytest.raises(ValueError):
+            NocConfig(topology="ring")

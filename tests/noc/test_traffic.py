@@ -1,0 +1,61 @@
+"""Tests for the contention-aware NoC traffic model."""
+
+import pytest
+
+from repro.config import EnergyConfig, NocConfig
+from repro.noc import Mesh2D, NocModel, Transfer
+
+
+@pytest.fixture
+def noc():
+    return NocModel(
+        Mesh2D(4, 4),
+        NocConfig(hop_cycles=1, link_bits=64, router_overhead_cycles=2),
+        EnergyConfig(noc_pj_per_bit_hop=0.61),
+    )
+
+
+class TestSingleTransfer:
+    def test_latency_components(self, noc):
+        # 64 B over 3 hops on a 64 b link: 2 + 3 + 8 cycles.
+        t = Transfer(src=0, dst=3, size_bytes=64)
+        assert noc.transfer_cycles(t) == 2 + 3 + 8
+
+    def test_local_transfer_free(self, noc):
+        assert noc.transfer_cycles(Transfer(src=5, dst=5, size_bytes=1000)) == 0
+
+    def test_zero_bytes_free(self, noc):
+        assert noc.transfer_cycles(Transfer(src=0, dst=1, size_bytes=0)) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Transfer(src=0, dst=1, size_bytes=-1)
+
+
+class TestRoundCost:
+    def test_disjoint_transfers_run_in_parallel(self, noc):
+        # 0->1 and 14->15 share no link: cost = one transfer's latency.
+        ts = [Transfer(0, 1, 64), Transfer(14, 15, 64)]
+        cost = noc.round_cost(ts)
+        assert cost.cycles == noc.transfer_cycles(ts[0])
+
+    def test_shared_link_serializes(self, noc):
+        # Both flows cross the (0,1) link east: occupancy adds up.
+        ts = [Transfer(0, 1, 640), Transfer(0, 2, 640)]
+        cost = noc.round_cost(ts)
+        assert cost.busiest_link_cycles == 2 * 80
+        assert cost.cycles >= 160
+
+    def test_energy_proportional_to_bit_hops(self, noc):
+        ts = [Transfer(0, 3, 100)]  # 3 hops
+        cost = noc.round_cost(ts)
+        assert cost.energy_pj == pytest.approx(8 * 100 * 3 * 0.61)
+        assert cost.total_hop_bits == 8 * 100 * 3
+
+    def test_empty_round_free(self, noc):
+        cost = noc.round_cost([])
+        assert cost.cycles == 0 and cost.energy_pj == 0.0
+
+    def test_local_transfers_ignored(self, noc):
+        cost = noc.round_cost([Transfer(4, 4, 10_000)])
+        assert cost.cycles == 0 and cost.total_hop_bits == 0

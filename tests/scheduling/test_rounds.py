@@ -1,0 +1,67 @@
+"""Tests for Round/Schedule data types and validation."""
+
+import pytest
+
+from repro.scheduling import Round, Schedule, schedule_greedy
+
+
+class TestScheduleValidation:
+    def test_valid_schedule_passes(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        schedule.validate(chain_dag, 4)
+
+    def test_missing_atom_rejected(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        schedule.rounds = schedule.rounds[:-1]
+        with pytest.raises(ValueError, match="covers"):
+            schedule.validate(chain_dag, 4)
+
+    def test_duplicate_atom_rejected(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        first = schedule.rounds[0].atom_indices[0]
+        schedule.rounds.append(
+            Round(index=len(schedule.rounds), atom_indices=(first,))
+        )
+        with pytest.raises(ValueError, match="twice"):
+            schedule.validate(chain_dag, 4)
+
+    def test_over_capacity_round_rejected(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        with pytest.raises(ValueError, match="engines"):
+            schedule.validate(chain_dag, 2)
+
+    def test_dependency_violation_rejected(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        # Reverse the rounds: consumers now run before producers.
+        schedule.rounds = [
+            Round(index=i, atom_indices=r.atom_indices)
+            for i, r in enumerate(reversed(schedule.rounds))
+        ]
+        with pytest.raises(ValueError, match="depends"):
+            schedule.validate(chain_dag, 4)
+
+    def test_empty_round_rejected(self, chain_dag):
+        schedule = Schedule(rounds=[Round(index=0, atom_indices=())])
+        with pytest.raises(ValueError, match="empty"):
+            schedule.validate(chain_dag, 4)
+
+
+class TestScheduleHelpers:
+    def test_atom_round_map(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        mapping = schedule.atom_round()
+        assert len(mapping) == chain_dag.num_atoms
+        for rnd in schedule.rounds:
+            for a in rnd.atom_indices:
+                assert mapping[a] == rnd.index
+
+    def test_compute_cycles_sums_round_maxima(self, chain_dag):
+        schedule = schedule_greedy(chain_dag, num_engines=4)
+        expected = sum(
+            max(chain_dag.costs[a].cycles for a in r.atom_indices)
+            for r in schedule.rounds
+        )
+        assert schedule.compute_cycles(chain_dag) == expected
+
+    def test_round_len(self):
+        assert len(Round(index=0, atom_indices=(1, 2, 3))) == 3

@@ -1,0 +1,48 @@
+"""Tests for the event-queue kernel."""
+
+import pytest
+
+from repro.sim import EventQueue, Resource
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [e.kind for e in q.drain()] == ["a", "c", "b"]
+
+    def test_ties_broken_by_insertion(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert [e.kind for e in q.drain()] == ["first", "second"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+    def test_len(self):
+        q = EventQueue()
+        q.push(0.0, "x")
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.push(0.0, "x", payload={"atom": 7})
+        assert q.pop().payload == {"atom": 7}
+
+
+class TestResource:
+    def test_occupies_serially(self):
+        r = Resource("engine")
+        assert r.occupy(0.0, 10.0) == 10.0
+        assert r.occupy(0.0, 5.0) == 15.0  # queued behind the first job
+
+    def test_idle_gap_respected(self):
+        r = Resource("dram")
+        r.occupy(0.0, 4.0)
+        assert r.occupy(20.0, 2.0) == 22.0

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_mesh_parsing(self):
+        args = build_parser().parse_args(
+            ["optimize", "--model", "x", "--mesh", "8x8"]
+        )
+        assert args.mesh == (8, 8)
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["optimize", "--model", "x", "--mesh", "eight"]
+            )
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_models_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out and "vgg19" in out
+
+    def test_optimize_runs(self, capsys, tmp_path):
+        rc = main(
+            [
+                "optimize",
+                "--model", "vgg19_bench",
+                "--mesh", "2x2",
+                "--sa-iterations", "10",
+                "--scheduler", "greedy",
+                "--gantt", "3",
+                "--save", str(tmp_path / "sol.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PE utilization" in out
+        assert "R0" in out  # gantt header
+        assert (tmp_path / "sol.json").exists()
+
+    def test_compare_prints_all_strategies(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--model", "vgg19_bench",
+                "--mesh", "2x2",
+                "--sa-iterations", "10",
+                "--scheduler", "greedy",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for strategy in ("AD", "LS", "CNN-P", "IL-Pipe", "Rammer", "Ideal"):
+            assert strategy in out
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            main(["optimize", "--model", "alexnet", "--sa-iterations", "5"])

@@ -1,0 +1,74 @@
+"""Tests for architecture configuration."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_ARCH,
+    PROTOTYPE_ARCH,
+    ArchConfig,
+    EngineConfig,
+    HbmConfig,
+    NocConfig,
+)
+
+
+class TestEngineConfig:
+    def test_defaults_match_paper(self):
+        e = EngineConfig()
+        assert e.num_pes == 256
+        assert e.buffer_bytes == 128 * 1024
+        assert e.frequency_hz == 500e6
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(pe_rows=0)
+        with pytest.raises(ValueError):
+            EngineConfig(buffer_bytes=-1)
+
+
+class TestArchConfig:
+    def test_default_platform_matches_paper(self):
+        assert DEFAULT_ARCH.num_engines == 64
+        assert DEFAULT_ARCH.total_pes == 16384
+        assert DEFAULT_ARCH.total_buffer_bytes == 8 * 1024 * 1024
+        assert DEFAULT_ARCH.hbm.capacity_bytes == 4 * 1024**3
+
+    def test_prototype_platform(self):
+        assert PROTOTYPE_ARCH.num_engines == 4
+        assert PROTOTYPE_ARCH.engine.num_pes == 1024
+        assert PROTOTYPE_ARCH.engine.frequency_hz == 600e6
+
+    def test_with_mesh(self):
+        a = DEFAULT_ARCH.with_mesh(4, 4)
+        assert a.num_engines == 16
+        assert a.engine == DEFAULT_ARCH.engine  # engine untouched
+
+    def test_invalid_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            ArchConfig(mesh_rows=0)
+
+
+class TestRepartition:
+    def test_preserves_total_budget(self):
+        for rows, cols in ((2, 2), (4, 4), (8, 8), (16, 16)):
+            a = DEFAULT_ARCH.repartitioned(rows, cols)
+            assert a.total_pes == DEFAULT_ARCH.total_pes
+            assert a.total_buffer_bytes == DEFAULT_ARCH.total_buffer_bytes
+
+    def test_engines_stay_square_when_possible(self):
+        a = DEFAULT_ARCH.repartitioned(4, 4)
+        assert a.engine.pe_rows == a.engine.pe_cols == 32
+
+    def test_indivisible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ARCH.repartitioned(3, 3)
+
+
+class TestSubConfigs:
+    def test_noc_validation(self):
+        with pytest.raises(ValueError):
+            NocConfig(hop_cycles=0)
+
+    def test_hbm_validation(self):
+        with pytest.raises(ValueError):
+            HbmConfig(peak_bandwidth_bytes_per_s=0)

@@ -1,0 +1,82 @@
+"""Tests for solution serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig, EngineConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import vgg19
+from repro.serialize import (
+    FORMAT,
+    load_solution,
+    save_solution,
+    solution_to_dict,
+)
+from repro.sim import SystemSimulator
+
+
+@pytest.fixture(scope="module")
+def solution():
+    arch = ArchConfig(
+        mesh_rows=2, mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+    graph = vgg19(input_size=32, width_mult=0.25)
+    opts = OptimizerOptions(
+        scheduler="greedy", sa_params=SAParams(max_iterations=15)
+    )
+    outcome = AtomicDataflowOptimizer(graph, arch, opts).optimize()
+    return graph, arch, outcome
+
+
+class TestRoundTrip:
+    def test_document_shape(self, solution):
+        _, _, outcome = solution
+        doc = solution_to_dict(outcome, "kc")
+        assert doc["format"] == FORMAT
+        assert doc["batch"] == 1
+        assert len(doc["rounds"]) == outcome.schedule.num_rounds
+        assert len(doc["placement"]) == outcome.dag.num_atoms
+
+    def test_save_load_validates(self, solution, tmp_path):
+        graph, arch, outcome = solution
+        path = tmp_path / "sol.json"
+        save_solution(outcome, path, dataflow="kc")
+        doc = load_solution(path, graph, arch)
+        assert doc.dag.num_atoms == outcome.dag.num_atoms
+        assert doc.schedule.num_rounds == outcome.schedule.num_rounds
+        assert doc.batch == 1
+
+    def test_reloaded_solution_simulates_identically(self, solution, tmp_path):
+        graph, arch, outcome = solution
+        path = tmp_path / "sol.json"
+        save_solution(outcome, path)
+        doc = load_solution(path, graph, arch)
+        rerun = SystemSimulator(arch, doc.dag).run(doc.schedule, doc.placement)
+        assert rerun.total_cycles == outcome.result.total_cycles
+
+    def test_wrong_workload_rejected(self, solution, tmp_path):
+        _, arch, outcome = solution
+        path = tmp_path / "sol.json"
+        save_solution(outcome, path)
+        other = vgg19(input_size=64, width_mult=0.25)
+        with pytest.raises(ValueError, match="workload"):
+            load_solution(path, other, arch)
+
+    def test_wrong_format_rejected(self, solution, tmp_path):
+        graph, arch, _ = solution
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a solution"):
+            load_solution(path, graph, arch)
+
+    def test_wrong_version_rejected(self, solution, tmp_path):
+        graph, arch, outcome = solution
+        doc = solution_to_dict(outcome, "kc")
+        doc["version"] = 99
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_solution(path, graph, arch)
