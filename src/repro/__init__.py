@@ -16,6 +16,8 @@ The public surface: :mod:`repro.models` (workloads), :func:`optimize` /
 :class:`repro.config.ArchConfig` (the machine model).
 """
 
+from __future__ import annotations
+
 from repro import baselines, models, report, serialize
 from repro.config import (
     DEFAULT_ARCH,

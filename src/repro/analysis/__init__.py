@@ -1,0 +1,55 @@
+"""Static verification subsystem: artifact validators + codebase lint.
+
+Tier A validates the pipeline's intermediate artifacts (atomic DAGs,
+Round schedules, placements, buffer feasibility) against the invariants
+every downstream cost number silently assumes; Tier B is a set of
+repo-specific AST lint rules.  Run ``python -m repro.analysis`` (or
+``repro check``) for the CLI; ``--list-rules`` enumerates every rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.artifacts import (
+    assert_valid,
+    validate_artifacts,
+    validate_outcome,
+    validate_solution_file,
+)
+from repro.analysis.buffer_rules import check_buffering
+from repro.analysis.dag_rules import check_dag
+from repro.analysis.diagnostics import (
+    ArtifactValidationError,
+    Diagnostic,
+    Report,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.mapping_rules import check_placement
+from repro.analysis.schedule_rules import check_schedule
+from repro.analysis.selfcheck import run_self_check
+
+__all__ = [
+    "ArtifactValidationError",
+    "Diagnostic",
+    "Report",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "assert_valid",
+    "check_buffering",
+    "check_dag",
+    "check_placement",
+    "check_schedule",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "run_self_check",
+    "validate_artifacts",
+    "validate_outcome",
+    "validate_solution_file",
+]

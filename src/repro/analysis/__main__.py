@@ -1,0 +1,143 @@
+"""CLI: ``python -m repro.analysis`` — static verification entry point.
+
+Modes (first match wins):
+
+* ``--self-check`` — prove the analysis subsystem catches seeded-broken
+  artifacts and that the ``repro`` source tree lints clean;
+* ``--artifact solution.json --model NAME`` — Tier-A validation of a
+  serialized solution document;
+* ``[paths...]`` — Tier-B lint of files/directories (default: the
+  installed ``repro`` package).
+
+Exit status: 0 when no ERROR findings, 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.artifacts import validate_solution_file
+from repro.analysis.diagnostics import Report, all_rules
+from repro.analysis.lint import lint_paths
+from repro.analysis.selfcheck import run_self_check
+
+
+def _parse_mesh(spec: str) -> tuple[int, int]:
+    try:
+        rows, cols = spec.lower().split("x")
+        return int(rows), int(cols)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"mesh must look like 4x4, got {spec!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the analysis CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static verification: artifact validators + lint rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify the analysis subsystem itself (CI gate)",
+    )
+    parser.add_argument(
+        "--artifact",
+        metavar="JSON",
+        help="validate a serialized solution document (Tier A)",
+    )
+    parser.add_argument(
+        "--model",
+        help="zoo model the --artifact solution targets",
+    )
+    parser.add_argument(
+        "--mesh",
+        type=_parse_mesh,
+        default=(8, 8),
+        help="engine grid of the --artifact target (default 8x8)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _finish(report: Report, as_json: bool) -> int:
+    try:
+        print(report.to_json() if as_json else report.render())
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) closed the pipe early; silence the
+        # interpreter's shutdown flush and keep the real exit status.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.rule_id:<9}{rule.severity!s:<9}{rule.tier:<10}"
+                f"{rule.description}"
+            )
+        return 0
+
+    if args.self_check:
+        passed, transcript = run_self_check()
+        print(transcript)
+        return 0 if passed else 1
+
+    if args.artifact:
+        if not args.model:
+            print("--artifact requires --model", file=sys.stderr)
+            return 2
+        from repro.config import ArchConfig
+        from repro.models import get_model
+
+        rows, cols = args.mesh
+        try:
+            report = validate_solution_file(
+                args.artifact,
+                get_model(args.model),
+                ArchConfig(mesh_rows=rows, mesh_cols=cols),
+            )
+        except FileNotFoundError:
+            print(f"no such artifact: {args.artifact}", file=sys.stderr)
+            return 2
+        except (KeyError, ValueError) as exc:
+            # Unknown model name / not a solution document.
+            print(str(exc), file=sys.stderr)
+            return 2
+        return _finish(report, args.json)
+
+    paths = [Path(p) for p in args.paths] or [Path(repro.__file__).parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"no such path: {p}", file=sys.stderr)
+        return 2
+    return _finish(lint_paths(list(paths)), args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Tier-A validators for atom-engine placements (AD3xx).
+
+A placement is legal w.r.t. a schedule and a mesh when:
+
+* ``AD301`` — every scheduled atom has an engine assignment;
+* ``AD302`` — within one Round the assignment is injective (two atoms on
+  one engine would have to time-share it, breaking the Round model);
+* ``AD303`` — every assigned engine index lies inside the mesh.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.diagnostics import Report, Severity, register_rule
+from repro.atoms.dag import AtomicDAG
+from repro.noc.mesh import Mesh2D
+from repro.scheduling.rounds import Schedule
+
+register_rule(
+    "AD301",
+    Severity.ERROR,
+    "artifact",
+    "every scheduled atom must have an engine placement",
+)
+register_rule(
+    "AD302",
+    Severity.ERROR,
+    "artifact",
+    "placement must be injective within each Round (one atom per "
+    "engine-slot)",
+)
+register_rule(
+    "AD303",
+    Severity.ERROR,
+    "artifact",
+    "placed engine indices must lie within the mesh bounds",
+)
+
+
+def check_placement(
+    dag: AtomicDAG,
+    schedule: Schedule,
+    placement: dict[int, int],
+    mesh: Mesh2D,
+    report: Report | None = None,
+) -> Report:
+    """Run every AD3xx rule over one placement.
+
+    Args:
+        dag: The DAG being mapped (for location strings only).
+        schedule: The Round schedule the placement serves.
+        placement: Atom index -> engine index.
+        mesh: The engine grid defining the legal coordinate range.
+        report: Optional report to append to.
+
+    Returns:
+        The report with any findings added.
+    """
+    report = report if report is not None else Report()
+    report.mark_checked(
+        f"Placement({len(placement)} atoms on {mesh.rows}x{mesh.cols} mesh)"
+    )
+    num_engines = mesh.num_engines
+
+    for a, engine in placement.items():
+        if not 0 <= engine < num_engines:
+            report.emit(
+                "AD303",
+                f"atom {a}",
+                f"placed on engine {engine}, outside the "
+                f"{mesh.rows}x{mesh.cols} mesh (valid: 0..{num_engines - 1})",
+            )
+
+    for rnd in schedule.rounds:
+        engine_atoms: dict[int, list[int]] = defaultdict(list)
+        for a in rnd.atom_indices:
+            engine = placement.get(a)
+            if engine is None:
+                report.emit(
+                    "AD301",
+                    f"atom {a}",
+                    f"scheduled in round {rnd.index} but has no engine "
+                    "placement",
+                )
+                continue
+            engine_atoms[engine].append(a)
+        for engine, atoms in engine_atoms.items():
+            if len(atoms) > 1:
+                report.emit(
+                    "AD302",
+                    f"round {rnd.index}",
+                    f"atoms {atoms} all placed on engine {engine}",
+                )
+    return report

@@ -1,0 +1,186 @@
+"""Analysis self-check: prove the checker catches what it claims to catch.
+
+CI runs ``python -m repro.analysis --self-check``, which must fail loudly
+if the analysis subsystem ever rots.  Three legs:
+
+1. **Clean positive** — the framework's default pipeline on two zoo
+   workloads produces artifacts that pass every Tier-A validator;
+2. **Seeded negatives** — deliberately corrupted copies of those same
+   artifacts (dependency swap, duplicate engine, phantom edge, …) must
+   each trip exactly the rule that guards the broken invariant;
+3. **Lint round-trip** — an embedded bad snippet fires all Tier-B rules,
+   an embedded clean snippet fires none, and the installed ``repro``
+   source tree itself lints clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import repro
+from repro.analysis.artifacts import validate_artifacts, validate_outcome
+from repro.analysis.diagnostics import Report
+from repro.analysis.lint import lint_paths, lint_source
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.scheduling.rounds import Round, Schedule
+
+#: Workloads the self-check pushes through the default pipeline.
+SELF_CHECK_MODELS = ("vgg19_bench", "mobilenet_v2_bench")
+
+#: Deliberately rule-breaking module; every Tier-B rule must fire on it.
+_BAD_SNIPPET = '''\
+def check(cost, seen=[]):
+    if cost == 1.5:
+        seen.append(cost)
+    try:
+        dag.preds[0] = ()
+    except:
+        pass
+'''
+
+_CLEAN_SNIPPET = '''\
+"""Clean module."""
+
+from __future__ import annotations
+
+import math
+
+
+def check(cost: float, seen: list | None = None) -> bool:
+    if math.isclose(cost, 1.5):
+        return True
+    return False
+'''
+
+#: Tier-B rules the bad snippet must trip.
+_LINT_RULES = ("LINT001", "LINT002", "LINT003", "LINT004", "LINT005")
+
+
+def _swap_dependency(schedule: Schedule) -> Schedule:
+    """Move the last Round's atoms into Round 0, breaking dependencies."""
+    first, last = schedule.rounds[0], schedule.rounds[-1]
+    rounds = list(schedule.rounds[1:-1])
+    merged = Round(index=0, atom_indices=last.atom_indices + first.atom_indices)
+    rebuilt = [merged] + [
+        Round(index=t + 1, atom_indices=r.atom_indices)
+        for t, r in enumerate(rounds)
+    ]
+    return Schedule(rounds=rebuilt)
+
+
+def _expect(
+    label: str,
+    report: Report,
+    expect_rules: tuple[str, ...],
+    lines: list[str],
+) -> bool:
+    fired = report.fired_rule_ids()
+    missing = [r for r in expect_rules if r not in fired]
+    if missing:
+        lines.append(
+            f"FAIL {label}: expected rule(s) {missing} to fire; "
+            f"fired: {sorted(fired) or 'none'}"
+        )
+        return False
+    lines.append(f"ok   {label}: fired {sorted(set(expect_rules))}")
+    return True
+
+
+def _expect_clean(label: str, report: Report, lines: list[str]) -> bool:
+    if not report.ok:
+        lines.append(f"FAIL {label}: unexpected errors:\n{report.render()}")
+        return False
+    lines.append(
+        f"ok   {label}: clean ({len(report.checked)} artifact(s), "
+        f"{len(report.warnings)} warning(s))"
+    )
+    return True
+
+
+def run_self_check() -> tuple[bool, str]:
+    """Execute all three legs.
+
+    Returns:
+        (passed, human-readable transcript).
+    """
+    lines: list[str] = []
+    passed = True
+    arch = ArchConfig(mesh_rows=4, mesh_cols=4)
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=12), restarts=1, seed=0
+    )
+
+    outcomes = []
+    for name in SELF_CHECK_MODELS:
+        from repro.models import get_model
+
+        outcome = AtomicDataflowOptimizer(
+            get_model(name), arch, options
+        ).optimize()
+        outcomes.append((name, outcome))
+        passed &= _expect_clean(
+            f"pipeline artifacts [{name}]", validate_outcome(outcome, arch), lines
+        )
+
+    # Seeded negatives, corrupting the first workload's real artifacts.
+    _, outcome = outcomes[0]
+    dag, schedule, placement = outcome.dag, outcome.schedule, outcome.placement
+
+    passed &= _expect(
+        "seeded dependency swap",
+        validate_artifacts(dag, _swap_dependency(schedule), arch=arch),
+        ("AD203",),
+        lines,
+    )
+
+    first_round = schedule.rounds[0]
+    if len(first_round.atom_indices) >= 2:
+        a, b = first_round.atom_indices[:2]
+        doubled = dict(placement)
+        doubled[b] = doubled[a]
+        passed &= _expect(
+            "seeded duplicate engine-slot",
+            validate_artifacts(dag, schedule, doubled, arch=arch),
+            ("AD302",),
+            lines,
+        )
+
+    phantom_dag = replace(
+        dag, edge_bytes={**dag.edge_bytes, (dag.num_atoms - 1, 0): 1}
+    )
+    passed &= _expect(
+        "seeded phantom edge_bytes",
+        validate_artifacts(phantom_dag),
+        ("AD104",),
+        lines,
+    )
+
+    truncated = Schedule(rounds=list(schedule.rounds[:-1]))
+    passed &= _expect(
+        "seeded truncated schedule",
+        validate_artifacts(dag, truncated, arch=arch),
+        ("AD201",),
+        lines,
+    )
+
+    # Tier-B round-trip.
+    passed &= _expect(
+        "lint bad snippet",
+        lint_source(_BAD_SNIPPET, "bad_snippet.py"),
+        _LINT_RULES,
+        lines,
+    )
+    passed &= _expect_clean(
+        "lint clean snippet", lint_source(_CLEAN_SNIPPET, "clean_snippet.py"), lines
+    )
+    passed &= _expect_clean(
+        "lint repro source tree",
+        lint_paths([Path(repro.__file__).parent]),
+        lines,
+    )
+
+    lines.append("self-check PASSED" if passed else "self-check FAILED")
+    return passed, "\n".join(lines)

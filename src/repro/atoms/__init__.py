@@ -1,5 +1,7 @@
 """Atoms: scheduling units, layer partitioning, atomic DAGs, generation."""
 
+from __future__ import annotations
+
 from repro.atoms.atom import Atom, AtomId, TileSize
 from repro.atoms.dag import AtomicDAG, build_atomic_dag
 from repro.atoms.generation import (

@@ -1,5 +1,7 @@
 """Baseline orchestration strategies: LS, CNN-P, IL-Pipe, Rammer, Ideal."""
 
+from __future__ import annotations
+
 from repro.baselines.cnn_partition import (
     cnn_partition_utilization,
     run_cnn_partition,

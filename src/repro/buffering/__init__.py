@@ -1,5 +1,7 @@
 """On-chip buffering strategy (the paper's Algorithm 3)."""
 
+from __future__ import annotations
+
 from repro.buffering.policy import BufferPolicy, Eviction, weight_entry_key
 
 __all__ = ["BufferPolicy", "Eviction", "weight_entry_key"]

@@ -7,6 +7,9 @@ Commands:
   print the solution (optionally save it as JSON).
 * ``compare`` — run AD and the baselines on one workload, print the table.
 * ``dse`` — engine-grid design-space sweep under a fixed silicon budget.
+* ``check`` — static verification: lint the codebase, validate a saved
+  solution artifact, or run the analysis self-check
+  (see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -177,6 +180,26 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Delegate to the :mod:`repro.analysis` CLI (same flags)."""
+    from repro.analysis.__main__ import main as analysis_main
+
+    forwarded: list[str] = list(args.paths)
+    if args.self_check:
+        forwarded.append("--self-check")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.json:
+        forwarded.append("--json")
+    if args.artifact:
+        forwarded += ["--artifact", args.artifact]
+        if args.model:
+            forwarded += ["--model", args.model]
+        rows, cols = args.mesh
+        forwarded += ["--mesh", f"{rows}x{cols}"]
+    return analysis_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -210,6 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-mesh", type=_parse_mesh, default=(4, 4),
         help="budget expressed as an equivalent engine grid (default 4x4)",
     )
+
+    p_chk = sub.add_parser(
+        "check", help="static verification (lint / artifact validation)"
+    )
+    p_chk.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p_chk.add_argument("--self-check", action="store_true")
+    p_chk.add_argument("--list-rules", action="store_true")
+    p_chk.add_argument("--json", action="store_true")
+    p_chk.add_argument(
+        "--artifact", help="solution JSON to validate (Tier A)"
+    )
+    p_chk.add_argument("--model", help="zoo model of the --artifact solution")
+    p_chk.add_argument(
+        "--mesh", type=_parse_mesh, default=(8, 8),
+        help="engine grid the --artifact solution targets (default 8x8)",
+    )
     return parser
 
 
@@ -221,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimize": _cmd_optimize,
         "compare": _cmd_compare,
         "dse": _cmd_dse,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

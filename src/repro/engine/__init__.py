@@ -1,5 +1,7 @@
 """Single-engine analytical cost model (MAESTRO substitute)."""
 
+from __future__ import annotations
+
 from repro.engine.cost_model import EngineCost, EngineCostModel
 from repro.engine.dataflow import (
     ConvDims,

@@ -1,5 +1,7 @@
 """Functional executors: numpy reference and atom-wise verification."""
 
+from __future__ import annotations
+
 from repro.exec.atomwise import (
     AtomExecutionError,
     execute_atom,

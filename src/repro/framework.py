@@ -61,6 +61,12 @@ class OptimizerOptions:
         restarts: Independent SA restarts; the best simulated candidate wins
             (the outer iterative loop of Fig. 4(b)).
         seed: RNG seed for reproducibility.
+        validate: Debug flag: statically verify every intermediate
+            artifact (DAG, schedule, placement, buffering) the search
+            produces with :mod:`repro.analysis` and raise
+            :class:`~repro.analysis.diagnostics.ArtifactValidationError`
+            on the first illegal one.  Off by default (it roughly doubles
+            candidate-evaluation time); tests turn it on.
     """
 
     dataflow: str = "kc"
@@ -72,6 +78,7 @@ class OptimizerOptions:
     lookahead: int = 1
     restarts: int = 1
     seed: int = 0
+    validate: bool = False
 
     def __post_init__(self) -> None:
         if self.atom_generation not in ("sa", "even"):
@@ -187,6 +194,8 @@ class AtomicDataflowOptimizer:
         dag = build_atomic_dag(
             self.graph, tiling, self.cost_model, batch=self.options.batch
         )
+        if self.options.validate:
+            self._validate(dag)
         schedules = [self._schedule(dag)]
         if self.options.batch > 1:
             from repro.baselines.common import layer_sequential_schedule
@@ -197,6 +206,8 @@ class AtomicDataflowOptimizer:
         best: OptimizationOutcome | None = None
         for schedule in schedules:
             placement = self._place(dag, schedule)
+            if self.options.validate:
+                self._validate(dag, schedule, placement)
             sim = SystemSimulator(self.arch, dag, strategy=strategy_label)
             result = sim.run(schedule, placement)
             outcome = OptimizationOutcome(
@@ -211,10 +222,38 @@ class AtomicDataflowOptimizer:
         assert best is not None
         return best
 
+    def _validate(
+        self,
+        dag: AtomicDAG,
+        schedule: Schedule | None = None,
+        placement: dict[int, int] | None = None,
+    ) -> None:
+        """Statically verify search artifacts (``validate=True`` debug path).
+
+        Raises:
+            ArtifactValidationError: On the first artifact with an
+                ERROR-severity finding.
+        """
+        # Imported lazily: repro.analysis depends on this module via the
+        # serializer, so a top-level import would be circular.
+        from repro.analysis import assert_valid, validate_artifacts
+
+        assert_valid(
+            validate_artifacts(
+                dag, schedule=schedule, placement=placement, arch=self.arch
+            )
+        )
+
     def _schedule(self, dag: AtomicDAG) -> Schedule:
         n = self.arch.num_engines
         if self.options.scheduler == "exact":
-            schedule, _ = schedule_exact_dp(dag, n)
+            schedule, total = schedule_exact_dp(dag, n)
+            if self.options.validate:
+                from repro.analysis import assert_valid, check_schedule
+
+                assert_valid(
+                    check_schedule(dag, schedule, n, expected_cost=total)
+                )
             return schedule
         if self.options.scheduler == "greedy":
             return schedule_greedy(dag, n)

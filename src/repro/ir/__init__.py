@@ -1,5 +1,7 @@
 """Graph intermediate representation: tensors, operators, DAGs, builders."""
 
+from __future__ import annotations
+
 from repro.ir.builder import GraphBuilder, graph_from_spec, graph_to_spec
 from repro.ir.compose import merge_graphs, subgraph_layers
 from repro.ir.graph import Graph, Node

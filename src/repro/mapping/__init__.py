@@ -1,5 +1,7 @@
 """Atom-engine mapping: zig-zag baseline and TransferCost-optimized search."""
 
+from __future__ import annotations
+
 from repro.mapping.placement import (
     MAX_PERMUTATION_LAYERS,
     optimized_placement,

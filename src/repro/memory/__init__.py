@@ -1,5 +1,7 @@
 """Memory substrates: HBM off-chip model and distributed on-chip buffers."""
 
+from __future__ import annotations
+
 from repro.memory.buffer import BufferOverflowError, EngineBuffer, make_buffers
 from repro.memory.dram_detail import (
     DetailedDram,

@@ -1,5 +1,7 @@
 """Model zoo: the paper's eight evaluation workloads (Table I)."""
 
+from __future__ import annotations
+
 from repro.models.efficientnet import efficientnet
 from repro.models.inception import inception_v3
 from repro.models.mobilenet import mobilenet_v2

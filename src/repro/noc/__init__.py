@@ -1,5 +1,7 @@
 """2D-mesh NoC topology and contention-aware traffic model."""
 
+from __future__ import annotations
+
 from repro.noc.mesh import Mesh2D
 from repro.noc.traffic import NocModel, NocRoundCost, Transfer
 from repro.noc.torus import Torus2D, make_topology

@@ -1,5 +1,7 @@
 """Atomic DAG scheduling: Rounds, priority rules, DP and pruned searchers."""
 
+from __future__ import annotations
+
 from repro.scheduling.dp import (
     SearchBudgetExceeded,
     default_round_cost,

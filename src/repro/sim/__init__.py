@@ -1,5 +1,7 @@
 """Event-driven system simulator for the scalable accelerator."""
 
+from __future__ import annotations
+
 from repro.sim.events import Event, EventQueue, Resource
 from repro.sim.simulator import (
     RoundTrace,

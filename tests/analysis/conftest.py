@@ -1,0 +1,48 @@
+"""Shared fixtures for the static-analysis tests: tiny, corruptible DAGs."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.atoms import TileSize, build_atomic_dag, uniform_tiling
+from repro.config import EngineConfig
+from repro.engine import EngineCostModel, get_dataflow
+from repro.ir import GraphBuilder
+from repro.scheduling import schedule_greedy
+
+
+def build_tiny_dag(batch: int = 1):
+    """A 3-layer conv chain split into 2 atoms per layer (6 atoms/sample)."""
+    b = GraphBuilder(name="tiny")
+    x = b.input(8, 8, 4)
+    c1 = b.conv(x, 8, kernel=3, name="c1")
+    c2 = b.conv(c1, 8, kernel=3, name="c2")
+    b.conv(c2, 8, kernel=1, name="c3")
+    g = b.build()
+    cm = EngineCostModel(EngineConfig(pe_rows=8, pe_cols=8), get_dataflow("kc"))
+    tiling = uniform_tiling(g, TileSize(4, 8, 8, 8))
+    return build_atomic_dag(g, tiling, cm, batch=batch)
+
+
+@pytest.fixture
+def tiny_dag():
+    return build_tiny_dag()
+
+
+@pytest.fixture
+def tiny_solution():
+    """(dag, schedule, placement) for the tiny chain on 2 engines."""
+    dag = build_tiny_dag()
+    schedule = schedule_greedy(dag, 2)
+    placement = {}
+    for rnd in schedule.rounds:
+        for slot, a in enumerate(rnd.atom_indices):
+            placement[a] = slot
+    return dag, schedule, placement
+
+
+def corrupted(dag):
+    """Deep copy for in-place corruption without touching the original."""
+    return copy.deepcopy(dag)

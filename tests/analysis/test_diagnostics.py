@@ -1,0 +1,114 @@
+"""Diagnostic framework: registry, report accounting, JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ArtifactValidationError,
+    Report,
+    Severity,
+    all_rules,
+    assert_valid,
+    get_rule,
+    register_rule,
+)
+
+
+class TestRegistry:
+    def test_all_tier_a_and_b_rules_registered(self):
+        ids = {r.rule_id for r in all_rules()}
+        expected = {
+            "AD101", "AD102", "AD103", "AD104", "AD105", "AD106",
+            "AD201", "AD202", "AD203", "AD204", "AD205",
+            "AD301", "AD302", "AD303",
+            "AD401", "AD402", "AD403",
+            "LINT001", "LINT002", "LINT003", "LINT004", "LINT005",
+        }
+        assert expected <= ids
+
+    def test_rules_sorted_and_described(self):
+        rules = all_rules()
+        assert [r.rule_id for r in rules] == sorted(r.rule_id for r in rules)
+        assert all(r.description for r in rules)
+        assert all(r.tier in ("artifact", "lint") for r in rules)
+
+    def test_conflicting_reregistration_rejected(self):
+        register_rule("AD103", Severity.ERROR, "artifact",
+                      get_rule("AD103").description)  # identical: fine
+        with pytest.raises(ValueError):
+            register_rule("AD103", Severity.WARNING, "artifact", "changed")
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            register_rule("XX999", Severity.ERROR, "nonsense", "bad tier")
+
+    def test_emit_requires_registered_rule(self):
+        with pytest.raises(KeyError):
+            Report().emit("ZZ000", "here", "never registered")
+
+
+class TestReport:
+    def test_error_warning_partition_and_ok(self):
+        r = Report()
+        assert r.ok
+        r.emit("AD101", "dag", "broken")
+        r.emit("AD402", "engine 0", "costly")
+        assert not r.ok
+        assert len(r.errors) == 1
+        assert len(r.warnings) == 1
+        assert r.fired_rule_ids() == {"AD101", "AD402"}
+        assert len(r.by_rule("AD101")) == 1
+
+    def test_warnings_do_not_fail(self):
+        r = Report()
+        r.emit("AD403", "atom 0", "oversized output")
+        assert r.ok
+
+    def test_render_mentions_rule_and_location(self):
+        r = Report()
+        r.mark_checked("thing")
+        r.emit("AD203", "round 3", "dependency violated")
+        text = r.render()
+        assert "AD203" in text and "round 3" in text
+        assert "1 error(s)" in text
+
+    def test_json_report_is_machine_readable(self):
+        r = Report()
+        r.mark_checked("artifact-a")
+        r.emit("AD101", "dag", "broken")
+        doc = json.loads(r.to_json())
+        assert doc["ok"] is False
+        assert doc["checked"] == ["artifact-a"]
+        assert doc["num_errors"] == 1
+        assert doc["diagnostics"][0] == {
+            "severity": "error",
+            "rule_id": "AD101",
+            "location": "dag",
+            "message": "broken",
+        }
+
+    def test_extend_folds_reports(self):
+        a, b = Report(), Report()
+        a.mark_checked("one")
+        b.mark_checked("two")
+        b.emit("AD101", "dag", "broken")
+        a.extend(b)
+        assert a.checked == ["one", "two"]
+        assert not a.ok
+
+
+class TestAssertValid:
+    def test_raises_with_report_attached(self):
+        r = Report()
+        r.emit("AD101", "dag", "broken")
+        with pytest.raises(ArtifactValidationError) as exc:
+            assert_valid(r)
+        assert exc.value.report is r
+        assert "AD101" in str(exc.value)
+
+    def test_passes_through_clean_report(self):
+        r = Report()
+        assert assert_valid(r) is r

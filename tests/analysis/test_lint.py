@@ -1,0 +1,139 @@
+"""Positive and negative cases for every Tier-B lint rule (LINT001-005)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+FUTURE = "from __future__ import annotations\n"
+
+
+def fired(source, path="src/repro/mod.py", **kw):
+    src = textwrap.dedent(source)
+    return lint_source(src, path, **kw).fired_rule_ids()
+
+
+class TestLINT001FloatEquality:
+    def test_eq_against_float_literal(self):
+        assert fired(FUTURE + "ok = cost == 1.5\n") == {"LINT001"}
+
+    def test_neq_and_negative_literal(self):
+        assert fired(FUTURE + "bad = -2.0 != cost\n") == {"LINT001"}
+
+    def test_integer_equality_allowed(self):
+        assert fired(FUTURE + "ok = cost == 3\n") == frozenset()
+
+    def test_float_ordering_allowed(self):
+        assert fired(FUTURE + "ok = cost < 1.5\n") == frozenset()
+
+    def test_tolerance_helper_exempt(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def cost_is_close(a):
+                return a == 1.5
+            """
+        )
+        assert fired(src) == frozenset()
+
+    def test_non_tolerance_function_not_exempt(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def evaluate(a):
+                return a == 1.5
+            """
+        )
+        assert fired(src) == {"LINT001"}
+
+
+class TestLINT002DagMutation:
+    def test_subscript_assignment(self):
+        assert fired(FUTURE + "dag.preds[0] = ()\n") == {"LINT002"}
+
+    def test_mutator_call(self):
+        assert fired(FUTURE + "dag.costs.append(c)\n") == {"LINT002"}
+
+    def test_augmented_assignment(self):
+        assert fired(FUTURE + "dag.succs[1] += (2,)\n") == {"LINT002"}
+
+    def test_edge_bytes_update(self):
+        assert fired(FUTURE + "dag.edge_bytes.update(extra)\n") == {"LINT002"}
+
+    def test_atoms_package_exempt(self):
+        src = FUTURE + "dag.preds[0] = ()\n"
+        assert (
+            fired(src, path="src/repro/atoms/builder.py") == frozenset()
+        )
+        assert fired(src, in_atoms_pkg=True) == frozenset()
+
+    def test_reading_flat_arrays_allowed(self):
+        assert fired(FUTURE + "n = len(dag.preds[0])\n") == frozenset()
+
+    def test_unrelated_attribute_allowed(self):
+        assert fired(FUTURE + "self.results.append(r)\n") == frozenset()
+
+
+class TestLINT003FutureImport:
+    def test_missing_future_import(self):
+        assert fired("x = 1\n") == {"LINT003"}
+
+    def test_present_future_import(self):
+        assert fired(FUTURE + "x = 1\n") == frozenset()
+
+    def test_docstring_only_module_exempt(self):
+        assert fired('"""Just a docstring."""\n') == frozenset()
+
+    def test_syntax_error_reported_not_raised(self):
+        report = lint_source("def broken(:\n", "src/repro/mod.py")
+        assert report.fired_rule_ids() == {"LINT003"}
+        assert "parse" in report.diagnostics[0].message
+
+
+class TestLINT004BareExcept:
+    def test_bare_except(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """
+        )
+        assert fired(src) == {"LINT004"}
+
+    def test_typed_except_allowed(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            try:
+                risky()
+            except ValueError:
+                pass
+            """
+        )
+        assert fired(src) == frozenset()
+
+
+class TestLINT005MutableDefaults:
+    def test_list_default(self):
+        assert fired(FUTURE + "def f(seen=[]):\n    pass\n") == {"LINT005"}
+
+    def test_dict_call_default(self):
+        assert fired(FUTURE + "def f(cache=dict()):\n    pass\n") == {
+            "LINT005"
+        }
+
+    def test_kwonly_set_default(self):
+        assert fired(FUTURE + "def f(*, s={1}):\n    pass\n") == {"LINT005"}
+
+    def test_none_default_allowed(self):
+        assert fired(FUTURE + "def f(seen=None):\n    pass\n") == frozenset()
+
+    def test_tuple_default_allowed(self):
+        assert fired(FUTURE + "def f(seen=()):\n    pass\n") == frozenset()
+
+
+class TestLocations:
+    def test_location_includes_path_and_line(self):
+        report = lint_source(FUTURE + "x = cost == 1.5\n", "pkg/mod.py")
+        [diag] = report.diagnostics
+        assert diag.location == "pkg/mod.py:2"

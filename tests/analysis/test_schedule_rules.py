@@ -1,0 +1,132 @@
+"""Negative-path tests: one minimally-broken artifact per AD2xx/AD3xx rule.
+
+The greedy schedule of the tiny 3-layer chain on 2 engines is
+``(c1_0, c1_1) -> (c2_0, c2_1) -> (c3_0, c3_1)`` (atoms 0..5); every
+corruption below perturbs exactly one legality property of it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_placement, check_schedule
+from repro.noc import Mesh2D
+from repro.scheduling import Round, Schedule
+from repro.scheduling.dp import default_round_cost
+
+
+def fired_schedule(dag, schedule, num_engines, **kw):
+    return check_schedule(dag, schedule, num_engines, **kw).fired_rule_ids()
+
+
+class TestCleanSchedule:
+    def test_no_findings(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        report = check_schedule(dag, schedule, 2)
+        assert report.ok and not report.diagnostics
+
+    def test_matching_reported_cost_is_clean(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        total = sum(
+            default_round_cost(dag, r.atom_indices) for r in schedule.rounds
+        )
+        assert fired_schedule(
+            dag, schedule, 2, expected_cost=total
+        ) == frozenset()
+
+
+class TestAD201ExactlyOnce:
+    def test_dropped_round_leaves_atoms_unscheduled(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        broken = Schedule(rounds=schedule.rounds[:-1])
+        assert fired_schedule(dag, broken, 2) == {"AD201"}
+
+    def test_duplicate_atom(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        # Replace dependency-free c3_1 with a second copy of root atom 0.
+        broken = Schedule(rounds=schedule.rounds[:-1] + [Round(2, (4, 0))])
+        assert fired_schedule(dag, broken, 2) == {"AD201"}
+
+    def test_out_of_range_index(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        broken = Schedule(rounds=schedule.rounds[:-1] + [Round(2, (4, 99))])
+        assert fired_schedule(dag, broken, 2) == {"AD201"}
+
+
+class TestAD202RoundWidth:
+    def test_overfull_round(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        # The same two-wide rounds are illegal on a single engine.
+        assert fired_schedule(dag, schedule, 1) == {"AD202"}
+
+    def test_empty_round(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        broken = Schedule(rounds=schedule.rounds + [Round(3, ())])
+        assert fired_schedule(dag, broken, 2) == {"AD202"}
+
+
+class TestAD203Dependencies:
+    def test_swapped_rounds(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        r0, r1, r2 = schedule.rounds
+        broken = Schedule(
+            rounds=[
+                Round(0, r1.atom_indices),
+                Round(1, r0.atom_indices),
+                r2,
+            ]
+        )
+        assert fired_schedule(dag, broken, 2) == {"AD203"}
+
+
+class TestAD204Contiguity:
+    def test_misnumbered_round(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        r2 = schedule.rounds[2]
+        broken = Schedule(
+            rounds=schedule.rounds[:-1] + [Round(5, r2.atom_indices)]
+        )
+        assert fired_schedule(dag, broken, 2) == {"AD204"}
+
+
+class TestAD205CostCrossCheck:
+    def test_drifted_reported_cost(self, tiny_solution):
+        dag, schedule, _ = tiny_solution
+        total = sum(
+            default_round_cost(dag, r.atom_indices) for r in schedule.rounds
+        )
+        assert fired_schedule(
+            dag, schedule, 2, expected_cost=total * 1.5 + 1.0
+        ) == {"AD205"}
+
+
+def fired_placement(dag, schedule, placement, mesh):
+    return check_placement(dag, schedule, placement, mesh).fired_rule_ids()
+
+
+class TestPlacementRules:
+    MESH = Mesh2D(1, 2)
+
+    def test_clean_placement(self, tiny_solution):
+        dag, schedule, placement = tiny_solution
+        report = check_placement(dag, schedule, placement, self.MESH)
+        assert report.ok and not report.diagnostics
+
+    def test_ad301_missing_assignment(self, tiny_solution):
+        dag, schedule, placement = tiny_solution
+        del placement[3]
+        assert fired_placement(dag, schedule, placement, self.MESH) == {
+            "AD301"
+        }
+
+    def test_ad302_engine_collision(self, tiny_solution):
+        dag, schedule, placement = tiny_solution
+        placement[1] = placement[0]
+        assert fired_placement(dag, schedule, placement, self.MESH) == {
+            "AD302"
+        }
+
+    def test_ad303_out_of_mesh(self, tiny_solution):
+        dag, schedule, placement = tiny_solution
+        placement[5] = self.MESH.num_engines
+        assert fired_placement(dag, schedule, placement, self.MESH) == {
+            "AD303"
+        }

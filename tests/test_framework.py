@@ -124,3 +124,42 @@ class TestAblationArms:
             OptimizerOptions(scheduler="dp", seed=5, sa_params=FAST_SA),
         ).optimize()
         assert dp.result.total_cycles <= greedy.result.total_cycles * 1.05
+
+
+class TestValidateOption:
+    """`validate=True` runs the repro.analysis checkers on every artifact."""
+
+    def test_validated_run_matches_plain_run(self, net, arch):
+        opts = dict(scheduler="greedy", seed=3, sa_params=FAST_SA)
+        plain = AtomicDataflowOptimizer(
+            net, arch, OptimizerOptions(**opts)
+        ).optimize()
+        checked = AtomicDataflowOptimizer(
+            net, arch, OptimizerOptions(validate=True, **opts)
+        ).optimize()
+        assert checked.result.total_cycles == plain.result.total_cycles
+
+    def test_validated_exact_scheduler_cost_crosscheck(self, arch):
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder(name="tiny_exact")
+        x = b.input(16, 16, 8)
+        c1 = b.conv(x, 8, kernel=3, name="c1")
+        b.conv(c1, 8, kernel=1, name="c2")
+        outcome = AtomicDataflowOptimizer(
+            b.build(), arch,
+            OptimizerOptions(
+                scheduler="exact", validate=True, sa_params=FAST_SA
+            ),
+        ).optimize()
+        assert outcome.result.total_cycles > 0
+
+    def test_outcome_revalidates_cleanly(self, net, arch):
+        from repro.analysis import validate_outcome
+
+        outcome = AtomicDataflowOptimizer(
+            net, arch,
+            OptimizerOptions(scheduler="greedy", seed=3, sa_params=FAST_SA),
+        ).optimize()
+        report = validate_outcome(outcome, arch)
+        assert report.ok

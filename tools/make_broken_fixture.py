@@ -1,0 +1,62 @@
+"""Regenerate ``tests/fixtures/broken_solution.json``.
+
+The fixture is a real solution document for ``vgg19_bench`` on a 2x2
+mesh, deterministically produced (even atom generation, greedy
+scheduler), then seeded with two independent violations:
+
+* Rounds 0 and 1 are swapped, so at least one atom executes before a
+  predecessor (AD203);
+* the first two atoms of the (new) first Round are placed on the same
+  engine (AD302).
+
+``python -m repro.analysis --artifact tests/fixtures/broken_solution.json
+--model vgg19_bench --mesh 2x2`` must exit non-zero on it; CI and
+``tests/analysis/test_cli.py`` both rely on that.
+
+Usage: ``PYTHONPATH=src python tools/make_broken_fixture.py``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.config import ArchConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import get_model
+from repro.serialize import solution_to_dict
+
+OUT = Path(__file__).resolve().parent.parent / "tests/fixtures/broken_solution.json"
+
+
+def main() -> None:
+    arch = ArchConfig(mesh_rows=2, mesh_cols=2)
+    options = OptimizerOptions(
+        atom_generation="even", scheduler="greedy", restarts=1, seed=0
+    )
+    outcome = AtomicDataflowOptimizer(
+        get_model("vgg19_bench"), arch, options
+    ).optimize()
+    doc = solution_to_dict(outcome, dataflow="kc")
+
+    # Violation 1 (AD203): swap the first two Rounds.
+    doc["rounds"][0], doc["rounds"][1] = doc["rounds"][1], doc["rounds"][0]
+
+    # Violation 2 (AD302): collide two first-Round atoms on one engine.
+    first_round_ids = {tuple(atom) for atom in doc["rounds"][0][:2]}
+    engines = [
+        entry[3] for entry in doc["placement"]
+        if tuple(entry[:3]) in first_round_ids
+    ]
+    if len(first_round_ids) >= 2:
+        for entry in doc["placement"]:
+            if tuple(entry[:3]) in first_round_ids:
+                entry[3] = engines[0]
+
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()
