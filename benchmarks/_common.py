@@ -41,14 +41,21 @@ def run_ad(
     dataflow: str = "kc",
     batch: int = 1,
     scheduler: str = "dp",
+    jobs: int = 1,
     **extra,
 ) -> RunResult:
-    """Run the full atomic-dataflow framework and return its result."""
+    """Run the full atomic-dataflow framework and return its result.
+
+    ``jobs`` fans candidate evaluation across worker processes; any value
+    reaches the same answer (the search is jobs-invariant by design), so
+    the committed result JSONs are reproducible at any parallelism.
+    """
     options = OptimizerOptions(
         dataflow=dataflow,
         batch=batch,
         scheduler=scheduler,
         sa_params=BENCH_SA,
+        jobs=jobs,
         **extra,
     )
     return AtomicDataflowOptimizer(graph, arch, options).optimize().result

@@ -34,13 +34,20 @@ from repro.framework import (
     OptimizerOptions,
     optimize,
 )
-from repro.metrics import EnergyBreakdown, RunResult, UtilizationReport
+from repro.metrics import (
+    EnergyBreakdown,
+    RunResult,
+    SearchStats,
+    UtilizationReport,
+)
+from repro.pipeline import CandidateTrace, SearchContext
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ArchConfig",
     "AtomicDataflowOptimizer",
+    "CandidateTrace",
     "DEFAULT_ARCH",
     "EnergyBreakdown",
     "EnergyConfig",
@@ -51,6 +58,8 @@ __all__ = [
     "OptimizerOptions",
     "PROTOTYPE_ARCH",
     "RunResult",
+    "SearchContext",
+    "SearchStats",
     "UtilizationReport",
     "baselines",
     "models",

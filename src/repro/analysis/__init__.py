@@ -31,6 +31,7 @@ from repro.analysis.lint import lint_paths, lint_source
 from repro.analysis.mapping_rules import check_placement
 from repro.analysis.schedule_rules import check_schedule
 from repro.analysis.selfcheck import run_self_check
+from repro.analysis.trace_rules import check_search_trace
 
 __all__ = [
     "ArtifactValidationError",
@@ -43,6 +44,7 @@ __all__ = [
     "check_buffering",
     "check_dag",
     "check_placement",
+    "check_search_trace",
     "check_schedule",
     "get_rule",
     "lint_paths",

@@ -19,6 +19,7 @@ from repro.analysis.dag_rules import check_dag
 from repro.analysis.diagnostics import ArtifactValidationError, Report
 from repro.analysis.mapping_rules import check_placement
 from repro.analysis.schedule_rules import check_schedule
+from repro.analysis.trace_rules import check_search_trace
 from repro.atoms.atom import AtomId, TileSize
 from repro.atoms.dag import AtomicDAG, build_atomic_dag
 from repro.config import ArchConfig
@@ -97,16 +98,26 @@ def validate_artifacts(
 def validate_outcome(outcome, arch: ArchConfig) -> Report:
     """Validate everything an optimizer outcome decided.
 
+    When the outcome carries search traces, the AD5xx trace rules run as
+    well, cross-checking the accepted candidate against the selected
+    result and DAG.
+
     Args:
         outcome: An :class:`~repro.framework.OptimizationOutcome`.
         arch: The architecture the outcome targets.
     """
-    return validate_artifacts(
+    report = validate_artifacts(
         outcome.dag,
         schedule=outcome.schedule,
         placement=outcome.placement,
         arch=arch,
     )
+    traces = getattr(outcome, "traces", ())
+    if traces:
+        check_search_trace(
+            traces, result=outcome.result, dag=outcome.dag, report=report
+        )
+    return report
 
 
 def assert_valid(report: Report) -> Report:

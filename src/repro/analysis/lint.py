@@ -19,6 +19,11 @@ These are repo-specific hazards generic linters do not know about:
   and mask scheduler bugs as "no candidates").
 * ``LINT005`` — mutable default argument values (``[]``/``{}``/``set()``),
   shared across calls.
+* ``LINT006`` — direct ``SystemSimulator(...)`` construction outside
+  ``repro.sim``, the pipeline's evaluation stage, and benchmarks/tests.
+  Hand-built simulators rebuild the NoC mesh per call and bypass the
+  shared :class:`~repro.pipeline.SearchContext`; go through
+  ``SearchContext.simulator`` (or the evaluation stage) instead.
 """
 
 from __future__ import annotations
@@ -60,6 +65,13 @@ register_rule(
     "lint",
     "no mutable default argument values",
 )
+register_rule(
+    "LINT006",
+    Severity.ERROR,
+    "lint",
+    "no direct SystemSimulator construction outside repro.sim / the "
+    "pipeline evaluation stage / benchmarks (use SearchContext.simulator)",
+)
 
 #: AtomicDAG's index-aligned flat attributes guarded by LINT002.
 DAG_FLAT_ATTRS = frozenset(
@@ -82,14 +94,26 @@ _MUTATORS = frozenset(
 
 _TOLERANCE_NAME = re.compile(r"close|approx|tol", re.IGNORECASE)
 
+#: Path components whose files may construct SystemSimulator directly:
+#: the simulator package itself, the evaluation stage that owns the
+#: construction, and non-library code (benchmarks, tests, examples).
+_SIM_EXEMPT_PARTS = frozenset({"sim", "benchmarks", "tests", "examples"})
+
 
 class _LintVisitor(ast.NodeVisitor):
     """Single-pass visitor emitting all LINT rules for one module."""
 
-    def __init__(self, report: Report, path: str, in_atoms_pkg: bool) -> None:
+    def __init__(
+        self,
+        report: Report,
+        path: str,
+        in_atoms_pkg: bool,
+        may_build_simulator: bool = False,
+    ) -> None:
         self.report = report
         self.path = path
         self.in_atoms_pkg = in_atoms_pkg
+        self.may_build_simulator = may_build_simulator
         self._func_stack: list[str] = []
 
     def _loc(self, node: ast.AST) -> str:
@@ -140,6 +164,15 @@ class _LintVisitor(ast.NodeVisitor):
                 self._loc(node),
                 f"in-place mutation `.{func.attr}()` of AtomicDAG flat "
                 f"array `{_attr_name(func.value)}` outside repro.atoms",
+            )
+        if not self.may_build_simulator and _callee_name(func) == (
+            "SystemSimulator"
+        ):
+            self.report.emit(
+                "LINT006",
+                self._loc(node),
+                "direct SystemSimulator construction; build one through "
+                "SearchContext.simulator so the shared mesh is reused",
             )
         self.generic_visit(node)
 
@@ -217,6 +250,23 @@ def _attr_name(node: ast.expr) -> str:
     return node.attr if isinstance(node, ast.Attribute) else "?"
 
 
+def _callee_name(func: ast.expr) -> str | None:
+    """Terminal name of a call target: `f(...)` or `mod.f(...)`."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _may_build_simulator(path: str) -> bool:
+    """LINT006 exemption: files allowed to construct SystemSimulator."""
+    parts = Path(path).parts
+    if parts and parts[-1] == "pipeline.py":
+        return True
+    return any(part in _SIM_EXEMPT_PARTS for part in parts)
+
+
 def _is_mutable_literal(node: ast.expr) -> bool:
     if isinstance(node, (ast.List, ast.Dict, ast.Set)):
         return True
@@ -253,6 +303,7 @@ def lint_source(
     path: str,
     report: Report | None = None,
     in_atoms_pkg: bool | None = None,
+    may_build_simulator: bool | None = None,
 ) -> Report:
     """Run every LINT rule over one module's source text.
 
@@ -263,6 +314,9 @@ def lint_source(
         report: Optional report to append to.
         in_atoms_pkg: Override the ``repro.atoms`` membership inference
             (LINT002 exemption).
+        may_build_simulator: Override the path-based LINT006 exemption
+            (``repro.sim``, the pipeline evaluation stage, benchmarks,
+            tests, examples).
 
     Returns:
         The report with any findings added.
@@ -272,6 +326,8 @@ def lint_source(
     if in_atoms_pkg is None:
         parts = Path(path).parts
         in_atoms_pkg = len(parts) >= 2 and parts[-2] == "atoms"
+    if may_build_simulator is None:
+        may_build_simulator = _may_build_simulator(path)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -285,7 +341,7 @@ def lint_source(
             f"{path}:1",
             "missing `from __future__ import annotations`",
         )
-    _LintVisitor(report, path, in_atoms_pkg).visit(tree)
+    _LintVisitor(report, path, in_atoms_pkg, may_build_simulator).visit(tree)
     return report
 
 

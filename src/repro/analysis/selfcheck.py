@@ -3,11 +3,16 @@
 CI runs ``python -m repro.analysis --self-check``, which must fail loudly
 if the analysis subsystem ever rots.  Three legs:
 
-1. **Clean positive** — the framework's default pipeline on two zoo
-   workloads produces artifacts that pass every Tier-A validator;
+1. **Clean positive** — the framework's staged pipeline on two zoo
+   workloads produces artifacts that pass every Tier-A validator; one
+   workload additionally runs multi-restart with ``jobs=2`` and
+   ``validate=True`` so every intermediate artifact is verified
+   stage-by-stage inside the pipeline itself, and the resulting search
+   traces pass the AD5xx trace rules;
 2. **Seeded negatives** — deliberately corrupted copies of those same
-   artifacts (dependency swap, duplicate engine, phantom edge, …) must
-   each trip exactly the rule that guards the broken invariant;
+   artifacts (dependency swap, duplicate engine, phantom edge, corrupted
+   search trace, …) must each trip exactly the rule that guards the
+   broken invariant;
 3. **Lint round-trip** — an embedded bad snippet fires all Tier-B rules,
    an embedded clean snippet fires none, and the installed ``repro``
    source tree itself lints clean.
@@ -20,6 +25,7 @@ from pathlib import Path
 
 import repro
 from repro.analysis.artifacts import validate_artifacts, validate_outcome
+from repro.analysis.trace_rules import check_search_trace
 from repro.analysis.diagnostics import Report
 from repro.analysis.lint import lint_paths, lint_source
 from repro.atoms.generation import SAParams
@@ -39,6 +45,7 @@ def check(cost, seen=[]):
         dag.preds[0] = ()
     except:
         pass
+    return SystemSimulator(arch, dag)
 '''
 
 _CLEAN_SNIPPET = '''\
@@ -56,7 +63,14 @@ def check(cost: float, seen: list | None = None) -> bool:
 '''
 
 #: Tier-B rules the bad snippet must trip.
-_LINT_RULES = ("LINT001", "LINT002", "LINT003", "LINT004", "LINT005")
+_LINT_RULES = (
+    "LINT001",
+    "LINT002",
+    "LINT003",
+    "LINT004",
+    "LINT005",
+    "LINT006",
+)
 
 
 def _swap_dependency(schedule: Schedule) -> Schedule:
@@ -113,10 +127,10 @@ def run_self_check() -> tuple[bool, str]:
         sa_params=SAParams(max_iterations=12), restarts=1, seed=0
     )
 
+    from repro.models import get_model
+
     outcomes = []
     for name in SELF_CHECK_MODELS:
-        from repro.models import get_model
-
         outcome = AtomicDataflowOptimizer(
             get_model(name), arch, options
         ).optimize()
@@ -124,6 +138,19 @@ def run_self_check() -> tuple[bool, str]:
         passed &= _expect_clean(
             f"pipeline artifacts [{name}]", validate_outcome(outcome, arch), lines
         )
+
+    # Staged-pipeline positive: multi-restart, parallel, validating every
+    # intermediate artifact inside the evaluation stage itself.
+    staged = AtomicDataflowOptimizer(
+        get_model(SELF_CHECK_MODELS[0]),
+        arch,
+        replace(options, restarts=2, jobs=2, validate=True),
+    ).optimize()
+    passed &= _expect_clean(
+        f"staged pipeline w/ tracing [{SELF_CHECK_MODELS[0]}]",
+        validate_outcome(staged, arch),
+        lines,
+    )
 
     # Seeded negatives, corrupting the first workload's real artifacts.
     _, outcome = outcomes[0]
@@ -163,6 +190,27 @@ def run_self_check() -> tuple[bool, str]:
         "seeded truncated schedule",
         validate_artifacts(dag, truncated, arch=arch),
         ("AD201",),
+        lines,
+    )
+
+    doubly_accepted = tuple(
+        replace(t, accepted=True, reason="selected") for t in staged.traces
+    )
+    passed &= _expect(
+        "seeded doubly-accepted trace",
+        check_search_trace(
+            doubly_accepted, result=staged.result, dag=staged.dag
+        ),
+        ("AD501",),
+        lines,
+    )
+    relabeled = tuple(
+        replace(t, label=staged.traces[0].label) for t in staged.traces
+    )
+    passed &= _expect(
+        "seeded duplicate trace labels",
+        check_search_trace(relabeled),
+        ("AD502",),
         lines,
     )
 

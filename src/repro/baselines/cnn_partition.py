@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import math
 
-from repro.baselines.common import even_split_layer_cycles, prepare
+from repro.baselines.common import even_split_layer_cycles
 from repro.baselines.ls import run_layer_sequential
 from repro.config import ArchConfig
 from repro.engine.energy import atom_energy
 from repro.ir.graph import Graph
 from repro.ir.ops import Input, Region
 from repro.metrics import EnergyBreakdown, RunResult
+from repro.pipeline import SearchContext
 
 
 def _assign_layers_to_clps(
@@ -73,7 +74,8 @@ def run_cnn_partition(
         ]
         return min(candidates, key=lambda r: r.total_cycles)
 
-    fused, cost_model = prepare(graph, arch, dataflow)
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
+    fused, cost_model = ctx.graph, ctx.cost_model
     engines_per_clp = arch.num_engines // num_clps
     layer_cycles = even_split_layer_cycles(fused, cost_model, engines_per_clp)
     clp_layers = _assign_layers_to_clps(layer_cycles, num_clps)
@@ -149,7 +151,8 @@ def cnn_partition_utilization(
     utilization is the MAC total against the peak over the slowest CLP's
     per-image time (the pipeline's stage time).
     """
-    fused, cost_model = prepare(graph, arch, dataflow)
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow)
+    fused, cost_model = ctx.graph, ctx.cost_model
     engines_per_clp = arch.num_engines // num_clps
     layer_cycles = even_split_layer_cycles(fused, cost_model, engines_per_clp)
     clp_layers = _assign_layers_to_clps(layer_cycles, num_clps)

@@ -1,76 +1,23 @@
-"""Shared machinery for the baseline orchestration strategies."""
+"""Shared analytical helpers for the baseline orchestration strategies.
+
+The simulated baselines (LS, Rammer) run through the same staged pipeline
+as the framework — see :mod:`repro.pipeline` — so this module now holds
+only the *analytical* helpers the CLP/region baselines (CNN-P, IL-Pipe)
+and the ideal bound are built from.
+"""
 
 from __future__ import annotations
 
 import math
 
-from repro.atoms.dag import AtomicDAG, build_atomic_dag
 from repro.atoms.partition import grid_for
 from repro.atoms.generation import layer_sequential_tiling
 from repro.config import ArchConfig
 from repro.engine.cost_model import EngineCostModel
-from repro.engine.dataflow import get_dataflow
 from repro.ir.graph import Graph
 from repro.ir.ops import Input
-from repro.ir.transforms import fuse_elementwise
 from repro.metrics import EnergyBreakdown, RunResult
-from repro.scheduling.rounds import Round, Schedule
-
-
-def prepare(
-    graph: Graph, arch: ArchConfig, dataflow: str
-) -> tuple[Graph, EngineCostModel]:
-    """Fuse elementwise layers and build the engine cost model."""
-    fused = fuse_elementwise(graph).graph
-    cost_model = EngineCostModel(
-        arch.engine, get_dataflow(dataflow), bytes_per_element=arch.bytes_per_element
-    )
-    return fused, cost_model
-
-
-def ls_atomic_dag(
-    graph: Graph, arch: ArchConfig, cost_model: EngineCostModel, batch: int
-) -> AtomicDAG:
-    """Atomic DAG under the LS policy: every layer evenly split N ways."""
-    tiling = layer_sequential_tiling(graph, arch.num_engines)
-    return build_atomic_dag(graph, tiling, cost_model, batch=batch)
-
-
-def layer_sequential_schedule(
-    dag: AtomicDAG, num_engines: int, interleave_batch: bool = True
-) -> Schedule:
-    """Rounds that run one layer at a time across all engines.
-
-    With ``interleave_batch`` (the paper's batch-enhanced LS), the same
-    layer of consecutive samples is co-scheduled so partial last Rounds of
-    one sample are topped up with the next sample's atoms.
-    """
-    schedule = Schedule()
-    t = 0
-    layer_ids = sorted({a.layer for a in dag.atoms})
-    pending: list[int] = []
-
-    def flush(force: bool) -> None:
-        nonlocal t, pending
-        while len(pending) >= num_engines or (force and pending):
-            chunk, pending = pending[:num_engines], pending[num_engines:]
-            schedule.rounds.append(Round(index=t, atom_indices=tuple(chunk)))
-            t += 1
-
-    if interleave_batch:
-        for layer in layer_ids:
-            for sample in range(dag.batch):
-                pending.extend(dag.atoms_of_layer(layer, sample))
-            flush(force=False)
-            # A layer's stragglers cannot merge with the *next* layer (it may
-            # depend on them), so force a Round boundary here.
-            flush(force=True)
-    else:
-        for sample in range(dag.batch):
-            for layer in layer_ids:
-                pending.extend(dag.atoms_of_layer(layer, sample))
-                flush(force=True)
-    return schedule
+from repro.pipeline import SearchContext
 
 
 def even_split_layer_cycles(
@@ -104,14 +51,14 @@ def ideal_result(
     graph: Graph, arch: ArchConfig, dataflow: str = "kc", batch: int = 1
 ) -> RunResult:
     """Perfect-utilization, zero-memory-delay bound (the paper's "ideal")."""
-    fused, _ = prepare(graph, arch, dataflow)
-    macs = fused.total_macs() * batch
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
+    macs = ctx.graph.total_macs() * batch
     peak = arch.num_engines * arch.engine.macs_per_cycle
     cycles = math.ceil(macs / peak)
     energy = EnergyBreakdown(mac_pj=macs * arch.energy.mac_pj)
     return RunResult(
         strategy="Ideal",
-        workload=fused.name,
+        workload=ctx.graph.name,
         batch=batch,
         total_cycles=cycles,
         compute_cycles=cycles,

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import math
 
-from repro.baselines.common import even_split_layer_cycles, prepare
+from repro.baselines.common import even_split_layer_cycles
 from repro.config import ArchConfig
 from repro.engine.energy import atom_energy
 from repro.ir.graph import Graph
 from repro.ir.ops import Input, Region
 from repro.metrics import EnergyBreakdown, RunResult
+from repro.pipeline import SearchContext
 
 
 def _proportional_regions(
@@ -60,7 +61,8 @@ def run_il_pipe(
     Returns:
         The :class:`RunResult` labelled ``"IL-Pipe"``.
     """
-    fused, cost_model = prepare(graph, arch, dataflow)
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
+    fused, cost_model = ctx.graph, ctx.cost_model
     n = arch.num_engines
     layers = [
         node for node in fused.nodes if not isinstance(node.op, Input)

@@ -7,14 +7,23 @@ tail atoms are filled by the next sample.
 
 from __future__ import annotations
 
-from repro.baselines.common import ls_atomic_dag, layer_sequential_schedule, prepare
 from repro.config import ArchConfig
 from repro.ir.graph import Graph
 from repro.ir.ops import Input
-from repro.mapping.placement import zigzag_placement
 from repro.metrics import RunResult, UtilizationReport
-from repro.noc.torus import make_topology
-from repro.sim.simulator import SystemSimulator
+from repro.pipeline import (
+    CandidatePipeline,
+    EvenTilingStage,
+    LayerSequentialSchedulingStage,
+    SearchContext,
+    ZigzagMappingStage,
+)
+
+#: LS as a stage chain: even tiling, layer-order Rounds, zig-zag mapping.
+LS_PIPELINE = CandidatePipeline(
+    scheduling=(LayerSequentialSchedulingStage(),),
+    mapping=ZigzagMappingStage(),
+)
 
 
 def run_layer_sequential(
@@ -25,12 +34,9 @@ def run_layer_sequential(
     Returns:
         The simulated :class:`RunResult` labelled ``"LS"``.
     """
-    fused, cost_model = prepare(graph, arch, dataflow)
-    dag = ls_atomic_dag(fused, arch, cost_model, batch)
-    schedule = layer_sequential_schedule(dag, arch.num_engines)
-    mesh = make_topology(arch.mesh_rows, arch.mesh_cols, arch.noc.topology)
-    placement = zigzag_placement(dag, mesh, schedule)
-    return SystemSimulator(arch, dag, strategy="LS").run(schedule, placement)
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
+    tiling, _ = EvenTilingStage().run(ctx)
+    return LS_PIPELINE.evaluate(ctx, tiling, label="ls", strategy="LS").result
 
 
 def ls_utilization_report(
@@ -42,12 +48,13 @@ def ls_utilization_report(
     capacity over the Rounds its evenly split atoms occupy — exactly the
     quantity behind the paper's 13.5-26.9% averages.
     """
-    fused, cost_model = prepare(graph, arch, dataflow)
-    dag = ls_atomic_dag(fused, arch, cost_model, batch=1)
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=1)
+    tiling, _ = EvenTilingStage().run(ctx)
+    dag = ctx.build_dag(tiling)
     n = arch.num_engines
     peak_per_cycle = n * arch.engine.macs_per_cycle
     report = UtilizationReport()
-    for node in fused.nodes:
+    for node in ctx.graph.nodes:
         if isinstance(node.op, Input) or not node.op.is_compute_heavy:
             continue
         atoms = list(dag.atoms_of_layer(node.node_id, sample=0))

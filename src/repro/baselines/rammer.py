@@ -11,14 +11,22 @@ mapping.
 
 from __future__ import annotations
 
-from repro.baselines.common import ls_atomic_dag, prepare
 from repro.config import ArchConfig
 from repro.ir.graph import Graph
-from repro.mapping.placement import zigzag_placement
 from repro.metrics import RunResult
-from repro.noc.torus import make_topology
-from repro.scheduling.dp import schedule_greedy
-from repro.sim.simulator import SystemSimulator
+from repro.pipeline import (
+    CandidatePipeline,
+    EvenTilingStage,
+    GreedySchedulingStage,
+    SearchContext,
+    ZigzagMappingStage,
+)
+
+#: Rammer as a stage chain: even tiling, greedy co-scheduling, zig-zag.
+RAMMER_PIPELINE = CandidatePipeline(
+    scheduling=(GreedySchedulingStage(),),
+    mapping=ZigzagMappingStage(),
+)
 
 
 def run_rammer(
@@ -29,9 +37,8 @@ def run_rammer(
     Returns:
         The :class:`RunResult` labelled ``"Rammer"``.
     """
-    fused, cost_model = prepare(graph, arch, dataflow)
-    dag = ls_atomic_dag(fused, arch, cost_model, batch)
-    schedule = schedule_greedy(dag, arch.num_engines)
-    mesh = make_topology(arch.mesh_rows, arch.mesh_cols, arch.noc.topology)
-    placement = zigzag_placement(dag, mesh, schedule)
-    return SystemSimulator(arch, dag, strategy="Rammer").run(schedule, placement)
+    ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
+    tiling, _ = EvenTilingStage().run(ctx)
+    return RAMMER_PIPELINE.evaluate(
+        ctx, tiling, label="rammer", strategy="Rammer"
+    ).result

@@ -28,8 +28,13 @@ from repro.baselines import (
 from repro.config import ArchConfig
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
 from repro.models import available_models, characterize, get_model
-from repro.report import comparison_table, render_gantt, summarize_schedule
-from repro.serialize import save_solution
+from repro.report import (
+    comparison_table,
+    render_gantt,
+    search_trace_table,
+    summarize_schedule,
+)
+from repro.serialize import save_search_trace, save_solution
 
 
 def _parse_mesh(spec: str) -> tuple[int, int]:
@@ -60,6 +65,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="simulated-annealing iteration budget",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--restarts", type=int, default=1,
+        help="independent SA restarts (the outer Fig. 4(b) loop)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for candidate fan-out (1 = inline; any "
+        "value decides identically)",
+    )
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -83,13 +97,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         sa_params=SAParams(max_iterations=args.sa_iterations),
         seed=args.seed,
+        restarts=args.restarts,
+        jobs=args.jobs,
     )
     outcome = AtomicDataflowOptimizer(graph, arch, options).optimize()
     r = outcome.result
+    stats = outcome.search_stats
     summary = summarize_schedule(outcome.dag, outcome.schedule, arch.num_engines)
     print(
         f"{graph.name} on {arch.mesh_rows}x{arch.mesh_cols} engines "
         f"({args.dataflow.upper()}-Partition, batch {args.batch})\n"
+        f"  candidates        : {stats.evaluated}/{stats.candidates} evaluated"
+        f" ({stats.deduplicated} deduplicated, jobs {args.jobs})\n"
         f"  search time       : {outcome.search_seconds:.1f} s\n"
         f"  atoms / rounds    : {outcome.dag.num_atoms} / {summary.num_rounds}\n"
         f"  engine occupancy  : {summary.mean_occupancy:.1%}"
@@ -109,6 +128,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                 arch.num_engines, max_rounds=args.gantt,
             )
         )
+    if args.trace:
+        print()
+        print(search_trace_table(outcome.traces, outcome.search_seconds))
+        save_search_trace(outcome, args.trace, workload=graph.name)
+        print(f"\nsearch trace written to {args.trace}")
     if args.save:
         save_solution(outcome, args.save, dataflow=args.dataflow)
         print(f"\nsolution written to {args.save}")
@@ -124,6 +148,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         sa_params=SAParams(max_iterations=args.sa_iterations),
         seed=args.seed,
+        restarts=args.restarts,
+        jobs=args.jobs,
     )
     results = [
         AtomicDataflowOptimizer(graph, arch, options).optimize().result,
@@ -167,6 +193,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             scheduler="greedy",
             sa_params=SAParams(max_iterations=args.sa_iterations),
             seed=args.seed,
+            restarts=args.restarts,
+            jobs=args.jobs,
         )
         r = AtomicDataflowOptimizer(graph, arch, options).optimize().result
         if best is None or r.total_cycles < best[1]:
@@ -220,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="print an engine-occupancy chart for the first N rounds",
     )
     p_opt.add_argument("--save", help="write the solution JSON here")
+    p_opt.add_argument(
+        "--trace", metavar="PATH",
+        help="print the per-candidate search trace and write it as JSON",
+    )
 
     p_cmp = sub.add_parser("compare", help="AD vs all baselines")
     _add_common(p_cmp)

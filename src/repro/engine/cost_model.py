@@ -77,6 +77,18 @@ class EngineCostModel:
         self.bytes_per_element = bytes_per_element
         self.vector_lanes = vector_lanes or engine.pe_cols
         self._cache: dict[tuple, EngineCost] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def cache_counters(self) -> tuple[int, int]:
+        """Lifetime ``(hits, misses)`` of the memoization cache.
+
+        Snapshot before/after a candidate evaluation to attribute cache
+        behaviour to it (the deltas land in
+        :class:`~repro.pipeline.CandidateTrace`).  Counters are per
+        process: parallel search workers each count their own cache.
+        """
+        return self.cache_hits, self.cache_misses
 
     def cost(
         self, op: Op, in_shapes: tuple[TensorShape, ...], region: Region
@@ -90,7 +102,9 @@ class EngineCostModel:
         key = (op, in_shapes, region)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         if isinstance(op, Input):
             result = EngineCost(0, 0, 0.0, False, 0, 0, 0)
         elif op.is_compute_heavy:

@@ -8,8 +8,13 @@ Ties the three techniques into the paper's iterative search:
    Algorithm 3 evictions (Sec. IV-C);
 
 then evaluates each candidate end-to-end on the system simulator and keeps
-the cheapest.  Every stage can be swapped for its naive counterpart, which
-is how the Fig. 10 per-stage ablation is produced.
+the cheapest.  The search itself runs on the staged pipeline of
+:mod:`repro.pipeline`: a shared :class:`~repro.pipeline.SearchContext`,
+per-candidate RNG streams (so ``jobs=1`` and ``jobs=8`` decide
+identically), tiling-fingerprint deduplication, and a
+:class:`~repro.pipeline.CandidateTrace` per candidate.  Every stage can be
+swapped for its naive counterpart, which is how the Fig. 10 per-stage
+ablation is produced.
 """
 
 from __future__ import annotations
@@ -19,26 +24,25 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.atoms.dag import AtomicDAG, build_atomic_dag
-from repro.atoms.generation import (
-    AtomGenerator,
-    SAParams,
-    layer_sequential_tiling,
-)
+from repro.atoms.dag import AtomicDAG
+from repro.atoms.generation import SAParams
 from repro.config import ArchConfig
-from repro.engine.cost_model import EngineCostModel
-from repro.engine.dataflow import get_dataflow
 from repro.ir.graph import Graph
-from repro.ir.transforms import fuse_elementwise
-from repro.mapping.placement import optimized_placement, zigzag_placement
-from repro.metrics import RunResult
-from repro.scheduling.dp import (
-    schedule_exact_dp,
-    schedule_greedy,
-    schedule_pruned,
+from repro.metrics import RunResult, SearchStats
+from repro.pipeline import (
+    CandidatePipeline,
+    CandidateSpec,
+    CandidateTrace,
+    EvenTilingStage,
+    LayerSequentialSchedulingStage,
+    SearchContext,
+    StagedSearch,
+    mapping_stage_for,
+    scheduling_stage_for,
+    select_best,
+    tiling_stage_for,
 )
 from repro.scheduling.rounds import Schedule
-from repro.sim.simulator import SystemSimulator
 
 
 @dataclass(frozen=True)
@@ -60,7 +64,15 @@ class OptimizerOptions:
         lookahead: DP lookahead depth.
         restarts: Independent SA restarts; the best simulated candidate wins
             (the outer iterative loop of Fig. 4(b)).
-        seed: RNG seed for reproducibility.
+        seed: RNG seed for reproducibility.  Restart 0 draws from
+            ``default_rng(seed)`` (bit-compatible with earlier releases);
+            restarts 1..n-1 draw from ``SeedSequence(seed).spawn``
+            children, so outcomes are independent of evaluation order and
+            of ``jobs``.
+        jobs: Worker processes for candidate fan-out; 1 (default) runs
+            fully inline.  Any ``jobs`` value decides identically.
+        dedup: Skip scheduling/simulation of candidates whose tiling
+            fingerprint was already evaluated this search.
         validate: Debug flag: statically verify every intermediate
             artifact (DAG, schedule, placement, buffering) the search
             produces with :mod:`repro.analysis` and raise
@@ -78,6 +90,8 @@ class OptimizerOptions:
     lookahead: int = 1
     restarts: int = 1
     seed: int = 0
+    jobs: int = 1
+    dedup: bool = True
     validate: bool = False
 
     def __post_init__(self) -> None:
@@ -89,6 +103,8 @@ class OptimizerOptions:
             raise ValueError(f"unknown mapping {self.mapping!r}")
         if self.batch <= 0 or self.restarts <= 0:
             raise ValueError("batch and restarts must be positive")
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
 
 
 @dataclass(frozen=True)
@@ -103,6 +119,8 @@ class OptimizationOutcome:
         tiling_energy: Final SA energy (atom-cycle variance), if SA ran.
         search_seconds: Wall-clock compile-time search cost (the quantity
             the paper reports as "searching overheads", Sec. V-B).
+        traces: One :class:`~repro.pipeline.CandidateTrace` per candidate
+            the search considered, in candidate order.
     """
 
     result: RunResult
@@ -111,6 +129,14 @@ class OptimizationOutcome:
     placement: dict[int, int]
     tiling_energy: float | None
     search_seconds: float = 0.0
+    traces: tuple[CandidateTrace, ...] = ()
+
+    @property
+    def search_stats(self) -> SearchStats:
+        """Aggregated per-stage search cost over all candidates."""
+        return SearchStats.from_traces(
+            self.traces, search_seconds=self.search_seconds
+        )
 
 
 class AtomicDataflowOptimizer:
@@ -131,12 +157,15 @@ class AtomicDataflowOptimizer:
     ) -> None:
         self.arch = arch
         self.options = options
-        self.graph = fuse_elementwise(graph).graph
-        self.cost_model = EngineCostModel(
-            arch.engine,
-            get_dataflow(options.dataflow),
-            bytes_per_element=arch.bytes_per_element,
+        self.context = SearchContext.create(
+            graph,
+            arch,
+            dataflow=options.dataflow,
+            batch=options.batch,
         )
+        # Shorthands for the shared state (kept for API compatibility).
+        self.graph = self.context.graph
+        self.cost_model = self.context.cost_model
 
     def optimize(self, strategy_label: str = "AD") -> OptimizationOutcome:
         """Run the iterative search and return the best solution found.
@@ -148,35 +177,86 @@ class AtomicDataflowOptimizer:
         granularity with its own DAG scheduler and mapper.
         """
         start = time.perf_counter()
-        rng = np.random.default_rng(self.options.seed)
-        candidates: list[OptimizationOutcome] = []
-        for _ in range(self.options.restarts):
-            candidates.append(self._one_candidate(rng, strategy_label))
-        if self.options.atom_generation == "sa":
-            candidates.append(
-                self._evaluate_tiling(
-                    layer_sequential_tiling(self.graph, self.arch.num_engines),
-                    None,
-                    strategy_label,
-                )
-            )
-        best = min(candidates, key=lambda c: c.result.total_cycles)
-        return replace(best, search_seconds=time.perf_counter() - start)
+        specs = self._candidate_specs()
+        search = StagedSearch(
+            self.context,
+            self._pipeline(),
+            jobs=self.options.jobs,
+            dedup=self.options.dedup,
+        )
+        solutions, traces = search.run(specs, strategy=strategy_label)
+        winner = select_best(solutions)
+        best = solutions[winner]
+        assert best is not None
+        return OptimizationOutcome(
+            result=best.result,
+            dag=best.dag,
+            schedule=best.schedule,
+            placement=best.placement,
+            tiling_energy=best.tiling_energy,
+            search_seconds=time.perf_counter() - start,
+            traces=tuple(
+                self._judged(t, accepted=(i == winner), winner=specs[winner])
+                for i, t in enumerate(traces)
+            ),
+        )
 
-    def _one_candidate(
-        self, rng: np.random.Generator, strategy_label: str
-    ) -> OptimizationOutcome:
-        tiling_energy: float | None = None
-        if self.options.atom_generation == "sa":
-            generator = AtomGenerator(self.graph, self.cost_model, rng=rng)
-            gen = generator.generate_sa(
-                self.options.sa_params, parallel_hint=self.arch.num_engines
+    def _candidate_specs(self) -> list[CandidateSpec]:
+        """One spec per restart, plus the always-on even-split candidate.
+
+        RNG streams: restart 0 uses ``default_rng(seed)`` directly
+        (preserving single-restart outputs of earlier releases); further
+        restarts use ``SeedSequence(seed).spawn`` children, which are
+        deterministic and order-independent — the property that makes
+        ``jobs=1`` and ``jobs=k`` bit-identical.
+        """
+        o = self.options
+        stage = tiling_stage_for(o.atom_generation, o.sa_params)
+        sources: list = [o.seed]
+        if o.restarts > 1:
+            sources += list(np.random.SeedSequence(o.seed).spawn(o.restarts - 1))
+        specs = [
+            CandidateSpec(
+                label=f"{o.atom_generation}[{i}]",
+                tiling_stage=stage,
+                rng_source=src if o.atom_generation == "sa" else None,
             )
-            tiling = gen.tiling
-            tiling_energy = gen.energy
-        else:
-            tiling = layer_sequential_tiling(self.graph, self.arch.num_engines)
-        return self._evaluate_tiling(tiling, tiling_energy, strategy_label)
+            for i, src in enumerate(sources)
+        ]
+        if o.atom_generation == "sa":
+            specs.append(
+                CandidateSpec(label="even-split", tiling_stage=EvenTilingStage())
+            )
+        return specs
+
+    def _pipeline(self) -> CandidatePipeline:
+        """The per-candidate stage chain the options describe.
+
+        Two atom orderings are evaluated per tiling when batch > 1 — the
+        DAG search's and the plain layer-sequential one (a valid atom
+        order inside atomic dataflow's search space, and occasionally
+        optimal on perfectly uniform chains with large batches) — keeping
+        the cheaper.
+        """
+        o = self.options
+        scheduling: tuple = (scheduling_stage_for(o.scheduler, o.lookahead),)
+        if o.batch > 1:
+            scheduling += (LayerSequentialSchedulingStage(),)
+        return CandidatePipeline(
+            scheduling=scheduling,
+            mapping=mapping_stage_for(o.mapping),
+            validate=o.validate,
+        )
+
+    @staticmethod
+    def _judged(
+        trace: CandidateTrace, accepted: bool, winner: CandidateSpec
+    ) -> CandidateTrace:
+        if accepted:
+            return replace(trace, accepted=True, reason="selected")
+        if trace.reason:  # dedup skip, keep "duplicate of X"
+            return trace
+        return replace(trace, reason=f"beaten by {winner.label}")
 
     def _evaluate_tiling(
         self,
@@ -184,86 +264,27 @@ class AtomicDataflowOptimizer:
         tiling_energy: float | None,
         strategy_label: str,
     ) -> OptimizationOutcome:
-        """Schedule, map, and simulate one candidate tiling.
+        """Evaluate one explicit tiling through the stage pipeline.
 
-        Two atom orderings are evaluated per tiling — the DAG search's and
-        the plain layer-sequential one (a valid atom order inside atomic
-        dataflow's search space, and occasionally optimal on perfectly
-        uniform chains with large batches) — keeping the cheaper.
+        Exposed for tests and ad-hoc experiments that want to price a
+        hand-constructed tiling with the optimizer's exact stage chain.
         """
-        dag = build_atomic_dag(
-            self.graph, tiling, self.cost_model, batch=self.options.batch
+        sol = self._pipeline().evaluate(
+            self.context,
+            tiling,
+            label="adhoc",
+            strategy=strategy_label,
+            tiling_energy=tiling_energy,
         )
-        if self.options.validate:
-            self._validate(dag)
-        schedules = [self._schedule(dag)]
-        if self.options.batch > 1:
-            from repro.baselines.common import layer_sequential_schedule
-
-            schedules.append(
-                layer_sequential_schedule(dag, self.arch.num_engines)
-            )
-        best: OptimizationOutcome | None = None
-        for schedule in schedules:
-            placement = self._place(dag, schedule)
-            if self.options.validate:
-                self._validate(dag, schedule, placement)
-            sim = SystemSimulator(self.arch, dag, strategy=strategy_label)
-            result = sim.run(schedule, placement)
-            outcome = OptimizationOutcome(
-                result=result,
-                dag=dag,
-                schedule=schedule,
-                placement=placement,
-                tiling_energy=tiling_energy,
-            )
-            if best is None or result.total_cycles < best.result.total_cycles:
-                best = outcome
-        assert best is not None
-        return best
-
-    def _validate(
-        self,
-        dag: AtomicDAG,
-        schedule: Schedule | None = None,
-        placement: dict[int, int] | None = None,
-    ) -> None:
-        """Statically verify search artifacts (``validate=True`` debug path).
-
-        Raises:
-            ArtifactValidationError: On the first artifact with an
-                ERROR-severity finding.
-        """
-        # Imported lazily: repro.analysis depends on this module via the
-        # serializer, so a top-level import would be circular.
-        from repro.analysis import assert_valid, validate_artifacts
-
-        assert_valid(
-            validate_artifacts(
-                dag, schedule=schedule, placement=placement, arch=self.arch
-            )
+        trace = replace(sol.trace, accepted=True, reason="selected")
+        return OptimizationOutcome(
+            result=sol.result,
+            dag=sol.dag,
+            schedule=sol.schedule,
+            placement=sol.placement,
+            tiling_energy=sol.tiling_energy,
+            traces=(trace,),
         )
-
-    def _schedule(self, dag: AtomicDAG) -> Schedule:
-        n = self.arch.num_engines
-        if self.options.scheduler == "exact":
-            schedule, total = schedule_exact_dp(dag, n)
-            if self.options.validate:
-                from repro.analysis import assert_valid, check_schedule
-
-                assert_valid(
-                    check_schedule(dag, schedule, n, expected_cost=total)
-                )
-            return schedule
-        if self.options.scheduler == "greedy":
-            return schedule_greedy(dag, n)
-        return schedule_pruned(dag, n, lookahead=self.options.lookahead)
-
-    def _place(self, dag: AtomicDAG, schedule: Schedule) -> dict[int, int]:
-        mesh = SystemSimulator(self.arch, dag).mesh
-        if self.options.mapping == "zigzag":
-            return zigzag_placement(dag, mesh, schedule)
-        return optimized_placement(dag, mesh, schedule)
 
 
 def optimize(
@@ -284,3 +305,11 @@ def optimize(
     arch = arch or DEFAULT_ARCH
     options = OptimizerOptions(**option_kwargs)
     return AtomicDataflowOptimizer(graph, arch, options).optimize()
+
+
+__all__ = [
+    "AtomicDataflowOptimizer",
+    "OptimizationOutcome",
+    "OptimizerOptions",
+    "optimize",
+]

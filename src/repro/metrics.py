@@ -105,6 +105,82 @@ class RunResult:
         return self.noc_blocking_cycles / self.total_cycles
 
 
+@dataclass(frozen=True)
+class SearchStats:
+    """Aggregated compile-time search cost over one optimization run.
+
+    Built from the per-candidate traces the staged pipeline records
+    (:class:`repro.pipeline.CandidateTrace`); the paper reports this
+    quantity as "searching overheads" in Sec. V-B.
+
+    Attributes:
+        candidates: Candidates the search considered (incl. deduplicated).
+        evaluated: Candidates that went through schedule/map/simulate.
+        deduplicated: Candidates skipped by tiling-fingerprint dedup.
+        tiling_seconds: Total atom-generation wall time.
+        dag_seconds: Total DAG-partitioning wall time.
+        schedule_seconds: Total scheduling wall time.
+        mapping_seconds: Total mapping wall time.
+        sim_seconds: Total system-simulation wall time.
+        cost_cache_hits: Cost-model cache hits across candidates.
+        cost_cache_misses: Cost-model cache misses across candidates.
+        search_seconds: End-to-end wall time of the whole search (under
+            ``jobs>1`` this is smaller than the per-stage sum).
+    """
+
+    candidates: int = 0
+    evaluated: int = 0
+    deduplicated: int = 0
+    tiling_seconds: float = 0.0
+    dag_seconds: float = 0.0
+    schedule_seconds: float = 0.0
+    mapping_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
+    search_seconds: float = 0.0
+
+    @classmethod
+    def from_traces(cls, traces, search_seconds: float = 0.0) -> "SearchStats":
+        """Aggregate candidate traces (duck-typed on the trace fields)."""
+        return cls(
+            candidates=len(traces),
+            evaluated=sum(1 for t in traces if t.evaluated),
+            deduplicated=sum(1 for t in traces if not t.evaluated),
+            tiling_seconds=sum(t.tiling_seconds for t in traces),
+            dag_seconds=sum(t.dag_seconds for t in traces),
+            schedule_seconds=sum(t.schedule_seconds for t in traces),
+            mapping_seconds=sum(t.mapping_seconds for t in traces),
+            sim_seconds=sum(t.sim_seconds for t in traces),
+            cost_cache_hits=sum(t.cost_cache_hits for t in traces),
+            cost_cache_misses=sum(t.cost_cache_misses for t in traces),
+            search_seconds=search_seconds,
+        )
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage totals keyed by stage name."""
+        return {
+            "tiling": self.tiling_seconds,
+            "dag": self.dag_seconds,
+            "schedule": self.schedule_seconds,
+            "mapping": self.mapping_seconds,
+            "sim": self.sim_seconds,
+        }
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cost_cache_hits + self.cost_cache_misses
+        return self.cost_cache_hits / total if total else 0.0
+
+    @property
+    def candidates_per_second(self) -> float:
+        """Search throughput: candidates handled per wall-clock second."""
+        if self.search_seconds <= 0.0:
+            return 0.0
+        return self.candidates / self.search_seconds
+
+
 @dataclass
 class UtilizationReport:
     """Layer-wise PE utilization (Fig. 2 / Table II support).

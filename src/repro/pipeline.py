@@ -1,0 +1,745 @@
+"""The staged compilation pipeline behind the Fig. 4(b) search loop.
+
+The paper's framework is a staged compiler: atom generation (Sec. IV-A)
+produces a candidate tiling, DAG scheduling (Sec. IV-B) orders its atoms
+into Rounds, mapping (Sec. IV-C) assigns atoms to engines, and the system
+simulator prices the solution.  This module makes those stages first-class
+objects threaded through a shared :class:`SearchContext`, so that
+
+* shared state (fused graph, cost model, mesh) is built **once** per
+  search instead of once per candidate;
+* candidate evaluation fans out across processes (``jobs=``) while staying
+  bit-identical to the serial path — per-restart RNG streams come from
+  ``np.random.SeedSequence.spawn`` and results are consumed in submission
+  order;
+* SA restarts that converge to the same tiling are deduplicated by a
+  stable *tiling fingerprint* and scheduled/simulated once;
+* every candidate leaves a :class:`CandidateTrace` (per-stage
+  wall-seconds, cost-model cache counters, accepted/rejected + reason) —
+  the "searching overheads" the paper reports in Sec. V-B, made
+  measurable.
+
+:class:`~repro.framework.AtomicDataflowOptimizer` and every baseline in
+:mod:`repro.baselines` drive their searches through this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.atoms.dag import AtomicDAG, build_atomic_dag
+from repro.atoms.generation import (
+    AtomGenerator,
+    SAParams,
+    layer_sequential_tiling,
+)
+from repro.atoms.atom import TileSize
+from repro.atoms.partition import clamp_tile
+from repro.config import ArchConfig
+from repro.engine.cost_model import EngineCostModel
+from repro.engine.dataflow import get_dataflow
+from repro.ir.graph import Graph
+from repro.ir.ops import Input
+from repro.ir.transforms import fuse_elementwise
+from repro.mapping.placement import optimized_placement, zigzag_placement
+from repro.metrics import RunResult
+from repro.noc.mesh import Mesh2D
+from repro.noc.torus import make_topology
+from repro.scheduling.dp import (
+    schedule_exact_dp,
+    schedule_greedy,
+    schedule_pruned,
+)
+from repro.scheduling.rounds import Schedule, layer_sequential_schedule
+from repro.sim.simulator import SystemSimulator
+
+
+# ---------------------------------------------------------------------------
+# Shared search state
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchContext:
+    """Everything shared by all candidates of one search.
+
+    Built once per search (not once per candidate): the fused graph, the
+    memoizing engine cost model, and the NoC mesh derived directly from
+    :class:`~repro.config.ArchConfig` — previously a throwaway
+    :class:`~repro.sim.simulator.SystemSimulator` was constructed per
+    candidate just to read its ``.mesh``.
+
+    All fields are picklable, so a context ships to worker processes once
+    per pool, not once per task.
+
+    Attributes:
+        graph: The workload **after** elementwise fusion.
+        arch: Target machine configuration.
+        cost_model: Shared memoizing single-engine cost model.
+        mesh: The NoC topology, built once from ``arch``.
+        dataflow: Engine dataflow name ("kc", "yx", "kcw").
+        batch: Batch size gathered into one atomic DAG.
+    """
+
+    graph: Graph
+    arch: ArchConfig
+    cost_model: EngineCostModel
+    mesh: Mesh2D
+    dataflow: str = "kc"
+    batch: int = 1
+
+    @classmethod
+    def create(
+        cls,
+        graph: Graph,
+        arch: ArchConfig,
+        dataflow: str = "kc",
+        batch: int = 1,
+        fused: bool = False,
+    ) -> "SearchContext":
+        """Build a context from a (pre-fusion, unless ``fused``) graph."""
+        g = graph if fused else fuse_elementwise(graph).graph
+        cost_model = EngineCostModel(
+            arch.engine,
+            get_dataflow(dataflow),
+            bytes_per_element=arch.bytes_per_element,
+        )
+        mesh = make_topology(arch.mesh_rows, arch.mesh_cols, arch.noc.topology)
+        return cls(
+            graph=g,
+            arch=arch,
+            cost_model=cost_model,
+            mesh=mesh,
+            dataflow=dataflow,
+            batch=batch,
+        )
+
+    @property
+    def num_engines(self) -> int:
+        return self.arch.num_engines
+
+    def build_dag(self, tiling: dict[int, TileSize]) -> AtomicDAG:
+        """Partition the fused graph under ``tiling`` into an atomic DAG."""
+        return build_atomic_dag(
+            self.graph, tiling, self.cost_model, batch=self.batch
+        )
+
+    def canonical_tiling(
+        self, tiling: dict[int, TileSize]
+    ) -> dict[int, TileSize]:
+        """The tiling as DAG construction will actually apply it.
+
+        Mirrors :func:`~repro.atoms.dag.build_atomic_dag`: missing layers
+        default to one full-extent tile and oversized extents clamp to the
+        layer shape.  Fingerprints are taken over this canonical form, so
+        two raw tilings that clamp to the same grids deduplicate (and the
+        accepted fingerprint always matches the selected DAG's grids).
+        """
+        canonical: dict[int, TileSize] = {}
+        for node in self.graph.nodes:
+            if isinstance(node.op, Input):
+                continue
+            shape = node.output_shape
+            in_shapes = self.graph.input_shapes(node.node_id)
+            in_channels = in_shapes[0].channels if in_shapes else 1
+            tile = tiling.get(
+                node.node_id,
+                TileSize(
+                    shape.height,
+                    shape.width,
+                    max(in_channels, 1),
+                    shape.channels,
+                ),
+            )
+            canonical[node.node_id] = clamp_tile(tile, shape, in_channels)
+        return canonical
+
+    def simulator(
+        self, dag: AtomicDAG, strategy: str = "AD", noc_mode: str = "analytical"
+    ) -> SystemSimulator:
+        """A system simulator reusing this context's mesh."""
+        return SystemSimulator(
+            self.arch, dag, strategy=strategy, noc_mode=noc_mode, mesh=self.mesh
+        )
+
+
+# ---------------------------------------------------------------------------
+# Tiling fingerprints and traces
+# ---------------------------------------------------------------------------
+
+
+def tiling_fingerprint(tiling: dict[int, TileSize]) -> str:
+    """Stable digest of a candidate tiling.
+
+    Two candidates with equal fingerprints build identical atomic DAGs, so
+    the search schedules/simulates only the first and the selection rule
+    can use the fingerprint as a deterministic tie-breaker.
+    """
+    blob = ";".join(
+        f"{layer}:{t.h}x{t.w}x{t.ci}x{t.co}"
+        for layer, t in sorted(tiling.items())
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CandidateTrace:
+    """What one search candidate cost and how it fared.
+
+    Wall-second fields are measured in whichever process ran the stage;
+    cache counters are deltas of that process's cost-model cache, so under
+    ``jobs>1`` they are per-worker quantities (decision fields — cycles,
+    fingerprint, accepted, reason — are identical across job counts).
+
+    Attributes:
+        label: Candidate name, e.g. ``"sa[3]"`` or ``"even-split"``.
+        fingerprint: :func:`tiling_fingerprint` of the candidate's tiling.
+        accepted: Whether this candidate's solution was selected.
+        reason: Why it was accepted/rejected ("selected", "beaten by X",
+            "duplicate of X").
+        total_cycles: Simulated cost; None when the candidate was
+            deduplicated before evaluation.
+        tiling_seconds: Atom-generation stage wall time.
+        dag_seconds: DAG partitioning wall time.
+        schedule_seconds: Scheduling stage wall time (all orderings tried).
+        mapping_seconds: Mapping stage wall time.
+        sim_seconds: System-simulation wall time.
+        cost_cache_hits: Cost-model cache hits while evaluating.
+        cost_cache_misses: Cost-model cache misses while evaluating.
+    """
+
+    label: str
+    fingerprint: str
+    accepted: bool = False
+    reason: str = ""
+    total_cycles: int | None = None
+    tiling_seconds: float = 0.0
+    dag_seconds: float = 0.0
+    schedule_seconds: float = 0.0
+    mapping_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
+
+    @property
+    def evaluated(self) -> bool:
+        """Whether this candidate went through schedule/map/simulate."""
+        return self.total_cycles is not None
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage wall seconds, keyed by stage name."""
+        return {
+            "tiling": self.tiling_seconds,
+            "dag": self.dag_seconds,
+            "schedule": self.schedule_seconds,
+            "mapping": self.mapping_seconds,
+            "sim": self.sim_seconds,
+        }
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+@dataclass(frozen=True)
+class CandidateSolution:
+    """A fully evaluated candidate: artifacts, simulated result, trace."""
+
+    dag: AtomicDAG
+    schedule: Schedule
+    placement: dict[int, int]
+    result: RunResult
+    tiling_energy: float | None
+    trace: CandidateTrace
+
+
+# ---------------------------------------------------------------------------
+# Stage objects
+# ---------------------------------------------------------------------------
+
+
+class TilingStage:
+    """Produces a candidate tiling (atom generation, Sec. IV-A)."""
+
+    name = "tiling"
+
+    def run(
+        self, ctx: SearchContext, rng: np.random.Generator | None = None
+    ) -> tuple[dict[int, TileSize], float | None]:
+        """Return ``(tiling, sa_energy-or-None)``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SATilingStage(TilingStage):
+    """Algorithm 1: simulated-annealing balanced tile sizes."""
+
+    params: SAParams = field(default_factory=SAParams)
+
+    def run(
+        self, ctx: SearchContext, rng: np.random.Generator | None = None
+    ) -> tuple[dict[int, TileSize], float | None]:
+        if rng is None:
+            raise ValueError("SATilingStage requires an RNG")
+        generator = AtomGenerator(ctx.graph, ctx.cost_model, rng=rng)
+        gen = generator.generate_sa(
+            self.params, parallel_hint=ctx.num_engines
+        )
+        return gen.tiling, gen.energy
+
+
+@dataclass(frozen=True)
+class EvenTilingStage(TilingStage):
+    """LS-style even split: every layer divided N ways (no search)."""
+
+    def run(
+        self, ctx: SearchContext, rng: np.random.Generator | None = None
+    ) -> tuple[dict[int, TileSize], float | None]:
+        return layer_sequential_tiling(ctx.graph, ctx.num_engines), None
+
+
+class SchedulingStage:
+    """Orders an atomic DAG into Rounds (Sec. IV-B)."""
+
+    name = "schedule"
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG
+    ) -> tuple[Schedule, float | None]:
+        """Return ``(schedule, expected_cost-or-None)``.
+
+        ``expected_cost`` is the producer-reported optimum for validators
+        to cross-check (only the exact DP reports one).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DPSchedulingStage(SchedulingStage):
+    """Algorithm 2: priority-pruned DP with lookahead."""
+
+    lookahead: int = 1
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG
+    ) -> tuple[Schedule, float | None]:
+        return (
+            schedule_pruned(dag, ctx.num_engines, lookahead=self.lookahead),
+            None,
+        )
+
+
+@dataclass(frozen=True)
+class GreedySchedulingStage(SchedulingStage):
+    """Priority filling only (the ablation's no-DP arm)."""
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG
+    ) -> tuple[Schedule, float | None]:
+        return schedule_greedy(dag, ctx.num_engines), None
+
+
+@dataclass(frozen=True)
+class ExactSchedulingStage(SchedulingStage):
+    """Exhaustive DP (tiny DAGs only); reports its cost for cross-checks."""
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG
+    ) -> tuple[Schedule, float | None]:
+        schedule, total = schedule_exact_dp(dag, ctx.num_engines)
+        return schedule, total
+
+
+@dataclass(frozen=True)
+class LayerSequentialSchedulingStage(SchedulingStage):
+    """One layer at a time (the LS policy, batch-interleaved)."""
+
+    interleave_batch: bool = True
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG
+    ) -> tuple[Schedule, float | None]:
+        return (
+            layer_sequential_schedule(
+                dag, ctx.num_engines, interleave_batch=self.interleave_batch
+            ),
+            None,
+        )
+
+
+class MappingStage:
+    """Assigns scheduled atoms to engines (Sec. IV-C)."""
+
+    name = "mapping"
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG, schedule: Schedule
+    ) -> dict[int, int]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TransferCostMappingStage(MappingStage):
+    """The paper's mapping: per-Round TransferCost permutation search."""
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG, schedule: Schedule
+    ) -> dict[int, int]:
+        return optimized_placement(dag, ctx.mesh, schedule)
+
+
+@dataclass(frozen=True)
+class ZigzagMappingStage(MappingStage):
+    """Naive baseline: Round atoms fill engines in zig-zag order."""
+
+    def run(
+        self, ctx: SearchContext, dag: AtomicDAG, schedule: Schedule
+    ) -> dict[int, int]:
+        return zigzag_placement(dag, ctx.mesh, schedule)
+
+
+@dataclass(frozen=True)
+class SimulationEvaluationStage:
+    """Prices a complete solution on the system simulator."""
+
+    name = "sim"
+    noc_mode: str = "analytical"
+
+    def run(
+        self,
+        ctx: SearchContext,
+        dag: AtomicDAG,
+        schedule: Schedule,
+        placement: dict[int, int],
+        strategy: str = "AD",
+    ) -> RunResult:
+        sim = ctx.simulator(dag, strategy=strategy, noc_mode=self.noc_mode)
+        return sim.run(schedule, placement)
+
+
+def tiling_stage_for(
+    atom_generation: str, sa_params: SAParams
+) -> TilingStage:
+    """The tiling stage an :class:`OptimizerOptions` choice names."""
+    if atom_generation == "sa":
+        return SATilingStage(params=sa_params)
+    return EvenTilingStage()
+
+
+def scheduling_stage_for(scheduler: str, lookahead: int = 1) -> SchedulingStage:
+    """The scheduling stage an :class:`OptimizerOptions` choice names."""
+    if scheduler == "exact":
+        return ExactSchedulingStage()
+    if scheduler == "greedy":
+        return GreedySchedulingStage()
+    return DPSchedulingStage(lookahead=lookahead)
+
+
+def mapping_stage_for(mapping: str) -> MappingStage:
+    """The mapping stage an :class:`OptimizerOptions` choice names."""
+    if mapping == "zigzag":
+        return ZigzagMappingStage()
+    return TransferCostMappingStage()
+
+
+# ---------------------------------------------------------------------------
+# Candidate pipeline: one tiling through schedule -> map -> simulate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidatePipeline:
+    """The per-candidate stage chain of Fig. 4(b).
+
+    Attributes:
+        scheduling: Atom orderings to try; the cheapest simulated one is
+            kept (ties keep the earlier stage, matching the historical
+            strict-``<`` comparison).
+        mapping: The placement stage.
+        evaluation: The pricing stage.
+        validate: Statically verify every intermediate artifact with
+            :mod:`repro.analysis`, raising on the first illegal one.
+    """
+
+    scheduling: tuple[SchedulingStage, ...]
+    mapping: MappingStage
+    evaluation: SimulationEvaluationStage = SimulationEvaluationStage()
+    validate: bool = False
+
+    def evaluate(
+        self,
+        ctx: SearchContext,
+        tiling: dict[int, TileSize],
+        label: str,
+        strategy: str = "AD",
+        tiling_energy: float | None = None,
+        tiling_seconds: float = 0.0,
+    ) -> CandidateSolution:
+        """Run one candidate tiling through every remaining stage."""
+        hits0, misses0 = ctx.cost_model.cache_counters()
+        t0 = time.perf_counter()
+        dag = ctx.build_dag(tiling)
+        dag_seconds = time.perf_counter() - t0
+        if self.validate:
+            self._validate(ctx, dag)
+
+        schedule_seconds = mapping_seconds = sim_seconds = 0.0
+        best: tuple[Schedule, dict[int, int], RunResult] | None = None
+        for stage in self.scheduling:
+            t0 = time.perf_counter()
+            schedule, expected_cost = stage.run(ctx, dag)
+            schedule_seconds += time.perf_counter() - t0
+            if self.validate and expected_cost is not None:
+                self._crosscheck(ctx, dag, schedule, expected_cost)
+
+            t0 = time.perf_counter()
+            placement = self.mapping.run(ctx, dag, schedule)
+            mapping_seconds += time.perf_counter() - t0
+            if self.validate:
+                self._validate(ctx, dag, schedule, placement)
+
+            t0 = time.perf_counter()
+            result = self.evaluation.run(
+                ctx, dag, schedule, placement, strategy
+            )
+            sim_seconds += time.perf_counter() - t0
+            if best is None or result.total_cycles < best[2].total_cycles:
+                best = (schedule, placement, result)
+        assert best is not None
+        schedule, placement, result = best
+
+        hits1, misses1 = ctx.cost_model.cache_counters()
+        trace = CandidateTrace(
+            label=label,
+            fingerprint=tiling_fingerprint(ctx.canonical_tiling(tiling)),
+            total_cycles=result.total_cycles,
+            tiling_seconds=tiling_seconds,
+            dag_seconds=dag_seconds,
+            schedule_seconds=schedule_seconds,
+            mapping_seconds=mapping_seconds,
+            sim_seconds=sim_seconds,
+            cost_cache_hits=hits1 - hits0,
+            cost_cache_misses=misses1 - misses0,
+        )
+        return CandidateSolution(
+            dag=dag,
+            schedule=schedule,
+            placement=placement,
+            result=result,
+            tiling_energy=tiling_energy,
+            trace=trace,
+        )
+
+    @staticmethod
+    def _validate(
+        ctx: SearchContext,
+        dag: AtomicDAG,
+        schedule: Schedule | None = None,
+        placement: dict[int, int] | None = None,
+    ) -> None:
+        # Imported lazily: repro.analysis depends on this module via the
+        # serializer, so a top-level import would be circular.
+        from repro.analysis import assert_valid, validate_artifacts
+
+        assert_valid(
+            validate_artifacts(
+                dag, schedule=schedule, placement=placement, arch=ctx.arch
+            )
+        )
+
+    @staticmethod
+    def _crosscheck(
+        ctx: SearchContext,
+        dag: AtomicDAG,
+        schedule: Schedule,
+        expected_cost: float,
+    ) -> None:
+        from repro.analysis import assert_valid, check_schedule
+
+        assert_valid(
+            check_schedule(
+                dag, schedule, ctx.num_engines, expected_cost=expected_cost
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# The fan-out driver: generate -> dedup -> evaluate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One candidate to search: a tiling stage plus its RNG stream.
+
+    ``rng_source`` is anything ``np.random.default_rng`` accepts (an int
+    seed or a spawned ``SeedSequence``), or None for deterministic stages.
+    """
+
+    label: str
+    tiling_stage: TilingStage
+    rng_source: Any = None
+
+
+# Per-process state for pool workers, installed by :func:`_init_worker`.
+# The inline (jobs=1) path installs it in the parent process instead, so
+# both paths execute the exact same task functions.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_worker(
+    ctx: SearchContext, pipeline: CandidatePipeline, strategy: str
+) -> None:
+    _WORKER_STATE["ctx"] = ctx
+    _WORKER_STATE["pipeline"] = pipeline
+    _WORKER_STATE["strategy"] = strategy
+
+
+def _run_tiling(
+    item: tuple[str, TilingStage, Any],
+) -> tuple[dict[int, TileSize], float | None, float]:
+    """Phase-1 task: generate one candidate tiling."""
+    _, stage, rng_source = item
+    ctx: SearchContext = _WORKER_STATE["ctx"]
+    t0 = time.perf_counter()
+    rng = None if rng_source is None else np.random.default_rng(rng_source)
+    tiling, energy = stage.run(ctx, rng)
+    return tiling, energy, time.perf_counter() - t0
+
+
+def _run_evaluation(
+    item: tuple[str, dict[int, TileSize], float | None, float],
+) -> CandidateSolution:
+    """Phase-2 task: schedule/map/simulate one unique tiling."""
+    label, tiling, energy, tiling_seconds = item
+    pipeline: CandidatePipeline = _WORKER_STATE["pipeline"]
+    return pipeline.evaluate(
+        _WORKER_STATE["ctx"],
+        tiling,
+        label=label,
+        strategy=_WORKER_STATE["strategy"],
+        tiling_energy=energy,
+        tiling_seconds=tiling_seconds,
+    )
+
+
+class StagedSearch:
+    """Fans candidate specs through the staged pipeline.
+
+    Two parallel phases with a dedup barrier between them: tiling
+    generation runs for every spec, then fingerprint-duplicate tilings are
+    dropped (recording a skip trace), then the surviving candidates are
+    scheduled/mapped/simulated.  ``executor.map`` preserves submission
+    order and every candidate owns its RNG stream, so results are
+    independent of worker count and completion order.
+
+    Args:
+        ctx: Shared search state.
+        pipeline: Per-candidate stage chain.
+        jobs: Worker processes; 1 runs everything inline (no pool).
+        dedup: Evaluate each unique tiling fingerprint once.
+    """
+
+    def __init__(
+        self,
+        ctx: SearchContext,
+        pipeline: CandidatePipeline,
+        jobs: int = 1,
+        dedup: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.ctx = ctx
+        self.pipeline = pipeline
+        self.jobs = jobs
+        self.dedup = dedup
+
+    def run(
+        self, specs: Sequence[CandidateSpec], strategy: str = "AD"
+    ) -> tuple[list[CandidateSolution | None], list[CandidateTrace]]:
+        """Search every spec; returns per-spec solutions and traces.
+
+        ``solutions[i]`` is None when spec ``i`` was deduplicated; its
+        trace records the skip and which candidate evaluated the tiling.
+        """
+        items = [(s.label, s.tiling_stage, s.rng_source) for s in specs]
+        if self.jobs > 1:
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.ctx, self.pipeline, strategy),
+            ) as pool:
+                generated = list(pool.map(_run_tiling, items))
+                eval_items, skips = self._dedup(specs, generated)
+                evaluated = list(pool.map(_run_evaluation, eval_items))
+        else:
+            _init_worker(self.ctx, self.pipeline, strategy)
+            generated = [_run_tiling(item) for item in items]
+            eval_items, skips = self._dedup(specs, generated)
+            evaluated = [_run_evaluation(item) for item in eval_items]
+
+        solutions: list[CandidateSolution | None] = [None] * len(specs)
+        traces: list[CandidateTrace | None] = [None] * len(specs)
+        by_label = {item[0]: sol for item, sol in zip(eval_items, evaluated)}
+        for i, spec in enumerate(specs):
+            if spec.label in by_label:
+                sol = by_label[spec.label]
+                solutions[i] = sol
+                traces[i] = sol.trace
+            else:
+                traces[i] = skips[i]
+        assert all(t is not None for t in traces)
+        return solutions, [t for t in traces if t is not None]
+
+    def _dedup(
+        self,
+        specs: Sequence[CandidateSpec],
+        generated: Sequence[tuple[dict[int, TileSize], float | None, float]],
+    ) -> tuple[list[tuple], dict[int, CandidateTrace]]:
+        """Split generated tilings into evaluate-list and skip-traces."""
+        eval_items: list[tuple] = []
+        skips: dict[int, CandidateTrace] = {}
+        first_by_fp: dict[str, str] = {}
+        for i, (spec, (tiling, energy, seconds)) in enumerate(
+            zip(specs, generated)
+        ):
+            fp = tiling_fingerprint(self.ctx.canonical_tiling(tiling))
+            if self.dedup and fp in first_by_fp:
+                skips[i] = CandidateTrace(
+                    label=spec.label,
+                    fingerprint=fp,
+                    reason=f"duplicate of {first_by_fp[fp]}",
+                    tiling_seconds=seconds,
+                )
+                continue
+            first_by_fp.setdefault(fp, spec.label)
+            eval_items.append((spec.label, tiling, energy, seconds))
+        return eval_items, skips
+
+
+def select_best(solutions: Sequence[CandidateSolution | None]) -> int:
+    """Index of the winning candidate.
+
+    Deterministic selection key: ``(total_cycles, fingerprint)``.  The
+    fingerprint tie-break makes the choice independent of candidate order
+    (and therefore of parallel completion order); post-dedup, fingerprints
+    are unique among evaluated candidates, so the key never ties.
+
+    Raises:
+        ValueError: When no candidate was evaluated.
+    """
+    ranked = [
+        (sol.result.total_cycles, sol.trace.fingerprint, i)
+        for i, sol in enumerate(solutions)
+        if sol is not None
+    ]
+    if not ranked:
+        raise ValueError("no candidates were evaluated")
+    return min(ranked)[2]

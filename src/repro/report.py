@@ -12,7 +12,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 from repro.atoms.dag import AtomicDAG
-from repro.metrics import RunResult
+from repro.metrics import RunResult, SearchStats
+from repro.pipeline import CandidateTrace
 from repro.scheduling.rounds import Schedule
 
 
@@ -244,4 +245,62 @@ def comparison_table(results: list[RunResult]) -> str:
             f"{r.pe_utilization:>9.1%}{r.onchip_reuse_ratio:>8.1%}"
             f"{r.energy.total_mj:>11.2f}"
         )
+    return "\n".join(lines)
+
+
+def search_trace_table(
+    traces: "list[CandidateTrace] | tuple[CandidateTrace, ...]",
+    search_seconds: float | None = None,
+) -> str:
+    """Format per-candidate search traces as an aligned text table.
+
+    One row per candidate — per-stage wall-seconds, cost-model cache hit
+    rate, and the accept/reject verdict — plus a totals row aggregated via
+    :class:`~repro.metrics.SearchStats`.  This is the per-candidate view
+    of the "searching overheads" the paper discusses in Sec. V-B.
+
+    Args:
+        traces: Candidate traces, in candidate order.
+        search_seconds: End-to-end search wall time for the footer (the
+            per-stage sum exceeds it when the search ran with jobs > 1).
+
+    Raises:
+        ValueError: When ``traces`` is empty.
+    """
+    if not traces:
+        raise ValueError("no candidate traces to report")
+    header = (
+        f"{'candidate':<12}{'fingerprint':<18}{'cycles':>12}"
+        f"{'gen s':>8}{'dag s':>7}{'sched s':>9}{'map s':>7}{'sim s':>7}"
+        f"{'cache':>7}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for t in traces:
+        cycles = f"{t.total_cycles}" if t.total_cycles is not None else "-"
+        cache_total = t.cost_cache_hits + t.cost_cache_misses
+        cache = (
+            f"{t.cost_cache_hits / cache_total:.0%}" if cache_total else "-"
+        )
+        verdict = t.reason or ("accepted" if t.accepted else "rejected")
+        lines.append(
+            f"{t.label:<12}{t.fingerprint:<18}{cycles:>12}"
+            f"{t.tiling_seconds:>8.2f}{t.dag_seconds:>7.2f}"
+            f"{t.schedule_seconds:>9.2f}{t.mapping_seconds:>7.2f}"
+            f"{t.sim_seconds:>7.2f}{cache:>7}  {verdict}"
+        )
+    stats = SearchStats.from_traces(
+        traces, search_seconds=search_seconds or 0.0
+    )
+    lines.append("-" * len(header))
+    summary = (
+        f"{stats.evaluated}/{stats.candidates} evaluated "
+        f"({stats.deduplicated} deduplicated), "
+        f"cache hit rate {stats.cache_hit_rate:.0%}"
+    )
+    if search_seconds is not None:
+        summary += (
+            f", {search_seconds:.2f} s wall"
+            f" ({stats.candidates_per_second:.2f} candidates/s)"
+        )
+    lines.append(summary)
     return "\n".join(lines)

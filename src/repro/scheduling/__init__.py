@@ -15,7 +15,11 @@ from repro.scheduling.priority import (
     classify_ready,
     fill_by_priority,
 )
-from repro.scheduling.rounds import Round, Schedule
+from repro.scheduling.rounds import (
+    Round,
+    Schedule,
+    layer_sequential_schedule,
+)
 
 __all__ = [
     "Round",
@@ -26,6 +30,7 @@ __all__ = [
     "classify_ready",
     "default_round_cost",
     "fill_by_priority",
+    "layer_sequential_schedule",
     "schedule_exact_dp",
     "schedule_greedy",
     "schedule_pruned",

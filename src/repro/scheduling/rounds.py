@@ -92,3 +92,43 @@ class Schedule:
         return sum(
             max(dag.costs[a].cycles for a in r.atom_indices) for r in self.rounds
         )
+
+
+def layer_sequential_schedule(
+    dag: AtomicDAG, num_engines: int, interleave_batch: bool = True
+) -> Schedule:
+    """Rounds that run one layer at a time across all engines.
+
+    The LS policy's atom ordering — used by the LS baseline and, with
+    batch > 1, tried by the framework as an alternative ordering inside
+    atomic dataflow's search space.  With ``interleave_batch`` (the
+    paper's batch-enhanced LS), the same layer of consecutive samples is
+    co-scheduled so partial last Rounds of one sample are topped up with
+    the next sample's atoms.
+    """
+    schedule = Schedule()
+    t = 0
+    layer_ids = sorted({a.layer for a in dag.atoms})
+    pending: list[int] = []
+
+    def flush(force: bool) -> None:
+        nonlocal t, pending
+        while len(pending) >= num_engines or (force and pending):
+            chunk, pending = pending[:num_engines], pending[num_engines:]
+            schedule.rounds.append(Round(index=t, atom_indices=tuple(chunk)))
+            t += 1
+
+    if interleave_batch:
+        for layer in layer_ids:
+            for sample in range(dag.batch):
+                pending.extend(dag.atoms_of_layer(layer, sample))
+            flush(force=False)
+            # A layer's stragglers cannot merge with the *next* layer (it may
+            # depend on them), so force a Round boundary here.
+            flush(force=True)
+    else:
+        for sample in range(dag.batch):
+            for layer in layer_ids:
+                pending.extend(dag.atoms_of_layer(layer, sample))
+                flush(force=True)
+    return schedule

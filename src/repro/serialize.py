@@ -22,11 +22,15 @@ from repro.engine.dataflow import get_dataflow
 from repro.framework import OptimizationOutcome
 from repro.ir.graph import Graph
 from repro.ir.transforms import fuse_elementwise
+from repro.pipeline import CandidateTrace
 from repro.scheduling.rounds import Round, Schedule
 
 #: Format identifier embedded in every solution document.
 FORMAT = "atomic-dataflow-solution"
 VERSION = 1
+
+#: Format identifier of standalone search-trace documents (``--trace``).
+TRACE_FORMAT = "atomic-dataflow-search-trace"
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,8 @@ class SolutionDocument:
         placement: Atom index -> engine.
         dataflow: Dataflow name the solution was generated for.
         batch: Batch size of the solution.
+        traces: Candidate traces of the producing search, when recorded.
+        search_seconds: Wall-clock search cost of the producing run.
     """
 
     dag: AtomicDAG
@@ -46,6 +52,57 @@ class SolutionDocument:
     placement: dict[int, int]
     dataflow: str
     batch: int
+    traces: tuple[CandidateTrace, ...] = ()
+    search_seconds: float = 0.0
+
+
+def trace_to_dict(trace: CandidateTrace) -> dict:
+    """Convert one candidate trace to a JSON-serializable mapping."""
+    return {
+        "label": trace.label,
+        "fingerprint": trace.fingerprint,
+        "accepted": trace.accepted,
+        "reason": trace.reason,
+        "total_cycles": trace.total_cycles,
+        "seconds": {
+            "tiling": trace.tiling_seconds,
+            "dag": trace.dag_seconds,
+            "schedule": trace.schedule_seconds,
+            "mapping": trace.mapping_seconds,
+            "sim": trace.sim_seconds,
+        },
+        "cost_cache": {
+            "hits": trace.cost_cache_hits,
+            "misses": trace.cost_cache_misses,
+        },
+    }
+
+
+def trace_from_dict(doc: dict) -> CandidateTrace:
+    """Rebuild a candidate trace from :func:`trace_to_dict` output.
+
+    Raises:
+        ValueError: On a malformed trace mapping.
+    """
+    try:
+        seconds = doc["seconds"]
+        cache = doc["cost_cache"]
+        return CandidateTrace(
+            label=doc["label"],
+            fingerprint=doc["fingerprint"],
+            accepted=bool(doc["accepted"]),
+            reason=doc["reason"],
+            total_cycles=doc["total_cycles"],
+            tiling_seconds=seconds["tiling"],
+            dag_seconds=seconds["dag"],
+            schedule_seconds=seconds["schedule"],
+            mapping_seconds=seconds["mapping"],
+            sim_seconds=seconds["sim"],
+            cost_cache_hits=cache["hits"],
+            cost_cache_misses=cache["misses"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed candidate trace: {exc}") from None
 
 
 def solution_to_dict(
@@ -78,7 +135,7 @@ def solution_to_dict(
         ]
         for a, engine in sorted(outcome.placement.items())
     ]
-    return {
+    doc = {
         "format": FORMAT,
         "version": VERSION,
         "workload": dag.graph.name,
@@ -93,6 +150,12 @@ def solution_to_dict(
             "onchip_reuse_ratio": outcome.result.onchip_reuse_ratio,
         },
     }
+    if outcome.traces:
+        doc["search"] = {
+            "search_seconds": outcome.search_seconds,
+            "traces": [trace_to_dict(t) for t in outcome.traces],
+        }
+    return doc
 
 
 def save_solution(
@@ -163,10 +226,46 @@ def load_solution(
         for sample, layer, index, engine in doc["placement"]
     }
     schedule.validate(dag, arch.num_engines)
+    search = doc.get("search", {})
     return SolutionDocument(
         dag=dag,
         schedule=schedule,
         placement=placement,
         dataflow=doc["dataflow"],
         batch=doc["batch"],
+        traces=tuple(trace_from_dict(t) for t in search.get("traces", [])),
+        search_seconds=search.get("search_seconds", 0.0),
     )
+
+
+def save_search_trace(
+    outcome: OptimizationOutcome, path: str | Path, workload: str | None = None
+) -> None:
+    """Write a standalone search-trace document (the CLI ``--trace`` path).
+
+    Unlike the solution document, this records only *how the search went*
+    — per-candidate stage timings, cache counters, accept/reject verdicts
+    — not the solution artifacts themselves.
+    """
+    doc = {
+        "format": TRACE_FORMAT,
+        "version": VERSION,
+        "workload": workload or outcome.dag.graph.name,
+        "search_seconds": outcome.search_seconds,
+        "traces": [trace_to_dict(t) for t in outcome.traces],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+
+
+def load_search_trace(path: str | Path) -> tuple[CandidateTrace, ...]:
+    """Load the traces of a :func:`save_search_trace` document.
+
+    Raises:
+        ValueError: When the file is not a search-trace document.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("format") != TRACE_FORMAT:
+        raise ValueError(f"not a search-trace document: {path}")
+    return tuple(trace_from_dict(t) for t in doc["traces"])

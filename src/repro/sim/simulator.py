@@ -26,6 +26,7 @@ from repro.engine.energy import atom_energy
 from repro.memory.buffer import EngineBuffer, make_buffers
 from repro.memory.hbm import HbmModel
 from repro.metrics import EnergyBreakdown, RunResult
+from repro.noc.mesh import Mesh2D
 from repro.noc.torus import make_topology
 from repro.noc.traffic import NocModel, Transfer
 from repro.noc.wormhole import WormholeSimulator
@@ -97,6 +98,8 @@ class SystemSimulator:
         arch: Machine configuration.
         dag: The atomic DAG being executed.
         strategy: Label recorded in the result (e.g. ``"AD"``).
+        noc_mode: ``"analytical"`` (default) or ``"wormhole"``.
+        mesh: Pre-built topology to reuse; built from ``arch`` when None.
     """
 
     def __init__(
@@ -105,6 +108,7 @@ class SystemSimulator:
         dag: AtomicDAG,
         strategy: str = "AD",
         noc_mode: str = "analytical",
+        mesh: Mesh2D | None = None,
     ) -> None:
         if noc_mode not in ("analytical", "wormhole"):
             raise ValueError(f"unknown noc_mode {noc_mode!r}")
@@ -112,7 +116,9 @@ class SystemSimulator:
         self.dag = dag
         self.strategy = strategy
         self.noc_mode = noc_mode
-        self.mesh = make_topology(
+        # Search loops pass the mesh from their SearchContext so thousands
+        # of candidate simulations share one topology object.
+        self.mesh = mesh if mesh is not None else make_topology(
             arch.mesh_rows, arch.mesh_cols, arch.noc.topology
         )
         self.noc = NocModel(self.mesh, arch.noc, arch.energy)

@@ -1,4 +1,4 @@
-"""Positive and negative cases for every Tier-B lint rule (LINT001-005)."""
+"""Positive and negative cases for every Tier-B lint rule (LINT001-006)."""
 
 from __future__ import annotations
 
@@ -130,6 +130,40 @@ class TestLINT005MutableDefaults:
 
     def test_tuple_default_allowed(self):
         assert fired(FUTURE + "def f(seen=()):\n    pass\n") == frozenset()
+
+
+class TestLINT006DirectSimulatorConstruction:
+    def test_direct_construction_flagged(self):
+        assert fired(FUTURE + "sim = SystemSimulator(arch, dag)\n") == {
+            "LINT006"
+        }
+
+    def test_attribute_construction_flagged(self):
+        src = FUTURE + "sim = repro.sim.SystemSimulator(arch, dag)\n"
+        assert fired(src) == {"LINT006"}
+
+    def test_sim_package_exempt(self):
+        src = FUTURE + "sim = SystemSimulator(arch, dag)\n"
+        assert fired(src, path="src/repro/sim/simulator.py") == frozenset()
+
+    def test_pipeline_evaluation_stage_exempt(self):
+        src = FUTURE + "sim = SystemSimulator(arch, dag)\n"
+        assert fired(src, path="src/repro/pipeline.py") == frozenset()
+
+    def test_benchmarks_and_tests_exempt(self):
+        src = FUTURE + "sim = SystemSimulator(arch, dag)\n"
+        assert fired(src, path="benchmarks/_common.py") == frozenset()
+        assert fired(src, path="tests/sim/test_simulator.py") == frozenset()
+
+    def test_override_beats_path_inference(self):
+        src = FUTURE + "sim = SystemSimulator(arch, dag)\n"
+        assert fired(
+            src, path="benchmarks/_common.py", may_build_simulator=False
+        ) == {"LINT006"}
+
+    def test_context_helper_allowed(self):
+        src = FUTURE + "sim = ctx.simulator(dag, strategy)\n"
+        assert fired(src) == frozenset()
 
 
 class TestLocations:

@@ -11,9 +11,10 @@ from repro.baselines import (
     run_layer_sequential,
     run_rammer,
 )
-from repro.baselines.common import layer_sequential_schedule, ls_atomic_dag, prepare
 from repro.config import ArchConfig, EngineConfig
 from repro.models import resnet50, vgg19
+from repro.pipeline import EvenTilingStage, SearchContext
+from repro.scheduling import layer_sequential_schedule
 
 
 @pytest.fixture(scope="module")
@@ -33,8 +34,9 @@ class TestLayerSequential:
         assert r.total_cycles > 0
 
     def test_schedule_is_layer_ordered(self, net, arch):
-        fused, cm = prepare(net, arch, "kc")
-        dag = ls_atomic_dag(fused, arch, cm, batch=1)
+        ctx = SearchContext.create(net, arch, dataflow="kc", batch=1)
+        tiling, _ = EvenTilingStage().run(ctx)
+        dag = ctx.build_dag(tiling)
         schedule = layer_sequential_schedule(dag, arch.num_engines)
         schedule.validate(dag, arch.num_engines)
         seen_layers = []
@@ -46,8 +48,9 @@ class TestLayerSequential:
         assert seen_layers == sorted(seen_layers)
 
     def test_batch_enhancement_fills_rounds(self, net, arch):
-        fused, cm = prepare(net, arch, "kc")
-        dag2 = ls_atomic_dag(fused, arch, cm, batch=2)
+        ctx = SearchContext.create(net, arch, dataflow="kc", batch=2)
+        tiling, _ = EvenTilingStage().run(ctx)
+        dag2 = ctx.build_dag(tiling)
         interleaved = layer_sequential_schedule(dag2, arch.num_engines)
         serial = layer_sequential_schedule(
             dag2, arch.num_engines, interleave_batch=False

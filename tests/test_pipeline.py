@@ -1,0 +1,176 @@
+"""Tests for the staged search pipeline: determinism, dedup, selection."""
+
+import pytest
+
+from repro.atoms.atom import TileSize
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig, EngineConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import get_model
+from repro.pipeline import (
+    CandidateTrace,
+    SearchContext,
+    select_best,
+    tiling_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig(
+        mesh_rows=2, mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+
+
+def run_search(model, arch, jobs, **overrides):
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=8),
+        restarts=3,
+        seed=11,
+        jobs=jobs,
+        **overrides,
+    )
+    return AtomicDataflowOptimizer(get_model(model), arch, options).optimize()
+
+
+def decisions(outcome):
+    """The jobs-invariant part of a trace (timings are per-process)."""
+    return [
+        (t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles)
+        for t in outcome.traces
+    ]
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("model", ["vgg19_bench", "mobilenet_v2_bench"])
+    def test_jobs_do_not_change_the_answer(self, model, arch):
+        serial = run_search(model, arch, jobs=1)
+        parallel = run_search(model, arch, jobs=4)
+        assert serial.result.total_cycles == parallel.result.total_cycles
+        assert serial.placement == parallel.placement
+        assert [r.atom_indices for r in serial.schedule.rounds] == [
+            r.atom_indices for r in parallel.schedule.rounds
+        ]
+        assert decisions(serial) == decisions(parallel)
+
+    def test_same_seed_same_outcome(self, arch):
+        a = run_search("vgg19_bench", arch, jobs=1)
+        b = run_search("vgg19_bench", arch, jobs=1)
+        assert a.result.total_cycles == b.result.total_cycles
+        assert decisions(a) == decisions(b)
+
+
+class TestDedup:
+    def test_duplicate_tilings_evaluated_once(self, arch):
+        # "even" generation ignores the RNG, so every restart produces the
+        # same tiling; dedup must evaluate the first and skip the rest.
+        outcome = run_search(
+            "vgg19_bench", arch, jobs=1, atom_generation="even"
+        )
+        traces = outcome.traces
+        assert len(traces) == 3
+        evaluated = [t for t in traces if t.evaluated]
+        skipped = [t for t in traces if not t.evaluated]
+        assert len(evaluated) == 1 and evaluated[0].label == "even[0]"
+        assert evaluated[0].accepted
+        for t in skipped:
+            assert t.reason == "duplicate of even[0]"
+            assert t.total_cycles is None
+            assert t.fingerprint == evaluated[0].fingerprint
+
+    def test_dedup_can_be_disabled(self, arch):
+        outcome = run_search(
+            "vgg19_bench", arch, jobs=1, atom_generation="even", dedup=False
+        )
+        assert all(t.evaluated for t in outcome.traces)
+
+    def test_search_stats_count_dedup(self, arch):
+        outcome = run_search(
+            "vgg19_bench", arch, jobs=1, atom_generation="even"
+        )
+        stats = outcome.search_stats
+        assert stats.candidates == 3
+        assert stats.evaluated == 1
+        assert stats.deduplicated == 2
+
+
+class _FakeSolution:
+    def __init__(self, cycles, fingerprint):
+        class _R:
+            total_cycles = cycles
+
+        class _T:
+            pass
+
+        _T.fingerprint = fingerprint
+        self.result = _R()
+        self.trace = _T()
+
+
+class TestSelection:
+    def test_tie_broken_on_fingerprint_not_order(self):
+        a = _FakeSolution(100, "aaaa")
+        b = _FakeSolution(100, "bbbb")
+        assert select_best([a, b]) == 0
+        assert select_best([b, a]) == 1  # still picks "aaaa"
+
+    def test_cycles_dominate_fingerprint(self):
+        fast = _FakeSolution(50, "zzzz")
+        slow = _FakeSolution(100, "aaaa")
+        assert select_best([slow, fast]) == 1
+
+    def test_deduplicated_slots_are_skipped(self):
+        sol = _FakeSolution(100, "aaaa")
+        assert select_best([None, sol, None]) == 1
+
+    def test_no_evaluated_candidate_raises(self):
+        with pytest.raises(ValueError):
+            select_best([None, None])
+
+
+class TestFingerprint:
+    def test_canonical_tiling_clamps_like_dag_build(self, arch):
+        ctx = SearchContext.create(get_model("vgg19_bench"), arch)
+        oversized = {
+            layer: TileSize(10**6, 10**6, 10**6, 10**6)
+            for layer in ctx.canonical_tiling({})
+        }
+        fp_oversized = tiling_fingerprint(ctx.canonical_tiling(oversized))
+        fp_full = tiling_fingerprint(ctx.canonical_tiling({}))
+        assert fp_oversized == fp_full
+
+    def test_distinct_tilings_distinct_fingerprints(self, arch):
+        ctx = SearchContext.create(get_model("vgg19_bench"), arch)
+        full = ctx.canonical_tiling({})
+        halved = {
+            layer: TileSize(max(1, t.h // 2), t.w, t.ci, t.co)
+            for layer, t in full.items()
+        }
+        assert tiling_fingerprint(full) != tiling_fingerprint(halved)
+
+
+class TestSearchContext:
+    def test_simulator_reuses_shared_mesh(self, arch):
+        ctx = SearchContext.create(get_model("vgg19_bench"), arch)
+        tiling = ctx.canonical_tiling({})
+        dag = ctx.build_dag(tiling)
+        sim = ctx.simulator(dag)
+        assert sim.mesh is ctx.mesh
+
+    def test_accepted_trace_matches_result(self, arch):
+        outcome = run_search("vgg19_bench", arch, jobs=1)
+        accepted = [t for t in outcome.traces if t.accepted]
+        assert len(accepted) == 1
+        assert accepted[0].total_cycles == outcome.result.total_cycles
+
+
+class TestOptions:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerOptions(jobs=0)
+
+    def test_trace_is_frozen(self):
+        trace = CandidateTrace(label="x", fingerprint="f")
+        with pytest.raises(AttributeError):
+            trace.label = "y"

@@ -8,11 +8,17 @@ from repro.atoms.generation import SAParams
 from repro.config import ArchConfig, EngineConfig
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
 from repro.models import vgg19
+from repro.pipeline import CandidateTrace
 from repro.serialize import (
     FORMAT,
+    TRACE_FORMAT,
+    load_search_trace,
     load_solution,
+    save_search_trace,
     save_solution,
     solution_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
 from repro.sim import SystemSimulator
 
@@ -80,3 +86,46 @@ class TestRoundTrip:
         path.write_text(json.dumps(doc))
         with pytest.raises(ValueError, match="version"):
             load_solution(path, graph, arch)
+
+
+class TestTraceRoundTrip:
+    def test_trace_dict_round_trip(self, solution):
+        _, _, outcome = solution
+        assert outcome.traces
+        for trace in outcome.traces:
+            assert trace_from_dict(trace_to_dict(trace)) == trace
+
+    def test_malformed_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"label": "sa[0]"})
+
+    def test_solution_document_carries_search(self, solution):
+        graph, arch, outcome = solution
+        doc = solution_to_dict(outcome, "kc")
+        assert doc["search"]["traces"]
+        assert doc["search"]["search_seconds"] == outcome.search_seconds
+
+    def test_solution_load_restores_traces(self, solution, tmp_path):
+        graph, arch, outcome = solution
+        path = tmp_path / "sol.json"
+        save_solution(outcome, path)
+        loaded = load_solution(path, graph, arch)
+        assert loaded.traces == outcome.traces
+        assert loaded.search_seconds == outcome.search_seconds
+
+    def test_standalone_trace_round_trip(self, solution, tmp_path):
+        graph, arch, outcome = solution
+        path = tmp_path / "trace.json"
+        save_search_trace(outcome, path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["format"] == TRACE_FORMAT
+        assert doc["workload"] == outcome.dag.graph.name
+        assert load_search_trace(path) == outcome.traces
+
+    def test_non_trace_document_rejected(self, solution, tmp_path):
+        graph, arch, outcome = solution
+        path = tmp_path / "sol.json"
+        save_solution(outcome, path)
+        with pytest.raises(ValueError):
+            load_search_trace(path)

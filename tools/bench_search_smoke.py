@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Search-throughput smoke benchmark: serial vs parallel candidate fan-out.
+
+Runs the staged pipeline on two reduced zoo workloads with a fixed seed and
+``restarts`` candidates, once with ``jobs=1`` and once with ``jobs=N``, and
+writes ``BENCH_search.json`` with wall-seconds, candidates/second, and the
+measured speedup per workload.  The two arms must agree bit-identically on
+every search decision (that invariant is asserted here, not just tested).
+
+Numbers are honest measurements of the machine they ran on: on a
+single-core runner the parallel arm pays process-pool overhead for no
+speedup, so the report includes ``cpu_count`` — read speedups in that
+light.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.atoms.generation import SAParams  # noqa: E402
+from repro.config import ArchConfig  # noqa: E402
+from repro.framework import (  # noqa: E402
+    AtomicDataflowOptimizer,
+    OptimizerOptions,
+)
+from repro.models import get_model  # noqa: E402
+
+MODELS = ("vgg19_bench", "mobilenet_v2_bench")
+
+
+def run_arm(model: str, jobs: int, restarts: int, seed: int) -> dict:
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=40),
+        restarts=restarts,
+        seed=seed,
+        jobs=jobs,
+    )
+    arch = ArchConfig(mesh_rows=4, mesh_cols=4)
+    t0 = time.perf_counter()
+    outcome = AtomicDataflowOptimizer(get_model(model), arch, options).optimize()
+    wall = time.perf_counter() - t0
+    stats = outcome.search_stats
+    return {
+        "jobs": jobs,
+        "wall_seconds": round(wall, 3),
+        "candidates": stats.candidates,
+        "evaluated": stats.evaluated,
+        "deduplicated": stats.deduplicated,
+        "candidates_per_second": round(stats.candidates / wall, 3),
+        "total_cycles": outcome.result.total_cycles,
+        "decisions": [
+            [t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles]
+            for t in outcome.traces
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--restarts", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_search.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "benchmark": "search-smoke",
+        "cpu_count": os.cpu_count(),
+        "restarts": args.restarts,
+        "seed": args.seed,
+        "workloads": {},
+    }
+    for model in MODELS:
+        serial = run_arm(model, 1, args.restarts, args.seed)
+        parallel = run_arm(model, args.jobs, args.restarts, args.seed)
+        if serial["decisions"] != parallel["decisions"]:
+            print(f"FAIL {model}: jobs=1 and jobs={args.jobs} diverged", file=sys.stderr)
+            return 1
+        speedup = serial["wall_seconds"] / parallel["wall_seconds"]
+        for arm in (serial, parallel):
+            del arm["decisions"]
+        report["workloads"][model] = {
+            "serial": serial,
+            "parallel": parallel,
+            "speedup": round(speedup, 3),
+            "decisions_identical": True,
+        }
+        print(
+            f"{model}: serial {serial['wall_seconds']:.2f}s "
+            f"({serial['candidates_per_second']:.2f} cand/s), "
+            f"jobs={args.jobs} {parallel['wall_seconds']:.2f}s "
+            f"({parallel['candidates_per_second']:.2f} cand/s), "
+            f"speedup {speedup:.2f}x, decisions identical"
+        )
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"report written to {args.out} (cpu_count={report['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
