@@ -29,6 +29,10 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.lint import lint_paths, lint_source
 from repro.analysis.mapping_rules import check_placement
+from repro.analysis.resilience_rules import (
+    check_checkpoint_journal,
+    check_resilience_traces,
+)
 from repro.analysis.schedule_rules import check_schedule
 from repro.analysis.selfcheck import run_self_check
 from repro.analysis.trace_rules import check_search_trace
@@ -42,8 +46,10 @@ __all__ = [
     "all_rules",
     "assert_valid",
     "check_buffering",
+    "check_checkpoint_journal",
     "check_dag",
     "check_placement",
+    "check_resilience_traces",
     "check_search_trace",
     "check_schedule",
     "get_rule",

@@ -6,6 +6,7 @@ Modes (first match wins):
   artifacts and that the ``repro`` source tree lints clean;
 * ``--artifact solution.json --model NAME`` — Tier-A validation of a
   serialized solution document;
+* ``--journal ckpt.jsonl`` — AD601 validation of a checkpoint journal;
 * ``[paths...]`` — Tier-B lint of files/directories (default: the
   installed ``repro`` package).
 
@@ -62,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="zoo model the --artifact solution targets",
     )
     parser.add_argument(
+        "--journal",
+        metavar="JSONL",
+        help="validate a checkpoint journal (Tier A, AD601)",
+    )
+    parser.add_argument(
         "--mesh",
         type=_parse_mesh,
         default=(8, 8),
@@ -106,6 +112,14 @@ def main(argv: list[str] | None = None) -> int:
         passed, transcript = run_self_check()
         print(transcript)
         return 0 if passed else 1
+
+    if args.journal:
+        from repro.analysis.resilience_rules import check_checkpoint_journal
+
+        if not Path(args.journal).exists():
+            print(f"no such journal: {args.journal}", file=sys.stderr)
+            return 2
+        return _finish(check_checkpoint_journal(args.journal), args.json)
 
     if args.artifact:
         if not args.model:

@@ -18,6 +18,7 @@ from repro.analysis.buffer_rules import check_buffering
 from repro.analysis.dag_rules import check_dag
 from repro.analysis.diagnostics import ArtifactValidationError, Report
 from repro.analysis.mapping_rules import check_placement
+from repro.analysis.resilience_rules import check_resilience_traces
 from repro.analysis.schedule_rules import check_schedule
 from repro.analysis.trace_rules import check_search_trace
 from repro.atoms.atom import AtomId, TileSize
@@ -98,9 +99,10 @@ def validate_artifacts(
 def validate_outcome(outcome, arch: ArchConfig) -> Report:
     """Validate everything an optimizer outcome decided.
 
-    When the outcome carries search traces, the AD5xx trace rules run as
-    well, cross-checking the accepted candidate against the selected
-    result and DAG.
+    When the outcome carries search traces, the AD5xx trace rules and the
+    AD6xx resilience rules run as well, cross-checking the accepted
+    candidate against the selected result and DAG and the retry/failure
+    annotations against each other.
 
     Args:
         outcome: An :class:`~repro.framework.OptimizationOutcome`.
@@ -117,6 +119,7 @@ def validate_outcome(outcome, arch: ArchConfig) -> Report:
         check_search_trace(
             traces, result=outcome.result, dag=outcome.dag, report=report
         )
+        check_resilience_traces(traces, report=report)
     return report
 
 

@@ -1,7 +1,7 @@
 """Analysis self-check: prove the checker catches what it claims to catch.
 
 CI runs ``python -m repro.analysis --self-check``, which must fail loudly
-if the analysis subsystem ever rots.  Three legs:
+if the analysis subsystem ever rots.  Four legs:
 
 1. **Clean positive** — the framework's staged pipeline on two zoo
    workloads produces artifacts that pass every Tier-A validator; one
@@ -9,28 +9,39 @@ if the analysis subsystem ever rots.  Three legs:
    ``validate=True`` so every intermediate artifact is verified
    stage-by-stage inside the pipeline itself, and the resulting search
    traces pass the AD5xx trace rules;
-2. **Seeded negatives** — deliberately corrupted copies of those same
+2. **Chaos determinism** — the same staged search re-runs with a fault
+   injected at every candidate index (raise, worker kill, corrupt
+   result) and a checkpoint journal attached: it must survive, decide
+   bit-identically to the fault-free run, leave traces that satisfy the
+   AD6xx resilience rules, and write a journal that passes AD601;
+3. **Seeded negatives** — deliberately corrupted copies of those same
    artifacts (dependency swap, duplicate engine, phantom edge, corrupted
-   search trace, …) must each trip exactly the rule that guards the
-   broken invariant;
-3. **Lint round-trip** — an embedded bad snippet fires all Tier-B rules,
+   search trace, broken retry annotations, tampered journal, …) must
+   each trip exactly the rule that guards the broken invariant;
+4. **Lint round-trip** — an embedded bad snippet fires all Tier-B rules,
    an embedded clean snippet fires none, and the installed ``repro``
    source tree itself lints clean.
 """
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import replace
 from pathlib import Path
 
 import repro
 from repro.analysis.artifacts import validate_artifacts, validate_outcome
+from repro.analysis.resilience_rules import (
+    check_checkpoint_journal,
+    check_resilience_traces,
+)
 from repro.analysis.trace_rules import check_search_trace
 from repro.analysis.diagnostics import Report
 from repro.analysis.lint import lint_paths, lint_source
 from repro.atoms.generation import SAParams
 from repro.config import ArchConfig
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.resilience import FaultPlan, FaultSpec
 from repro.scheduling.rounds import Round, Schedule
 
 #: Workloads the self-check pushes through the default pipeline.
@@ -115,7 +126,7 @@ def _expect_clean(label: str, report: Report, lines: list[str]) -> bool:
 
 
 def run_self_check() -> tuple[bool, str]:
-    """Execute all three legs.
+    """Execute all four legs.
 
     Returns:
         (passed, human-readable transcript).
@@ -149,6 +160,106 @@ def run_self_check() -> tuple[bool, str]:
     passed &= _expect_clean(
         f"staged pipeline w/ tracing [{SELF_CHECK_MODELS[0]}]",
         validate_outcome(staged, arch),
+        lines,
+    )
+
+    # Chaos determinism: the same staged search with a fault injected at
+    # every candidate index and a checkpoint journal attached must
+    # survive, decide bit-identically to the fault-free run above, and
+    # leave AD6xx-clean traces and journal behind.
+    chaos_kinds = ("raise", "kill-worker", "corrupt-result")
+    plan = FaultPlan(
+        specs=tuple(
+            FaultSpec(index=i, kind=chaos_kinds[i % len(chaos_kinds)])
+            for i in range(len(staged.traces))
+        )
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-") as tmp:
+        journal_path = str(Path(tmp) / "chaos.jsonl")
+        chaos = AtomicDataflowOptimizer(
+            get_model(SELF_CHECK_MODELS[0]),
+            arch,
+            replace(
+                options,
+                restarts=2,
+                jobs=2,
+                validate=True,
+                retries=2,
+                faults=plan,
+                checkpoint=journal_path,
+            ),
+        ).optimize()
+
+        def decisions(outcome):
+            return [
+                (t.label, t.accepted, t.reason, t.total_cycles)
+                for t in outcome.traces
+            ]
+
+        if decisions(chaos) != decisions(staged):
+            passed = False
+            lines.append(
+                "FAIL chaos determinism: fault-surviving search diverged "
+                f"from the fault-free run:\n  fault-free: {decisions(staged)}"
+                f"\n  chaos:      {decisions(chaos)}"
+            )
+        else:
+            lines.append(
+                "ok   chaos determinism: faults at every candidate index, "
+                f"bit-identical decisions ({chaos.result.total_cycles} cycles,"
+                f" {chaos.pool_restarts} pool restart(s))"
+            )
+        passed &= _expect_clean(
+            "chaos outcome artifacts", validate_outcome(chaos, arch), lines
+        )
+        passed &= _expect_clean(
+            "chaos checkpoint journal",
+            check_checkpoint_journal(journal_path),
+            lines,
+        )
+
+        # Tampered journal: flip one record's fingerprint → AD601.
+        journal_lines = Path(journal_path).read_text().splitlines()
+        tampered = Path(tmp) / "tampered.jsonl"
+        tampered.write_text(
+            "\n".join(
+                line.replace(
+                    '"fingerprint": "', '"fingerprint": "bad-', 1
+                ) if i == 1 else line
+                for i, line in enumerate(journal_lines)
+            )
+            + "\n"
+        )
+        passed &= _expect(
+            "seeded tampered journal",
+            check_checkpoint_journal(tampered),
+            ("AD601",),
+            lines,
+        )
+
+    # Seeded AD6xx trace negatives: a candidate with two verdicts, and a
+    # retry annotation the search could never have produced.
+    two_verdicts = (
+        replace(
+            staged.traces[0],
+            reason="failed after 2 attempts: boom",
+            error="boom",
+            attempts=2,
+        ),
+    ) + tuple(staged.traces[1:])
+    passed &= _expect(
+        "seeded double-verdict trace",
+        check_resilience_traces(two_verdicts),
+        ("AD602",),
+        lines,
+    )
+    zero_attempts = (replace(staged.traces[0], attempts=0),) + tuple(
+        staged.traces[1:]
+    )
+    passed &= _expect(
+        "seeded zero-attempt trace",
+        check_resilience_traces(zero_attempts),
+        ("AD603",),
         lines,
     )
 

@@ -9,8 +9,13 @@ when:
   matches the outcome's, and its fingerprint matches the tiling the
   selected DAG was actually built from;
 * ``AD502`` — candidate labels are unique, evaluated candidates carry
-  distinct fingerprints (the dedup invariant), and every deduplicated
-  candidate's reason references an evaluated candidate.
+  distinct fingerprints (the dedup invariant), every unevaluated
+  candidate carries a recognized verdict (``duplicate of <label>``,
+  ``failed after N attempt(s): ...``, or ``interrupted``), and every
+  duplicate reference names an evaluated candidate.
+
+The resilience-specific AD6xx rules live in
+:mod:`repro.analysis.resilience_rules`.
 """
 
 from __future__ import annotations
@@ -30,11 +35,16 @@ register_rule(
     "AD502",
     Severity.ERROR,
     "artifact",
-    "search traces must have unique labels, deduplicated fingerprints, and "
-    "resolvable duplicate references",
+    "search traces must have unique labels, deduplicated fingerprints, "
+    "recognized unevaluated verdicts, and resolvable duplicate references",
 )
 
 _DUPLICATE_REASON = re.compile(r"^duplicate of (?P<label>.+)$")
+
+#: Verdicts an unevaluated candidate may legitimately carry besides a
+#: dedup skip: a retry-exhausted failure or a Ctrl-C interrupt.
+_FAILURE_REASON = re.compile(r"^failed after \d+ attempts?: .+$", re.DOTALL)
+_INTERRUPTED_REASON = "interrupted"
 
 
 def check_search_trace(
@@ -126,13 +136,16 @@ def check_search_trace(
     for t in traces:
         if t.evaluated:
             continue
+        if t.reason == _INTERRUPTED_REASON or _FAILURE_REASON.match(t.reason):
+            continue
         m = _DUPLICATE_REASON.match(t.reason)
         if m is None:
             report.emit(
                 "AD502",
                 f"candidate {t.label}",
                 f"unevaluated candidate has reason {t.reason!r}; expected "
-                "'duplicate of <label>'",
+                "'duplicate of <label>', 'failed after N attempt(s): ...', "
+                "or 'interrupted'",
             )
         elif m.group("label") not in evaluated_labels:
             report.emit(

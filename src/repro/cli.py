@@ -28,6 +28,7 @@ from repro.baselines import (
 from repro.config import ArchConfig
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
 from repro.models import available_models, characterize, get_model
+from repro.resilience import CheckpointError
 from repro.report import (
     comparison_table,
     render_gantt,
@@ -91,19 +92,55 @@ def _cmd_models(args: argparse.Namespace) -> int:
 def _cmd_optimize(args: argparse.Namespace) -> int:
     arch = _arch_from_args(args)
     graph = get_model(args.model)
-    options = OptimizerOptions(
-        dataflow=args.dataflow,
-        batch=args.batch,
-        scheduler=args.scheduler,
-        sa_params=SAParams(max_iterations=args.sa_iterations),
-        seed=args.seed,
-        restarts=args.restarts,
-        jobs=args.jobs,
-    )
-    outcome = AtomicDataflowOptimizer(graph, arch, options).optimize()
+    try:
+        options = OptimizerOptions(
+            dataflow=args.dataflow,
+            batch=args.batch,
+            scheduler=args.scheduler,
+            sa_params=SAParams(max_iterations=args.sa_iterations),
+            seed=args.seed,
+            restarts=args.restarts,
+            jobs=args.jobs,
+            retries=args.retries,
+            candidate_timeout_s=args.candidate_timeout,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        outcome = AtomicDataflowOptimizer(graph, arch, options).optimize()
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted before any candidate completed; nothing to "
+            "report"
+            + (
+                f" (completed candidates remain in {args.checkpoint}; "
+                "re-run with --resume)"
+                if args.checkpoint
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 130
     r = outcome.result
     stats = outcome.search_stats
     summary = summarize_schedule(outcome.dag, outcome.schedule, arch.num_engines)
+    if outcome.interrupted:
+        print(
+            "search interrupted — reporting best-so-far partial results"
+            + (
+                f" ({args.checkpoint} holds the completed candidates; "
+                "re-run with --resume to finish)"
+                if args.checkpoint
+                else ""
+            )
+            + "\n"
+        )
     print(
         f"{graph.name} on {arch.mesh_rows}x{arch.mesh_cols} engines "
         f"({args.dataflow.upper()}-Partition, batch {args.batch})\n"
@@ -120,6 +157,25 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         f"  NoC blocking      : {r.noc_overhead_fraction:.1%}\n"
         f"  energy            : {r.energy.total_mj:.2f} mJ"
     )
+    if (
+        stats.failed
+        or stats.interrupted
+        or stats.restored
+        or stats.retry_attempts
+        or outcome.pool_restarts
+        or outcome.degraded_to_serial
+    ):
+        notes = [
+            f"{stats.failed} failed",
+            f"{stats.restored} restored from checkpoint",
+            f"{stats.retry_attempts} retr{'y' if stats.retry_attempts == 1 else 'ies'}",
+            f"{outcome.pool_restarts} pool restart(s)",
+        ]
+        if stats.interrupted:
+            notes.append(f"{stats.interrupted} interrupted")
+        if outcome.degraded_to_serial:
+            notes.append("degraded to serial execution")
+        print(f"  resilience        : {', '.join(notes)}")
     if args.gantt:
         print()
         print(
@@ -136,7 +192,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     if args.save:
         save_solution(outcome, args.save, dataflow=args.dataflow)
         print(f"\nsolution written to {args.save}")
-    return 0
+    return 130 if outcome.interrupted else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -219,6 +275,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         forwarded.append("--list-rules")
     if args.json:
         forwarded.append("--json")
+    if args.journal:
+        forwarded += ["--journal", args.journal]
     if args.artifact:
         forwarded += ["--artifact", args.artifact]
         if args.model:
@@ -252,6 +310,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="print the per-candidate search trace and write it as JSON",
     )
+    p_opt.add_argument(
+        "--retries", type=int, default=1,
+        help="re-evaluations granted per candidate after a transient "
+        "failure (default 1)",
+    )
+    p_opt.add_argument(
+        "--candidate-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any candidate evaluation exceeding this many "
+        "seconds (worker pools only; default: no timeout)",
+    )
+    p_opt.add_argument(
+        "--checkpoint", metavar="JSONL",
+        help="journal completed candidates to this file as the search runs",
+    )
+    p_opt.add_argument(
+        "--resume", action="store_true",
+        help="restore completed candidates from --checkpoint instead of "
+        "re-evaluating them",
+    )
 
     p_cmp = sub.add_parser("compare", help="AD vs all baselines")
     _add_common(p_cmp)
@@ -278,6 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--json", action="store_true")
     p_chk.add_argument(
         "--artifact", help="solution JSON to validate (Tier A)"
+    )
+    p_chk.add_argument(
+        "--journal", metavar="JSONL",
+        help="checkpoint journal to validate (Tier A, AD601)",
     )
     p_chk.add_argument("--model", help="zoo model of the --artifact solution")
     p_chk.add_argument(

@@ -36,12 +36,14 @@ from repro.pipeline import (
     EvenTilingStage,
     LayerSequentialSchedulingStage,
     SearchContext,
+    SearchRun,
     StagedSearch,
     mapping_stage_for,
     scheduling_stage_for,
     select_best,
     tiling_stage_for,
 )
+from repro.resilience import CheckpointJournal, FaultPlan, RetryPolicy
 from repro.scheduling.rounds import Schedule
 
 
@@ -79,6 +81,20 @@ class OptimizerOptions:
             :class:`~repro.analysis.diagnostics.ArtifactValidationError`
             on the first illegal one.  Off by default (it roughly doubles
             candidate-evaluation time); tests turn it on.
+        retries: Extra supervised attempts a failing candidate gets
+            before it becomes a permanent failure trace (0 = fail fast).
+        candidate_timeout_s: Per-candidate running-time budget under
+            ``jobs > 1`` (a stuck candidate costs one attempt and a pool
+            respawn); None disables deadlines.  Not enforceable inline
+            (``jobs=1``) — a serial search cannot pre-empt itself.
+        checkpoint: Path of an append-only JSONL journal recording every
+            completed candidate; None (default) disables checkpointing.
+        resume: Load completed candidates from ``checkpoint`` instead of
+            re-evaluating them.  Requires ``checkpoint``; the journal key
+            (workload + architecture + every search knob) must match.
+        faults: Deterministic fault-injection plan
+            (:class:`~repro.resilience.FaultPlan`) — tests and the chaos
+            self-check leg only, never production searches.
     """
 
     dataflow: str = "kc"
@@ -93,6 +109,11 @@ class OptimizerOptions:
     jobs: int = 1
     dedup: bool = True
     validate: bool = False
+    retries: int = 1
+    candidate_timeout_s: float | None = None
+    checkpoint: str | None = None
+    resume: bool = False
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.atom_generation not in ("sa", "even"):
@@ -105,6 +126,12 @@ class OptimizerOptions:
             raise ValueError("batch and restarts must be positive")
         if self.jobs <= 0:
             raise ValueError("jobs must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.candidate_timeout_s is not None and self.candidate_timeout_s <= 0:
+            raise ValueError("candidate_timeout_s must be positive")
+        if self.resume and not self.checkpoint:
+            raise ValueError("resume requires a checkpoint path")
 
 
 @dataclass(frozen=True)
@@ -121,6 +148,11 @@ class OptimizationOutcome:
             the paper reports as "searching overheads", Sec. V-B).
         traces: One :class:`~repro.pipeline.CandidateTrace` per candidate
             the search considered, in candidate order.
+        interrupted: The search was cut short (Ctrl-C); the result is the
+            best of the candidates that completed, not of the full set.
+        pool_restarts: Worker-pool failures the search survived.
+        degraded_to_serial: Repeated pool failures forced the remainder
+            of the search to run inline.
     """
 
     result: RunResult
@@ -130,6 +162,9 @@ class OptimizationOutcome:
     tiling_energy: float | None
     search_seconds: float = 0.0
     traces: tuple[CandidateTrace, ...] = ()
+    interrupted: bool = False
+    pool_restarts: int = 0
+    degraded_to_serial: bool = False
 
     @property
     def search_stats(self) -> SearchStats:
@@ -177,16 +212,29 @@ class AtomicDataflowOptimizer:
         granularity with its own DAG scheduler and mapper.
         """
         start = time.perf_counter()
+        o = self.options
         specs = self._candidate_specs()
+        journal = None
+        if o.checkpoint:
+            journal = CheckpointJournal(o.checkpoint, self._checkpoint_key())
         search = StagedSearch(
             self.context,
             self._pipeline(),
-            jobs=self.options.jobs,
-            dedup=self.options.dedup,
+            jobs=o.jobs,
+            dedup=o.dedup,
+            retry=RetryPolicy(
+                retries=o.retries, candidate_timeout_s=o.candidate_timeout_s
+            ),
+            faults=o.faults,
+            journal=journal,
+            resume=o.resume,
         )
-        solutions, traces = search.run(specs, strategy=strategy_label)
-        winner = select_best(solutions)
-        best = solutions[winner]
+        run = search.run(specs, strategy=strategy_label)
+        try:
+            winner = select_best(run.solutions)
+        except ValueError:
+            raise self._empty_search_error(run) from None
+        best = run.solutions[winner]
         assert best is not None
         return OptimizationOutcome(
             result=best.result,
@@ -197,8 +245,57 @@ class AtomicDataflowOptimizer:
             search_seconds=time.perf_counter() - start,
             traces=tuple(
                 self._judged(t, accepted=(i == winner), winner=specs[winner])
-                for i, t in enumerate(traces)
+                for i, t in enumerate(run.traces)
             ),
+            interrupted=run.interrupted,
+            pool_restarts=run.pool_restarts,
+            degraded_to_serial=run.degraded_to_serial,
+        )
+
+    def _checkpoint_key(self) -> dict:
+        """Everything that determines the candidate set and its results.
+
+        A checkpoint journal is only resumable into a search whose key is
+        identical — same workload, same architecture, same search knobs —
+        so restored candidates are guaranteed to be the ones this search
+        would have produced.
+        """
+        o = self.options
+        arch = self.arch
+        return {
+            "workload": self.graph.name,
+            "batch": o.batch,
+            "dataflow": o.dataflow,
+            "mesh": [arch.mesh_rows, arch.mesh_cols, arch.noc.topology],
+            "num_engines": arch.num_engines,
+            "seed": o.seed,
+            "restarts": o.restarts,
+            "atom_generation": o.atom_generation,
+            "scheduler": o.scheduler,
+            "mapping": o.mapping,
+            "lookahead": o.lookahead,
+            "sa_iterations": o.sa_params.max_iterations,
+            "dedup": o.dedup,
+        }
+
+    @staticmethod
+    def _empty_search_error(run: SearchRun) -> BaseException:
+        """The error to raise when not one candidate was evaluated."""
+        if run.interrupted and not any(t.failed for t in run.traces):
+            # Interrupted before anything finished: there is no partial
+            # result to hand back, so surface the interrupt itself.
+            return KeyboardInterrupt()
+        failures = [t for t in run.traces if t.failed]
+        detail = "; ".join(
+            f"{t.label}: {t.error or t.reason}" for t in failures[:5]
+        )
+        if len(failures) > 5:
+            detail += f"; ... {len(failures) - 5} more"
+        return RuntimeError(
+            f"search failed: no candidate was evaluated "
+            f"({len(failures)}/{len(run.traces)} candidates failed"
+            f"{', search interrupted' if run.interrupted else ''})"
+            + (f": {detail}" if detail else "")
         )
 
     def _candidate_specs(self) -> list[CandidateSpec]:

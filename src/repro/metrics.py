@@ -35,6 +35,23 @@ class EnergyBreakdown:
         """Total in millijoules (the unit of the paper's Fig. 11)."""
         return self.total_pj * 1e-9
 
+    def to_dict(self) -> dict:
+        """This breakdown as a JSON-serializable mapping."""
+        return {
+            "mac_pj": self.mac_pj,
+            "sram_pj": self.sram_pj,
+            "noc_pj": self.noc_pj,
+            "dram_pj": self.dram_pj,
+            "static_pj": self.static_pj,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "EnergyBreakdown":
+        """Rebuild a breakdown from :meth:`to_dict` output."""
+        return cls(**{k: float(doc.get(k, 0.0)) for k in (
+            "mac_pj", "sram_pj", "noc_pj", "dram_pj", "static_pj"
+        )})
+
     def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
         return EnergyBreakdown(
             self.mac_pj + other.mac_pj,
@@ -104,6 +121,54 @@ class RunResult:
             return 0.0
         return self.noc_blocking_cycles / self.total_cycles
 
+    def to_dict(self) -> dict:
+        """This result as a JSON-serializable mapping (checkpoint records)."""
+        return {
+            "strategy": self.strategy,
+            "workload": self.workload,
+            "batch": self.batch,
+            "total_cycles": self.total_cycles,
+            "compute_cycles": self.compute_cycles,
+            "noc_blocking_cycles": self.noc_blocking_cycles,
+            "dram_blocking_cycles": self.dram_blocking_cycles,
+            "num_rounds": self.num_rounds,
+            "pe_utilization": self.pe_utilization,
+            "onchip_reuse_ratio": self.onchip_reuse_ratio,
+            "dram_bytes_read": self.dram_bytes_read,
+            "dram_bytes_written": self.dram_bytes_written,
+            "noc_bytes_hops": self.noc_bytes_hops,
+            "energy": self.energy.to_dict(),
+            "frequency_hz": self.frequency_hz,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On a malformed result mapping.
+        """
+        try:
+            return cls(
+                strategy=doc["strategy"],
+                workload=doc["workload"],
+                batch=int(doc["batch"]),
+                total_cycles=int(doc["total_cycles"]),
+                compute_cycles=int(doc["compute_cycles"]),
+                noc_blocking_cycles=int(doc["noc_blocking_cycles"]),
+                dram_blocking_cycles=int(doc["dram_blocking_cycles"]),
+                num_rounds=int(doc["num_rounds"]),
+                pe_utilization=float(doc["pe_utilization"]),
+                onchip_reuse_ratio=float(doc["onchip_reuse_ratio"]),
+                dram_bytes_read=int(doc["dram_bytes_read"]),
+                dram_bytes_written=int(doc["dram_bytes_written"]),
+                noc_bytes_hops=int(doc["noc_bytes_hops"]),
+                energy=EnergyBreakdown.from_dict(doc["energy"]),
+                frequency_hz=float(doc["frequency_hz"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed run result: {exc}") from None
+
 
 @dataclass(frozen=True)
 class SearchStats:
@@ -117,6 +182,13 @@ class SearchStats:
         candidates: Candidates the search considered (incl. deduplicated).
         evaluated: Candidates that went through schedule/map/simulate.
         deduplicated: Candidates skipped by tiling-fingerprint dedup.
+        failed: Candidates that exhausted their retry budget.
+        interrupted: Candidates never finished because the search was
+            interrupted (Ctrl-C).
+        restored: Candidates loaded from a checkpoint journal instead of
+            being evaluated this run.
+        retry_attempts: Attempts beyond each candidate's first, summed
+            over the search (0 on a fault-free run).
         tiling_seconds: Total atom-generation wall time.
         dag_seconds: Total DAG-partitioning wall time.
         schedule_seconds: Total scheduling wall time.
@@ -131,6 +203,10 @@ class SearchStats:
     candidates: int = 0
     evaluated: int = 0
     deduplicated: int = 0
+    failed: int = 0
+    interrupted: int = 0
+    restored: int = 0
+    retry_attempts: int = 0
     tiling_seconds: float = 0.0
     dag_seconds: float = 0.0
     schedule_seconds: float = 0.0
@@ -146,7 +222,11 @@ class SearchStats:
         return cls(
             candidates=len(traces),
             evaluated=sum(1 for t in traces if t.evaluated),
-            deduplicated=sum(1 for t in traces if not t.evaluated),
+            deduplicated=sum(1 for t in traces if t.deduplicated),
+            failed=sum(1 for t in traces if t.failed),
+            interrupted=sum(1 for t in traces if t.interrupted),
+            restored=sum(1 for t in traces if t.restored),
+            retry_attempts=sum(max(t.attempts - 1, 0) for t in traces),
             tiling_seconds=sum(t.tiling_seconds for t in traces),
             dag_seconds=sum(t.dag_seconds for t in traces),
             schedule_seconds=sum(t.schedule_seconds for t in traces),

@@ -17,7 +17,23 @@ objects threaded through a shared :class:`SearchContext`, so that
 * every candidate leaves a :class:`CandidateTrace` (per-stage
   wall-seconds, cost-model cache counters, accepted/rejected + reason) —
   the "searching overheads" the paper reports in Sec. V-B, made
-  measurable.
+  measurable;
+* execution is supervised by :mod:`repro.resilience`: a candidate that
+  raises, hangs, or loses its worker becomes a first-class failure
+  *trace* (retried within :class:`~repro.resilience.RetryPolicy` budget)
+  instead of aborting the search, completed candidates stream into an
+  optional :class:`~repro.resilience.CheckpointJournal` for
+  ``--resume``, and ``Ctrl-C`` returns the partial results instead of a
+  traceback.
+
+Process pools are pinned to the **spawn** start method
+(:data:`repro.resilience.executor.START_METHOD`): fork — the Linux
+default before Python 3.14 — would hand workers a silent copy-on-write
+snapshot of parent state (cost-model caches, open journal file
+descriptors) that spawn platforms (macOS, Windows) never see.  Spawned
+workers rebuild their state via ``_init_worker`` instead, so behaviour
+is identical across platforms and worker state is exactly the pickled
+``(ctx, pipeline, strategy, faults)`` tuple — nothing else.
 
 :class:`~repro.framework.AtomicDataflowOptimizer` and every baseline in
 :mod:`repro.baselines` drive their searches through this module.
@@ -27,12 +43,12 @@ from __future__ import annotations
 
 import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.atoms.atom import AtomId
 from repro.atoms.dag import AtomicDAG, build_atomic_dag
 from repro.atoms.generation import (
     AtomGenerator,
@@ -40,6 +56,9 @@ from repro.atoms.generation import (
     layer_sequential_tiling,
 )
 from repro.atoms.atom import TileSize
+from repro.resilience.checkpoint import CheckpointJournal
+from repro.resilience.executor import ResilientExecutor, RetryPolicy, TaskReport
+from repro.resilience.faults import FaultPlan
 from repro.atoms.partition import clamp_tile
 from repro.config import ArchConfig
 from repro.engine.cost_model import EngineCostModel
@@ -56,7 +75,7 @@ from repro.scheduling.dp import (
     schedule_greedy,
     schedule_pruned,
 )
-from repro.scheduling.rounds import Schedule, layer_sequential_schedule
+from repro.scheduling.rounds import Round, Schedule, layer_sequential_schedule
 from repro.sim.simulator import SystemSimulator
 
 
@@ -199,12 +218,21 @@ class CandidateTrace:
 
     Attributes:
         label: Candidate name, e.g. ``"sa[3]"`` or ``"even-split"``.
-        fingerprint: :func:`tiling_fingerprint` of the candidate's tiling.
+        fingerprint: :func:`tiling_fingerprint` of the candidate's tiling
+            (empty when the candidate failed before producing one).
         accepted: Whether this candidate's solution was selected.
         reason: Why it was accepted/rejected ("selected", "beaten by X",
-            "duplicate of X").
+            "duplicate of X", "failed after N attempt(s): ...",
+            "interrupted").
         total_cycles: Simulated cost; None when the candidate was
-            deduplicated before evaluation.
+            deduplicated, failed, or interrupted before evaluation.
+        attempts: Supervised attempts this candidate consumed across its
+            stages (1 for a clean run; each retry after an injected or
+            real failure adds one).
+        error: Last failure description the supervisor recorded for this
+            candidate ("" when it never failed).
+        restored: Whether the solution came from a checkpoint journal
+            (``--resume``) instead of being evaluated this run.
         tiling_seconds: Atom-generation stage wall time.
         dag_seconds: DAG partitioning wall time.
         schedule_seconds: Scheduling stage wall time (all orderings tried).
@@ -226,11 +254,29 @@ class CandidateTrace:
     sim_seconds: float = 0.0
     cost_cache_hits: int = 0
     cost_cache_misses: int = 0
+    attempts: int = 1
+    error: str = ""
+    restored: bool = False
 
     @property
     def evaluated(self) -> bool:
         """Whether this candidate went through schedule/map/simulate."""
         return self.total_cycles is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the candidate exhausted its retry budget."""
+        return self.reason.startswith("failed")
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether the search was interrupted before this candidate ran."""
+        return self.reason == "interrupted"
+
+    @property
+    def deduplicated(self) -> bool:
+        """Whether a fingerprint-equal candidate was evaluated instead."""
+        return self.reason.startswith("duplicate of ")
 
     @property
     def stage_seconds(self) -> dict[str, float]:
@@ -246,6 +292,63 @@ class CandidateTrace:
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    def to_dict(self) -> dict:
+        """This trace as a JSON-serializable mapping."""
+        return {
+            "label": self.label,
+            "fingerprint": self.fingerprint,
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "total_cycles": self.total_cycles,
+            "seconds": {
+                "tiling": self.tiling_seconds,
+                "dag": self.dag_seconds,
+                "schedule": self.schedule_seconds,
+                "mapping": self.mapping_seconds,
+                "sim": self.sim_seconds,
+            },
+            "cost_cache": {
+                "hits": self.cost_cache_hits,
+                "misses": self.cost_cache_misses,
+            },
+            "attempts": self.attempts,
+            "error": self.error,
+            "restored": self.restored,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CandidateTrace":
+        """Rebuild a trace from :meth:`to_dict` output.
+
+        Documents written before the resilience fields existed load with
+        their defaults (``attempts=1``, no error, not restored).
+
+        Raises:
+            ValueError: On a malformed trace mapping.
+        """
+        try:
+            seconds = doc["seconds"]
+            cache = doc["cost_cache"]
+            return cls(
+                label=doc["label"],
+                fingerprint=doc["fingerprint"],
+                accepted=bool(doc["accepted"]),
+                reason=doc["reason"],
+                total_cycles=doc["total_cycles"],
+                tiling_seconds=seconds["tiling"],
+                dag_seconds=seconds["dag"],
+                schedule_seconds=seconds["schedule"],
+                mapping_seconds=seconds["mapping"],
+                sim_seconds=seconds["sim"],
+                cost_cache_hits=cache["hits"],
+                cost_cache_misses=cache["misses"],
+                attempts=int(doc.get("attempts", 1)),
+                error=doc.get("error", ""),
+                restored=bool(doc.get("restored", False)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed candidate trace: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -595,56 +698,225 @@ _WORKER_STATE: dict[str, Any] = {}
 
 
 def _init_worker(
-    ctx: SearchContext, pipeline: CandidatePipeline, strategy: str
+    ctx: SearchContext,
+    pipeline: CandidatePipeline,
+    strategy: str,
+    faults: FaultPlan | None = None,
 ) -> None:
     _WORKER_STATE["ctx"] = ctx
     _WORKER_STATE["pipeline"] = pipeline
     _WORKER_STATE["strategy"] = strategy
+    _WORKER_STATE["faults"] = faults
+
+
+@dataclass(frozen=True)
+class _EvalItem:
+    """One phase-2 payload: an evaluation keyed back to its spec.
+
+    ``spec_index`` rides along because dedup submits a *subset* of specs,
+    so positional correspondence is lost — faults, integrity checks, and
+    checkpoint records all key on the original candidate index.
+    """
+
+    spec_index: int
+    label: str
+    tiling: dict[int, TileSize]
+    energy: float | None
+    tiling_seconds: float
+    fingerprint: str
 
 
 def _run_tiling(
-    item: tuple[str, TilingStage, Any],
+    attempt: int, item: tuple[int, TilingStage, Any]
 ) -> tuple[dict[int, TileSize], float | None, float]:
     """Phase-1 task: generate one candidate tiling."""
-    _, stage, rng_source = item
+    index, stage, rng_source = item
     ctx: SearchContext = _WORKER_STATE["ctx"]
+    faults: FaultPlan | None = _WORKER_STATE.get("faults")
+    if faults is not None:
+        faults.fire("tiling", index, attempt)
     t0 = time.perf_counter()
     rng = None if rng_source is None else np.random.default_rng(rng_source)
     tiling, energy = stage.run(ctx, rng)
     return tiling, energy, time.perf_counter() - t0
 
 
-def _run_evaluation(
-    item: tuple[str, dict[int, TileSize], float | None, float],
-) -> CandidateSolution:
+def _run_evaluation(attempt: int, item: _EvalItem) -> CandidateSolution:
     """Phase-2 task: schedule/map/simulate one unique tiling."""
-    label, tiling, energy, tiling_seconds = item
     pipeline: CandidatePipeline = _WORKER_STATE["pipeline"]
-    return pipeline.evaluate(
+    faults: FaultPlan | None = _WORKER_STATE.get("faults")
+    if faults is not None:
+        faults.fire("eval", item.spec_index, attempt)
+    solution = pipeline.evaluate(
         _WORKER_STATE["ctx"],
-        tiling,
-        label=label,
+        item.tiling,
+        label=item.label,
         strategy=_WORKER_STATE["strategy"],
-        tiling_energy=energy,
-        tiling_seconds=tiling_seconds,
+        tiling_energy=item.energy,
+        tiling_seconds=item.tiling_seconds,
     )
+    if faults is not None:
+        solution = faults.tamper("eval", item.spec_index, attempt, solution)
+    return solution
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint records: a completed candidate as a JSONL journal line
+# ---------------------------------------------------------------------------
+
+
+def solution_record(solution: CandidateSolution) -> dict:
+    """A completed candidate as a checkpoint-journal record.
+
+    Mirrors the stable-identity conventions of
+    :func:`repro.serialize.solution_to_dict`: atoms are referenced as
+    ``(sample, layer, index)`` triples and the tiling is the canonical
+    (clamped) grid tiling, so the record survives DAG-construction
+    reordering and re-verifies against a rebuilt graph on restore.  The
+    embedded trace is *pre-judgment* (no accept/reject reason): judgment
+    depends on the full candidate set, which a partial journal does not
+    know yet.
+    """
+    dag = solution.dag
+    trace = replace(solution.trace, accepted=False, reason="")
+    return {
+        "label": solution.trace.label,
+        "fingerprint": solution.trace.fingerprint,
+        "tiling": {
+            str(layer): [grid.tile.h, grid.tile.w, grid.tile.ci, grid.tile.co]
+            for layer, grid in dag.grids.items()
+        },
+        "rounds": [
+            [
+                [
+                    dag.atoms[a].sample,
+                    dag.atoms[a].layer,
+                    dag.atoms[a].atom_id.index,
+                ]
+                for a in rnd.atom_indices
+            ]
+            for rnd in solution.schedule.rounds
+        ],
+        "placement": [
+            [
+                dag.atoms[a].sample,
+                dag.atoms[a].layer,
+                dag.atoms[a].atom_id.index,
+                engine,
+            ]
+            for a, engine in sorted(solution.placement.items())
+        ],
+        "tiling_energy": solution.tiling_energy,
+        "result": solution.result.to_dict(),
+        "trace": trace.to_dict(),
+    }
+
+
+def restore_solution(
+    ctx: SearchContext, record: dict
+) -> CandidateSolution | None:
+    """Rebuild a journaled candidate against this search's context.
+
+    The record's tiling is re-partitioned into a fresh DAG, its schedule
+    and placement are resolved through stable atom identities and
+    re-validated, and the recorded fingerprint is recomputed from the
+    tiling — a record that fails *any* of these checks returns None and
+    the candidate is simply re-evaluated (corruption can cost work, never
+    correctness).
+    """
+    try:
+        tiling = {
+            int(layer): TileSize(*(int(x) for x in extents))
+            for layer, extents in record["tiling"].items()
+        }
+        if tiling_fingerprint(ctx.canonical_tiling(tiling)) != record[
+            "fingerprint"
+        ]:
+            return None
+        dag = ctx.build_dag(tiling)
+        schedule = Schedule(
+            rounds=[
+                Round(
+                    index=t,
+                    atom_indices=tuple(
+                        dag.index_of(AtomId(sample, layer, index))
+                        for sample, layer, index in combo
+                    ),
+                )
+                for t, combo in enumerate(record["rounds"])
+            ]
+        )
+        placement = {
+            dag.index_of(AtomId(sample, layer, index)): int(engine)
+            for sample, layer, index, engine in record["placement"]
+        }
+        schedule.validate(dag, ctx.num_engines)
+        result = RunResult.from_dict(record["result"])
+        trace = replace(CandidateTrace.from_dict(record["trace"]), restored=True)
+        return CandidateSolution(
+            dag=dag,
+            schedule=schedule,
+            placement=placement,
+            result=result,
+            tiling_energy=record.get("tiling_energy"),
+            trace=trace,
+        )
+    except Exception:
+        return None
+
+
+@dataclass(frozen=True)
+class SearchRun:
+    """Everything one supervised :meth:`StagedSearch.run` produced.
+
+    Attributes:
+        solutions: Per-spec solutions; None where the spec was
+            deduplicated, failed, or interrupted (its trace says which).
+        traces: One :class:`CandidateTrace` per spec, in spec order.
+        interrupted: A ``KeyboardInterrupt`` cut the search short;
+            ``solutions`` holds whatever completed before it.
+        pool_restarts: Worker-pool failures survived (crash or timeout).
+        degraded_to_serial: Repeated pool failures forced the remainder
+            of the search inline.
+        restored: Candidates loaded from the checkpoint journal instead
+            of being evaluated.
+        retry_attempts: Attempts beyond each task's first, summed over
+            the whole search.
+    """
+
+    solutions: tuple[CandidateSolution | None, ...]
+    traces: tuple[CandidateTrace, ...]
+    interrupted: bool = False
+    pool_restarts: int = 0
+    degraded_to_serial: bool = False
+    restored: int = 0
+    retry_attempts: int = 0
 
 
 class StagedSearch:
-    """Fans candidate specs through the staged pipeline.
+    """Fans candidate specs through the staged pipeline, supervised.
 
     Two parallel phases with a dedup barrier between them: tiling
     generation runs for every spec, then fingerprint-duplicate tilings are
     dropped (recording a skip trace), then the surviving candidates are
     scheduled/mapped/simulated.  ``executor.map`` preserves submission
     order and every candidate owns its RNG stream, so results are
-    independent of worker count and completion order.
+    independent of worker count and completion order — and, because
+    retries re-run pure payloads, independent of any faults the search
+    survived along the way.
 
     Args:
         ctx: Shared search state.
         pipeline: Per-candidate stage chain.
         jobs: Worker processes; 1 runs everything inline (no pool).
         dedup: Evaluate each unique tiling fingerprint once.
+        retry: Supervision policy (retries, per-candidate timeout, pool
+            restarts); defaults to :class:`~repro.resilience.RetryPolicy`.
+        faults: Optional deterministic fault plan (tests / chaos leg).
+        journal: Optional checkpoint journal; every completed candidate
+            is appended as it finishes.
+        resume: Load completed candidates from ``journal`` instead of
+            re-evaluating them (requires a matching journal key).
     """
 
     def __init__(
@@ -653,6 +925,10 @@ class StagedSearch:
         pipeline: CandidatePipeline,
         jobs: int = 1,
         dedup: bool = True,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        journal: CheckpointJournal | None = None,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -660,56 +936,195 @@ class StagedSearch:
         self.pipeline = pipeline
         self.jobs = jobs
         self.dedup = dedup
+        self.retry = retry or RetryPolicy()
+        self.faults = faults
+        self.journal = journal
+        self.resume = resume
 
     def run(
         self, specs: Sequence[CandidateSpec], strategy: str = "AD"
-    ) -> tuple[list[CandidateSolution | None], list[CandidateTrace]]:
-        """Search every spec; returns per-spec solutions and traces.
+    ) -> SearchRun:
+        """Search every spec under supervision; never raises for a
+        candidate-level failure — those become failure traces."""
+        executor = ResilientExecutor(
+            jobs=self.jobs,
+            initializer=_init_worker,
+            initargs=(self.ctx, self.pipeline, strategy, self.faults),
+            policy=self.retry,
+        )
+        try:
+            return self._run(executor, specs, strategy)
+        finally:
+            executor.shutdown()
+            if self.journal is not None:
+                self.journal.close()
 
-        ``solutions[i]`` is None when spec ``i`` was deduplicated; its
-        trace records the skip and which candidate evaluated the tiling.
-        """
-        items = [(s.label, s.tiling_stage, s.rng_source) for s in specs]
-        if self.jobs > 1:
-            with ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_init_worker,
-                initargs=(self.ctx, self.pipeline, strategy),
-            ) as pool:
-                generated = list(pool.map(_run_tiling, items))
-                eval_items, skips = self._dedup(specs, generated)
-                evaluated = list(pool.map(_run_evaluation, eval_items))
-        else:
-            _init_worker(self.ctx, self.pipeline, strategy)
-            generated = [_run_tiling(item) for item in items]
-            eval_items, skips = self._dedup(specs, generated)
-            evaluated = [_run_evaluation(item) for item in eval_items]
+    def _run(
+        self,
+        executor: ResilientExecutor,
+        specs: Sequence[CandidateSpec],
+        strategy: str,
+    ) -> SearchRun:
+        n = len(specs)
+        restored = self._restore(specs)
 
-        solutions: list[CandidateSolution | None] = [None] * len(specs)
-        traces: list[CandidateTrace | None] = [None] * len(specs)
-        by_label = {item[0]: sol for item, sol in zip(eval_items, evaluated)}
-        for i, spec in enumerate(specs):
-            if spec.label in by_label:
-                sol = by_label[spec.label]
-                solutions[i] = sol
-                traces[i] = sol.trace
+        # Phase 1: tiling generation for everything not restored.
+        fresh = [i for i in range(n) if i not in restored]
+        gen_payloads = [
+            (i, specs[i].tiling_stage, specs[i].rng_source) for i in fresh
+        ]
+        gen_reports = executor.map(_run_tiling, gen_payloads)
+
+        entries: list[tuple | None] = [None] * n
+        attempts = [1] * n
+        traces: list[CandidateTrace | None] = [None] * n
+        for i, report in zip(fresh, gen_reports):
+            attempts[i] = max(report.attempts, 1)
+            if report.ok:
+                entries[i] = report.value
             else:
-                traces[i] = skips[i]
-        assert all(t is not None for t in traces)
-        return solutions, [t for t in traces if t is not None]
+                traces[i] = self._failure_trace(specs[i].label, "", report)
+        for i, solution in restored.items():
+            dag = solution.dag
+            entries[i] = (
+                {layer: grid.tile for layer, grid in dag.grids.items()},
+                solution.tiling_energy,
+                solution.trace.tiling_seconds,
+            )
+
+        # Dedup barrier over every tiling that exists (fresh + restored).
+        eval_items, skips = self._dedup(specs, entries)
+        for i, skip in skips.items():
+            traces[i] = skip
+            restored.pop(i, None)
+
+        # Phase 2: evaluation of first-occurrence, non-restored tilings.
+        eval_payloads = [
+            item for item in eval_items if item.spec_index not in restored
+        ]
+        verify, on_success = self._supervision_hooks(eval_payloads, attempts)
+        eval_reports = executor.map(
+            _run_evaluation, eval_payloads, verify=verify, on_success=on_success
+        )
+
+        solutions: list[CandidateSolution | None] = [None] * n
+        for i, solution in restored.items():
+            solutions[i] = solution
+            traces[i] = solution.trace
+        for item, report in zip(eval_payloads, eval_reports):
+            i = item.spec_index
+            if report.ok:
+                solutions[i] = report.value
+                traces[i] = report.value.trace
+            else:
+                traces[i] = self._failure_trace(
+                    item.label, item.fingerprint, report, base=attempts[i] - 1
+                )
+
+        missing = [i for i, t in enumerate(traces) if t is None]
+        if missing:
+            raise RuntimeError(
+                "staged search lost track of candidates "
+                f"{[specs[i].label for i in missing]} — this is a bug in the "
+                "search driver, not in the workload"
+            )
+        retry_attempts = sum(
+            max(r.attempts - 1, 0) for r in gen_reports + eval_reports
+        )
+        return SearchRun(
+            solutions=tuple(solutions),
+            traces=tuple(t for t in traces if t is not None),
+            interrupted=executor.interrupted,
+            pool_restarts=executor.pool_failures,
+            degraded_to_serial=executor.degraded,
+            restored=len(restored),
+            retry_attempts=retry_attempts,
+        )
+
+    def _restore(
+        self, specs: Sequence[CandidateSpec]
+    ) -> dict[int, CandidateSolution]:
+        """Load completed candidates from the journal (resume path)."""
+        if self.journal is None:
+            return {}
+        records = self.journal.open(resume=self.resume)
+        restored: dict[int, CandidateSolution] = {}
+        for i, spec in enumerate(specs):
+            record = records.get(spec.label)
+            if record is None:
+                continue
+            solution = restore_solution(self.ctx, record)
+            if solution is not None:
+                restored[i] = solution
+        return restored
+
+    def _supervision_hooks(
+        self, eval_payloads: list[_EvalItem], attempts: list[int]
+    ) -> tuple:
+        """The executor's integrity check and checkpoint hook for phase 2."""
+
+        def verify(index: int, solution: CandidateSolution) -> str | None:
+            expected = eval_payloads[index].fingerprint
+            if solution.trace.fingerprint != expected:
+                return (
+                    "result integrity check failed: tiling fingerprint "
+                    f"{solution.trace.fingerprint!r} != expected {expected!r}"
+                )
+            return None
+
+        def on_success(report: TaskReport) -> None:
+            item = eval_payloads[report.index]
+            total = attempts[item.spec_index] - 1 + report.attempts
+            if total > 1:
+                solution = report.value
+                report.value = replace(
+                    solution, trace=replace(solution.trace, attempts=total)
+                )
+            if self.journal is not None:
+                self.journal.append(solution_record(report.value))
+
+        return verify, on_success
+
+    @staticmethod
+    def _failure_trace(
+        label: str, fingerprint: str, report: TaskReport, base: int = 0
+    ) -> CandidateTrace:
+        """A first-class verdict for a candidate that never completed."""
+        total = base + max(report.attempts, 0)
+        if report.status == "interrupted":
+            return CandidateTrace(
+                label=label,
+                fingerprint=fingerprint,
+                reason="interrupted",
+                attempts=max(total, 1),
+            )
+        noun = "attempt" if total == 1 else "attempts"
+        return CandidateTrace(
+            label=label,
+            fingerprint=fingerprint,
+            reason=f"failed after {total} {noun}: {report.error}",
+            error=report.error,
+            attempts=max(total, 1),
+        )
 
     def _dedup(
         self,
         specs: Sequence[CandidateSpec],
-        generated: Sequence[tuple[dict[int, TileSize], float | None, float]],
-    ) -> tuple[list[tuple], dict[int, CandidateTrace]]:
-        """Split generated tilings into evaluate-list and skip-traces."""
-        eval_items: list[tuple] = []
+        entries: Sequence[tuple[dict[int, TileSize], float | None, float] | None],
+    ) -> tuple[list[_EvalItem], dict[int, CandidateTrace]]:
+        """Split generated tilings into evaluate-list and skip-traces.
+
+        ``entries[i]`` is None for specs whose tiling never materialized
+        (failed or interrupted); they neither evaluate nor claim a
+        fingerprint.
+        """
+        eval_items: list[_EvalItem] = []
         skips: dict[int, CandidateTrace] = {}
         first_by_fp: dict[str, str] = {}
-        for i, (spec, (tiling, energy, seconds)) in enumerate(
-            zip(specs, generated)
-        ):
+        for i, (spec, entry) in enumerate(zip(specs, entries)):
+            if entry is None:
+                continue
+            tiling, energy, seconds = entry
             fp = tiling_fingerprint(self.ctx.canonical_tiling(tiling))
             if self.dedup and fp in first_by_fp:
                 skips[i] = CandidateTrace(
@@ -720,7 +1135,16 @@ class StagedSearch:
                 )
                 continue
             first_by_fp.setdefault(fp, spec.label)
-            eval_items.append((spec.label, tiling, energy, seconds))
+            eval_items.append(
+                _EvalItem(
+                    spec_index=i,
+                    label=spec.label,
+                    tiling=tiling,
+                    energy=energy,
+                    tiling_seconds=seconds,
+                    fingerprint=fp,
+                )
+            )
         return eval_items, skips
 
 

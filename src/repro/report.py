@@ -272,7 +272,7 @@ def search_trace_table(
     header = (
         f"{'candidate':<12}{'fingerprint':<18}{'cycles':>12}"
         f"{'gen s':>8}{'dag s':>7}{'sched s':>9}{'map s':>7}{'sim s':>7}"
-        f"{'cache':>7}  verdict"
+        f"{'cache':>7}{'try':>5}  verdict"
     )
     lines = [header, "-" * len(header)]
     for t in traces:
@@ -282,11 +282,13 @@ def search_trace_table(
             f"{t.cost_cache_hits / cache_total:.0%}" if cache_total else "-"
         )
         verdict = t.reason or ("accepted" if t.accepted else "rejected")
+        if t.restored:
+            verdict += " [restored]"
         lines.append(
             f"{t.label:<12}{t.fingerprint:<18}{cycles:>12}"
             f"{t.tiling_seconds:>8.2f}{t.dag_seconds:>7.2f}"
             f"{t.schedule_seconds:>9.2f}{t.mapping_seconds:>7.2f}"
-            f"{t.sim_seconds:>7.2f}{cache:>7}  {verdict}"
+            f"{t.sim_seconds:>7.2f}{cache:>7}{t.attempts:>5}  {verdict}"
         )
     stats = SearchStats.from_traces(
         traces, search_seconds=search_seconds or 0.0
@@ -297,6 +299,17 @@ def search_trace_table(
         f"({stats.deduplicated} deduplicated), "
         f"cache hit rate {stats.cache_hit_rate:.0%}"
     )
+    resilience = []
+    if stats.failed:
+        resilience.append(f"{stats.failed} failed")
+    if stats.interrupted:
+        resilience.append(f"{stats.interrupted} interrupted")
+    if stats.restored:
+        resilience.append(f"{stats.restored} restored from checkpoint")
+    if stats.retry_attempts:
+        resilience.append(f"{stats.retry_attempts} retries")
+    if resilience:
+        summary += ", " + ", ".join(resilience)
     if search_seconds is not None:
         summary += (
             f", {search_seconds:.2f} s wall"

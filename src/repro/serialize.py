@@ -57,25 +57,13 @@ class SolutionDocument:
 
 
 def trace_to_dict(trace: CandidateTrace) -> dict:
-    """Convert one candidate trace to a JSON-serializable mapping."""
-    return {
-        "label": trace.label,
-        "fingerprint": trace.fingerprint,
-        "accepted": trace.accepted,
-        "reason": trace.reason,
-        "total_cycles": trace.total_cycles,
-        "seconds": {
-            "tiling": trace.tiling_seconds,
-            "dag": trace.dag_seconds,
-            "schedule": trace.schedule_seconds,
-            "mapping": trace.mapping_seconds,
-            "sim": trace.sim_seconds,
-        },
-        "cost_cache": {
-            "hits": trace.cost_cache_hits,
-            "misses": trace.cost_cache_misses,
-        },
-    }
+    """Convert one candidate trace to a JSON-serializable mapping.
+
+    Thin wrapper over :meth:`~repro.pipeline.CandidateTrace.to_dict`
+    (where the schema lives, shared with the checkpoint journal); kept as
+    a module function for API compatibility.
+    """
+    return trace.to_dict()
 
 
 def trace_from_dict(doc: dict) -> CandidateTrace:
@@ -84,25 +72,7 @@ def trace_from_dict(doc: dict) -> CandidateTrace:
     Raises:
         ValueError: On a malformed trace mapping.
     """
-    try:
-        seconds = doc["seconds"]
-        cache = doc["cost_cache"]
-        return CandidateTrace(
-            label=doc["label"],
-            fingerprint=doc["fingerprint"],
-            accepted=bool(doc["accepted"]),
-            reason=doc["reason"],
-            total_cycles=doc["total_cycles"],
-            tiling_seconds=seconds["tiling"],
-            dag_seconds=seconds["dag"],
-            schedule_seconds=seconds["schedule"],
-            mapping_seconds=seconds["mapping"],
-            sim_seconds=seconds["sim"],
-            cost_cache_hits=cache["hits"],
-            cost_cache_misses=cache["misses"],
-        )
-    except (KeyError, TypeError) as exc:
-        raise ValueError(f"malformed candidate trace: {exc}") from None
+    return CandidateTrace.from_dict(doc)
 
 
 def solution_to_dict(

@@ -1,0 +1,2 @@
+"""Tests for the resilience subsystem (fault injection, supervision,
+checkpointing, chaos determinism)."""

@@ -1,0 +1,151 @@
+"""Tests for the append-only checkpoint journal."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    CheckpointJournal,
+)
+from repro.resilience.checkpoint import CHECKPOINT_VERSION
+
+KEY = {"workload": "vgg", "seed": 0, "mesh": [2, 2]}
+
+
+def _record(label, **extra):
+    return {"label": label, "fingerprint": f"fp-{label}", **extra}
+
+
+def _journal(tmp_path, name="ck.jsonl", key=KEY):
+    return CheckpointJournal(tmp_path / name, key)
+
+
+class TestRoundTrip:
+    def test_fresh_journal_writes_header_and_loads_back(self, tmp_path):
+        with _journal(tmp_path) as j:
+            assert j.open() == {}
+            j.append(_record("sa[0]", cycles=100))
+            j.append(_record("sa[1]", cycles=200))
+        with _journal(tmp_path) as j:
+            records = j.open(resume=True)
+        assert set(records) == {"sa[0]", "sa[1]"}
+        assert records["sa[0]"]["cycles"] == 100
+
+    def test_header_shape(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+        header = json.loads((tmp_path / "ck.jsonl").read_text().splitlines()[0])
+        assert header == {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "key": KEY,
+        }
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+            j.append(_record("sa[0]"))
+        with _journal(tmp_path) as j:
+            assert j.open(resume=False) == {}
+        with _journal(tmp_path) as j:
+            assert j.open(resume=True) == {}
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        with _journal(tmp_path, "new.jsonl") as j:
+            assert j.open(resume=True) == {}
+
+    def test_resume_appends_rather_than_rewriting(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+            j.append(_record("sa[0]"))
+        with _journal(tmp_path) as j:
+            j.open(resume=True)
+            j.append(_record("sa[1]"))
+        with _journal(tmp_path) as j:
+            assert set(j.open(resume=True)) == {"sa[0]", "sa[1]"}
+
+    def test_append_requires_open(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not open"):
+            _journal(tmp_path).append(_record("sa[0]"))
+
+
+class TestRefusals:
+    def test_key_mismatch_refuses_resume(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+        other = _journal(tmp_path, key={**KEY, "seed": 1})
+        with pytest.raises(CheckpointError, match="different search"):
+            other.open(resume=True)
+
+    def test_key_comparison_survives_json_round_trip(self, tmp_path):
+        # Tuples become lists on disk; the key must compare equal anyway.
+        with _journal(tmp_path, key={"mesh": (2, 2)}) as j:
+            j.open()
+        with _journal(tmp_path, key={"mesh": (2, 2)}) as j:
+            assert j.open(resume=True) == {}
+
+    def test_not_a_journal_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(CheckpointError, match="not an"):
+            CheckpointJournal(path, KEY).open(resume=True)
+
+    def test_wrong_version_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text(
+            json.dumps(
+                {"format": CHECKPOINT_FORMAT, "version": 999, "key": KEY}
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointJournal(path, KEY).open(resume=True)
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            CheckpointJournal(path, KEY).open(resume=True)
+
+
+class TestTornWrites:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+            j.append(_record("sa[0]"))
+        path = tmp_path / "ck.jsonl"
+        path.write_text(path.read_text() + '{"label": "sa[1]", "finge')
+        with _journal(tmp_path) as j:
+            records = j.open(resume=True)
+        assert set(records) == {"sa[0]"}
+
+    def test_final_record_without_label_is_dropped(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+            j.append(_record("sa[0]"))
+        path = tmp_path / "ck.jsonl"
+        path.write_text(path.read_text() + '{"fingerprint": "fp"}\n')
+        with _journal(tmp_path) as j:
+            assert set(j.open(resume=True)) == {"sa[0]"}
+
+    def test_torn_middle_line_is_corruption(self, tmp_path):
+        with _journal(tmp_path) as j:
+            j.open()
+            j.append(_record("sa[0]"))
+        path = tmp_path / "ck.jsonl"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[0], "garbage", lines[1]]) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            _journal(tmp_path).open(resume=True)
+
+    def test_later_record_for_same_label_wins(self, tmp_path):
+        # Resuming appends to the same file, so a label journaled in two
+        # sessions appears twice; the newest record is authoritative.
+        with _journal(tmp_path) as j:
+            j.open()
+            j.append(_record("sa[0]", cycles=1))
+            j.append(_record("sa[0]", cycles=2))
+        with _journal(tmp_path) as j:
+            assert j.open(resume=True)["sa[0]"]["cycles"] == 2

@@ -1,0 +1,178 @@
+"""Tests for the resilient executor: retry, timeout, respawn, degradation.
+
+Task functions must live at module level so the spawn-context pool can
+pickle them.  Pool tests pay ~1 s of worker start-up each (spawn on this
+box), so the pool matrix stays deliberately small; the full search-level
+chaos matrix lives in ``test_chaos.py``.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.resilience import ResilientExecutor, RetryPolicy, TaskReport
+
+
+def _succeed(attempt, payload):
+    return payload * 10
+
+
+def _fail_until(attempt, payload):
+    """Fail the first ``payload`` attempts, then succeed."""
+    if attempt < payload:
+        raise ValueError(f"transient failure #{attempt}")
+    return payload * 10
+
+
+def _always_fail(attempt, payload):
+    raise ValueError("permanent failure")
+
+
+def _raise_interrupt(attempt, payload):
+    if payload == "boom":
+        raise KeyboardInterrupt
+    return payload
+
+
+def _die_once(attempt, payload):
+    """Kill the worker process on the first attempt only."""
+    if attempt == 0:
+        os._exit(1)
+    return payload * 10
+
+
+def _die_in_workers(attempt, payload):
+    """Always kill pool workers; succeed when run inline in the parent."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return payload * 10
+
+
+def _stall_once(attempt, payload):
+    if attempt == 0:
+        time.sleep(120)
+    return payload * 10
+
+
+class TestInline:
+    def test_success(self):
+        with ResilientExecutor(jobs=1) as ex:
+            reports = ex.map(_succeed, [1, 2, 3])
+        assert [r.value for r in reports] == [10, 20, 30]
+        assert all(r.ok and r.attempts == 1 and r.error == "" for r in reports)
+
+    def test_transient_failure_is_retried(self):
+        policy = RetryPolicy(retries=2, backoff_s=0.0)
+        with ResilientExecutor(jobs=1, policy=policy) as ex:
+            reports = ex.map(_fail_until, [0, 1, 2])
+        assert [r.value for r in reports] == [0, 10, 20]
+        assert [r.attempts for r in reports] == [1, 2, 3]
+        assert all(r.ok for r in reports)
+
+    def test_exhausted_retries_fail_without_aborting_siblings(self):
+        policy = RetryPolicy(retries=1, backoff_s=0.0)
+        with ResilientExecutor(jobs=1, policy=policy) as ex:
+            reports = ex.map(_fail_until, [0, 5, 0])
+        ok0, failed, ok2 = reports
+        assert ok0.ok and ok2.ok
+        assert failed.status == "failed"
+        assert failed.attempts == 2  # retries=1 → two attempts total
+        assert "transient failure #1" in failed.error
+
+    def test_zero_retries_fails_on_first_error(self):
+        with ResilientExecutor(jobs=1, policy=RetryPolicy(retries=0)) as ex:
+            (report,) = ex.map(_always_fail, ["x"])
+        assert report.status == "failed"
+        assert report.attempts == 1
+        assert "permanent failure" in report.error
+
+    def test_verify_rejection_burns_attempts(self):
+        seen = []
+
+        def verify(index, value):
+            seen.append(value)
+            return "integrity check failed"
+
+        policy = RetryPolicy(retries=1, backoff_s=0.0)
+        with ResilientExecutor(jobs=1, policy=policy) as ex:
+            (report,) = ex.map(_succeed, [4], verify=verify)
+        assert report.status == "failed"
+        assert report.attempts == 2
+        assert report.error == "integrity check failed"
+        assert seen == [40, 40]  # the value was produced, then rejected
+
+    def test_on_success_hook_runs_per_accepted_task(self):
+        accepted: list[TaskReport] = []
+        with ResilientExecutor(jobs=1) as ex:
+            ex.map(_succeed, [1, 2], on_success=accepted.append)
+        assert [r.value for r in accepted] == [10, 20]
+
+    def test_keyboard_interrupt_returns_partial_results(self):
+        with ResilientExecutor(jobs=1) as ex:
+            reports = ex.map(_raise_interrupt, ["a", "boom", "c"])
+            assert ex.interrupted
+            later = ex.map(_succeed, [1])
+        assert reports[0].ok and reports[0].value == "a"
+        assert [r.status for r in reports[1:]] == ["interrupted"] * 2
+        # Once interrupted, later phases return immediately.
+        assert later[0].status == "interrupted"
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=3.0)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.3)
+        assert policy.backoff_for(3) == pytest.approx(0.9)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(candidate_timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_pool_restarts=-1)
+        with pytest.raises(ValueError):
+            ResilientExecutor(jobs=0)
+
+
+class TestPool:
+    def test_results_arrive_in_payload_order(self):
+        with ResilientExecutor(jobs=2) as ex:
+            reports = ex.map(_succeed, [3, 1, 2])
+        assert [r.value for r in reports] == [30, 10, 20]
+        assert all(r.ok for r in reports)
+
+    def test_worker_death_respawns_and_retries(self):
+        policy = RetryPolicy(retries=2, backoff_s=0.0)
+        with ResilientExecutor(jobs=2, policy=policy) as ex:
+            reports = ex.map(_die_once, [1, 2, 3])
+            assert ex.pool_failures >= 1
+            assert not ex.degraded
+        assert [r.value for r in reports] == [10, 20, 30]
+        assert all(r.ok for r in reports)
+
+    def test_repeated_pool_failures_degrade_to_inline(self):
+        policy = RetryPolicy(retries=5, backoff_s=0.0, max_pool_restarts=1)
+        with ResilientExecutor(jobs=2, policy=policy) as ex:
+            reports = ex.map(_die_in_workers, [1, 2])
+            assert ex.degraded
+            assert ex.pool_failures >= 2
+        # Inline fallback completed what the pool never could.
+        assert [r.value for r in reports] == [10, 20]
+
+    def test_stalled_candidate_is_timed_out_and_retried(self):
+        # The deadline clock includes ~1 s of spawn-context worker
+        # start-up (see the executor module docstring), so the timeout
+        # must sit comfortably above it.
+        policy = RetryPolicy(retries=1, backoff_s=0.0, candidate_timeout_s=5.0)
+        with ResilientExecutor(jobs=2, policy=policy) as ex:
+            t0 = time.monotonic()
+            (report,) = ex.map(_stall_once, [7])
+            elapsed = time.monotonic() - t0
+            assert ex.pool_failures >= 1
+        assert report.ok and report.value == 70
+        assert report.attempts == 2
+        assert elapsed < 60  # nowhere near the 120 s stall

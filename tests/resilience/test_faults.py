@@ -1,0 +1,154 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.pipeline import CandidateTrace
+from repro.resilience import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(index=0, kind="meteor-strike")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault phase"):
+            FaultSpec(index=0, kind="raise", phase="teardown")
+
+    def test_corrupt_result_is_eval_only(self):
+        with pytest.raises(ValueError, match="eval phase"):
+            FaultSpec(index=0, kind="corrupt-result", phase="tiling")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSpec(index=-1, kind="raise")
+
+
+class TestMatching:
+    def test_default_attempt_zero_is_transient(self):
+        spec = FaultSpec(index=3, kind="raise")
+        assert spec.matches("eval", 3, 0)
+        assert not spec.matches("eval", 3, 1)  # the retry goes through
+
+    def test_attempt_none_is_permanent(self):
+        spec = FaultSpec(index=3, kind="raise", attempt=None)
+        assert all(spec.matches("eval", 3, a) for a in range(5))
+
+    def test_phase_and_index_must_match(self):
+        spec = FaultSpec(index=3, kind="raise", phase="tiling")
+        assert spec.matches("tiling", 3, 0)
+        assert not spec.matches("eval", 3, 0)
+        assert not spec.matches("tiling", 2, 0)
+
+    def test_spec_for_finds_first_armed_fault(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(index=0, kind="raise"),
+                FaultSpec(index=1, kind="stall"),
+            )
+        )
+        assert plan.spec_for("eval", 1, 0).kind == "stall"
+        assert plan.spec_for("eval", 2, 0) is None
+        assert plan.spec_for("eval", 0, 1) is None
+
+
+class TestPlanConstruction:
+    def test_single(self):
+        plan = FaultPlan.single(2, "kill-worker")
+        assert len(plan.specs) == 1
+        assert plan.specs[0].index == 2
+        assert plan.specs[0].kind == "kill-worker"
+
+    def test_seeded_is_reproducible(self):
+        a = FaultPlan.seeded(7, 5)
+        b = FaultPlan.seeded(7, 5)
+        assert a == b
+        assert len(a.specs) == 5
+        assert all(s.kind in FAULT_KINDS for s in a.specs)
+
+    def test_seeded_candidate_streams_are_independent(self):
+        # Candidate i's fault depends only on (seed, i), so growing the
+        # candidate list never changes earlier candidates' faults.
+        short = FaultPlan.seeded(7, 3)
+        long = FaultPlan.seeded(7, 8)
+        assert long.specs[:3] == short.specs
+
+    def test_seeded_different_seeds_differ(self):
+        kinds = [s.kind for s in FaultPlan.seeded(0, 32).specs]
+        other = [s.kind for s in FaultPlan.seeded(1, 32).specs]
+        assert kinds != other
+
+    def test_seeded_rate_zero_is_empty(self):
+        assert FaultPlan.seeded(7, 16, rate=0.0).specs == ()
+
+
+class TestFiring:
+    def test_raise_fires_injected_fault(self):
+        plan = FaultPlan.single(1, "raise")
+        with pytest.raises(InjectedFault, match="injected raise"):
+            plan.fire("eval", 1, 0)
+
+    def test_unarmed_fire_is_noop(self):
+        plan = FaultPlan.single(1, "raise")
+        plan.fire("eval", 0, 0)
+        plan.fire("eval", 1, 1)
+        plan.fire("tiling", 1, 0)
+
+    def test_inline_stall_never_sleeps(self):
+        # The parent process must never actually stall: inline stalls
+        # degrade to an immediate InjectedFault.
+        plan = FaultPlan.single(0, "stall", stall_s=60.0)
+        t0 = time.monotonic()
+        with pytest.raises(InjectedFault, match="stall"):
+            plan.fire("eval", 0, 0)
+        assert time.monotonic() - t0 < 1.0
+
+    def test_inline_kill_worker_never_kills(self):
+        # os._exit would take pytest down; inline it must degrade to an
+        # ordinary retryable failure.
+        plan = FaultPlan.single(0, "kill-worker")
+        with pytest.raises(InjectedFault, match="worker death"):
+            plan.fire("eval", 0, 0)
+
+    def test_corrupt_result_does_not_fire(self):
+        FaultPlan.single(0, "corrupt-result").fire("eval", 0, 0)
+
+
+@dataclass(frozen=True)
+class _FakeSolution:
+    trace: CandidateTrace
+    payload: str = "untouched"
+
+
+def _trace(**overrides) -> CandidateTrace:
+    base = dict(
+        label="sa[0]", fingerprint="fp-0", accepted=True,
+        reason="selected", total_cycles=100,
+    )
+    base.update(overrides)
+    return CandidateTrace(**base)
+
+
+class TestTampering:
+    def test_tamper_flips_fingerprint_and_cycles(self):
+        plan = FaultPlan.single(0, "corrupt-result")
+        sol = _FakeSolution(trace=_trace())
+        out = plan.tamper("eval", 0, 0, sol)
+        assert out.trace.fingerprint == "corrupted-by-fault"
+        assert out.trace.total_cycles == 101
+        assert out.payload == "untouched"
+        # The original is never mutated.
+        assert sol.trace.fingerprint == "fp-0"
+
+    def test_unarmed_tamper_returns_solution_unchanged(self):
+        plan = FaultPlan.single(0, "corrupt-result")
+        sol = _FakeSolution(trace=_trace())
+        assert plan.tamper("eval", 1, 0, sol) is sol
+        assert plan.tamper("eval", 0, 1, sol) is sol
+
+    def test_non_corrupt_faults_never_tamper(self):
+        sol = _FakeSolution(trace=_trace())
+        assert FaultPlan.single(0, "raise").tamper("eval", 0, 0, sol) is sol

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Chaos smoke benchmark: fault-injected search vs fault-free baseline.
+
+For each reduced zoo workload this runs a fault-free staged search, then
+re-runs it once per fault kind (raise / stall / kill-worker /
+corrupt-result) with the fault armed on a rotating candidate index, plus
+one checkpoint→resume leg.  Every arm must decide bit-identically to the
+baseline (asserted here, not just tested) and ``BENCH_chaos.json``
+records the supervision counters — retries consumed, candidates failed,
+pool restarts, candidates restored from checkpoint — so CI history shows
+what the resilience layer actually absorbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.atoms.generation import SAParams  # noqa: E402
+from repro.config import ArchConfig  # noqa: E402
+from repro.framework import (  # noqa: E402
+    AtomicDataflowOptimizer,
+    OptimizerOptions,
+)
+from repro.models import get_model  # noqa: E402
+from repro.resilience import FAULT_KINDS, FaultPlan  # noqa: E402
+
+MODELS = ("vgg19_bench", "mobilenet_v2_bench")
+
+
+def run_arm(
+    model: str,
+    restarts: int,
+    seed: int,
+    jobs: int = 1,
+    **overrides,
+) -> tuple[dict, list]:
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=40),
+        restarts=restarts,
+        seed=seed,
+        jobs=jobs,
+        **overrides,
+    )
+    arch = ArchConfig(mesh_rows=4, mesh_cols=4)
+    t0 = time.perf_counter()
+    outcome = AtomicDataflowOptimizer(get_model(model), arch, options).optimize()
+    wall = time.perf_counter() - t0
+    stats = outcome.search_stats
+    arm = {
+        "jobs": jobs,
+        "wall_seconds": round(wall, 3),
+        "candidates": stats.candidates,
+        "evaluated": stats.evaluated,
+        "failed": stats.failed,
+        "retry_attempts": stats.retry_attempts,
+        "restored": stats.restored,
+        "pool_restarts": outcome.pool_restarts,
+        "degraded_to_serial": bool(outcome.degraded_to_serial),
+        "total_cycles": outcome.result.total_cycles,
+    }
+    decisions = [
+        [t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles]
+        for t in outcome.traces
+    ]
+    return arm, decisions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--restarts", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_chaos.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    report: dict = {
+        "benchmark": "chaos-smoke",
+        "cpu_count": os.cpu_count(),
+        "restarts": args.restarts,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "workloads": {},
+    }
+    failures = 0
+    for model in MODELS:
+        baseline, expected = run_arm(model, args.restarts, args.seed)
+        n_candidates = baseline["candidates"]
+        arms: dict[str, dict] = {}
+        for k, kind in enumerate(FAULT_KINDS):
+            arm, decisions = run_arm(
+                model,
+                args.restarts,
+                args.seed,
+                jobs=args.jobs,
+                retries=2,
+                faults=FaultPlan.single(k % n_candidates, kind, stall_s=0.5),
+            )
+            arm["identical"] = decisions == expected
+            arms[kind] = arm
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            ckpt = str(Path(tmp) / "ck.jsonl")
+            run_arm(model, args.restarts, args.seed, checkpoint=ckpt)
+            arm, decisions = run_arm(
+                model, args.restarts, args.seed, checkpoint=ckpt, resume=True
+            )
+            arm["identical"] = decisions == expected
+            arms["resume"] = arm
+        if bad := [k for k, a in arms.items() if not a["identical"]]:
+            print(f"FAIL {model}: arm(s) {bad} diverged", file=sys.stderr)
+            failures += 1
+        absorbed = {
+            "retry_attempts": sum(a["retry_attempts"] for a in arms.values()),
+            "failed": sum(a["failed"] for a in arms.values()),
+            "pool_restarts": sum(a["pool_restarts"] for a in arms.values()),
+            "restored": arms["resume"]["restored"],
+        }
+        report["workloads"][model] = {
+            "baseline": baseline,
+            "arms": arms,
+            "absorbed": absorbed,
+        }
+        print(
+            f"{model}: {len(arms)} chaos arm(s), "
+            f"{absorbed['retry_attempts']} retries, "
+            f"{absorbed['pool_restarts']} pool restart(s), "
+            f"{absorbed['restored']}/{arms['resume']['candidates']} restored "
+            f"on resume, all decisions identical: {not bad}"
+        )
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"report written to {args.out} (cpu_count={report['cpu_count']})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
