@@ -8,6 +8,8 @@ Expected shape: ``kcw`` wins on depthwise/small-channel workloads (where
 KC is weight-reload-bound) and roughly ties elsewhere.
 """
 
+from __future__ import annotations
+
 from _common import print_table, run_ad, save_results
 
 from repro.models import get_model

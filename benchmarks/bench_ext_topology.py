@@ -8,6 +8,8 @@ links reduce hop-weighted traffic (never increase it), with end-to-end
 gains bounded by how NoC-bound each workload is.
 """
 
+from __future__ import annotations
+
 from dataclasses import replace
 
 from _common import BENCH_ARCH, print_table, run_ad, save_results

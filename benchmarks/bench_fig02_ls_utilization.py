@@ -6,6 +6,8 @@ ResNet-50, Inception-v3, NASNet, and EfficientNet.  This bench regenerates
 the per-workload averages (communication delay excluded, as in the paper).
 """
 
+from __future__ import annotations
+
 from _common import BENCH_ARCH, print_table, save_results
 
 from repro.baselines import ls_utilization_report

@@ -5,6 +5,8 @@
 (b) convergence of SA vs GA — SA converges faster and to lower variance.
 """
 
+from __future__ import annotations
+
 import numpy as np
 from _common import BENCH_ARCH, print_table, save_results
 

@@ -5,6 +5,8 @@ The paper: AD beats IL-Pipe by 1.42-3.78x and CNN-P (== LS at batch 1) by
 (perfect utilization, zero memory delay) frames the headroom.
 """
 
+from __future__ import annotations
+
 from _common import BENCH_ARCH, print_table, run_ad, save_results
 
 from repro.baselines import ideal_result, run_il_pipe, run_layer_sequential

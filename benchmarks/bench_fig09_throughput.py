@@ -5,6 +5,8 @@ but AD's flexible atom scheduling beats CNN-P by 1.12-1.38x (KC) and
 1.08-1.42x (YX).  Reduced scale uses batch 4.
 """
 
+from __future__ import annotations
+
 from _common import BENCH_ARCH, BENCH_BATCH, print_table, run_ad, save_results
 
 from repro.baselines import run_cnn_partition, run_layer_sequential

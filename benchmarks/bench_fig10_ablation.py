@@ -6,6 +6,8 @@ SA-based atom generation, and 1.07-1.17x to the on-chip reuse mechanisms
 counterpart and reports the speedup each contributes.
 """
 
+from __future__ import annotations
+
 from _common import BENCH_ARCH, BENCH_SA, print_table, save_results
 
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions

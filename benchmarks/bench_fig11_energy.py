@@ -7,6 +7,8 @@ minimum-hop mapping, and shorter runtime (less static energy).  LS and
 CNN-P pay heavily for DRAM round-trips.
 """
 
+from __future__ import annotations
+
 from _common import BENCH_ARCH, BENCH_BATCH, print_table, run_ad, save_results
 
 from repro.baselines import (

@@ -8,6 +8,8 @@ a moderate grid (e.g. 4x4 for several workloads), under two batch sizes.
 Reduced scale: a 4096-PE / 2 MB budget swept over 1x1 .. 8x8 grids.
 """
 
+from __future__ import annotations
+
 from _common import BENCH_SA, print_table, save_results
 
 from repro.config import ArchConfig, EngineConfig

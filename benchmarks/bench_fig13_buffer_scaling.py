@@ -6,6 +6,8 @@ techniques keep small buffers efficient, so extra capacity has diminishing
 returns.
 """
 
+from __future__ import annotations
+
 from dataclasses import replace
 
 from _common import BENCH_ARCH, BENCH_SA, print_table, save_results

@@ -7,6 +7,8 @@ AD > Rammer > LS, with AD ~1.3x over LS.  We run the same configuration in
 simulation (hardware substitution documented in DESIGN.md).
 """
 
+from __future__ import annotations
+
 from _common import BENCH_SA, print_table, save_results
 
 from repro.config import PROTOTYPE_ARCH

@@ -5,6 +5,8 @@ characteristics) from the model zoo's *full-size* networks, plus the
 reduced variants the other benchmarks run.
 """
 
+from __future__ import annotations
+
 from _common import print_table, save_results
 
 from repro.models import BENCH_WORKLOADS, PAPER_WORKLOADS, characterize

@@ -5,6 +5,8 @@ LS 49-69%, CNN-P 57-80%, IL-Pipe 46-68%, AD 79-95%; AD's NoC overhead is
 only 9.4-17.6% of total time, and 54.1-90.8% of data is reused on-chip.
 """
 
+from __future__ import annotations
+
 from _common import (
     BENCH_ARCH,
     BENCH_BATCH,

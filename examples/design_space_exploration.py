@@ -7,6 +7,8 @@ Fig. 12/13 experiments, runnable on any workload.
 Run:  python examples/design_space_exploration.py
 """
 
+from __future__ import annotations
+
 from dataclasses import replace
 
 from repro import models, optimize

@@ -10,6 +10,8 @@ tenant cannot fill are claimed by the other's atoms.
 Run:  python examples/multi_tenant.py
 """
 
+from __future__ import annotations
+
 from repro import AtomicDataflowOptimizer, OptimizerOptions
 from repro.config import ArchConfig
 from repro.ir import merge_graphs, subgraph_layers

@@ -8,6 +8,8 @@ intra-layer atoms, same-depth layers, dependent layers, and batch samples.
 Run:  python examples/nas_cell_scheduling.py
 """
 
+from __future__ import annotations
+
 from collections import Counter
 
 import numpy as np

@@ -3,6 +3,8 @@
 Run:  python examples/quickstart.py
 """
 
+from __future__ import annotations
+
 from repro import models, optimize
 from repro.config import ArchConfig
 

@@ -9,6 +9,8 @@ from multiple layers.
 Run:  python examples/resnet_latency.py
 """
 
+from __future__ import annotations
+
 from repro import models, optimize
 from repro.baselines import (
     ideal_result,

@@ -9,6 +9,8 @@ Round order — and checks bit-level agreement.
 Run:  python examples/verify_partitioning.py
 """
 
+from __future__ import annotations
+
 import numpy as np
 
 from repro import AtomicDataflowOptimizer, OptimizerOptions

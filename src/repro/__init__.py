@@ -12,13 +12,14 @@ Graph-Level Workload Orchestration for Scalable DNN Accelerators*
 
 The public surface: :mod:`repro.models` (workloads), :func:`optimize` /
 :class:`AtomicDataflowOptimizer` (the paper's framework),
-:mod:`repro.baselines` (LS / CNN-P / IL-Pipe / Rammer comparators), and
-:class:`repro.config.ArchConfig` (the machine model).
+:mod:`repro.baselines` (LS / CNN-P / IL-Pipe / Rammer comparators),
+:class:`repro.config.ArchConfig` (the machine model), and
+:mod:`repro.obs` (span tracing, metrics, and Perfetto export).
 """
 
 from __future__ import annotations
 
-from repro import baselines, models, report, serialize
+from repro import baselines, models, obs, report, serialize
 from repro.config import (
     DEFAULT_ARCH,
     PROTOTYPE_ARCH,
@@ -63,6 +64,7 @@ __all__ = [
     "UtilizationReport",
     "baselines",
     "models",
+    "obs",
     "report",
     "serialize",
     "optimize",

@@ -35,6 +35,7 @@ from repro.analysis.resilience_rules import (
 )
 from repro.analysis.schedule_rules import check_schedule
 from repro.analysis.selfcheck import run_self_check
+from repro.analysis.timeline_rules import check_timeline
 from repro.analysis.trace_rules import check_search_trace
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "check_resilience_traces",
     "check_search_trace",
     "check_schedule",
+    "check_timeline",
     "get_rule",
     "lint_paths",
     "lint_source",

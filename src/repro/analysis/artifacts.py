@@ -102,7 +102,10 @@ def validate_outcome(outcome, arch: ArchConfig) -> Report:
     When the outcome carries search traces, the AD5xx trace rules and the
     AD6xx resilience rules run as well, cross-checking the accepted
     candidate against the selected result and DAG and the retry/failure
-    annotations against each other.
+    annotations against each other.  On an otherwise-clean outcome the
+    selected solution is re-simulated with timeline collection and the
+    AD7xx timeline rules cross-check the exported occupancy view against
+    the outcome's metrics.
 
     Args:
         outcome: An :class:`~repro.framework.OptimizationOutcome`.
@@ -120,6 +123,27 @@ def validate_outcome(outcome, arch: ArchConfig) -> Report:
             traces, result=outcome.result, dag=outcome.dag, report=report
         )
         check_resilience_traces(traces, report=report)
+    if report.ok:
+        # Imported lazily: repro.sim pulls in the simulator stack, which
+        # this package must not require for pure artifact checks.
+        from repro.analysis.timeline_rules import check_timeline
+        from repro.sim import simulate_timeline
+
+        result, timeline = simulate_timeline(
+            arch,
+            outcome.dag,
+            outcome.schedule,
+            outcome.placement,
+            strategy=outcome.result.strategy,
+        )
+        check_timeline(timeline, result=result, report=report)
+        if result.total_cycles != outcome.result.total_cycles:
+            report.emit(
+                "AD702",
+                "timeline",
+                f"re-simulated total_cycles {result.total_cycles} does not "
+                f"match the outcome's {outcome.result.total_cycles}",
+            )
     return report
 
 

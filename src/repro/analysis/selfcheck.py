@@ -16,8 +16,9 @@ if the analysis subsystem ever rots.  Four legs:
    AD6xx resilience rules, and write a journal that passes AD601;
 3. **Seeded negatives** — deliberately corrupted copies of those same
    artifacts (dependency swap, duplicate engine, phantom edge, corrupted
-   search trace, broken retry annotations, tampered journal, …) must
-   each trip exactly the rule that guards the broken invariant;
+   search trace, broken retry annotations, tampered journal, duplicated
+   timeline interval, tampered utilization, …) must each trip exactly
+   the rule that guards the broken invariant;
 4. **Lint round-trip** — an embedded bad snippet fires all Tier-B rules,
    an embedded clean snippet fires none, and the installed ``repro``
    source tree itself lints clean.
@@ -303,6 +304,50 @@ def run_self_check() -> tuple[bool, str]:
         ("AD201",),
         lines,
     )
+
+    # Timeline round-trip: re-simulate the same solution with occupancy
+    # collection; the real timeline must pass every AD7xx rule, and
+    # seeded corruptions of it must each trip the guarding rule.
+    from repro.analysis.timeline_rules import check_timeline
+    from repro.sim import simulate_timeline
+
+    tl_result, timeline = simulate_timeline(
+        arch,
+        dag,
+        schedule,
+        placement,
+        strategy=outcome.result.strategy,
+    )
+    passed &= _expect_clean(
+        f"simulator timeline [{outcomes[0][0]}]",
+        check_timeline(timeline, result=tl_result),
+        lines,
+    )
+    longest = max(timeline.intervals, key=lambda iv: iv.duration)
+    passed &= _expect(
+        "seeded overlapping intervals",
+        check_timeline(replace(timeline, intervals=timeline.intervals + (longest,))),
+        ("AD701",),
+        lines,
+    )
+    tampered_result = replace(
+        tl_result,
+        pe_utilization=(tl_result.pe_utilization + 0.5) % 1.0,
+    )
+    passed &= _expect(
+        "seeded tampered PE utilization",
+        check_timeline(timeline, result=tampered_result),
+        ("AD702",),
+        lines,
+    )
+    if timeline.hbm:
+        saturated = replace(timeline.hbm[0], utilization=1.5)
+        passed &= _expect(
+            "seeded impossible HBM sample",
+            check_timeline(replace(timeline, hbm=timeline.hbm + (saturated,))),
+            ("AD703",),
+            lines,
+        )
 
     doubly_accepted = tuple(
         replace(t, accepted=True, reason="selected") for t in staged.traces

@@ -1,0 +1,210 @@
+"""Tier-A validators for simulator timelines (AD7xx).
+
+:meth:`repro.sim.simulator.SystemSimulator.run_timeline` exports a
+:class:`~repro.sim.timeline.SimTimeline` — the per-resource occupancy
+view of one simulation.  A timeline is consistent when:
+
+* ``AD701`` — its structure holds together: Rounds tile the cycle axis
+  contiguously from 0, every engine interval lies inside its Round's
+  post-stall window, no two intervals on one engine overlap, and every
+  engine's ``busy + stall + idle`` equals the end-to-end cycle count;
+* ``AD702`` — it agrees with the :class:`~repro.metrics.RunResult` of
+  the same simulation: total/compute cycles, Round count, and the PE
+  utilization recomputed from the intervals;
+* ``AD703`` — its resource samples are physical: non-negative link
+  occupancy bounded by the Round's NoC time, and HBM bandwidth
+  utilization within ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.diagnostics import Report, Severity, register_rule
+
+register_rule(
+    "AD701",
+    Severity.ERROR,
+    "artifact",
+    "timeline rounds must tile the cycle axis, intervals must stay inside "
+    "their round and never overlap per engine, and busy+stall+idle must "
+    "equal total cycles",
+)
+register_rule(
+    "AD702",
+    Severity.ERROR,
+    "artifact",
+    "timeline totals (cycles, rounds, PE utilization) must match the "
+    "RunResult of the same simulation",
+)
+register_rule(
+    "AD703",
+    Severity.ERROR,
+    "artifact",
+    "timeline resource samples must be physical: link occupancy within "
+    "the round's NoC budget, HBM utilization within [0, 1]",
+)
+
+#: Tolerance for float cross-checks (utilization ratios).
+_REL_TOL = 1e-9
+
+
+def check_timeline(timeline, result=None, report: Report | None = None) -> Report:
+    """Run every AD7xx rule over one simulation's timeline.
+
+    Args:
+        timeline: A :class:`~repro.sim.timeline.SimTimeline`.
+        result: The :class:`~repro.metrics.RunResult` the same simulation
+            produced, when available; enables the AD702 cross-checks.
+        report: Optional report to append to.
+
+    Returns:
+        The report with any findings added.
+    """
+    report = report if report is not None else Report()
+    report.mark_checked(
+        f"SimTimeline({timeline.workload}, {len(timeline.rounds)} rounds)"
+    )
+    _check_structure(timeline, report)
+    if result is not None:
+        _check_against_result(timeline, result, report)
+    _check_samples(timeline, report)
+    return report
+
+
+def _check_structure(tl, report: Report) -> None:
+    """AD701: contiguous rounds, contained and disjoint intervals."""
+    cursor = 0
+    for rw in tl.rounds:
+        if rw.start != cursor:
+            report.emit(
+                "AD701",
+                f"round {rw.index}",
+                f"starts at cycle {rw.start}, expected {cursor} "
+                "(rounds must tile the axis contiguously)",
+            )
+        if rw.round_cycles < rw.stall_cycles:
+            report.emit(
+                "AD701",
+                f"round {rw.index}",
+                f"round_cycles {rw.round_cycles} < stall {rw.stall_cycles}",
+            )
+        cursor = rw.end
+    if tl.rounds and cursor != tl.total_cycles:
+        report.emit(
+            "AD701",
+            "rounds",
+            f"rounds end at cycle {cursor} but total_cycles is "
+            f"{tl.total_cycles}",
+        )
+
+    windows = {rw.index: rw for rw in tl.rounds}
+    for iv in tl.intervals:
+        rw = windows.get(iv.round_index)
+        if rw is None:
+            report.emit(
+                "AD701",
+                f"atom {iv.atom}",
+                f"interval references unknown round {iv.round_index}",
+            )
+            continue
+        if iv.start < rw.start + rw.stall_cycles or iv.end > rw.end:
+            report.emit(
+                "AD701",
+                f"atom {iv.atom}",
+                f"interval [{iv.start}, {iv.end}) escapes round "
+                f"{rw.index}'s compute window "
+                f"[{rw.start + rw.stall_cycles}, {rw.end})",
+            )
+        if not 0 <= iv.engine < tl.num_engines:
+            report.emit(
+                "AD701",
+                f"atom {iv.atom}",
+                f"engine {iv.engine} out of range (0..{tl.num_engines - 1})",
+            )
+
+    for engine in range(tl.num_engines):
+        ivs = tl.busy_intervals(engine)
+        for prev, cur in zip(ivs, ivs[1:]):
+            if cur.start < prev.end:
+                report.emit(
+                    "AD701",
+                    f"engine {engine}",
+                    f"busy intervals overlap: atom {prev.atom} "
+                    f"[{prev.start}, {prev.end}) and atom {cur.atom} "
+                    f"[{cur.start}, {cur.end})",
+                )
+                break  # one finding per engine is enough
+        acc = tl.engine_accounting(engine)
+        if acc.idle_cycles < 0 or acc.total_cycles != tl.total_cycles:
+            report.emit(
+                "AD701",
+                f"engine {engine}",
+                f"busy {acc.busy_cycles} + stall {acc.stall_cycles} + "
+                f"idle {acc.idle_cycles} != total {tl.total_cycles}",
+            )
+
+
+def _check_against_result(tl, result, report: Report) -> None:
+    """AD702: the timeline and the RunResult describe one simulation."""
+    checks = (
+        ("total_cycles", tl.total_cycles, result.total_cycles),
+        ("compute_cycles", tl.compute_cycles, result.compute_cycles),
+        ("num_rounds", len(tl.rounds), result.num_rounds),
+    )
+    for name, got, expected in checks:
+        if got != expected:
+            report.emit(
+                "AD702",
+                "timeline",
+                f"{name} is {got} but the RunResult reports {expected}",
+            )
+    recomputed = tl.pe_utilization()
+    if not math.isclose(
+        recomputed, result.pe_utilization, rel_tol=_REL_TOL, abs_tol=_REL_TOL
+    ):
+        report.emit(
+            "AD702",
+            "timeline",
+            f"PE utilization recomputed from intervals is {recomputed:.9f} "
+            f"but the RunResult reports {result.pe_utilization:.9f}",
+        )
+
+
+def _check_samples(tl, report: Report) -> None:
+    """AD703: link and HBM samples are physically possible."""
+    noc_budget = {
+        rw.index: rw.blocking_noc_cycles + rw.prefetch_noc_cycles
+        for rw in tl.rounds
+    }
+    for ls in tl.links:
+        if ls.busy_cycles < 0:
+            report.emit(
+                "AD703",
+                f"link {ls.src}->{ls.dst}",
+                f"negative occupancy {ls.busy_cycles} in round "
+                f"{ls.round_index}",
+            )
+        budget = noc_budget.get(ls.round_index)
+        if budget is not None and ls.busy_cycles > budget:
+            report.emit(
+                "AD703",
+                f"link {ls.src}->{ls.dst}",
+                f"occupancy {ls.busy_cycles} exceeds round "
+                f"{ls.round_index}'s NoC time {budget}",
+            )
+    for hs in tl.hbm:
+        if not 0.0 <= hs.utilization <= 1.0 + _REL_TOL:
+            report.emit(
+                "AD703",
+                f"round {hs.round_index}",
+                f"HBM bandwidth utilization {hs.utilization:.6f} outside "
+                "[0, 1]",
+            )
+        if hs.bytes_read < 0 or hs.bytes_written < 0:
+            report.emit(
+                "AD703",
+                f"round {hs.round_index}",
+                f"negative HBM traffic (read {hs.bytes_read}, "
+                f"written {hs.bytes_written})",
+            )

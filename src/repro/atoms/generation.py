@@ -26,6 +26,7 @@ from repro.engine.cost_model import EngineCostModel
 from repro.ir.graph import Graph, Node
 from repro.ir.ops import Input, Region
 from repro.ir.tensor import TensorShape
+from repro.obs.tracer import get_tracer
 
 Coeffs = tuple[int, int, int, int]
 
@@ -323,33 +324,46 @@ class AtomGenerator:
         best_assignment, best_energy, best_state = dict(assignment), energy, state
         history = [energy]
         iterations = 0
-        for _ in range(params.max_iterations):
-            iterations += 1
-            state_move = max(1.0, state + float(self.rng.uniform(-1, 1)) * move_len)
-            candidate = {
-                n.node_id: self._fit_layer_to_state(
-                    n, assignment[n.node_id], state_move
-                )
-                for n in self._compute_nodes
-            }
-            cycles_move = [
-                self.atom_cycles(n, candidate[n.node_id])
-                for n in self._compute_nodes
-            ]
-            energy_move = self._energy(cycles_move, self._counts_of(candidate))
-            temperature *= params.cooling
-            accept_p = math.exp(
-                min(0.0, (energy - energy_move)) / max(params.cooling * temperature, 1e-12)
-            ) if energy_move > energy else 1.0
-            if self.rng.uniform(0, 1) <= accept_p:
-                state, energy = state_move, energy_move
-                assignment, cycles = candidate, cycles_move
-            if energy < best_energy:
-                best_assignment, best_energy = dict(assignment), energy
-                best_state = state
-            history.append(energy)
-            if energy <= params.epsilon:
-                break
+        tracer = get_tracer()
+        with tracer.span(
+            "sa.anneal",
+            category="sa",
+            layers=len(self._compute_nodes),
+            max_iterations=params.max_iterations,
+        ):
+            for _ in range(params.max_iterations):
+                with tracer.span("sa.iteration", category="sa", index=iterations):
+                    iterations += 1
+                    state_move = max(
+                        1.0, state + float(self.rng.uniform(-1, 1)) * move_len
+                    )
+                    candidate = {
+                        n.node_id: self._fit_layer_to_state(
+                            n, assignment[n.node_id], state_move
+                        )
+                        for n in self._compute_nodes
+                    }
+                    cycles_move = [
+                        self.atom_cycles(n, candidate[n.node_id])
+                        for n in self._compute_nodes
+                    ]
+                    energy_move = self._energy(
+                        cycles_move, self._counts_of(candidate)
+                    )
+                    temperature *= params.cooling
+                    accept_p = math.exp(
+                        min(0.0, (energy - energy_move))
+                        / max(params.cooling * temperature, 1e-12)
+                    ) if energy_move > energy else 1.0
+                    if self.rng.uniform(0, 1) <= accept_p:
+                        state, energy = state_move, energy_move
+                        assignment, cycles = candidate, cycles_move
+                    if energy < best_energy:
+                        best_assignment, best_energy = dict(assignment), energy
+                        best_state = state
+                    history.append(energy)
+                if energy <= params.epsilon:
+                    break
 
         return self._result(
             best_assignment, best_state, best_energy, history, iterations

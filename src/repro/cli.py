@@ -10,6 +10,13 @@ Commands:
 * ``check`` — static verification: lint the codebase, validate a saved
   solution artifact, or run the analysis self-check
   (see :mod:`repro.analysis`).
+* ``profile`` — re-simulate a saved solution with timeline collection
+  and print its per-engine occupancy breakdown (optionally exporting a
+  Chrome/Perfetto trace; see :mod:`repro.obs`).
+
+``repro -v`` raises library log verbosity (``-vv`` for per-candidate
+debug events); ``repro optimize --profile out.json`` records a span
+trace of the whole search and writes it as Chrome trace-event JSON.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.baselines import (
 from repro.config import ArchConfig
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
 from repro.models import available_models, characterize, get_model
+from repro.obs import configure_logging
 from repro.resilience import CheckpointError
 from repro.report import (
     comparison_table,
@@ -109,6 +117,26 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.profile:
+        from repro.obs import enable_tracing, reset_registry
+
+        enable_tracing()
+        reset_registry()
+    try:
+        return _run_optimize(args, arch, graph, options)
+    finally:
+        if args.profile:
+            from repro.obs import disable_tracing
+
+            disable_tracing()
+
+
+def _run_optimize(
+    args: argparse.Namespace,
+    arch: ArchConfig,
+    graph,
+    options: OptimizerOptions,
+) -> int:
     try:
         outcome = AtomicDataflowOptimizer(graph, arch, options).optimize()
     except CheckpointError as exc:
@@ -192,7 +220,49 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     if args.save:
         save_solution(outcome, args.save, dataflow=args.dataflow)
         print(f"\nsolution written to {args.save}")
+    if args.profile:
+        _export_profile(args, arch, outcome)
     return 130 if outcome.interrupted else 0
+
+
+def _export_profile(
+    args: argparse.Namespace, arch: ArchConfig, outcome
+) -> None:
+    """Drain the run's spans/metrics and write the Chrome trace."""
+    from repro.obs import (
+        MetricsSnapshot,
+        drain_observations,
+        flamegraph_summary,
+        metrics_summary,
+        trace_to_chrome,
+    )
+    from repro.sim import simulate_timeline
+
+    # Re-simulate the winner with timeline collection so the trace also
+    # carries the simulated-time view (engines, rounds, NoC, HBM); the
+    # sim.* spans it emits land in the same drain below.
+    _, timeline = simulate_timeline(
+        arch,
+        outcome.dag,
+        outcome.schedule,
+        outcome.placement,
+        strategy=outcome.result.strategy,
+    )
+    spans, metrics = drain_observations()
+    trace_to_chrome(
+        args.profile,
+        spans,
+        timeline,
+        metadata={
+            "workload": outcome.result.workload,
+            "mesh": f"{arch.mesh_rows}x{arch.mesh_cols}",
+            "jobs": args.jobs,
+            "seed": args.seed,
+        },
+    )
+    print(f"\nprofile written to {args.profile} ({len(spans)} span(s))")
+    print("\n" + flamegraph_summary(spans))
+    print("\n" + metrics_summary(MetricsSnapshot.from_dict(metrics)))
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -264,6 +334,72 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    arch = _arch_from_args(args)
+    graph = get_model(args.model)
+    from repro.analysis import check_timeline
+    from repro.serialize import load_solution
+    from repro.sim import simulate_timeline
+
+    try:
+        sol = load_solution(args.solution, graph, arch)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load {args.solution}: {exc}", file=sys.stderr)
+        return 2
+    result, timeline = simulate_timeline(
+        arch, sol.dag, sol.schedule, sol.placement, strategy=args.strategy
+    )
+
+    print(
+        f"{graph.name} on {arch.mesh_rows}x{arch.mesh_cols} engines "
+        f"(batch {sol.batch}, {len(timeline.rounds)} rounds, "
+        f"{result.total_cycles} cycles)"
+    )
+    print(f"{'engine':>8}{'busy':>10}{'stall':>10}{'idle':>10}")
+    for acc in timeline.accounting():
+        total = acc.total_cycles or 1
+        print(
+            f"{acc.engine:>8}"
+            f"{acc.busy_cycles / total:>10.1%}"
+            f"{acc.stall_cycles / total:>10.1%}"
+            f"{acc.idle_cycles / total:>10.1%}"
+        )
+    bound: dict[str, int] = {}
+    for rw in timeline.rounds:
+        bound[rw.bound_by] = bound.get(rw.bound_by, 0) + 1
+    bound_txt = ", ".join(
+        f"{n} {k}-bound" for k, n in sorted(bound.items())
+    )
+    print(f"  rounds            : {bound_txt}")
+    if timeline.hbm:
+        utils = [hs.utilization for hs in timeline.hbm]
+        print(
+            f"  HBM utilization   : mean {sum(utils) / len(utils):.1%}, "
+            f"peak {max(utils):.1%}"
+        )
+    print(f"  PE utilization    : {timeline.pe_utilization():.1%}")
+
+    report = check_timeline(timeline, result=result)
+    if report.ok:
+        print("  timeline check    : clean (AD701-AD703)")
+    else:
+        print("\n" + report.render(), file=sys.stderr)
+    if args.out:
+        from repro.obs import trace_to_chrome
+
+        trace_to_chrome(
+            args.out,
+            timeline=timeline,
+            metadata={
+                "workload": graph.name,
+                "mesh": f"{arch.mesh_rows}x{arch.mesh_cols}",
+                "solution": args.solution,
+            },
+        )
+        print(f"\ntimeline trace written to {args.out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Delegate to the :mod:`repro.analysis` CLI (same flags)."""
     from repro.analysis.__main__ import main as analysis_main
@@ -291,6 +427,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Atomic dataflow workload orchestration (HPCA 2022).",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise library log verbosity (-v info, -vv debug)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -329,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore completed candidates from --checkpoint instead of "
         "re-evaluating them",
     )
+    p_opt.add_argument(
+        "--profile", metavar="JSON",
+        help="record a span trace of the search and write it as "
+        "Chrome/Perfetto trace-event JSON (decisions stay bit-identical)",
+    )
 
     p_cmp = sub.add_parser("compare", help="AD vs all baselines")
     _add_common(p_cmp)
@@ -341,6 +486,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_dse.add_argument(
         "--budget-mesh", type=_parse_mesh, default=(4, 4),
         help="budget expressed as an equivalent engine grid (default 4x4)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile", help="re-simulate a saved solution with a timeline"
+    )
+    p_prof.add_argument("--model", required=True, help="model zoo name")
+    p_prof.add_argument(
+        "--mesh", type=_parse_mesh, default=(4, 4),
+        help="engine grid the solution targets (default 4x4)",
+    )
+    p_prof.add_argument(
+        "--solution", required=True, metavar="JSON",
+        help="solution file written by `repro optimize --save`",
+    )
+    p_prof.add_argument(
+        "--strategy", default="AD",
+        help="strategy label for the re-simulation (default AD)",
+    )
+    p_prof.add_argument(
+        "--out", metavar="JSON",
+        help="also write the timeline as Chrome trace-event JSON",
     )
 
     p_chk = sub.add_parser(
@@ -371,12 +537,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     handlers = {
         "models": _cmd_models,
         "optimize": _cmd_optimize,
         "compare": _cmd_compare,
         "dse": _cmd_dse,
         "check": _cmd_check,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

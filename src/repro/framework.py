@@ -43,8 +43,12 @@ from repro.pipeline import (
     select_best,
     tiling_stage_for,
 )
+from repro.obs.log import get_logger
+from repro.obs.tracer import get_tracer
 from repro.resilience import CheckpointJournal, FaultPlan, RetryPolicy
 from repro.scheduling.rounds import Schedule
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -229,13 +233,29 @@ class AtomicDataflowOptimizer:
             journal=journal,
             resume=o.resume,
         )
-        run = search.run(specs, strategy=strategy_label)
-        try:
-            winner = select_best(run.solutions)
-        except ValueError:
-            raise self._empty_search_error(run) from None
+        _log.info(
+            "optimizing %s (batch %d, %d candidate(s), jobs=%d)",
+            self.graph.name, o.batch, len(specs), o.jobs,
+        )
+        with get_tracer().span(
+            "optimize",
+            workload=self.graph.name,
+            candidates=len(specs),
+            jobs=o.jobs,
+        ):
+            run = search.run(specs, strategy=strategy_label)
+            try:
+                winner = select_best(run.solutions)
+            except ValueError:
+                raise self._empty_search_error(run) from None
         best = run.solutions[winner]
         assert best is not None
+        _log.info(
+            "selected %s: %d cycles in %.2fs of search",
+            specs[winner].label,
+            best.result.total_cycles,
+            time.perf_counter() - start,
+        )
         return OptimizationOutcome(
             result=best.result,
             dag=best.dag,

@@ -99,6 +99,19 @@ class HbmModel:
         )
         return math.ceil(seconds * self.engine_frequency_hz)
 
+    def bandwidth_utilization(self, total_bytes: int, cycles: int) -> float:
+        """Achieved bandwidth over a window as a fraction of peak.
+
+        Args:
+            total_bytes: Bytes actually moved during the window.
+            cycles: Window length in engine cycles.
+        """
+        if total_bytes <= 0 or cycles <= 0:
+            return 0.0
+        seconds = cycles / self.engine_frequency_hz
+        achieved = total_bytes / seconds
+        return achieved / self.config.peak_bandwidth_bytes_per_s
+
     def reset_stats(self) -> None:
         """Zero the cumulative traffic counters."""
         self.total_bytes_read = 0

@@ -83,6 +83,24 @@ class NocModel:
             + serialization
         )
 
+    def link_occupancy(
+        self, transfers: list[Transfer]
+    ) -> dict[tuple[int, int], int]:
+        """Serialization cycles per directed link for a transfer batch.
+
+        The same occupancy :meth:`round_cost` bounds its delay with, kept
+        as a separate walk so the hot search path pays nothing for it;
+        timeline collection calls this once per Round.
+        """
+        occupancy: dict[tuple[int, int], int] = defaultdict(int)
+        for t in transfers:
+            if t.src == t.dst or t.size_bytes == 0:
+                continue
+            serialization = math.ceil(8 * t.size_bytes / self.config.link_bits)
+            for link in self.mesh.route(t.src, t.dst):
+                occupancy[link] += serialization
+        return dict(occupancy)
+
     def round_cost(self, transfers: list[Transfer]) -> NocRoundCost:
         """Delay and energy of a batch of transfers issued together.
 

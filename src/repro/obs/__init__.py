@@ -1,0 +1,81 @@
+"""Observability layer: span tracing, metrics, logging, and exporters.
+
+This package is the measurement substrate the rest of the repo reports
+through:
+
+* :mod:`repro.obs.tracer` — a lightweight span tracer threaded through
+  the search pipeline, SA annealing, the resilient executor, and the
+  system simulator.  Disabled (the default) it is a shared no-op
+  singleton whose per-call cost is a dict build and an attribute check;
+  enabled it records wall-clock :class:`~repro.obs.tracer.SpanRecord`\\ s
+  that serialize across process boundaries.
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges, and fixed-bucket histograms whose snapshots merge across
+  worker processes.
+* :mod:`repro.obs.log` — the :mod:`logging` configuration behind the
+  CLI's ``--verbose`` flag; library modules log here instead of
+  printing.
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and text
+  flamegraph renderers.
+
+Determinism contract: nothing in this package draws randomness or feeds
+back into search decisions — a profiled run must stay bit-identical to
+an unprofiled one, and the test suite asserts it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    chrome_trace_events,
+    flamegraph_summary,
+    metrics_summary,
+    trace_to_chrome,
+)
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    reset_registry,
+)
+from repro.obs.tracer import (
+    SpanRecord,
+    Tracer,
+    absorb_observations,
+    disable_tracing,
+    drain_observations,
+    enable_tracing,
+    ensure_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "SpanRecord",
+    "Tracer",
+    "absorb_observations",
+    "chrome_trace_events",
+    "configure_logging",
+    "disable_tracing",
+    "drain_observations",
+    "enable_tracing",
+    "ensure_tracing",
+    "flamegraph_summary",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "metrics_summary",
+    "reset_registry",
+    "span",
+    "trace_to_chrome",
+    "tracing_enabled",
+]

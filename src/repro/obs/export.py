@@ -1,0 +1,312 @@
+"""Exporters: Chrome/Perfetto trace-event JSON and text summaries.
+
+Two views of one run share a file:
+
+* **wall-clock spans** from the tracer become ``B``/``E`` (begin/end)
+  event pairs on the real ``(pid, tid)`` lanes that recorded them —
+  search stages, SA iterations, resilience attempts, simulator rounds;
+* **simulated time** from a :class:`~repro.sim.timeline.SimTimeline`
+  becomes ``X`` (complete) events on one synthetic process whose
+  threads are the engines (1 simulated cycle is rendered as 1 us), plus
+  ``C`` (counter) tracks for HBM bandwidth utilization and NoC
+  busiest-link occupancy.
+
+The output loads in Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  Events are emitted with non-decreasing ``ts`` and
+stack-valid ``B``/``E`` nesting per lane; every event carries ``pid``
+and ``tid``.
+
+This module deliberately duck-types the timeline argument instead of
+importing :mod:`repro.sim` — the simulator imports the tracer, so the
+dependency must point one way only.
+
+Text renderers: :func:`flamegraph_summary` aggregates spans by call
+path, :func:`metrics_summary` tabulates a metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.tracer import SpanRecord
+
+#: Synthetic pid carrying simulated-time lanes (engines, rounds, counters).
+SIM_PID = 999_999
+
+
+def _span_depths(spans: Sequence[SpanRecord]) -> dict[tuple[int, int], int]:
+    """Nesting depth of every span, keyed by ``(pid, span_id)``."""
+    parents = {(s.pid, s.span_id): (s.pid, s.parent_id) for s in spans}
+    depths: dict[tuple[int, int], int] = {}
+
+    def depth(key: tuple[int, int]) -> int:
+        if key not in parents:  # parent id 0, or an undrained parent
+            return -1
+        if key in depths:
+            return depths[key]
+        d = depth(parents[key]) + 1
+        depths[key] = d
+        return d
+
+    for s in spans:
+        depth((s.pid, s.span_id))
+    return depths
+
+
+def chrome_trace_events(
+    spans: Sequence[SpanRecord] = (),
+    timeline: Any | None = None,
+) -> list[dict]:
+    """Both views as one sorted list of Chrome trace events.
+
+    Span timestamps are rebased so the earliest event sits at ``ts=0``.
+    Sorting is ``(ts, phase, depth)`` with begins before ends at equal
+    timestamps ordered outermost-first — the emitted stream is
+    stack-valid per ``(pid, tid)`` lane even for zero-length spans.
+    """
+    events: list[tuple[tuple, dict]] = []
+
+    if spans:
+        t0 = min(s.start_us for s in spans)
+        depths = _span_depths(spans)
+        for s in spans:
+            d = depths[(s.pid, s.span_id)]
+            begin = {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "B",
+                "ts": s.start_us - t0,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": dict(s.args),
+            }
+            end = {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "E",
+                "ts": s.start_us - t0 + s.duration_us,
+                "pid": s.pid,
+                "tid": s.tid,
+            }
+            # Key layout: begins (0) before ends (1) at equal ts; among
+            # begins outer spans first, among ends inner spans first.
+            events.append(((begin["ts"], 0, d), begin))
+            events.append(((end["ts"], 1, -d), end))
+
+    if timeline is not None:
+        events.extend(_timeline_events(timeline))
+
+    ordered = [e for _, e in sorted(events, key=lambda pair: pair[0])]
+    return _metadata_events(spans, timeline) + ordered
+
+
+def _timeline_events(timeline: Any) -> list[tuple[tuple, dict]]:
+    """Simulated-time lanes: 1 cycle rendered as 1 us."""
+    events: list[tuple[tuple, dict]] = []
+    for iv in timeline.intervals:
+        ev = {
+            "name": iv.label,
+            "cat": "sim",
+            "ph": "X",
+            "ts": float(iv.start),
+            "dur": float(max(iv.duration, 1)),
+            "pid": SIM_PID,
+            "tid": iv.engine,
+            "args": {
+                "round": iv.round_index,
+                "macs": iv.macs,
+                "uses_pe_array": iv.uses_pe_array,
+            },
+        }
+        events.append(((ev["ts"], 0, 0), ev))
+    rounds_tid = timeline.num_engines
+    for rw in timeline.rounds:
+        ev = {
+            "name": f"round {rw.index}",
+            "cat": "sim",
+            "ph": "X",
+            "ts": float(rw.start),
+            "dur": float(max(rw.round_cycles, 1)),
+            "pid": SIM_PID,
+            "tid": rounds_tid,
+            "args": {
+                "bound_by": rw.bound_by,
+                "stall_cycles": rw.stall_cycles,
+                "compute_cycles": rw.compute_cycles,
+            },
+        }
+        events.append(((ev["ts"], 0, 0), ev))
+    counter_tid = rounds_tid + 1
+    for sample in timeline.hbm:
+        ev = {
+            "name": "hbm bandwidth",
+            "cat": "sim",
+            "ph": "C",
+            "ts": float(sample.start),
+            "pid": SIM_PID,
+            "tid": counter_tid,
+            "args": {"utilization": round(sample.utilization, 6)},
+        }
+        events.append(((ev["ts"], 0, 1), ev))
+    busiest: dict[int, int] = defaultdict(int)
+    for link in timeline.links:
+        busiest[link.round_index] = max(
+            busiest[link.round_index], link.busy_cycles
+        )
+    start_by_round = {rw.index: rw.start for rw in timeline.rounds}
+    for round_index, cycles in sorted(busiest.items()):
+        ev = {
+            "name": "noc busiest link",
+            "cat": "sim",
+            "ph": "C",
+            "ts": float(start_by_round.get(round_index, 0)),
+            "pid": SIM_PID,
+            "tid": counter_tid,
+            "args": {"busy_cycles": cycles},
+        }
+        events.append(((ev["ts"], 0, 2), ev))
+    return events
+
+
+def _metadata_events(
+    spans: Sequence[SpanRecord], timeline: Any | None
+) -> list[dict]:
+    """``M`` events naming the processes and simulated-engine threads."""
+    meta: list[dict] = []
+    for pid in sorted({s.pid for s in spans}):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0.0,
+                "args": {"name": f"search process {pid}"},
+            }
+        )
+    if timeline is not None:
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": 0,
+                "ts": 0.0,
+                "args": {"name": "simulated machine (1 cycle = 1 us)"},
+            }
+        )
+        for engine in range(timeline.num_engines):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": SIM_PID,
+                    "tid": engine,
+                    "ts": 0.0,
+                    "args": {"name": f"engine {engine}"},
+                }
+            )
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SIM_PID,
+                "tid": timeline.num_engines,
+                "ts": 0.0,
+                "args": {"name": "rounds"},
+            }
+        )
+    return meta
+
+
+def trace_to_chrome(
+    path: str | Path,
+    spans: Sequence[SpanRecord] = (),
+    timeline: Any | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Write (and return) a Chrome trace-event document.
+
+    Args:
+        path: Output JSON file.
+        spans: Tracer records (wall-clock view).
+        timeline: Optional :class:`~repro.sim.timeline.SimTimeline`
+            (simulated-time view).
+        metadata: Free-form run description stored under ``otherData``.
+    """
+    doc = {
+        "traceEvents": chrome_trace_events(spans, timeline),
+        "displayTimeUnit": "ms",
+        "otherData": metadata or {},
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return doc
+
+
+def flamegraph_summary(
+    spans: Iterable[SpanRecord], max_rows: int = 30
+) -> str:
+    """Inclusive wall time aggregated by span call path, as text.
+
+    One row per distinct name path (``optimize > search.phase >
+    executor.map``), sorted by inclusive time; percentages are of the
+    total root-span time.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    by_key = {(s.pid, s.span_id): s for s in spans}
+
+    def path_of(s: SpanRecord) -> tuple[str, ...]:
+        names: list[str] = []
+        node: SpanRecord | None = s
+        while node is not None:
+            names.append(node.name)
+            node = by_key.get((node.pid, node.parent_id))
+        return tuple(reversed(names))
+
+    inclusive: dict[tuple[str, ...], float] = defaultdict(float)
+    counts: dict[tuple[str, ...], int] = defaultdict(int)
+    for s in spans:
+        p = path_of(s)
+        inclusive[p] += s.duration_us
+        counts[p] += 1
+    root_total = sum(
+        s.duration_us
+        for s in spans
+        if (s.pid, s.parent_id) not in by_key
+    ) or 1.0
+
+    rows = sorted(inclusive.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines = [f"{'inclusive':>12}  {'share':>6}  {'calls':>7}  path"]
+    for p, us in rows[:max_rows]:
+        indent = "  " * (len(p) - 1)
+        lines.append(
+            f"{us / 1e6:>10.3f} s  {us / root_total:>6.1%}  "
+            f"{counts[p]:>7}  {indent}{p[-1]}"
+        )
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more path(s)")
+    return "\n".join(lines)
+
+
+def metrics_summary(snapshot: MetricsSnapshot) -> str:
+    """A metrics snapshot as an aligned text table."""
+    lines: list[str] = []
+    for name in sorted(snapshot.counters):
+        lines.append(f"{name:<40}{snapshot.counters[name]:>14.10g}")
+    for name in sorted(snapshot.gauges):
+        lines.append(f"{name:<40}{snapshot.gauges[name]:>14.10g}")
+    for name in sorted(snapshot.histograms):
+        h = snapshot.histograms[name]
+        count = h["count"]
+        mean = h["sum"] / count if count else 0.0
+        lines.append(
+            f"{name:<40}{count:>8} obs  mean {mean:.4g}  max {h['max']:.4g}"
+        )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

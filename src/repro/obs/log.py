@@ -1,0 +1,84 @@
+"""Library logging: the channel behind the CLI's ``--verbose`` flag.
+
+Library modules (framework, pipeline, executor) report progress and
+anomalies through :func:`get_logger` instead of printing — user-facing
+output stays in :mod:`repro.cli`, diagnostics go to :mod:`logging` where
+callers control the volume:
+
+* default — warnings only (retries, pool restarts, degradation);
+* ``-v`` — INFO: search lifecycle, phase boundaries, candidate counts;
+* ``-vv`` — DEBUG: per-candidate events (dedup skips, restores).
+
+:func:`configure_logging` is idempotent and only touches the ``repro``
+logger hierarchy, never the root logger, so embedding applications keep
+their own logging configuration.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: Root of the library's logger hierarchy.
+LOGGER_NAME = "repro"
+
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Args:
+        name: Dotted suffix (e.g. ``"pipeline"``) or a full module name;
+            ``repro.*`` module names are used as-is.
+    """
+    if name is None:
+        return logging.getLogger(LOGGER_NAME)
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def level_for(verbosity: int) -> int:
+    """Map a ``-v`` count to a :mod:`logging` level."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger and set its level.
+
+    Idempotent: re-invocation adjusts the level (and stream) of the
+    handler it installed earlier instead of stacking duplicates.
+
+    Args:
+        verbosity: ``-v`` count (0 = warnings, 1 = info, >= 2 = debug).
+        stream: Output stream; defaults to ``sys.stderr``.
+
+    Returns:
+        The configured ``repro`` logger.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_FLAG, False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        setattr(handler, _HANDLER_FLAG, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    level = level_for(verbosity)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

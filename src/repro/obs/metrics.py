@@ -1,0 +1,309 @@
+"""Metrics registry: counters, gauges, histograms with bucket quantiles.
+
+One process-local :class:`MetricsRegistry` (reached via
+:func:`get_registry`) replaces the scattered ad-hoc counters the search
+used to keep — cost-model cache hit/miss deltas, executor retry tallies —
+with named instruments that snapshot to plain data and merge across
+process boundaries:
+
+* worker processes observe into their own registry, task functions drain
+  it with :meth:`MetricsRegistry.snapshot_and_reset`, and the parent
+  folds the snapshot back in with :meth:`MetricsRegistry.merge`;
+* :class:`MetricsSnapshot` round-trips through ``to_dict``/``from_dict``
+  so snapshots survive pickling and JSON export.
+
+Instruments are always on: an increment is a float add, cheap enough to
+leave in production paths (the profile smoke benchmark enforces this).
+Counters and histogram sums merge additively; gauges merge by keeping
+the larger value (a deliberate, documented convention — "worst observed"
+is the useful aggregate for watermarks like pool restarts in flight).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Default histogram buckets (upper bounds), tuned for wall-seconds of
+#: search stages: 1 ms .. 60 s, roughly geometric.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (merges across processes by max)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    Buckets are upper bounds; one implicit overflow bucket catches
+    everything above the last bound.  Quantiles interpolate linearly
+    inside the winning bucket, clamped to the largest observed value —
+    the standard fixed-bucket estimator, exact at bucket edges.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "max")
+
+    def __init__(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            lower = self.bounds[i - 1] if i > 0 else 0.0
+            upper = self.bounds[i] if i < len(self.bounds) else self.max
+            if n and cumulative + n >= target:
+                frac = (target - cumulative) / n
+                return min(lower + frac * max(upper - lower, 0.0), self.max)
+            cumulative += n
+        return self.max
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A registry's state as plain data (picklable, JSON-able).
+
+    Histogram entries are mappings with ``bounds``, ``counts``, ``sum``,
+    ``count``, and ``max`` keys.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """This snapshot as a JSON-serializable mapping."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "bounds": list(h["bounds"]),
+                    "counts": list(h["counts"]),
+                    "sum": h["sum"],
+                    "count": h["count"],
+                    "max": h["max"],
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On a malformed snapshot mapping.
+        """
+        try:
+            return cls(
+                counters={k: float(v) for k, v in doc["counters"].items()},
+                gauges={k: float(v) for k, v in doc["gauges"].items()},
+                histograms={
+                    name: {
+                        "bounds": tuple(float(b) for b in h["bounds"]),
+                        "counts": [int(c) for c in h["counts"]],
+                        "sum": float(h["sum"]),
+                        "count": int(h["count"]),
+                        "max": float(h["max"]),
+                    }
+                    for name, h in doc["histograms"].items()
+                },
+            )
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(f"malformed metrics snapshot: {exc}") from None
+
+
+class MetricsRegistry:
+    """Named instruments for one process.
+
+    Instrument creation is get-or-create and type-checked: asking for a
+    counter named like an existing gauge raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _claim(self, name: str, table: dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not table and name in other:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different type"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                self._claim(name, self._counters)
+                inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                self._claim(name, self._gauges)
+                inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                self._claim(name, self._histograms)
+                inst = self._histograms[name] = Histogram(name, buckets)
+        return inst
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Current state as plain data (instruments keep counting)."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters={c.name: c.value for c in self._counters.values()},
+                gauges={g.name: g.value for g in self._gauges.values()},
+                histograms={
+                    h.name: {
+                        "bounds": h.bounds,
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                        "max": h.max,
+                    }
+                    for h in self._histograms.values()
+                },
+            )
+
+    def snapshot_and_reset(self) -> MetricsSnapshot:
+        """Snapshot, then zero every instrument (worker hand-off)."""
+        with self._lock:
+            snap = MetricsSnapshot(
+                counters={c.name: c.value for c in self._counters.values()},
+                gauges={g.name: g.value for g in self._gauges.values()},
+                histograms={
+                    h.name: {
+                        "bounds": h.bounds,
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                        "max": h.max,
+                    }
+                    for h in self._histograms.values()
+                },
+            )
+            for c in self._counters.values():
+                c.value = 0.0
+            for g in self._gauges.values():
+                g.value = 0.0
+            for h in self._histograms.values():
+                h.counts = [0] * len(h.counts)
+                h.sum = 0.0
+                h.count = 0
+                h.max = 0.0
+        return snap
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot (typically from a worker) into this registry.
+
+        Counters and histogram tallies add; gauges keep the max; a
+        histogram with different bucket bounds raises.
+        """
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+        for name, data in snapshot.histograms.items():
+            hist = self.histogram(name, data["bounds"])
+            if hist.bounds != tuple(data["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ; cannot merge"
+                )
+            for i, n in enumerate(data["counts"]):
+                hist.counts[i] += n
+            hist.sum += data["sum"]
+            hist.count += data["count"]
+            hist.max = max(hist.max, data["max"])
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Clear the global registry (test and CLI isolation) and return it."""
+    _registry.clear()
+    return _registry

@@ -1,0 +1,303 @@
+"""Span tracer: nestable wall-clock spans, cheap when disabled.
+
+One process-global tracer (installed with :func:`enable_tracing`) records
+:class:`SpanRecord` entries as ``with span(...)`` blocks exit.  Design
+constraints, in order:
+
+1. **Disabled cost is negligible.**  The default active tracer is a
+   shared no-op singleton: :func:`span` does one global read, one
+   attribute check, and returns a reusable no-op context manager —
+   nothing is allocated per call beyond the kwargs dict.
+2. **Process-safe identities.**  Span ids are unique per process and
+   every record carries its ``pid``; worker processes run their own
+   tracer and ship completed records back to the parent inside task
+   results (see :func:`drain_observations` /
+   :func:`absorb_observations`), where ``(pid, span_id)`` stays unique.
+3. **Thread-safe nesting.**  The open-span stack is thread-local, so
+   concurrent threads build independent parent chains; the completed
+   record buffer is guarded by a lock.
+4. **Mergeable timestamps.**  Timestamps are microseconds on a shared
+   wall-clock anchor (``time.time`` at tracer start plus a
+   ``perf_counter`` delta), so spans recorded in different processes
+   land on one comparable axis when merged.
+
+Nothing here feeds back into search decisions; a traced run is
+bit-identical to an untraced one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: Span name, e.g. ``"stage.sim"``.
+        category: Layer the span belongs to (``"search"``, ``"sa"``,
+            ``"resilience"``, ``"sim"``).
+        start_us: Start time, microseconds on the shared wall anchor.
+        duration_us: Wall duration in microseconds.
+        pid: Process that recorded the span.
+        tid: Thread ident within that process.
+        span_id: Id unique within ``pid``.
+        parent_id: Enclosing span's id, or 0 at top level.
+        args: Free-form labels, stored as sorted key/value pairs so the
+            record stays hashable and picklable.
+    """
+
+    name: str
+    category: str
+    start_us: float
+    duration_us: float
+    pid: int
+    tid: int
+    span_id: int
+    parent_id: int
+    args: tuple[tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> dict:
+        """This record as a JSON-serializable mapping."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "pid": self.pid,
+            "tid": self.tid,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On a malformed span mapping.
+        """
+        try:
+            return cls(
+                name=doc["name"],
+                category=doc["cat"],
+                start_us=float(doc["start_us"]),
+                duration_us=float(doc["duration_us"]),
+                pid=int(doc["pid"]),
+                tid=int(doc["tid"]),
+                span_id=int(doc["id"]),
+                parent_id=int(doc["parent"]),
+                args=tuple(sorted(doc.get("args", {}).items())),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed span record: {exc}") from None
+
+
+class _NoopSpan:
+    """Reusable do-nothing context manager (the disabled hot path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An open span; records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "span_id", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, category: str, args: dict
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.span_id = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        tracer._stack().append(self.span_id)
+        self._start = tracer.now_us()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        end = tracer.now_us()
+        stack = tracer._stack()
+        stack.pop()
+        tracer._record(
+            SpanRecord(
+                name=self.name,
+                category=self.category,
+                start_us=self._start,
+                duration_us=end - self._start,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=self.span_id,
+                parent_id=stack[-1] if stack else 0,
+                args=tuple(sorted(self.args.items())),
+            )
+        )
+
+
+class Tracer:
+    """An enabled span tracer.
+
+    Use the module-level :func:`enable_tracing` / :func:`span` API in
+    library code; construct directly only in tests.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._perf0 = time.perf_counter()
+        self._wall0_us = time.time() * 1e6
+
+    def now_us(self) -> float:
+        """Microseconds on the shared wall anchor (monotonic deltas)."""
+        return self._wall0_us + (time.perf_counter() - self._perf0) * 1e6
+
+    def span(self, name: str, category: str = "search", **args: Any) -> _Span:
+        """An open span; use as ``with tracer.span("stage.sim"): ...``."""
+        return _Span(self, name, category, args)
+
+    def _next_id(self) -> int:
+        # itertools.count.__next__ is atomic under the GIL.
+        return next(self._ids)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Completed spans recorded so far (open spans are not included)."""
+        with self._lock:
+            return tuple(self._records)
+
+    def drain(self) -> list[SpanRecord]:
+        """Remove and return every completed span."""
+        with self._lock:
+            records, self._records = self._records, []
+        return records
+
+    def absorb(self, records: Iterable[SpanRecord]) -> None:
+        """Fold records drained from another tracer (e.g. a worker's)."""
+        with self._lock:
+            self._records.extend(records)
+
+    def clear(self) -> None:
+        """Discard every completed span."""
+        self.drain()
+
+
+class _NoopTracer:
+    """The disabled tracer: every operation is free and records nothing."""
+
+    enabled = False
+    spans: tuple[SpanRecord, ...] = ()
+
+    def span(self, name: str, category: str = "search", **args: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def drain(self) -> list[SpanRecord]:
+        return []
+
+    def absorb(self, records: Iterable[SpanRecord]) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+
+_NOOP_TRACER = _NoopTracer()
+_active: Tracer | _NoopTracer = _NOOP_TRACER
+
+
+def get_tracer() -> Tracer | _NoopTracer:
+    """The process-global active tracer (a no-op singleton by default)."""
+    return _active
+
+
+def tracing_enabled() -> bool:
+    """Whether the active tracer records spans."""
+    return _active.enabled
+
+
+def enable_tracing() -> Tracer:
+    """Install (and return) a fresh recording tracer."""
+    global _active
+    tracer = Tracer()
+    _active = tracer
+    return tracer
+
+
+def ensure_tracing() -> Tracer:
+    """Enable tracing unless a recording tracer is already active.
+
+    Worker initializers call this so an inline (``jobs=1``) search keeps
+    the parent's tracer — and its already-recorded spans — intact.
+    """
+    tracer = _active
+    if isinstance(tracer, Tracer):
+        return tracer
+    return enable_tracing()
+
+
+def disable_tracing() -> None:
+    """Restore the no-op tracer (recorded spans are discarded)."""
+    global _active
+    _active = _NOOP_TRACER
+
+
+def span(name: str, category: str = "search", **args: Any):
+    """A span on the active tracer; free when tracing is disabled."""
+    return _active.span(name, category, **args)
+
+
+def drain_observations() -> tuple[list[SpanRecord], dict]:
+    """Drain this process's spans and metrics for shipping to a parent.
+
+    Returns:
+        ``(spans, metrics_snapshot_dict)`` — both plain picklable data.
+        Used by worker task functions to attach their observations to a
+        task result (see ``repro.pipeline``).
+    """
+    from repro.obs.metrics import get_registry
+
+    return _active.drain(), get_registry().snapshot_and_reset().to_dict()
+
+
+def absorb_observations(spans: Iterable[SpanRecord], metrics: dict) -> None:
+    """Merge observations drained in another process into this one."""
+    from repro.obs.metrics import MetricsSnapshot, get_registry
+
+    _active.absorb(spans)
+    get_registry().merge(MetricsSnapshot.from_dict(metrics))

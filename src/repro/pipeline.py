@@ -70,6 +70,16 @@ from repro.mapping.placement import optimized_placement, zigzag_placement
 from repro.metrics import RunResult
 from repro.noc.mesh import Mesh2D
 from repro.noc.torus import make_topology
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import (
+    SpanRecord,
+    absorb_observations,
+    drain_observations,
+    ensure_tracing,
+    get_tracer,
+    tracing_enabled,
+)
 from repro.scheduling.dp import (
     schedule_exact_dp,
     schedule_greedy,
@@ -77,6 +87,8 @@ from repro.scheduling.dp import (
 )
 from repro.scheduling.rounds import Round, Schedule, layer_sequential_schedule
 from repro.sim.simulator import SystemSimulator
+
+_log = get_logger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -586,9 +598,11 @@ class CandidatePipeline:
         tiling_seconds: float = 0.0,
     ) -> CandidateSolution:
         """Run one candidate tiling through every remaining stage."""
+        tracer = get_tracer()
         hits0, misses0 = ctx.cost_model.cache_counters()
         t0 = time.perf_counter()
-        dag = ctx.build_dag(tiling)
+        with tracer.span("stage.dag", candidate=label):
+            dag = ctx.build_dag(tiling)
         dag_seconds = time.perf_counter() - t0
         if self.validate:
             self._validate(ctx, dag)
@@ -597,21 +611,24 @@ class CandidatePipeline:
         best: tuple[Schedule, dict[int, int], RunResult] | None = None
         for stage in self.scheduling:
             t0 = time.perf_counter()
-            schedule, expected_cost = stage.run(ctx, dag)
+            with tracer.span("stage.schedule", candidate=label):
+                schedule, expected_cost = stage.run(ctx, dag)
             schedule_seconds += time.perf_counter() - t0
             if self.validate and expected_cost is not None:
                 self._crosscheck(ctx, dag, schedule, expected_cost)
 
             t0 = time.perf_counter()
-            placement = self.mapping.run(ctx, dag, schedule)
+            with tracer.span("stage.mapping", candidate=label):
+                placement = self.mapping.run(ctx, dag, schedule)
             mapping_seconds += time.perf_counter() - t0
             if self.validate:
                 self._validate(ctx, dag, schedule, placement)
 
             t0 = time.perf_counter()
-            result = self.evaluation.run(
-                ctx, dag, schedule, placement, strategy
-            )
+            with tracer.span("stage.sim", candidate=label):
+                result = self.evaluation.run(
+                    ctx, dag, schedule, placement, strategy
+                )
             sim_seconds += time.perf_counter() - t0
             if best is None or result.total_cycles < best[2].total_cycles:
                 best = (schedule, placement, result)
@@ -619,6 +636,23 @@ class CandidatePipeline:
         schedule, placement, result = best
 
         hits1, misses1 = ctx.cost_model.cache_counters()
+        registry = get_registry()
+        registry.counter("search.cost_cache.hits").inc(hits1 - hits0)
+        registry.counter("search.cost_cache.misses").inc(misses1 - misses0)
+        registry.counter("search.candidates_evaluated").inc()
+        registry.histogram("search.candidate_seconds").observe(
+            tiling_seconds
+            + dag_seconds
+            + schedule_seconds
+            + mapping_seconds
+            + sim_seconds
+        )
+        _log.debug(
+            "candidate %s: %d cycles (dag %.3fs, schedule %.3fs, "
+            "mapping %.3fs, sim %.3fs)",
+            label, result.total_cycles, dag_seconds, schedule_seconds,
+            mapping_seconds, sim_seconds,
+        )
         trace = CandidateTrace(
             label=label,
             fingerprint=tiling_fingerprint(ctx.canonical_tiling(tiling)),
@@ -702,11 +736,48 @@ def _init_worker(
     pipeline: CandidatePipeline,
     strategy: str,
     faults: FaultPlan | None = None,
+    profile: bool = False,
 ) -> None:
     _WORKER_STATE["ctx"] = ctx
     _WORKER_STATE["pipeline"] = pipeline
     _WORKER_STATE["strategy"] = strategy
     _WORKER_STATE["faults"] = faults
+    _WORKER_STATE["profile"] = profile
+    if profile:
+        # ensure (not enable): the inline jobs=1 path runs this in the
+        # parent, whose tracer already holds recorded spans.
+        ensure_tracing()
+
+
+@dataclass(frozen=True)
+class _ObsEnvelope:
+    """A task result carrying the worker's drained observations.
+
+    Spawned workers trace into their own process-local tracer/registry;
+    the observations ride home inside the task result and the parent
+    absorbs them before unwrapping (see :func:`_unwrap_obs`).  Only built
+    when profiling — unprofiled searches return bare values.
+    """
+
+    value: Any
+    spans: tuple[SpanRecord, ...]
+    metrics: dict
+
+
+def _wrap_obs(value: Any) -> Any:
+    """Attach this process's pending observations to a task result."""
+    if not _WORKER_STATE.get("profile"):
+        return value
+    spans, metrics = drain_observations()
+    return _ObsEnvelope(value, tuple(spans), metrics)
+
+
+def _unwrap_obs(value: Any) -> Any:
+    """Absorb an envelope's observations and return the bare value."""
+    if isinstance(value, _ObsEnvelope):
+        absorb_observations(value.spans, value.metrics)
+        return value.value
+    return value
 
 
 @dataclass(frozen=True)
@@ -728,7 +799,7 @@ class _EvalItem:
 
 def _run_tiling(
     attempt: int, item: tuple[int, TilingStage, Any]
-) -> tuple[dict[int, TileSize], float | None, float]:
+):
     """Phase-1 task: generate one candidate tiling."""
     index, stage, rng_source = item
     ctx: SearchContext = _WORKER_STATE["ctx"]
@@ -736,28 +807,41 @@ def _run_tiling(
     if faults is not None:
         faults.fire("tiling", index, attempt)
     t0 = time.perf_counter()
-    rng = None if rng_source is None else np.random.default_rng(rng_source)
-    tiling, energy = stage.run(ctx, rng)
-    return tiling, energy, time.perf_counter() - t0
+    # The attempt span closes before _wrap_obs drains, so it ships with
+    # this very result (an attempt that *fails* leaves its span in the
+    # worker's buffer until that worker's next successful task).
+    with get_tracer().span(
+        "executor.attempt", category="resilience",
+        task=f"tiling[{index}]", attempt=attempt,
+    ):
+        rng = (
+            None if rng_source is None else np.random.default_rng(rng_source)
+        )
+        tiling, energy = stage.run(ctx, rng)
+    return _wrap_obs((tiling, energy, time.perf_counter() - t0))
 
 
-def _run_evaluation(attempt: int, item: _EvalItem) -> CandidateSolution:
+def _run_evaluation(attempt: int, item: _EvalItem):
     """Phase-2 task: schedule/map/simulate one unique tiling."""
     pipeline: CandidatePipeline = _WORKER_STATE["pipeline"]
     faults: FaultPlan | None = _WORKER_STATE.get("faults")
     if faults is not None:
         faults.fire("eval", item.spec_index, attempt)
-    solution = pipeline.evaluate(
-        _WORKER_STATE["ctx"],
-        item.tiling,
-        label=item.label,
-        strategy=_WORKER_STATE["strategy"],
-        tiling_energy=item.energy,
-        tiling_seconds=item.tiling_seconds,
-    )
+    with get_tracer().span(
+        "executor.attempt", category="resilience",
+        task=f"eval[{item.spec_index}]", attempt=attempt,
+    ):
+        solution = pipeline.evaluate(
+            _WORKER_STATE["ctx"],
+            item.tiling,
+            label=item.label,
+            strategy=_WORKER_STATE["strategy"],
+            tiling_energy=item.energy,
+            tiling_seconds=item.tiling_seconds,
+        )
     if faults is not None:
         solution = faults.tamper("eval", item.spec_index, attempt, solution)
-    return solution
+    return _wrap_obs(solution)
 
 
 # ---------------------------------------------------------------------------
@@ -949,7 +1033,10 @@ class StagedSearch:
         executor = ResilientExecutor(
             jobs=self.jobs,
             initializer=_init_worker,
-            initargs=(self.ctx, self.pipeline, strategy, self.faults),
+            initargs=(
+                self.ctx, self.pipeline, strategy, self.faults,
+                tracing_enabled(),
+            ),
             policy=self.retry,
         )
         try:
@@ -966,14 +1053,23 @@ class StagedSearch:
         strategy: str,
     ) -> SearchRun:
         n = len(specs)
+        tracer = get_tracer()
         restored = self._restore(specs)
+        if restored:
+            _log.info("restored %d candidate(s) from checkpoint", len(restored))
+            get_registry().counter("search.restored").inc(len(restored))
 
         # Phase 1: tiling generation for everything not restored.
         fresh = [i for i in range(n) if i not in restored]
         gen_payloads = [
             (i, specs[i].tiling_stage, specs[i].rng_source) for i in fresh
         ]
-        gen_reports = executor.map(_run_tiling, gen_payloads)
+        _log.info(
+            "phase tiling: generating %d candidate(s) on %d job(s)",
+            len(gen_payloads), self.jobs,
+        )
+        with tracer.span("search.phase", phase="tiling", tasks=len(gen_payloads)):
+            gen_reports = executor.map(_run_tiling, gen_payloads)
 
         entries: list[tuple | None] = [None] * n
         attempts = [1] * n
@@ -981,7 +1077,7 @@ class StagedSearch:
         for i, report in zip(fresh, gen_reports):
             attempts[i] = max(report.attempts, 1)
             if report.ok:
-                entries[i] = report.value
+                entries[i] = _unwrap_obs(report.value)
             else:
                 traces[i] = self._failure_trace(specs[i].label, "", report)
         for i, solution in restored.items():
@@ -997,15 +1093,25 @@ class StagedSearch:
         for i, skip in skips.items():
             traces[i] = skip
             restored.pop(i, None)
+        if skips:
+            _log.debug("deduplicated %d candidate(s)", len(skips))
+            get_registry().counter("search.deduplicated").inc(len(skips))
 
         # Phase 2: evaluation of first-occurrence, non-restored tilings.
         eval_payloads = [
             item for item in eval_items if item.spec_index not in restored
         ]
-        verify, on_success = self._supervision_hooks(eval_payloads, attempts)
-        eval_reports = executor.map(
-            _run_evaluation, eval_payloads, verify=verify, on_success=on_success
+        _log.info(
+            "phase evaluate: pricing %d unique tiling(s)", len(eval_payloads)
         )
+        verify, on_success = self._supervision_hooks(eval_payloads, attempts)
+        with tracer.span(
+            "search.phase", phase="evaluate", tasks=len(eval_payloads)
+        ):
+            eval_reports = executor.map(
+                _run_evaluation, eval_payloads,
+                verify=verify, on_success=on_success,
+            )
 
         solutions: list[CandidateSolution | None] = [None] * n
         for i, solution in restored.items():
@@ -1031,6 +1137,8 @@ class StagedSearch:
         retry_attempts = sum(
             max(r.attempts - 1, 0) for r in gen_reports + eval_reports
         )
+        if retry_attempts:
+            get_registry().counter("search.retry_attempts").inc(retry_attempts)
         return SearchRun(
             solutions=tuple(solutions),
             traces=tuple(t for t in traces if t is not None),
@@ -1063,7 +1171,12 @@ class StagedSearch:
     ) -> tuple:
         """The executor's integrity check and checkpoint hook for phase 2."""
 
-        def verify(index: int, solution: CandidateSolution) -> str | None:
+        def verify(index: int, value: Any) -> str | None:
+            # Peek through the profiling envelope without absorbing it:
+            # a failed check retries the task and discards the envelope.
+            solution: CandidateSolution = (
+                value.value if isinstance(value, _ObsEnvelope) else value
+            )
             expected = eval_payloads[index].fingerprint
             if solution.trace.fingerprint != expected:
                 return (
@@ -1073,6 +1186,7 @@ class StagedSearch:
             return None
 
         def on_success(report: TaskReport) -> None:
+            report.value = _unwrap_obs(report.value)
             item = eval_payloads[report.index]
             total = attempts[item.spec_index] - 1 + report.attempts
             if total > 1:

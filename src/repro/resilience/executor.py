@@ -48,10 +48,16 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Callable, Sequence
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+
 #: The pinned start method: ``spawn`` behaves identically across
 #: Linux/macOS/Windows (fork would silently share parent state on Linux
 #: only) — see the module docstring of :mod:`repro.pipeline`.
 START_METHOD = "spawn"
+
+_log = get_logger(__name__)
 
 _TIMEOUT_ERROR = "candidate exceeded timeout"
 _POOL_LOST_ERROR = "in-flight work lost to a worker-pool failure"
@@ -215,12 +221,21 @@ class ResilientExecutor:
     def _pool_broke(self, charges: dict[TaskReport, str]) -> None:
         """Handle one pool failure: charge in-flight tasks, maybe degrade."""
         self.pool_failures += 1
+        get_registry().counter("executor.pool_failures").inc()
+        _log.warning(
+            "worker pool failure %d (%d task(s) in flight)",
+            self.pool_failures, len(charges),
+        )
         self._discard_pool(terminate=True)
         for report, error in charges.items():
             if report.status == "pending":
                 self._charge(report, error)
         if self.pool_failures > self.policy.max_pool_restarts:
             self.degraded = True
+            _log.warning(
+                "exceeded %d pool restart(s); degrading to inline execution",
+                self.policy.max_pool_restarts,
+            )
 
     # -- attempt accounting ------------------------------------------------
 
@@ -228,11 +243,20 @@ class ResilientExecutor:
         """Burn one attempt; the task fails once the budget is gone."""
         report.attempts += 1
         report.error = error
+        get_registry().counter("executor.attempts_failed").inc()
         if report.attempts >= self.policy.max_attempts:
             report.status = "failed"
+            _log.warning(
+                "task %d failed after %d attempt(s): %s",
+                report.index, report.attempts, error,
+            )
         else:
             report._eligible_at = time.monotonic() + self.policy.backoff_for(
                 report.attempts
+            )
+            _log.warning(
+                "task %d attempt %d failed, will retry: %s",
+                report.index, report.attempts, error,
             )
 
     def _settle(
@@ -255,6 +279,7 @@ class ResilientExecutor:
         report.value = value
         report.status = "ok"
         report.error = ""
+        get_registry().counter("executor.attempts_ok").inc()
         if on_success is not None:
             on_success(report)
 
@@ -288,19 +313,27 @@ class ResilientExecutor:
                 report.status = "interrupted"
                 report.error = "interrupted"
             return reports
-        try:
-            while any(r.status == "pending" for r in reports):
-                if self.jobs == 1 or self.degraded:
-                    self._run_inline(fn, payloads, reports, verify, on_success)
-                else:
-                    self._run_pool_round(fn, payloads, reports, verify, on_success)
-        except KeyboardInterrupt:
-            self.interrupted = True
-            self._discard_pool(terminate=True)
-            for report in reports:
-                if report.status == "pending":
-                    report.status = "interrupted"
-                    report.error = "interrupted"
+        with get_tracer().span(
+            "executor.map", category="resilience", tasks=len(payloads)
+        ):
+            try:
+                while any(r.status == "pending" for r in reports):
+                    if self.jobs == 1 or self.degraded:
+                        self._run_inline(
+                            fn, payloads, reports, verify, on_success
+                        )
+                    else:
+                        self._run_pool_round(
+                            fn, payloads, reports, verify, on_success
+                        )
+            except KeyboardInterrupt:
+                self.interrupted = True
+                self._discard_pool(terminate=True)
+                _log.warning("interrupted; returning completed results")
+                for report in reports:
+                    if report.status == "pending":
+                        report.status = "interrupted"
+                        report.error = "interrupted"
         return reports
 
     def _run_inline(self, fn, payloads, reports, verify, on_success) -> None:

@@ -30,7 +30,15 @@ from repro.noc.mesh import Mesh2D
 from repro.noc.torus import make_topology
 from repro.noc.traffic import NocModel, Transfer
 from repro.noc.wormhole import WormholeSimulator
+from repro.obs.tracer import get_tracer
 from repro.scheduling.rounds import Schedule
+from repro.sim.timeline import (
+    EngineInterval,
+    HbmSample,
+    LinkSample,
+    RoundWindow,
+    SimTimeline,
+)
 
 #: Weight slices larger than this fraction of the buffer stream from DRAM
 #: instead of being retained for reuse.
@@ -141,21 +149,53 @@ class SystemSimulator:
             ValueError: When the schedule or placement is inconsistent with
                 the DAG (validated up front).
         """
-        result, _ = self._run(schedule, placement, collect_trace=False)
+        with self._run_span():
+            result, _, _ = self._run(schedule, placement, collect_trace=False)
         return result
 
     def run_traced(
         self, schedule: Schedule, placement: dict[int, int]
     ) -> tuple[RunResult, list[RoundTrace]]:
         """Like :meth:`run`, also returning the per-Round timing trace."""
-        return self._run(schedule, placement, collect_trace=True)
+        with self._run_span():
+            result, traces, _ = self._run(
+                schedule, placement, collect_trace=True
+            )
+        return result, traces
+
+    def _run_span(self):
+        """A ``sim.run`` tracer span labelling one whole simulation."""
+        return get_tracer().span(
+            "sim.run",
+            category="sim",
+            workload=self.dag.graph.name,
+            strategy=self.strategy,
+        )
+
+    def run_timeline(
+        self, schedule: Schedule, placement: dict[int, int]
+    ) -> tuple[RunResult, SimTimeline]:
+        """Like :meth:`run`, also building the full resource timeline.
+
+        The returned :class:`~repro.sim.timeline.SimTimeline` carries
+        per-engine busy intervals, Round windows, per-link NoC occupancy,
+        and per-Round HBM bandwidth samples; the :class:`RunResult` is
+        bit-identical to what :meth:`run` returns.
+        """
+        with self._run_span():
+            result, _, timeline = self._run(
+                schedule, placement, collect_trace=False, collect_timeline=True
+            )
+        assert timeline is not None
+        return result, timeline
 
     def _run(
         self,
         schedule: Schedule,
         placement: dict[int, int],
         collect_trace: bool,
-    ) -> tuple[RunResult, list[RoundTrace]]:
+        collect_timeline: bool = False,
+    ) -> tuple[RunResult, list[RoundTrace], SimTimeline | None]:
         schedule.validate(self.dag, self.arch.num_engines)
         for rnd in schedule.rounds:
             for a in rnd.atom_indices:
@@ -186,85 +226,106 @@ class SystemSimulator:
         onchip_bytes_total = 0
         offchip_bytes_total = 0
         traces: list[RoundTrace] = []
+        tl_rounds: list[RoundWindow] = []
+        tl_intervals: list[EngineInterval] = []
+        tl_links: list[LinkSample] = []
+        tl_hbm: list[HbmSample] = []
+        tracer = get_tracer()
 
         for rnd in schedule.rounds:
-            io = _RoundIO()
-            t = rnd.index
-            for a in rnd.atom_indices:
-                engine = placement[a]
-                self._gather_inputs(
-                    a, engine, t, atom_round, atom_location, buffers, io
-                )
-                self._gather_weights(
-                    a, engine, weight_locations, buffers, weight_limit, io,
-                    policy, t,
-                )
-                self._store_output(
-                    a, engine, buffers, policy, t, atom_location,
-                    weight_locations, io,
-                )
-                cost = dag.costs[a]
-                e = atom_energy(cost, arch.energy)
-                mac_energy_pj += e.mac_pj
-                sram_energy_pj += e.sram_pj
-                if cost.uses_pe_array:
-                    total_macs_pe += cost.macs
-
-            compute = max(dag.costs[a].cycles for a in rnd.atom_indices)
-            blocking_noc = self.noc.round_cost(io.blocking_transfers)
-            prefetch_noc = self.noc.round_cost(io.prefetch_transfers)
-            blocking_noc_cycles = (
-                self._noc_cycles(io.blocking_transfers)
-                if self._wormhole is not None
-                else blocking_noc.cycles
-            )
-            prefetch_noc_cycles = (
-                self._noc_cycles(io.prefetch_transfers)
-                if self._wormhole is not None
-                else prefetch_noc.cycles
-            )
-            blocking_dram = hbm.batch_cycles(
-                io.blocking_dram_bytes, io.blocking_dram_requests
-            )
-            prefetch_dram = hbm.batch_cycles(
-                io.prefetch_dram_bytes + io.writeback_bytes,
-                io.prefetch_dram_requests + (1 if io.writeback_bytes else 0),
-            )
-            round_time = (
-                blocking_noc_cycles
-                + blocking_dram
-                + max(compute, prefetch_noc_cycles, prefetch_dram)
-            )
-            if collect_trace:
-                traces.append(
-                    RoundTrace(
-                        index=rnd.index,
-                        num_atoms=len(rnd.atom_indices),
-                        compute_cycles=compute,
-                        blocking_noc_cycles=blocking_noc_cycles,
-                        blocking_dram_cycles=blocking_dram,
-                        prefetch_noc_cycles=prefetch_noc_cycles,
-                        prefetch_dram_cycles=prefetch_dram,
-                        round_cycles=round_time,
+            with tracer.span(
+                "sim.round",
+                category="sim",
+                index=rnd.index,
+                atoms=len(rnd.atom_indices),
+            ):
+                io = _RoundIO()
+                t = rnd.index
+                for a in rnd.atom_indices:
+                    engine = placement[a]
+                    self._gather_inputs(
+                        a, engine, t, atom_round, atom_location, buffers, io
                     )
+                    self._gather_weights(
+                        a, engine, weight_locations, buffers, weight_limit,
+                        io, policy, t,
+                    )
+                    self._store_output(
+                        a, engine, buffers, policy, t, atom_location,
+                        weight_locations, io,
+                    )
+                    cost = dag.costs[a]
+                    e = atom_energy(cost, arch.energy)
+                    mac_energy_pj += e.mac_pj
+                    sram_energy_pj += e.sram_pj
+                    if cost.uses_pe_array:
+                        total_macs_pe += cost.macs
+
+                compute = max(dag.costs[a].cycles for a in rnd.atom_indices)
+                blocking_noc = self.noc.round_cost(io.blocking_transfers)
+                prefetch_noc = self.noc.round_cost(io.prefetch_transfers)
+                blocking_noc_cycles = (
+                    self._noc_cycles(io.blocking_transfers)
+                    if self._wormhole is not None
+                    else blocking_noc.cycles
                 )
-            total_cycles += round_time
-            compute_cycles_total += compute
-            noc_blocking_total += blocking_noc_cycles
-            dram_blocking_total += blocking_dram
-            noc_energy_pj += blocking_noc.energy_pj + prefetch_noc.energy_pj
-            noc_bytes_hops += (
-                blocking_noc.total_hop_bits + prefetch_noc.total_hop_bits
-            ) // 8
-            read_bytes = io.blocking_dram_bytes + io.prefetch_dram_bytes
-            if read_bytes:
-                dram_energy_pj += hbm.access(read_bytes).energy_pj
-            if io.writeback_bytes:
-                dram_energy_pj += hbm.access(
-                    io.writeback_bytes, write=True
-                ).energy_pj
-            onchip_bytes_total += io.onchip_bytes
-            offchip_bytes_total += io.offchip_bytes
+                prefetch_noc_cycles = (
+                    self._noc_cycles(io.prefetch_transfers)
+                    if self._wormhole is not None
+                    else prefetch_noc.cycles
+                )
+                blocking_dram = hbm.batch_cycles(
+                    io.blocking_dram_bytes, io.blocking_dram_requests
+                )
+                prefetch_dram = hbm.batch_cycles(
+                    io.prefetch_dram_bytes + io.writeback_bytes,
+                    io.prefetch_dram_requests
+                    + (1 if io.writeback_bytes else 0),
+                )
+                round_time = (
+                    blocking_noc_cycles
+                    + blocking_dram
+                    + max(compute, prefetch_noc_cycles, prefetch_dram)
+                )
+                if collect_trace:
+                    traces.append(
+                        RoundTrace(
+                            index=rnd.index,
+                            num_atoms=len(rnd.atom_indices),
+                            compute_cycles=compute,
+                            blocking_noc_cycles=blocking_noc_cycles,
+                            blocking_dram_cycles=blocking_dram,
+                            prefetch_noc_cycles=prefetch_noc_cycles,
+                            prefetch_dram_cycles=prefetch_dram,
+                            round_cycles=round_time,
+                        )
+                    )
+                if collect_timeline:
+                    self._collect_round_timeline(
+                        rnd, placement, io, total_cycles, compute,
+                        blocking_noc_cycles, blocking_dram,
+                        prefetch_noc_cycles, prefetch_dram, round_time, hbm,
+                        tl_rounds, tl_intervals, tl_links, tl_hbm,
+                    )
+                total_cycles += round_time
+                compute_cycles_total += compute
+                noc_blocking_total += blocking_noc_cycles
+                dram_blocking_total += blocking_dram
+                noc_energy_pj += (
+                    blocking_noc.energy_pj + prefetch_noc.energy_pj
+                )
+                noc_bytes_hops += (
+                    blocking_noc.total_hop_bits + prefetch_noc.total_hop_bits
+                ) // 8
+                read_bytes = io.blocking_dram_bytes + io.prefetch_dram_bytes
+                if read_bytes:
+                    dram_energy_pj += hbm.access(read_bytes).energy_pj
+                if io.writeback_bytes:
+                    dram_energy_pj += hbm.access(
+                        io.writeback_bytes, write=True
+                    ).energy_pj
+                onchip_bytes_total += io.onchip_bytes
+                offchip_bytes_total += io.offchip_bytes
 
         seconds = total_cycles / arch.engine.frequency_hz
         static_pj = (
@@ -298,7 +359,95 @@ class SystemSimulator:
             energy=energy,
             frequency_hz=arch.engine.frequency_hz,
         )
-        return result, traces
+        timeline = None
+        if collect_timeline:
+            timeline = SimTimeline(
+                workload=dag.graph.name,
+                strategy=self.strategy,
+                num_engines=arch.num_engines,
+                frequency_hz=arch.engine.frequency_hz,
+                macs_per_cycle=arch.engine.macs_per_cycle,
+                total_cycles=total_cycles,
+                compute_cycles=compute_cycles_total,
+                rounds=tuple(tl_rounds),
+                intervals=tuple(tl_intervals),
+                links=tuple(tl_links),
+                hbm=tuple(tl_hbm),
+            )
+        return result, traces, timeline
+
+    def _collect_round_timeline(
+        self,
+        rnd,
+        placement: dict[int, int],
+        io: _RoundIO,
+        round_start: int,
+        compute: int,
+        blocking_noc_cycles: int,
+        blocking_dram: int,
+        prefetch_noc_cycles: int,
+        prefetch_dram: int,
+        round_time: int,
+        hbm: HbmModel,
+        tl_rounds: list[RoundWindow],
+        tl_intervals: list[EngineInterval],
+        tl_links: list[LinkSample],
+        tl_hbm: list[HbmSample],
+    ) -> None:
+        """Append one executed Round's resource occupancy to the timeline.
+
+        Engine intervals start after the Round's blocking stall — the
+        window in which the timing model lets compute proceed.  HBM bytes
+        are the raw (pre-burst-rounding) payloads the Round moved.
+        """
+        dag = self.dag
+        stall = blocking_noc_cycles + blocking_dram
+        tl_rounds.append(
+            RoundWindow(
+                index=rnd.index,
+                start=round_start,
+                compute_cycles=compute,
+                blocking_noc_cycles=blocking_noc_cycles,
+                blocking_dram_cycles=blocking_dram,
+                prefetch_noc_cycles=prefetch_noc_cycles,
+                prefetch_dram_cycles=prefetch_dram,
+                round_cycles=round_time,
+            )
+        )
+        for a in rnd.atom_indices:
+            cost = dag.costs[a]
+            tl_intervals.append(
+                EngineInterval(
+                    engine=placement[a],
+                    round_index=rnd.index,
+                    atom=a,
+                    label=str(dag.atoms[a].atom_id),
+                    start=round_start + stall,
+                    duration=cost.cycles,
+                    macs=cost.macs,
+                    uses_pe_array=cost.uses_pe_array,
+                )
+            )
+        occupancy = self.noc.link_occupancy(
+            io.blocking_transfers + io.prefetch_transfers
+        )
+        for (src, dst), busy in sorted(occupancy.items()):
+            tl_links.append(LinkSample(rnd.index, src, dst, busy))
+        moved = (
+            io.blocking_dram_bytes
+            + io.prefetch_dram_bytes
+            + io.writeback_bytes
+        )
+        tl_hbm.append(
+            HbmSample(
+                round_index=rnd.index,
+                start=round_start,
+                duration=round_time,
+                bytes_read=io.blocking_dram_bytes + io.prefetch_dram_bytes,
+                bytes_written=io.writeback_bytes,
+                utilization=hbm.bandwidth_utilization(moved, round_time),
+            )
+        )
 
     # ------------------------------------------------------------- internals
 

@@ -1,0 +1,111 @@
+"""Tests for the AD7xx timeline validators."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import check_timeline
+from repro.config import ArchConfig, EngineConfig
+from repro.sim import simulate_timeline
+
+from .conftest import build_tiny_dag
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig(
+        mesh_rows=2, mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+
+
+@pytest.fixture(scope="module")
+def simulated(arch):
+    """(result, timeline) for the tiny conv chain on 4 engines."""
+    from repro.scheduling import schedule_greedy
+
+    dag = build_tiny_dag()
+    schedule = schedule_greedy(dag, arch.num_engines)
+    placement = {
+        a: slot
+        for rnd in schedule.rounds
+        for slot, a in enumerate(rnd.atom_indices)
+    }
+    return simulate_timeline(arch, dag, schedule, placement)
+
+
+def fired(report):
+    return report.fired_rule_ids()
+
+
+class TestPositive:
+    def test_real_timeline_is_clean(self, simulated):
+        result, tl = simulated
+        report = check_timeline(tl, result=result)
+        assert report.ok, report.render()
+
+    def test_result_is_optional(self, simulated):
+        _, tl = simulated
+        assert check_timeline(tl).ok
+
+
+class TestAD701:
+    def test_duplicated_interval_overlaps(self, simulated):
+        _, tl = simulated
+        longest = max(tl.intervals, key=lambda iv: iv.duration)
+        bad = replace(tl, intervals=tl.intervals + (longest,))
+        assert "AD701" in fired(check_timeline(bad))
+
+    def test_shifted_round_breaks_tiling(self, simulated):
+        _, tl = simulated
+        shifted = replace(tl.rounds[-1], start=tl.rounds[-1].start + 1)
+        bad = replace(tl, rounds=tl.rounds[:-1] + (shifted,))
+        assert "AD701" in fired(check_timeline(bad))
+
+    def test_escaped_interval_flagged(self, simulated):
+        _, tl = simulated
+        first = tl.intervals[0]
+        escaped = replace(first, start=tl.total_cycles)
+        bad = replace(tl, intervals=(escaped,) + tl.intervals[1:])
+        assert "AD701" in fired(check_timeline(bad))
+
+    def test_unknown_engine_flagged(self, simulated):
+        _, tl = simulated
+        rogue = replace(tl.intervals[0], engine=tl.num_engines + 3)
+        bad = replace(tl, intervals=(rogue,) + tl.intervals[1:])
+        assert "AD701" in fired(check_timeline(bad))
+
+
+class TestAD702:
+    def test_tampered_totals_flagged(self, simulated):
+        result, tl = simulated
+        bad = replace(result, total_cycles=result.total_cycles + 1)
+        assert "AD702" in fired(check_timeline(tl, result=bad))
+
+    def test_tampered_utilization_flagged(self, simulated):
+        result, tl = simulated
+        bad = replace(
+            result, pe_utilization=(result.pe_utilization + 0.5) % 1.0
+        )
+        assert "AD702" in fired(check_timeline(tl, result=bad))
+
+
+class TestAD703:
+    def test_link_over_budget_flagged(self, simulated):
+        _, tl = simulated
+        assert tl.links, "tiny chain should move data over the NoC"
+        hot = replace(tl.links[0], busy_cycles=tl.total_cycles + 1)
+        bad = replace(tl, links=(hot,) + tl.links[1:])
+        assert "AD703" in fired(check_timeline(bad))
+
+    def test_impossible_hbm_utilization_flagged(self, simulated):
+        _, tl = simulated
+        sat = replace(tl.hbm[0], utilization=1.5)
+        bad = replace(tl, hbm=(sat,) + tl.hbm[1:])
+        assert "AD703" in fired(check_timeline(bad))
+
+    def test_negative_traffic_flagged(self, simulated):
+        _, tl = simulated
+        neg = replace(tl.hbm[0], bytes_read=-1)
+        bad = replace(tl, hbm=(neg,) + tl.hbm[1:])
+        assert "AD703" in fired(check_timeline(bad))

@@ -1,0 +1,183 @@
+"""Tests for the Chrome trace / flamegraph / metrics-table exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SIM_PID,
+    chrome_trace_events,
+    flamegraph_summary,
+    metrics_summary,
+    trace_to_chrome,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord
+
+
+def make_span(
+    name,
+    start,
+    dur,
+    span_id,
+    parent=0,
+    pid=100,
+    tid=1,
+    category="search",
+    **args,
+):
+    return SpanRecord(
+        name=name,
+        category=category,
+        start_us=start,
+        duration_us=dur,
+        pid=pid,
+        tid=tid,
+        span_id=span_id,
+        parent_id=parent,
+        args=tuple(sorted(args.items())),
+    )
+
+
+@pytest.fixture
+def spans():
+    return [
+        make_span("optimize", 10.0, 100.0, 1, candidates=3),
+        make_span("search.phase", 20.0, 40.0, 2, parent=1),
+        make_span("search.phase", 60.0, 40.0, 3, parent=1),
+        make_span("executor.attempt", 25.0, 30.0, 4, pid=101,
+                  category="resilience"),
+    ]
+
+
+def begins_and_ends(events):
+    return (
+        [e for e in events if e["ph"] == "B"],
+        [e for e in events if e["ph"] == "E"],
+    )
+
+
+class TestChromeEvents:
+    def test_b_e_pairs_match_per_lane(self, spans):
+        events = chrome_trace_events(spans)
+        begins, ends = begins_and_ends(events)
+        assert len(begins) == len(ends) == len(spans)
+        # Per (pid, tid) lane the stream must be stack-valid.
+        stacks = {}
+        for e in events:
+            if e["ph"] == "B":
+                stacks.setdefault((e["pid"], e["tid"]), []).append(e["name"])
+            elif e["ph"] == "E":
+                assert stacks[(e["pid"], e["tid"])].pop() == e["name"]
+        assert all(not s for s in stacks.values())
+
+    def test_timestamps_monotonic_and_rebased(self, spans):
+        events = chrome_trace_events(spans)
+        ts = [e["ts"] for e in events if e["ph"] in "BE"]
+        assert ts == sorted(ts)
+        assert min(ts) == 0.0  # earliest span rebased to ts=0
+
+    def test_every_event_has_pid_and_tid(self, spans):
+        for e in chrome_trace_events(spans):
+            assert "pid" in e and "tid" in e
+
+    def test_span_args_and_category_forwarded(self, spans):
+        events = chrome_trace_events(spans)
+        begin = next(e for e in events if e["name"] == "optimize")
+        assert begin["cat"] == "search"
+        assert begin["args"]["candidates"] == 3
+
+    def test_json_round_trips(self, spans):
+        events = chrome_trace_events(spans)
+        assert json.loads(json.dumps(events)) == events
+
+    def test_zero_length_span_stays_stack_valid(self):
+        spans = [
+            make_span("outer", 10.0, 0.0, 1),
+            make_span("inner", 10.0, 0.0, 2, parent=1),
+        ]
+        events = chrome_trace_events(spans)
+        order = [(e["ph"], e["name"]) for e in events if e["ph"] in "BE"]
+        assert order == [
+            ("B", "outer"), ("B", "inner"), ("E", "inner"), ("E", "outer"),
+        ]
+
+
+class TestTraceFile:
+    def test_trace_to_chrome_writes_valid_json(self, spans, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = trace_to_chrome(path, spans, metadata={"workload": "w"})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        assert on_disk["displayTimeUnit"] == "ms"
+        assert on_disk["otherData"]["workload"] == "w"
+        assert len(on_disk["traceEvents"]) >= 2 * len(spans)
+
+    def test_timeline_view_lands_on_the_sim_pid(self, spans, tmp_path, arch_2x2):
+        timeline = simulate_tiny_timeline(arch_2x2)
+        doc = trace_to_chrome(tmp_path / "t.json", spans, timeline)
+        sim_events = [
+            e for e in doc["traceEvents"] if e["pid"] == SIM_PID
+        ]
+        assert any(e["ph"] == "X" for e in sim_events)
+        assert any(e["ph"] == "C" for e in sim_events)
+
+
+class TestTextSummaries:
+    def test_flamegraph_aggregates_by_path(self, spans):
+        text = flamegraph_summary(spans)
+        assert "optimize" in text
+        # The two sibling phases fold into one row with two calls.
+        assert "search.phase" in text
+        assert "  2  " in text or "2 " in text
+
+    def test_flamegraph_empty(self):
+        assert flamegraph_summary([]) == "(no spans recorded)"
+
+    def test_metrics_summary_renders_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("search.candidates").inc(3)
+        reg.gauge("pool.size").set(4)
+        reg.histogram("seconds").observe(0.5)
+        text = metrics_summary(reg.snapshot())
+        assert "search.candidates" in text
+        assert "pool.size" in text
+        assert "seconds" in text and "mean" in text
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+@pytest.fixture
+def arch_2x2():
+    from repro.config import ArchConfig, EngineConfig
+
+    return ArchConfig(
+        mesh_rows=2,
+        mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+
+
+def simulate_tiny_timeline(arch):
+    from repro.atoms import TileSize, build_atomic_dag, uniform_tiling
+    from repro.engine import EngineCostModel, get_dataflow
+    from repro.ir import GraphBuilder
+    from repro.scheduling import schedule_greedy
+    from repro.sim import simulate_timeline
+
+    b = GraphBuilder(name="tiny")
+    x = b.input(8, 8, 4)
+    c1 = b.conv(x, 8, kernel=3, name="c1")
+    b.conv(c1, 8, kernel=1, name="c2")
+    g = b.build()
+    cm = EngineCostModel(arch.engine, get_dataflow("kc"))
+    dag = build_atomic_dag(g, uniform_tiling(g, TileSize(4, 8, 8, 8)), cm)
+    schedule = schedule_greedy(dag, arch.num_engines)
+    placement = {
+        a: slot
+        for rnd in schedule.rounds
+        for slot, a in enumerate(rnd.atom_indices)
+    }
+    _, timeline = simulate_timeline(arch, dag, schedule, placement)
+    return timeline

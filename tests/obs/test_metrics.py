@@ -1,0 +1,110 @@
+"""Tests for the metrics registry: instruments, snapshots, merging."""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    reset_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        assert reg.snapshot().counters["c"] == 3.5
+
+    def test_gauge_keeps_last_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        reg.gauge("g").set(-4.0)
+        assert reg.snapshot().gauges["g"] == -4.0
+
+    def test_histogram_buckets_and_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.max == 50.0
+        assert h.quantile(0.0) == 0.0
+        # Half the samples sit in the first bucket, so the median is its
+        # upper edge; the top quantile clamps to the observed max.
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 50.0
+        assert h.mean == pytest.approx((0.5 + 0.7 + 5.0 + 50.0) / 4)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_cross_type_name_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+
+class TestSnapshots:
+    def test_to_dict_from_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        assert MetricsSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(ValueError):
+            MetricsSnapshot.from_dict({"counters": 3})
+
+    def test_snapshot_and_reset_clears_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        snap = reg.snapshot_and_reset()
+        assert snap.counters["c"] == 5
+        assert reg.snapshot().counters["c"] == 0
+
+    def test_merge_adds_counters_and_maxes_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(100.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap.counters["c"] == 5
+        assert snap.gauges["g"] == 9.0
+        assert snap.histograms["h"]["count"] == 2
+        assert snap.histograms["h"]["max"] == 100.0
+
+    def test_merge_mismatched_histogram_bounds_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", buckets=(5.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+
+class TestGlobals:
+    def test_get_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_reset_registry_discards_values(self):
+        get_registry().counter("c").inc()
+        reset_registry()
+        assert "c" not in get_registry().snapshot().counters

@@ -1,0 +1,178 @@
+"""Tests for the span tracer: nesting, ids, enable/disable, hand-off."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    SpanRecord,
+    Tracer,
+    _NOOP_SPAN,
+    absorb_observations,
+    disable_tracing,
+    drain_observations,
+    enable_tracing,
+    ensure_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracing():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        assert not get_tracer().enabled
+
+    def test_noop_span_is_a_shared_singleton(self):
+        a = get_tracer().span("x")
+        b = get_tracer().span("y", category="sim", index=3)
+        assert a is b is _NOOP_SPAN
+
+    def test_noop_span_records_nothing(self):
+        with span("x", category="sim"):
+            pass
+        spans, metrics = drain_observations()
+        assert spans == []
+
+
+class TestRecording:
+    def test_nesting_sets_parent_ids(self):
+        enable_tracing()
+        with span("outer") as outer:
+            with span("inner"):
+                pass
+        records = {r.name: r for r in get_tracer().drain()}
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["outer"].parent_id == 0
+        assert outer.span_id == records["outer"].span_id
+
+    def test_sibling_spans_share_a_parent(self):
+        enable_tracing()
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        records = {r.name: r for r in get_tracer().drain()}
+        assert records["a"].parent_id == records["root"].span_id
+        assert records["b"].parent_id == records["root"].span_id
+
+    def test_span_ids_unique_across_threads(self):
+        enable_tracing()
+
+        def work():
+            for _ in range(50):
+                with span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = get_tracer().drain()
+        assert len(records) == 200
+        assert len({r.span_id for r in records}) == 200
+
+    def test_thread_stacks_are_independent(self):
+        enable_tracing()
+        seen = []
+
+        def work():
+            with span("child"):
+                pass
+            seen.append(True)
+
+        with span("main-root"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        records = {r.name: r for r in get_tracer().drain()}
+        # The other thread's span must not adopt this thread's open span.
+        assert records["child"].parent_id == 0
+        assert seen == [True]
+
+    def test_durations_are_nonnegative_and_ordered(self):
+        enable_tracing()
+        with span("outer"):
+            with span("inner"):
+                pass
+        records = {r.name: r for r in get_tracer().drain()}
+        assert records["inner"].duration_us >= 0
+        assert records["outer"].duration_us >= records["inner"].duration_us
+        assert records["outer"].start_us <= records["inner"].start_us
+
+    def test_args_are_sorted_pairs(self):
+        enable_tracing()
+        with span("x", b=2, a=1):
+            pass
+        (rec,) = get_tracer().drain()
+        assert rec.args == (("a", 1), ("b", 2))
+
+
+class TestLifecycle:
+    def test_enable_returns_recording_tracer(self):
+        tracer = enable_tracing()
+        assert tracer.enabled and tracing_enabled()
+        assert isinstance(tracer, Tracer)
+
+    def test_ensure_keeps_an_already_active_tracer(self):
+        first = enable_tracing()
+        with span("kept"):
+            pass
+        second = ensure_tracing()
+        assert second is first
+        assert [r.name for r in get_tracer().spans] == ["kept"]
+
+    def test_ensure_enables_when_disabled(self):
+        assert not tracing_enabled()
+        ensure_tracing()
+        assert tracing_enabled()
+
+    def test_disable_discards_the_recorder(self):
+        enable_tracing()
+        with span("x"):
+            pass
+        disable_tracing()
+        assert get_tracer().drain() == []
+
+
+class TestHandOff:
+    def test_drain_then_absorb_round_trips(self):
+        enable_tracing()
+        with span("shipped", category="sim"):
+            pass
+        spans, metrics = drain_observations()
+        assert [s.name for s in spans] == ["shipped"]
+        assert get_tracer().spans == ()
+        # Simulate the parent side: absorb what the worker drained.
+        absorb_observations(spans, metrics)
+        assert [s.name for s in get_tracer().spans] == ["shipped"]
+
+    def test_records_pickle(self):
+        enable_tracing()
+        with span("x", index=7):
+            pass
+        spans, _ = drain_observations()
+        assert pickle.loads(pickle.dumps(spans)) == spans
+
+    def test_record_dict_round_trip(self):
+        rec = SpanRecord(
+            name="n", category="sim", start_us=1.0, duration_us=2.0,
+            pid=1, tid=2, span_id=3, parent_id=0, args=(("k", "v"),),
+        )
+        assert SpanRecord.from_dict(rec.to_dict()) == rec
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(ValueError):
+            SpanRecord.from_dict({"name": "x"})

@@ -1,0 +1,138 @@
+"""Tests for SimTimeline: accounting identities, RunResult agreement."""
+
+import json
+import math
+
+import pytest
+
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig, EngineConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import get_model
+from repro.sim import SimTimeline, SystemSimulator, simulate_timeline
+
+MODELS = ("vgg19_bench", "mobilenet_v2_bench")
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig(
+        mesh_rows=2, mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+
+
+@pytest.fixture(scope="module", params=MODELS)
+def solved(request, arch):
+    """(outcome, result, timeline) for one optimized zoo workload."""
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=8), restarts=2, seed=11
+    )
+    outcome = AtomicDataflowOptimizer(
+        get_model(request.param), arch, options
+    ).optimize()
+    result, timeline = simulate_timeline(
+        arch, outcome.dag, outcome.schedule, outcome.placement
+    )
+    return outcome, result, timeline
+
+
+class TestAgainstRunResult:
+    def test_totals_match(self, solved):
+        outcome, result, tl = solved
+        assert result.total_cycles == outcome.result.total_cycles
+        assert tl.total_cycles == result.total_cycles
+        assert tl.compute_cycles == result.compute_cycles
+        assert len(tl.rounds) == result.num_rounds
+
+    def test_pe_utilization_recomputes_exactly(self, solved):
+        _, result, tl = solved
+        assert math.isclose(
+            tl.pe_utilization(), result.pe_utilization, rel_tol=1e-12
+        )
+
+    def test_run_timeline_matches_plain_run(self, solved, arch):
+        outcome, result, _ = solved
+        plain = SystemSimulator(arch, outcome.dag).run(
+            outcome.schedule, outcome.placement
+        )
+        assert plain == result
+
+
+class TestAccounting:
+    def test_busy_stall_idle_sums_to_total(self, solved):
+        _, _, tl = solved
+        for acc in tl.accounting():
+            assert acc.busy_cycles >= 0
+            assert acc.stall_cycles >= 0
+            assert acc.idle_cycles >= 0
+            assert (
+                acc.busy_cycles + acc.stall_cycles + acc.idle_cycles
+                == tl.total_cycles
+            )
+
+    def test_rounds_tile_the_axis(self, solved):
+        _, _, tl = solved
+        cursor = 0
+        for rw in tl.rounds:
+            assert rw.start == cursor
+            cursor = rw.end
+        assert cursor == tl.total_cycles
+
+    def test_intervals_stay_inside_their_round(self, solved):
+        _, _, tl = solved
+        windows = {rw.index: rw for rw in tl.rounds}
+        for iv in tl.intervals:
+            rw = windows[iv.round_index]
+            assert iv.start >= rw.start + rw.stall_cycles
+            assert iv.end <= rw.end
+
+    def test_no_engine_overlap(self, solved):
+        _, _, tl = solved
+        for engine in range(tl.num_engines):
+            ivs = tl.busy_intervals(engine)
+            for prev, cur in zip(ivs, ivs[1:]):
+                assert cur.start >= prev.end
+
+    def test_every_atom_appears_once(self, solved):
+        outcome, _, tl = solved
+        atoms = sorted(iv.atom for iv in tl.intervals)
+        assert atoms == list(range(outcome.dag.num_atoms))
+
+
+class TestSamples:
+    def test_link_occupancy_within_round_budget(self, solved):
+        _, _, tl = solved
+        budget = {
+            rw.index: rw.blocking_noc_cycles + rw.prefetch_noc_cycles
+            for rw in tl.rounds
+        }
+        assert tl.links, "expected at least one NoC link sample"
+        for ls in tl.links:
+            assert 0 <= ls.busy_cycles <= budget[ls.round_index]
+
+    def test_hbm_sample_per_round(self, solved):
+        _, _, tl = solved
+        assert len(tl.hbm) == len(tl.rounds)
+        for hs in tl.hbm:
+            assert 0.0 <= hs.utilization <= 1.0
+            assert hs.bytes_read >= 0 and hs.bytes_written >= 0
+
+    def test_round_bound_by_is_classified(self, solved):
+        _, _, tl = solved
+        assert {rw.bound_by for rw in tl.rounds} <= {"compute", "noc", "dram"}
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, solved):
+        _, _, tl = solved
+        assert SimTimeline.from_dict(tl.to_dict()) == tl
+
+    def test_json_round_trip(self, solved):
+        _, _, tl = solved
+        doc = json.loads(json.dumps(tl.to_dict()))
+        assert SimTimeline.from_dict(doc) == tl
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(ValueError):
+            SimTimeline.from_dict({"workload": "x"})

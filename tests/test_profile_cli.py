@@ -1,0 +1,137 @@
+"""Tests for the CLI profiling surface: --profile, profile, --verbose."""
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import disable_tracing
+from repro.obs.log import LOGGER_NAME
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_afterwards():
+    yield
+    disable_tracing()
+
+
+@pytest.fixture(scope="module")
+def profiled(tmp_path_factory):
+    """(exit code, trace document, stdout is checked by callers)."""
+    tmp = tmp_path_factory.mktemp("profile-cli")
+    trace = tmp / "trace.json"
+    sol = tmp / "sol.json"
+    rc = main(
+        [
+            "optimize", "--model", "resnet50_bench", "--mesh", "2x2",
+            "--sa-iterations", "4", "--restarts", "2", "--seed", "3",
+            "--jobs", "2",
+            "--save", str(sol),
+            "--profile", str(trace),
+        ]
+    )
+    return rc, json.loads(trace.read_text()), sol
+
+
+class TestOptimizeProfile:
+    def test_exit_code_and_document_shape(self, profiled):
+        rc, doc, _ = profiled
+        assert rc == 0
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["workload"]
+        assert doc["traceEvents"]
+
+    def test_spans_from_all_four_layers(self, profiled):
+        _, doc, _ = profiled
+        cats = {
+            e.get("cat")
+            for e in doc["traceEvents"]
+            if e["ph"] in "BE"
+        }
+        assert {"search", "sa", "resilience", "sim"} <= cats
+
+    def test_timestamps_monotonic(self, profiled):
+        _, doc, _ = profiled
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] in "BE"]
+        assert ts == sorted(ts)
+
+    def test_b_e_pairs_match(self, profiled):
+        _, doc, _ = profiled
+        stacks = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "B":
+                stacks.setdefault((e["pid"], e["tid"]), []).append(e["name"])
+            elif e["ph"] == "E":
+                assert stacks[(e["pid"], e["tid"])].pop() == e["name"]
+        assert all(not s for s in stacks.values())
+
+    def test_every_event_addressable(self, profiled):
+        _, doc, _ = profiled
+        for e in doc["traceEvents"]:
+            assert "pid" in e and "tid" in e and "ph" in e
+
+    def test_simulated_timeline_included(self, profiled):
+        _, doc, _ = profiled
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases  # engine intervals
+        assert "C" in phases  # HBM / NoC counters
+
+    def test_tracing_left_disabled(self, profiled):
+        from repro.obs import tracing_enabled
+
+        assert profiled[0] == 0
+        assert not tracing_enabled()
+
+
+class TestProfileSubcommand:
+    def test_reports_and_checks_a_saved_solution(self, profiled, capsys, tmp_path):
+        _, _, sol = profiled
+        out_trace = tmp_path / "timeline.json"
+        rc = main(
+            [
+                "profile", "--model", "resnet50_bench", "--mesh", "2x2",
+                "--solution", str(sol), "--out", str(out_trace),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "busy" in out and "stall" in out and "idle" in out
+        assert "timeline check    : clean" in out
+        doc = json.loads(out_trace.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_missing_solution_fails_cleanly(self, tmp_path, capsys):
+        rc = main(
+            [
+                "profile", "--model", "resnet50_bench", "--mesh", "2x2",
+                "--solution", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestVerbose:
+    def test_flag_parses_and_counts(self):
+        args = build_parser().parse_args(["-vv", "models"])
+        assert args.verbose == 2
+        assert build_parser().parse_args(["models"]).verbose == 0
+
+    def test_verbose_emits_search_lifecycle_logs(self, caplog):
+        try:
+            rc = main(
+                [
+                    "-v", "optimize", "--model", "vgg19_bench",
+                    "--mesh", "2x2", "--sa-iterations", "4",
+                ]
+            )
+        finally:
+            # Reset the level so later tests are not flooded.
+            logging.getLogger(LOGGER_NAME).setLevel(logging.WARNING)
+            for h in logging.getLogger(LOGGER_NAME).handlers:
+                h.setLevel(logging.WARNING)
+        assert rc == 0
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("optimizing" in m for m in messages)
+        assert any("selected" in m for m in messages)

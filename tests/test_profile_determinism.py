@@ -1,0 +1,103 @@
+"""The determinism gate: profiling must never change what the search does.
+
+The observability layer's contract is that a profiled run is
+bit-identical to an unprofiled one — same decisions, same winner, same
+saved solution — at any worker count.  These tests are that contract.
+"""
+
+import json
+
+import pytest
+
+from repro.atoms.generation import SAParams
+from repro.cli import main
+from repro.config import ArchConfig, EngineConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import get_model
+from repro.obs import disable_tracing, enable_tracing, reset_registry
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_afterwards():
+    yield
+    disable_tracing()
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig(
+        mesh_rows=2, mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+
+
+def run_search(model, arch, jobs, profile):
+    if profile:
+        enable_tracing()
+        reset_registry()
+    else:
+        disable_tracing()
+    try:
+        options = OptimizerOptions(
+            sa_params=SAParams(max_iterations=8),
+            restarts=3,
+            seed=11,
+            jobs=jobs,
+        )
+        return AtomicDataflowOptimizer(
+            get_model(model), arch, options
+        ).optimize()
+    finally:
+        disable_tracing()
+
+
+def decisions(outcome):
+    return [
+        (t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles)
+        for t in outcome.traces
+    ]
+
+
+@pytest.mark.parametrize("model", ["vgg19_bench", "mobilenet_v2_bench"])
+class TestProfiledRunsAreBitIdentical:
+    def test_at_jobs_1_and_jobs_4(self, model, arch):
+        reference = run_search(model, arch, jobs=1, profile=False)
+        for jobs in (1, 4):
+            profiled = run_search(model, arch, jobs=jobs, profile=True)
+            assert decisions(profiled) == decisions(reference)
+            assert (
+                profiled.result.total_cycles == reference.result.total_cycles
+            )
+            assert profiled.placement == reference.placement
+            assert [r.atom_indices for r in profiled.schedule.rounds] == [
+                r.atom_indices for r in reference.schedule.rounds
+            ]
+        unprofiled_parallel = run_search(model, arch, jobs=4, profile=False)
+        assert decisions(unprofiled_parallel) == decisions(reference)
+
+
+def normalized_solution(path):
+    """A saved solution with wall-clock-dependent fields stripped."""
+    doc = json.loads(path.read_text())
+    search = doc.get("search", {})
+    search.pop("search_seconds", None)
+    for trace in search.get("traces", []):
+        trace.pop("seconds", None)
+    return doc
+
+
+class TestCliSolutionIdentity:
+    def test_profile_flag_does_not_change_the_saved_solution(self, tmp_path):
+        base = [
+            "optimize", "--model", "vgg19_bench", "--mesh", "2x2",
+            "--sa-iterations", "8", "--restarts", "2", "--seed", "11",
+        ]
+        plain, profiled = tmp_path / "plain.json", tmp_path / "profiled.json"
+        assert main(base + ["--save", str(plain)]) == 0
+        assert main(
+            base
+            + ["--save", str(profiled)]
+            + ["--profile", str(tmp_path / "trace.json")]
+        ) == 0
+        assert normalized_solution(plain) == normalized_solution(profiled)
+        assert (tmp_path / "trace.json").exists()

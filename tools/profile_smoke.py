@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Profiling smoke benchmark: tracing must not perturb or slow the search.
+
+Runs the staged pipeline on two reduced zoo workloads with a fixed seed,
+at ``jobs=1`` and ``jobs=2``, each once unprofiled and once with the span
+tracer recording, and asserts:
+
+* **determinism** — every search decision (label, fingerprint, verdict,
+  cycles) is bit-identical across all four arms;
+* **disabled overhead** — the no-op tracer's measured per-span cost,
+  multiplied by the span count a profiled run actually records, stays
+  under 5% of the unprofiled wall time (the cost an always-on
+  instrumentation point imposes on users who never profile).
+
+Writes ``BENCH_profile.json`` with wall times, span/metric counts, and
+the overhead estimate, plus a sample Chrome trace-event file
+(``--trace-out``) that CI uploads so a real trace of every merge is one
+click away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.atoms.generation import SAParams  # noqa: E402
+from repro.config import ArchConfig  # noqa: E402
+from repro.framework import (  # noqa: E402
+    AtomicDataflowOptimizer,
+    OptimizerOptions,
+)
+from repro.models import get_model  # noqa: E402
+from repro.obs import (  # noqa: E402
+    disable_tracing,
+    drain_observations,
+    enable_tracing,
+    get_tracer,
+    reset_registry,
+    trace_to_chrome,
+)
+from repro.sim import simulate_timeline  # noqa: E402
+
+MODELS = ("vgg19_bench", "mobilenet_v2_bench")
+
+#: Disabled-tracer overhead budget, as a fraction of unprofiled wall time.
+OVERHEAD_BUDGET = 0.05
+
+ARCH = ArchConfig(mesh_rows=2, mesh_cols=2)
+
+
+def run_arm(model: str, jobs: int, seed: int, profile: bool) -> dict:
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=24),
+        restarts=3,
+        seed=seed,
+        jobs=jobs,
+    )
+    if profile:
+        enable_tracing()
+        reset_registry()
+    else:
+        disable_tracing()
+    try:
+        t0 = time.perf_counter()
+        outcome = AtomicDataflowOptimizer(
+            get_model(model), ARCH, options
+        ).optimize()
+        wall = time.perf_counter() - t0
+        spans, metrics = drain_observations() if profile else ([], {})
+    finally:
+        disable_tracing()
+    return {
+        "jobs": jobs,
+        "profiled": profile,
+        "wall_seconds": round(wall, 3),
+        "spans": len(spans),
+        "counters": len(metrics.get("counters", {})),
+        "total_cycles": outcome.result.total_cycles,
+        "decisions": [
+            [t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles]
+            for t in outcome.traces
+        ],
+        "_outcome": outcome,
+        "_spans": spans,
+    }
+
+
+def noop_span_cost_ns(iterations: int = 200_000) -> float:
+    """Measured cost of one disabled-tracer span, in nanoseconds."""
+    disable_tracing()
+    tracer = get_tracer()
+    t0 = time.perf_counter_ns()
+    for i in range(iterations):
+        with tracer.span("overhead.probe", category="bench", index=i):
+            pass
+    return (time.perf_counter_ns() - t0) / iterations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_profile.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--trace-out", default="profile_sample_trace.json",
+        help="sample Chrome trace written from the last profiled run",
+    )
+    args = parser.parse_args(argv)
+
+    ns_per_span = noop_span_cost_ns()
+    report: dict = {
+        "benchmark": "profile-smoke",
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "noop_span_ns": round(ns_per_span, 1),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "workloads": {},
+    }
+    failed = False
+    sample = None
+    for model in MODELS:
+        arms = [
+            run_arm(model, jobs, args.seed, profile)
+            for jobs in (1, 2)
+            for profile in (False, True)
+        ]
+        baseline = arms[0]
+        diverged = False
+        for arm in arms[1:]:
+            if arm["decisions"] != baseline["decisions"]:
+                print(
+                    f"FAIL {model}: jobs={arm['jobs']} "
+                    f"profiled={arm['profiled']} diverged from the "
+                    "unprofiled jobs=1 run",
+                    file=sys.stderr,
+                )
+                diverged = True
+                failed = True
+        profiled = arms[1]  # jobs=1, profiled
+        overhead = ns_per_span * profiled["spans"] / (
+            baseline["wall_seconds"] * 1e9
+        )
+        if overhead > OVERHEAD_BUDGET:
+            print(
+                f"FAIL {model}: disabled-tracer overhead estimate "
+                f"{overhead:.2%} exceeds the {OVERHEAD_BUDGET:.0%} budget",
+                file=sys.stderr,
+            )
+            failed = True
+        sample = arms[-1]  # jobs=2, profiled: richest trace
+        report["workloads"][model] = {
+            "arms": [
+                {k: v for k, v in arm.items() if not k.startswith("_")}
+                for arm in arms
+            ],
+            "disabled_overhead_fraction": round(overhead, 6),
+            "decisions_identical": not diverged,
+        }
+        for arm in arms:
+            del arm["decisions"]
+        print(
+            f"{model}: unprofiled {baseline['wall_seconds']:.2f}s, "
+            f"profiled {profiled['wall_seconds']:.2f}s "
+            f"({profiled['spans']} spans), disabled overhead "
+            f"{overhead:.3%} of wall"
+        )
+
+    if sample is not None:
+        outcome = sample["_outcome"]
+        _, timeline = simulate_timeline(
+            ARCH,
+            outcome.dag,
+            outcome.schedule,
+            outcome.placement,
+            strategy=outcome.result.strategy,
+        )
+        trace_to_chrome(
+            args.trace_out,
+            sample["_spans"],
+            timeline,
+            metadata={"benchmark": "profile-smoke", "seed": args.seed},
+        )
+        print(f"sample trace written to {args.trace_out}")
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(f"report written to {args.out} (cpu_count={report['cpu_count']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
