@@ -8,14 +8,28 @@ unified DAG of ``#Batch`` identical sub-DAGs.
 
 Atoms are indexed densely (0..num_atoms-1) so schedulers can use flat
 arrays; :class:`AtomId` remains available for reporting.
+
+The builder is array-first: each layer's tile lattice is priced in one
+vectorized :meth:`~repro.engine.batch.CostKernel.price_regions` call, and
+dependency edges are derived per (consumer layer, input) from the
+separable per-axis halo spans instead of per-atom Python region math.
+Costs land in the structure-of-arrays :class:`~repro.atoms.table.
+AtomCostTable`; scheduling and mapping read the flat ``atom_cycles`` /
+``atom_weight_bytes`` lists, while per-atom :class:`EngineCost` objects
+stay available as lazy views for the simulator and validators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.atoms.atom import Atom, AtomId, TileSize
-from repro.atoms.partition import TileGrid, grid_for
+from repro.atoms.partition import TileGrid, grid_bounds, grid_for
+from repro.atoms.table import AtomCostTable
+from repro.engine.batch import concat_overlap_mask, input_span_arrays
 from repro.engine.cost_model import EngineCost, EngineCostModel
 from repro.ir.graph import Graph
 from repro.ir.ops import Concat, Input
@@ -34,7 +48,9 @@ class AtomicDAG:
         atoms: All atoms.
         preds: Predecessor atom indices per atom (deduplicated, sorted).
         succs: Successor atom indices per atom.
-        costs: Per-atom engine cost (cycles, traffic) from the cost model.
+        costs: Per-atom engine cost (cycles, traffic) from the cost model —
+            an :class:`~repro.atoms.table.AtomCostTable` when built by
+            :func:`build_atomic_dag`, a plain list otherwise.
         layer_depth: Layer id -> longest-path depth in the layer graph.
         dram_input_bytes: Per-atom bytes that must come from DRAM because
             the producer is the network input (no on-chip producer).
@@ -49,16 +65,58 @@ class AtomicDAG:
     atoms: list[Atom] = field(default_factory=list)
     preds: list[tuple[int, ...]] = field(default_factory=list)
     succs: list[tuple[int, ...]] = field(default_factory=list)
-    costs: list[EngineCost] = field(default_factory=list)
+    costs: Sequence[EngineCost] = field(default_factory=list)
     layer_depth: dict[int, int] = field(default_factory=dict)
     dram_input_bytes: list[int] = field(default_factory=list)
     grids: dict[int, TileGrid] = field(default_factory=dict)
     edge_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
     _base: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+    _atom_cycles: list[int] | None = field(default=None, repr=False)
+    _atom_weight_bytes: list[int] | None = field(default=None, repr=False)
+    _atom_ofmap_bytes: list[int] | None = field(default=None, repr=False)
 
     @property
     def num_atoms(self) -> int:
         return len(self.atoms)
+
+    @property
+    def atom_cycles(self) -> list[int]:
+        """Flat per-atom cycle list (index-aligned with :attr:`atoms`).
+
+        The scheduler/mapping hot paths read this instead of touching an
+        :class:`EngineCost` object per atom.  Derived lazily from
+        :attr:`costs` for hand-built DAGs; do not mutate ``costs`` after
+        first access.
+        """
+        if self._atom_cycles is None:
+            table = self.costs
+            if isinstance(table, AtomCostTable):
+                self._atom_cycles = table.cycles
+            else:
+                self._atom_cycles = [c.cycles for c in table]
+        return self._atom_cycles
+
+    @property
+    def atom_weight_bytes(self) -> list[int]:
+        """Flat per-atom weight-traffic list (see :attr:`atom_cycles`)."""
+        if self._atom_weight_bytes is None:
+            table = self.costs
+            if isinstance(table, AtomCostTable):
+                self._atom_weight_bytes = table.weight_bytes
+            else:
+                self._atom_weight_bytes = [c.weight_bytes for c in table]
+        return self._atom_weight_bytes
+
+    @property
+    def atom_ofmap_bytes(self) -> list[int]:
+        """Flat per-atom output-traffic list (see :attr:`atom_cycles`)."""
+        if self._atom_ofmap_bytes is None:
+            table = self.costs
+            if isinstance(table, AtomCostTable):
+                self._atom_ofmap_bytes = table.ofmap_bytes
+            else:
+                self._atom_ofmap_bytes = [c.ofmap_bytes for c in table]
+        return self._atom_ofmap_bytes
 
     def index_of(self, atom_id: AtomId) -> int:
         """Dense index of an atom by identity.
@@ -84,7 +142,7 @@ class AtomicDAG:
         Atoms of the same layer covering the same output-channel tile share
         one weight slice; scheduling them on one engine reuses it.
         """
-        if self.costs[atom_index].weight_bytes == 0:
+        if self.atom_weight_bytes[atom_index] == 0:
             return None
         atom = self.atoms[atom_index]
         grid = self.grids[atom.layer]
@@ -92,7 +150,7 @@ class AtomicDAG:
 
     def total_compute_cycles(self) -> int:
         """Sum of per-atom engine cycles (the serial lower bound's numerator)."""
-        return sum(c.cycles for c in self.costs)
+        return sum(self.atom_cycles)
 
     def indegrees(self) -> list[int]:
         """Fresh indegree array for scheduler initialization."""
@@ -162,51 +220,173 @@ def build_atomic_dag(
         )
         dag.grids[node.node_id] = grid_for(shape, tile, in_channels)
 
+    # Price each layer's whole tile lattice in one vectorized kernel call;
+    # batch samples share the same tiles, so one pricing serves them all
+    # (the scalar path's memo produced the same sharing, query by query).
+    kernel = cost_model.kernel
+    bounds_of: dict[int, np.ndarray] = {}
+    columns_of: dict[int, tuple] = {}
+    for node in layer_nodes:
+        bounds = grid_bounds(dag.grids[node.node_id])
+        bounds_of[node.node_id] = bounds
+        in_shapes = graph.input_shapes(node.node_id)
+        arrays = kernel.price_regions(node.op, in_shapes, bounds)
+        columns_of[node.node_id] = (
+            arrays.cycles.tolist(),
+            arrays.macs.tolist(),
+            arrays.pe_utilization.tolist(),
+            arrays.uses_pe_array,
+            arrays.ifmap_bytes.tolist(),
+            arrays.weight_bytes.tolist(),
+            arrays.ofmap_bytes.tolist(),
+        )
+
+    table = AtomCostTable()
+    dag.costs = table
     for sample in range(batch):
         for node in layer_nodes:
             grid = dag.grids[node.node_id]
             dag._base[(sample, node.node_id)] = len(dag.atoms)
-            in_shapes = graph.input_shapes(node.node_id)
             for x in range(grid.num_tiles):
                 region = grid.region(x)
-                atom = Atom(AtomId(sample, node.node_id, x), region)
-                dag.atoms.append(atom)
-                dag.costs.append(cost_model.cost(node.op, in_shapes, region))
-                dag.preds.append(())
-                dag.succs.append(())
-                dag.dram_input_bytes.append(0)
+                dag.atoms.append(Atom(AtomId(sample, node.node_id, x), region))
+            table.extend_columns(*columns_of[node.node_id])
+    num = dag.num_atoms
+    dag.preds = [()] * num
+    dag.succs = [()] * num
+    dag.dram_input_bytes = [0] * num
+    dag._atom_cycles = table.cycles
+    dag._atom_weight_bytes = table.weight_bytes
 
-    succs_mut: list[list[int]] = [[] for _ in range(dag.num_atoms)]
+    # Edges, derived for sample 0 and replicated: the atom layout is
+    # sample-major with identical per-sample blocks, so every index shifts
+    # by a fixed stride per sample.
+    per_sample = num // batch
+    succs_mut: list[list[int]] = [[] for _ in range(num)]
     bpe = cost_model.bytes_per_element
-    for sample in range(batch):
-        for node in layer_nodes:
-            in_shapes = graph.input_shapes(node.node_id)
-            grid = dag.grids[node.node_id]
-            base = dag._base[(sample, node.node_id)]
-            for x in range(grid.num_tiles):
-                gi = base + x
-                region = dag.atoms[gi].region
-                pred_bytes: dict[int, int] = {}
-                for idx, src in enumerate(node.inputs):
-                    if isinstance(node.op, Concat) and not node.op.overlaps_input(
-                        idx, in_shapes, region
-                    ):
-                        continue
-                    in_region = node.op.input_region(idx, in_shapes, region)
-                    if src in input_ids:
-                        dag.dram_input_bytes[gi] += in_region.num_elements * bpe
-                        continue
-                    src_base = dag._base[(sample, src)]
-                    src_grid = dag.grids[src]
-                    for t in src_grid.tiles_covering(in_region):
-                        overlap = src_grid.region(t).intersection(in_region)
-                        nbytes = overlap.num_elements * bpe if overlap else 0
-                        p = src_base + t
-                        pred_bytes[p] = pred_bytes.get(p, 0) + nbytes
-                preds = tuple(sorted(pred_bytes))
+    for node in layer_nodes:
+        in_shapes = graph.input_shapes(node.node_id)
+        statics = kernel.statics(node.op, in_shapes)
+        bounds = bounds_of[node.node_id]
+        base0 = dag._base[(0, node.node_id)]
+        n_tiles = len(bounds)
+        dram = np.zeros(n_tiles, dtype=np.int64)
+        cons_parts: list[np.ndarray] = []
+        prod_parts: list[np.ndarray] = []
+        byte_parts: list[np.ndarray] = []
+        for idx, src in enumerate(node.inputs):
+            if isinstance(node.op, Concat):
+                sel = np.nonzero(concat_overlap_mask(statics, idx, bounds))[0]
+                if not len(sel):
+                    continue
+                b = bounds[sel]
+            else:
+                sel = np.arange(n_tiles, dtype=np.int64)
+                b = bounds
+            h_lo, h_hi, w_lo, w_hi, c_lo, c_hi = input_span_arrays(
+                statics, idx, b
+            )
+            if src in input_ids:
+                dram[sel] += (
+                    (h_hi - h_lo + 1) * (w_hi - w_lo + 1) * (c_hi - c_lo + 1)
+                ) * bpe
+                continue
+            src_grid = dag.grids[src]
+            src_shape = src_grid.shape
+            th, tw, tc = src_grid.tile.h, src_grid.tile.w, src_grid.tile.co
+            # Clip to the producer tensor (tiles_covering's clipped_to).
+            h_lo = np.maximum(h_lo, 0)
+            h_hi = np.minimum(h_hi, src_shape.height - 1)
+            w_lo = np.maximum(w_lo, 0)
+            w_hi = np.minimum(w_hi, src_shape.width - 1)
+            c_lo = np.maximum(c_lo, 0)
+            c_hi = np.minimum(c_hi, src_shape.channels - 1)
+            ih_lo, ih_hi = h_lo // th, h_hi // th
+            iw_lo, iw_hi = w_lo // tw, w_hi // tw
+            ic_lo, ic_hi = c_lo // tc, c_hi // tc
+            nh = ih_hi - ih_lo + 1
+            nw = iw_hi - iw_lo + 1
+            nc = ic_hi - ic_lo + 1
+            counts = nh * nw * nc
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            rep = np.repeat(np.arange(len(b), dtype=np.int64), counts)
+            local = np.arange(total, dtype=np.int64) - offsets[rep]
+            nwc = (nw * nc)[rep]
+            nc_rep = nc[rep]
+            ih = ih_lo[rep] + local // nwc
+            rest = local % nwc
+            iw = iw_lo[rep] + rest // nc_rep
+            ic = ic_lo[rep] + rest % nc_rep
+            p_local = (
+                ih * (src_grid.tiles_w * src_grid.tiles_c)
+                + iw * src_grid.tiles_c
+                + ic
+            )
+            ov_h = (
+                np.minimum(h_hi[rep], np.minimum((ih + 1) * th, src_shape.height) - 1)
+                - np.maximum(h_lo[rep], ih * th)
+                + 1
+            )
+            ov_w = (
+                np.minimum(w_hi[rep], np.minimum((iw + 1) * tw, src_shape.width) - 1)
+                - np.maximum(w_lo[rep], iw * tw)
+                + 1
+            )
+            ov_c = (
+                np.minimum(c_hi[rep], np.minimum((ic + 1) * tc, src_shape.channels) - 1)
+                - np.maximum(c_lo[rep], ic * tc)
+                + 1
+            )
+            cons_parts.append(sel[rep])
+            prod_parts.append(p_local + dag._base[(0, src)])
+            byte_parts.append(ov_h * ov_w * ov_c * bpe)
+
+        if dram.any():
+            dram_list = dram.tolist()
+            for sample in range(batch):
+                off = sample * per_sample + base0
+                for x, nbytes in enumerate(dram_list):
+                    if nbytes:
+                        dag.dram_input_bytes[off + x] = nbytes
+        if not cons_parts:
+            continue
+        cons = np.concatenate(cons_parts)
+        prod = np.concatenate(prod_parts)
+        nbytes_all = np.concatenate(byte_parts)
+        # Merge duplicate (consumer, producer) pairs — a consumer may read
+        # one producer atom through several inputs — and sort by consumer
+        # then producer, reproducing the scalar builder's accumulation into
+        # a dict followed by tuple(sorted(...)).
+        order = np.lexsort((prod, cons))
+        cons, prod, nbytes_all = cons[order], prod[order], nbytes_all[order]
+        fresh = np.concatenate(
+            ([True], (cons[1:] != cons[:-1]) | (prod[1:] != prod[:-1]))
+        )
+        starts = np.nonzero(fresh)[0]
+        merged_bytes = np.add.reduceat(nbytes_all, starts)
+        cons_u = cons[starts]
+        prod_u = prod[starts]
+        group_starts = np.nonzero(
+            np.concatenate(([True], cons_u[1:] != cons_u[:-1]))
+        )[0]
+        group_ends = np.concatenate((group_starts[1:], [len(cons_u)]))
+        cons_list = cons_u[group_starts].tolist()
+        prod_list = prod_u.tolist()
+        bytes_list = merged_bytes.tolist()
+        gs_list = group_starts.tolist()
+        ge_list = group_ends.tolist()
+        for sample in range(batch):
+            shift = sample * per_sample
+            gi_base = base0 + shift
+            for c_local, lo, hi in zip(cons_list, gs_list, ge_list):
+                gi = gi_base + c_local
+                preds = tuple(p + shift for p in prod_list[lo:hi])
                 dag.preds[gi] = preds
-                for p in preds:
+                for p, nb in zip(preds, bytes_list[lo:hi]):
                     succs_mut[p].append(gi)
-                    dag.edge_bytes[(p, gi)] = pred_bytes[p]
+                    dag.edge_bytes[(p, gi)] = nb
     dag.succs = [tuple(s) for s in succs_mut]
     return dag

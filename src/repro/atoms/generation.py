@@ -22,6 +22,7 @@ import numpy as np
 from repro.atoms.atom import TileSize
 from repro.atoms.partition import grid_for
 from repro.config import EngineConfig
+from repro.engine.batch import region_bounds
 from repro.engine.cost_model import EngineCostModel
 from repro.ir.graph import Graph, Node
 from repro.ir.ops import Input, Region
@@ -107,6 +108,26 @@ class AtomGenerator:
         self._bounds: dict[int, Coeffs] = {
             n.node_id: self._coeff_bounds(n) for n in self._compute_nodes
         }
+        self._ladders: dict[int, tuple[tuple[int, ...], ...]] = {
+            node_id: tuple(_ladder(b) for b in bounds)
+            for node_id, bounds in self._bounds.items()
+        }
+        # Per-layer coefficient lattices: coeffs -> (cycles, util) with the
+        # buffer-feasibility adjustment applied.  atom_cost(node, coeffs)
+        # is a pure function of its arguments, so entries never go stale;
+        # misses are priced through the vectorized cost kernel in batches.
+        self._cost_lattice: dict[int, dict[Coeffs, tuple[int, float]]] = {
+            n.node_id: {} for n in self._compute_nodes
+        }
+        # Axis-sweep memo: (axis, fixed-coeffs-without-axis) -> the ladder's
+        # (cycles, utils) arrays, so converged SA iterations skip even the
+        # per-candidate lattice lookups.
+        self._axis_memo: dict[int, dict[tuple, tuple[np.ndarray, np.ndarray]]] = {
+            n.node_id: {} for n in self._compute_nodes
+        }
+        self._count_cache: dict[int, dict[Coeffs, int]] = {
+            n.node_id: {} for n in self._compute_nodes
+        }
         self._hint: int | None = None
 
     # ----------------------------------------------------------- coefficients
@@ -164,6 +185,11 @@ class AtomGenerator:
 
     def atom_cost(self, node: Node, coeffs: Coeffs) -> tuple[int, float]:
         """(cycles, PE utilization) of one full-size atom of a layer."""
+        lattice = self._cost_lattice[node.node_id]
+        cached = lattice.get(coeffs)
+        if cached is not None:
+            self.cost_model.cache_hits += 1
+            return cached
         tile = self._tile(node, coeffs)
         region = self._representative_region(node, tile)
         in_shapes = self.graph.input_shapes(node.node_id)
@@ -171,8 +197,70 @@ class AtomGenerator:
         resident_weights = min(cost.weight_bytes, self.engine.buffer_bytes // 4)
         footprint = cost.ifmap_bytes + resident_weights + 2 * cost.ofmap_bytes
         if footprint > self.engine.buffer_bytes:
-            return _INFEASIBLE_CYCLES, 0.0
-        return cost.cycles, cost.pe_utilization
+            result = (_INFEASIBLE_CYCLES, 0.0)
+        else:
+            result = (cost.cycles, cost.pe_utilization)
+        lattice[coeffs] = result
+        return result
+
+    def _price_coeffs(self, node: Node, coeff_list: list[Coeffs]) -> None:
+        """Price a batch of coefficient lattice points in one kernel call.
+
+        Applies the same buffer-feasibility adjustment as :meth:`atom_cost`
+        and fills the per-layer lattice; each priced point counts as one
+        cost-cache miss so the trace accounting stays comparable with the
+        scalar path.
+        """
+        shape = node.output_shape
+        in_shapes = self.graph.input_shapes(node.node_id)
+        regions = [
+            self._representative_region(node, self._tile(node, c))
+            for c in coeff_list
+        ]
+        arrays = self.cost_model.kernel.price_regions(
+            node.op, in_shapes, region_bounds(regions)
+        )
+        buffer_bytes = self.engine.buffer_bytes
+        resident = np.minimum(arrays.weight_bytes, buffer_bytes // 4)
+        footprint = arrays.ifmap_bytes + resident + 2 * arrays.ofmap_bytes
+        infeasible = footprint > buffer_bytes
+        cycles = np.where(infeasible, _INFEASIBLE_CYCLES, arrays.cycles).tolist()
+        utils = np.where(infeasible, 0.0, arrays.pe_utilization).tolist()
+        lattice = self._cost_lattice[node.node_id]
+        for coeffs, cyc, util in zip(coeff_list, cycles, utils):
+            lattice[coeffs] = (cyc, util)
+        self.cost_model.cache_misses += len(coeff_list)
+
+    def _axis_costs(
+        self, node: Node, k: int, best: Coeffs
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(cycles, utils) arrays over axis ``k``'s full candidate ladder.
+
+        Candidates are ``best`` with coordinate ``k`` replaced by each
+        ladder value; memoized on (axis, remaining coordinates).
+        """
+        rest = best[:k] + best[k + 1:]
+        memo = self._axis_memo[node.node_id]
+        cached = memo.get((k, rest))
+        if cached is not None:
+            self.cost_model.cache_hits += len(cached[0])
+            return cached
+        ladder = self._ladders[node.node_id][k]
+        cands = [best[:k] + (v,) + best[k + 1:] for v in ladder]
+        lattice = self._cost_lattice[node.node_id]
+        missing = [c for c in cands if c not in lattice]
+        if missing:
+            self._price_coeffs(node, list(dict.fromkeys(missing)))
+            self.cost_model.cache_hits += len(cands) - len(missing)
+        else:
+            self.cost_model.cache_hits += len(cands)
+        entries = [lattice[c] for c in cands]
+        result = (
+            np.array([e[0] for e in entries], dtype=np.int64),
+            np.array([e[1] for e in entries], dtype=float),
+        )
+        memo[(k, rest)] = result
+        return result
 
     def _fit_layer_to_state(self, node: Node, start: Coeffs, target: float) -> Coeffs:
         """Algorithm 1 line 13: argmin_coeffs |Cycle(Atom_l) - S_move|.
@@ -184,26 +272,33 @@ class AtomGenerator:
         never "balances" a layer by picking an equally slow but inefficient
         tile (target 1 of Sec. IV-A: atoms must keep the array busy).
         """
-        bounds = self._bounds[node.node_id]
-        ladders = [_ladder(b) for b in bounds]
-
-        def score(coeffs: Coeffs) -> float:
-            cycles, util = self.atom_cost(node, coeffs)
-            return abs(cycles - target) + _UTIL_PENALTY * target * (1.0 - util)
-
+        ladders = self._ladders[node.node_id]
+        cycles0, util0 = self.atom_cost(node, start)
         best = start
-        best_gap = score(best)
+        # One score is |cycles - S| plus the utilization penalty; the
+        # (penalty * target) product is grouped exactly as the scalar
+        # expression associated, keeping floats bit-identical.
+        best_gap = abs(cycles0 - target) + (_UTIL_PENALTY * target) * (
+            1.0 - util0
+        )
         for _ in range(_FIT_SWEEPS):
             improved = False
             for k in range(4):
-                for v in ladders[k]:
-                    if v == best[k]:
-                        continue
-                    cand = best[:k] + (v,) + best[k + 1:]
-                    gap = score(cand)
-                    if gap < best_gap:
-                        best, best_gap = cand, gap
-                        improved = True
+                cycles, utils = self._axis_costs(node, k, best)
+                gaps = np.abs(cycles - target) + (_UTIL_PENALTY * target) * (
+                    1.0 - utils
+                )
+                # The scalar sweep accepted on strict improvement in ladder
+                # order, which lands on the first index attaining the
+                # minimum — np.argmin's first-occurrence rule.  Candidates
+                # equal to the incumbent score exactly, so they never pass
+                # the strict comparison.
+                j = int(np.argmin(gaps))
+                gap = float(gaps[j])
+                if gap < best_gap:
+                    best = best[:k] + (ladders[k][j],) + best[k + 1:]
+                    best_gap = gap
+                    improved = True
             if not improved:
                 break
         return best
@@ -272,14 +367,21 @@ class AtomGenerator:
             self.atom_cycles(n, assignment[n.node_id]) for n in self._compute_nodes
         ]
 
+    def _count_of(self, node: Node, coeffs: Coeffs) -> int:
+        """Atoms the layer yields under ``coeffs`` (memoized grid count)."""
+        cache = self._count_cache[node.node_id]
+        count = cache.get(coeffs)
+        if count is None:
+            tile = self._tile(node, coeffs)
+            grid = grid_for(node.output_shape, tile, in_channels=1)
+            count = cache[coeffs] = grid.num_tiles
+        return count
+
     def _counts_of(self, assignment: dict[int, Coeffs]) -> list[int]:
         """Atoms each layer yields under an assignment (grid tile counts)."""
-        counts = []
-        for n in self._compute_nodes:
-            tile = self._tile(n, assignment[n.node_id])
-            grid = grid_for(n.output_shape, tile, in_channels=1)
-            counts.append(grid.num_tiles)
-        return counts
+        return [
+            self._count_of(n, assignment[n.node_id]) for n in self._compute_nodes
+        ]
 
     # ------------------------------------------------------------------ SA
 
@@ -316,8 +418,9 @@ class AtomGenerator:
                 node, assignment[node.node_id], state
             )
         cycles = self._cycles_of(assignment)
+        counts = self._counts_of(assignment)
         state = float(np.mean(cycles))
-        energy = self._energy(cycles, self._counts_of(assignment))
+        energy = self._energy(cycles, counts)
         move_len = params.move_length_frac * state
         temperature = params.temperature
 
@@ -337,19 +440,25 @@ class AtomGenerator:
                     state_move = max(
                         1.0, state + float(self.rng.uniform(-1, 1)) * move_len
                     )
-                    candidate = {
-                        n.node_id: self._fit_layer_to_state(
+                    # Delta-cost bookkeeping: refitting to the moved state
+                    # usually changes only a few layers, so only their
+                    # cycle/count contributions are recomputed.  The energy
+                    # itself is always re-evaluated over the full arrays —
+                    # its variance term is not decomposable into running
+                    # sums without changing float semantics.
+                    candidate = dict(assignment)
+                    cycles_move = list(cycles)
+                    counts_move = list(counts)
+                    for i, n in enumerate(self._compute_nodes):
+                        fitted = self._fit_layer_to_state(
                             n, assignment[n.node_id], state_move
                         )
-                        for n in self._compute_nodes
-                    }
-                    cycles_move = [
-                        self.atom_cycles(n, candidate[n.node_id])
-                        for n in self._compute_nodes
-                    ]
-                    energy_move = self._energy(
-                        cycles_move, self._counts_of(candidate)
-                    )
+                        if fitted == assignment[n.node_id]:
+                            continue
+                        candidate[n.node_id] = fitted
+                        cycles_move[i] = self.atom_cycles(n, fitted)
+                        counts_move[i] = self._count_of(n, fitted)
+                    energy_move = self._energy(cycles_move, counts_move)
                     temperature *= params.cooling
                     accept_p = math.exp(
                         min(0.0, (energy - energy_move))
@@ -358,6 +467,7 @@ class AtomGenerator:
                     if self.rng.uniform(0, 1) <= accept_p:
                         state, energy = state_move, energy_move
                         assignment, cycles = candidate, cycles_move
+                        counts = counts_move
                     if energy < best_energy:
                         best_assignment, best_energy = dict(assignment), energy
                         best_state = state

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.atoms.atom import TileSize
 from repro.ir.ops import Region
 from repro.ir.tensor import TensorShape
@@ -85,6 +87,37 @@ class TileGrid:
                 base = ih * stride_h + iw * self.tiles_c
                 out.extend(base + ic for ic in range(c_lo, c_hi + 1))
         return out
+
+
+def grid_bounds(grid: TileGrid) -> np.ndarray:
+    """All tile regions of a grid as an ``(N, 6)`` int64 bounds array.
+
+    Rows follow :meth:`TileGrid.region` index order (row-major over
+    h, w, c) with columns ``(h0, h1, w0, w1, c0, c1)`` inclusive — the
+    form :meth:`repro.engine.batch.CostKernel.price_regions` consumes, so
+    a whole layer's tile lattice prices in one vectorized call.
+    """
+    th, tw, tc = grid.tile.h, grid.tile.w, grid.tile.co
+    height, width, channels = (
+        grid.shape.height, grid.shape.width, grid.shape.channels,
+    )
+    ih, iw, ic = np.meshgrid(
+        np.arange(grid.tiles_h, dtype=np.int64),
+        np.arange(grid.tiles_w, dtype=np.int64),
+        np.arange(grid.tiles_c, dtype=np.int64),
+        indexing="ij",
+    )
+    h0 = ih.ravel() * th
+    w0 = iw.ravel() * tw
+    c0 = ic.ravel() * tc
+    return np.stack(
+        [
+            h0, np.minimum(h0 + th, height) - 1,
+            w0, np.minimum(w0 + tw, width) - 1,
+            c0, np.minimum(c0 + tc, channels) - 1,
+        ],
+        axis=1,
+    )
 
 
 def clamp_tile(tile: TileSize, shape: TensorShape, in_channels: int) -> TileSize:

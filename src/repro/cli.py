@@ -422,6 +422,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return analysis_main(forwarded)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Delegate to :mod:`repro.perf_bench` (same flags)."""
+    from repro.perf_bench import main as bench_main
+
+    forwarded = [
+        "--restarts", str(args.restarts),
+        "--seed", str(args.seed),
+        "--out", args.out,
+        "--threshold", str(args.threshold),
+    ]
+    if args.check:
+        forwarded.append("--check")
+    return bench_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -509,6 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the timeline as Chrome trace-event JSON",
     )
 
+    p_bench = sub.add_parser(
+        "bench", help="pinned search-performance benchmark (BENCH_perf.json)"
+    )
+    p_bench.add_argument("--restarts", type=int, default=8)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--out", default="BENCH_perf.json", help="report JSON path"
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed --out file; exit 1 on result "
+        "drift or wall-time regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional wall-time regression with --check",
+    )
+
     p_chk = sub.add_parser(
         "check", help="static verification (lint / artifact validation)"
     )
@@ -545,6 +578,7 @@ def main(argv: list[str] | None = None) -> int:
         "dse": _cmd_dse,
         "check": _cmd_check,
         "profile": _cmd_profile,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -73,6 +73,8 @@ class NocConfig:
     def __post_init__(self) -> None:
         if self.hop_cycles <= 0 or self.link_bits <= 0:
             raise ValueError("NoC parameters must be positive")
+        if self.router_overhead_cycles < 0:
+            raise ValueError("router_overhead_cycles must be non-negative")
         if self.topology not in ("mesh", "torus"):
             raise ValueError(f"unknown topology {self.topology!r}")
 
@@ -123,6 +125,17 @@ class EnergyConfig:
     noc_pj_per_bit_hop: float = 0.61
     hbm_pj_per_bit: float = 7.0
     static_w_per_engine: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mac_pj",
+            "sram_pj_per_bit",
+            "noc_pj_per_bit_hop",
+            "hbm_pj_per_bit",
+            "static_w_per_engine",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+from repro.engine.batch import (
+    CostArrays,
+    CostKernel,
+    LayerStatics,
+    region_bounds,
+)
 from repro.engine.cost_model import EngineCost, EngineCostModel
 from repro.engine.dataflow import (
     ConvDims,
@@ -17,6 +23,10 @@ from repro.engine.energy import AtomEnergy, atom_energy
 __all__ = [
     "AtomEnergy",
     "ConvDims",
+    "CostArrays",
+    "CostKernel",
+    "LayerStatics",
+    "region_bounds",
     "Dataflow",
     "EngineCost",
     "EngineCostModel",

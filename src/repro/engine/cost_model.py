@@ -12,50 +12,31 @@ per cycle per active PE.  Cycles therefore scale with
 per pass, and utilization is ``MACs / (cycles * num_PEs)`` — reproducing the
 decisive mismatch effect of Sec. II-B (a sub-task whose unrolled extents do
 not reach the array dimensions strands PEs).
+
+:class:`EngineCostModel` is the memoizing *scalar view*: single-region
+queries delegate to :class:`~repro.engine.batch.CostKernel`, which also
+prices whole region batches (coefficient ladders, tile lattices) in one
+vectorized call for the search hot paths.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-
 from repro.config import EngineConfig
-from repro.engine.dataflow import Dataflow, conv_dims_for_region
-from repro.ir.ops import Conv2D, FullyConnected, Input, Op, Region
+from repro.engine.batch import CostKernel, EngineCost
+from repro.engine.dataflow import Dataflow
+from repro.ir.ops import Op, Region
 from repro.ir.tensor import TensorShape
 
-
-@dataclass(frozen=True)
-class EngineCost:
-    """Cost of executing one atom on one engine.
-
-    Attributes:
-        cycles: Execution cycles on the engine (compute only; memory and NoC
-            delays are modelled by the system simulator).
-        macs: MAC (or vector-op) count of the atom.
-        pe_utilization: MAC throughput achieved / peak, in [0, 1]; zero for
-            vector-unit ops, which do not occupy the PE array.
-        uses_pe_array: Whether the atom runs on the PE array (Conv/FC).
-        ifmap_bytes: Input-activation traffic the atom must read.
-        weight_bytes: Weight traffic the atom must read.
-        ofmap_bytes: Output-activation volume the atom produces.
-    """
-
-    cycles: int
-    macs: int
-    pe_utilization: float
-    uses_pe_array: bool
-    ifmap_bytes: int
-    weight_bytes: int
-    ofmap_bytes: int
-
-    @property
-    def total_input_bytes(self) -> int:
-        return self.ifmap_bytes + self.weight_bytes
+__all__ = ["EngineCost", "EngineCostModel"]
 
 
 class EngineCostModel:
     """Cycle/utilization/traffic model of one tensor engine.
+
+    A thin memoizing view over the structure-of-arrays
+    :class:`~repro.engine.batch.CostKernel`: scalar queries land in a
+    per-``(op, in_shapes, region)`` cache; batch consumers reach the
+    vectorized kernel through :attr:`kernel`.
 
     Args:
         engine: The engine microarchitecture.
@@ -76,6 +57,9 @@ class EngineCostModel:
         self.dataflow = dataflow
         self.bytes_per_element = bytes_per_element
         self.vector_lanes = vector_lanes or engine.pe_cols
+        self.kernel = CostKernel(
+            engine, dataflow, bytes_per_element, self.vector_lanes
+        )
         self._cache: dict[tuple, EngineCost] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -105,88 +89,9 @@ class EngineCostModel:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
-        if isinstance(op, Input):
-            result = EngineCost(0, 0, 0.0, False, 0, 0, 0)
-        elif op.is_compute_heavy:
-            result = self._pe_array_cost(op, in_shapes, region)
-        else:
-            result = self._vector_cost(op, in_shapes, region)
+        result = self.kernel.scalar_cost(op, in_shapes, region)
         self._cache[key] = result
         return result
-
-    def _pe_array_cost(
-        self, op: Op, in_shapes: tuple[TensorShape, ...], region: Region
-    ) -> EngineCost:
-        dims = conv_dims_for_region(op, in_shapes, region)
-        s1, s2 = self.dataflow.spatial_extents(dims)
-        temporal = self.dataflow.temporal_iterations(dims)
-        passes = math.ceil(s1 / self.engine.pe_rows) * math.ceil(
-            s2 / self.engine.pe_cols
-        )
-        # Double-buffered weight registers overlap the next pass's weight
-        # reload (through the buffer port) with the current pass's compute:
-        # a pass takes max(compute, reload) cycles.  Reload-bound tiles are
-        # the task-engine mismatch of Sec. II-B.  Fill/drain is charged once
-        # per atom since consecutive passes stream back-to-back.
-        port_bytes_per_cycle = self.engine.buffer_port_bits // 8
-        reload = math.ceil(
-            self.dataflow.weight_elements_per_pass(dims, self.engine)
-            * self.bytes_per_element
-            / max(1, port_bytes_per_cycle)
-        )
-        cycles = passes * max(temporal, reload) + self.dataflow.fill_cycles(
-            self.engine
-        )
-        macs = dims.macs
-        utilization = min(1.0, macs / (cycles * self.engine.macs_per_cycle))
-        ifmap_bytes, weight_bytes = self._input_traffic(op, in_shapes, region)
-        return EngineCost(
-            cycles=cycles,
-            macs=macs,
-            pe_utilization=utilization,
-            uses_pe_array=True,
-            ifmap_bytes=ifmap_bytes,
-            weight_bytes=weight_bytes,
-            ofmap_bytes=region.num_elements * self.bytes_per_element,
-        )
-
-    def _vector_cost(
-        self, op: Op, in_shapes: tuple[TensorShape, ...], region: Region
-    ) -> EngineCost:
-        ops = op.macs_for_region(in_shapes, region)
-        cycles = max(1, math.ceil(ops / self.vector_lanes))
-        ifmap_bytes = sum(
-            op.input_region(i, in_shapes, region).num_elements
-            * self.bytes_per_element
-            for i in range(len(in_shapes))
-        )
-        weight_bytes = op.weight_params(in_shapes) * self.bytes_per_element
-        return EngineCost(
-            cycles=cycles,
-            macs=ops,
-            pe_utilization=0.0,
-            uses_pe_array=False,
-            ifmap_bytes=ifmap_bytes,
-            weight_bytes=weight_bytes,
-            ofmap_bytes=region.num_elements * self.bytes_per_element,
-        )
-
-    def _input_traffic(
-        self, op: Op, in_shapes: tuple[TensorShape, ...], region: Region
-    ) -> tuple[int, int]:
-        in_region = op.input_region(0, in_shapes, region)
-        ifmap_bytes = in_region.num_elements * self.bytes_per_element
-        if isinstance(op, Conv2D):
-            weight_bytes = op.weight_bytes_for_region(
-                in_shapes, region, self.bytes_per_element
-            )
-        elif isinstance(op, FullyConnected):
-            weight_bytes = (
-                in_shapes[0].num_elements * region.channels * self.bytes_per_element
-            )
-        else:
-            weight_bytes = 0
-        return ifmap_bytes, weight_bytes
 
     def layer_cost(self, op: Op, in_shapes: tuple[TensorShape, ...]) -> EngineCost:
         """Cost of the whole layer as a single tile on one engine."""

@@ -19,6 +19,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import EngineConfig
 from repro.ir.ops import Conv2D, FullyConnected, Op, Region
 from repro.ir.tensor import TensorShape
@@ -80,6 +82,32 @@ class Dataflow(abc.ABC):
     #: Short identifier used in configs and reports ("kc", "yx").
     name: str
 
+    #: Whether :meth:`batch_terms` is implemented; the vectorized cost
+    #: kernel falls back to the scalar path when False.
+    supports_batch: bool = False
+
+    def batch_terms(
+        self,
+        h: np.ndarray,
+        w: np.ndarray,
+        ci: np.ndarray,
+        co: np.ndarray,
+        kh: int,
+        kw: int,
+        engine: EngineConfig,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(s1, s2, temporal, weight_elems_per_pass)``.
+
+        Array analogue of :meth:`spatial_extents`,
+        :meth:`temporal_iterations`, and :meth:`weight_elements_per_pass`
+        over whole batches of CONV tile extents (int64 arrays, all the
+        same length).  Must agree element-for-element with the scalar
+        methods — the golden-equivalence property suite enforces this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized term kernel"
+        )
+
     @abc.abstractmethod
     def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
         """The two loop extents mapped across (PE rows, PE columns)."""
@@ -122,6 +150,18 @@ class KCPartition(Dataflow):
     """NVDLA-style: input channels on rows, output channels on columns."""
 
     name = "kc"
+    supports_batch = True
+
+    def batch_terms(self, h, w, ci, co, kh, kw, engine):
+        s1 = ci
+        s2 = co
+        temporal = h * w * (kh * kw)
+        wpp = (
+            np.minimum(ci, engine.pe_rows)
+            * np.minimum(co, engine.pe_cols)
+            * (kh * kw)
+        )
+        return s1, s2, temporal, wpp
 
     def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
         return dims.ci, dims.co
@@ -144,6 +184,11 @@ class YXPartition(Dataflow):
     """ShiDianNao-style: ofmap height on rows, ofmap width on columns."""
 
     name = "yx"
+    supports_batch = True
+
+    def batch_terms(self, h, w, ci, co, kh, kw, engine):
+        temporal = ci * co * (kh * kw)
+        return h, w, temporal, temporal
 
     def spatial_extents(self, dims: ConvDims) -> tuple[int, int]:
         return dims.h, dims.w
@@ -181,6 +226,19 @@ class KCWPartition(Dataflow):
     """
 
     name = "kcw"
+    supports_batch = True
+
+    def batch_terms(self, h, w, ci, co, kh, kw, engine):
+        z = np.minimum(w, self.width_lanes)
+        s1 = ci
+        s2 = co * z
+        # -(-w // z) is the integer ceil-division the scalar path uses;
+        # numpy floor-division on negative numerators matches Python's.
+        temporal = h * -(-w // z) * (kh * kw)
+        active_cols = np.minimum(co * z, engine.pe_cols)
+        co_lanes = np.maximum(1, active_cols // z)
+        wpp = np.minimum(ci, engine.pe_rows) * co_lanes * (kh * kw)
+        return s1, s2, temporal, wpp
 
     def __init__(self, width_lanes: int = 4) -> None:
         if width_lanes <= 0:

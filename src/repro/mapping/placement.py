@@ -11,14 +11,21 @@ Beyond feature-map edges, the optimized mapper tracks each weight slice's
 *home* engine (where it was first loaded) and pulls same-slice atoms back
 to it, which is what makes the priority-rule-1 reuse of Sec. IV-B pay off
 physically.
+
+Every candidate assignment of one Round is priced off a single
+``(atom, slot)`` cost matrix (:func:`~repro.mapping.transfer_cost.
+round_cost_matrix`) instead of re-walking DAG edges and hop distances per
+candidate — the same integer totals, built once per Round.
 """
 
 from __future__ import annotations
 
 from itertools import permutations
 
+import numpy as np
+
 from repro.atoms.dag import AtomicDAG
-from repro.mapping.transfer_cost import round_transfer_cost
+from repro.mapping.transfer_cost import round_cost_matrix, round_transfer_cost
 from repro.noc.mesh import Mesh2D
 from repro.scheduling.rounds import Schedule
 
@@ -75,20 +82,29 @@ def optimized_placement(
         atoms = rnd.atom_indices
         groups = _group_by_layer(dag, atoms)
         slots = order[: len(atoms)]
+        matrix, const = round_cost_matrix(
+            dag, mesh, placement, atoms, slots, weight_home
+        )
+        row_of = {a: i for i, a in enumerate(atoms)}
+        cols = np.arange(len(atoms), dtype=np.int64)
+
+        def cost_of(ordered: list[int]) -> int:
+            rows = np.fromiter(
+                (row_of[a] for a in ordered),
+                dtype=np.int64,
+                count=len(ordered),
+            )
+            return int(matrix[rows, cols].sum()) + const
+
         candidates = [
             list(atoms),  # zig-zag as-is: optimal for slot-aligned chains
-            _greedy_assignment(dag, mesh, placement, atoms, weight_home),
+            _greedy_assignment(dag, atoms, matrix, row_of),
         ]
         if 1 < len(groups) <= MAX_PERMUTATION_LAYERS:
             candidates.append(
-                _best_permutation(dag, mesh, placement, groups, slots, weight_home)
+                _best_permutation(groups, matrix, row_of, const)
             )
-        assignment = min(
-            candidates,
-            key=lambda ordered: round_transfer_cost(
-                dag, mesh, placement, tuple(ordered), slots, weight_home
-            ),
-        )
+        assignment = min(candidates, key=cost_of)
         for a, e in zip(assignment, slots):
             placement[a] = e
             wk = dag.weight_key(a)
@@ -98,64 +114,78 @@ def optimized_placement(
 
 
 def _best_permutation(
-    dag: AtomicDAG,
-    mesh: Mesh2D,
-    placement: dict[int, int],
     groups: list[list[int]],
-    slots: tuple[int, ...],
-    weight_home: dict[tuple[int, int], int],
+    matrix: np.ndarray,
+    row_of: dict[int, int],
+    const: int,
 ) -> list[int]:
-    best_cost = None
-    best: list[int] = []
-    for perm in permutations(range(len(groups))):
-        ordered = [a for g in perm for a in groups[g]]
-        cost = round_transfer_cost(
-            dag, mesh, placement, tuple(ordered), slots, weight_home
+    """Cheapest layer ordering, priced off the Round's cost matrix.
+
+    A permutation places each group's atoms in one contiguous slot block,
+    so its cost decomposes into per-group diagonal sums of the matrix at
+    the block's offset.  Those sums are precomputed for every possible
+    offset; each of the ``M!`` permutations then costs ``M`` lookups.
+    Iteration order and the strict ``<`` keep the same first-wins winner
+    the per-permutation edge walk chose.
+    """
+    num_slots = matrix.shape[1]
+    diag_sums: list[np.ndarray] = []
+    for g in groups:
+        rows = np.fromiter(
+            (row_of[a] for a in g), dtype=np.int64, count=len(g)
         )
+        sub = matrix[rows]
+        span = num_slots - len(g) + 1
+        acc = np.zeros(span, dtype=np.int64)
+        for i in range(len(g)):
+            acc += sub[i, i : i + span]
+        diag_sums.append(acc)
+    sizes = [len(g) for g in groups]
+
+    best_cost: int | None = None
+    best_perm: tuple[int, ...] = ()
+    for perm in permutations(range(len(groups))):
+        cost = const
+        offset = 0
+        for g in perm:
+            cost += int(diag_sums[g][offset])
+            offset += sizes[g]
         if best_cost is None or cost < best_cost:
-            best_cost, best = cost, ordered
-    return best
+            best_cost, best_perm = cost, perm
+    return [a for g in best_perm for a in groups[g]]
 
 
 def _greedy_assignment(
     dag: AtomicDAG,
-    mesh: Mesh2D,
-    placement: dict[int, int],
     atoms: tuple[int, ...],
-    weight_home: dict[tuple[int, int], int],
+    matrix: np.ndarray,
+    row_of: dict[int, int],
 ) -> list[int]:
-    """Assign heaviest-traffic atoms first to their cheapest free engine."""
+    """Assign heaviest-traffic atoms first to their cheapest free engine.
+
+    Columns of ``matrix`` follow the Round's zig-zag slot order, so the
+    free-engine scan is a row gather + argmin (first minimum wins, like
+    ``min`` over the ordered free list did).
+    """
+    weight_bytes = dag.atom_weight_bytes
 
     def incoming(a: int) -> int:
         total = sum(dag.edge_bytes[(p, a)] for p in dag.preds[a])
         if dag.weight_key(a) is not None:
-            total += dag.costs[a].weight_bytes
-        return total
-
-    def cost_on(a: int, e: int) -> int:
-        total = 0
-        for p in dag.preds[a]:
-            src = placement.get(p)
-            if src is not None:
-                total += mesh.hop_distance(src, e) * dag.edge_bytes[(p, a)]
-        wk = dag.weight_key(a)
-        if wk is not None:
-            home = weight_home.get(wk)
-            if home is not None:
-                total += mesh.hop_distance(home, e) * dag.costs[a].weight_bytes
+            total += weight_bytes[a]
         return total
 
     remaining = sorted(atoms, key=incoming, reverse=True)
-    free = list(mesh.zigzag_order()[: len(atoms)])
-    engine_of: dict[int, int] = {}
+    free = list(range(len(atoms)))  # column indices, in zig-zag slot order
+    col_of: dict[int, int] = {}
     for a in remaining:
-        best_e = min(free, key=lambda e: cost_on(a, e))
-        engine_of[a] = best_e
-        free.remove(best_e)
+        row = matrix[row_of[a]]
+        best_col = free[int(np.argmin(row[free]))]
+        col_of[a] = best_col
+        free.remove(best_col)
     # Re-express as an atom ordering over the zig-zag slots.
-    order = mesh.zigzag_order()[: len(atoms)]
-    engine_to_atom = {e: a for a, e in engine_of.items()}
-    return [engine_to_atom[e] for e in order]
+    atom_at = {col: a for a, col in col_of.items()}
+    return [atom_at[col] for col in range(len(atoms))]
 
 
 def placement_transfer_cost(

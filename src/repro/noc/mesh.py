@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Mesh2D:
@@ -105,3 +107,50 @@ class Mesh2D:
     def distance_matrix(self) -> tuple[tuple[int, ...], ...]:
         """Full pairwise hop-distance matrix."""
         return tuple(self._distance_row(s) for s in range(self.num_engines))
+
+    def distance_array(self) -> np.ndarray:
+        """Cached read-only ``(num_engines, num_engines)`` int64 hop matrix.
+
+        Built through :meth:`hop_distance`, so topology subclasses (the
+        torus) get a correct matrix for free.  The mapping/NoC hot paths
+        fancy-index this instead of calling ``hop_distance`` per pair.
+        """
+        return _distance_array(self)
+
+    def route_table(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Cached CSR table of every route's directed-link identities.
+
+        Returns ``(link_ids, offsets, num_links)``: the links of the route
+        ``src -> dst`` are ``link_ids[offsets[k]:offsets[k + 1]]`` with
+        ``k = src * num_engines + dst``, each entry a dense id of one
+        directed link.  Built through :meth:`route`, so subclasses that
+        re-route (the torus) are covered.
+        """
+        return _route_table(self)
+
+
+@lru_cache(maxsize=None)
+def _distance_array(mesh: Mesh2D) -> np.ndarray:
+    n = mesh.num_engines
+    dist = np.array(
+        [mesh._distance_row(s) for s in range(n)], dtype=np.int64
+    )
+    dist.setflags(write=False)
+    return dist
+
+
+@lru_cache(maxsize=None)
+def _route_table(mesh: Mesh2D) -> tuple[np.ndarray, np.ndarray, int]:
+    n = mesh.num_engines
+    ids: dict[tuple[int, int], int] = {}
+    flat: list[int] = []
+    offsets = np.zeros(n * n + 1, dtype=np.int64)
+    for src in range(n):
+        for dst in range(n):
+            for link in mesh.route(src, dst):
+                flat.append(ids.setdefault(link, len(ids)))
+            offsets[src * n + dst + 1] = len(flat)
+    link_ids = np.asarray(flat, dtype=np.int64)
+    link_ids.setflags(write=False)
+    offsets.setflags(write=False)
+    return link_ids, offsets, len(ids)

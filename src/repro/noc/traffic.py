@@ -15,6 +15,8 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import EnergyConfig, NocConfig
 from repro.noc.mesh import Mesh2D
 
@@ -107,26 +109,61 @@ class NocModel:
         The batch's blocking delay is ``max(single-transfer latency,
         busiest-link occupancy)``: transfers on disjoint routes proceed in
         parallel, transfers sharing a link serialize.
+
+        Vectorized over the batch against the mesh's cached distance/route
+        tables; results are bit-identical to the per-transfer walk
+        (serialization keeps the original ``ceil`` of a float quotient, and
+        energy sums terms in transfer order).
         """
-        link_occupancy: dict[tuple[int, int], int] = defaultdict(int)
-        max_single = 0
-        total_hop_bits = 0
-        energy_pj = 0.0
-        for t in transfers:
-            if t.src == t.dst or t.size_bytes == 0:
-                continue
-            max_single = max(max_single, self.transfer_cycles(t))
-            serialization = math.ceil(8 * t.size_bytes / self.config.link_bits)
-            route = self.mesh.route(t.src, t.dst)
-            for link in route:
-                link_occupancy[link] += serialization
-            bits = 8 * t.size_bytes
-            total_hop_bits += bits * len(route)
-            energy_pj += bits * len(route) * self.energy.noc_pj_per_bit_hop
-        busiest = max(link_occupancy.values(), default=0)
+        triples = [
+            (t.src, t.dst, t.size_bytes)
+            for t in transfers
+            if t.src != t.dst and t.size_bytes
+        ]
+        if not triples:
+            return NocRoundCost(
+                cycles=0, energy_pj=0.0, total_hop_bits=0,
+                busiest_link_cycles=0,
+            )
+        arr = np.asarray(triples, dtype=np.int64)
+        src, dst, size = arr[:, 0], arr[:, 1], arr[:, 2]
+        dist = self.mesh.distance_array()
+        hops = dist[src, dst]
+        serialization = np.ceil(
+            8.0 * size / self.config.link_bits
+        ).astype(np.int64)
+        singles = (
+            self.config.router_overhead_cycles
+            + hops * self.config.hop_cycles
+            + serialization
+        )
+        link_ids, offsets, num_links = self.mesh.route_table()
+        keys = src * self.mesh.num_engines + dst
+        starts = offsets[keys]
+        lens = offsets[keys + 1] - starts
+        total_links = int(lens.sum())
+        if total_links:
+            # Ragged gather of every route's link ids into one flat array.
+            shift = np.concatenate(
+                ([0], np.cumsum(lens)[:-1])
+            )
+            gather = np.arange(total_links, dtype=np.int64) + np.repeat(
+                starts - shift, lens
+            )
+            occupancy = np.zeros(num_links, dtype=np.int64)
+            np.add.at(
+                occupancy, link_ids[gather], np.repeat(serialization, lens)
+            )
+            busiest = int(occupancy.max())
+        else:
+            busiest = 0
+        hop_bits = 8 * size * lens
+        energy_pj = float(
+            sum((hop_bits * self.energy.noc_pj_per_bit_hop).tolist())
+        )
         return NocRoundCost(
-            cycles=max(max_single, busiest),
+            cycles=max(int(singles.max()), busiest),
             energy_pj=energy_pj,
-            total_hop_bits=total_hop_bits,
+            total_hop_bits=int(hop_bits.sum()),
             busiest_link_cycles=busiest,
         )

@@ -141,7 +141,14 @@ class SearchContext:
             get_dataflow(dataflow),
             bytes_per_element=arch.bytes_per_element,
         )
+        # Warm the vectorized kernel's per-layer statics and the mesh's
+        # distance/route tables once, so per-candidate work starts from
+        # fully populated caches (workers re-derive them lazily).
+        for node in g.nodes:
+            cost_model.kernel.statics(node.op, g.input_shapes(node.node_id))
         mesh = make_topology(arch.mesh_rows, arch.mesh_cols, arch.noc.topology)
+        mesh.distance_array()
+        mesh.route_table()
         return cls(
             graph=g,
             arch=arch,
@@ -252,6 +259,9 @@ class CandidateTrace:
         sim_seconds: System-simulation wall time.
         cost_cache_hits: Cost-model cache hits while evaluating.
         cost_cache_misses: Cost-model cache misses while evaluating.
+        kernel_batch_calls: Vectorized cost-kernel invocations (one per
+            priced lattice/ladder) while evaluating.
+        kernel_batch_rows: Total tile regions those invocations priced.
     """
 
     label: str
@@ -266,6 +276,8 @@ class CandidateTrace:
     sim_seconds: float = 0.0
     cost_cache_hits: int = 0
     cost_cache_misses: int = 0
+    kernel_batch_calls: int = 0
+    kernel_batch_rows: int = 0
     attempts: int = 1
     error: str = ""
     restored: bool = False
@@ -324,6 +336,10 @@ class CandidateTrace:
                 "hits": self.cost_cache_hits,
                 "misses": self.cost_cache_misses,
             },
+            "cost_kernel": {
+                "batch_calls": self.kernel_batch_calls,
+                "batch_rows": self.kernel_batch_rows,
+            },
             "attempts": self.attempts,
             "error": self.error,
             "restored": self.restored,
@@ -355,6 +371,14 @@ class CandidateTrace:
                 sim_seconds=seconds["sim"],
                 cost_cache_hits=cache["hits"],
                 cost_cache_misses=cache["misses"],
+                # Documents written before the vectorized kernel existed
+                # load with zeroed kernel counters.
+                kernel_batch_calls=int(
+                    doc.get("cost_kernel", {}).get("batch_calls", 0)
+                ),
+                kernel_batch_rows=int(
+                    doc.get("cost_kernel", {}).get("batch_rows", 0)
+                ),
                 attempts=int(doc.get("attempts", 1)),
                 error=doc.get("error", ""),
                 restored=bool(doc.get("restored", False)),
@@ -600,6 +624,7 @@ class CandidatePipeline:
         """Run one candidate tiling through every remaining stage."""
         tracer = get_tracer()
         hits0, misses0 = ctx.cost_model.cache_counters()
+        calls0, rows0 = ctx.cost_model.kernel.batch_counters()
         t0 = time.perf_counter()
         with tracer.span("stage.dag", candidate=label):
             dag = ctx.build_dag(tiling)
@@ -636,9 +661,12 @@ class CandidatePipeline:
         schedule, placement, result = best
 
         hits1, misses1 = ctx.cost_model.cache_counters()
+        calls1, rows1 = ctx.cost_model.kernel.batch_counters()
         registry = get_registry()
         registry.counter("search.cost_cache.hits").inc(hits1 - hits0)
         registry.counter("search.cost_cache.misses").inc(misses1 - misses0)
+        registry.counter("search.cost_kernel.batch_calls").inc(calls1 - calls0)
+        registry.counter("search.cost_kernel.batch_rows").inc(rows1 - rows0)
         registry.counter("search.candidates_evaluated").inc()
         registry.histogram("search.candidate_seconds").observe(
             tiling_seconds
@@ -664,6 +692,8 @@ class CandidatePipeline:
             sim_seconds=sim_seconds,
             cost_cache_hits=hits1 - hits0,
             cost_cache_misses=misses1 - misses0,
+            kernel_batch_calls=calls1 - calls0,
+            kernel_batch_rows=rows1 - rows0,
         )
         return CandidateSolution(
             dag=dag,

@@ -37,7 +37,8 @@ RoundCostFn = Callable[[AtomicDAG, tuple[int, ...]], float]
 
 def default_round_cost(dag: AtomicDAG, combo: tuple[int, ...]) -> float:
     """Synchronized Round cost: cycles of the slowest chosen atom."""
-    return float(max(dag.costs[a].cycles for a in combo))
+    cycles = dag.atom_cycles
+    return float(max(cycles[a] for a in combo))
 
 
 @dataclass
@@ -192,6 +193,7 @@ def schedule_pruned(
     if num_engines <= 0:
         raise ValueError("num_engines must be positive")
     state = SchedulerState(dag)
+    atom_cycles = dag.atom_cycles
     total_remaining = float(dag.total_compute_cycles())
 
     def remainder_bound(remaining_cycles: float) -> float:
@@ -203,7 +205,7 @@ def schedule_pruned(
 
     def option_score(combo: tuple[int, ...], depth: int, remaining: float) -> float:
         cost = round_cost_fn(dag, combo) + blocking_estimate(combo)
-        left = remaining - sum(dag.costs[a].cycles for a in combo)
+        left = remaining - sum(atom_cycles[a] for a in combo)
         if depth == 0 or state.remaining == len(combo):
             return cost + remainder_bound(left)
         undo = _commit_with_undo(state, combo)
@@ -232,7 +234,7 @@ def schedule_pruned(
                 key=lambda o: option_score(o, lookahead, remaining_cycles),
             )
         state.commit(best)
-        remaining_cycles -= sum(dag.costs[a].cycles for a in best)
+        remaining_cycles -= sum(atom_cycles[a] for a in best)
         schedule.rounds.append(Round(index=t, atom_indices=best))
         t += 1
     return schedule

@@ -193,7 +193,8 @@ def candidate_combinations(
 
     push(flat[:num_engines])
 
-    by_cycles = sorted(flat, key=lambda a: -dag.costs[a].cycles)
+    atom_cycles = dag.atom_cycles
+    by_cycles = sorted(flat, key=lambda a: -atom_cycles[a])
     push(by_cycles[:num_engines])
 
     first_level = next((lvl for lvl in levels if lvl), [])
@@ -201,8 +202,8 @@ def candidate_combinations(
 
     base = flat[:num_engines]
     if len(base) > 1:
-        longest = max(dag.costs[a].cycles for a in base)
-        trimmed = [a for a in base if dag.costs[a].cycles * 4 >= longest]
+        longest = max(atom_cycles[a] for a in base)
+        trimmed = [a for a in base if atom_cycles[a] * 4 >= longest]
         if trimmed and len(trimmed) < len(base):
             push(trimmed)
 

@@ -89,8 +89,9 @@ class Schedule:
         This is the synchronization-aware compute time, before NoC/DRAM
         delays are added by the system simulator.
         """
+        cycles = dag.atom_cycles
         return sum(
-            max(dag.costs[a].cycles for a in r.atom_indices) for r in self.rounds
+            max(cycles[a] for a in r.atom_indices) for r in self.rounds
         )
 
 

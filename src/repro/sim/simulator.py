@@ -231,6 +231,7 @@ class SystemSimulator:
         tl_links: list[LinkSample] = []
         tl_hbm: list[HbmSample] = []
         tracer = get_tracer()
+        atom_cycles = dag.atom_cycles
 
         for rnd in schedule.rounds:
             with tracer.span(
@@ -261,7 +262,7 @@ class SystemSimulator:
                     if cost.uses_pe_array:
                         total_macs_pe += cost.macs
 
-                compute = max(dag.costs[a].cycles for a in rnd.atom_indices)
+                compute = max(atom_cycles[a] for a in rnd.atom_indices)
                 blocking_noc = self.noc.round_cost(io.blocking_transfers)
                 prefetch_noc = self.noc.round_cost(io.prefetch_transfers)
                 blocking_noc_cycles = (
@@ -514,7 +515,7 @@ class SystemSimulator:
         wk = dag.weight_key(a)
         if wk is None:
             return
-        nbytes = dag.costs[a].weight_bytes
+        nbytes = dag.atom_weight_bytes[a]
         key = weight_entry_key(*wk)
         holders = weight_locations.get(wk, set())
         if engine in holders and buffers[engine].contains(key):
@@ -553,7 +554,7 @@ class SystemSimulator:
     ) -> None:
         """Retain the atom's output on-chip, or drain results to DRAM."""
         dag = self.dag
-        nbytes = dag.costs[a].ofmap_bytes
+        nbytes = dag.atom_ofmap_bytes[a]
         if nbytes == 0:
             return
         if not dag.succs[a]:

@@ -1,0 +1,53 @@
+"""Unit tests for the structure-of-arrays cost-kernel plumbing.
+
+The deeper scalar≡batch equivalence lives in the Hypothesis suite
+(``tests/properties/test_batch_equivalence.py``); these tests pin the
+plumbing around it: bounds-array layout, statics memoization, and the
+batch-call accounting the pipeline exports per candidate.
+"""
+
+import numpy as np
+
+from repro.atoms import TileSize
+from repro.atoms.partition import TileGrid, grid_bounds
+from repro.config import EngineConfig
+from repro.engine import EngineCostModel, get_dataflow
+from repro.engine.batch import BOUND_COLUMNS, region_bounds
+from repro.ir import Conv2D, TensorShape
+
+
+class TestBoundsArrays:
+    def test_grid_bounds_match_region_list(self):
+        grid = TileGrid(TensorShape(13, 9, 20), TileSize(4, 4, 8, 8))
+        direct = region_bounds(grid.regions())
+        fast = grid_bounds(grid)
+        assert fast.dtype == np.int64
+        assert np.array_equal(fast, direct)
+
+    def test_region_bounds_column_layout(self):
+        grid = TileGrid(TensorShape(8, 8, 8), TileSize(8, 8, 8, 8))
+        (row,) = region_bounds(grid.regions())
+        assert len(BOUND_COLUMNS) == 6
+        assert row.tolist() == [0, 7, 0, 7, 0, 7]
+
+
+class TestKernelAccounting:
+    def _model(self):
+        return EngineCostModel(EngineConfig(), get_dataflow("kc"))
+
+    def test_statics_memoized(self):
+        cm = self._model()
+        op = Conv2D(out_channels=8, kernel=(3, 3))
+        shapes = (TensorShape(16, 16, 8),)
+        assert cm.kernel.statics(op, shapes) is cm.kernel.statics(op, shapes)
+
+    def test_batch_counters_track_calls_and_rows(self):
+        cm = self._model()
+        op = Conv2D(out_channels=8, kernel=(3, 3))
+        shapes = (TensorShape(16, 16, 8),)
+        grid = TileGrid(op.infer_shape(shapes), TileSize(4, 4, 4, 8))
+        calls0, rows0 = cm.kernel.batch_counters()
+        cm.kernel.price_regions(op, shapes, grid_bounds(grid))
+        calls1, rows1 = cm.kernel.batch_counters()
+        assert calls1 == calls0 + 1
+        assert rows1 == rows0 + grid.num_tiles

@@ -1,9 +1,13 @@
 """Tests for the contention-aware NoC traffic model."""
 
+import math
+import random
+from collections import defaultdict
+
 import pytest
 
 from repro.config import EnergyConfig, NocConfig
-from repro.noc import Mesh2D, NocModel, Transfer
+from repro.noc import Mesh2D, NocModel, NocRoundCost, Torus2D, Transfer
 
 
 @pytest.fixture
@@ -59,3 +63,85 @@ class TestRoundCost:
     def test_local_transfers_ignored(self, noc):
         cost = noc.round_cost([Transfer(4, 4, 10_000)])
         assert cost.cycles == 0 and cost.total_hop_bits == 0
+
+
+def _reference_round_cost(model: NocModel, transfers) -> NocRoundCost:
+    """The pre-vectorization per-transfer walk, kept as the golden oracle.
+
+    Serialization is ``math.ceil`` of a float quotient, occupancy is a
+    per-link dict over ``mesh.route``, hop-bits use the route *length*
+    (not the hop distance — they differ if a routing scheme ever takes a
+    non-minimal path), and energy accumulates sequentially in transfer
+    order.  The vectorized :meth:`NocModel.round_cost` must match all
+    four fields exactly, floats included.
+    """
+    link_occupancy: dict[tuple[int, int], int] = defaultdict(int)
+    max_single = 0
+    total_hop_bits = 0
+    energy_pj = 0.0
+    for t in transfers:
+        if t.src == t.dst or t.size_bytes == 0:
+            continue
+        max_single = max(max_single, model.transfer_cycles(t))
+        serialization = math.ceil(8 * t.size_bytes / model.config.link_bits)
+        route = model.mesh.route(t.src, t.dst)
+        for link in route:
+            link_occupancy[link] += serialization
+        bits = 8 * t.size_bytes
+        total_hop_bits += bits * len(route)
+        energy_pj += bits * len(route) * model.energy.noc_pj_per_bit_hop
+    busiest = max(link_occupancy.values(), default=0)
+    return NocRoundCost(
+        cycles=max(max_single, busiest),
+        energy_pj=energy_pj,
+        total_hop_bits=total_hop_bits,
+        busiest_link_cycles=busiest,
+    )
+
+
+class TestVectorizedRoundCostEquivalence:
+    """Bit-identical contract of the batched round_cost."""
+
+    @pytest.mark.parametrize("mesh", [Mesh2D(4, 4), Torus2D(4, 4)])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_batches_match_scalar_reference(self, mesh, seed):
+        model = NocModel(mesh, NocConfig(), EnergyConfig())
+        rng = random.Random(seed)
+        n = mesh.num_engines
+        transfers = [
+            Transfer(
+                src=rng.randrange(n),
+                dst=rng.randrange(n),  # may equal src: must be filtered
+                size_bytes=rng.choice(
+                    [0, 1, 7, 63, 64, 65, rng.randrange(1, 100_000)]
+                ),
+            )
+            for _ in range(rng.randrange(1, 40))
+        ]
+        assert model.round_cost(transfers) == _reference_round_cost(
+            model, transfers
+        )
+
+    @pytest.mark.parametrize("mesh", [Mesh2D(4, 4), Torus2D(4, 4)])
+    def test_degenerate_batches_match_scalar_reference(self, mesh):
+        model = NocModel(mesh, NocConfig(), EnergyConfig())
+        for transfers in (
+            [],
+            [Transfer(3, 3, 500)],  # local only
+            [Transfer(0, 1, 0)],  # empty payload only
+            [Transfer(2, 2, 0), Transfer(1, 1, 9)],
+        ):
+            assert model.round_cost(transfers) == _reference_round_cost(
+                model, transfers
+            )
+
+    def test_torus_wraparound_differs_from_mesh(self):
+        """Sanity: the caches are per-topology, not shared across classes."""
+        t = Transfer(0, 3, 64)  # corner-to-corner in a 4-wide row
+        mesh_cost = NocModel(
+            Mesh2D(4, 4), NocConfig(), EnergyConfig()
+        ).round_cost([t])
+        torus_cost = NocModel(
+            Torus2D(4, 4), NocConfig(), EnergyConfig()
+        ).round_cost([t])
+        assert torus_cost.total_hop_bits < mesh_cost.total_hop_bits

@@ -22,6 +22,61 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_bench_defaults_match_pinned_config(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.restarts == 8
+        assert args.seed == 0
+        assert args.out == "BENCH_perf.json"
+        assert args.check is False
+        assert args.threshold == 0.25
+
+
+class TestBenchCheck:
+    """The regression verdicts of `repro bench --check` (no search run)."""
+
+    REFERENCE = {
+        "restarts": 8,
+        "seed": 0,
+        "wall_seconds": 20.0,
+        "total_cycles": 1_000_000,
+        "winner": {"label": "sa[4]", "fingerprint": "abcd"},
+    }
+
+    def _report(self, **overrides):
+        report = dict(self.REFERENCE)
+        report.update(overrides)
+        return report
+
+    def test_identical_run_passes(self):
+        from repro.perf_bench import check_against
+
+        assert check_against(self._report(), self.REFERENCE, 0.25) == []
+
+    def test_tolerated_slowdown_passes(self):
+        from repro.perf_bench import check_against
+
+        report = self._report(wall_seconds=24.9)
+        assert check_against(report, self.REFERENCE, 0.25) == []
+
+    def test_wall_time_regression_fails(self):
+        from repro.perf_bench import check_against
+
+        report = self._report(wall_seconds=26.0)
+        problems = check_against(report, self.REFERENCE, 0.25)
+        assert len(problems) == 1 and "regressed" in problems[0]
+
+    def test_result_drift_fails_regardless_of_speed(self):
+        from repro.perf_bench import check_against
+
+        report = self._report(
+            wall_seconds=1.0,
+            total_cycles=999_999,
+            winner={"label": "sa[0]", "fingerprint": "ffff"},
+        )
+        problems = check_against(report, self.REFERENCE, 0.25)
+        assert any("bit-exactness" in p for p in problems)
+        assert any("winner drifted" in p for p in problems)
+
 
 class TestCommands:
     def test_models_lists_zoo(self, capsys):

@@ -7,6 +7,7 @@ from repro.config import (
     PROTOTYPE_ARCH,
     ArchConfig,
     EngineConfig,
+    EnergyConfig,
     HbmConfig,
     NocConfig,
 )
@@ -72,3 +73,40 @@ class TestSubConfigs:
     def test_hbm_validation(self):
         with pytest.raises(ValueError):
             HbmConfig(peak_bandwidth_bytes_per_s=0)
+
+
+class TestNocValidation:
+    def test_negative_router_overhead_rejected(self):
+        with pytest.raises(ValueError, match="router_overhead_cycles"):
+            NocConfig(router_overhead_cycles=-1)
+
+    def test_zero_router_overhead_allowed(self):
+        assert NocConfig(router_overhead_cycles=0).router_overhead_cycles == 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            NocConfig(topology="hypercube")
+
+
+class TestEnergyValidation:
+    def test_defaults_valid(self):
+        e = EnergyConfig()
+        assert e.mac_pj == 0.5
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "mac_pj",
+            "sram_pj_per_bit",
+            "noc_pj_per_bit_hop",
+            "hbm_pj_per_bit",
+            "static_w_per_engine",
+        ],
+    )
+    def test_negative_constant_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            EnergyConfig(**{field: -0.1})
+
+    def test_zero_constants_allowed(self):
+        e = EnergyConfig(mac_pj=0.0, static_w_per_engine=0.0)
+        assert e.mac_pj == 0.0

@@ -165,6 +165,46 @@ class TestSearchContext:
         assert accepted[0].total_cycles == outcome.result.total_cycles
 
 
+class TestKernelCounters:
+    """The per-candidate cost-kernel accounting added with the SoA core."""
+
+    def test_evaluated_traces_record_batch_activity(self, arch):
+        outcome = run_search("vgg19_bench", arch, jobs=1)
+        evaluated = [t for t in outcome.traces if t.evaluated]
+        assert evaluated
+        for t in evaluated:
+            # Every evaluation prices at least its DAG's tile lattices
+            # through the batched kernel.
+            assert t.kernel_batch_calls > 0
+            assert t.kernel_batch_rows >= t.kernel_batch_calls
+
+    def test_counters_survive_dict_round_trip(self):
+        trace = CandidateTrace(
+            label="sa[0]", fingerprint="f",
+            kernel_batch_calls=7, kernel_batch_rows=123,
+        )
+        doc = trace.to_dict()
+        assert doc["cost_kernel"] == {"batch_calls": 7, "batch_rows": 123}
+        back = CandidateTrace.from_dict(doc)
+        assert back.kernel_batch_calls == 7
+        assert back.kernel_batch_rows == 123
+
+    def test_pre_refactor_documents_still_load(self):
+        doc = CandidateTrace(label="x", fingerprint="f").to_dict()
+        del doc["cost_kernel"]
+        back = CandidateTrace.from_dict(doc)
+        assert back.kernel_batch_calls == 0
+        assert back.kernel_batch_rows == 0
+
+    def test_validated_staged_run_agrees_with_array_costs(self, arch):
+        """jobs=2 + validate=True: the AD2xx schedule-cost cross-checks
+        re-derive round costs from the flat atom arrays and must agree."""
+        outcome = run_search("vgg19_bench", arch, jobs=2, validate=True)
+        reference = run_search("vgg19_bench", arch, jobs=1)
+        assert outcome.result.total_cycles == reference.result.total_cycles
+        assert decisions(outcome) == decisions(reference)
+
+
 class TestOptions:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Entry point for the pinned search-performance benchmark.
+
+Thin wrapper so CI can run the benchmark from a checkout without
+installing the package; all logic lives in :mod:`repro.perf_bench`
+(also exposed as ``repro bench``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
