@@ -3,8 +3,10 @@
 Tier A validates the pipeline's intermediate artifacts (atomic DAGs,
 Round schedules, placements, buffer feasibility) against the invariants
 every downstream cost number silently assumes; Tier B is a set of
-repo-specific AST lint rules.  Run ``python -m repro.analysis`` (or
-``repro check``) for the CLI; ``--list-rules`` enumerates every rule.
+repo-specific AST lint rules; Tier C (:mod:`repro.analysis.static`) is
+the interprocedural determinism/worker-safety analyzer behind ``repro
+check --static``.  Run ``python -m repro.analysis`` (or ``repro
+check``) for the CLI; ``--list-rules`` enumerates every rule.
 """
 
 from __future__ import annotations
@@ -35,6 +37,11 @@ from repro.analysis.resilience_rules import (
 )
 from repro.analysis.schedule_rules import check_schedule
 from repro.analysis.selfcheck import run_self_check
+from repro.analysis.static import (
+    STATIC_RULES,
+    run_static_analysis,
+    run_static_self_check,
+)
 from repro.analysis.timeline_rules import check_timeline
 from repro.analysis.trace_rules import check_search_trace
 
@@ -43,6 +50,7 @@ __all__ = [
     "Diagnostic",
     "Report",
     "Rule",
+    "STATIC_RULES",
     "Severity",
     "all_rules",
     "assert_valid",
@@ -59,6 +67,8 @@ __all__ = [
     "lint_source",
     "register_rule",
     "run_self_check",
+    "run_static_analysis",
+    "run_static_self_check",
     "validate_artifacts",
     "validate_outcome",
     "validate_solution_file",

@@ -7,6 +7,10 @@ Modes (first match wins):
 * ``--artifact solution.json --model NAME`` — Tier-A validation of a
   serialized solution document;
 * ``--journal ckpt.jsonl`` — AD601 validation of a checkpoint journal;
+* ``--static [paths...]`` — Tier-C interprocedural determinism/worker
+  analysis (LINT007–LINT013) against the ratchet baseline
+  (``--baseline``, default ``tools/static_baseline.json`` when present;
+  ``--update-baseline`` rewrites it from the current findings);
 * ``[paths...]`` — Tier-B lint of files/directories (default: the
   installed ``repro`` package).
 
@@ -25,6 +29,9 @@ from repro.analysis.artifacts import validate_solution_file
 from repro.analysis.diagnostics import Report, all_rules
 from repro.analysis.lint import lint_paths
 from repro.analysis.selfcheck import run_self_check
+
+#: Baseline auto-discovered for ``--static`` when ``--baseline`` is absent.
+DEFAULT_BASELINE = Path("tools/static_baseline.json")
 
 
 def _parse_mesh(spec: str) -> tuple[int, int]:
@@ -74,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine grid of the --artifact target (default 8x8)",
     )
     parser.add_argument(
+        "--static",
+        action="store_true",
+        help="run the Tier-C interprocedural passes (LINT007-LINT013)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="JSON",
+        help="ratchet baseline for --static (default: "
+        "tools/static_baseline.json when it exists)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --static baseline from current findings",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable JSON report",
@@ -87,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _finish(report: Report, as_json: bool) -> int:
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    for diag in report.diagnostics:
+        registry.counter(f"check.findings.{diag.rule_id}").inc()
     try:
         print(report.to_json() if as_json else report.render())
     except BrokenPipeError:
@@ -94,6 +122,50 @@ def _finish(report: Report, as_json: bool) -> int:
         # interpreter's shutdown flush and keep the real exit status.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0 if report.ok else 1
+
+
+def _run_static(args: argparse.Namespace) -> int:
+    """``--static`` / ``--update-baseline`` mode."""
+    from repro.analysis.static import (
+        ModuleLoadError,
+        run_static_analysis,
+        save_baseline,
+    )
+
+    paths = [Path(p) for p in args.paths] or [Path(repro.__file__).parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"no such path: {p}", file=sys.stderr)
+        return 2
+    baseline = (
+        Path(args.baseline)
+        if args.baseline
+        else (DEFAULT_BASELINE if DEFAULT_BASELINE.exists() else None)
+    )
+    try:
+        result = run_static_analysis(list(paths), baseline_path=baseline)
+    except (ModuleLoadError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        target = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+        save_baseline(target, result.unsuppressed)
+        print(
+            f"baseline updated: {target} "
+            f"({len(result.unsuppressed)} entrie(s))"
+        )
+        return 0
+    timing = ", ".join(
+        f"{name} {seconds:.2f}s"
+        for name, seconds in sorted(result.pass_seconds.items())
+    )
+    print(
+        f"static: {timing}; {len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined",
+        file=sys.stderr,
+    )
+    return _finish(result.report, args.json)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -112,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         passed, transcript = run_self_check()
         print(transcript)
         return 0 if passed else 1
+
+    if args.static or args.update_baseline:
+        return _run_static(args)
 
     if args.journal:
         from repro.analysis.resilience_rules import check_checkpoint_journal

@@ -164,7 +164,7 @@ def _check_edge_bytes(dag: AtomicDAG, report: Report, n: int) -> None:
                 f"edge {key[0]}->{key[1]}",
                 "edge_bytes entry for a pair that is not a DAG edge",
             )
-    for edge in edges:
+    for edge in sorted(edges):
         if edge not in dag.edge_bytes:
             report.emit(
                 "AD104",

@@ -44,7 +44,8 @@ class Rule:
     Attributes:
         rule_id: Stable identifier (e.g. ``"AD203"``).
         severity: Severity of every finding the rule emits.
-        tier: ``"artifact"`` (Tier A validators) or ``"lint"`` (Tier B).
+        tier: ``"artifact"`` (Tier A validators), ``"lint"`` (Tier B), or
+            ``"static"`` (Tier C interprocedural passes).
         description: One-line summary used in docs and ``--list-rules``.
     """
 
@@ -65,7 +66,7 @@ def register_rule(
     Raises:
         ValueError: On conflicting re-registration or bad tier.
     """
-    if tier not in ("artifact", "lint"):
+    if tier not in ("artifact", "lint", "static"):
         raise ValueError(f"unknown rule tier {tier!r}")
     rule = Rule(rule_id, severity, tier, description)
     existing = _REGISTRY.get(rule_id)

@@ -21,7 +21,12 @@ if the analysis subsystem ever rots.  Four legs:
    the rule that guards the broken invariant;
 4. **Lint round-trip** — an embedded bad snippet fires all Tier-B rules,
    an embedded clean snippet fires none, and the installed ``repro``
-   source tree itself lints clean.
+   source tree itself lints clean;
+5. **Static-analysis round-trip** — fixture modules planting one hazard
+   per Tier-C rule (LINT007–LINT013) must each be detected, a clean
+   control module must not fire, and the installed ``repro`` tree must
+   pass the interprocedural passes with every remaining finding covered
+   by a justified suppression.
 """
 
 from __future__ import annotations
@@ -383,6 +388,22 @@ def run_self_check() -> tuple[bool, str]:
     passed &= _expect_clean(
         "lint repro source tree",
         lint_paths([Path(repro.__file__).parent]),
+        lines,
+    )
+
+    # Tier-C round-trip: every planted hazard detected, clean control
+    # silent, and the installed source tree clean after suppressions.
+    from repro.analysis.static import run_static_analysis, run_static_self_check
+
+    static_ok, static_transcript = run_static_self_check()
+    if static_ok:
+        lines.append("ok   static planted hazards: all rules detected")
+    else:
+        passed = False
+        lines.append(f"FAIL static planted hazards:\n{static_transcript}")
+    passed &= _expect_clean(
+        "static repro source tree",
+        run_static_analysis([Path(repro.__file__).parent]).report,
         lines,
     )
 

@@ -1,0 +1,125 @@
+"""Ratcheted finding baseline for ``repro check --static``.
+
+The baseline (``tools/static_baseline.json``) freezes the set of
+*accepted legacy findings* so CI fails on any **new** violation while
+old ones are paid down incrementally.  It ratchets in both directions:
+
+* a finding **not** in the baseline is an error (no new debt);
+* a baseline entry that no longer matches any finding is **stale** and
+  also an error — the entry must be deleted, so the file can only
+  shrink (run ``--update-baseline`` after fixing).
+
+Entries are keyed ``(rule_id, path, sha1(message)[:12])`` — no line
+numbers, so unrelated edits that shift code do not invalidate the
+baseline, while any change to what the analyzer actually says does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.static.findings import StaticFinding
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted legacy finding."""
+
+    rule_id: str
+    path: str
+    digest: str
+    message: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule_id, self.path, self.digest)
+
+
+def message_digest(message: str) -> str:
+    return hashlib.sha1(message.encode()).hexdigest()[:12]
+
+
+def finding_key(finding: StaticFinding) -> tuple[str, str, str]:
+    return (
+        finding.rule_id,
+        finding.module.display_path,
+        message_digest(finding.message),
+    )
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse the baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    return [
+        BaselineEntry(
+            rule_id=e["rule"],
+            path=e["path"],
+            digest=e["digest"],
+            message=e.get("message", ""),
+        )
+        for e in data.get("entries", [])
+    ]
+
+
+def save_baseline(path: Path, findings: list[StaticFinding]) -> None:
+    """Write the baseline that accepts exactly ``findings``."""
+    entries = sorted(
+        {
+            (
+                f.rule_id,
+                f.module.display_path,
+                message_digest(f.message),
+                f.message,
+            )
+            for f in findings
+        }
+    )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [
+            {"rule": rule, "path": p, "digest": digest, "message": message}
+            for rule, p, digest, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@dataclass
+class BaselineMatch:
+    """Result of filtering findings through the baseline."""
+
+    new_findings: list[StaticFinding]
+    accepted: list[StaticFinding]
+    stale: list[BaselineEntry]
+
+
+def apply_baseline(
+    findings: list[StaticFinding], entries: list[BaselineEntry]
+) -> BaselineMatch:
+    """Split findings into new vs. accepted and detect stale entries."""
+    by_key = {e.key: e for e in entries}
+    matched: set[tuple[str, str, str]] = set()
+    new_findings: list[StaticFinding] = []
+    accepted: list[StaticFinding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if key in by_key:
+            matched.add(key)
+            accepted.append(finding)
+        else:
+            new_findings.append(finding)
+    stale = [e for e in entries if e.key not in matched]
+    return BaselineMatch(
+        new_findings=new_findings, accepted=accepted, stale=stale
+    )

@@ -1,0 +1,210 @@
+"""Static-analysis engine: rule registry, orchestration, suppression.
+
+Runs the three interprocedural passes (seed-flow, worker-boundary,
+numeric-contract) over a loaded package, filters the raw findings
+through inline ``# static-ok:`` suppressions and the ratchet baseline,
+and emits what survives as LINT007–LINT013 diagnostics on a standard
+:class:`repro.analysis.diagnostics.Report`.
+
+Per-pass wall time and per-rule finding counts are recorded in the
+:mod:`repro.obs` metrics registry under ``static.pass_seconds.<pass>``
+and ``static.findings.<rule>`` so analyzer cost rides the existing
+telemetry (``repro obs``-style dumps, timeline exports).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Report, Severity, register_rule
+from repro.analysis.static.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+)
+from repro.analysis.static.callgraph import CallGraph, build_call_graph
+from repro.analysis.static.findings import StaticFinding
+from repro.analysis.static.loader import ModuleInfo, load_paths
+from repro.analysis.static.numeric import run_numeric_pass
+from repro.analysis.static.seedflow import run_seedflow_pass
+from repro.analysis.static.summaries import FunctionSummary, summarize_all
+from repro.analysis.static.workers import run_workers_pass
+from repro.obs.metrics import get_registry
+
+STATIC_RULES = {
+    "LINT007": (
+        Severity.ERROR,
+        "Process-global or OS-entropy RNG (random.*, legacy np.random.*, "
+        "unseeded default_rng) instead of a SeedSequence-derived stream",
+    ),
+    "LINT008": (
+        Severity.ERROR,
+        "Nondeterministic source (time.*, os.urandom, uuid, secrets) "
+        "flows into a decision: comparison, branch, sort key, or seed",
+    ),
+    "LINT009": (
+        Severity.ERROR,
+        "Order-sensitive iteration over a set/frozenset feeding ordered "
+        "output; wrap in sorted(...)",
+    ),
+    "LINT010": (
+        Severity.ERROR,
+        "Worker-reachable function mutates a shared SearchContext/"
+        "AtomicDAG/Mesh2D parameter after pool fan-out",
+    ),
+    "LINT011": (
+        Severity.ERROR,
+        "Worker-reachable module-global write outside a pool initializer, "
+        "or an unpicklable lambda/closure pool task",
+    ),
+    "LINT012": (
+        Severity.ERROR,
+        "Float ceil-of-division or accumulation-order change (math.fsum, "
+        "np.add.reduce) outside the audited repro.engine.batch contract",
+    ),
+    "LINT013": (
+        Severity.ERROR,
+        "Integer product without an explicit int64 accumulator "
+        "(np.prod/.prod() without dtype=, long mult chains in numpy code)",
+    ),
+}
+
+for _rule_id, (_severity, _description) in STATIC_RULES.items():
+    register_rule(_rule_id, _severity, "static", _description)
+
+#: Pass name → callable run order (workers needs graph+summaries).
+PASS_NAMES = ("seedflow", "workers", "numeric")
+
+
+@dataclass
+class StaticRunResult:
+    """Everything one analyzer run produced, pre- and post-filtering.
+
+    Attributes:
+        report: Diagnostics that survived suppression + baseline — plus
+            engine-level errors (unjustified suppressions as re-emitted
+            findings, stale baseline entries).
+        raw_findings: Every pass finding before filtering.
+        unsuppressed: Findings that survived suppression filtering —
+            exactly what a baseline update should accept.
+        suppressed: Findings silenced by a justified ``static-ok``.
+        baselined: Findings accepted by the ratchet baseline.
+        stale_entries: Baseline entries that matched nothing (ratchet
+            violations).
+        pass_seconds: Wall time per pass.
+    """
+
+    report: Report
+    raw_findings: list[StaticFinding] = field(default_factory=list)
+    unsuppressed: list[StaticFinding] = field(default_factory=list)
+    suppressed: list[StaticFinding] = field(default_factory=list)
+    baselined: list[StaticFinding] = field(default_factory=list)
+    stale_entries: list[BaselineEntry] = field(default_factory=list)
+    pass_seconds: dict[str, float] = field(default_factory=dict)
+
+
+def run_passes(
+    modules: list[ModuleInfo],
+    graph: CallGraph | None = None,
+    summaries: dict[str, FunctionSummary] | None = None,
+    pass_seconds: dict[str, float] | None = None,
+) -> list[StaticFinding]:
+    """All three passes over ``modules``; timing recorded if asked."""
+    if graph is None:
+        graph = build_call_graph(modules)
+    if summaries is None:
+        summaries = summarize_all(graph)
+    findings: list[StaticFinding] = []
+    registry = get_registry()
+    for name in PASS_NAMES:
+        t0 = time.perf_counter()
+        if name == "seedflow":
+            found = run_seedflow_pass(modules, graph)
+        elif name == "workers":
+            found = run_workers_pass(modules, graph, summaries)
+        else:
+            found = run_numeric_pass(modules, graph)
+        elapsed = time.perf_counter() - t0
+        registry.histogram(f"static.pass_seconds.{name}").observe(elapsed)
+        if pass_seconds is not None:
+            pass_seconds[name] = pass_seconds.get(name, 0.0) + elapsed
+        findings.extend(found)
+    findings.sort(key=lambda f: (f.module.display_path, f.line, f.rule_id))
+    return findings
+
+
+def _filter_suppressions(
+    findings: list[StaticFinding], report: Report
+) -> tuple[list[StaticFinding], list[StaticFinding]]:
+    """Split into (kept, suppressed); unjustified suppressions re-emit."""
+    kept: list[StaticFinding] = []
+    suppressed: list[StaticFinding] = []
+    for finding in findings:
+        sup = finding.module.suppression_for(finding.line, finding.rule_id)
+        if sup is None:
+            kept.append(finding)
+        elif not sup.justification:
+            report.emit(
+                finding.rule_id,
+                finding.location,
+                finding.message
+                + " [static-ok without a '-- justification' does not "
+                "suppress]",
+            )
+            suppressed.append(finding)
+        else:
+            suppressed.append(finding)
+    return kept, suppressed
+
+
+def run_static_analysis(
+    paths: list[str | Path],
+    baseline_path: Path | None = None,
+    report: Report | None = None,
+) -> StaticRunResult:
+    """Analyze ``paths`` and filter through suppressions + baseline.
+
+    Raises:
+        ModuleLoadError: When a module cannot be read or parsed.
+        ValueError: On a malformed baseline file.
+    """
+    if report is None:
+        report = Report()
+    modules = load_paths(paths)
+    for module in modules:
+        report.mark_checked(module.display_path)
+
+    pass_seconds: dict[str, float] = {}
+    raw = run_passes(modules, pass_seconds=pass_seconds)
+    result = StaticRunResult(
+        report=report, raw_findings=raw, pass_seconds=pass_seconds
+    )
+
+    kept, result.suppressed = _filter_suppressions(raw, report)
+    result.unsuppressed = kept
+
+    entries = (
+        load_baseline(baseline_path) if baseline_path is not None else []
+    )
+    match = apply_baseline(kept, entries)
+    result.baselined = match.accepted
+    result.stale_entries = match.stale
+
+    registry = get_registry()
+    for finding in match.new_findings:
+        report.emit(finding.rule_id, finding.location, finding.message)
+    for rule_id in STATIC_RULES:
+        count = sum(1 for f in raw if f.rule_id == rule_id)
+        if count:
+            registry.counter(f"static.findings.{rule_id}").inc(count)
+    for entry in match.stale:
+        report.emit(
+            entry.rule_id,
+            entry.path,
+            "stale baseline entry (finding no longer produced) — the "
+            "ratchet only shrinks; remove it with --update-baseline"
+            + (f" [was: {entry.message}]" if entry.message else ""),
+        )
+    return result

@@ -1,0 +1,26 @@
+"""Shared finding record produced by the static passes.
+
+A :class:`StaticFinding` is pre-diagnostic: the engine matches it
+against suppressions and the ratchet baseline before anything reaches
+the :class:`repro.analysis.diagnostics.Report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.static.loader import ModuleInfo
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One raw pass finding, prior to suppression/baseline filtering."""
+
+    rule_id: str
+    module: ModuleInfo
+    line: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.module.display_path}:{self.line}"

@@ -1,0 +1,175 @@
+"""Module loader for the static analyzer: sources, ASTs, suppressions.
+
+The static passes (:mod:`repro.analysis.static.seedflow`,
+:mod:`~repro.analysis.static.workers`,
+:mod:`~repro.analysis.static.numeric`) operate on whole packages, so the
+loader resolves every ``*.py`` file under the requested paths into a
+:class:`ModuleInfo` carrying the parsed AST, the dotted module name
+(``repro.pipeline``, inferred by walking up through ``__init__.py``
+packages), and the module's *suppression map*.
+
+Suppression syntax (one line, checked by the engine)::
+
+    risky_call()  # static-ok: LINT008 -- wall-clock supervision only
+
+    # static-ok: LINT012, LINT013 -- bounded below 2**53, see module doc
+    long_statement_the_comment_annotates(...)
+
+A suppression names one or more ``LINT``/``AD`` rule ids and MUST carry a
+justification after ``--``; a justification-free suppression does not
+silence anything (the engine re-emits the finding and says why).  A
+comment-only line attaches to the next code line, so multi-line
+statements can be annotated above their first line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: ``# static-ok: LINT008, LINT011 -- justification`` (justification
+#: optional at parse time; the engine enforces it at match time).
+_SUPPRESS_RE = re.compile(
+    r"#\s*static-ok\s*:\s*(?P<rules>[A-Z0-9, ]+?)\s*(?:--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``static-ok`` annotation.
+
+    Attributes:
+        rule_ids: Rule ids the annotation names.
+        line: Code line the annotation governs (after comment-only
+            reattachment).
+        justification: Text after ``--``; empty means the suppression is
+            invalid and will not silence findings.
+    """
+
+    rule_ids: tuple[str, ...]
+    line: int
+    justification: str
+
+
+@dataclass
+class ModuleInfo:
+    """One analyzed module: path, dotted name, source, AST, suppressions."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, list[Suppression]] = field(default_factory=dict)
+
+    @property
+    def display_path(self) -> str:
+        return self.path.as_posix()
+
+    def suppression_for(self, line: int, rule_id: str) -> Suppression | None:
+        """The suppression covering ``(line, rule_id)``, if any."""
+        for sup in self.suppressions.get(line, ()):
+            if rule_id in sup.rule_ids:
+                return sup
+        return None
+
+
+class ModuleLoadError(ValueError):
+    """A requested module does not parse (or cannot be read)."""
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up through ``__init__.py`` packages.
+
+    ``src/repro/atoms/dag.py`` → ``repro.atoms.dag``; a file outside any
+    package keeps its bare stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_suppressions(source: str) -> dict[int, list[Suppression]]:
+    """Extract every ``static-ok`` annotation, keyed by governed line."""
+    lines = source.splitlines()
+    raw: list[tuple[int, bool, Suppression]] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        if not rules:
+            continue
+        comment_only = text.lstrip().startswith("#")
+        raw.append(
+            (
+                lineno,
+                comment_only,
+                Suppression(
+                    rule_ids=rules,
+                    line=lineno,
+                    justification=(match.group("why") or "").strip(),
+                ),
+            )
+        )
+    out: dict[int, list[Suppression]] = {}
+    for lineno, comment_only, sup in raw:
+        target = lineno
+        if comment_only:
+            # Attach to the next non-blank, non-comment line.
+            for later in range(lineno + 1, len(lines) + 1):
+                text = lines[later - 1].strip()
+                if text and not text.startswith("#"):
+                    target = later
+                    break
+        sup = Suppression(sup.rule_ids, target, sup.justification)
+        out.setdefault(target, []).append(sup)
+    return out
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo`.
+
+    Raises:
+        ModuleLoadError: When the file cannot be read or parsed.
+    """
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise ModuleLoadError(f"cannot read {path}: {exc}") from None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ModuleLoadError(
+            f"{path}:{exc.lineno or 0}: module does not parse: {exc.msg}"
+        ) from None
+    return ModuleInfo(
+        name=module_name_for(path),
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def load_paths(paths: list[str | Path]) -> list[ModuleInfo]:
+    """Load files and/or directory trees (``*.py``, recursively, sorted).
+
+    Raises:
+        ModuleLoadError: On the first unreadable/unparsable module.
+    """
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return [load_module(f) for f in files]

@@ -1,0 +1,181 @@
+"""Numeric-contract pass: LINT012, LINT013.
+
+``repro.engine.batch`` documents the numeric contract the vectorized
+cost kernel relies on: ceil-of-true-division is exact only while
+operands stay below 2**53 (float64 mantissa), and intermediate integer
+products must stay inside int64.  Outside that audited module the
+analyzer treats the same constructs as hazards:
+
+* **LINT012** — ``math.ceil(a / b)`` / ``np.ceil(<contains />)``
+  anywhere but the contract module (use the integer ``ceil_div``
+  helper, ``-(-a // b)``, which is exact at any magnitude), plus
+  ``math.fsum``/``np.add.reduce`` — accumulation-order changers that
+  break bit-identity with the plain ``sum``/``np.sum`` used on the
+  scalar path.
+* **LINT013** — ``np.prod(...)``/``arr.prod()`` without an explicit
+  ``dtype=`` (NumPy's default accumulator is platform-dependent —
+  int32 on Windows — so products silently wrap), and chained integer
+  multiplications of five or more operands inside numpy-using
+  functions, where an intermediate can exceed int64 even when the
+  final value fits.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.static.callgraph import CallGraph, callee_parts, module_imports
+from repro.analysis.static.findings import StaticFinding
+from repro.analysis.static.loader import ModuleInfo
+
+#: Module whose docstring carries the audited 2**53 / int64 contract.
+CONTRACT_MODULES = frozenset({"repro.engine.batch"})
+
+#: Flattened a*b*c*... chains at or above this length flag LINT013.
+_PRODUCT_CHAIN_LIMIT = 5
+
+
+def _contains_true_division(node: ast.expr) -> bool:
+    return any(
+        isinstance(leaf, ast.BinOp) and isinstance(leaf.op, ast.Div)
+        for leaf in ast.walk(node)
+    )
+
+
+def _flatten_mult_chain(node: ast.expr) -> list[ast.expr]:
+    """Operands of a left/right-nested ``a * b * c * ...`` chain."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        return _flatten_mult_chain(node.left) + _flatten_mult_chain(
+            node.right
+        )
+    return [node]
+
+
+def _uses_numpy(tree: ast.AST) -> bool:
+    for leaf in ast.walk(tree):
+        if isinstance(leaf, ast.Name) and leaf.id in ("np", "numpy"):
+            return True
+        if isinstance(leaf, ast.Attribute) and leaf.attr == "astype":
+            return True
+    return False
+
+
+def _innermost_function(
+    tree: ast.Module, node: ast.expr
+) -> ast.AST:
+    """Smallest function scope containing ``node`` (else the module).
+
+    LINT013's chained-product check only applies where numpy is in play
+    — a pure-Python ``int`` product is arbitrary precision — so the
+    numpy test must use the *enclosing function*, not the whole module.
+    """
+    best: ast.AST = tree
+    for candidate in ast.walk(tree):
+        if not isinstance(
+            candidate, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if any(leaf is node for leaf in ast.walk(candidate)):
+            best = candidate
+    return best
+
+
+def _check_scope(
+    module: ModuleInfo,
+    aliases: dict[str, str],
+    scope: ast.Module,
+    findings: list[StaticFinding],
+    seen: set[tuple[str, int]],
+) -> None:
+    in_contract = module.name in CONTRACT_MODULES
+
+    def emit(rule_id: str, line: int, message: str) -> None:
+        key = (rule_id, line)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(
+            StaticFinding(
+                rule_id=rule_id, module=module, line=line, message=message
+            )
+        )
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            recv, term = callee_parts(node.func)
+            head = recv.partition(".")[0] if recv else None
+            resolved = aliases.get(head, head) if head else None
+            if term == "ceil" and resolved in ("math", "numpy", "np"):
+                if not in_contract and node.args and _contains_true_division(
+                    node.args[0]
+                ):
+                    fn = "math.ceil" if resolved == "math" else "np.ceil"
+                    emit(
+                        "LINT012",
+                        node.lineno,
+                        f"{fn} of a true division is only exact below "
+                        "2**53 (contract audited in repro.engine.batch "
+                        "only); use the integer ceil_div helper",
+                    )
+            elif term == "fsum" and resolved == "math":
+                if not in_contract:
+                    emit(
+                        "LINT012",
+                        node.lineno,
+                        "math.fsum changes float accumulation order "
+                        "versus the plain sum() used on bit-identical "
+                        "paths",
+                    )
+            elif term == "reduce" and recv is not None:
+                tail = recv.split(".", 1)[-1] if "." in (recv or "") else ""
+                if resolved in ("numpy", "np") and tail == "add":
+                    if not in_contract:
+                        emit(
+                            "LINT012",
+                            node.lineno,
+                            "np.add.reduce changes float accumulation "
+                            "order versus the plain sum()/np.sum used "
+                            "on bit-identical paths",
+                        )
+            if term == "prod" and resolved != "math":
+                # math.prod on Python ints is arbitrary precision — the
+                # overflow hazard is NumPy's fixed-width accumulator.
+                has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+                is_np_prod = recv is not None and resolved in ("numpy", "np")
+                is_method_prod = (
+                    isinstance(node.func, ast.Attribute)
+                    and not is_np_prod
+                    and recv is not None
+                )
+                if (is_np_prod or is_method_prod) and not has_dtype:
+                    emit(
+                        "LINT013",
+                        node.lineno,
+                        "prod() without dtype= uses the platform default "
+                        "accumulator (int32 on some platforms); pass "
+                        "dtype=np.int64 explicitly",
+                    )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            operands = _flatten_mult_chain(node)
+            if len(operands) >= _PRODUCT_CHAIN_LIMIT and not in_contract:
+                if _uses_numpy(_innermost_function(scope, node)):
+                    emit(
+                        "LINT013",
+                        node.lineno,
+                        f"chained product of {len(operands)} operands in "
+                        "numpy code can overflow int64 in an "
+                        "intermediate; group with explicit int64 casts "
+                        "or document the bound",
+                    )
+
+
+def run_numeric_pass(
+    modules: list[ModuleInfo], graph: CallGraph
+) -> list[StaticFinding]:
+    """LINT012/013 over every module."""
+    findings: list[StaticFinding] = []
+    for module in modules:
+        aliases = module_imports(module)
+        seen: set[tuple[str, int]] = set()
+        _check_scope(module, aliases, module.tree, findings, seen)
+    return findings

@@ -1,0 +1,459 @@
+"""Seed-flow determinism pass: LINT007, LINT008, LINT009.
+
+Everything the search decides must derive from the run's
+``SeedSequence.spawn`` stream (see ``repro.pipeline``), so three
+syntactic hazards are flagged:
+
+* **LINT007** — process-global RNG state: any use of the legacy
+  ``random`` module API or ``np.random.*`` module-level functions, and
+  ``np.random.default_rng()`` constructed *without* a seed (including a
+  bare ``default_factory=np.random.default_rng`` reference, which seeds
+  from OS entropy on every construction).
+* **LINT008** — nondeterministic scalars (``time.*`` clocks,
+  ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``) flowing into a
+  *decision*: a comparison, an ``if``/``while`` test, a
+  ``sorted``/``min``/``max`` key, or a ``seed=`` argument.  Taint is
+  tracked intra-function through name assignments; pure telemetry
+  (``elapsed = time.perf_counter() - t0`` stored and reported) does not
+  flag.
+* **LINT009** — order-sensitive iteration over ``set``/``frozenset``
+  values: ``for`` loops, comprehensions, ``list``/``tuple``/
+  ``enumerate``/``reversed``/``str.join`` conversions, key-based
+  ``min``/``max``/``sorted``.  ``sorted(s)`` *without* a key is the
+  sanctioned fix (total order, no tie-break on iteration order).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.static.callgraph import CallGraph, callee_parts, module_imports
+from repro.analysis.static.findings import StaticFinding
+from repro.analysis.static.loader import ModuleInfo
+
+#: Legacy ``random`` module functions that use the process-global RNG.
+_RANDOM_GLOBAL_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "seed", "getrandbits", "gauss",
+        "normalvariate", "betavariate", "expovariate", "triangular",
+    }
+)
+
+#: Legacy ``np.random`` module-level functions (global RandomState).
+_NP_RANDOM_GLOBAL_FUNCS = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "choice",
+        "shuffle", "permutation", "uniform", "normal", "seed",
+        "standard_normal", "binomial", "poisson",
+    }
+)
+
+#: ``(receiver, name)`` → human description of a nondeterministic source.
+_ND_SOURCES: dict[tuple[str, str], str] = {
+    ("time", "time"): "time.time()",
+    ("time", "time_ns"): "time.time_ns()",
+    ("time", "monotonic"): "time.monotonic()",
+    ("time", "monotonic_ns"): "time.monotonic_ns()",
+    ("time", "perf_counter"): "time.perf_counter()",
+    ("time", "perf_counter_ns"): "time.perf_counter_ns()",
+    ("time", "process_time"): "time.process_time()",
+    ("os", "urandom"): "os.urandom()",
+    ("uuid", "uuid1"): "uuid.uuid1()",
+    ("uuid", "uuid4"): "uuid.uuid4()",
+    ("secrets", "token_bytes"): "secrets.token_bytes()",
+    ("secrets", "token_hex"): "secrets.token_hex()",
+    ("secrets", "randbits"): "secrets.randbits()",
+    ("secrets", "choice"): "secrets.choice()",
+}
+
+_SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "AbstractSet", "MutableSet"})
+
+
+def _np_random_receiver(recv: str | None, aliases: dict[str, str]) -> bool:
+    """True when a dotted receiver means the ``numpy.random`` module."""
+    if recv is None:
+        return False
+    head, _, rest = recv.partition(".")
+    resolved = aliases.get(head, head)
+    full = resolved + ("." + rest if rest else "")
+    return full in ("numpy.random", "np.random")
+
+
+def _source_description(
+    node: ast.Call, aliases: dict[str, str]
+) -> str | None:
+    """Description of ``node`` if it is a nondeterministic source call."""
+    recv, term = callee_parts(node.func)
+    if term is None:
+        return None
+    if recv is not None:
+        head, _, rest = recv.partition(".")
+        resolved = aliases.get(head, head)
+        recv = resolved + ("." + rest if rest else "")
+        return _ND_SOURCES.get((recv, term))
+    # Bare name: resolve `from time import perf_counter`-style imports.
+    imported = aliases.get(term)
+    if imported and "." in imported:
+        mod, _, name = imported.rpartition(".")
+        return _ND_SOURCES.get((mod, name))
+    return None
+
+
+def _is_set_expr(node: ast.expr, set_vars: set[str]) -> bool:
+    """Whether ``node`` syntactically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    if isinstance(node, ast.Call):
+        recv, term = callee_parts(node.func)
+        if recv is None and term in ("set", "frozenset"):
+            return True
+        # dict.get(key, set()) and friends: set-valued default.
+        if term == "get" and len(node.args) >= 2:
+            return _is_set_expr(node.args[1], set_vars)
+        if term in ("union", "intersection", "difference",
+                    "symmetric_difference", "copy"):
+            inner = node.func
+            if isinstance(inner, ast.Attribute):
+                return _is_set_expr(inner.value, set_vars)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_vars) or _is_set_expr(
+            node.right, set_vars
+        )
+    return False
+
+
+class _ScopeChecker:
+    """LINT007/008/009 checks over one function body (or module top level)."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        aliases: dict[str, str],
+        annotations: dict[str, str | None],
+        findings: list[StaticFinding],
+        seen: set[tuple[str, int]],
+    ) -> None:
+        self.module = module
+        self.aliases = aliases
+        self.findings = findings
+        self.tainted: dict[str, str] = {}
+        self.set_vars: set[str] = {
+            name
+            for name, ann in annotations.items()
+            if ann in _SET_TYPE_NAMES
+        }
+        # Shared per-module: nested functions are walked both from their
+        # enclosing body and as their own scope; flag each site once.
+        self._flagged_lines = seen
+
+    def _emit(self, rule_id: str, line: int, message: str) -> None:
+        key = (rule_id, line)
+        if key in self._flagged_lines:
+            return
+        self._flagged_lines.add(key)
+        self.findings.append(
+            StaticFinding(
+                rule_id=rule_id, module=self.module, line=line, message=message
+            )
+        )
+
+    # ---------------------------------------------------------- LINT007
+
+    def _check_global_rng(self, node: ast.Call) -> None:
+        recv, term = callee_parts(node.func)
+        if term is None:
+            return
+        if recv is not None:
+            head = recv.partition(".")[0]
+            resolved_head = self.aliases.get(head, head)
+            if recv == "random" and resolved_head == "random":
+                if term in _RANDOM_GLOBAL_FUNCS:
+                    self._emit(
+                        "LINT007",
+                        node.lineno,
+                        f"random.{term}() uses the process-global RNG; "
+                        "derive a Generator from the run's SeedSequence "
+                        "stream instead",
+                    )
+                return
+            if _np_random_receiver(recv, self.aliases):
+                if term in _NP_RANDOM_GLOBAL_FUNCS:
+                    self._emit(
+                        "LINT007",
+                        node.lineno,
+                        f"np.random.{term}() uses the legacy global "
+                        "RandomState; use np.random.default_rng(seed) "
+                        "with a SeedSequence-derived seed",
+                    )
+                elif term == "default_rng" and not node.args and not node.keywords:
+                    self._emit(
+                        "LINT007",
+                        node.lineno,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass a SeedSequence-derived seed",
+                    )
+                return
+        else:
+            imported = self.aliases.get(term, "")
+            if imported == f"random.{term}" and term in _RANDOM_GLOBAL_FUNCS:
+                self._emit(
+                    "LINT007",
+                    node.lineno,
+                    f"{term}() (from random) uses the process-global RNG; "
+                    "derive a Generator from the run's SeedSequence stream",
+                )
+            elif imported.endswith(".default_rng") and not node.args and not node.keywords:
+                self._emit(
+                    "LINT007",
+                    node.lineno,
+                    "default_rng() without a seed draws OS entropy; pass "
+                    "a SeedSequence-derived seed",
+                )
+
+    def _check_rng_reference(self, node: ast.keyword) -> None:
+        """``default_factory=np.random.default_rng`` (unseeded per call)."""
+        value = node.value
+        recv, term = (
+            callee_parts(value)
+            if isinstance(value, (ast.Attribute, ast.Name))
+            else (None, None)
+        )
+        if isinstance(value, ast.Attribute):
+            if term == "default_rng" and _np_random_receiver(recv, self.aliases):
+                self._emit(
+                    "LINT007",
+                    value.lineno,
+                    "bare np.random.default_rng reference seeds from OS "
+                    "entropy on every call; wrap it with an explicit "
+                    "SeedSequence-derived seed",
+                )
+        elif isinstance(value, ast.Name):
+            imported = self.aliases.get(value.id, "")
+            if imported.endswith(".default_rng"):
+                self._emit(
+                    "LINT007",
+                    value.lineno,
+                    "bare default_rng reference seeds from OS entropy on "
+                    "every call; wrap it with an explicit seed",
+                )
+
+    # ---------------------------------------------------------- LINT008
+
+    def _expr_taint(self, node: ast.expr) -> str | None:
+        """Source description if ``node`` carries nondeterministic taint."""
+        for leaf in ast.walk(node):
+            if isinstance(leaf, ast.Call):
+                desc = _source_description(leaf, self.aliases)
+                if desc is not None:
+                    return desc
+            elif isinstance(leaf, ast.Name) and isinstance(
+                leaf.ctx, ast.Load
+            ):
+                if leaf.id in self.tainted:
+                    return self.tainted[leaf.id]
+        return None
+
+    def _propagate(self, body: list[ast.stmt]) -> None:
+        """Fixpoint taint propagation through name assignments."""
+        assigns: list[tuple[list[str], ast.expr]] = []
+        for stmt in body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Assign):
+                    names = [
+                        t.id
+                        for t in inner.targets
+                        if isinstance(t, ast.Name)
+                    ]
+                    if names:
+                        assigns.append((names, inner.value))
+                elif isinstance(inner, ast.AnnAssign) and inner.value:
+                    if isinstance(inner.target, ast.Name):
+                        assigns.append(([inner.target.id], inner.value))
+                elif isinstance(inner, ast.AugAssign):
+                    if isinstance(inner.target, ast.Name):
+                        assigns.append(([inner.target.id], inner.value))
+        changed = True
+        while changed:
+            changed = False
+            for names, value in assigns:
+                desc = self._expr_taint(value)
+                if desc is None:
+                    continue
+                for name in names:
+                    if name not in self.tainted:
+                        self.tainted[name] = desc
+                        changed = True
+
+    def _check_decision_sinks(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Compare):
+                    desc = self._expr_taint(inner)
+                    if desc is not None:
+                        self._emit(
+                            "LINT008",
+                            inner.lineno,
+                            f"comparison on a value derived from {desc}; "
+                            "nondeterministic sources must not steer "
+                            "decisions",
+                        )
+                elif isinstance(inner, (ast.If, ast.While)):
+                    test = inner.test
+                    if isinstance(test, ast.Name) and test.id in self.tainted:
+                        self._emit(
+                            "LINT008",
+                            inner.lineno,
+                            f"branch on a value derived from "
+                            f"{self.tainted[test.id]}",
+                        )
+                elif isinstance(inner, ast.Call):
+                    recv, term = callee_parts(inner.func)
+                    for kw in inner.keywords:
+                        if kw.arg == "key" and term in (
+                            "sorted", "min", "max"
+                        ):
+                            desc = self._expr_taint(kw.value)
+                            if desc is not None:
+                                self._emit(
+                                    "LINT008",
+                                    inner.lineno,
+                                    f"{term}() key derived from {desc}",
+                                )
+                        elif kw.arg == "seed":
+                            desc = self._expr_taint(kw.value)
+                            if desc is not None:
+                                self._emit(
+                                    "LINT008",
+                                    inner.lineno,
+                                    f"seed= derived from {desc}; seeds "
+                                    "must come from the run's "
+                                    "SeedSequence stream",
+                                )
+
+    # ---------------------------------------------------------- LINT009
+
+    def _infer_set_vars(self, body: list[ast.stmt]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for stmt in body:
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Assign):
+                        if _is_set_expr(inner.value, self.set_vars):
+                            for t in inner.targets:
+                                if (
+                                    isinstance(t, ast.Name)
+                                    and t.id not in self.set_vars
+                                ):
+                                    self.set_vars.add(t.id)
+                                    changed = True
+                    elif isinstance(inner, ast.AnnAssign) and isinstance(
+                        inner.target, ast.Name
+                    ):
+                        ann = inner.annotation
+                        base = ann.value if isinstance(ann, ast.Subscript) else ann
+                        if (
+                            isinstance(base, ast.Name)
+                            and base.id in _SET_TYPE_NAMES
+                            and inner.target.id not in self.set_vars
+                        ):
+                            self.set_vars.add(inner.target.id)
+                            changed = True
+
+    def _flag_set_iter(self, node: ast.expr, context: str) -> None:
+        if _is_set_expr(node, self.set_vars):
+            what = (
+                f"'{node.id}'"
+                if isinstance(node, ast.Name)
+                else "a set expression"
+            )
+            self._emit(
+                "LINT009",
+                node.lineno,
+                f"{context} iterates {what} in hash order; wrap it in "
+                "sorted(...) so ordering cannot depend on set iteration",
+            )
+
+    def _check_set_iteration(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.For, ast.AsyncFor)):
+                    self._flag_set_iter(inner.iter, "for loop")
+                elif isinstance(
+                    inner, (ast.ListComp, ast.GeneratorExp, ast.DictComp,
+                            ast.SetComp)
+                ):
+                    for gen in inner.generators:
+                        # A set comprehension's own result is unordered
+                        # anyway; what matters is ordered outputs.
+                        if not isinstance(inner, ast.SetComp):
+                            self._flag_set_iter(gen.iter, "comprehension")
+                elif isinstance(inner, ast.Call):
+                    recv, term = callee_parts(inner.func)
+                    if term in ("list", "tuple", "enumerate", "reversed"):
+                        if recv is None and inner.args:
+                            self._flag_set_iter(
+                                inner.args[0], f"{term}() conversion"
+                            )
+                    elif term == "join" and recv is not None and inner.args:
+                        self._flag_set_iter(inner.args[0], "str.join()")
+                    elif term in ("min", "max", "sorted") and recv is None:
+                        has_key = any(
+                            kw.arg == "key" for kw in inner.keywords
+                        )
+                        if has_key and inner.args:
+                            self._flag_set_iter(
+                                inner.args[0],
+                                f"key-based {term}() (stable tie-break "
+                                "follows input order)",
+                            )
+
+    # ------------------------------------------------------------- run
+
+    def check(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Call):
+                    self._check_global_rng(inner)
+                    for kw in inner.keywords:
+                        if kw.arg in ("default_factory", "factory"):
+                            self._check_rng_reference(kw)
+        self._propagate(body)
+        self._check_decision_sinks(body)
+        self._infer_set_vars(body)
+        self._check_set_iteration(body)
+
+
+def run_seedflow_pass(
+    modules: list[ModuleInfo], graph: CallGraph
+) -> list[StaticFinding]:
+    """LINT007/008/009 over every function body and module top level."""
+    findings: list[StaticFinding] = []
+    for module in modules:
+        aliases = module_imports(module)
+        seen: set[tuple[str, int]] = set()
+        # Module and class bodies, minus function definitions (methods
+        # are analyzed as their own scopes below).  Class-level
+        # statements matter: dataclass field defaults live there.
+        top: list[ast.stmt] = []
+        queue: list[ast.stmt] = list(module.tree.body)
+        while queue:
+            stmt = queue.pop(0)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                queue.extend(stmt.body)
+                continue
+            top.append(stmt)
+        _ScopeChecker(module, aliases, {}, findings, seen).check(top)
+        for info in graph.by_module.get(module.name, ()):
+            checker = _ScopeChecker(
+                module, aliases, info.params, findings, seen
+            )
+            checker.check(list(info.node.body))
+    return findings

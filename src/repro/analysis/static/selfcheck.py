@@ -1,0 +1,165 @@
+"""Planted-hazard self-check for the static analyzer.
+
+``repro check --self-check`` must prove the analyzer can still catch
+what it claims to catch, so each LINT007–LINT013 rule gets a fixture
+module with exactly one planted hazard.  The fixtures are written to a
+throwaway package on disk at check time (the analyzer is file-based),
+analyzed raw — no suppressions, no baseline — and the gate fails if any
+planted hazard goes undetected or the clean control module fires.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.analysis.static.engine import run_passes
+from repro.analysis.static.loader import load_paths
+
+#: rule id → (fixture name, planted-hazard source).
+PLANTED_HAZARDS: dict[str, tuple[str, str]] = {
+    "LINT007": (
+        "global_rng",
+        """
+        from __future__ import annotations
+
+        import numpy as np
+
+        def jitter(values):
+            np.random.shuffle(values)
+            return values
+        """,
+    ),
+    "LINT008": (
+        "clock_decision",
+        """
+        from __future__ import annotations
+
+        import time
+
+        def pick(a, b):
+            now = time.perf_counter()
+            if now > 100.0:
+                return a
+            return b
+        """,
+    ),
+    "LINT009": (
+        "set_order",
+        """
+        from __future__ import annotations
+
+        def emit_order(items):
+            pending = set(items)
+            return [x for x in pending]
+        """,
+    ),
+    "LINT010": (
+        "shared_mutation",
+        """
+        from __future__ import annotations
+
+        def _task(payload, ctx: SearchContext):
+            ctx.best = payload
+            return payload
+
+        def fan_out(pool, payloads):
+            return list(pool.map(_task, payloads))
+        """,
+    ),
+    "LINT011": (
+        "global_capture",
+        """
+        from __future__ import annotations
+
+        _CACHE = {}
+
+        def _work(item):
+            _CACHE[item] = True
+            return item
+
+        def fan_out(pool, items):
+            return list(pool.map(_work, items))
+        """,
+    ),
+    "LINT012": (
+        "float_ceil",
+        """
+        from __future__ import annotations
+
+        import math
+
+        def tiles(total, size):
+            return math.ceil(total / size)
+        """,
+    ),
+    "LINT013": (
+        "overflow_prod",
+        """
+        from __future__ import annotations
+
+        import numpy as np
+
+        def volume(shape):
+            return np.prod(shape)
+        """,
+    ),
+}
+
+#: Must produce zero findings: seeded rng, sorted set, integer ceil.
+CLEAN_CONTROL = """
+from __future__ import annotations
+
+import numpy as np
+
+def ceil_div(a, b):
+    return -(-a // b)
+
+def centered(values, rng: np.random.Generator):
+    ordered = sorted(set(values))
+    return [float(rng.normal()) for _ in ordered]
+"""
+
+
+def run_static_self_check() -> tuple[bool, str]:
+    """Plant one hazard per rule; every one must be detected.
+
+    Returns:
+        ``(ok, text)`` — ``ok`` is False if any planted hazard went
+        undetected or the clean control module produced findings.
+    """
+    lines: list[str] = []
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="repro-static-") as tmp:
+        pkg = Path(tmp) / "staticfixtures"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text(
+            '"""Planted static-analysis hazards (self-check)."""\n'
+        )
+        for rule_id, (name, source) in PLANTED_HAZARDS.items():
+            path = pkg / f"{name}.py"
+            path.write_text(textwrap.dedent(source).lstrip())
+            fired = {
+                f.rule_id for f in run_passes(load_paths([path]))
+            }
+            if rule_id in fired:
+                lines.append(f"detected  {rule_id} planted in {name}.py")
+            else:
+                ok = False
+                lines.append(
+                    f"MISSED    {rule_id} planted in {name}.py "
+                    f"(fired: {sorted(fired) or 'nothing'})"
+                )
+        clean = pkg / "clean_control.py"
+        clean.write_text(textwrap.dedent(CLEAN_CONTROL).lstrip())
+        fired = {f.rule_id for f in run_passes(load_paths([clean]))}
+        if fired:
+            ok = False
+            lines.append(
+                f"FALSE POSITIVE on clean_control.py: {sorted(fired)}"
+            )
+        else:
+            lines.append("clean     clean_control.py produced no findings")
+    verdict = "static self-check passed" if ok else "static self-check FAILED"
+    return ok, "\n".join([*lines, verdict])

@@ -1,0 +1,202 @@
+"""Per-function purity/mutation summaries over the call graph.
+
+Each function gets a :class:`FunctionSummary` of *directly visible*
+effects — attribute/subscript stores, mutator-method calls on
+parameters and free names, ``global`` declarations that are written —
+then a fixpoint propagates transitive impurity along resolved call
+edges, so "calls something that mutates a global" is itself impure.
+
+The summaries stay syntactic: a store through ``self.x`` is recorded
+with receiver ``"self"`` plus the receiver's annotation when one exists
+(``ctx: SearchContext`` → ``"SearchContext"``), which is what the
+worker-boundary pass needs to type-match shared state without real
+points-to analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.static.callgraph import CallGraph, FunctionInfo, walk_scope
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "add",
+        "discard", "update", "setdefault", "popitem", "sort", "reverse",
+        "appendleft", "extendleft", "popleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class MutationFact:
+    """One direct mutation: receiver root name, kind, annotation, line.
+
+    ``kind`` is ``"store"`` (attribute/subscript assignment),
+    ``"mutator"`` (in-place method call), or ``"global"`` (write to a
+    ``global``-declared name).
+    """
+
+    receiver: str
+    kind: str
+    annotation: str | None
+    line: int
+    detail: str = ""
+
+
+@dataclass
+class FunctionSummary:
+    """Visible effects of one function (direct + transitive purity)."""
+
+    qualname: str
+    mutations: list[MutationFact] = field(default_factory=list)
+    global_writes: list[MutationFact] = field(default_factory=list)
+    is_pure: bool = True          # no direct effects
+    transitively_pure: bool = True  # no effects anywhere in its closure
+
+
+def _receiver_root(node: ast.expr) -> str | None:
+    """Root name of an attribute/subscript chain: ``a.b[c].d`` → ``a``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def summarize_function(info: FunctionInfo) -> FunctionSummary:
+    """Direct-effect summary of one function body."""
+    summary = FunctionSummary(qualname=info.qualname)
+    node = info.node
+    declared_global: set[str] = set()
+    for stmt in walk_scope(node):
+        if isinstance(stmt, ast.Global):
+            declared_global.update(stmt.names)
+
+    locals_bound: set[str] = set(info.params)
+    for stmt in walk_scope(node):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    locals_bound.add(target.id)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for leaf in ast.walk(stmt.target):
+                if isinstance(leaf, ast.Name):
+                    locals_bound.add(leaf.id)
+
+    for stmt in walk_scope(node):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in declared_global:
+                        fact = MutationFact(
+                            receiver=target.id,
+                            kind="global",
+                            annotation=None,
+                            line=stmt.lineno,
+                            detail=f"writes global '{target.id}'",
+                        )
+                        summary.global_writes.append(fact)
+                        summary.mutations.append(fact)
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = _receiver_root(target)
+                    if root is None:
+                        continue
+                    fact = MutationFact(
+                        receiver=root,
+                        kind="store",
+                        annotation=info.params.get(root),
+                        line=stmt.lineno,
+                        detail=f"stores through '{root}'",
+                    )
+                    summary.mutations.append(fact)
+                    # A store through an un-bound free name mutates
+                    # module state even without a `global` declaration
+                    # (e.g. `_CACHE[key] = value`).  In a *nested*
+                    # function the free name is usually an enclosing
+                    # call's local (per-call closure state, recreated
+                    # inside each worker), so only top-level functions
+                    # get the module-global fact.
+                    if (
+                        not info.is_nested
+                        and root in info.free_names
+                        and root not in locals_bound
+                    ):
+                        summary.global_writes.append(
+                            MutationFact(
+                                receiver=root,
+                                kind="global",
+                                annotation=None,
+                                line=stmt.lineno,
+                                detail=(
+                                    f"mutates module-level '{root}' in place"
+                                ),
+                            )
+                        )
+        elif isinstance(stmt, ast.Call) and isinstance(
+            stmt.func, ast.Attribute
+        ):
+            if stmt.func.attr not in MUTATOR_METHODS:
+                continue
+            root = _receiver_root(stmt.func.value)
+            if root is None:
+                continue
+            fact = MutationFact(
+                receiver=root,
+                kind="mutator",
+                annotation=info.params.get(root),
+                line=stmt.lineno,
+                detail=f"calls '{root}...{stmt.func.attr}(...)'",
+            )
+            summary.mutations.append(fact)
+            if (
+                not info.is_nested
+                and root in info.free_names
+                and root not in locals_bound
+            ):
+                summary.global_writes.append(
+                    MutationFact(
+                        receiver=root,
+                        kind="global",
+                        annotation=None,
+                        line=stmt.lineno,
+                        detail=(
+                            f"mutates module-level '{root}' via "
+                            f".{stmt.func.attr}(...)"
+                        ),
+                    )
+                )
+
+    summary.is_pure = not summary.mutations
+    summary.transitively_pure = summary.is_pure
+    return summary
+
+
+def summarize_all(graph: CallGraph) -> dict[str, FunctionSummary]:
+    """Direct summaries for every function plus a transitive-purity fixpoint."""
+    summaries = {
+        qual: summarize_function(info)
+        for qual, info in graph.functions.items()
+    }
+    # Propagate impurity backwards along call edges until stable.
+    changed = True
+    while changed:
+        changed = False
+        for qual, summary in summaries.items():
+            if not summary.transitively_pure:
+                continue
+            for callee in graph.edges.get(qual, ()):
+                callee_summary = summaries.get(callee)
+                if callee_summary and not callee_summary.transitively_pure:
+                    summary.transitively_pure = False
+                    changed = True
+                    break
+    return summaries

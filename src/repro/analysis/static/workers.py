@@ -1,0 +1,195 @@
+"""Worker-boundary safety pass: LINT010, LINT011.
+
+The search pipeline fans work out through spawn-pinned process pools
+(``ResilientExecutor`` wrapping ``ProcessPoolExecutor``), so anything a
+pool task touches must be (a) picklable at the boundary and (b) free of
+cross-process shared-state mutation — a worker that mutates its *copy*
+of ``SearchContext`` silently diverges from the parent and from every
+other worker.
+
+Roots are found syntactically: the first-argument function of
+``.map(fn, ...)``/``.submit(fn, ...)``/``.imap*``/``.apply*`` calls and
+the ``initializer=`` keyword of pool constructions.  The call graph
+then closes over everything those roots can reach (method calls
+over-approximated by name), and the purity summaries provide the
+mutation facts:
+
+* **LINT010** — a worker-reachable function stores into (or calls an
+  in-place mutator on) a parameter annotated as a guarded shared type
+  (``SearchContext``/``AtomicDAG``/``Mesh2D``) that is not ``self``.
+  Post-fan-out, those objects are per-process copies; mutating one is
+  at best a silent no-op in the parent and at worst a determinism
+  fork.
+* **LINT011** — a worker-reachable function writes module-global state
+  (``global`` assignment or in-place mutation of a module-level
+  container), or the pool task itself is a ``lambda``/nested closure
+  (unpicklable under the spawn start method).  Pool *initializers* are
+  exempt for their own body — per-process setup of a module-level
+  worker-state dict is the sanctioned pattern — but not for their
+  callees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.static.callgraph import CallGraph, callee_parts, module_imports
+from repro.analysis.static.findings import StaticFinding
+from repro.analysis.static.loader import ModuleInfo
+from repro.analysis.static.summaries import FunctionSummary
+
+#: Shared-state types a worker must never mutate through a parameter.
+GUARDED_TYPE_NAMES = frozenset({"SearchContext", "AtomicDAG", "Mesh2D"})
+
+#: Pool methods whose first positional argument runs in a worker.
+_TASK_METHODS = frozenset(
+    {"map", "submit", "imap", "imap_unordered", "apply", "apply_async",
+     "starmap", "starmap_async"}
+)
+
+
+@dataclass
+class WorkerRoots:
+    """Functions that cross the process boundary.
+
+    Attributes:
+        task_roots: Qualnames passed as pool tasks.
+        initializers: Qualnames passed as ``initializer=`` (exempt from
+            LINT011 for their own body).
+        findings: LINT011 findings raised during root discovery
+            (lambda/unresolvable-closure task arguments).
+    """
+
+    task_roots: set[str] = field(default_factory=set)
+    initializers: set[str] = field(default_factory=set)
+    findings: list[StaticFinding] = field(default_factory=list)
+
+
+def _resolve_name(
+    name: str, module: ModuleInfo, aliases: dict[str, str], graph: CallGraph
+) -> str | None:
+    local = f"{module.name}.{name}"
+    if local in graph.functions:
+        return local
+    imported = aliases.get(name)
+    if imported and imported in graph.functions:
+        return imported
+    return None
+
+
+def find_worker_roots(
+    modules: list[ModuleInfo], graph: CallGraph
+) -> WorkerRoots:
+    """Scan every module for pool-task and initializer hand-offs."""
+    roots = WorkerRoots()
+    for module in modules:
+        aliases = module_imports(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            _recv, term = callee_parts(node.func)
+            if (
+                term in _TASK_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and node.args
+            ):
+                task = node.args[0]
+                if isinstance(task, ast.Lambda):
+                    roots.findings.append(
+                        StaticFinding(
+                            rule_id="LINT011",
+                            module=module,
+                            line=task.lineno,
+                            message=(
+                                f"lambda passed to .{term}() captures its "
+                                "enclosing scope and is unpicklable under "
+                                "the spawn start method; use a "
+                                "module-level function"
+                            ),
+                        )
+                    )
+                elif isinstance(task, ast.Name):
+                    qual = _resolve_name(task.id, module, aliases, graph)
+                    if qual is not None:
+                        roots.task_roots.add(qual)
+                        info = graph.functions[qual]
+                        if info.is_nested:
+                            roots.findings.append(
+                                StaticFinding(
+                                    rule_id="LINT011",
+                                    module=module,
+                                    line=task.lineno,
+                                    message=(
+                                        f"nested function '{task.id}' "
+                                        f"passed to .{term}() carries "
+                                        "closure state that cannot be "
+                                        "pickled under spawn; hoist it "
+                                        "to module level"
+                                    ),
+                                )
+                            )
+            for kw in node.keywords:
+                if kw.arg == "initializer" and isinstance(kw.value, ast.Name):
+                    qual = _resolve_name(
+                        kw.value.id, module, aliases, graph
+                    )
+                    if qual is not None:
+                        roots.initializers.add(qual)
+    return roots
+
+
+def run_workers_pass(
+    modules: list[ModuleInfo],
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+) -> list[StaticFinding]:
+    """LINT010/011 over everything reachable from pool tasks."""
+    roots = find_worker_roots(modules, graph)
+    findings = list(roots.findings)
+    reachable = graph.reachable_from(roots.task_roots | roots.initializers)
+    module_by_name = {m.name: m for m in modules}
+
+    for qual in sorted(reachable):
+        info = graph.functions[qual]
+        summary = summaries.get(qual)
+        module = module_by_name.get(info.module)
+        if summary is None or module is None:
+            continue
+        for fact in summary.mutations:
+            if (
+                fact.kind in ("store", "mutator")
+                and fact.receiver != "self"
+                and fact.annotation in GUARDED_TYPE_NAMES
+            ):
+                findings.append(
+                    StaticFinding(
+                        rule_id="LINT010",
+                        module=module,
+                        line=fact.line,
+                        message=(
+                            f"worker-reachable '{info.name}' mutates "
+                            f"shared {fact.annotation} parameter "
+                            f"'{fact.receiver}' ({fact.detail}); workers "
+                            "hold per-process copies, so the mutation "
+                            "forks state across the pool"
+                        ),
+                    )
+                )
+        if qual in roots.initializers:
+            # Sanctioned: per-process worker-state setup.
+            continue
+        for fact in summary.global_writes:
+            findings.append(
+                StaticFinding(
+                    rule_id="LINT011",
+                    module=module,
+                    line=fact.line,
+                    message=(
+                        f"worker-reachable '{info.name}' {fact.detail}; "
+                        "module-global writes outside a pool initializer "
+                        "diverge across processes"
+                    ),
+                )
+            )
+    return findings

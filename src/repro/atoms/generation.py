@@ -24,6 +24,7 @@ from repro.atoms.partition import grid_for
 from repro.config import EngineConfig
 from repro.engine.batch import region_bounds
 from repro.engine.cost_model import EngineCostModel
+from repro.intmath import ceil_div
 from repro.ir.graph import Graph, Node
 from repro.ir.ops import Input, Region
 from repro.ir.tensor import TensorShape
@@ -97,7 +98,7 @@ class AtomGenerator:
 
     graph: Graph
     cost_model: EngineCostModel
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
     def __post_init__(self) -> None:
         self._compute_nodes: list[Node] = [
@@ -319,10 +320,10 @@ class AtomGenerator:
         ci = in_shapes[0].channels if in_shapes else 1
         gh, gw, gc = _split_grid(shape, parts)
         target = (
-            max(1, math.ceil(shape.height / gh)),
-            max(1, math.ceil(shape.width / gw)),
+            max(1, ceil_div(shape.height, gh)),
+            max(1, ceil_div(shape.width, gw)),
             ci,
-            max(1, math.ceil(shape.channels / gc)),
+            max(1, ceil_div(shape.channels, gc)),
         )
         bounds = self._bounds[node.node_id]
         coeffs = []
@@ -624,10 +625,10 @@ def derive_vector_tiling(
             tiling[node.node_id] = TileSize(shape.height, shape.width, ci, shape.channels)
             continue
         tiling[node.node_id] = TileSize(
-            h=max(1, math.ceil(shape.height / producer_grid.tiles_h)),
-            w=max(1, math.ceil(shape.width / producer_grid.tiles_w)),
+            h=max(1, ceil_div(shape.height, producer_grid.tiles_h)),
+            w=max(1, ceil_div(shape.width, producer_grid.tiles_w)),
             ci=max(ci, 1),
-            co=max(1, math.ceil(shape.channels / producer_grid.tiles_c)),
+            co=max(1, ceil_div(shape.channels, producer_grid.tiles_c)),
         )
     return tiling
 
@@ -664,10 +665,10 @@ def layer_sequential_tiling(
         # Factor num_engines into a (gh, gw, gc) grid biased to spatial dims.
         gh, gw, gc = _split_grid(shape, num_engines)
         tiling[node.node_id] = TileSize(
-            h=max(1, math.ceil(shape.height / gh)),
-            w=max(1, math.ceil(shape.width / gw)),
+            h=max(1, ceil_div(shape.height, gh)),
+            w=max(1, ceil_div(shape.width, gw)),
             ci=max(ci, 1),
-            co=max(1, math.ceil(shape.channels / gc)),
+            co=max(1, ceil_div(shape.channels, gc)),
         )
     return tiling
 

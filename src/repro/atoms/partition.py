@@ -9,7 +9,6 @@ thousand-layer networks.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,17 +30,19 @@ class TileGrid:
     shape: TensorShape
     tile: TileSize
 
+    # Inlined ceil_div (exact integer ceil): these properties sit on the
+    # region/covering hot path, where the extra function call shows up.
     @property
     def tiles_h(self) -> int:
-        return math.ceil(self.shape.height / self.tile.h)
+        return -(-self.shape.height // self.tile.h)
 
     @property
     def tiles_w(self) -> int:
-        return math.ceil(self.shape.width / self.tile.w)
+        return -(-self.shape.width // self.tile.w)
 
     @property
     def tiles_c(self) -> int:
-        return math.ceil(self.shape.channels / self.tile.co)
+        return -(-self.shape.channels // self.tile.co)
 
     @property
     def num_tiles(self) -> int:

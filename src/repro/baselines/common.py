@@ -8,11 +8,11 @@ and the ideal bound are built from.
 
 from __future__ import annotations
 
-import math
 
 from repro.atoms.partition import grid_for
 from repro.atoms.generation import layer_sequential_tiling
 from repro.config import ArchConfig
+from repro.intmath import ceil_div
 from repro.engine.cost_model import EngineCostModel
 from repro.ir.graph import Graph
 from repro.ir.ops import Input
@@ -54,7 +54,7 @@ def ideal_result(
     ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
     macs = ctx.graph.total_macs() * batch
     peak = arch.num_engines * arch.engine.macs_per_cycle
-    cycles = math.ceil(macs / peak)
+    cycles = ceil_div(macs, peak)
     energy = EnergyBreakdown(mac_pj=macs * arch.energy.mac_pj)
     return RunResult(
         strategy="Ideal",

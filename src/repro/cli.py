@@ -411,6 +411,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         forwarded.append("--list-rules")
     if args.json:
         forwarded.append("--json")
+    if args.static:
+        forwarded.append("--static")
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.update_baseline:
+        forwarded.append("--update-baseline")
     if args.journal:
         forwarded += ["--journal", args.journal]
     if args.artifact:
@@ -552,6 +558,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--self-check", action="store_true")
     p_chk.add_argument("--list-rules", action="store_true")
     p_chk.add_argument("--json", action="store_true")
+    p_chk.add_argument(
+        "--static", action="store_true",
+        help="run the Tier-C interprocedural passes (LINT007-LINT013)",
+    )
+    p_chk.add_argument(
+        "--baseline", metavar="JSON",
+        help="ratchet baseline for --static "
+        "(default: tools/static_baseline.json when present)",
+    )
+    p_chk.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the --static baseline from current findings",
+    )
     p_chk.add_argument(
         "--artifact", help="solution JSON to validate (Tier A)"
     )

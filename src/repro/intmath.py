@@ -1,0 +1,22 @@
+"""Exact integer arithmetic helpers shared by the cost models.
+
+``math.ceil(a / b)`` round-trips through float64, so it is only exact
+while the numerator stays below 2**53 — a contract that is audited (and
+documented) for :mod:`repro.engine.batch` but nowhere else.  Floor
+division never leaves the integers, so ``ceil_div`` is exact at any
+magnitude; the LINT012 static rule points every ceil-of-division
+outside the batch kernel here.
+"""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Exact ``ceil(a / b)`` for integers, any magnitude.
+
+    Raises:
+        ValueError: For a non-positive divisor.
+    """
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 
 from repro.config import EnergyConfig, HbmConfig
+from repro.intmath import ceil_div
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,7 @@ class HbmModel:
         self.total_bytes_written = 0
 
     def _rounded(self, size_bytes: int) -> int:
-        bursts = math.ceil(size_bytes / self.config.burst_bytes)
+        bursts = ceil_div(size_bytes, self.config.burst_bytes)
         return bursts * self.config.burst_bytes
 
     def access(self, size_bytes: int, *, write: bool = False) -> HbmAccessCost:

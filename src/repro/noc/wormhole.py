@@ -14,10 +14,10 @@ Use by passing ``noc_mode="wormhole"`` to
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.config import NocConfig
+from repro.intmath import ceil_div
 from repro.noc.mesh import Mesh2D
 from repro.noc.traffic import Transfer
 
@@ -81,7 +81,7 @@ class WormholeSimulator:
         self.config = config
 
     def _flits(self, transfer: Transfer) -> int:
-        return max(1, math.ceil(8 * transfer.size_bytes / self.config.link_bits))
+        return max(1, ceil_div(8 * transfer.size_bytes, self.config.link_bits))
 
     def simulate(
         self, transfers: list[Transfer], start_times: list[int] | None = None

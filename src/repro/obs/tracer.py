@@ -255,6 +255,8 @@ def enable_tracing() -> Tracer:
     """Install (and return) a fresh recording tracer."""
     global _active
     tracer = Tracer()
+    # static-ok: LINT011 -- parent-process toggle; workers install their own
+    # tracer through the pool initializer, never through this global
     _active = tracer
     return tracer
 

@@ -345,6 +345,7 @@ class ResilientExecutor:
         for report in reports:
             while report.status == "pending":
                 delay = report._eligible_at - time.monotonic()
+                # static-ok: LINT008 -- wall-clock backoff pacing; values attempt-invariant
                 if delay > 0:
                     time.sleep(delay)
                 try:
@@ -368,6 +369,7 @@ class ResilientExecutor:
         """
         now = time.monotonic()
         open_reports = [r for r in reports if r.status == "pending"]
+        # static-ok: LINT008 -- wall-clock retry eligibility; values attempt-invariant
         eligible = [r for r in open_reports if r._eligible_at <= now]
         if not eligible:
             time.sleep(max(min(r._eligible_at for r in open_reports) - now, 0.0))
@@ -419,13 +421,15 @@ class ResilientExecutor:
             overdue = {
                 futures[fut]
                 for fut, t0 in started.items()
+                # static-ok: LINT008 -- wall-clock hang detection; payloads re-run pure
                 if fut in futures and now - t0 > timeout_s
             }
-            if overdue:
+            if overdue:  # static-ok: LINT008 -- triggers pool recycling only; results re-derive
                 # A stuck worker cannot be cancelled; recycle the pool.
                 charges = {
                     r: (
                         f"{_TIMEOUT_ERROR} ({timeout_s}s)"
+                        # static-ok: LINT008 -- labels the failure cause; task values unchanged
                         if r in overdue
                         else _POOL_LOST_ERROR
                     )

@@ -521,7 +521,7 @@ class SystemSimulator:
         if engine in holders and buffers[engine].contains(key):
             io.onchip_bytes += nbytes
             return
-        live_holders = [h for h in holders if buffers[h].contains(key)]
+        live_holders = [h for h in sorted(holders) if buffers[h].contains(key)]
         if live_holders:
             src = min(
                 live_holders, key=lambda h: self.mesh.hop_distance(h, engine)

@@ -1,0 +1,29 @@
+"""Shared helpers for the Tier-C static-analysis test modules."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.static import build_call_graph, load_paths, run_passes
+
+FUTURE = "from __future__ import annotations\n"
+
+
+def write_module(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def analyze(tmp_path, source, name="mod.py"):
+    """Raw pass findings for one source snippet."""
+    return run_passes(load_paths([write_module(tmp_path, source, name)]))
+
+
+def fired(tmp_path, source, name="mod.py"):
+    """The distinct rule ids the passes produce for a snippet."""
+    return {f.rule_id for f in analyze(tmp_path, source, name)}
+
+
+def graph_for(tmp_path, source, name="mod.py"):
+    return build_call_graph(load_paths([write_module(tmp_path, source, name)]))

@@ -33,7 +33,7 @@ class TestRegistry:
         rules = all_rules()
         assert [r.rule_id for r in rules] == sorted(r.rule_id for r in rules)
         assert all(r.description for r in rules)
-        assert all(r.tier in ("artifact", "lint") for r in rules)
+        assert all(r.tier in ("artifact", "lint", "static") for r in rules)
 
     def test_conflicting_reregistration_rejected(self):
         register_rule("AD103", Severity.ERROR, "artifact",

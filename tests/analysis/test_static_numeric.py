@@ -1,0 +1,151 @@
+"""Numeric-contract pass tests (LINT012/LINT013)."""
+
+from __future__ import annotations
+
+from tests.analysis._static_helpers import FUTURE, fired
+
+
+class TestLINT012FloatCeil:
+    def test_math_ceil_of_true_division(self, tmp_path):
+        src = FUTURE + (
+            "import math\n"
+            "def batches(total, size):\n"
+            "    return math.ceil(total / size)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT012"}
+
+    def test_np_ceil_of_true_division(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def batches(total, size):\n"
+            "    return np.ceil(total / size)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT012"}
+
+    def test_ceil_of_nested_division(self, tmp_path):
+        src = FUTURE + (
+            "import math\n"
+            "def tiles(h, w, t):\n"
+            "    return math.ceil((h * w) / (t * t))\n"
+        )
+        assert fired(tmp_path, src) == {"LINT012"}
+
+    def test_math_fsum_flagged(self, tmp_path):
+        src = FUTURE + (
+            "import math\n"
+            "def total(xs):\n"
+            "    return math.fsum(xs)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT012"}
+
+    def test_np_add_reduce_flagged(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def total(xs):\n"
+            "    return np.add.reduce(xs)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT012"}
+
+    def test_ceil_div_allowed(self, tmp_path):
+        src = FUTURE + (
+            "from repro.intmath import ceil_div\n"
+            "def batches(total, size):\n"
+            "    return ceil_div(total, size)\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_ceil_of_plain_float_allowed(self, tmp_path):
+        src = FUTURE + (
+            "import math\n"
+            "def up(x):\n"
+            "    return math.ceil(x)\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_floor_division_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def batches(total, size):\n"
+            "    return -(-total // size)\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_contract_module_exempt(self, tmp_path):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        src = FUTURE + (
+            "import math\n"
+            "def batches(total, size):\n"
+            "    return math.ceil(total / size)\n"
+        )
+        assert fired(tmp_path, src, name="repro/engine/batch.py") == set()
+
+
+class TestLINT013OverflowProduct:
+    def test_np_prod_without_dtype(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def volume(shape):\n"
+            "    return np.prod(shape)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT013"}
+
+    def test_array_prod_method_without_dtype(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def volume(arr):\n"
+            "    return arr.prod()\n"
+        )
+        assert fired(tmp_path, src) == {"LINT013"}
+
+    def test_np_prod_with_dtype_allowed(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def volume(shape):\n"
+            "    return np.prod(shape, dtype=np.int64)\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_math_prod_allowed(self, tmp_path):
+        src = FUTURE + (
+            "import math\n"
+            "def volume(shape):\n"
+            "    return math.prod(shape)\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_long_mult_chain_in_numpy_function(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def macs(n, c, h, w, k):\n"
+            "    lanes = np.zeros(4)\n"
+            "    return n * c * h * w * k + int(lanes.sum())\n"
+        )
+        assert fired(tmp_path, src) == {"LINT013"}
+
+    def test_long_chain_without_numpy_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def macs(n, c, h, w, k):\n"
+            "    return n * c * h * w * k\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_short_chain_in_numpy_function_allowed(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def area(h, w):\n"
+            "    lanes = np.zeros(4)\n"
+            "    return h * w + int(lanes.sum())\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_numpy_elsewhere_in_module_allowed(self, tmp_path):
+        src = FUTURE + (
+            "import numpy as np\n"
+            "def vectorized(xs):\n"
+            "    return np.asarray(xs)\n"
+            "def macs(n, c, h, w, k):\n"
+            "    return n * c * h * w * k\n"
+        )
+        assert fired(tmp_path, src) == set()

@@ -1,0 +1,212 @@
+"""Positive and negative cases for the seed-flow pass (LINT007-009)."""
+
+from __future__ import annotations
+
+from tests.analysis._static_helpers import FUTURE, analyze, fired
+
+
+class TestLINT007GlobalRng:
+    def test_random_module_function(self, tmp_path):
+        src = FUTURE + "import random\nx = random.randint(0, 7)\n"
+        assert fired(tmp_path, src) == {"LINT007"}
+
+    def test_legacy_np_random_global(self, tmp_path):
+        src = FUTURE + "import numpy as np\nv = np.random.rand(4)\n"
+        assert fired(tmp_path, src) == {"LINT007"}
+
+    def test_np_random_seed_is_global_state(self, tmp_path):
+        src = FUTURE + "import numpy as np\nnp.random.seed(0)\n"
+        assert fired(tmp_path, src) == {"LINT007"}
+
+    def test_unseeded_default_rng(self, tmp_path):
+        src = FUTURE + "import numpy as np\nrng = np.random.default_rng()\n"
+        assert fired(tmp_path, src) == {"LINT007"}
+
+    def test_seeded_default_rng_allowed(self, tmp_path):
+        src = FUTURE + "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert fired(tmp_path, src) == set()
+
+    def test_bare_default_factory_reference(self, tmp_path):
+        src = FUTURE + (
+            "from dataclasses import dataclass, field\n"
+            "import numpy as np\n"
+            "@dataclass\n"
+            "class S:\n"
+            "    rng: np.random.Generator = "
+            "field(default_factory=np.random.default_rng)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT007"}
+
+    def test_seeded_lambda_factory_allowed(self, tmp_path):
+        src = FUTURE + (
+            "from dataclasses import dataclass, field\n"
+            "import numpy as np\n"
+            "@dataclass\n"
+            "class S:\n"
+            "    rng: np.random.Generator = "
+            "field(default_factory=lambda: np.random.default_rng(0))\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_from_import_alias(self, tmp_path):
+        src = FUTURE + "from random import shuffle\nshuffle(items)\n"
+        assert fired(tmp_path, src) == {"LINT007"}
+
+    def test_generator_method_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def step(rng):\n"
+            "    return rng.random() < 0.5\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+
+class TestLINT008NondetDecision:
+    def test_branch_on_clock(self, tmp_path):
+        src = FUTURE + (
+            "import time\n"
+            "def pick(a, b):\n"
+            "    now = time.monotonic()\n"
+            "    if now > 5.0:\n"
+            "        return a\n"
+            "    return b\n"
+        )
+        assert fired(tmp_path, src) == {"LINT008"}
+
+    def test_taint_through_arithmetic(self, tmp_path):
+        src = FUTURE + (
+            "import time\n"
+            "def wait(t0):\n"
+            "    delay = time.monotonic() - t0\n"
+            "    return delay > 0\n"
+        )
+        assert fired(tmp_path, src) == {"LINT008"}
+
+    def test_uuid_in_comparison(self, tmp_path):
+        src = FUTURE + (
+            "import uuid\n"
+            "def fresh(old):\n"
+            "    return uuid.uuid4().hex != old\n"
+        )
+        assert fired(tmp_path, src) == {"LINT008"}
+
+    def test_clock_seed_kwarg(self, tmp_path):
+        src = FUTURE + (
+            "import time\n"
+            "import numpy as np\n"
+            "def make():\n"
+            "    return np.random.default_rng(seed=int(time.time()))\n"
+        )
+        assert "LINT008" in fired(tmp_path, src)
+
+    def test_sort_key_on_tainted(self, tmp_path):
+        src = FUTURE + (
+            "import time\n"
+            "def order(items):\n"
+            "    stamp = time.perf_counter()\n"
+            "    return sorted(items, key=lambda x: x - stamp)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT008"}
+
+    def test_pure_telemetry_allowed(self, tmp_path):
+        src = FUTURE + (
+            "import time\n"
+            "def timed(fn):\n"
+            "    t0 = time.perf_counter()\n"
+            "    out = fn()\n"
+            "    elapsed = time.perf_counter() - t0\n"
+            "    return out, elapsed\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_untainted_comparison_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def clamp(x):\n"
+            "    return x if x > 0 else 0\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+
+class TestLINT009SetIteration:
+    def test_for_loop_over_set(self, tmp_path):
+        src = FUTURE + (
+            "def emit(items):\n"
+            "    seen = set(items)\n"
+            "    for x in seen:\n"
+            "        print(x)\n"
+        )
+        assert fired(tmp_path, src) == {"LINT009"}
+
+    def test_list_comprehension_over_set(self, tmp_path):
+        src = FUTURE + (
+            "def emit(items):\n"
+            "    seen = {i for i in items}\n"
+            "    return [x + 1 for x in seen]\n"
+        )
+        assert fired(tmp_path, src) == {"LINT009"}
+
+    def test_dict_get_set_default(self, tmp_path):
+        src = FUTURE + (
+            "def emit(table, key):\n"
+            "    holders = table.get(key, set())\n"
+            "    return [h for h in holders]\n"
+        )
+        assert fired(tmp_path, src) == {"LINT009"}
+
+    def test_list_conversion(self, tmp_path):
+        src = FUTURE + (
+            "def emit(items):\n"
+            "    return list(frozenset(items))\n"
+        )
+        assert fired(tmp_path, src) == {"LINT009"}
+
+    def test_keyed_min_over_set(self, tmp_path):
+        src = FUTURE + (
+            "def nearest(cands: set, origin):\n"
+            "    return min(cands, key=lambda c: abs(c - origin))\n"
+        )
+        assert fired(tmp_path, src) == {"LINT009"}
+
+    def test_sorted_without_key_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def emit(items):\n"
+            "    seen = set(items)\n"
+            "    return sorted(seen)\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_keyless_min_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def smallest(items):\n"
+            "    return min(set(items))\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_membership_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def has(items, x):\n"
+            "    seen = set(items)\n"
+            "    return x in seen\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_set_comprehension_result_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def project(items):\n"
+            "    raw = set(items)\n"
+            "    return {x * 2 for x in raw}\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_dict_iteration_allowed(self, tmp_path):
+        src = FUTURE + (
+            "def emit(table: dict):\n"
+            "    return [k for k in table]\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+
+class TestFindingLocations:
+    def test_location_has_path_and_line(self, tmp_path):
+        src = FUTURE + "import numpy as np\nnp.random.seed(1)\n"
+        [finding] = analyze(tmp_path, src)
+        assert finding.location.endswith("mod.py:3")

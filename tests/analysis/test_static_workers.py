@@ -1,0 +1,182 @@
+"""Worker-boundary safety pass tests (LINT010/LINT011)."""
+
+from __future__ import annotations
+
+from tests.analysis._static_helpers import FUTURE, analyze, fired
+
+POOL_PRELUDE = FUTURE + (
+    "from concurrent.futures import ProcessPoolExecutor\n"
+)
+
+
+class TestLINT010SharedStateMutation:
+    def test_direct_task_mutates_context(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def _task(payload, ctx: SearchContext):\n"
+            "    ctx.best = payload\n"
+            "    return payload\n"
+            "def run(items, ctx):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert "LINT010" in fired(tmp_path, src)
+
+    def test_transitive_callee_mutates_dag(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def _record(dag: AtomicDAG, value):\n"
+            "    dag.atoms.append(value)\n"
+            "def _task(payload):\n"
+            "    _record(payload.dag, payload.value)\n"
+            "    return payload\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert "LINT010" in fired(tmp_path, src)
+
+    def test_mesh_mutator_method(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def _task(mesh: Mesh2D):\n"
+            "    mesh.routes.update({})\n"
+            "    return mesh\n"
+            "def run(meshes):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, meshes))\n"
+        )
+        assert "LINT010" in fired(tmp_path, src)
+
+    def test_self_mutation_allowed(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "class Tracker:\n"
+            "    def _task(self, payload):\n"
+            "        self.items.append(payload)\n"
+            "        return payload\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_unannotated_param_allowed(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def _task(bag):\n"
+            "    bag.items.append(1)\n"
+            "    return bag\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_unreachable_mutation_allowed(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def driver_only(ctx: SearchContext, value):\n"
+            "    ctx.best = value\n"
+            "def _task(payload):\n"
+            "    return payload * 2\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+
+class TestLINT011GlobalCapture:
+    def test_task_writes_module_global(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "_CACHE = {}\n"
+            "def _task(item):\n"
+            "    _CACHE[item] = True\n"
+            "    return item\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert "LINT011" in fired(tmp_path, src)
+
+    def test_global_statement_in_task(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "_COUNT = 0\n"
+            "def _task(item):\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+            "    return item\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert "LINT011" in fired(tmp_path, src)
+
+    def test_lambda_task(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(lambda x: x + 1, items))\n"
+        )
+        assert "LINT011" in fired(tmp_path, src)
+
+    def test_nested_closure_task(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "def run(items, bias):\n"
+            "    def _task(x):\n"
+            "        return x + bias\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert "LINT011" in fired(tmp_path, src)
+
+    def test_initializer_own_body_exempt(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "_WORKER_STATE = None\n"
+            "def _init():\n"
+            "    global _WORKER_STATE\n"
+            "    _WORKER_STATE = {}\n"
+            "def _task(item):\n"
+            "    return item\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor(initializer=_init) as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_global_read_allowed(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "_TABLE = {1: 2}\n"
+            "def _task(item):\n"
+            "    return _TABLE.get(item, 0)\n"
+            "def run(items):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(_task, items))\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_global_write_outside_worker_allowed(self, tmp_path):
+        src = FUTURE + (
+            "_CACHE = {}\n"
+            "def memo(key, value):\n"
+            "    _CACHE[key] = value\n"
+        )
+        assert fired(tmp_path, src) == set()
+
+    def test_submit_spelling(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "_LOG = []\n"
+            "def _task(item):\n"
+            "    _LOG.append(item)\n"
+            "    return item\n"
+            "def run(items, pool):\n"
+            "    return [pool.submit(_task, i) for i in items]\n"
+        )
+        assert "LINT011" in fired(tmp_path, src)
+
+
+class TestWorkerFindingDetail:
+    def test_message_names_task_root(self, tmp_path):
+        src = POOL_PRELUDE + (
+            "_CACHE = {}\n"
+            "def _task(item):\n"
+            "    _CACHE[item] = True\n"
+            "    return item\n"
+            "def run(items, pool):\n"
+            "    return list(pool.map(_task, items))\n"
+        )
+        findings = [f for f in analyze(tmp_path, src) if f.rule_id == "LINT011"]
+        assert findings
+        assert any("_task" in f.message or "_CACHE" in f.message for f in findings)

@@ -37,8 +37,11 @@ class TestTileGridProperties:
         total = sum(r.num_elements for r in grid.regions())
         assert total == shape.num_elements
 
+    # O(n^2) pairwise check: a 24^3 all-ones grid is ~1.4M intersect
+    # calls, which sits right at hypothesis' 200ms default deadline on a
+    # loaded CI box — the deadline flakes, the property does not.
     @given(shapes_and_tiles())
-    @settings(max_examples=100)
+    @settings(max_examples=100, deadline=None)
     def test_tiles_disjoint(self, st_pair):
         shape, tile = st_pair
         grid = grid_for(shape, tile)
