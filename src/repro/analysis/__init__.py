@@ -37,6 +37,12 @@ from repro.analysis.resilience_rules import (
 )
 from repro.analysis.schedule_rules import check_schedule
 from repro.analysis.selfcheck import run_self_check
+from repro.analysis.service_rules import (
+    check_admission_accounting,
+    check_job_journal,
+    check_service_state,
+    check_store,
+)
 from repro.analysis.static import (
     STATIC_RULES,
     run_static_analysis,
@@ -54,13 +60,17 @@ __all__ = [
     "Severity",
     "all_rules",
     "assert_valid",
+    "check_admission_accounting",
     "check_buffering",
     "check_checkpoint_journal",
     "check_dag",
+    "check_job_journal",
     "check_placement",
     "check_resilience_traces",
     "check_search_trace",
     "check_schedule",
+    "check_service_state",
+    "check_store",
     "check_timeline",
     "get_rule",
     "lint_paths",

@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate a checkpoint journal (Tier A, AD601)",
     )
     parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="validate a solution store or serve state directory "
+        "(Tier A, AD801/AD802)",
+    )
+    parser.add_argument(
         "--mesh",
         type=_parse_mesh,
         default=(8, 8),
@@ -187,6 +193,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.static or args.update_baseline:
         return _run_static(args)
+
+    if args.store:
+        from repro.analysis.service_rules import check_service_state
+
+        if not Path(args.store).exists():
+            print(f"no such store: {args.store}", file=sys.stderr)
+            return 2
+        return _finish(check_service_state(args.store), args.json)
 
     if args.journal:
         from repro.analysis.resilience_rules import check_checkpoint_journal

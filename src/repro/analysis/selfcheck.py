@@ -26,11 +26,18 @@ if the analysis subsystem ever rots.  Four legs:
    per Tier-C rule (LINT007–LINT013) must each be detected, a clean
    control module must not fire, and the installed ``repro`` tree must
    pass the interprocedural passes with every remaining finding covered
-   by a justified suppression.
+   by a justified suppression;
+6. **Service-state round-trip** — a real solution document written
+   through the content-addressed store passes AD801, a legal job
+   lifecycle replays AD802-clean, a consistent admission snapshot passes
+   AD803, and seeded corruptions (flipped object bytes, a post-terminal
+   job transition, over-quota accounting) each trip exactly the rule
+   that guards them.
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 from dataclasses import replace
 from pathlib import Path
@@ -372,6 +379,112 @@ def run_self_check() -> tuple[bool, str]:
         "seeded duplicate trace labels",
         check_search_trace(relabeled),
         ("AD502",),
+        lines,
+    )
+
+    # Service-state round-trip (AD8xx): real store + journal + admission
+    # snapshot pass; seeded corruptions trip the guarding rules.
+    from repro.analysis.service_rules import (
+        check_admission_accounting,
+        check_job_journal,
+        check_store,
+    )
+    from repro.fingerprint import request_fingerprint
+    from repro.serialize import solution_to_dict
+    from repro.service.jobs import JobJournal, JobRecord
+    from repro.service.store import SolutionStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-svc-") as tmp:
+        graph = get_model(outcomes[0][0])
+        fingerprint = request_fingerprint(graph, arch, options)
+        store_dir = Path(tmp) / "store"
+        store = SolutionStore(store_dir)
+        store.put(
+            fingerprint,
+            solution_to_dict(outcome, options.dataflow, include_search=False),
+            graph=graph,
+            arch=arch,
+        )
+        passed &= _expect_clean(
+            "service solution store", check_store(store_dir), lines
+        )
+
+        obj_path = store_dir / "objects" / f"{fingerprint}.json"
+        tampered_obj = bytearray(obj_path.read_bytes())
+        tampered_obj[len(tampered_obj) // 2] ^= 0xFF
+        obj_path.write_bytes(bytes(tampered_obj))
+        passed &= _expect(
+            "seeded corrupted store object",
+            check_store(store_dir),
+            ("AD801",),
+            lines,
+        )
+
+        journal_path = Path(tmp) / "jobs.jsonl"
+        jobs_journal = JobJournal(journal_path)
+        jobs_journal.open()
+        job = JobRecord(
+            job_id="job-000001",
+            fingerprint=fingerprint,
+            model=graph.name,
+            tenant="ci",
+        )
+        jobs_journal.record("queued", job)
+        job = job.advanced("running")
+        jobs_journal.record("running", job)
+        job = job.advanced(
+            "done",
+            total_cycles=outcome.result.total_cycles,
+            search_seconds=1.0,
+        )
+        jobs_journal.record("done", job)
+        jobs_journal.close()
+        passed &= _expect_clean(
+            "service job journal", check_job_journal(journal_path), lines
+        )
+
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"event": "running", "job": job.advanced("running").to_dict()}
+                )
+                + "\n"
+            )
+        passed &= _expect(
+            "seeded post-terminal job transition",
+            check_job_journal(journal_path),
+            ("AD802",),
+            lines,
+        )
+
+    snapshot = {
+        "max_queue_depth": 4,
+        "default_quota": 2,
+        "quotas": {},
+        "in_flight": {"ci": 1},
+        "total_in_flight": 1,
+    }
+    live_jobs = {
+        "job-000002": JobRecord(
+            job_id="job-000002",
+            fingerprint=fingerprint,
+            model=graph.name,
+            tenant="ci",
+            state="queued",
+        )
+    }
+    passed &= _expect_clean(
+        "service admission accounting",
+        check_admission_accounting(snapshot, live_jobs),
+        lines,
+    )
+    passed &= _expect(
+        "seeded over-quota accounting",
+        check_admission_accounting(
+            {**snapshot, "in_flight": {"ci": 5}, "total_in_flight": 5},
+            live_jobs,
+        ),
+        ("AD803",),
         lines,
     )
 

@@ -1,0 +1,413 @@
+"""Tier-A validators for compile-service state (AD8xx).
+
+The service layer (:mod:`repro.service`) adds durable state the earlier
+artifact rules know nothing about: a content-addressed solution store, a
+job journal, and admission accounting.  Three rules guard them:
+
+* ``AD801`` — store integrity: the index parses, every indexed entry's
+  object file exists with matching size and content digest and holds a
+  well-formed solution document whose workload/cycles agree with the
+  index, no orphan objects shadow the index, and access sequence numbers
+  are internally consistent (the LRU clock never runs backwards);
+* ``AD802`` — job-journal consistency: a valid header, every event line
+  parses to a record whose state matches the event, per-job transitions
+  follow the lifecycle (``queued → running → done/failed/cancelled``,
+  with restart re-queues allowed, and nothing after a terminal state),
+  searched ``done`` jobs carry cycles and ``failed`` jobs carry errors —
+  the invariant a daemon kill-and-restart must preserve;
+* ``AD803`` — quota-accounting sanity: an admission snapshot's totals
+  add up, no tenant exceeds its quota, the total respects the queue
+  depth cap, and (given the job table) no tenant holds more slots than
+  it has non-terminal jobs.
+
+All imports of :mod:`repro.service` are deferred into the check
+functions: this module registers rules at :mod:`repro.analysis` import
+time and must not drag the service (and its executor machinery) along.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.diagnostics import Report, Severity, register_rule
+
+register_rule(
+    "AD801",
+    Severity.ERROR,
+    "artifact",
+    "solution-store entries must match their index: existing objects, "
+    "matching digests, well-formed documents, consistent LRU sequencing",
+)
+register_rule(
+    "AD802",
+    Severity.ERROR,
+    "artifact",
+    "job-journal events must follow the job lifecycle and replay to a "
+    "consistent job table after a daemon restart",
+)
+register_rule(
+    "AD803",
+    Severity.ERROR,
+    "artifact",
+    "admission accounting must be sane: totals add up, quotas and queue "
+    "depth respected, slots backed by live jobs",
+)
+
+#: Legal predecessor states for each job-journal event.  A job's first
+#: event must be ``queued`` (a real submission) or ``done`` (a cache hit
+#: journaled terminal immediately); ``None`` marks "no prior event".
+_LEGAL_TRANSITIONS: dict[str, tuple[str | None, ...]] = {
+    "queued": (None, "queued", "running"),  # running→queued = restart
+    "running": ("queued",),
+    "done": (None, "queued", "running"),  # None = cache hit at submit
+    "failed": ("queued", "running"),  # queued→failed = coalesce collapse
+    "cancelled": ("queued",),
+}
+
+
+def check_store(root: str | Path, report: Report | None = None) -> Report:
+    """Run AD801 over a solution-store directory."""
+    report = report if report is not None else Report()
+    root = Path(root)
+    report.mark_checked(f"SolutionStore({root})")
+
+    from repro.service.store import (
+        STORE_FORMAT,
+        STORE_VERSION,
+        check_solution_document,
+    )
+
+    index_path = root / "index.json"
+    objects = root / "objects"
+    try:
+        index = json.loads(index_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        if objects.exists() and any(objects.glob("*.json")):
+            report.emit(
+                "AD801", str(root), "objects exist but index.json is missing"
+            )
+        return report
+    except (OSError, ValueError) as exc:
+        report.emit("AD801", str(index_path), f"unreadable index: {exc}")
+        return report
+
+    if index.get("format") != STORE_FORMAT:
+        report.emit(
+            "AD801",
+            str(index_path),
+            f"index format {index.get('format')!r}; expected {STORE_FORMAT!r}",
+        )
+        return report
+    if index.get("version") != STORE_VERSION:
+        report.emit(
+            "AD801",
+            str(index_path),
+            f"unsupported index version {index.get('version')!r}",
+        )
+        return report
+    entries = index.get("entries")
+    access_seq = index.get("access_seq")
+    if not isinstance(entries, dict) or not isinstance(access_seq, int):
+        report.emit(
+            "AD801", str(index_path), "index carries no entries/access_seq"
+        )
+        return report
+
+    for fp, entry in sorted(entries.items()):
+        where = f"{root}/objects/{fp}.json"
+        if not isinstance(entry, dict):
+            report.emit("AD801", where, "index entry is not an object")
+            continue
+        path = objects / f"{fp}.json"
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            report.emit("AD801", where, "indexed object file is missing")
+            continue
+        if len(payload) != entry.get("size_bytes"):
+            report.emit(
+                "AD801",
+                where,
+                f"object is {len(payload)} bytes; index says "
+                f"{entry.get('size_bytes')}",
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry.get("sha256"):
+            report.emit(
+                "AD801",
+                where,
+                "content digest mismatch: stored bytes were modified after "
+                "indexing",
+            )
+            continue  # the document checks below would double-report
+        try:
+            doc = json.loads(payload)
+        except ValueError:
+            report.emit("AD801", where, "object is not valid JSON")
+            continue
+        problem = check_solution_document(doc)
+        if problem is not None:
+            report.emit("AD801", where, f"stored document invalid: {problem}")
+            continue
+        if doc.get("workload") != entry.get("workload"):
+            report.emit(
+                "AD801",
+                where,
+                f"document workload {doc.get('workload')!r} != index "
+                f"{entry.get('workload')!r}",
+            )
+        if doc["metrics"]["total_cycles"] != entry.get("total_cycles"):
+            report.emit(
+                "AD801",
+                where,
+                f"document reports {doc['metrics']['total_cycles']} cycles; "
+                f"index says {entry.get('total_cycles')}",
+            )
+        created = entry.get("created_seq")
+        accessed = entry.get("last_access")
+        if (
+            not isinstance(created, int)
+            or not isinstance(accessed, int)
+            or accessed < created
+            or accessed > access_seq
+        ):
+            report.emit(
+                "AD801",
+                where,
+                f"LRU sequencing inconsistent: created_seq={created!r}, "
+                f"last_access={accessed!r}, index access_seq={access_seq}",
+            )
+
+    if objects.exists():
+        orphans = sorted(
+            p.stem for p in objects.glob("*.json") if p.stem not in entries
+        )
+        for fp in orphans:
+            report.emit(
+                "AD801",
+                f"{root}/objects/{fp}.json",
+                "object exists but is not indexed (orphan from a torn write)",
+            )
+    return report
+
+
+def check_job_journal(
+    path: str | Path, report: Report | None = None
+) -> Report:
+    """Run AD802 over a job-journal file."""
+    report = report if report is not None else Report()
+    path = Path(path)
+    report.mark_checked(f"JobJournal({path.name})")
+
+    from repro.service.jobs import JOB_FORMAT, JOB_VERSION, JobRecord
+
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        report.emit("AD802", str(path), f"unreadable journal: {exc}")
+        return report
+    if not lines:
+        report.emit("AD802", str(path), "empty journal (missing header)")
+        return report
+
+    def parse(line: str) -> dict | None:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return obj if isinstance(obj, dict) else None
+
+    header = parse(lines[0])
+    if header is None or header.get("format") != JOB_FORMAT:
+        report.emit(
+            "AD802",
+            f"{path.name}:1",
+            f"header is not a {JOB_FORMAT!r} header",
+        )
+        return report
+    if header.get("version") != JOB_VERSION:
+        report.emit(
+            "AD802",
+            f"{path.name}:1",
+            f"unsupported version {header.get('version')!r}",
+        )
+        return report
+
+    last_state: dict[str, str] = {}
+    fingerprints: dict[str, str] = {}
+    last = len(lines) - 1
+    for i, line in enumerate(lines[1:], start=1):
+        where = f"{path.name}:{i + 1}"
+        obj = parse(line)
+        if obj is None:
+            if i != last:  # torn final write of a killed daemon is fine
+                report.emit("AD802", where, "line is not a JSON object")
+            continue
+        event = obj.get("event")
+        try:
+            record = JobRecord.from_dict(obj.get("job") or {})
+        except (TypeError, ValueError) as exc:
+            if i != last:
+                report.emit("AD802", where, f"bad job record: {exc}")
+            continue
+        if event != record.state:
+            report.emit(
+                "AD802",
+                where,
+                f"event {event!r} disagrees with record state "
+                f"{record.state!r}",
+            )
+        prior = last_state.get(record.job_id)
+        legal = _LEGAL_TRANSITIONS.get(record.state, ())
+        if prior in ("done", "failed", "cancelled"):
+            report.emit(
+                "AD802",
+                where,
+                f"job {record.job_id} transitions {prior} -> {record.state}; "
+                "terminal states are final",
+            )
+        elif prior not in legal:
+            report.emit(
+                "AD802",
+                where,
+                f"job {record.job_id} transitions "
+                f"{prior or '(none)'} -> {record.state}; legal predecessors: "
+                f"{sorted(s or '(none)' for s in legal)}",
+            )
+        known_fp = fingerprints.setdefault(record.job_id, record.fingerprint)
+        if record.fingerprint != known_fp:
+            report.emit(
+                "AD802",
+                where,
+                f"job {record.job_id} changed fingerprint mid-lifecycle",
+            )
+        if record.state == "done":
+            if record.source == "search" and record.total_cycles is None:
+                report.emit(
+                    "AD802",
+                    where,
+                    f"searched job {record.job_id} finished without a cycle "
+                    "count",
+                )
+        if record.state == "failed" and not record.error:
+            report.emit(
+                "AD802",
+                where,
+                f"failed job {record.job_id} carries no error description",
+            )
+        last_state[record.job_id] = record.state
+    return report
+
+
+def check_admission_accounting(
+    snapshot: Mapping[str, Any],
+    jobs: Mapping[str, Any] | None = None,
+    report: Report | None = None,
+) -> Report:
+    """Run AD803 over an :meth:`AdmissionController.snapshot` document.
+
+    Args:
+        snapshot: The accounting snapshot.
+        jobs: Optional job table (job id → record dict or
+            :class:`~repro.service.jobs.JobRecord`) to cross-check slot
+            holdings against live jobs.
+    """
+    report = report if report is not None else Report()
+    report.mark_checked("AdmissionAccounting")
+
+    in_flight = snapshot.get("in_flight")
+    if not isinstance(in_flight, Mapping):
+        report.emit("AD803", "snapshot", "snapshot carries no in_flight map")
+        return report
+    total = snapshot.get("total_in_flight")
+    if total != sum(in_flight.values()):
+        report.emit(
+            "AD803",
+            "snapshot",
+            f"total_in_flight={total} but per-tenant counts sum to "
+            f"{sum(in_flight.values())}",
+        )
+    depth = snapshot.get("max_queue_depth")
+    if isinstance(depth, int) and sum(in_flight.values()) > depth:
+        report.emit(
+            "AD803",
+            "snapshot",
+            f"{sum(in_flight.values())} in-flight job(s) exceed "
+            f"max_queue_depth={depth}",
+        )
+    quotas = snapshot.get("quotas") or {}
+    default_quota = snapshot.get("default_quota")
+    for tenant, count in sorted(in_flight.items()):
+        if not isinstance(count, int) or count < 1:
+            report.emit(
+                "AD803",
+                f"tenant {tenant}",
+                f"in-flight count {count!r}; empty entries must be dropped",
+            )
+            continue
+        quota = quotas.get(tenant, default_quota)
+        if isinstance(quota, int) and count > quota:
+            report.emit(
+                "AD803",
+                f"tenant {tenant}",
+                f"{count} in-flight job(s) exceed quota {quota}",
+            )
+
+    if jobs is not None:
+        live: dict[str, int] = {}
+        for record in jobs.values():
+            state = record["state"] if isinstance(record, Mapping) else record.state
+            tenant = record["tenant"] if isinstance(record, Mapping) else record.tenant
+            if state in ("queued", "running"):
+                live[tenant] = live.get(tenant, 0) + 1
+        for tenant, count in sorted(in_flight.items()):
+            if count > live.get(tenant, 0):
+                report.emit(
+                    "AD803",
+                    f"tenant {tenant}",
+                    f"holds {count} slot(s) but has only "
+                    f"{live.get(tenant, 0)} non-terminal job(s)",
+                )
+    return report
+
+
+def check_service_state(
+    state_dir: str | Path, report: Report | None = None
+) -> Report:
+    """Validate a serve state directory: AD801 on its store, AD802 on
+    its job journal (whichever exist).
+
+    Accepts either a state directory (containing ``store/`` and
+    ``jobs.jsonl``) or a bare store directory (containing
+    ``index.json``).
+    """
+    report = report if report is not None else Report()
+    state_dir = Path(state_dir)
+    if (state_dir / "index.json").exists() or (state_dir / "objects").exists():
+        return check_store(state_dir, report)
+    checked = False
+    if (state_dir / "store").exists():
+        check_store(state_dir / "store", report)
+        checked = True
+    if (state_dir / "jobs.jsonl").exists():
+        check_job_journal(state_dir / "jobs.jsonl", report)
+        checked = True
+    if not checked:
+        report.emit(
+            "AD801",
+            str(state_dir),
+            "neither a store (index.json/objects) nor a serve state "
+            "directory (store/, jobs.jsonl)",
+        )
+    return report
+
+
+__all__ = [
+    "check_admission_accounting",
+    "check_job_journal",
+    "check_service_state",
+    "check_store",
+]

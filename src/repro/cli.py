@@ -10,6 +10,13 @@ Commands:
 * ``check`` — static verification: lint the codebase, validate a saved
   solution artifact, or run the analysis self-check
   (see :mod:`repro.analysis`).
+* ``serve`` — run the compile service daemon on a unix socket
+  (see :mod:`repro.service`).
+* ``submit`` — submit one compile to a running daemon and (by default)
+  wait for the result.
+* ``jobs`` — list a daemon's jobs, print its stats, or cancel a job.
+* ``cache`` — inspect or garbage-collect a solution store directory
+  offline (``ls`` / ``info`` / ``gc``).
 * ``profile`` — re-simulate a saved solution with timeline collection
   and print its per-engine occupancy breakdown (optionally exporting a
   Chrome/Perfetto trace; see :mod:`repro.obs`).
@@ -23,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.atoms.generation import SAParams
 from repro.baselines import (
@@ -419,6 +427,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         forwarded.append("--update-baseline")
     if args.journal:
         forwarded += ["--journal", args.journal]
+    if args.check_store:
+        forwarded += ["--store", args.check_store]
     if args.artifact:
         forwarded += ["--artifact", args.artifact]
         if args.model:
@@ -426,6 +436,191 @@ def _cmd_check(args: argparse.Namespace) -> int:
         rows, cols = args.mesh
         forwarded += ["--mesh", f"{rows}x{cols}"]
     return analysis_main(forwarded)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile-service daemon (blocks until shutdown)."""
+    from repro.service import ReproService, serve
+
+    quotas: dict[str, int] = {}
+    for spec in args.tenant_quota or ():
+        try:
+            tenant, quota = spec.rsplit("=", 1)
+            quotas[tenant] = int(quota)
+        except ValueError:
+            print(f"--tenant-quota must look like NAME=N, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+    socket_path = args.socket or str(Path(args.state) / "repro.sock")
+    try:
+        service = ReproService(
+            args.state,
+            jobs=args.jobs,
+            store_capacity_bytes=args.store_max_bytes,
+            max_queue_depth=args.max_queue_depth,
+            default_quota=args.quota,
+            quotas=quotas,
+            session_capacity=args.session_capacity,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        serve(service, socket_path)
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one compile to a running daemon."""
+    from repro.service import CompileRequest, ServeClient, ServiceError
+
+    try:
+        request = CompileRequest(
+            model=args.model,
+            arch=_arch_from_args(args),
+            options=OptimizerOptions(
+                dataflow=args.dataflow,
+                batch=args.batch,
+                scheduler=args.scheduler,
+                sa_params=SAParams(max_iterations=args.sa_iterations),
+                seed=args.seed,
+                restarts=args.restarts,
+                jobs=args.jobs,
+            ),
+            tenant=args.tenant,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    client = ServeClient(args.socket)
+    try:
+        submitted = client.submit(request)
+        print(
+            f"{submitted['job_id']}: {submitted['state']} "
+            f"(source {submitted['source']})"
+        )
+        if args.no_wait:
+            return 0
+        job = client.wait(submitted["job_id"], timeout_s=args.timeout)
+        if job["state"] != "done":
+            print(
+                f"{job['job_id']}: {job['state']}"
+                + (f" — {job['error']}" if job.get("error") else ""),
+                file=sys.stderr,
+            )
+            return 1
+        result = client.result(job["job_id"])
+        print(
+            f"{job['job_id']}: done (source {job['source']}, "
+            f"{result['total_cycles']} cycles, "
+            f"{job['search_seconds']:.2f}s of search)"
+        )
+        if args.out:
+            # Write the daemon's bytes verbatim: the saved document is
+            # byte-identical to what the original search stored.
+            Path(args.out).write_bytes(result["solution_json"].encode("utf-8"))
+            print(f"solution written to {args.out}")
+        return 0
+    except (ServiceError, TimeoutError) as exc:
+        code = getattr(exc, "code", "timeout")
+        print(f"{code}: {exc}", file=sys.stderr)
+        return 3 if code in ("queue-full", "quota-exceeded") else 1
+    except OSError as exc:
+        print(f"cannot reach daemon at {args.socket}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List jobs / print stats / cancel on a running daemon."""
+    import json as _json
+
+    from repro.service import ServeClient, ServiceError
+
+    client = ServeClient(args.socket)
+    try:
+        if args.cancel:
+            cancelled = client.cancel(args.cancel)
+            print(f"{cancelled['job_id']}: {cancelled['state']}")
+            return 0
+        if args.stats:
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        print(
+            f"{'job':<12}{'state':<11}{'source':<11}{'tenant':<10}"
+            f"{'cycles':>12}  model"
+        )
+        for job in jobs:
+            cycles = job["total_cycles"]
+            print(
+                f"{job['job_id']:<12}{job['state']:<11}{job['source']:<11}"
+                f"{job['tenant']:<10}"
+                f"{cycles if cycles is not None else '-':>12}  {job['model']}"
+            )
+        return 0
+    except ServiceError as exc:
+        print(f"{exc.code}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach daemon at {args.socket}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Offline solution-store inspection (daemon not required)."""
+    from repro.service import SolutionStore
+
+    store = SolutionStore(args.store)
+    if args.cache_command == "ls":
+        entries = store.ls()
+        if not entries:
+            print("store is empty")
+            return 0
+        print(f"{'fingerprint':<18}{'bytes':>10}{'hits':>6}{'cycles':>12}  workload")
+        for e in entries:
+            print(
+                f"{e.fingerprint[:16] + '..':<18}{e.size_bytes:>10}"
+                f"{e.hits:>6}{e.total_cycles:>12}  {e.workload}"
+            )
+        print(f"total: {len(entries)} entr(ies), {store.total_bytes} bytes")
+        return 0
+    if args.cache_command == "info":
+        matches = [
+            e for e in store.ls() if e.fingerprint.startswith(args.fingerprint)
+        ]
+        if not matches:
+            print(f"no entry matches {args.fingerprint!r}", file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(f"{args.fingerprint!r} is ambiguous "
+                  f"({len(matches)} matches)", file=sys.stderr)
+            return 1
+        e = matches[0]
+        print(
+            f"fingerprint : {e.fingerprint}\n"
+            f"workload    : {e.workload}\n"
+            f"cycles      : {e.total_cycles}\n"
+            f"bytes       : {e.size_bytes}\n"
+            f"sha256      : {e.sha256}\n"
+            f"hits        : {e.hits}\n"
+            f"created seq : {e.created_seq}\n"
+            f"last access : {e.last_access}"
+        )
+        return 0
+    # gc
+    before = store.total_bytes
+    evicted = store.gc(args.max_bytes)
+    print(
+        f"evicted {len(evicted)} entr(ies), "
+        f"{before - store.total_bytes} bytes freed "
+        f"({store.total_bytes} bytes remain)"
+    )
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -548,6 +743,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional wall-time regression with --check",
     )
 
+    p_srv = sub.add_parser(
+        "serve", help="run the compile-service daemon (unix socket)"
+    )
+    p_srv.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="durable state directory (store, job journal, checkpoints)",
+    )
+    p_srv.add_argument(
+        "--socket", metavar="PATH",
+        help="unix socket path (default: <state>/repro.sock)",
+    )
+    p_srv.add_argument(
+        "--jobs", type=int, default=1,
+        help="default worker processes per search (requests asking for "
+        "more keep their own setting)",
+    )
+    p_srv.add_argument(
+        "--store-max-bytes", type=int, default=None, metavar="BYTES",
+        help="solution-store LRU capacity (default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--max-queue-depth", type=int, default=16,
+        help="total in-flight job cap (default 16)",
+    )
+    p_srv.add_argument(
+        "--quota", type=int, default=4,
+        help="per-tenant in-flight job cap (default 4)",
+    )
+    p_srv.add_argument(
+        "--tenant-quota", action="append", metavar="NAME=N",
+        help="override the quota for one tenant (repeatable)",
+    )
+    p_srv.add_argument(
+        "--session-capacity", type=int, default=4,
+        help="warm compile sessions kept alive (default 4)",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one compile to a running daemon"
+    )
+    _add_common(p_sub)
+    p_sub.add_argument(
+        "--scheduler", choices=("dp", "greedy", "exact"), default="dp"
+    )
+    p_sub.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's unix socket",
+    )
+    p_sub.add_argument("--tenant", default="default")
+    p_sub.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return instead of waiting",
+    )
+    p_sub.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the result (default 600)",
+    )
+    p_sub.add_argument("--out", metavar="JSON",
+                       help="write the solution document here (byte-exact)")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a daemon's jobs / stats / cancel one"
+    )
+    p_jobs.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's unix socket",
+    )
+    p_jobs.add_argument(
+        "--stats", action="store_true", help="print daemon stats as JSON"
+    )
+    p_jobs.add_argument("--cancel", metavar="JOB", help="cancel a queued job")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect a solution store (offline)"
+    )
+    p_cache.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="store directory (<state>/store under a serve state dir)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list entries, most recently used first")
+    p_cinfo = cache_sub.add_parser("info", help="show one entry")
+    p_cinfo.add_argument("fingerprint", help="fingerprint (prefix ok)")
+    p_cgc = cache_sub.add_parser("gc", help="evict LRU entries over a cap")
+    p_cgc.add_argument("--max-bytes", type=int, required=True)
+
     p_chk = sub.add_parser(
         "check", help="static verification (lint / artifact validation)"
     )
@@ -578,6 +859,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--journal", metavar="JSONL",
         help="checkpoint journal to validate (Tier A, AD601)",
     )
+    p_chk.add_argument(
+        "--store", dest="check_store", metavar="DIR",
+        help="solution store / serve state directory to validate "
+        "(Tier A, AD801/AD802)",
+    )
     p_chk.add_argument("--model", help="zoo model of the --artifact solution")
     p_chk.add_argument(
         "--mesh", type=_parse_mesh, default=(8, 8),
@@ -598,6 +884,10 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "profile": _cmd_profile,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -20,7 +20,8 @@ ablation is produced.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -46,9 +47,20 @@ from repro.pipeline import (
 from repro.obs.log import get_logger
 from repro.obs.tracer import get_tracer
 from repro.resilience import CheckpointJournal, FaultPlan, RetryPolicy
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.faults import FaultSpec
 from repro.scheduling.rounds import Schedule
 
 _log = get_logger(__name__)
+
+
+def _build_nested(cls: type, doc: Mapping[str, Any], what: str) -> Any:
+    """Construct a nested options dataclass, rejecting unknown keys."""
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise ValueError(f"unknown {what} key(s): {', '.join(unknown)}")
+    return cls(**dict(doc))
 
 
 @dataclass(frozen=True)
@@ -137,6 +149,63 @@ class OptimizerOptions:
         if self.resume and not self.checkpoint:
             raise ValueError("resume requires a checkpoint path")
 
+    def to_dict(self) -> dict:
+        """The canonical serialized form of these options.
+
+        Every field appears (including the execution-only ones — the
+        request fingerprint drops
+        :data:`repro.fingerprint.EXECUTION_KEYS` itself); ``sa_params``
+        flattens to a mapping and ``faults`` to ``{"specs": [...]}`` or
+        None, so the document is pure JSON and round-trips through
+        :meth:`from_dict` to an equal options object.
+        """
+        doc = asdict(self)
+        doc["sa_params"] = asdict(self.sa_params)
+        doc["faults"] = (
+            None
+            if self.faults is None
+            else {"specs": [asdict(s) for s in self.faults.specs]}
+        )
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "OptimizerOptions":
+        """Rebuild options from :meth:`to_dict` output.
+
+        Unknown keys are rejected, not ignored: a request carrying a
+        knob this build does not understand must fail loudly, or the
+        served solution would silently differ from what the client
+        asked for.
+
+        Raises:
+            ValueError: On unknown keys (top-level, ``sa_params``, or
+                fault-spec level) or values ``__post_init__`` rejects.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown option key(s): {', '.join(unknown)}")
+        kwargs = dict(doc)
+        sa = kwargs.get("sa_params")
+        if isinstance(sa, Mapping):
+            kwargs["sa_params"] = _build_nested(SAParams, sa, "sa_params")
+        faults = kwargs.get("faults")
+        if isinstance(faults, Mapping):
+            extra = sorted(set(faults) - {"specs"})
+            if extra:
+                raise ValueError(
+                    f"unknown faults key(s): {', '.join(extra)}"
+                )
+            kwargs["faults"] = FaultPlan(
+                specs=tuple(
+                    _build_nested(FaultSpec, spec, "fault spec")
+                    for spec in faults.get("specs", ())
+                )
+            )
+        # JSON round-trips tuples as lists; FaultSpec has no tuple
+        # fields today, but stall_s arrives as float either way.
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class OptimizationOutcome:
@@ -186,6 +255,14 @@ class AtomicDataflowOptimizer:
             folded into producers automatically).
         arch: Target accelerator configuration.
         options: Search configuration.
+        context: Warm :class:`~repro.pipeline.SearchContext` to reuse
+            (e.g. from a :class:`~repro.pipeline.ContextCache`) instead
+            of building one; must have been created from the same
+            ``(graph, arch, dataflow, batch)``.
+        executor: Warm executor (from
+            :func:`~repro.pipeline.make_search_executor`, initialized
+            with ``context``) the search runs on instead of spawning a
+            private pool; the caller owns its shutdown.
     """
 
     def __init__(
@@ -193,15 +270,18 @@ class AtomicDataflowOptimizer:
         graph: Graph,
         arch: ArchConfig,
         options: OptimizerOptions = OptimizerOptions(),
+        context: SearchContext | None = None,
+        executor: ResilientExecutor | None = None,
     ) -> None:
         self.arch = arch
         self.options = options
-        self.context = SearchContext.create(
+        self.context = context or SearchContext.create(
             graph,
             arch,
             dataflow=options.dataflow,
             batch=options.batch,
         )
+        self.executor = executor
         # Shorthands for the shared state (kept for API compatibility).
         self.graph = self.context.graph
         self.cost_model = self.context.cost_model
@@ -232,6 +312,7 @@ class AtomicDataflowOptimizer:
             faults=o.faults,
             journal=journal,
             resume=o.resume,
+            executor=self.executor,
         )
         _log.info(
             "optimizing %s (batch %d, %d candidate(s), jobs=%d)",

@@ -33,7 +33,12 @@ snapshot of parent state (cost-model caches, open journal file
 descriptors) that spawn platforms (macOS, Windows) never see.  Spawned
 workers rebuild their state via ``_init_worker`` instead, so behaviour
 is identical across platforms and worker state is exactly the pickled
-``(ctx, pipeline, strategy, faults)`` tuple — nothing else.
+``(ctx, profile)`` pair — nothing else.  Request-specific values
+(pipeline, strategy, faults) ride inside each task payload, which is
+what lets a warm pool (:func:`make_search_executor`) and a warm
+:class:`SearchContext` (:class:`ContextCache`) be reused across
+searches by the compile service without respawning or re-initializing
+anything.
 
 :class:`~repro.framework.AtomicDataflowOptimizer` and every baseline in
 :mod:`repro.baselines` drive their searches through this module.
@@ -63,6 +68,7 @@ from repro.atoms.partition import clamp_tile
 from repro.config import ArchConfig
 from repro.engine.cost_model import EngineCostModel
 from repro.engine.dataflow import get_dataflow
+from repro.fingerprint import arch_fingerprint, graph_fingerprint
 from repro.ir.graph import Graph
 from repro.ir.ops import Input
 from repro.ir.transforms import fuse_elementwise
@@ -205,6 +211,91 @@ class SearchContext:
         return SystemSimulator(
             self.arch, dag, strategy=strategy, noc_mode=noc_mode, mesh=self.mesh
         )
+
+
+class ContextCache:
+    """LRU cache of warm :class:`SearchContext` objects.
+
+    Building a context is the expensive, request-independent part of a
+    search — graph fusion, cost-kernel statics, mesh distance/route
+    tables — so the compile service keeps them warm across requests.
+    Entries are keyed by ``(graph fingerprint, arch fingerprint,
+    dataflow, batch)`` — everything :meth:`SearchContext.create`
+    consumes — so a cached context is interchangeable with a fresh one.
+
+    Eviction is LRU by access order (no wall clock involved); explicit
+    invalidation is keyed by arch fingerprint, the service's hook for
+    "this architecture description changed, drop every context derived
+    from it".  Counters land in the :mod:`repro.obs` metrics registry as
+    ``context_cache.hits`` / ``.misses`` / ``.evictions`` /
+    ``.invalidated``.
+
+    Not thread-safe by itself; the service serializes access through
+    its session manager.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # dict preserves insertion order; pop + reinsert keeps the most
+        # recently used entry last, so eviction pops the front.
+        self._entries: dict[tuple, SearchContext] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(
+        graph: Graph, arch: ArchConfig, dataflow: str = "kc", batch: int = 1
+    ) -> tuple:
+        """The cache key of a (graph, arch, dataflow, batch) request."""
+        return (
+            graph_fingerprint(graph),
+            arch_fingerprint(arch),
+            dataflow,
+            batch,
+        )
+
+    def get(
+        self,
+        graph: Graph,
+        arch: ArchConfig,
+        dataflow: str = "kc",
+        batch: int = 1,
+    ) -> SearchContext:
+        """A warm context for the request, building one on miss."""
+        key = self.key_for(graph, arch, dataflow, batch)
+        registry = get_registry()
+        ctx = self._entries.pop(key, None)
+        if ctx is not None:
+            self._entries[key] = ctx
+            registry.counter("context_cache.hits").inc()
+            return ctx
+        registry.counter("context_cache.misses").inc()
+        ctx = SearchContext.create(graph, arch, dataflow=dataflow, batch=batch)
+        self._entries[key] = ctx
+        while len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            self._entries.pop(oldest)
+            registry.counter("context_cache.evictions").inc()
+        return ctx
+
+    def invalidate_arch(self, arch_fp: str) -> int:
+        """Drop every context built for the given arch fingerprint.
+
+        Returns the number of entries dropped.
+        """
+        stale = [key for key in self._entries if key[1] == arch_fp]
+        for key in stale:
+            self._entries.pop(key)
+        if stale:
+            get_registry().counter("context_cache.invalidated").inc(len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached context."""
+        self._entries.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -761,22 +852,43 @@ class CandidateSpec:
 _WORKER_STATE: dict[str, Any] = {}
 
 
-def _init_worker(
-    ctx: SearchContext,
-    pipeline: CandidatePipeline,
-    strategy: str,
-    faults: FaultPlan | None = None,
-    profile: bool = False,
-) -> None:
+def _init_worker(ctx: SearchContext, profile: bool = False) -> None:
+    """Install the per-process shared state: the search context alone.
+
+    Everything request-specific — pipeline, strategy label, fault plan —
+    rides inside each task payload instead, so a warm pool initialized
+    for one context serves any number of searches over it without
+    re-initialization (the service's warm-session path).
+    """
     _WORKER_STATE["ctx"] = ctx
-    _WORKER_STATE["pipeline"] = pipeline
-    _WORKER_STATE["strategy"] = strategy
-    _WORKER_STATE["faults"] = faults
     _WORKER_STATE["profile"] = profile
     if profile:
         # ensure (not enable): the inline jobs=1 path runs this in the
         # parent, whose tracer already holds recorded spans.
         ensure_tracing()
+
+
+def make_search_executor(
+    ctx: SearchContext,
+    jobs: int = 1,
+    policy: RetryPolicy | None = None,
+    profile: bool = False,
+) -> ResilientExecutor:
+    """A supervised executor whose worker state is exactly ``ctx``.
+
+    The executor outlives individual searches: pass it to
+    :class:`StagedSearch` as ``executor=`` and it is *not* shut down when
+    the search finishes, so the next request over the same context skips
+    pool spawn and context pickling entirely.  ``policy`` is only the
+    initial supervision policy — each search installs its own before
+    running.  The caller owns shutdown.
+    """
+    return ResilientExecutor(
+        jobs=jobs,
+        initializer=_init_worker,
+        initargs=(ctx, profile),
+        policy=policy or RetryPolicy(),
+    )
 
 
 @dataclass(frozen=True)
@@ -811,12 +923,24 @@ def _unwrap_obs(value: Any) -> Any:
 
 
 @dataclass(frozen=True)
+class _TilingItem:
+    """One phase-1 payload: a tiling generation plus its supervision."""
+
+    index: int
+    stage: TilingStage
+    rng_source: Any = None
+    faults: FaultPlan | None = None
+
+
+@dataclass(frozen=True)
 class _EvalItem:
     """One phase-2 payload: an evaluation keyed back to its spec.
 
     ``spec_index`` rides along because dedup submits a *subset* of specs,
     so positional correspondence is lost — faults, integrity checks, and
-    checkpoint records all key on the original candidate index.
+    checkpoint records all key on the original candidate index.  The
+    pipeline/strategy/faults travel in the payload (not in worker state)
+    so one warm pool can serve searches with different stage chains.
     """
 
     spec_index: int
@@ -825,52 +949,53 @@ class _EvalItem:
     energy: float | None
     tiling_seconds: float
     fingerprint: str
+    pipeline: CandidatePipeline
+    strategy: str = "AD"
+    faults: FaultPlan | None = None
 
 
-def _run_tiling(
-    attempt: int, item: tuple[int, TilingStage, Any]
-):
+def _run_tiling(attempt: int, item: _TilingItem):
     """Phase-1 task: generate one candidate tiling."""
-    index, stage, rng_source = item
     ctx: SearchContext = _WORKER_STATE["ctx"]
-    faults: FaultPlan | None = _WORKER_STATE.get("faults")
-    if faults is not None:
-        faults.fire("tiling", index, attempt)
+    if item.faults is not None:
+        item.faults.fire("tiling", item.index, attempt)
     t0 = time.perf_counter()
     # The attempt span closes before _wrap_obs drains, so it ships with
     # this very result (an attempt that *fails* leaves its span in the
     # worker's buffer until that worker's next successful task).
     with get_tracer().span(
         "executor.attempt", category="resilience",
-        task=f"tiling[{index}]", attempt=attempt,
+        task=f"tiling[{item.index}]", attempt=attempt,
     ):
         rng = (
-            None if rng_source is None else np.random.default_rng(rng_source)
+            None
+            if item.rng_source is None
+            else np.random.default_rng(item.rng_source)
         )
-        tiling, energy = stage.run(ctx, rng)
+        tiling, energy = item.stage.run(ctx, rng)
     return _wrap_obs((tiling, energy, time.perf_counter() - t0))
 
 
 def _run_evaluation(attempt: int, item: _EvalItem):
     """Phase-2 task: schedule/map/simulate one unique tiling."""
-    pipeline: CandidatePipeline = _WORKER_STATE["pipeline"]
-    faults: FaultPlan | None = _WORKER_STATE.get("faults")
-    if faults is not None:
-        faults.fire("eval", item.spec_index, attempt)
+    if item.faults is not None:
+        item.faults.fire("eval", item.spec_index, attempt)
     with get_tracer().span(
         "executor.attempt", category="resilience",
         task=f"eval[{item.spec_index}]", attempt=attempt,
     ):
-        solution = pipeline.evaluate(
+        solution = item.pipeline.evaluate(
             _WORKER_STATE["ctx"],
             item.tiling,
             label=item.label,
-            strategy=_WORKER_STATE["strategy"],
+            strategy=item.strategy,
             tiling_energy=item.energy,
             tiling_seconds=item.tiling_seconds,
         )
-    if faults is not None:
-        solution = faults.tamper("eval", item.spec_index, attempt, solution)
+    if item.faults is not None:
+        solution = item.faults.tamper(
+            "eval", item.spec_index, attempt, solution
+        )
     return _wrap_obs(solution)
 
 
@@ -1031,6 +1156,12 @@ class StagedSearch:
             is appended as it finishes.
         resume: Load completed candidates from ``journal`` instead of
             re-evaluating them (requires a matching journal key).
+        executor: Warm executor to run on (from
+            :func:`make_search_executor`, initialized with the *same*
+            context).  The search installs its own ``retry`` policy but
+            does not shut the executor down — the owner keeps it alive
+            across searches.  None (default) spawns a private executor
+            per :meth:`run` call, exactly as before.
     """
 
     def __init__(
@@ -1043,6 +1174,7 @@ class StagedSearch:
         faults: FaultPlan | None = None,
         journal: CheckpointJournal | None = None,
         resume: bool = False,
+        executor: ResilientExecutor | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -1054,25 +1186,29 @@ class StagedSearch:
         self.faults = faults
         self.journal = journal
         self.resume = resume
+        self.executor = executor
 
     def run(
         self, specs: Sequence[CandidateSpec], strategy: str = "AD"
     ) -> SearchRun:
         """Search every spec under supervision; never raises for a
         candidate-level failure — those become failure traces."""
-        executor = ResilientExecutor(
-            jobs=self.jobs,
-            initializer=_init_worker,
-            initargs=(
-                self.ctx, self.pipeline, strategy, self.faults,
-                tracing_enabled(),
-            ),
-            policy=self.retry,
-        )
+        executor = self.executor
+        owned = executor is None
+        if owned:
+            executor = make_search_executor(
+                self.ctx,
+                jobs=self.jobs,
+                policy=self.retry,
+                profile=tracing_enabled(),
+            )
+        else:
+            executor.policy = self.retry
         try:
             return self._run(executor, specs, strategy)
         finally:
-            executor.shutdown()
+            if owned:
+                executor.shutdown()
             if self.journal is not None:
                 self.journal.close()
 
@@ -1092,7 +1228,13 @@ class StagedSearch:
         # Phase 1: tiling generation for everything not restored.
         fresh = [i for i in range(n) if i not in restored]
         gen_payloads = [
-            (i, specs[i].tiling_stage, specs[i].rng_source) for i in fresh
+            _TilingItem(
+                index=i,
+                stage=specs[i].tiling_stage,
+                rng_source=specs[i].rng_source,
+                faults=self.faults,
+            )
+            for i in fresh
         ]
         _log.info(
             "phase tiling: generating %d candidate(s) on %d job(s)",
@@ -1119,7 +1261,7 @@ class StagedSearch:
             )
 
         # Dedup barrier over every tiling that exists (fresh + restored).
-        eval_items, skips = self._dedup(specs, entries)
+        eval_items, skips = self._dedup(specs, entries, strategy)
         for i, skip in skips.items():
             traces[i] = skip
             restored.pop(i, None)
@@ -1255,6 +1397,7 @@ class StagedSearch:
         self,
         specs: Sequence[CandidateSpec],
         entries: Sequence[tuple[dict[int, TileSize], float | None, float] | None],
+        strategy: str = "AD",
     ) -> tuple[list[_EvalItem], dict[int, CandidateTrace]]:
         """Split generated tilings into evaluate-list and skip-traces.
 
@@ -1287,6 +1430,9 @@ class StagedSearch:
                     energy=energy,
                     tiling_seconds=seconds,
                     fingerprint=fp,
+                    pipeline=self.pipeline,
+                    strategy=strategy,
+                    faults=self.faults,
                 )
             )
         return eval_items, skips

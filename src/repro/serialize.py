@@ -19,6 +19,23 @@ from repro.atoms.dag import AtomicDAG, build_atomic_dag
 from repro.config import ArchConfig
 from repro.engine.cost_model import EngineCostModel
 from repro.engine.dataflow import get_dataflow
+
+# Canonical request fingerprints live in the leaf module
+# :mod:`repro.fingerprint` (the pipeline's context cache needs them
+# without importing the framework); re-exported here because this is
+# the serialization API surface.
+from repro.fingerprint import (  # noqa: F401  (re-exports)
+    EXECUTION_KEYS,
+    FINGERPRINT_VERSION,
+    arch_fingerprint,
+    arch_from_dict,
+    arch_to_dict,
+    canonical_json,
+    graph_fingerprint,
+    graph_to_dict,
+    request_fingerprint,
+    request_to_dict,
+)
 from repro.framework import OptimizationOutcome
 from repro.ir.graph import Graph
 from repro.ir.transforms import fuse_elementwise
@@ -76,13 +93,23 @@ def trace_from_dict(doc: dict) -> CandidateTrace:
 
 
 def solution_to_dict(
-    outcome: OptimizationOutcome, dataflow: str
+    outcome: OptimizationOutcome, dataflow: str, include_search: bool = True
 ) -> dict:
     """Convert an optimizer outcome into a JSON-serializable document.
 
     Atoms are referenced by their stable ``(sample, layer, index)``
     identity, not by dense position, so the document survives reordering of
     DAG construction internals.
+
+    Args:
+        outcome: The optimizer outcome to serialize.
+        dataflow: Engine dataflow name recorded in the document.
+        include_search: Append the ``search`` section (wall-clock search
+            seconds + per-candidate traces) when the outcome carries
+            traces.  The section is *non-deterministic* (timings), so
+            the service's content-addressed store writes canonical
+            documents with ``include_search=False`` — see
+            :func:`canonical_solution_bytes`.
     """
     dag = outcome.dag
     tiling = {
@@ -120,12 +147,25 @@ def solution_to_dict(
             "onchip_reuse_ratio": outcome.result.onchip_reuse_ratio,
         },
     }
-    if outcome.traces:
+    if include_search and outcome.traces:
         doc["search"] = {
             "search_seconds": outcome.search_seconds,
             "traces": [trace_to_dict(t) for t in outcome.traces],
         }
     return doc
+
+
+def canonical_solution_bytes(doc: dict) -> bytes:
+    """The byte-exact form of a solution document in the service store.
+
+    Drops the non-deterministic ``search`` section and serializes with
+    :func:`canonical_json`, so equal solutions are byte-equal — the
+    property behind the cache-hit contract ("a hit returns the
+    byte-identical document") and the AD801 store-integrity check.
+    """
+    return canonical_json(
+        {k: v for k, v in doc.items() if k != "search"}
+    ).encode()
 
 
 def save_solution(

@@ -1,0 +1,52 @@
+"""Compiler-as-a-service: the ``repro serve`` daemon and its parts.
+
+The paper's orchestration search is an offline compile; the service
+layer turns it into a long-lived daemon so that identical requests are
+cache hits instead of repeated searches:
+
+* :mod:`~repro.service.request` — :class:`CompileRequest`, the
+  canonical unit of work with its deterministic fingerprint;
+* :mod:`~repro.service.store` — :class:`SolutionStore`, the
+  content-addressed on-disk cache of validated solution documents;
+* :mod:`~repro.service.jobs` — :class:`JobJournal`, durable JSONL job
+  state that survives a daemon kill;
+* :mod:`~repro.service.admission` — :class:`AdmissionController`,
+  bounded queue depth and per-tenant quotas;
+* :mod:`~repro.service.session` — :class:`CompileSession` /
+  :class:`SessionManager`, warm search contexts and executor pools
+  reused across requests;
+* :mod:`~repro.service.daemon` — :class:`ReproService`, the job queue
+  plus the unix-socket line-delimited-JSON front end;
+* :mod:`~repro.service.client` — :class:`ServeClient`, the thin client
+  behind ``repro submit`` / ``repro jobs``.
+
+Determinism contract: a served compile is bit-identical to the same
+``repro optimize`` invocation, and a cache hit returns the byte-exact
+stored solution document.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import AdmissionController, AdmissionError
+from repro.service.client import ServeClient, ServiceError
+from repro.service.daemon import ReproService, serve
+from repro.service.jobs import JobJournal, JobRecord
+from repro.service.request import CompileRequest
+from repro.service.session import CompileSession, SessionManager
+from repro.service.store import SolutionStore, StoreEntry
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CompileRequest",
+    "CompileSession",
+    "JobJournal",
+    "JobRecord",
+    "ReproService",
+    "ServeClient",
+    "ServiceError",
+    "SessionManager",
+    "SolutionStore",
+    "StoreEntry",
+    "serve",
+]

@@ -1,0 +1,127 @@
+"""Admission control: bounded queue depth and per-tenant quotas.
+
+The daemon admits a submission before enqueueing it and releases the
+slot when the job reaches a terminal state.  Rejections are clean,
+typed backpressure errors (:class:`AdmissionError` with a stable
+``code``) that the wire protocol forwards verbatim — a full daemon says
+*no* immediately instead of queueing unboundedly.
+
+Cache hits bypass admission entirely: they consume no search capacity,
+so a saturated daemon still answers questions it has already solved.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import get_registry
+
+
+class AdmissionError(RuntimeError):
+    """A submission was rejected; ``code`` is machine-readable.
+
+    Codes:
+        ``queue-full``: Total in-flight jobs at ``max_queue_depth``.
+        ``quota-exceeded``: The tenant is at its in-flight quota.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class AdmissionController:
+    """Thread-safe in-flight accounting with two limits.
+
+    Args:
+        max_queue_depth: Cap on total in-flight (queued + running)
+            jobs across all tenants.
+        default_quota: Per-tenant in-flight cap for tenants without an
+            explicit entry in ``quotas``.
+        quotas: Per-tenant overrides, e.g. ``{"ci": 8}``.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 16,
+        default_quota: int = 4,
+        quotas: dict[str, int] | None = None,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if default_quota < 1:
+            raise ValueError("default_quota must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.default_quota = default_quota
+        self.quotas = dict(quotas or {})
+        for tenant, quota in self.quotas.items():
+            if quota < 1:
+                raise ValueError(f"quota for {tenant!r} must be >= 1")
+        self._lock = threading.Lock()
+        self._in_flight: dict[str, int] = {}
+
+    def quota_for(self, tenant: str) -> int:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def admit(self, tenant: str) -> None:
+        """Claim one in-flight slot for ``tenant`` or raise.
+
+        Raises:
+            AdmissionError: Queue full or tenant over quota; the slot
+                is *not* claimed.
+        """
+        registry = get_registry()
+        with self._lock:
+            total = sum(self._in_flight.values())
+            if total >= self.max_queue_depth:
+                registry.counter("admission.rejected.queue_full").inc()
+                raise AdmissionError(
+                    "queue-full",
+                    f"queue depth {total} at limit {self.max_queue_depth}; "
+                    "retry after in-flight jobs drain",
+                )
+            held = self._in_flight.get(tenant, 0)
+            quota = self.quota_for(tenant)
+            if held >= quota:
+                registry.counter("admission.rejected.quota").inc()
+                raise AdmissionError(
+                    "quota-exceeded",
+                    f"tenant {tenant!r} has {held} in-flight job(s), "
+                    f"quota {quota}; wait for one to finish",
+                )
+            self._in_flight[tenant] = held + 1
+            registry.counter("admission.accepted").inc()
+            registry.gauge("admission.in_flight").set(total + 1)
+
+    def release(self, tenant: str) -> None:
+        """Return ``tenant``'s slot when its job reaches a terminal state."""
+        with self._lock:
+            held = self._in_flight.get(tenant, 0)
+            if held <= 1:
+                self._in_flight.pop(tenant, None)
+            else:
+                self._in_flight[tenant] = held - 1
+            get_registry().gauge("admission.in_flight").set(
+                sum(self._in_flight.values())
+            )
+
+    def in_flight(self, tenant: str | None = None) -> int:
+        """In-flight jobs for one tenant, or total when tenant is None."""
+        with self._lock:
+            if tenant is not None:
+                return self._in_flight.get(tenant, 0)
+            return sum(self._in_flight.values())
+
+    def snapshot(self) -> dict:
+        """Accounting state for ``repro jobs --stats`` / AD803."""
+        with self._lock:
+            return {
+                "max_queue_depth": self.max_queue_depth,
+                "default_quota": self.default_quota,
+                "quotas": dict(self.quotas),
+                "in_flight": dict(sorted(self._in_flight.items())),
+                "total_in_flight": sum(self._in_flight.values()),
+            }
+
+
+__all__ = ["AdmissionController", "AdmissionError"]

@@ -1,0 +1,127 @@
+"""Thin client for the ``repro serve`` wire protocol.
+
+One connection per call: connect to the unix socket, write one JSON
+line, read one JSON line, disconnect.  :class:`ServiceError` carries the
+daemon's machine-readable error code (``queue-full``,
+``quota-exceeded``, ``bad-request``, ``not-found``...), so callers can
+distinguish backpressure from mistakes.
+
+This is everything ``repro submit`` / ``repro jobs`` / ``repro cache``
+need — no HTTP stack, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.service.request import CompileRequest
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false``; ``code`` is machine-readable."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """Client of one ``repro serve`` daemon.
+
+    Args:
+        socket_path: The daemon's unix socket.
+        timeout_s: Per-call socket timeout.
+    """
+
+    def __init__(self, socket_path: str, timeout_s: float = 30.0) -> None:
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def call(self, op: str, **fields: object) -> dict:
+        """One round trip; returns the response with ``ok`` stripped.
+
+        Raises:
+            ServiceError: The daemon rejected the request (its error
+                code is preserved) or answered garbage.
+            ConnectionError / OSError: The daemon is unreachable.
+        """
+        request = {"op": op, **fields}
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout_s)
+            sock.connect(self.socket_path)
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            with sock.makefile("r", encoding="utf-8") as fh:
+                line = fh.readline()
+        if not line:
+            raise ServiceError("no-response", "daemon closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError("bad-response", f"unparseable response: {exc}") from exc
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ServiceError("bad-response", f"malformed response: {response!r}")
+        if not response["ok"]:
+            error = response.get("error") or {}
+            raise ServiceError(
+                error.get("code", "unknown"),
+                error.get("message", "daemon reported an error"),
+            )
+        response.pop("ok")
+        return response
+
+    # -- the protocol, one method per op ------------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def submit(self, request: CompileRequest | dict) -> dict:
+        """Submit one compile; returns ``{"job_id", "state", "source"}``."""
+        doc = request.to_dict() if isinstance(request, CompileRequest) else request
+        return self.call("submit", request=doc)
+
+    def status(self, job_id: str) -> dict:
+        return self.call("status", job_id=job_id)["job"]
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's result, ``solution_json`` byte-exact."""
+        return self.call("result", job_id=job_id)
+
+    def wait(
+        self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll until the job is terminal; returns its final record.
+
+        Raises:
+            TimeoutError: Still running after ``timeout_s``.
+        """
+        # Deadline math is wall-clock by necessity (client-side wait on a
+        # remote daemon); it never influences what gets computed.
+        deadline = time.monotonic() + timeout_s  # static-ok: LINT008 -- client-side poll deadline, not a search decision
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:  # static-ok: LINT008 -- client-side poll deadline, not a search decision
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def cancel(self, job_id: str) -> dict:
+        return self.call("cancel", job_id=job_id)
+
+    def jobs(self) -> list[dict]:
+        return self.call("jobs")["jobs"]
+
+    def stats(self) -> dict:
+        return self.call("stats")["stats"]
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+
+__all__ = ["ServeClient", "ServiceError"]

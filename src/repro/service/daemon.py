@@ -1,0 +1,584 @@
+"""The ``repro serve`` daemon: job queue, runner, and wire front end.
+
+:class:`ReproService` owns the whole serving state machine:
+
+* submissions check the :class:`~repro.service.store.SolutionStore`
+  first — a hit completes instantly with the byte-exact stored
+  document, consuming no search capacity;
+* misses pass :class:`~repro.service.admission.AdmissionController`
+  (bounded queue depth + per-tenant quotas, clean typed backpressure),
+  then either *coalesce* onto an identical in-flight fingerprint or
+  enqueue a real search;
+* one runner thread drains the queue through warm
+  :class:`~repro.service.session.CompileSession` objects, so contexts
+  and worker pools persist across requests;
+* every state transition is journaled
+  (:class:`~repro.service.jobs.JobJournal`) *before* it takes effect,
+  and every search runs with a per-job candidate checkpoint, so a
+  killed daemon restarted on the same state directory resumes
+  in-flight jobs and produces identical results.
+
+The wire protocol (:func:`serve`) is line-delimited JSON over a unix
+socket: one request object in, one response object out per connection —
+``{"op": "submit", ...}`` → ``{"ok": true, ...}`` or ``{"ok": false,
+"error": {"code": ..., "message": ...}}``.  No new dependencies; the
+stdlib ``socketserver`` does the listening.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socketserver
+import threading
+from collections import deque
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.serialize import solution_to_dict
+from repro.service.admission import AdmissionController, AdmissionError
+from repro.service.jobs import JobJournal, JobRecord, next_job_id
+from repro.service.request import CompileRequest
+from repro.service.session import SessionManager
+from repro.service.store import SolutionStore
+
+_log = get_logger(__name__)
+
+#: Wire protocol version, echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+
+class ReproService:
+    """The serving state machine (transport-agnostic; see :func:`serve`).
+
+    Args:
+        state_dir: Durable state root — ``store/`` (solution cache),
+            ``jobs.jsonl`` (job journal), ``ck/`` (per-job candidate
+            checkpoints).  Restarting on the same directory resumes
+            in-flight jobs.
+        jobs: Default worker count for searches whose request leaves
+            ``options.jobs`` at 1 (a request asking for more keeps it).
+        store_capacity_bytes: Solution-store LRU cap (None = unbounded).
+        max_queue_depth: Total in-flight job cap.
+        default_quota: Per-tenant in-flight cap.
+        quotas: Per-tenant overrides.
+        session_capacity: Warm sessions kept alive.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | os.PathLike,
+        jobs: int = 1,
+        store_capacity_bytes: int | None = None,
+        max_queue_depth: int = 16,
+        default_quota: int = 4,
+        quotas: dict[str, int] | None = None,
+        session_capacity: int = 4,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        (self.state_dir / "ck").mkdir(exist_ok=True)
+        self.default_jobs = jobs
+        self.store = SolutionStore(
+            self.state_dir / "store", capacity_bytes=store_capacity_bytes
+        )
+        self.admission = AdmissionController(
+            max_queue_depth=max_queue_depth,
+            default_quota=default_quota,
+            quotas=quotas,
+        )
+        self.sessions = SessionManager(capacity=session_capacity)
+        self.journal = JobJournal(self.state_dir / "jobs.jsonl")
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._jobs: dict[str, JobRecord] = self.journal.open()
+        self._queue: deque[str] = deque()
+        self._active: dict[str, str] = {}  # fingerprint -> primary job_id
+        self._waiters: dict[str, list[str]] = {}  # primary -> coalesced ids
+        self._slots: dict[str, str] = {}  # job_id -> tenant holding a slot
+        self._stop = threading.Event()
+        self._runner: threading.Thread | None = None
+        self._recover()
+
+    # -- restart recovery ---------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-enqueue every non-terminal journaled job.
+
+        Queued and running jobs go back on the queue; each re-runs with
+        its candidate checkpoint (``resume=True``), so completed
+        candidates are restored, not re-searched.  Coalesced waiters
+        re-enqueue as ordinary jobs — by the time the runner reaches
+        them their primary has published to the store, so they finish as
+        cache hits.  Admission slots are re-claimed best-effort: a job
+        admitted before the kill is never dropped for quota reasons.
+        """
+        pending = sorted(
+            (j for j in self._jobs.values() if not j.terminal),
+            key=lambda j: j.job_id,
+        )
+        for job in pending:
+            requeued = job.advanced("queued")
+            self.journal.record("queued", requeued)
+            self._jobs[job.job_id] = requeued
+            try:
+                self.admission.admit(job.tenant)
+                self._slots[job.job_id] = job.tenant
+            except AdmissionError:  # pragma: no cover - shrunken quotas
+                pass
+            self._queue.append(job.job_id)
+        if pending:
+            _log.info("recovered %d in-flight job(s) from journal", len(pending))
+            get_registry().counter("service.recovered").inc(len(pending))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the runner thread (idempotent)."""
+        if self._runner is None or not self._runner.is_alive():
+            self._stop.clear()
+            self._runner = threading.Thread(
+                target=self._run, name="repro-serve-runner", daemon=True
+            )
+            self._runner.start()
+
+    def stop(self) -> None:
+        """Stop the runner after its current job and release resources."""
+        self._stop.set()
+        with self._wakeup:
+            self._wakeup.notify_all()
+        if self._runner is not None:
+            self._runner.join()
+            self._runner = None
+        self.sessions.close()
+        self.journal.close()
+
+    # -- the runner ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._stop.is_set():
+                    self._wakeup.wait()
+                if self._stop.is_set():
+                    return
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+                get_registry().gauge("service.queue_depth").set(len(self._queue))
+            if job.terminal:
+                continue  # cancelled while queued
+            try:
+                self._execute(job)
+            except BaseException as exc:  # noqa: BLE001 - runner must survive
+                _log.error("job %s failed: %s", job.job_id, exc)
+                self._finish_failed(job, str(exc) or type(exc).__name__)
+
+    def _execute(self, job: JobRecord) -> None:
+        request = CompileRequest.from_dict(job.request)
+        fingerprint = job.fingerprint
+        tracer = get_tracer()
+        # A second store check at dequeue time: an identical job (or a
+        # pre-kill incarnation of this one) may have published since
+        # submission — recovered coalesced waiters finish here.
+        if self.store.get(fingerprint) is not None:
+            entry = self.store.info(fingerprint)
+            with tracer.span(
+                "service.transition", category="service",
+                job=job.job_id, to="done", source="cache",
+            ):
+                self._finish_done(
+                    job,
+                    source="cache",
+                    total_cycles=entry.total_cycles if entry else None,
+                    search_seconds=0.0,
+                )
+            return
+        with tracer.span(
+            "service.transition", category="service",
+            job=job.job_id, to="running",
+        ):
+            self._transition(job.advanced("running"))
+        options = request.options
+        if options.jobs == 1 and self.default_jobs > 1:
+            options = replace(options, jobs=self.default_jobs)
+        options = replace(
+            options,
+            checkpoint=str(self.state_dir / "ck" / f"{job.job_id}.jsonl"),
+            resume=True,
+        )
+        with tracer.span(
+            "service.search", category="service",
+            job=job.job_id, workload=job.model, fingerprint=fingerprint,
+        ):
+            session = self.sessions.get(request.graph, request.arch, options)
+            outcome = session.optimize(options)
+        doc = solution_to_dict(outcome, request.options.dataflow, include_search=False)
+        self.store.put(fingerprint, doc, graph=request.graph, arch=request.arch)
+        with tracer.span(
+            "service.transition", category="service",
+            job=job.job_id, to="done", source="search",
+        ):
+            self._finish_done(
+                job,
+                source="search",
+                total_cycles=outcome.result.total_cycles,
+                search_seconds=outcome.search_seconds,
+            )
+        get_registry().counter("service.searches").inc()
+
+    # -- transitions (all journal-first) ------------------------------------
+
+    def _transition(self, job: JobRecord) -> JobRecord:
+        with self._lock:
+            self.journal.record(job.state, job)
+            self._jobs[job.job_id] = job
+        return job
+
+    def _release(self, job_id: str) -> None:
+        tenant = self._slots.pop(job_id, None)
+        if tenant is not None:
+            self.admission.release(tenant)
+
+    def _finish_done(
+        self,
+        job: JobRecord,
+        source: str,
+        total_cycles: int | None,
+        search_seconds: float,
+    ) -> None:
+        waiters: list[str] = []
+        with self._lock:
+            done = job.advanced(
+                "done",
+                source=source,
+                total_cycles=total_cycles,
+                search_seconds=search_seconds,
+            )
+            self.journal.record("done", done)
+            self._jobs[job.job_id] = done
+            self._release(job.job_id)
+            if self._active.get(job.fingerprint) == job.job_id:
+                del self._active[job.fingerprint]
+                waiters = self._waiters.pop(job.job_id, [])
+            for waiter_id in waiters:
+                waiter = self._jobs[waiter_id]
+                if waiter.terminal:
+                    continue
+                finished = waiter.advanced(
+                    "done",
+                    source="coalesced",
+                    total_cycles=total_cycles,
+                    search_seconds=0.0,
+                )
+                self.journal.record("done", finished)
+                self._jobs[waiter_id] = finished
+                self._release(waiter_id)
+            get_registry().counter("service.completed").inc(1 + len(waiters))
+
+    def _finish_failed(self, job: JobRecord, error: str) -> None:
+        waiters: list[str] = []
+        with self._lock:
+            failed = job.advanced("failed", error=error)
+            self.journal.record("failed", failed)
+            self._jobs[job.job_id] = failed
+            self._release(job.job_id)
+            if self._active.get(job.fingerprint) == job.job_id:
+                del self._active[job.fingerprint]
+                waiters = self._waiters.pop(job.job_id, [])
+            for waiter_id in waiters:
+                waiter = self._jobs[waiter_id]
+                if waiter.terminal:
+                    continue
+                finished = waiter.advanced(
+                    "failed", error=f"coalesced onto failed job {job.job_id}: {error}"
+                )
+                self.journal.record("failed", finished)
+                self._jobs[waiter_id] = finished
+                self._release(waiter_id)
+            get_registry().counter("service.failed").inc(1 + len(waiters))
+
+    # -- the service API (one method per wire op) ---------------------------
+
+    def submit(self, doc: dict) -> dict:
+        """Admit one request; returns ``{"job_id", "state", "source"}``.
+
+        Raises:
+            ValueError: Malformed request (unknown keys, unknown model).
+            AdmissionError: Queue full or tenant over quota.
+        """
+        try:
+            request = CompileRequest.from_dict(doc)
+            fingerprint = request.fingerprint
+        except KeyError as exc:
+            raise ValueError(f"unknown model {exc.args[0]!r}") from exc
+        registry = get_registry()
+        tracer = get_tracer()
+        with tracer.span(
+            "service.submit", category="service",
+            workload=request.model, tenant=request.tenant,
+        ):
+            cached = self.store.get(fingerprint)
+            with self._wakeup:
+                job_id = next_job_id(self._jobs)
+                if cached is not None:
+                    entry = self.store.info(fingerprint)
+                    job = JobRecord(
+                        job_id=job_id,
+                        fingerprint=fingerprint,
+                        model=request.model,
+                        tenant=request.tenant,
+                        request=request.to_dict(),
+                        state="done",
+                        source="cache",
+                        total_cycles=entry.total_cycles if entry else None,
+                        search_seconds=0.0,
+                    )
+                    self.journal.record("done", job)
+                    self._jobs[job_id] = job
+                    registry.counter("service.cache_hits").inc()
+                    return {"job_id": job_id, "state": "done", "source": "cache"}
+                self.admission.admit(request.tenant)  # raises AdmissionError
+                primary = self._active.get(fingerprint)
+                if primary is not None:
+                    job = JobRecord(
+                        job_id=job_id,
+                        fingerprint=fingerprint,
+                        model=request.model,
+                        tenant=request.tenant,
+                        request=request.to_dict(),
+                        state="queued",
+                        source="coalesced",
+                    )
+                    self.journal.record("queued", job)
+                    self._jobs[job_id] = job
+                    self._slots[job_id] = request.tenant
+                    self._waiters.setdefault(primary, []).append(job_id)
+                    registry.counter("service.coalesced").inc()
+                    return {
+                        "job_id": job_id,
+                        "state": "queued",
+                        "source": "coalesced",
+                        "coalesced_with": primary,
+                    }
+                job = JobRecord(
+                    job_id=job_id,
+                    fingerprint=fingerprint,
+                    model=request.model,
+                    tenant=request.tenant,
+                    request=request.to_dict(),
+                    state="queued",
+                    source="search",
+                )
+                self.journal.record("queued", job)
+                self._jobs[job_id] = job
+                self._slots[job_id] = request.tenant
+                self._active[fingerprint] = job_id
+                self._queue.append(job_id)
+                registry.counter("service.submitted").inc()
+                registry.gauge("service.queue_depth").set(len(self._queue))
+                self._wakeup.notify()
+                return {"job_id": job_id, "state": "queued", "source": "search"}
+
+    def status(self, job_id: str) -> dict:
+        """The job's current record (raises KeyError on unknown id)."""
+        with self._lock:
+            return self._jobs[job_id].to_dict()
+
+    def result(self, job_id: str) -> dict:
+        """The stored solution of a done job, byte-exact.
+
+        The ``solution_json`` field is the stored bytes decoded as
+        UTF-8 — clients write it back out verbatim, preserving byte
+        identity with the original search's document.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+        if job.state != "done":
+            raise ValueError(
+                f"job {job_id} is {job.state}"
+                + (f": {job.error}" if job.error else "")
+            )
+        payload = self.store.get(job.fingerprint)
+        if payload is None:
+            raise ValueError(
+                f"job {job_id} result was evicted from the store; resubmit"
+            )
+        return {
+            "job_id": job_id,
+            "fingerprint": job.fingerprint,
+            "total_cycles": job.total_cycles,
+            "source": job.source,
+            "solution_json": payload.decode("utf-8"),
+        }
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued (or coalesced-waiting) job.
+
+        A running job cannot be cancelled — the search is already
+        spending its quota slot and will publish a reusable result.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.terminal:
+                return {"job_id": job_id, "state": job.state}
+            if job.state != "queued":
+                raise ValueError(f"job {job_id} is {job.state}; not cancellable")
+            cancelled = job.advanced("cancelled")
+            self.journal.record("cancelled", cancelled)
+            self._jobs[job_id] = cancelled
+            self._release(job_id)
+            if self._active.get(job.fingerprint) == job_id:
+                # Cancelling a primary promotes nothing: waiters fail
+                # over to their own store check when the runner next
+                # sees them — but they are not queued, so fail them.
+                del self._active[job.fingerprint]
+                for waiter_id in self._waiters.pop(job_id, []):
+                    waiter = self._jobs[waiter_id]
+                    if waiter.terminal:
+                        continue
+                    finished = waiter.advanced(
+                        "failed",
+                        error=f"coalesced onto cancelled job {job_id}",
+                    )
+                    self.journal.record("failed", finished)
+                    self._jobs[waiter_id] = finished
+                    self._release(waiter_id)
+            get_registry().counter("service.cancelled").inc()
+            return {"job_id": job_id, "state": "cancelled"}
+
+    def jobs(self) -> list[dict]:
+        """Every journaled job, in id order."""
+        with self._lock:
+            return [
+                self._jobs[job_id].to_dict() for job_id in sorted(self._jobs)
+            ]
+
+    def stats(self) -> dict:
+        """Operational snapshot: queue, store, admission, sessions."""
+        with self._lock:
+            queue_depth = len(self._queue)
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        counters = {
+            name: value
+            for name, value in get_registry().snapshot().counters.items()
+            if name.split(".")[0]
+            in ("service", "store", "admission", "session", "context_cache")
+        }
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "queue_depth": queue_depth,
+            "jobs_by_state": states,
+            "store": {
+                "entries": len(self.store),
+                "bytes": self.store.total_bytes,
+                "capacity_bytes": self.store.capacity_bytes,
+            },
+            "admission": self.admission.snapshot(),
+            "sessions": len(self.sessions),
+            "counters": counters,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The unix-socket wire front end
+# ---------------------------------------------------------------------------
+
+_OPS = frozenset(
+    {"ping", "submit", "status", "result", "cancel", "jobs", "stats", "shutdown"}
+)
+
+
+def _handle_op(service: ReproService, request: dict) -> dict:
+    """Dispatch one wire request; exceptions become error responses."""
+    op = request.get("op")
+    if op not in _OPS:
+        return _error("bad-request", f"unknown op {op!r}")
+    try:
+        if op == "ping":
+            return {"ok": True, "protocol": PROTOCOL_VERSION}
+        if op == "submit":
+            return {"ok": True, **service.submit(request.get("request", {}))}
+        if op == "status":
+            return {"ok": True, "job": service.status(_job_id(request))}
+        if op == "result":
+            return {"ok": True, **service.result(_job_id(request))}
+        if op == "cancel":
+            return {"ok": True, **service.cancel(_job_id(request))}
+        if op == "jobs":
+            return {"ok": True, "jobs": service.jobs()}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        return {"ok": True, "stopping": True}  # shutdown: caller stops server
+    except AdmissionError as exc:
+        return _error(exc.code, str(exc))
+    except KeyError as exc:
+        return _error("not-found", f"unknown job {exc.args[0]!r}")
+    except (TypeError, ValueError) as exc:
+        return _error("bad-request", str(exc))
+
+
+def _job_id(request: dict) -> str:
+    job_id = request.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise ValueError("request needs a 'job_id' string")
+    return job_id
+
+
+def _error(code: str, message: str) -> dict:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+def serve(service: ReproService, socket_path: str | os.PathLike) -> None:
+    """Run the wire front end until a ``shutdown`` op (blocking).
+
+    One connection = one request line = one response line; the client
+    reconnects per call, which keeps the handler trivially stateless.
+    """
+    socket_path = os.fspath(socket_path)
+    if os.path.exists(socket_path):
+        os.unlink(socket_path)  # stale socket from a killed daemon
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            line = self.rfile.readline()
+            if not line.strip():
+                return
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request is not a JSON object")
+            except ValueError as exc:
+                response = _error("bad-request", f"unparseable request: {exc}")
+            else:
+                response = _handle_op(service, request)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("stopping"):
+                threading.Thread(target=server.shutdown, daemon=True).start()
+
+    server = _Server(socket_path, Handler)
+    service.start()
+    _log.info("serving on %s (state %s)", socket_path, service.state_dir)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.stop()
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+
+
+__all__ = ["PROTOCOL_VERSION", "ReproService", "serve"]

@@ -1,0 +1,256 @@
+"""Durable job state: records, states, and the JSONL job journal.
+
+Every job state transition is appended to one JSONL journal before it
+takes effect in memory, so a killed daemon replays the journal on
+restart and resumes exactly the jobs that were queued or running.  The
+format mirrors :mod:`repro.resilience.checkpoint`: a header line, one
+JSON object per event, flush + fsync per append, and a torn final line
+(the write the kill interrupted) dropped silently.
+
+Job ids are allocated sequentially (``job-000001``...) from the highest
+id seen in the journal — no clocks, no randomness — so a restarted
+daemon never reissues an id.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+#: Format tag in the job-journal header; bump the version on any
+#: record-shape change.
+JOB_FORMAT = "atomic-dataflow-job-journal"
+JOB_VERSION = 1
+
+#: Every legal job state, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+_RECORD_KEYS = frozenset(
+    {
+        "job_id",
+        "fingerprint",
+        "model",
+        "tenant",
+        "request",
+        "state",
+        "source",
+        "error",
+        "total_cycles",
+        "search_seconds",
+    }
+)
+
+
+class JobJournalError(ValueError):
+    """The job journal on disk cannot be used."""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's durable state.
+
+    Attributes:
+        job_id: Sequentially allocated id (``job-%06d``).
+        fingerprint: Request fingerprint (store / coalescing key).
+        model: Model-zoo name, denormalized for listings.
+        tenant: Submitting tenant, for quota accounting on replay.
+        request: The full serialized :class:`CompileRequest`, so a
+            restarted daemon can re-run the job without the client.
+        state: One of :data:`JOB_STATES`.
+        source: How the result was (or will be) produced — ``search``
+            for a real search, ``cache`` for a store hit at submit time,
+            ``coalesced`` for a waiter on another job's search.
+        error: Failure description when ``state == "failed"``.
+        total_cycles: Solution cost once done.
+        search_seconds: Wall seconds the search took (0.0 for hits).
+    """
+
+    job_id: str
+    fingerprint: str
+    model: str
+    tenant: str
+    request: dict = field(default_factory=dict)
+    state: str = "queued"
+    source: str = "search"
+    error: str | None = None
+    total_cycles: int | None = None
+    search_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValueError(f"unknown job state {self.state!r}")
+        if self.source not in ("search", "cache", "coalesced"):
+            raise ValueError(f"unknown job source {self.source!r}")
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "fingerprint": self.fingerprint,
+            "model": self.model,
+            "tenant": self.tenant,
+            "request": self.request,
+            "state": self.state,
+            "source": self.source,
+            "error": self.error,
+            "total_cycles": self.total_cycles,
+            "search_seconds": self.search_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "JobRecord":
+        unknown = sorted(set(doc) - _RECORD_KEYS)
+        if unknown:
+            raise ValueError(f"unknown job record key(s): {', '.join(unknown)}")
+        missing = [k for k in ("job_id", "fingerprint", "model", "tenant") if k not in doc]
+        if missing:
+            raise ValueError(f"job record missing key(s): {', '.join(missing)}")
+        return cls(**dict(doc))
+
+    def advanced(self, state: str, **changes: Any) -> "JobRecord":
+        """A copy in ``state`` with ``changes`` applied."""
+        return replace(self, state=state, **changes)
+
+
+def next_job_id(existing: Mapping[str, JobRecord] | None = None) -> str:
+    """The next sequential job id given already-journaled jobs."""
+    highest = 0
+    for job_id in existing or ():
+        try:
+            highest = max(highest, int(job_id.rsplit("-", 1)[1]))
+        except (IndexError, ValueError):
+            continue
+    return f"job-{highest + 1:06d}"
+
+
+class JobJournal:
+    """Append-only JSONL journal of job state transitions.
+
+    Usage::
+
+        journal = JobJournal(path)
+        jobs = journal.open()                 # job_id -> latest JobRecord
+        journal.record("queued", job)         # before each transition
+        journal.close()
+
+    :meth:`open` on an existing file replays every event and returns the
+    *latest* record per job id — the daemon's restart state.  Appends
+    are flushed and fsynced, mirroring the candidate checkpoint journal,
+    so a kill loses at most the torn final line.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._fh: io.TextIOBase | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> dict[str, JobRecord]:
+        """Open for appending; return the latest record per job id."""
+        jobs: dict[str, JobRecord] = {}
+        fresh = not os.path.exists(self.path)
+        if not fresh:
+            jobs = self._load()
+        self._fh = open(self.path, "a" if not fresh else "w", encoding="utf-8")
+        if fresh:
+            self._write_line({"format": JOB_FORMAT, "version": JOB_VERSION})
+        return jobs
+
+    def close(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends -----------------------------------------------------------
+
+    def record(self, event: str, job: JobRecord) -> None:
+        """Durably append one state transition."""
+        if self._fh is None:
+            raise RuntimeError("job journal is not open")
+        if event != job.state:
+            raise ValueError(
+                f"event {event!r} disagrees with record state {job.state!r}"
+            )
+        self._write_line({"event": event, "job": job.to_dict()})
+
+    def _write_line(self, obj: dict[str, Any]) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # -- replay ------------------------------------------------------------
+
+    def _load(self) -> dict[str, JobRecord]:
+        with open(self.path, encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise JobJournalError(f"{self.path}: empty job journal")
+        header = self._parse(lines[0], line_no=1, final=False)
+        if header is None or header.get("format") != JOB_FORMAT:
+            raise JobJournalError(f"{self.path}: not a {JOB_FORMAT} journal")
+        if header.get("version") != JOB_VERSION:
+            raise JobJournalError(
+                f"{self.path}: unsupported job journal version "
+                f"{header.get('version')!r} (expected {JOB_VERSION})"
+            )
+        jobs: dict[str, JobRecord] = {}
+        last = len(lines) - 1
+        for i, line in enumerate(lines[1:], start=1):
+            obj = self._parse(line, line_no=i + 1, final=i == last)
+            if obj is None:
+                continue  # torn final write of a killed daemon
+            try:
+                record = JobRecord.from_dict(obj["job"])
+            except (KeyError, TypeError, ValueError) as exc:
+                if i == last:
+                    continue
+                raise JobJournalError(
+                    f"{self.path}:{i + 1}: bad job record ({exc})"
+                ) from exc
+            jobs[record.job_id] = record
+        return jobs
+
+    def _parse(
+        self, line: str, line_no: int, final: bool
+    ) -> dict[str, Any] | None:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict):
+            return obj
+        if final:
+            return None
+        raise JobJournalError(
+            f"{self.path}:{line_no}: not a JSON object — corrupt job journal"
+        )
+
+
+__all__ = [
+    "JOB_FORMAT",
+    "JOB_STATES",
+    "JOB_VERSION",
+    "TERMINAL_STATES",
+    "JobJournal",
+    "JobJournalError",
+    "JobRecord",
+    "next_job_id",
+]

@@ -1,0 +1,108 @@
+"""The compile request: one unit of service work, canonically keyed.
+
+A :class:`CompileRequest` is the service-side extraction of what
+``framework.optimize`` used to take as loose arguments: a zoo model, an
+architecture, and the search options — plus the tenant submitting it.
+Its :meth:`~CompileRequest.fingerprint` is the deterministic request
+digest from :mod:`repro.fingerprint` (graph structure + arch + decision
+options), the key of the content-addressed solution store and of job
+coalescing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Mapping
+
+from repro.config import DEFAULT_ARCH, ArchConfig
+from repro.fingerprint import (
+    arch_from_dict,
+    arch_to_dict,
+    request_fingerprint,
+)
+from repro.framework import OptimizerOptions
+from repro.ir.graph import Graph
+
+#: Wire-form keys of a serialized request.
+_REQUEST_KEYS = frozenset({"model", "arch", "options", "tenant"})
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One compile: a zoo model on an architecture under search options.
+
+    Attributes:
+        model: Model-zoo name (resolved via :func:`repro.models.get_model`).
+        arch: Target architecture.
+        options: Search configuration; execution-only knobs (jobs,
+            retries, checkpointing...) are the daemon's business and are
+            excluded from the fingerprint.
+        tenant: Submitting tenant, for quota accounting.  Not part of
+            the fingerprint — two tenants asking the same question share
+            one cache entry.
+    """
+
+    model: str
+    arch: ArchConfig = field(default_factory=lambda: DEFAULT_ARCH)
+    options: OptimizerOptions = field(default_factory=OptimizerOptions)
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ValueError("request needs a model name")
+        if not self.tenant:
+            raise ValueError("request needs a tenant name")
+
+    @cached_property
+    def graph(self) -> Graph:
+        """The workload graph, built once per request object.
+
+        Raises:
+            KeyError: On an unknown model name.
+        """
+        from repro.models import get_model
+
+        return get_model(self.model)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """The canonical request digest (store / coalescing key)."""
+        return request_fingerprint(self.graph, self.arch, self.options)
+
+    def to_dict(self) -> dict:
+        """The pure-JSON wire form (what ``repro submit`` sends)."""
+        return {
+            "model": self.model,
+            "arch": arch_to_dict(self.arch),
+            "options": self.options.to_dict(),
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "CompileRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Raises:
+            ValueError: On unknown keys at any level, a missing model,
+                or option/arch values the dataclasses reject.
+        """
+        unknown = sorted(set(doc) - _REQUEST_KEYS)
+        if unknown:
+            raise ValueError(f"unknown request key(s): {', '.join(unknown)}")
+        if "model" not in doc or not isinstance(doc["model"], str):
+            raise ValueError("request needs a 'model' string")
+        arch = doc.get("arch")
+        options = doc.get("options")
+        return cls(
+            model=doc["model"],
+            arch=arch_from_dict(arch) if isinstance(arch, Mapping)
+            else DEFAULT_ARCH,
+            options=OptimizerOptions.from_dict(options)
+            if isinstance(options, Mapping)
+            else OptimizerOptions(),
+            tenant=doc.get("tenant", "default"),
+        )
+
+
+__all__ = ["CompileRequest"]

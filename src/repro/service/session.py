@@ -1,0 +1,170 @@
+"""Warm compile sessions: reusable contexts and worker pools.
+
+A cold ``repro optimize`` pays three request-independent costs every
+invocation: building the :class:`~repro.pipeline.SearchContext` (graph
+fusion, cost-kernel statics, mesh tables), spawning the worker pool, and
+warming the memoized engine cost model.  A :class:`CompileSession` keeps
+all three alive between requests; :class:`SessionManager` is the LRU pool
+of sessions the daemon routes requests through.
+
+Reuse is decision-safe by construction: worker state is exactly the
+``(ctx, profile)`` pair (everything request-specific rides in task
+payloads — see :mod:`repro.pipeline`), and the memoized cost model
+caches pure functions of ``(layer, arch)``, so a warm second search is
+bit-identical to a cold one.  The determinism test suite pins this.
+"""
+
+from __future__ import annotations
+
+from repro.config import ArchConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizationOutcome, OptimizerOptions
+from repro.ir.graph import Graph
+from repro.obs.metrics import get_registry
+from repro.pipeline import (
+    ContextCache,
+    SearchContext,
+    make_search_executor,
+)
+from repro.resilience.executor import ResilientExecutor
+
+
+class CompileSession:
+    """One warm context plus its executors, reusable across searches.
+
+    A session is bound to one ``(graph, arch, dataflow, batch)`` — the
+    same key that identifies its context in the
+    :class:`~repro.pipeline.ContextCache`.  Executors are created per
+    distinct ``jobs`` count on first use and live until :meth:`close`;
+    the session owns their shutdown (StagedSearch never shuts down an
+    executor it was handed).
+    """
+
+    def __init__(self, graph: Graph, arch: ArchConfig, ctx: SearchContext) -> None:
+        self.graph = graph
+        self.arch = arch
+        self.ctx = ctx
+        self.searches_run = 0
+        self._executors: dict[int, ResilientExecutor] = {}
+        self._closed = False
+
+    def executor(self, jobs: int) -> ResilientExecutor:
+        """The warm executor for a ``jobs`` count, spawning on first use."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        executor = self._executors.get(jobs)
+        if executor is None:
+            executor = make_search_executor(self.ctx, jobs=jobs)
+            self._executors[jobs] = executor
+        return executor
+
+    def optimize(
+        self, options: OptimizerOptions, strategy_label: str = "AD"
+    ) -> OptimizationOutcome:
+        """Run one search on the warm context and pool.
+
+        ``options.dataflow`` / ``options.batch`` must match what the
+        session was built for (the daemon guarantees this by routing on
+        the context key).
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if (options.dataflow, options.batch) != (
+            self.ctx.dataflow,
+            self.ctx.batch,
+        ):
+            raise ValueError(
+                f"session is warm for dataflow={self.ctx.dataflow!r} "
+                f"batch={self.ctx.batch}, request wants "
+                f"dataflow={options.dataflow!r} batch={options.batch}"
+            )
+        optimizer = AtomicDataflowOptimizer(
+            self.graph,
+            self.arch,
+            options,
+            context=self.ctx,
+            executor=self.executor(options.jobs),
+        )
+        outcome = optimizer.optimize(strategy_label=strategy_label)
+        self.searches_run += 1
+        get_registry().counter("session.searches").inc()
+        return outcome
+
+    def close(self) -> None:
+        """Shut down every pool this session spawned."""
+        self._closed = True
+        executors, self._executors = self._executors, {}
+        for executor in executors.values():
+            executor.shutdown()
+
+
+class SessionManager:
+    """LRU pool of warm sessions, sharing one context cache.
+
+    Sessions are keyed by :meth:`ContextCache.key_for` — ``(graph
+    fingerprint, arch fingerprint, dataflow, batch)``.  Eviction closes
+    the evicted session's pools; its context may survive in the
+    (larger) context cache and re-warm a future session cheaply.
+
+    Args:
+        capacity: Live sessions kept warm (pools are the scarce
+            resource — each holds worker processes).
+        context_capacity: Entries in the shared context cache.
+    """
+
+    def __init__(self, capacity: int = 4, context_capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.contexts = ContextCache(capacity=context_capacity)
+        self._sessions: dict[tuple, CompileSession] = {}
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def get(self, graph: Graph, arch: ArchConfig, options: OptimizerOptions) -> CompileSession:
+        """A warm session for the request, building one on miss."""
+        if self._closed:
+            raise RuntimeError("session manager is closed")
+        registry = get_registry()
+        key = ContextCache.key_for(graph, arch, options.dataflow, options.batch)
+        session = self._sessions.pop(key, None)
+        if session is not None:
+            self._sessions[key] = session  # re-insert: most recently used
+            registry.counter("session.hits").inc()
+            return session
+        registry.counter("session.misses").inc()
+        ctx = self.contexts.get(graph, arch, options.dataflow, options.batch)
+        session = CompileSession(graph, arch, ctx)
+        self._sessions[key] = session
+        while len(self._sessions) > self.capacity:
+            oldest = next(iter(self._sessions))
+            self._sessions.pop(oldest).close()
+            registry.counter("session.evictions").inc()
+        return session
+
+    def invalidate_arch(self, arch_fp: str) -> int:
+        """Close every session (and drop every context) for an arch.
+
+        Returns the number of sessions closed.  The daemon calls this
+        when an architecture definition changes under a fingerprint —
+        the explicit invalidation hook the warm-reuse contract requires.
+        """
+        stale = [key for key in self._sessions if key[1] == arch_fp]
+        for key in stale:
+            self._sessions.pop(key).close()
+        self.contexts.invalidate_arch(arch_fp)
+        if stale:
+            get_registry().counter("session.invalidated").inc(len(stale))
+        return len(stale)
+
+    def close(self) -> None:
+        """Close every session and drop every context."""
+        self._closed = True
+        sessions, self._sessions = self._sessions, {}
+        for session in sessions.values():
+            session.close()
+        self.contexts.clear()
+
+
+__all__ = ["CompileSession", "SessionManager"]

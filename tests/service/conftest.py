@@ -1,0 +1,98 @@
+"""Shared fixtures for the compile-service tests.
+
+The daemon fixtures run a real :class:`ReproService` with the unix
+socket front end on a short temp path (``AF_UNIX`` paths are limited to
+~108 bytes, so pytest's deep tmp_path is unsuitable for the socket).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig
+from repro.framework import OptimizerOptions
+from repro.obs import reset_registry
+from repro.service import ReproService, ServeClient, serve
+
+#: Tiny but real search settings every service test shares.
+FAST_SA = SAParams(max_iterations=8)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """Isolate the global metrics registry per test."""
+    reset_registry()
+    yield
+    reset_registry()
+
+
+@pytest.fixture
+def arch() -> ArchConfig:
+    return ArchConfig(mesh_rows=4, mesh_cols=4)
+
+
+@pytest.fixture
+def fast_options() -> OptimizerOptions:
+    return OptimizerOptions(sa_params=FAST_SA, restarts=2, seed=3)
+
+
+@pytest.fixture
+def short_dir():
+    """A short-pathed scratch directory (unix-socket safe)."""
+    with tempfile.TemporaryDirectory(prefix="repro-svc-") as tmp:
+        yield Path(tmp)
+
+
+class DaemonHarness:
+    """One running daemon + client, restartable on the same state dir."""
+
+    def __init__(self, state_dir: Path, **service_kwargs):
+        self.state_dir = state_dir
+        self.service_kwargs = service_kwargs
+        self.socket_path = str(state_dir / "repro.sock")
+        self.service: ReproService | None = None
+        self.thread: threading.Thread | None = None
+        self.client = ServeClient(self.socket_path, timeout_s=120.0)
+
+    def start(self) -> "DaemonHarness":
+        assert self.thread is None, "daemon already running"
+        self.service = ReproService(self.state_dir, **self.service_kwargs)
+        self.thread = threading.Thread(
+            target=serve, args=(self.service, self.socket_path), daemon=True
+        )
+        self.thread.start()
+        deadline = 200
+        while deadline:
+            try:
+                self.client.ping()
+                return self
+            except OSError:
+                deadline -= 1
+                time.sleep(0.05)
+        raise RuntimeError("daemon did not come up")
+
+    def stop(self) -> None:
+        if self.thread is None:
+            return
+        try:
+            self.client.shutdown()
+        except OSError:
+            pass
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive(), "daemon did not stop"
+        self.thread = None
+        self.service = None
+
+
+@pytest.fixture
+def daemon(short_dir):
+    """A running daemon on a fresh state dir; stopped at teardown."""
+    harness = DaemonHarness(short_dir / "state").start()
+    yield harness
+    harness.stop()

@@ -1,0 +1,75 @@
+"""Admission control: queue depth, quotas, release accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionController, AdmissionError
+
+
+class TestAdmission:
+    def test_admits_within_quota(self):
+        ctl = AdmissionController(max_queue_depth=4, default_quota=2)
+        ctl.admit("a")
+        ctl.admit("a")
+        assert ctl.in_flight("a") == 2
+
+    def test_quota_exceeded(self):
+        ctl = AdmissionController(max_queue_depth=10, default_quota=1)
+        ctl.admit("a")
+        with pytest.raises(AdmissionError) as err:
+            ctl.admit("a")
+        assert err.value.code == "quota-exceeded"
+        assert ctl.in_flight("a") == 1  # the rejected admit claims nothing
+
+    def test_queue_full(self):
+        ctl = AdmissionController(max_queue_depth=2, default_quota=5)
+        ctl.admit("a")
+        ctl.admit("b")
+        with pytest.raises(AdmissionError) as err:
+            ctl.admit("c")
+        assert err.value.code == "queue-full"
+
+    def test_per_tenant_override(self):
+        ctl = AdmissionController(
+            max_queue_depth=10, default_quota=1, quotas={"ci": 3}
+        )
+        for _ in range(3):
+            ctl.admit("ci")
+        with pytest.raises(AdmissionError):
+            ctl.admit("ci")
+        ctl.admit("other")  # default-quota tenant unaffected by the override
+        with pytest.raises(AdmissionError):
+            ctl.admit("other")  # ...until it hits the default quota of 1
+
+    def test_release_frees_slot(self):
+        ctl = AdmissionController(max_queue_depth=10, default_quota=1)
+        ctl.admit("a")
+        ctl.release("a")
+        ctl.admit("a")  # does not raise
+        assert ctl.in_flight() == 1
+
+    def test_release_never_goes_negative(self):
+        ctl = AdmissionController()
+        ctl.release("ghost")
+        assert ctl.in_flight("ghost") == 0
+        assert ctl.in_flight() == 0
+
+    def test_snapshot(self):
+        ctl = AdmissionController(
+            max_queue_depth=4, default_quota=2, quotas={"ci": 4}
+        )
+        ctl.admit("ci")
+        ctl.admit("dev")
+        snap = ctl.snapshot()
+        assert snap["in_flight"] == {"ci": 1, "dev": 1}
+        assert snap["total_in_flight"] == 2
+        assert snap["quotas"] == {"ci": 4}
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(default_quota=0)
+        with pytest.raises(ValueError):
+            AdmissionController(quotas={"x": 0})

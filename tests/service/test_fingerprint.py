@@ -1,0 +1,124 @@
+"""Request fingerprints: canonical, deterministic, execution-blind."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import DEFAULT_ARCH, ArchConfig
+from repro.fingerprint import (
+    EXECUTION_KEYS,
+    arch_from_dict,
+    arch_to_dict,
+    canonical_json,
+    graph_fingerprint,
+    graph_to_dict,
+    request_fingerprint,
+    request_to_dict,
+)
+from repro.framework import OptimizerOptions
+from repro.models import get_model
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_model("mobilenet_v2_bench")
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_key_order_invariant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestGraphFingerprint:
+    def test_stable_across_rebuilds(self, graph):
+        assert graph_fingerprint(graph) == graph_fingerprint(
+            get_model("mobilenet_v2_bench")
+        )
+
+    def test_differs_across_models(self, graph):
+        assert graph_fingerprint(graph) != graph_fingerprint(
+            get_model("vgg19_bench")
+        )
+
+    def test_document_is_json(self, graph):
+        doc = graph_to_dict(graph)
+        assert json.loads(canonical_json(doc)) == doc
+        assert all("kind" in n["op"] for n in doc["nodes"])
+
+
+class TestArchRoundTrip:
+    def test_round_trip(self):
+        arch = ArchConfig(mesh_rows=2, mesh_cols=3)
+        assert arch_from_dict(arch_to_dict(arch)) == arch
+
+    def test_rejects_unknown_keys(self):
+        doc = arch_to_dict(DEFAULT_ARCH)
+        doc["nope"] = 1
+        with pytest.raises(ValueError, match="unknown arch key"):
+            arch_from_dict(doc)
+
+    def test_rejects_unknown_nested_keys(self):
+        doc = arch_to_dict(DEFAULT_ARCH)
+        doc["engine"]["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            arch_from_dict(doc)
+
+
+class TestRequestFingerprint:
+    def test_deterministic(self, graph):
+        options = OptimizerOptions(restarts=3, seed=5)
+        assert request_fingerprint(
+            graph, DEFAULT_ARCH, options
+        ) == request_fingerprint(graph, DEFAULT_ARCH, options)
+
+    def test_execution_knobs_excluded(self, graph):
+        base = OptimizerOptions(restarts=3, seed=5)
+        fp = request_fingerprint(graph, DEFAULT_ARCH, base)
+        for variant in (
+            OptimizerOptions(restarts=3, seed=5, jobs=4),
+            OptimizerOptions(restarts=3, seed=5, retries=7),
+            OptimizerOptions(restarts=3, seed=5, validate=True),
+            OptimizerOptions(
+                restarts=3, seed=5, checkpoint="/tmp/x.jsonl", resume=True
+            ),
+        ):
+            assert request_fingerprint(graph, DEFAULT_ARCH, variant) == fp
+
+    def test_decision_knobs_included(self, graph):
+        base = OptimizerOptions(restarts=3, seed=5)
+        fp = request_fingerprint(graph, DEFAULT_ARCH, base)
+        for variant in (
+            OptimizerOptions(restarts=4, seed=5),
+            OptimizerOptions(restarts=3, seed=6),
+            OptimizerOptions(restarts=3, seed=5, scheduler="greedy"),
+        ):
+            assert request_fingerprint(graph, DEFAULT_ARCH, variant) != fp
+
+    def test_arch_included(self, graph):
+        options = OptimizerOptions()
+        assert request_fingerprint(
+            graph, DEFAULT_ARCH, options
+        ) != request_fingerprint(
+            graph, ArchConfig(mesh_rows=4, mesh_cols=4), options
+        )
+
+    def test_document_omits_execution_keys(self, graph):
+        doc = request_to_dict(graph, DEFAULT_ARCH, OptimizerOptions(jobs=8))
+        assert not (set(doc["options"]) & EXECUTION_KEYS)
+        assert doc["fingerprint_version"] == 1
+
+    def test_full_sha256(self, graph):
+        fp = request_fingerprint(graph, DEFAULT_ARCH, OptimizerOptions())
+        assert len(fp) == 64
+        assert all(c in "0123456789abcdef" for c in fp)

@@ -1,0 +1,138 @@
+"""JobRecord and the durable job journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import (
+    JOB_FORMAT,
+    JobJournal,
+    JobJournalError,
+    JobRecord,
+    next_job_id,
+)
+
+
+def _record(job_id="job-000001", state="queued", **kw) -> JobRecord:
+    defaults = dict(
+        job_id=job_id,
+        fingerprint="ab" * 32,
+        model="vgg19_bench",
+        tenant="ci",
+        state=state,
+    )
+    defaults.update(kw)
+    return JobRecord(**defaults)
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        record = _record(state="done", source="cache", total_cycles=123)
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_rejects_unknown_keys(self):
+        doc = _record().to_dict()
+        doc["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            JobRecord.from_dict(doc)
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            JobRecord.from_dict({"job_id": "job-000001"})
+
+    def test_rejects_bad_state_and_source(self):
+        with pytest.raises(ValueError):
+            _record(state="paused")
+        with pytest.raises(ValueError):
+            _record(source="wishful")
+
+    def test_terminal(self):
+        assert not _record(state="queued").terminal
+        assert not _record(state="running").terminal
+        assert _record(state="done").terminal
+        assert _record(state="failed").terminal
+        assert _record(state="cancelled").terminal
+
+    def test_advanced(self):
+        done = _record(state="running").advanced("done", total_cycles=9)
+        assert done.state == "done" and done.total_cycles == 9
+
+
+class TestNextJobId:
+    def test_empty(self):
+        assert next_job_id({}) == "job-000001"
+        assert next_job_id(None) == "job-000001"
+
+    def test_continues_after_highest(self):
+        jobs = {"job-000002": None, "job-000007": None}
+        assert next_job_id(jobs) == "job-000008"
+
+    def test_ignores_malformed_ids(self):
+        assert next_job_id({"weird": None, "job-abc": None}) == "job-000001"
+
+
+class TestJobJournal:
+    def test_fresh_open_writes_header(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        assert journal.open() == {}
+        journal.close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == JOB_FORMAT
+
+    def test_replay_keeps_latest_record(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.open()
+        job = _record()
+        journal.record("queued", job)
+        job = job.advanced("running")
+        journal.record("running", job)
+        job = job.advanced("done", total_cycles=42)
+        journal.record("done", job)
+        journal.close()
+
+        replayed = JobJournal(path).open()
+        assert replayed == {"job-000001": job}
+
+    def test_event_state_mismatch_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        journal.open()
+        with pytest.raises(ValueError, match="disagrees"):
+            journal.record("done", _record(state="queued"))
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.open()
+        journal.record("queued", _record())
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "running", "job": {"job_')  # the torn write
+        replayed = JobJournal(path).open()
+        assert replayed["job-000001"].state == "queued"
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.open()
+        journal.record("queued", _record())
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "garbage")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JobJournalError):
+            JobJournal(path).open()
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(JobJournalError, match="not a"):
+            JobJournal(path).open()
+
+    def test_append_requires_open(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        with pytest.raises(RuntimeError):
+            journal.record("queued", _record())

@@ -1,0 +1,123 @@
+"""OptimizerOptions / CompileRequest serialization round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.atoms.generation import SAParams
+from repro.config import DEFAULT_ARCH, ArchConfig
+from repro.framework import OptimizerOptions
+from repro.resilience import FaultPlan, FaultSpec
+from repro.service import CompileRequest
+
+
+class TestOptionsRoundTrip:
+    def test_defaults(self):
+        options = OptimizerOptions()
+        assert OptimizerOptions.from_dict(options.to_dict()) == options
+
+    def test_everything_customized(self):
+        options = OptimizerOptions(
+            dataflow="yx",
+            batch=2,
+            atom_generation="even",
+            scheduler="greedy",
+            mapping="zigzag",
+            sa_params=SAParams(max_iterations=33),
+            lookahead=2,
+            restarts=5,
+            seed=11,
+            jobs=3,
+            dedup=False,
+            validate=True,
+            retries=2,
+            candidate_timeout_s=9.5,
+            checkpoint="/tmp/ck.jsonl",
+            resume=True,
+            faults=FaultPlan(
+                specs=(FaultSpec(index=1, kind="raise"),
+                       FaultSpec(index=2, kind="stall", stall_s=0.5))
+            ),
+        )
+        rebuilt = OptimizerOptions.from_dict(options.to_dict())
+        assert rebuilt == options
+
+    def test_document_is_pure_json(self):
+        options = OptimizerOptions(
+            faults=FaultPlan(specs=(FaultSpec(index=0, kind="raise"),))
+        )
+        doc = options.to_dict()
+        assert json.loads(json.dumps(doc)) == doc
+        assert OptimizerOptions.from_dict(json.loads(json.dumps(doc))) == options
+
+    def test_rejects_unknown_top_level_key(self):
+        doc = OptimizerOptions().to_dict()
+        doc["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown option key.*bogus"):
+            OptimizerOptions.from_dict(doc)
+
+    def test_rejects_unknown_sa_key(self):
+        doc = OptimizerOptions().to_dict()
+        doc["sa_params"]["warp_speed"] = True
+        with pytest.raises(ValueError, match="warp_speed"):
+            OptimizerOptions.from_dict(doc)
+
+    def test_rejects_unknown_fault_key(self):
+        doc = OptimizerOptions(
+            faults=FaultPlan(specs=(FaultSpec(index=0, kind="raise"),))
+        ).to_dict()
+        doc["faults"]["specs"][0]["zap"] = 1
+        with pytest.raises(ValueError, match="zap"):
+            OptimizerOptions.from_dict(doc)
+
+    def test_rejects_invalid_values(self):
+        doc = OptimizerOptions().to_dict()
+        doc["restarts"] = 0
+        with pytest.raises(ValueError):
+            OptimizerOptions.from_dict(doc)
+
+
+class TestCompileRequest:
+    def test_round_trip(self):
+        request = CompileRequest(
+            model="vgg19_bench",
+            arch=ArchConfig(mesh_rows=2, mesh_cols=2),
+            options=OptimizerOptions(seed=9),
+            tenant="ci",
+        )
+        rebuilt = CompileRequest.from_dict(request.to_dict())
+        assert rebuilt == request
+        assert rebuilt.fingerprint == request.fingerprint
+
+    def test_defaults_fill_in(self):
+        request = CompileRequest.from_dict({"model": "vgg19_bench"})
+        assert request.arch == DEFAULT_ARCH
+        assert request.options == OptimizerOptions()
+        assert request.tenant == "default"
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown request key"):
+            CompileRequest.from_dict({"model": "vgg19_bench", "extra": 1})
+
+    def test_requires_model(self):
+        with pytest.raises(ValueError, match="model"):
+            CompileRequest.from_dict({})
+        with pytest.raises(ValueError):
+            CompileRequest(model="")
+
+    def test_tenant_not_in_fingerprint(self):
+        a = CompileRequest(model="vgg19_bench", tenant="a")
+        b = CompileRequest(model="vgg19_bench", tenant="b")
+        assert a.fingerprint == b.fingerprint
+
+    def test_execution_knobs_not_in_fingerprint(self):
+        a = CompileRequest(model="vgg19_bench", options=OptimizerOptions(jobs=1))
+        b = CompileRequest(model="vgg19_bench", options=OptimizerOptions(jobs=4))
+        assert a.fingerprint == b.fingerprint
+
+    def test_unknown_model_fails_at_fingerprint(self):
+        request = CompileRequest(model="not-a-model")
+        with pytest.raises(KeyError):
+            request.fingerprint

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Compile-service smoke benchmark: cold vs warm vs cache-hit latency.
+
+Runs the pinned perf workload (ResNet-50, default 8x8 platform,
+``restarts=8``, seed 0) through a real ``repro serve`` daemon over its
+unix socket and measures what serving buys:
+
+* **cold** — first submission; the daemon builds the search context and
+  runs the full staged search;
+* **warm** — a second search (different seed) on the now-warm session,
+  reusing the context, mesh, and cost kernel;
+* **hit** — the first request resubmitted; must come back from the
+  content-addressed store byte-identically and ≥100x faster than cold;
+* **restart-hit** — daemon stopped and restarted on the same state
+  directory; the resubmission must still be a byte-identical cache hit.
+
+The determinism contract is asserted here, not just reported: the served
+solution document must be bit-identical to what the same
+``repro optimize`` invocation produces in-process.  ``BENCH_serve.json``
+records the latencies, speedups, and store hit ratio for CI history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import DEFAULT_ARCH  # noqa: E402
+from repro.framework import (  # noqa: E402
+    AtomicDataflowOptimizer,
+    OptimizerOptions,
+)
+from repro.models import get_model  # noqa: E402
+from repro.serialize import (  # noqa: E402
+    canonical_solution_bytes,
+    solution_to_dict,
+)
+from repro.service import (  # noqa: E402
+    CompileRequest,
+    ReproService,
+    ServeClient,
+    serve,
+)
+
+#: The pinned workload (matches ``tools/perf_smoke.py``).
+MODEL = "resnet50"
+
+#: The cache-hit acceptance bar: a repeated request must return its
+#: byte-identical document at least this much faster than the cold search.
+MIN_HIT_SPEEDUP = 100.0
+
+
+class Daemon:
+    """A real daemon (runner + unix-socket front end) on a state dir."""
+
+    def __init__(self, state_dir: Path):
+        self.state_dir = state_dir
+        self.socket_path = str(state_dir / "repro.sock")
+        self.client = ServeClient(self.socket_path, timeout_s=1800.0)
+        self.service: ReproService | None = None
+        self.thread: threading.Thread | None = None
+
+    def start(self) -> "Daemon":
+        self.service = ReproService(self.state_dir / "state")
+        self.thread = threading.Thread(
+            target=serve, args=(self.service, self.socket_path), daemon=True
+        )
+        self.thread.start()
+        for _ in range(200):
+            try:
+                self.client.ping()
+                return self
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError("daemon did not come up")
+
+    def stop(self) -> None:
+        self.client.shutdown()
+        assert self.thread is not None
+        self.thread.join(timeout=60)
+        if self.thread.is_alive():
+            raise RuntimeError("daemon did not stop")
+        self.thread = None
+        self.service = None
+
+
+def timed_submit(daemon: Daemon, request: CompileRequest) -> tuple[dict, float]:
+    """Submit, wait, fetch the result; returns (result, wall seconds)."""
+    t0 = time.perf_counter()
+    submitted = daemon.client.submit(request)
+    if submitted["state"] != "done":
+        daemon.client.wait(submitted["job_id"], timeout_s=1800.0)
+    result = daemon.client.result(submitted["job_id"])
+    return result, time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--restarts", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_serve.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    options = OptimizerOptions(restarts=args.restarts, seed=args.seed, jobs=1)
+    pinned = CompileRequest(model=MODEL, arch=DEFAULT_ARCH, options=options)
+    warm_probe = CompileRequest(
+        model=MODEL,
+        arch=DEFAULT_ARCH,
+        options=OptimizerOptions(
+            restarts=args.restarts, seed=args.seed + 1, jobs=1
+        ),
+    )
+
+    # The in-process reference: what `repro optimize` would emit.
+    t0 = time.perf_counter()
+    outcome = AtomicDataflowOptimizer(
+        get_model(MODEL), DEFAULT_ARCH, options
+    ).optimize()
+    direct_wall = time.perf_counter() - t0
+    direct_bytes = canonical_solution_bytes(
+        solution_to_dict(outcome, options.dataflow, include_search=False)
+    )
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        daemon = Daemon(Path(tmp)).start()
+
+        cold_result, cold_wall = timed_submit(daemon, pinned)
+        if cold_result["solution_json"].encode() != direct_bytes:
+            failures.append("served cold compile != direct optimize (bytes)")
+
+        _, warm_wall = timed_submit(daemon, warm_probe)
+
+        hit_result, hit_wall = timed_submit(daemon, pinned)
+        if hit_result["source"] != "cache":
+            failures.append(f"repeat was {hit_result['source']}, not a hit")
+        if hit_result["solution_json"] != cold_result["solution_json"]:
+            failures.append("cache hit was not byte-identical")
+        hit_speedup = cold_wall / hit_wall if hit_wall > 0 else float("inf")
+        if hit_speedup < MIN_HIT_SPEEDUP:
+            failures.append(
+                f"cache-hit speedup {hit_speedup:.0f}x < {MIN_HIT_SPEEDUP:.0f}x"
+            )
+
+        stats = daemon.client.stats()
+        daemon.stop()
+
+        # The store must survive a daemon restart on the same state dir.
+        daemon = Daemon(Path(tmp)).start()
+        restart_result, restart_wall = timed_submit(daemon, pinned)
+        if restart_result["source"] != "cache":
+            failures.append("post-restart repeat was not a cache hit")
+        if restart_result["solution_json"] != cold_result["solution_json"]:
+            failures.append("post-restart hit was not byte-identical")
+        daemon.stop()
+
+    counters = stats["counters"]
+    lookups = counters.get("store.hits", 0) + counters.get("store.misses", 0)
+    report = {
+        "benchmark": "serve-smoke",
+        "model": MODEL,
+        "arch": f"{DEFAULT_ARCH.mesh_rows}x{DEFAULT_ARCH.mesh_cols} default",
+        "restarts": args.restarts,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "direct_optimize_seconds": round(direct_wall, 3),
+        "cold_seconds": round(cold_wall, 3),
+        "warm_seconds": round(warm_wall, 3),
+        "cache_hit_seconds": round(hit_wall, 4),
+        "restart_hit_seconds": round(restart_wall, 4),
+        "cache_hit_speedup_vs_cold": round(hit_speedup, 1),
+        "min_hit_speedup": MIN_HIT_SPEEDUP,
+        "warm_speedup_vs_cold": round(cold_wall / warm_wall, 2),
+        "served_equals_direct": not any("direct" in f for f in failures),
+        "store_hit_ratio": round(
+            counters.get("store.hits", 0) / lookups, 3
+        ) if lookups else 0.0,
+        "counters": counters,
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(
+        f"{MODEL} restarts={args.restarts}: cold {cold_wall:.2f}s, "
+        f"warm {warm_wall:.2f}s, hit {hit_wall * 1000:.1f}ms "
+        f"({hit_speedup:.0f}x), restart hit {restart_wall * 1000:.1f}ms"
+    )
+    for problem in failures:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(f"report written to {args.out} (cpu_count={report['cpu_count']})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
