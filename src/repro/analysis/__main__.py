@@ -6,7 +6,8 @@ Modes (first match wins):
   artifacts and that the ``repro`` source tree lints clean;
 * ``--artifact solution.json --model NAME`` — Tier-A validation of a
   serialized solution document;
-* ``--journal ckpt.jsonl`` — AD601 validation of a checkpoint journal;
+* ``--journal FILE.jsonl`` — journal validation, dispatched by header:
+  job journals get AD802 + AD804-806, checkpoint journals AD601;
 * ``--static [paths...]`` — Tier-C interprocedural determinism/worker
   analysis (LINT007–LINT013) against the ratchet baseline
   (``--baseline``, default ``tools/static_baseline.json`` when present;
@@ -72,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--journal",
         metavar="JSONL",
-        help="validate a checkpoint journal (Tier A, AD601)",
+        help="validate a journal: job journals (AD802/AD804-806) or "
+        "checkpoint journals (AD601), sniffed from the header",
     )
     parser.add_argument(
         "--store",
@@ -204,10 +206,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.journal:
         from repro.analysis.resilience_rules import check_checkpoint_journal
+        from repro.analysis.service_rules import (
+            check_job_journal,
+            check_job_leases,
+            is_job_journal,
+        )
 
         if not Path(args.journal).exists():
             print(f"no such journal: {args.journal}", file=sys.stderr)
             return 2
+        if is_job_journal(args.journal):
+            report = check_job_journal(args.journal)
+            check_job_leases(args.journal, report)
+            return _finish(report, args.json)
         return _finish(check_checkpoint_journal(args.journal), args.json)
 
     if args.artifact:

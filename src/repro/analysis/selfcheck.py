@@ -387,6 +387,7 @@ def run_self_check() -> tuple[bool, str]:
     from repro.analysis.service_rules import (
         check_admission_accounting,
         check_job_journal,
+        check_job_leases,
         check_store,
     )
     from repro.fingerprint import request_fingerprint
@@ -422,7 +423,7 @@ def run_self_check() -> tuple[bool, str]:
 
         journal_path = Path(tmp) / "jobs.jsonl"
         jobs_journal = JobJournal(journal_path)
-        jobs_journal.open()
+        jobs_journal.open(header_extras={"max_attempts": 3})
         job = JobRecord(
             job_id="job-000001",
             fingerprint=fingerprint,
@@ -430,7 +431,9 @@ def run_self_check() -> tuple[bool, str]:
             tenant="ci",
         )
         jobs_journal.record("queued", job)
-        job = job.advanced("running")
+        job = job.advanced(
+            "running", runner_id="runner-1", lease_seq=1, attempt=1
+        )
         jobs_journal.record("running", job)
         job = job.advanced(
             "done",
@@ -439,9 +442,9 @@ def run_self_check() -> tuple[bool, str]:
         )
         jobs_journal.record("done", job)
         jobs_journal.close()
-        passed &= _expect_clean(
-            "service job journal", check_job_journal(journal_path), lines
-        )
+        clean_journal = check_job_journal(journal_path)
+        check_job_leases(journal_path, clean_journal)
+        passed &= _expect_clean("service job journal", clean_journal, lines)
 
         with open(journal_path, "a", encoding="utf-8") as fh:
             fh.write(
@@ -454,6 +457,69 @@ def run_self_check() -> tuple[bool, str]:
             "seeded post-terminal job transition",
             check_job_journal(journal_path),
             ("AD802",),
+            lines,
+        )
+
+        # Lease lifecycle (AD804-806): a clean retry — lease, crash
+        # requeue, re-lease, done — validates silently; seeded lease
+        # corruptions trip exactly the guarding rule.
+        def lease_journal(events: list[tuple[str, dict]]) -> Path:
+            path = Path(tmp) / "leases.jsonl"
+            base = {
+                "job_id": "job-000001",
+                "fingerprint": fingerprint,
+                "model": graph.name,
+                "tenant": "ci",
+            }
+            journal = JobJournal(path)
+            journal.open(header_extras={"max_attempts": 2})
+            for state, fields in events:
+                journal.record(
+                    state, JobRecord(**base, state=state, **fields)
+                )
+            journal.close()
+            return path
+
+        retried = [
+            ("queued", {}),
+            ("running", {"runner_id": "runner-1", "lease_seq": 1, "attempt": 1}),
+            ("queued", {"lease_seq": 1, "attempt": 1}),
+            ("running", {"runner_id": "runner-2", "lease_seq": 2, "attempt": 2}),
+            ("done", {"runner_id": "runner-2", "lease_seq": 2, "attempt": 2}),
+        ]
+        passed &= _expect_clean(
+            "service lease lifecycle",
+            check_job_leases(lease_journal(retried)),
+            lines,
+        )
+        regressed = list(retried)
+        regressed[3] = (
+            "running",
+            {"runner_id": "runner-2", "lease_seq": 1, "attempt": 2},
+        )
+        passed &= _expect(
+            "seeded lease-clock regression",
+            check_job_leases(lease_journal(regressed)),
+            ("AD804",),
+            lines,
+        )
+        orphaned = retried[:2]
+        passed &= _expect(
+            "seeded orphaned lease",
+            check_job_leases(lease_journal(orphaned)),
+            ("AD805",),
+            lines,
+        )
+        over_cap = retried[:3] + [
+            ("running", {"runner_id": "runner-2", "lease_seq": 2, "attempt": 2}),
+            ("queued", {"lease_seq": 2, "attempt": 2}),
+            ("running", {"runner_id": "runner-1", "lease_seq": 3, "attempt": 3}),
+            ("failed", {"runner_id": "runner-1", "lease_seq": 3, "attempt": 3}),
+        ]
+        passed &= _expect(
+            "seeded retry-cap overrun",
+            check_job_leases(lease_journal(over_cap)),
+            ("AD806",),
             lines,
         )
 

@@ -55,6 +55,29 @@ register_rule(
     "admission accounting must be sane: totals add up, quotas and queue "
     "depth respected, slots backed by live jobs",
 )
+register_rule(
+    "AD804",
+    Severity.ERROR,
+    "artifact",
+    "job leases must be legal: running events carry a runner and a "
+    "1-based attempt, lease sequence numbers strictly increase journal-"
+    "wide, attempts advance by exactly one per lease",
+)
+register_rule(
+    "AD805",
+    Severity.ERROR,
+    "artifact",
+    "no orphaned leases: a runner holds at most one live lease, and a "
+    "quiescent journal (drained or recovered) ends with every lease "
+    "closed",
+)
+register_rule(
+    "AD806",
+    Severity.ERROR,
+    "artifact",
+    "retry-cap accounting: no job consumes more leases than the "
+    "journaled max_attempts cap",
+)
 
 #: Legal predecessor states for each job-journal event.  A job's first
 #: event must be ``queued`` (a real submission) or ``done`` (a cache hit
@@ -228,7 +251,7 @@ def check_job_journal(
             f"header is not a {JOB_FORMAT!r} header",
         )
         return report
-    if header.get("version") != JOB_VERSION:
+    if header.get("version") not in (1, JOB_VERSION):
         report.emit(
             "AD802",
             f"{path.name}:1",
@@ -299,6 +322,195 @@ def check_job_journal(
                 f"failed job {record.job_id} carries no error description",
             )
         last_state[record.job_id] = record.state
+    return report
+
+
+def is_job_journal(path: str | Path) -> bool:
+    """Whether ``path`` starts with a job-journal header.
+
+    ``repro check --journal`` dispatches on this: job journals get
+    AD802 + AD804-806, candidate checkpoint journals get AD601-603.
+    """
+    from repro.service.jobs import JOB_FORMAT
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            first = fh.readline()
+        header = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return isinstance(header, dict) and header.get("format") == JOB_FORMAT
+
+
+def check_job_leases(
+    path: str | Path,
+    report: Report | None = None,
+    max_attempts: int | None = None,
+) -> Report:
+    """Run AD804-806 (lease legality / orphans / retry caps) over a journal.
+
+    The retry cap comes from ``max_attempts`` when given, else from the
+    journal header's ``max_attempts`` key (journaled by the daemon at
+    creation); with neither, AD806's cap comparisons are skipped.
+
+    The orphan check (AD805) expects a *quiescent* journal: a drained
+    daemon closes every lease before exiting, and a restarted daemon
+    requeues every leased job before serving — so a journal that still
+    ends mid-lease is the audit trail of a job that would be lost.
+    """
+    report = report if report is not None else Report()
+    path = Path(path)
+    report.mark_checked(f"JobLeases({path.name})")
+
+    from repro.service.jobs import JOB_FORMAT, JobRecord
+
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        report.emit("AD804", str(path), f"unreadable journal: {exc}")
+        return report
+    if not lines:
+        report.emit("AD804", str(path), "empty journal (missing header)")
+        return report
+
+    def parse(line: str) -> dict | None:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return obj if isinstance(obj, dict) else None
+
+    header = parse(lines[0])
+    if header is None or header.get("format") != JOB_FORMAT:
+        report.emit(
+            "AD804", f"{path.name}:1", f"header is not a {JOB_FORMAT!r} header"
+        )
+        return report
+    cap = max_attempts
+    if cap is None:
+        journaled_cap = header.get("max_attempts")
+        if isinstance(journaled_cap, int) and journaled_cap >= 1:
+            cap = journaled_cap
+
+    last_global_seq = 0  # lease_seq is one monotone clock, journal-wide
+    attempts: dict[str, int] = {}  # job -> attempt of its latest lease
+    last_lease_seq: dict[str, int] = {}  # job -> lease_seq of its latest lease
+    open_leases: dict[str, tuple[str, int]] = {}  # job -> (runner, line_no)
+    runner_open: dict[str, str] = {}  # runner -> job holding its live lease
+    last = len(lines) - 1
+    for i, line in enumerate(lines[1:], start=1):
+        where = f"{path.name}:{i + 1}"
+        obj = parse(line)
+        if obj is None:
+            continue  # AD802 owns torn/garbage line reporting
+        try:
+            record = JobRecord.from_dict(obj.get("job") or {})
+        except (TypeError, ValueError):
+            continue  # ditto
+        job_id = record.job_id
+        if record.state == "running":
+            if not record.runner_id:
+                report.emit(
+                    "AD804", where, f"running job {job_id} carries no runner_id"
+                )
+            if record.attempt < 1:
+                report.emit(
+                    "AD804",
+                    where,
+                    f"running job {job_id} has attempt {record.attempt}; "
+                    "leases are 1-based",
+                )
+            if record.lease_seq < 1:
+                report.emit(
+                    "AD804",
+                    where,
+                    f"running job {job_id} has lease_seq {record.lease_seq}; "
+                    "a lease always draws a positive sequence number",
+                )
+            elif record.lease_seq <= last_global_seq:
+                report.emit(
+                    "AD804",
+                    where,
+                    f"lease_seq {record.lease_seq} does not advance the "
+                    f"journal-wide lease clock (last {last_global_seq}); the "
+                    "lease clock must be strictly monotone",
+                )
+            expected = attempts.get(job_id, 0) + 1
+            if record.attempt != expected:
+                report.emit(
+                    "AD804",
+                    where,
+                    f"job {job_id} leased at attempt {record.attempt}; "
+                    f"expected attempt {expected} (one per lease)",
+                )
+            if record.runner_id:
+                holding = runner_open.get(record.runner_id)
+                if holding is not None and holding != job_id:
+                    report.emit(
+                        "AD805",
+                        where,
+                        f"runner {record.runner_id} takes a lease on "
+                        f"{job_id} while still holding one on {holding}",
+                    )
+                runner_open[record.runner_id] = job_id
+            if job_id in open_leases:
+                report.emit(
+                    "AD805",
+                    where,
+                    f"job {job_id} re-leased while its previous lease "
+                    "(line {}) was never closed".format(open_leases[job_id][1]),
+                )
+            open_leases[job_id] = (record.runner_id or "", i + 1)
+            attempts[job_id] = record.attempt
+            last_lease_seq[job_id] = max(
+                last_lease_seq.get(job_id, 0), record.lease_seq
+            )
+            last_global_seq = max(last_global_seq, record.lease_seq)
+            if cap is not None and record.attempt > cap:
+                report.emit(
+                    "AD806",
+                    where,
+                    f"job {job_id} consumed lease attempt {record.attempt}, "
+                    f"over the journaled max_attempts cap of {cap}",
+                )
+        else:
+            # Any non-running event closes the job's open lease.
+            opened = open_leases.pop(job_id, None)
+            if opened is not None:
+                runner = opened[0]
+                if runner_open.get(runner) == job_id:
+                    del runner_open[runner]
+            if record.state == "queued" and record.runner_id is not None:
+                report.emit(
+                    "AD804",
+                    where,
+                    f"queued job {job_id} still names runner "
+                    f"{record.runner_id}; a requeue must clear ownership",
+                )
+            if record.attempt != attempts.get(job_id, 0):
+                report.emit(
+                    "AD804",
+                    where,
+                    f"{record.state} job {job_id} carries attempt "
+                    f"{record.attempt}; its latest lease was attempt "
+                    f"{attempts.get(job_id, 0)}",
+                )
+            if record.lease_seq != last_lease_seq.get(job_id, 0):
+                report.emit(
+                    "AD804",
+                    where,
+                    f"{record.state} job {job_id} carries lease_seq "
+                    f"{record.lease_seq}; its latest lease was "
+                    f"{last_lease_seq.get(job_id, 0)}",
+                )
+    for job_id, (runner, line_no) in sorted(open_leases.items()):
+        report.emit(
+            "AD805",
+            f"{path.name}:{line_no}",
+            f"journal ends with job {job_id} still leased to "
+            f"{runner or '(unknown runner)'}; a drained daemon closes every "
+            "lease and a restart requeues it — this job would be lost",
+        )
     return report
 
 
@@ -377,8 +589,8 @@ def check_admission_accounting(
 def check_service_state(
     state_dir: str | Path, report: Report | None = None
 ) -> Report:
-    """Validate a serve state directory: AD801 on its store, AD802 on
-    its job journal (whichever exist).
+    """Validate a serve state directory: AD801 on its store, AD802 and
+    AD804-806 on its job journal (whichever exist).
 
     Accepts either a state directory (containing ``store/`` and
     ``jobs.jsonl``) or a bare store directory (containing
@@ -394,6 +606,7 @@ def check_service_state(
         checked = True
     if (state_dir / "jobs.jsonl").exists():
         check_job_journal(state_dir / "jobs.jsonl", report)
+        check_job_leases(state_dir / "jobs.jsonl", report)
         checked = True
     if not checked:
         report.emit(
@@ -408,6 +621,8 @@ def check_service_state(
 __all__ = [
     "check_admission_accounting",
     "check_job_journal",
+    "check_job_leases",
     "check_service_state",
     "check_store",
+    "is_job_journal",
 ]

@@ -440,7 +440,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the compile-service daemon (blocks until shutdown)."""
-    from repro.service import ReproService, serve
+    from repro.service import ReproService, serve, socket_path_problem
 
     quotas: dict[str, int] = {}
     for spec in args.tenant_quota or ():
@@ -452,6 +452,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
     socket_path = args.socket or str(Path(args.state) / "repro.sock")
+    problem = socket_path_problem(socket_path)
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return 2
     try:
         service = ReproService(
             args.state,
@@ -461,12 +465,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             default_quota=args.quota,
             quotas=quotas,
             session_capacity=args.session_capacity,
+            runners=args.runners,
+            max_job_attempts=args.max_attempts,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     try:
-        serve(service, socket_path)
+        serve(service, socket_path, drain_timeout_s=args.drain_timeout)
     except KeyboardInterrupt:
         return 130
     return 0
@@ -494,7 +500,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    client = ServeClient(args.socket)
+    try:
+        client = ServeClient(args.socket)
+    except ValueError as exc:
+        # e.g. a socket path over the sun_path limit.
+        print(str(exc), file=sys.stderr)
+        return 2
     try:
         submitted = client.submit(request)
         print(
@@ -538,7 +549,12 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
     from repro.service import ServeClient, ServiceError
 
-    client = ServeClient(args.socket)
+    try:
+        client = ServeClient(args.socket)
+    except ValueError as exc:
+        # e.g. a socket path over the sun_path limit.
+        print(str(exc), file=sys.stderr)
+        return 2
     try:
         if args.cancel:
             cancelled = client.cancel(args.cancel)
@@ -546,6 +562,16 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             return 0
         if args.stats:
             print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.health:
+            print(_json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.drain:
+            drained = client.drain(timeout_s=args.timeout)
+            print(
+                f"drained: {drained['queued']} job(s) requeued for the "
+                f"successor daemon"
+            )
             return 0
         jobs = client.jobs()
         if not jobs:
@@ -779,6 +805,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--session-capacity", type=int, default=4,
         help="warm compile sessions kept alive (default 4)",
     )
+    p_srv.add_argument(
+        "--runners", type=int, default=1,
+        help="supervised runner threads executing jobs (default 1); "
+        "results are byte-identical at any runner count",
+    )
+    p_srv.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="lease attempts per job before it fails for good (default 3)",
+    )
+    p_srv.add_argument(
+        "--drain-timeout", type=float, default=60.0,
+        help="seconds a SIGTERM drain waits for running jobs (default 60)",
+    )
 
     p_sub = sub.add_parser(
         "submit", help="submit one compile to a running daemon"
@@ -812,6 +851,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_jobs.add_argument(
         "--stats", action="store_true", help="print daemon stats as JSON"
+    )
+    p_jobs.add_argument(
+        "--health", action="store_true",
+        help="print runner liveness, live leases, and lease stats as JSON",
+    )
+    p_jobs.add_argument(
+        "--drain", action="store_true",
+        help="gracefully drain the daemon (it exits once drained)",
+    )
+    p_jobs.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="seconds --drain waits for running jobs (default 60)",
     )
     p_jobs.add_argument("--cancel", metavar="JOB", help="cancel a queued job")
 

@@ -47,6 +47,7 @@ anything.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
@@ -846,10 +847,32 @@ class CandidateSpec:
     rng_source: Any = None
 
 
-# Per-process state for pool workers, installed by :func:`_init_worker`.
-# The inline (jobs=1) path installs it in the parent process instead, so
-# both paths execute the exact same task functions.
-_WORKER_STATE: dict[str, Any] = {}
+class _WorkerState(threading.local):
+    """Per-thread state for task functions, installed by :func:`_init_worker`.
+
+    Pool workers install it once per process (tasks run in the worker's
+    main thread).  The inline (jobs=1) path installs it in the *calling*
+    thread instead, so both paths execute the exact same task functions —
+    and because the daemon's runner pool drives concurrent inline
+    searches over different contexts in one process, the state must be
+    thread-local, not module-global, or runners would read each other's
+    context mid-search.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+
+_WORKER_STATE = _WorkerState()
 
 
 def _init_worker(ctx: SearchContext, profile: bool = False) -> None:

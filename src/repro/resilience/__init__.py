@@ -37,20 +37,31 @@ from repro.resilience.executor import (
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    InjectedRunnerDeath,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
 )
+from repro.resilience.timing import Deadline, backoff_for
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CheckpointError",
     "CheckpointJournal",
+    "Deadline",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "InjectedRunnerDeath",
     "ResilientExecutor",
     "RetryPolicy",
+    "SERVICE_FAULT_KINDS",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
     "TaskReport",
+    "backoff_for",
 ]

@@ -174,7 +174,6 @@ class ResilientExecutor:
         self.degraded = False
         self.interrupted = False
         self._pool: ProcessPoolExecutor | None = None
-        self._inline_initialized = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -337,11 +336,16 @@ class ResilientExecutor:
         return reports
 
     def _run_inline(self, fn, payloads, reports, verify, on_success) -> None:
-        """Serial execution with identical retry bookkeeping (no deadlines)."""
-        if not self._inline_initialized:
-            if self.initializer is not None:
-                self.initializer(*self.initargs)
-            self._inline_initialized = True
+        """Serial execution with identical retry bookkeeping (no deadlines).
+
+        The initializer runs on every entry, not once per executor: a
+        warm executor may be driven from a different thread than the one
+        that first used it, and several warm executors may interleave on
+        one thread — with thread-local worker state, whichever executor
+        ran last owns the thread's state, so each run re-installs its own.
+        """
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
         for report in reports:
             while report.status == "pending":
                 delay = report._eligible_at - time.monotonic()

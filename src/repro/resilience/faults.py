@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, replace
 
@@ -37,12 +38,28 @@ import numpy as np
 #: Every fault kind the harness can inject.
 FAULT_KINDS = ("raise", "stall", "kill-worker", "corrupt-result")
 
+#: Every *service-level* fault kind (see :class:`ServiceFaultPlan`).
+SERVICE_FAULT_KINDS = (
+    "kill-runner", "torn-journal", "corrupt-store", "drop-socket", "sigterm"
+)
+
 #: Phases a fault can target (the two fan-out phases of ``StagedSearch``).
 FAULT_PHASES = ("tiling", "eval")
 
 
 class InjectedFault(RuntimeError):
     """Raised (or simulated) by the fault harness — never by real code."""
+
+
+class InjectedRunnerDeath(BaseException):
+    """Kills a daemon runner thread outright (service-level fault).
+
+    Deliberately a ``BaseException``: the runner loop's ordinary
+    failure handling catches ``Exception`` and retries the job, but a
+    *crashed runner* must die without cleanup so the supervisor's
+    dead-thread reclaim path is what recovers the job — exactly like a
+    SIGKILLed process.
+    """
 
 
 def _in_worker() -> bool:
@@ -187,3 +204,115 @@ class FaultPlan:
             total_cycles=(trace.total_cycles or 0) + 1,
         )
         return replace(solution, trace=tampered)
+
+
+# ---------------------------------------------------------------------------
+# Service-level faults (the `repro serve` chaos harness)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One injected *service-level* fault.
+
+    Attributes:
+        kind: One of :data:`SERVICE_FAULT_KINDS` —
+
+            * ``"kill-runner"`` — the runner thread dies mid-job
+              (:class:`InjectedRunnerDeath`), after the lease is taken
+              but before the search runs;
+            * ``"torn-journal"`` — a job-journal append writes only a
+              prefix of its line, then the journal closes (a crashed
+              ``fsync``); the daemon is dead from that point and a
+              restart must recover from the last whole line;
+            * ``"corrupt-store"`` — a freshly published store object
+              gets a byte flipped, which the store's read-path digest
+              check must catch (miss, recompute — never a wrong answer);
+            * ``"drop-socket"`` — the wire front end closes a connection
+              without writing the response (the client's retry path);
+            * ``"sigterm"`` — a graceful drain is initiated at the
+              injection point, as if SIGTERM arrived mid-flight.
+        index: Which *matching arrival* at this kind's injection point
+            fires (0 = the first).  Each spec counts its own arrivals.
+        attempt: For attempt-aware points (``kill-runner``,
+            ``sigterm``): fire only when the job attempt equals this
+            (``None`` = every attempt, i.e. a *permanent* fault).  The
+            default 1 makes runner kills transient: the first lease
+            dies, the reclaimed retry goes through clean.
+        op: For ``drop-socket``: fire only on this wire op (``None`` =
+            any), so tests can drop a ``submit`` response without
+            starving the harness's startup ``ping``.
+    """
+
+    kind: str
+    index: int = 0
+    attempt: int | None = 1
+    op: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(f"unknown service fault kind {self.kind!r}")
+        if self.index < 0:
+            raise ValueError("fault index must be >= 0")
+
+
+class ServiceFaultPlan:
+    """A thread-safe, deterministic set of service-level faults.
+
+    Unlike :class:`FaultPlan` (pure data shipped to pool workers), a
+    service plan lives inside one daemon process and *counts arrivals*
+    at each injection point under a lock: :meth:`take` is called at the
+    point, and returns the armed spec exactly once — the call both
+    checks and consumes the arrival, so concurrent runners see one
+    coherent fault schedule.
+    """
+
+    def __init__(self, specs: tuple[ServiceFaultSpec, ...] | list = ()) -> None:
+        self.specs = tuple(specs)
+        self._lock = threading.Lock()
+        self._seen = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+
+    @classmethod
+    def single(cls, kind: str, **kwargs) -> "ServiceFaultPlan":
+        """A plan with exactly one fault (the chaos-matrix building block)."""
+        return cls(specs=(ServiceFaultSpec(kind=kind, **kwargs),))
+
+    def take(
+        self, kind: str, attempt: int | None = None, op: str | None = None
+    ) -> ServiceFaultSpec | None:
+        """Record one arrival at ``kind``'s injection point; maybe fire.
+
+        Every spec matching ``(kind, attempt, op)`` advances its private
+        arrival counter; the first spec whose counter equals its
+        ``index`` fires.  Deterministic given a deterministic arrival
+        order (which single-job chaos scenarios guarantee).
+        """
+        with self._lock:
+            fired: ServiceFaultSpec | None = None
+            for i, spec in enumerate(self.specs):
+                if spec.kind != kind:
+                    continue
+                if spec.op is not None and spec.op != op:
+                    continue
+                if (
+                    spec.attempt is not None
+                    and attempt is not None
+                    and spec.attempt != attempt
+                ):
+                    continue
+                seen = self._seen[i]
+                self._seen[i] = seen + 1
+                if seen == spec.index and fired is None:
+                    fired = spec
+                    self._fired[i] += 1
+            return fired
+
+    def fired_count(self, kind: str | None = None) -> int:
+        """How many faults have fired (of one kind, or in total)."""
+        with self._lock:
+            return sum(
+                n
+                for spec, n in zip(self.specs, self._fired)
+                if kind is None or spec.kind == kind
+            )

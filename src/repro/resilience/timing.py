@@ -1,0 +1,81 @@
+"""Deterministic timing policy: monotonic deadlines and backoff ladders.
+
+Wall-clock reads are forbidden in anything that *decides* (LINT008), but
+supervision code legitimately needs to bound how long it waits for the
+outside world.  :class:`Deadline` fences that need behind an object: the
+clock is read once at construction and once per :meth:`remaining_s`
+call, and every *decision* made on it compares derived durations — the
+raw clock value never flows into a comparison, so supervision code built
+on it needs no static-analysis suppressions.
+
+:func:`backoff_for` is the one shared retry ladder — pure arithmetic on
+the attempt number, identical everywhere it is used (client reconnects,
+runner lease retries, executor resubmits), so recovery schedules replay
+identically run to run.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def backoff_for(
+    attempt: int, base_s: float = 0.05, factor: float = 2.0, cap_s: float = 5.0
+) -> float:
+    """Deterministic exponential backoff before retry ``attempt``.
+
+    Attempt 0 (the first try) waits nothing; attempt 1 waits ``base_s``;
+    each further attempt doubles (by ``factor``), capped at ``cap_s``.
+    Pure arithmetic — no jitter, no clock — so retry schedules are
+    reproducible.
+    """
+    if attempt <= 0:
+        return 0.0
+    return min(cap_s, base_s * factor ** (attempt - 1))
+
+
+class Deadline:
+    """A monotonic-clock deadline that only ever exposes *durations*.
+
+    ``Deadline(None)`` never expires (infinite patience) — callers can
+    thread an optional timeout through without branching.
+
+    Usage::
+
+        deadline = Deadline(30.0)
+        while not deadline.expired:
+            ...
+            time.sleep(min(poll, deadline.remaining_s()))
+    """
+
+    def __init__(self, timeout_s: float | None) -> None:
+        if timeout_s is not None and timeout_s < 0:
+            raise ValueError("timeout_s must be >= 0")
+        self.timeout_s = timeout_s
+        self._expires_at = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+
+    def remaining_s(self) -> float | None:
+        """Seconds left (clamped at 0.0), or None for a boundless deadline."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0.0
+
+    def reset(self, timeout_s: float | None = None) -> None:
+        """Restart the countdown (with a new timeout if given)."""
+        if timeout_s is not None:
+            self.timeout_s = timeout_s
+        self._expires_at = (
+            None
+            if self.timeout_s is None
+            else time.monotonic() + self.timeout_s
+        )
+
+
+__all__ = ["Deadline", "backoff_for"]

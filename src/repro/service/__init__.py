@@ -15,22 +15,29 @@ cache hits instead of repeated searches:
 * :mod:`~repro.service.session` — :class:`CompileSession` /
   :class:`SessionManager`, warm search contexts and executor pools
   reused across requests;
-* :mod:`~repro.service.daemon` — :class:`ReproService`, the job queue
-  plus the unix-socket line-delimited-JSON front end;
+* :mod:`~repro.service.daemon` — :class:`ReproService`, the job queue,
+  the supervised lease-based runner pool, and the unix-socket
+  line-delimited-JSON front end;
 * :mod:`~repro.service.client` — :class:`ServeClient`, the thin client
   behind ``repro submit`` / ``repro jobs``.
 
 Determinism contract: a served compile is bit-identical to the same
-``repro optimize`` invocation, and a cache hit returns the byte-exact
-stored solution document.
+``repro optimize`` invocation — with any runner count, and across every
+recovery path (runner crash, stall reclaim, daemon kill/restart, drain)
+— and a cache hit returns the byte-exact stored solution document.
 """
 
 from __future__ import annotations
 
 from repro.service.admission import AdmissionController, AdmissionError
-from repro.service.client import ServeClient, ServiceError
+from repro.service.client import (
+    SUN_PATH_LIMIT,
+    ServeClient,
+    ServiceError,
+    socket_path_problem,
+)
 from repro.service.daemon import ReproService, serve
-from repro.service.jobs import JobJournal, JobRecord
+from repro.service.jobs import JobIdAllocator, JobJournal, JobRecord
 from repro.service.request import CompileRequest
 from repro.service.session import CompileSession, SessionManager
 from repro.service.store import SolutionStore, StoreEntry
@@ -40,13 +47,16 @@ __all__ = [
     "AdmissionError",
     "CompileRequest",
     "CompileSession",
+    "JobIdAllocator",
     "JobJournal",
     "JobRecord",
     "ReproService",
+    "SUN_PATH_LIMIT",
     "ServeClient",
     "ServiceError",
     "SessionManager",
     "SolutionStore",
     "StoreEntry",
     "serve",
+    "socket_path_problem",
 ]

@@ -1,4 +1,4 @@
-"""The ``repro serve`` daemon: job queue, runner, and wire front end.
+"""The ``repro serve`` daemon: job queue, runner pool, and wire front end.
 
 :class:`ReproService` owns the whole serving state machine:
 
@@ -9,9 +9,17 @@
   (bounded queue depth + per-tenant quotas, clean typed backpressure),
   then either *coalesce* onto an identical in-flight fingerprint or
   enqueue a real search;
-* one runner thread drains the queue through warm
-  :class:`~repro.service.session.CompileSession` objects, so contexts
-  and worker pools persist across requests;
+* a supervised pool of ``runners`` threads drains the queue through
+  warm :class:`~repro.service.session.CompileSession` objects.  A
+  runner owns its job through a **lease** (journaled ``runner_id`` /
+  ``attempt`` / monotone ``lease_seq``); the supervisor reclaims leases
+  whose runner died or stalled and requeues the job — it resumes from
+  its per-job candidate checkpoint, retries with deterministic backoff,
+  and becomes a first-class ``failed`` record once the attempt cap is
+  hit.  Completion is lease-guarded, so a superseded runner's late
+  result is discarded: a job is never lost and never *completes* twice,
+  and coalesced waiters ride across reclaims untouched (they key on the
+  primary's job id, which reclaims never change);
 * every state transition is journaled
   (:class:`~repro.service.jobs.JobJournal`) *before* it takes effect,
   and every search runs with a per-job candidate checkpoint, so a
@@ -21,27 +29,36 @@
 The wire protocol (:func:`serve`) is line-delimited JSON over a unix
 socket: one request object in, one response object out per connection —
 ``{"op": "submit", ...}`` → ``{"ok": true, ...}`` or ``{"ok": false,
-"error": {"code": ..., "message": ...}}``.  No new dependencies; the
-stdlib ``socketserver`` does the listening.
+"error": {"code": ..., "message": ...}}``.  ``health`` reports runner
+liveness, live leases, lease statistics, and a mergeable
+:mod:`repro.obs` metrics snapshot; ``drain`` (or SIGTERM) gracefully
+stops the daemon — no new admissions, running jobs journaled back to
+``queued`` if they cannot finish in time, nothing lost.  No new
+dependencies; the stdlib ``socketserver`` does the listening.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import socketserver
 import threading
+import time
 from collections import deque
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.resilience.faults import InjectedRunnerDeath, ServiceFaultPlan
+from repro.resilience.timing import Deadline, backoff_for
 from repro.serialize import solution_to_dict
 from repro.service.admission import AdmissionController, AdmissionError
-from repro.service.jobs import JobJournal, JobRecord, next_job_id
+from repro.service.client import socket_path_problem
+from repro.service.jobs import JobIdAllocator, JobJournal, JobRecord
 from repro.service.request import CompileRequest
 from repro.service.session import SessionManager
 from repro.service.store import SolutionStore
@@ -49,7 +66,19 @@ from repro.service.store import SolutionStore
 _log = get_logger(__name__)
 
 #: Wire protocol version, echoed by ``ping``.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+
+@dataclass
+class _Lease:
+    """In-memory view of one live lease (journal holds the durable half)."""
+
+    job_id: str
+    runner_id: str
+    lease_seq: int
+    attempt: int
+    beat_seq: int
+    deadline: Deadline = field(repr=False)
 
 
 class ReproService:
@@ -67,6 +96,16 @@ class ReproService:
         default_quota: Per-tenant in-flight cap.
         quotas: Per-tenant overrides.
         session_capacity: Warm sessions kept alive.
+        runners: Runner threads draining the queue concurrently.
+        max_job_attempts: Leases a job may consume before a failure is
+            final (crash-loop bound; journaled in the header for AD806).
+        retry_backoff_s: Base of the deterministic exponential backoff
+            a runner sleeps before re-running a reclaimed/retried job.
+        heartbeat_timeout_s: A lease whose runner has not heartbeat for
+            this long is considered stalled and reclaimed (None
+            disables stall detection; dead-thread detection stays on).
+        supervise_interval_s: Supervisor scan period.
+        faults: Optional service-level chaos plan (tests/tools only).
     """
 
     def __init__(
@@ -78,13 +117,29 @@ class ReproService:
         default_quota: int = 4,
         quotas: dict[str, int] | None = None,
         session_capacity: int = 4,
+        runners: int = 1,
+        max_job_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        heartbeat_timeout_s: float | None = 600.0,
+        supervise_interval_s: float = 0.2,
+        faults: ServiceFaultPlan | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if runners < 1:
+            raise ValueError("runners must be >= 1")
+        if max_job_attempts < 1:
+            raise ValueError("max_job_attempts must be >= 1")
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         (self.state_dir / "ck").mkdir(exist_ok=True)
         self.default_jobs = jobs
+        self.runners_target = runners
+        self.max_job_attempts = max_job_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.supervise_interval_s = supervise_interval_s
+        self.faults = faults
         self.store = SolutionStore(
             self.state_dir / "store", capacity_bytes=store_capacity_bytes
         )
@@ -94,16 +149,28 @@ class ReproService:
             quotas=quotas,
         )
         self.sessions = SessionManager(capacity=session_capacity)
-        self.journal = JobJournal(self.state_dir / "jobs.jsonl")
+        self.journal = JobJournal(self.state_dir / "jobs.jsonl", faults=faults)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._jobs: dict[str, JobRecord] = self.journal.open()
+        self._jobs: dict[str, JobRecord] = self.journal.open(
+            header_extras={"max_attempts": max_job_attempts}
+        )
+        self._ids = JobIdAllocator(self._jobs)
         self._queue: deque[str] = deque()
         self._active: dict[str, str] = {}  # fingerprint -> primary job_id
         self._waiters: dict[str, list[str]] = {}  # primary -> coalesced ids
         self._slots: dict[str, str] = {}  # job_id -> tenant holding a slot
+        self._leases: dict[str, _Lease] = {}  # job_id -> live lease
+        self._lease_seq = max(
+            (j.lease_seq for j in self._jobs.values()), default=0
+        )
         self._stop = threading.Event()
-        self._runner: threading.Thread | None = None
+        self._draining = False
+        self._closed = False
+        self._drain_lock = threading.Lock()
+        self._runner_threads: dict[str, threading.Thread] = {}
+        self._runner_seq = 0
+        self._supervisor: threading.Thread | None = None
         self._recover()
 
     # -- restart recovery ---------------------------------------------------
@@ -113,18 +180,21 @@ class ReproService:
 
         Queued and running jobs go back on the queue; each re-runs with
         its candidate checkpoint (``resume=True``), so completed
-        candidates are restored, not re-searched.  Coalesced waiters
-        re-enqueue as ordinary jobs — by the time the runner reaches
-        them their primary has published to the store, so they finish as
-        cache hits.  Admission slots are re-claimed best-effort: a job
-        admitted before the kill is never dropped for quota reasons.
+        candidates are restored, not re-searched.  A job that was
+        ``running`` keeps its attempt count — its next lease is attempt
+        N+1, so crash-looping jobs still hit the retry cap.  Coalesced
+        waiters re-enqueue as ordinary jobs — by the time a runner
+        reaches them their primary has published to the store, so they
+        finish as cache hits.  Admission slots are re-claimed
+        best-effort: a job admitted before the kill is never dropped for
+        quota reasons.
         """
         pending = sorted(
             (j for j in self._jobs.values() if not j.terminal),
             key=lambda j: j.job_id,
         )
         for job in pending:
-            requeued = job.advanced("queued")
+            requeued = job.advanced("queued", runner_id=None)
             self.journal.record("queued", requeued)
             self._jobs[job.job_id] = requeued
             try:
@@ -140,44 +210,184 @@ class ReproService:
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Start the runner thread (idempotent)."""
-        if self._runner is None or not self._runner.is_alive():
-            self._stop.clear()
-            self._runner = threading.Thread(
-                target=self._run, name="repro-serve-runner", daemon=True
-            )
-            self._runner.start()
+        """Start the runner pool and its supervisor (idempotent)."""
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            while len(self._runner_threads) < self.runners_target:
+                self._spawn_runner_locked()
+            if self._supervisor is None or not self._supervisor.is_alive():
+                self._supervisor = threading.Thread(
+                    target=self._supervise,
+                    name="repro-serve-supervisor",
+                    daemon=True,
+                )
+                self._supervisor.start()
+
+    def _spawn_runner_locked(self) -> str:
+        self._runner_seq += 1
+        name = f"runner-{self._runner_seq}"
+        thread = threading.Thread(
+            target=self._runner_loop,
+            args=(name,),
+            name=f"repro-serve-{name}",
+            daemon=True,
+        )
+        self._runner_threads[name] = thread
+        thread.start()
+        return name
 
     def stop(self) -> None:
-        """Stop the runner after its current job and release resources."""
+        """Stop every runner after its current job; release resources."""
+        if self._closed:
+            return
         self._stop.set()
         with self._wakeup:
             self._wakeup.notify_all()
-        if self._runner is not None:
-            self._runner.join()
-            self._runner = None
+        for thread in list(self._runner_threads.values()):
+            thread.join()
+        self._runner_threads.clear()
+        if self._supervisor is not None:
+            self._supervisor.join()
+            self._supervisor = None
+        self._closed = True
         self.sessions.close()
         self.journal.close()
 
-    # -- the runner ---------------------------------------------------------
+    def drain(self, timeout_s: float | None = 60.0) -> dict:
+        """Graceful shutdown: stop admitting, checkpoint, journal, exit.
 
-    def _run(self) -> None:
-        while True:
+        The SIGTERM path.  New submissions are rejected with code
+        ``draining``; runners finish (or are given ``timeout_s`` to
+        finish) their current jobs.  Any job still running at the
+        deadline is journaled back to ``queued`` — its candidate
+        checkpoint holds the completed work, so a daemon restarted on
+        the same state directory resumes it without loss, and the
+        wedged runner's eventual result is discarded by the lease
+        guard.  Queued jobs simply stay journaled as ``queued``.
+
+        Returns a summary: ``{"requeued": [...], "queued": N}``.
+        """
+        with self._drain_lock:
+            if self._closed:
+                return {"draining": True, "requeued": [], "queued": 0}
             with self._wakeup:
-                while not self._queue and not self._stop.is_set():
-                    self._wakeup.wait()
-                if self._stop.is_set():
-                    return
-                job_id = self._queue.popleft()
-                job = self._jobs[job_id]
-                get_registry().gauge("service.queue_depth").set(len(self._queue))
-            if job.terminal:
-                continue  # cancelled while queued
-            try:
-                self._execute(job)
-            except BaseException as exc:  # noqa: BLE001 - runner must survive
-                _log.error("job %s failed: %s", job.job_id, exc)
-                self._finish_failed(job, str(exc) or type(exc).__name__)
+                self._draining = True
+                self._wakeup.notify_all()
+            deadline = Deadline(timeout_s)
+            for thread in list(self._runner_threads.values()):
+                thread.join(deadline.remaining_s())
+            requeued: list[str] = []
+            with self._wakeup:
+                for job_id in sorted(self._leases):
+                    lease = self._leases.pop(job_id)
+                    job = self._jobs[job_id]
+                    record = job.advanced("queued", runner_id=None)
+                    self.journal.record("queued", record)
+                    self._jobs[job_id] = record
+                    requeued.append(job_id)
+                    _log.warning(
+                        "drain: requeued in-flight job %s (runner %s still busy)",
+                        job_id,
+                        lease.runner_id,
+                    )
+                queued = len(self._queue)
+            self._stop.set()
+            with self._wakeup:
+                self._wakeup.notify_all()
+            if self._supervisor is not None:
+                self._supervisor.join()
+                self._supervisor = None
+            self._runner_threads.clear()  # anything left is wedged; it dies with the process
+            self._closed = True
+            self.sessions.close()
+            self.journal.close()
+            registry = get_registry()
+            registry.counter("service.drained").inc()
+            if requeued:
+                registry.counter("service.drain.requeued").inc(len(requeued))
+            _log.info(
+                "drained: %d requeued, %d left queued", len(requeued), queued
+            )
+            return {"draining": True, "requeued": requeued, "queued": queued}
+
+    # -- the runner pool ----------------------------------------------------
+
+    def _runner_loop(self, name: str) -> None:
+        # InjectedRunnerDeath can surface from _execute (kill-runner) or
+        # from the lease append itself (torn-journal): either way the
+        # runner dies with no cleanup and the supervisor reclaims.  A
+        # return, not a re-raise, kills the thread just the same without
+        # tripping threading.excepthook in the chaos harness.
+        try:
+            while True:
+                with self._wakeup:
+                    while (
+                        not self._queue
+                        and not self._stop.is_set()
+                        and not self._draining
+                    ):
+                        self._wakeup.wait()
+                    if self._stop.is_set() or self._draining:
+                        return
+                    job_id = self._queue.popleft()
+                    get_registry().gauge("service.queue_depth").set(
+                        len(self._queue)
+                    )
+                    job = self._jobs[job_id]
+                    if job.terminal:
+                        continue  # cancelled while queued
+                    job = self._lease_locked(job, name)
+                delay = backoff_for(
+                    job.attempt - 1, base_s=self.retry_backoff_s
+                )
+                if delay > 0:
+                    time.sleep(delay)  # deterministic retry backoff ladder
+                try:
+                    self._execute(job)
+                except InjectedRunnerDeath:
+                    raise  # crashed runner: no cleanup, no retry accounting
+                except BaseException as exc:  # noqa: BLE001 - runner must survive
+                    _log.error(
+                        "job %s attempt %d failed: %s",
+                        job.job_id,
+                        job.attempt,
+                        exc,
+                    )
+                    self._retry_or_fail(job, str(exc) or type(exc).__name__)
+        except InjectedRunnerDeath:
+            return
+
+    def _lease_locked(self, job: JobRecord, runner_id: str) -> JobRecord:
+        """Take ownership of a queued job (journal-first, under the lock)."""
+        self._lease_seq += 1
+        seq = self._lease_seq
+        leased = job.advanced(
+            "running", runner_id=runner_id, lease_seq=seq, attempt=job.attempt + 1
+        )
+        self.journal.record("running", leased)
+        self._jobs[job.job_id] = leased
+        self._leases[job.job_id] = _Lease(
+            job_id=job.job_id,
+            runner_id=runner_id,
+            lease_seq=seq,
+            attempt=leased.attempt,
+            beat_seq=seq,
+            deadline=Deadline(self.heartbeat_timeout_s),
+        )
+        get_registry().counter("service.lease.issued").inc()
+        return leased
+
+    def _beat(self, job_id: str) -> None:
+        """Heartbeat the job's lease (in memory; leases journal only on
+        transitions — a beat draws from the same monotone clock)."""
+        with self._lock:
+            lease = self._leases.get(job_id)
+            if lease is None:
+                return
+            self._lease_seq += 1
+            lease.beat_seq = self._lease_seq
+            lease.deadline.reset()
 
     def _execute(self, job: JobRecord) -> None:
         request = CompileRequest.from_dict(job.request)
@@ -199,11 +409,16 @@ class ReproService:
                     search_seconds=0.0,
                 )
             return
-        with tracer.span(
-            "service.transition", category="service",
-            job=job.job_id, to="running",
-        ):
-            self._transition(job.advanced("running"))
+        self._beat(job.job_id)
+        if self.faults is not None:
+            if self.faults.take("kill-runner", attempt=job.attempt) is not None:
+                raise InjectedRunnerDeath(
+                    f"injected runner death @ {job.job_id} attempt {job.attempt}"
+                )
+            if self.faults.take("sigterm", attempt=job.attempt) is not None:
+                threading.Thread(
+                    target=self.drain, name="repro-serve-sigterm", daemon=True
+                ).start()
         options = request.options
         if options.jobs == 1 and self.default_jobs > 1:
             options = replace(options, jobs=self.default_jobs)
@@ -216,10 +431,17 @@ class ReproService:
             "service.search", category="service",
             job=job.job_id, workload=job.model, fingerprint=fingerprint,
         ):
-            session = self.sessions.get(request.graph, request.arch, options)
-            outcome = session.optimize(options)
+            session = self.sessions.acquire(request.graph, request.arch, options)
+            try:
+                outcome = session.optimize(options)
+            finally:
+                self.sessions.release(session)
+        self._beat(job.job_id)
         doc = solution_to_dict(outcome, request.options.dataflow, include_search=False)
         self.store.put(fingerprint, doc, graph=request.graph, arch=request.arch)
+        if self.faults is not None:
+            if self.faults.take("corrupt-store", attempt=job.attempt) is not None:
+                self._corrupt_store_object(fingerprint)
         with tracer.span(
             "service.transition", category="service",
             job=job.job_id, to="done", source="search",
@@ -232,13 +454,121 @@ class ReproService:
             )
         get_registry().counter("service.searches").inc()
 
-    # -- transitions (all journal-first) ------------------------------------
+    def _corrupt_store_object(self, fingerprint: str) -> None:
+        """Chaos helper: flip one byte of a just-published store object.
 
-    def _transition(self, job: JobRecord) -> JobRecord:
-        with self._lock:
-            self.journal.record(job.state, job)
-            self._jobs[job.job_id] = job
-        return job
+        The store's read-path digest check must turn this into a miss
+        (recompute), never a wrong answer.
+        """
+        path = self.store.objects / f"{fingerprint}.json"
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        _log.warning("injected store corruption @ %s", fingerprint)
+
+    # -- the supervisor -----------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Reap dead runners, reclaim their (and stalled) leases, respawn."""
+        while not self._stop.wait(self.supervise_interval_s):
+            with self._wakeup:
+                if self.journal.closed:
+                    return  # torn journal: the daemon is dead; restart recovers
+                if self._draining:
+                    continue  # drain() owns shutdown bookkeeping
+                dead = [
+                    name
+                    for name, thread in self._runner_threads.items()
+                    if not thread.is_alive()
+                ]
+                for name in dead:
+                    del self._runner_threads[name]
+                    held = [
+                        job_id
+                        for job_id, lease in self._leases.items()
+                        if lease.runner_id == name
+                    ]
+                    for job_id in held:
+                        self._reclaim_locked(job_id, f"runner {name} died")
+                    self._spawn_runner_locked()
+                    get_registry().counter("service.runner.respawned").inc()
+                for job_id, lease in list(self._leases.items()):
+                    if not lease.deadline.expired:
+                        continue
+                    if lease.runner_id not in self._runner_threads:
+                        continue  # already reaped above
+                    # The runner is wedged mid-search: abandon its
+                    # thread (the lease guard discards whatever it
+                    # eventually produces) and hand the job to a
+                    # replacement.
+                    self._runner_threads.pop(lease.runner_id)
+                    self._reclaim_locked(
+                        job_id,
+                        f"lease heartbeat expired (runner {lease.runner_id} stalled)",
+                    )
+                    get_registry().counter("service.lease.stalled").inc()
+                    self._spawn_runner_locked()
+                    get_registry().counter("service.runner.respawned").inc()
+
+    def _reclaim_locked(self, job_id: str, reason: str) -> None:
+        """Take a lease back from a dead/stalled runner (under the lock)."""
+        self._leases.pop(job_id)
+        job = self._jobs[job_id]
+        get_registry().counter("service.lease.reclaimed").inc()
+        _log.warning("reclaiming job %s: %s", job_id, reason)
+        if job.attempt >= self.max_job_attempts:
+            self._finish_failed_locked(
+                job,
+                f"{reason}; retries exhausted "
+                f"(attempt {job.attempt}/{self.max_job_attempts})",
+            )
+            return
+        self._requeue_locked(job)
+
+    def _requeue_locked(self, job: JobRecord) -> None:
+        requeued = job.advanced("queued", runner_id=None)
+        self.journal.record("queued", requeued)
+        self._jobs[job.job_id] = requeued
+        self._queue.append(job.job_id)
+        registry = get_registry()
+        registry.counter("service.lease.retries").inc()
+        registry.gauge("service.queue_depth").set(len(self._queue))
+        self._wakeup.notify()
+
+    def _retry_or_fail(self, job: JobRecord, error: str) -> None:
+        """A leased job's attempt failed: requeue below the cap, else fail."""
+        with self._wakeup:
+            if self._lease_superseded_locked(job):
+                return
+            self._leases.pop(job.job_id)
+            if job.attempt >= self.max_job_attempts:
+                self._finish_failed_locked(
+                    job,
+                    f"{error} (attempt {job.attempt}/{self.max_job_attempts})",
+                )
+                return
+            self._requeue_locked(job)
+
+    def _lease_superseded_locked(self, job: JobRecord) -> bool:
+        """Whether ``job``'s lease was reclaimed out from under its runner.
+
+        True means some other incarnation owns (or already finished)
+        the job — the caller must discard its result, preserving
+        exactly-once completion.
+        """
+        lease = self._leases.get(job.job_id)
+        if lease is None or lease.lease_seq != job.lease_seq:
+            get_registry().counter("service.lease.superseded").inc()
+            _log.warning(
+                "discarding superseded result for %s (lease %d, runner %s)",
+                job.job_id,
+                job.lease_seq,
+                job.runner_id,
+            )
+            return True
+        return False
+
+    # -- transitions (all journal-first) ------------------------------------
 
     def _release(self, job_id: str) -> None:
         tenant = self._slots.pop(job_id, None)
@@ -254,6 +584,9 @@ class ReproService:
     ) -> None:
         waiters: list[str] = []
         with self._lock:
+            if self._lease_superseded_locked(job):
+                return
+            self._leases.pop(job.job_id)
             done = job.advanced(
                 "done",
                 source=source,
@@ -281,27 +614,26 @@ class ReproService:
                 self._release(waiter_id)
             get_registry().counter("service.completed").inc(1 + len(waiters))
 
-    def _finish_failed(self, job: JobRecord, error: str) -> None:
+    def _finish_failed_locked(self, job: JobRecord, error: str) -> None:
         waiters: list[str] = []
-        with self._lock:
-            failed = job.advanced("failed", error=error)
-            self.journal.record("failed", failed)
-            self._jobs[job.job_id] = failed
-            self._release(job.job_id)
-            if self._active.get(job.fingerprint) == job.job_id:
-                del self._active[job.fingerprint]
-                waiters = self._waiters.pop(job.job_id, [])
-            for waiter_id in waiters:
-                waiter = self._jobs[waiter_id]
-                if waiter.terminal:
-                    continue
-                finished = waiter.advanced(
-                    "failed", error=f"coalesced onto failed job {job.job_id}: {error}"
-                )
-                self.journal.record("failed", finished)
-                self._jobs[waiter_id] = finished
-                self._release(waiter_id)
-            get_registry().counter("service.failed").inc(1 + len(waiters))
+        failed = job.advanced("failed", error=error)
+        self.journal.record("failed", failed)
+        self._jobs[job.job_id] = failed
+        self._release(job.job_id)
+        if self._active.get(job.fingerprint) == job.job_id:
+            del self._active[job.fingerprint]
+            waiters = self._waiters.pop(job.job_id, [])
+        for waiter_id in waiters:
+            waiter = self._jobs[waiter_id]
+            if waiter.terminal:
+                continue
+            finished = waiter.advanced(
+                "failed", error=f"coalesced onto failed job {job.job_id}: {error}"
+            )
+            self.journal.record("failed", finished)
+            self._jobs[waiter_id] = finished
+            self._release(waiter_id)
+        get_registry().counter("service.failed").inc(1 + len(waiters))
 
     # -- the service API (one method per wire op) ---------------------------
 
@@ -310,8 +642,13 @@ class ReproService:
 
         Raises:
             ValueError: Malformed request (unknown keys, unknown model).
-            AdmissionError: Queue full or tenant over quota.
+            AdmissionError: Queue full, tenant over quota, or draining.
         """
+        with self._lock:
+            if self._draining or self._closed:
+                raise AdmissionError(
+                    "draining", "daemon is draining; resubmit to its successor"
+                )
         try:
             request = CompileRequest.from_dict(doc)
             fingerprint = request.fingerprint
@@ -325,7 +662,12 @@ class ReproService:
         ):
             cached = self.store.get(fingerprint)
             with self._wakeup:
-                job_id = next_job_id(self._jobs)
+                if self._draining or self._closed:
+                    raise AdmissionError(
+                        "draining",
+                        "daemon is draining; resubmit to its successor",
+                    )
+                job_id = self._ids.next()
                 if cached is not None:
                     entry = self.store.info(fingerprint)
                     job = JobRecord(
@@ -459,6 +801,58 @@ class ReproService:
                 self._jobs[job_id].to_dict() for job_id in sorted(self._jobs)
             ]
 
+    def health(self) -> dict:
+        """Liveness + lease snapshot (the ``health`` wire op).
+
+        The ``metrics`` field is a full mergeable
+        :class:`repro.obs.metrics.MetricsSnapshot` document — fleets
+        merge health responses across daemons with
+        ``MetricsSnapshot.merge``.
+        """
+        with self._lock:
+            job_by_runner = {
+                lease.runner_id: job_id
+                for job_id, lease in self._leases.items()
+            }
+            runners = [
+                {
+                    "runner": name,
+                    "alive": thread.is_alive(),
+                    "job": job_by_runner.get(name),
+                }
+                for name, thread in sorted(self._runner_threads.items())
+            ]
+            leases = [
+                {
+                    "job_id": lease.job_id,
+                    "runner_id": lease.runner_id,
+                    "lease_seq": lease.lease_seq,
+                    "attempt": lease.attempt,
+                    "beat_seq": lease.beat_seq,
+                }
+                for _, lease in sorted(self._leases.items())
+            ]
+            draining = self._draining
+            queue_depth = len(self._queue)
+        snapshot = get_registry().snapshot()
+        lease_stats = {
+            stat: snapshot.counters.get(f"service.lease.{stat}", 0)
+            for stat in (
+                "issued", "reclaimed", "retries", "superseded", "stalled"
+            )
+        }
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "draining": draining,
+            "runners": runners,
+            "runners_target": self.runners_target,
+            "max_job_attempts": self.max_job_attempts,
+            "queue_depth": queue_depth,
+            "leases": leases,
+            "lease_stats": lease_stats,
+            "metrics": snapshot.to_dict(),
+        }
+
     def stats(self) -> dict:
         """Operational snapshot: queue, store, admission, sessions."""
         with self._lock:
@@ -466,6 +860,10 @@ class ReproService:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+            runners_alive = sum(
+                1 for t in self._runner_threads.values() if t.is_alive()
+            )
+            draining = self._draining
         counters = {
             name: value
             for name, value in get_registry().snapshot().counters.items()
@@ -476,6 +874,8 @@ class ReproService:
             "protocol": PROTOCOL_VERSION,
             "queue_depth": queue_depth,
             "jobs_by_state": states,
+            "runners": {"target": self.runners_target, "alive": runners_alive},
+            "draining": draining,
             "store": {
                 "entries": len(self.store),
                 "bytes": self.store.total_bytes,
@@ -492,7 +892,18 @@ class ReproService:
 # ---------------------------------------------------------------------------
 
 _OPS = frozenset(
-    {"ping", "submit", "status", "result", "cancel", "jobs", "stats", "shutdown"}
+    {
+        "ping",
+        "submit",
+        "status",
+        "result",
+        "cancel",
+        "jobs",
+        "stats",
+        "health",
+        "drain",
+        "shutdown",
+    }
 )
 
 
@@ -516,6 +927,14 @@ def _handle_op(service: ReproService, request: dict) -> dict:
             return {"ok": True, "jobs": service.jobs()}
         if op == "stats":
             return {"ok": True, "stats": service.stats()}
+        if op == "health":
+            return {"ok": True, "health": service.health()}
+        if op == "drain":
+            timeout_s = request.get("timeout_s", 60.0)
+            if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+                raise ValueError("timeout_s must be a number or null")
+            summary = service.drain(timeout_s)
+            return {"ok": True, **summary, "stopping": True}
         return {"ok": True, "stopping": True}  # shutdown: caller stops server
     except AdmissionError as exc:
         return _error(exc.code, str(exc))
@@ -541,13 +960,27 @@ class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
     allow_reuse_address = True
 
 
-def serve(service: ReproService, socket_path: str | os.PathLike) -> None:
-    """Run the wire front end until a ``shutdown`` op (blocking).
+def serve(
+    service: ReproService,
+    socket_path: str | os.PathLike,
+    drain_timeout_s: float | None = 60.0,
+) -> None:
+    """Run the wire front end until ``shutdown``/``drain``/SIGTERM (blocking).
 
     One connection = one request line = one response line; the client
     reconnects per call, which keeps the handler trivially stateless.
+    When running on the main thread, SIGTERM triggers a graceful drain
+    (stop admitting, journal in-flight jobs, exit) bounded by
+    ``drain_timeout_s``.
+
+    Raises:
+        ValueError: ``socket_path`` exceeds the platform ``sun_path``
+            limit (checked up front — binding would fail cryptically).
     """
     socket_path = os.fspath(socket_path)
+    problem = socket_path_problem(socket_path)
+    if problem is not None:
+        raise ValueError(problem)
     if os.path.exists(socket_path):
         os.unlink(socket_path)  # stale socket from a killed daemon
 
@@ -561,20 +994,45 @@ def serve(service: ReproService, socket_path: str | os.PathLike) -> None:
                 if not isinstance(request, dict):
                     raise ValueError("request is not a JSON object")
             except ValueError as exc:
+                request = {}
                 response = _error("bad-request", f"unparseable request: {exc}")
             else:
                 response = _handle_op(service, request)
+            if service.faults is not None:
+                dropped = service.faults.take("drop-socket", op=request.get("op"))
+                if dropped is not None:
+                    _log.warning(
+                        "injected socket drop @ op=%s", request.get("op")
+                    )
+                    return  # close the connection without a response line
             self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
             self.wfile.flush()
             if response.get("stopping"):
                 threading.Thread(target=server.shutdown, daemon=True).start()
 
     server = _Server(socket_path, Handler)
+
+    def _graceful() -> None:
+        service.drain(drain_timeout_s)
+        server.shutdown()
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        _log.info("SIGTERM: draining")
+        threading.Thread(
+            target=_graceful, name="repro-serve-sigterm", daemon=True
+        ).start()
+
+    previous_handler: Any = None
+    on_main_thread = threading.current_thread() is threading.main_thread()
+    if on_main_thread:
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
     service.start()
     _log.info("serving on %s (state %s)", socket_path, service.state_dir)
     try:
         server.serve_forever()
     finally:
+        if on_main_thread and previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()
         service.stop()
         if os.path.exists(socket_path):

@@ -1,4 +1,4 @@
-"""Durable job state: records, states, and the JSONL job journal.
+"""Durable job state: records, states, leases, and the JSONL job journal.
 
 Every job state transition is appended to one JSONL journal before it
 takes effect in memory, so a killed daemon replays the journal on
@@ -7,9 +7,19 @@ format mirrors :mod:`repro.resilience.checkpoint`: a header line, one
 JSON object per event, flush + fsync per append, and a torn final line
 (the write the kill interrupted) dropped silently.
 
-Job ids are allocated sequentially (``job-000001``...) from the highest
-id seen in the journal — no clocks, no randomness — so a restarted
-daemon never reissues an id.
+Ownership of a running job is a **lease**: the runner that picks a job
+up journals a ``running`` event carrying its ``runner_id``, the job's
+``attempt`` number (1-based, bumped per lease), and a ``lease_seq``
+drawn from one monotone service-wide clock.  The supervisor reclaims
+leases whose runner died or stalled by journaling the job back to
+``queued`` (same attempt, no runner) — so the journal is a complete
+audit trail of who owned what, in what order, validated by the AD804-806
+rules in :mod:`repro.analysis.service_rules`.
+
+Job ids are allocated sequentially (``job-000001``...) by a
+:class:`JobIdAllocator` seeded from the highest id in the journal — no
+clocks, no randomness — so a restarted daemon never reissues an id and
+concurrent submissions never collide.
 """
 
 from __future__ import annotations
@@ -17,13 +27,21 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
+
+from repro.resilience.faults import InjectedRunnerDeath, ServiceFaultPlan
 
 #: Format tag in the job-journal header; bump the version on any
 #: record-shape change.
 JOB_FORMAT = "atomic-dataflow-job-journal"
-JOB_VERSION = 1
+JOB_VERSION = 2
+
+#: Journal versions :meth:`JobJournal.open` still replays (version-1
+#: records simply lack the lease fields, which default to "never
+#: leased").
+_READABLE_VERSIONS = (1, JOB_VERSION)
 
 #: Every legal job state, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -43,6 +61,9 @@ _RECORD_KEYS = frozenset(
         "error",
         "total_cycles",
         "search_seconds",
+        "lease_seq",
+        "attempt",
+        "runner_id",
     }
 )
 
@@ -69,6 +90,15 @@ class JobRecord:
         error: Failure description when ``state == "failed"``.
         total_cycles: Solution cost once done.
         search_seconds: Wall seconds the search took (0.0 for hits).
+        lease_seq: Monotone service-wide sequence of the job's current
+            (or last) lease; 0 = never leased.  Strictly increasing
+            across every ``running`` event in a journal (AD804).
+        attempt: How many leases this job has held (1-based on the
+            first ``running`` event; 0 = never leased).  Bounded by the
+            service's retry cap (AD806).
+        runner_id: Runner holding the live lease.  Cleared (None) when
+            a reclaim/drain journals the job back to ``queued``; kept
+            on terminal records as the runner that finished the job.
     """
 
     job_id: str
@@ -81,12 +111,19 @@ class JobRecord:
     error: str | None = None
     total_cycles: int | None = None
     search_seconds: float = 0.0
+    lease_seq: int = 0
+    attempt: int = 0
+    runner_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
             raise ValueError(f"unknown job state {self.state!r}")
         if self.source not in ("search", "cache", "coalesced"):
             raise ValueError(f"unknown job source {self.source!r}")
+        if self.lease_seq < 0:
+            raise ValueError("lease_seq must be >= 0")
+        if self.attempt < 0:
+            raise ValueError("attempt must be >= 0")
 
     @property
     def terminal(self) -> bool:
@@ -104,6 +141,9 @@ class JobRecord:
             "error": self.error,
             "total_cycles": self.total_cycles,
             "search_seconds": self.search_seconds,
+            "lease_seq": self.lease_seq,
+            "attempt": self.attempt,
+            "runner_id": self.runner_id,
         }
 
     @classmethod
@@ -122,7 +162,13 @@ class JobRecord:
 
 
 def next_job_id(existing: Mapping[str, JobRecord] | None = None) -> str:
-    """The next sequential job id given already-journaled jobs."""
+    """The next sequential job id given already-journaled jobs.
+
+    Stateless helper for one-shot callers; the daemon allocates through
+    a :class:`JobIdAllocator`, which is collision-safe under concurrent
+    submissions (this function recomputes from the mapping every call,
+    so two unsynchronized callers can draw the same id).
+    """
     highest = 0
     for job_id in existing or ():
         try:
@@ -130,6 +176,34 @@ def next_job_id(existing: Mapping[str, JobRecord] | None = None) -> str:
         except (IndexError, ValueError):
             continue
     return f"job-{highest + 1:06d}"
+
+
+class JobIdAllocator:
+    """Atomic sequential job-id allocator (``job-%06d``).
+
+    Seeded once from the journaled jobs (highest numeric suffix wins;
+    malformed ids are ignored), then every :meth:`next` call increments
+    under the allocator's own lock — concurrent submissions and runners
+    can never draw the same id, and a restarted daemon never reissues
+    one.
+    """
+
+    def __init__(self, existing: Mapping[str, JobRecord] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._highest = 0
+        for job_id in existing or ():
+            try:
+                self._highest = max(
+                    self._highest, int(job_id.rsplit("-", 1)[1])
+                )
+            except (IndexError, ValueError):
+                continue
+
+    def next(self) -> str:
+        """The next unused job id (thread-safe)."""
+        with self._lock:
+            self._highest += 1
+            return f"job-{self._highest:06d}"
 
 
 class JobJournal:
@@ -146,23 +220,58 @@ class JobJournal:
     *latest* record per job id — the daemon's restart state.  Appends
     are flushed and fsynced, mirroring the candidate checkpoint journal,
     so a kill loses at most the torn final line.
+
+    ``faults`` arms the service-level chaos harness: a ``torn-journal``
+    fault makes one :meth:`record` write only a prefix of its line and
+    then close the journal — the on-disk state of a daemon that died
+    mid-``fsync``.  From that point the journal (and the daemon built on
+    it) is dead; a restart on the same path must drop the torn line and
+    recover from the last whole one.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        faults: ServiceFaultPlan | None = None,
+    ) -> None:
         self.path = os.fspath(path)
+        self.faults = faults
+        self.header: dict[str, Any] = {}
         self._fh: io.TextIOBase | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
-    def open(self) -> dict[str, JobRecord]:
-        """Open for appending; return the latest record per job id."""
+    @property
+    def closed(self) -> bool:
+        """True when the journal cannot accept appends (never opened,
+        explicitly closed, or killed by an injected torn write)."""
+        return self._fh is None
+
+    def open(
+        self, header_extras: Mapping[str, Any] | None = None
+    ) -> dict[str, JobRecord]:
+        """Open for appending; return the latest record per job id.
+
+        ``header_extras`` are merged into the header of a *fresh*
+        journal (e.g. the service's ``max_attempts`` retry cap, which
+        the AD806 validator reads back); an existing journal keeps its
+        own header, exposed as :attr:`header`.
+        """
         jobs: dict[str, JobRecord] = {}
         fresh = not os.path.exists(self.path)
         if not fresh:
             jobs = self._load()
+            if self._keep_bytes is not None:
+                # The file ends in a torn write; cut it back to the last
+                # whole line so the next append starts a clean one.
+                with open(self.path, "r+b") as raw:
+                    raw.truncate(self._keep_bytes)
         self._fh = open(self.path, "a" if not fresh else "w", encoding="utf-8")
         if fresh:
-            self._write_line({"format": JOB_FORMAT, "version": JOB_VERSION})
+            self.header = {"format": JOB_FORMAT, "version": JOB_VERSION}
+            for key, value in sorted((header_extras or {}).items()):
+                self.header.setdefault(key, value)
+            self._write_line(self.header)
         return jobs
 
     def close(self) -> None:
@@ -186,19 +295,34 @@ class JobJournal:
             raise ValueError(
                 f"event {event!r} disagrees with record state {job.state!r}"
             )
-        self._write_line({"event": event, "job": job.to_dict()})
+        line = json.dumps({"event": event, "job": job.to_dict()}, sort_keys=True)
+        if self.faults is not None and self.faults.take("torn-journal") is not None:
+            fh, self._fh = self._fh, None  # the journal dies with the write
+            fh.write(line[: max(1, len(line) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            fh.close()
+            raise InjectedRunnerDeath(
+                f"injected torn journal append @ {event} {job.job_id}"
+            )
+        self._write_line_text(line)
 
     def _write_line(self, obj: dict[str, Any]) -> None:
+        self._write_line_text(json.dumps(obj, sort_keys=True))
+
+    def _write_line_text(self, line: str) -> None:
         assert self._fh is not None
-        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.write(line + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
     # -- replay ------------------------------------------------------------
 
     def _load(self) -> dict[str, JobRecord]:
+        self._keep_bytes: int | None = None
         with open(self.path, encoding="utf-8") as fh:
-            lines = fh.read().split("\n")
+            text = fh.read()
+        lines = text.split("\n")
         if lines and lines[-1] == "":
             lines.pop()
         if not lines:
@@ -206,27 +330,41 @@ class JobJournal:
         header = self._parse(lines[0], line_no=1, final=False)
         if header is None or header.get("format") != JOB_FORMAT:
             raise JobJournalError(f"{self.path}: not a {JOB_FORMAT} journal")
-        if header.get("version") != JOB_VERSION:
+        if header.get("version") not in _READABLE_VERSIONS:
             raise JobJournalError(
                 f"{self.path}: unsupported job journal version "
-                f"{header.get('version')!r} (expected {JOB_VERSION})"
+                f"{header.get('version')!r} (expected one of {_READABLE_VERSIONS})"
             )
+        self.header = header
         jobs: dict[str, JobRecord] = {}
         last = len(lines) - 1
         for i, line in enumerate(lines[1:], start=1):
             obj = self._parse(line, line_no=i + 1, final=i == last)
             if obj is None:
+                self._mark_torn_tail(text, lines[last])
                 continue  # torn final write of a killed daemon
             try:
                 record = JobRecord.from_dict(obj["job"])
             except (KeyError, TypeError, ValueError) as exc:
                 if i == last:
+                    self._mark_torn_tail(text, lines[last])
                     continue
                 raise JobJournalError(
                     f"{self.path}:{i + 1}: bad job record ({exc})"
                 ) from exc
             jobs[record.job_id] = record
         return jobs
+
+    def _mark_torn_tail(self, text: str, torn_line: str) -> None:
+        """Remember how many bytes of the file precede the torn final
+        line, so :meth:`open` can truncate before appending (otherwise
+        the next append would fuse onto the torn prefix, turning a
+        recoverable tail into corruption in the middle of the file)."""
+        keep = text
+        if keep.endswith("\n"):
+            keep = keep[: -1]
+        keep = keep[: len(keep) - len(torn_line)]
+        self._keep_bytes = len(keep.encode("utf-8"))
 
     def _parse(
         self, line: str, line_no: int, final: bool
@@ -249,6 +387,7 @@ __all__ = [
     "JOB_STATES",
     "JOB_VERSION",
     "TERMINAL_STATES",
+    "JobIdAllocator",
     "JobJournal",
     "JobJournalError",
     "JobRecord",

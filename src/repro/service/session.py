@@ -16,6 +16,8 @@ bit-identical to a cold one.  The determinism test suite pins this.
 
 from __future__ import annotations
 
+import threading
+
 from repro.config import ArchConfig
 from repro.framework import AtomicDataflowOptimizer, OptimizationOutcome, OptimizerOptions
 from repro.ir.graph import Graph
@@ -44,6 +46,7 @@ class CompileSession:
         self.arch = arch
         self.ctx = ctx
         self.searches_run = 0
+        self.busy = False  # owned by SessionManager, mutated under its lock
         self._executors: dict[int, ResilientExecutor] = {}
         self._closed = False
 
@@ -98,12 +101,21 @@ class CompileSession:
 
 
 class SessionManager:
-    """LRU pool of warm sessions, sharing one context cache.
+    """Thread-safe LRU pool of warm sessions, sharing one context cache.
 
     Sessions are keyed by :meth:`ContextCache.key_for` — ``(graph
     fingerprint, arch fingerprint, dataflow, batch)``.  Eviction closes
     the evicted session's pools; its context may survive in the
     (larger) context cache and re-warm a future session cheaply.
+
+    Concurrent runners check sessions out with :meth:`acquire` /
+    :meth:`release`: a checked-out (busy) session is never handed to a
+    second runner and never evicted.  When the warm session for a key is
+    busy, acquire builds an *overflow* session for the same context —
+    two runners searching the same workload overlap safely — and release
+    either promotes it into the warm pool (if the slot freed up) or
+    closes it.  :meth:`get` remains for single-threaded callers and
+    hands out the warm session without busy-tracking.
 
     Args:
         capacity: Live sessions kept warm (pools are the scarce
@@ -116,32 +128,108 @@ class SessionManager:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.contexts = ContextCache(capacity=context_capacity)
+        self._lock = threading.RLock()
         self._sessions: dict[tuple, CompileSession] = {}
+        self._loaned: list[CompileSession] = []
         self._closed = False
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
-    def get(self, graph: Graph, arch: ArchConfig, options: OptimizerOptions) -> CompileSession:
-        """A warm session for the request, building one on miss."""
-        if self._closed:
-            raise RuntimeError("session manager is closed")
-        registry = get_registry()
-        key = ContextCache.key_for(graph, arch, options.dataflow, options.batch)
-        session = self._sessions.pop(key, None)
-        if session is not None:
-            self._sessions[key] = session  # re-insert: most recently used
-            registry.counter("session.hits").inc()
-            return session
-        registry.counter("session.misses").inc()
+    @staticmethod
+    def _key(session: CompileSession) -> tuple:
+        return ContextCache.key_for(
+            session.graph, session.arch, session.ctx.dataflow, session.ctx.batch
+        )
+
+    def _build(
+        self, graph: Graph, arch: ArchConfig, options: OptimizerOptions
+    ) -> CompileSession:
         ctx = self.contexts.get(graph, arch, options.dataflow, options.batch)
-        session = CompileSession(graph, arch, ctx)
-        self._sessions[key] = session
+        return CompileSession(graph, arch, ctx)
+
+    def _evict_idle(self) -> None:
+        registry = get_registry()
         while len(self._sessions) > self.capacity:
-            oldest = next(iter(self._sessions))
+            oldest = next(
+                (k for k, s in self._sessions.items() if not s.busy), None
+            )
+            if oldest is None:
+                return  # every warm session is checked out; over-capacity is transient
             self._sessions.pop(oldest).close()
             registry.counter("session.evictions").inc()
-        return session
+
+    def get(self, graph: Graph, arch: ArchConfig, options: OptimizerOptions) -> CompileSession:
+        """A warm session for the request, building one on miss.
+
+        No busy-tracking: single-threaded callers only.  Concurrent
+        runners must use :meth:`acquire` / :meth:`release`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session manager is closed")
+            registry = get_registry()
+            key = ContextCache.key_for(graph, arch, options.dataflow, options.batch)
+            session = self._sessions.pop(key, None)
+            if session is not None:
+                self._sessions[key] = session  # re-insert: most recently used
+                registry.counter("session.hits").inc()
+                return session
+            registry.counter("session.misses").inc()
+            session = self._build(graph, arch, options)
+            self._sessions[key] = session
+            self._evict_idle()
+            return session
+
+    def acquire(
+        self, graph: Graph, arch: ArchConfig, options: OptimizerOptions
+    ) -> CompileSession:
+        """Check out a session for exclusive use by one runner."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session manager is closed")
+            registry = get_registry()
+            key = ContextCache.key_for(graph, arch, options.dataflow, options.batch)
+            session = self._sessions.pop(key, None)
+            if session is not None and not session.busy:
+                self._sessions[key] = session  # re-insert: most recently used
+                session.busy = True
+                self._loaned.append(session)
+                registry.counter("session.hits").inc()
+                return session
+            if session is not None:
+                self._sessions[key] = session  # warm one is busy: overflow
+                registry.counter("session.overflow").inc()
+            else:
+                registry.counter("session.misses").inc()
+            fresh = self._build(graph, arch, options)
+            fresh.busy = True
+            self._loaned.append(fresh)
+            if key not in self._sessions:
+                self._sessions[key] = fresh
+                self._evict_idle()
+            return fresh
+
+    def release(self, session: CompileSession) -> None:
+        """Return a checked-out session to the pool (idempotent)."""
+        with self._lock:
+            session.busy = False
+            if session in self._loaned:
+                self._loaned.remove(session)
+            if self._closed:
+                session.close()
+                return
+            key = self._key(session)
+            pooled = self._sessions.get(key)
+            if pooled is session:
+                self._evict_idle()
+                return
+            if pooled is None:
+                self._sessions[key] = session  # promote the overflow session
+                self._evict_idle()
+                return
+            session.close()  # the key's warm slot is taken; drop the overflow
 
     def invalidate_arch(self, arch_fp: str) -> int:
         """Close every session (and drop every context) for an arch.
@@ -150,21 +238,27 @@ class SessionManager:
         when an architecture definition changes under a fingerprint —
         the explicit invalidation hook the warm-reuse contract requires.
         """
-        stale = [key for key in self._sessions if key[1] == arch_fp]
-        for key in stale:
-            self._sessions.pop(key).close()
-        self.contexts.invalidate_arch(arch_fp)
-        if stale:
-            get_registry().counter("session.invalidated").inc(len(stale))
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._sessions if key[1] == arch_fp]
+            for key in stale:
+                self._sessions.pop(key).close()
+            self.contexts.invalidate_arch(arch_fp)
+            if stale:
+                get_registry().counter("session.invalidated").inc(len(stale))
+            return len(stale)
 
     def close(self) -> None:
-        """Close every session and drop every context."""
-        self._closed = True
-        sessions, self._sessions = self._sessions, {}
-        for session in sessions.values():
-            session.close()
-        self.contexts.clear()
+        """Close every session and drop every context (idempotent)."""
+        with self._lock:
+            self._closed = True
+            sessions, self._sessions = self._sessions, {}
+            loaned, self._loaned = self._loaned, []
+            for session in sessions.values():
+                session.close()
+            for session in loaned:
+                if session not in sessions.values():
+                    session.close()
+            self.contexts.clear()
 
 
 __all__ = ["CompileSession", "SessionManager"]

@@ -137,6 +137,7 @@ class SolutionStore:
         self._lock = threading.Lock()
         self.objects.mkdir(parents=True, exist_ok=True)
         self._access_seq = 0
+        self._tmp_seq = 0
         self._entries: dict[str, StoreEntry] = {}
         self._load_index()
 
@@ -262,7 +263,12 @@ class SolutionStore:
         if problem is not None:
             raise StoreError(f"refusing to store invalid solution: {problem}")
         path = self._object_path(fingerprint)
-        tmp = path.with_suffix(".json.tmp")
+        with self._lock:
+            # Unique temp name per write: two runners publishing the
+            # same fingerprint concurrently must not clobber each
+            # other's staging file mid-validation.
+            self._tmp_seq += 1
+            tmp = path.with_suffix(f".json.tmp{self._tmp_seq}")
         tmp.write_bytes(payload)
         try:
             if graph is not None and arch is not None:

@@ -1,0 +1,228 @@
+"""AD804-806: lease legality, orphaned leases, retry-cap accounting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.service_rules import check_job_leases, is_job_journal
+from repro.service.jobs import JOB_FORMAT, JOB_VERSION
+
+
+def _journal(tmp_path, events, max_attempts=3, header=None):
+    """Write a synthetic job journal; events are (state, fields) pairs."""
+    path = tmp_path / "jobs.jsonl"
+    base = {
+        "job_id": "job-000001",
+        "fingerprint": "ab" * 32,
+        "model": "vgg19_bench",
+        "tenant": "ci",
+        "request": {},
+        "source": "search",
+        "error": None,
+        "total_cycles": None,
+        "search_seconds": 0.0,
+        "lease_seq": 0,
+        "attempt": 0,
+        "runner_id": None,
+    }
+    if header is None:
+        header = {
+            "format": JOB_FORMAT,
+            "version": JOB_VERSION,
+            "max_attempts": max_attempts,
+        }
+    lines = [json.dumps(header)]
+    for state, fields in events:
+        job = {**base, "state": state, **fields}
+        lines.append(json.dumps({"event": state, "job": job}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _rules(report):
+    return sorted({d.rule_id for d in report.diagnostics})
+
+
+LEASE_1 = {"runner_id": "runner-1", "lease_seq": 1, "attempt": 1}
+LEASE_2 = {"runner_id": "runner-2", "lease_seq": 2, "attempt": 2}
+
+
+class TestCleanJournals:
+    def test_single_lease_lifecycle(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [("queued", {}), ("running", LEASE_1), ("done", LEASE_1)],
+        )
+        assert check_job_leases(path).ok
+
+    def test_reclaim_and_retry_lifecycle(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("running", LEASE_1),
+                ("queued", {"lease_seq": 1, "attempt": 1}),
+                ("running", LEASE_2),
+                ("failed", LEASE_2),
+            ],
+        )
+        assert check_job_leases(path).ok
+
+    def test_never_leased_terminal_records(self, tmp_path):
+        """Cache hits and cancelled jobs legitimately never lease."""
+        path = _journal(tmp_path, [("done", {"source": "cache"})])
+        assert check_job_leases(path).ok
+
+    def test_interleaved_jobs_on_distinct_runners(self, tmp_path):
+        second = {
+            "job_id": "job-000002",
+            "fingerprint": "cd" * 32,
+        }
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("queued", second),
+                ("running", LEASE_1),
+                ("running", {**second, "runner_id": "runner-2",
+                             "lease_seq": 2, "attempt": 1}),
+                ("done", LEASE_1),
+                ("done", {**second, "runner_id": "runner-2",
+                          "lease_seq": 2, "attempt": 1}),
+            ],
+        )
+        assert check_job_leases(path).ok
+
+
+class TestAD804LeaseLegality:
+    def test_running_without_runner_id(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [("queued", {}), ("running", {"lease_seq": 1, "attempt": 1})],
+        )
+        assert "AD804" in _rules(check_job_leases(path))
+
+    def test_lease_clock_regression(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("running", LEASE_1),
+                ("queued", {"lease_seq": 1, "attempt": 1}),
+                ("running", {**LEASE_2, "lease_seq": 1}),
+                ("done", {**LEASE_2, "lease_seq": 1}),
+            ],
+        )
+        assert "AD804" in _rules(check_job_leases(path))
+
+    def test_attempt_skip(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("running", {**LEASE_1, "attempt": 2}),
+                ("done", {**LEASE_1, "attempt": 2}),
+            ],
+        )
+        assert "AD804" in _rules(check_job_leases(path))
+
+    def test_requeue_keeps_runner_id(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("running", LEASE_1),
+                ("queued", LEASE_1),  # ownership must be cleared
+            ],
+        )
+        report = check_job_leases(path)
+        assert "AD804" in _rules(report)
+
+
+class TestAD805Orphans:
+    def test_journal_ends_mid_lease(self, tmp_path):
+        path = _journal(tmp_path, [("queued", {}), ("running", LEASE_1)])
+        report = check_job_leases(path)
+        assert _rules(report) == ["AD805"]
+
+    def test_runner_with_two_live_leases(self, tmp_path):
+        second = {"job_id": "job-000002", "fingerprint": "cd" * 32}
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("queued", second),
+                ("running", LEASE_1),
+                ("running", {**second, "runner_id": "runner-1",
+                             "lease_seq": 2, "attempt": 1}),
+                ("done", LEASE_1),
+                ("done", {**second, "runner_id": "runner-1",
+                          "lease_seq": 2, "attempt": 1}),
+            ],
+        )
+        assert "AD805" in _rules(check_job_leases(path))
+
+
+class TestAD806RetryCap:
+    def test_attempt_over_journaled_cap(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("running", LEASE_1),
+                ("queued", {"lease_seq": 1, "attempt": 1}),
+                ("running", LEASE_2),
+                ("failed", LEASE_2),
+            ],
+            max_attempts=1,
+        )
+        assert "AD806" in _rules(check_job_leases(path))
+
+    def test_explicit_cap_overrides_header(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [("queued", {}), ("running", LEASE_1), ("done", LEASE_1)],
+            max_attempts=3,
+        )
+        assert check_job_leases(path).ok
+        # An explicit cap is taken as given, even one the header would
+        # reject — the caller is asserting a policy, not describing one.
+        report = check_job_leases(path, max_attempts=0)
+        assert "AD806" in _rules(report)
+
+    def test_headerless_cap_skips_ad806(self, tmp_path):
+        path = _journal(
+            tmp_path,
+            [
+                ("queued", {}),
+                ("running", LEASE_1),
+                ("queued", {"lease_seq": 1, "attempt": 1}),
+                ("running", LEASE_2),
+                ("failed", LEASE_2),
+            ],
+            header={"format": JOB_FORMAT, "version": JOB_VERSION},
+        )
+        assert check_job_leases(path).ok  # no cap to check against
+
+
+class TestJournalSniffing:
+    def test_job_journal_detected(self, tmp_path):
+        path = _journal(tmp_path, [("queued", {})])
+        assert is_job_journal(path)
+
+    def test_checkpoint_journal_not_a_job_journal(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"format": "atomic-dataflow-checkpoint", "version": 1}\n')
+        assert not is_job_journal(path)
+
+    def test_garbage_not_a_job_journal(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json at all\n")
+        assert not is_job_journal(path)
+        assert not is_job_journal(tmp_path / "missing.jsonl")
+
+    def test_bad_header_reported(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text('{"format": "something-else"}\n')
+        report = check_job_leases(path)
+        assert "AD804" in _rules(report)

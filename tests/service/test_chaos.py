@@ -1,0 +1,235 @@
+"""Service-level chaos matrix: every fault kind, byte-identical results.
+
+Each scenario arms one :class:`ServiceFaultPlan`, drives the service (or
+the full unix-socket daemon for wire faults) through the fault, and
+asserts the two halves of the determinism contract: no job is lost or
+completed twice, and every completed result is byte-identical to the
+fault-free ``repro optimize`` answer.  After each scenario the job
+journal must satisfy the AD802/AD804-806 validators.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.service_rules import check_service_state
+from repro.obs import get_registry
+from repro.resilience.faults import ServiceFaultPlan, ServiceFaultSpec
+from repro.service import AdmissionError, ReproService
+from tests.service.conftest import DaemonHarness
+from tests.service.test_daemon import _direct_bytes, _drain, _request
+
+#: Tight supervision so reclaim paths run in test time, not ops time.
+FAST_SUPERVISION = dict(
+    retry_backoff_s=0.001,
+    supervise_interval_s=0.02,
+)
+
+
+def _assert_journal_clean(state_dir) -> None:
+    report = check_service_state(state_dir)
+    assert report.ok, f"journal validators failed:\n{report.render()}"
+
+
+def _wait_until(predicate, timeout_s: float = 30.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"{what} did not happen within {timeout_s}s")
+        time.sleep(0.01)
+
+
+class TestKillRunner:
+    def test_transient_kill_retries_byte_identically(self, short_dir, arch):
+        request = _request(arch=arch)
+        expected = _direct_bytes(request)
+        plan = ServiceFaultPlan.single("kill-runner")  # attempt 1 dies
+        service = ReproService(
+            short_dir / "state", faults=plan, **FAST_SUPERVISION
+        )
+        try:
+            job_id = service.submit(request.to_dict())["job_id"]
+            service.start()
+            job = _drain(service, job_id)
+            assert job["state"] == "done"
+            assert job["attempt"] == 2  # first lease died, second finished
+            assert service.result(job_id)["solution_json"].encode() == expected
+            assert plan.fired_count("kill-runner") == 1
+            counters = get_registry().snapshot().counters
+            assert counters["service.lease.reclaimed"] >= 1
+            assert counters["service.runner.respawned"] >= 1
+            assert counters["service.lease.retries"] >= 1
+        finally:
+            service.stop()
+        _assert_journal_clean(short_dir / "state")
+
+    def test_permanent_kill_exhausts_retries_into_failed(
+        self, short_dir, arch
+    ):
+        """A job whose every lease dies becomes a first-class failed
+        record — never lost, never looping forever."""
+        request = _request(arch=arch)
+        plan = ServiceFaultPlan(
+            specs=[
+                ServiceFaultSpec(kind="kill-runner", index=i, attempt=None)
+                for i in range(3)
+            ]
+        )
+        service = ReproService(
+            short_dir / "state",
+            faults=plan,
+            max_job_attempts=3,
+            **FAST_SUPERVISION,
+        )
+        try:
+            job_id = service.submit(request.to_dict())["job_id"]
+            service.start()
+            job = _drain(service, job_id)
+            assert job["state"] == "failed"
+            assert "retries exhausted" in job["error"]
+            assert job["attempt"] == 3
+            assert plan.fired_count("kill-runner") == 3
+            # The fault plan is spent: a resubmission searches clean and
+            # still matches the fault-free bytes.
+            retry_id = service.submit(request.to_dict())["job_id"]
+            retried = _drain(service, retry_id)
+            assert retried["state"] == "done"
+            assert service.result(retry_id)[
+                "solution_json"
+            ].encode() == _direct_bytes(request)
+        finally:
+            service.stop()
+        _assert_journal_clean(short_dir / "state")
+
+
+class TestTornJournal:
+    def test_torn_lease_append_kills_daemon_restart_recovers(
+        self, short_dir, arch
+    ):
+        request = _request(arch=arch)
+        expected = _direct_bytes(request)
+        # Arrivals at the torn-journal point: the submit's "queued"
+        # append is 0, the lease's "running" append is 1 — tear the lease.
+        plan = ServiceFaultPlan.single("torn-journal", index=1)
+        killed = ReproService(
+            short_dir / "state", faults=plan, **FAST_SUPERVISION
+        )
+        job_id = killed.submit(request.to_dict())["job_id"]
+        killed.start()
+        _wait_until(
+            lambda: killed.journal.closed, what="injected journal tear"
+        )
+        killed.stop()  # the dead daemon's threads wind down
+        assert plan.fired_count("torn-journal") == 1
+
+        revived = ReproService(short_dir / "state", **FAST_SUPERVISION)
+        try:
+            assert revived.status(job_id)["state"] == "queued"
+            revived.start()
+            job = _drain(revived, job_id)
+            assert job["state"] == "done"
+            assert revived.result(job_id)["solution_json"].encode() == expected
+        finally:
+            revived.stop()
+        _assert_journal_clean(short_dir / "state")
+
+
+class TestCorruptStore:
+    def test_corrupt_object_costs_a_recompute_never_a_wrong_answer(
+        self, short_dir, arch
+    ):
+        request = _request(arch=arch)
+        expected = _direct_bytes(request)
+        plan = ServiceFaultPlan.single("corrupt-store")
+        service = ReproService(
+            short_dir / "state", faults=plan, **FAST_SUPERVISION
+        )
+        try:
+            job_id = service.submit(request.to_dict())["job_id"]
+            service.start()
+            assert _drain(service, job_id)["state"] == "done"
+            assert plan.fired_count("corrupt-store") == 1
+            # The corrupted object fails its digest check on read...
+            with pytest.raises(ValueError, match="evicted"):
+                service.result(job_id)
+            assert get_registry().counter("store.corrupt").value == 1
+            # ...so the resubmission re-searches and republishes the
+            # byte-identical document instead of serving garbage.
+            retry_id = service.submit(request.to_dict())["job_id"]
+            retried = _drain(service, retry_id)
+            assert retried["state"] == "done" and retried["source"] == "search"
+            assert service.result(retry_id)["solution_json"].encode() == expected
+        finally:
+            service.stop()
+        _assert_journal_clean(short_dir / "state")
+
+
+class TestDropSocket:
+    def test_dropped_submit_response_is_retried_transparently(
+        self, short_dir, arch
+    ):
+        request = _request(arch=arch)
+        expected = _direct_bytes(request)
+        plan = ServiceFaultPlan.single("drop-socket", op="submit")
+        harness = DaemonHarness(
+            short_dir / "state", faults=plan, **FAST_SUPERVISION
+        ).start()
+        try:
+            # The first submit is fully processed server-side before the
+            # response is dropped; the client's transparent retry then
+            # coalesces (or cache-hits) onto it instead of double-running.
+            submitted = harness.client.submit(request)
+            job = harness.client.wait(submitted["job_id"])
+            assert job["state"] == "done"
+            assert plan.fired_count("drop-socket") == 1
+            result = harness.client.result(submitted["job_id"])
+            assert result["solution_json"].encode() == expected
+            stats = harness.client.stats()
+            assert stats["counters"]["service.searches"] == 1
+        finally:
+            harness.stop()
+        _assert_journal_clean(short_dir / "state")
+
+
+class TestSigterm:
+    def test_injected_sigterm_drains_and_restart_finishes_queued(
+        self, short_dir, arch
+    ):
+        running = _request(arch=arch)
+        queued = _request(model="vgg19_bench", arch=arch)
+        expected_running = _direct_bytes(running)
+        expected_queued = _direct_bytes(queued)
+        plan = ServiceFaultPlan.single("sigterm")
+        service = ReproService(
+            short_dir / "state", faults=plan, runners=1, **FAST_SUPERVISION
+        )
+        first = service.submit(running.to_dict())["job_id"]
+        second = service.submit(queued.to_dict())["job_id"]
+        service.start()
+        # The drain fires mid-flight: the running job finishes, the
+        # queued one survives on disk for the successor daemon.
+        _wait_until(lambda: service.journal.closed, what="injected drain")
+        assert plan.fired_count("sigterm") == 1
+        assert service.status(first)["state"] == "done"
+        assert service.status(second)["state"] == "queued"
+        with pytest.raises(AdmissionError) as err:
+            service.submit(running.to_dict())
+        assert err.value.code == "draining"
+
+        revived = ReproService(short_dir / "state", **FAST_SUPERVISION)
+        try:
+            revived.start()
+            assert _drain(revived, second)["state"] == "done"
+            assert (
+                revived.result(first)["solution_json"].encode()
+                == expected_running
+            )
+            assert (
+                revived.result(second)["solution_json"].encode()
+                == expected_queued
+            )
+        finally:
+            revived.stop()
+        _assert_journal_clean(short_dir / "state")

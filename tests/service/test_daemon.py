@@ -10,6 +10,7 @@ from dataclasses import replace
 import pytest
 
 from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.obs import get_registry
 from repro.serialize import canonical_solution_bytes, solution_to_dict
 from repro.service import (
     AdmissionError,
@@ -263,6 +264,220 @@ class TestAdmissionIntegration:
             assert service.admission.in_flight("a") == 0
         finally:
             service.stop()
+
+
+class _StubSession:
+    """A session stand-in with a scriptable ``optimize``."""
+
+    def __init__(self, script):
+        self._script = script
+
+    def optimize(self, options):
+        return self._script()
+
+
+class _StubSessions:
+    """SessionManager stand-in: every acquire returns the same script."""
+
+    def __init__(self, script):
+        self._session = _StubSession(script)
+
+    def acquire(self, graph, arch, options):
+        return self._session
+
+    def release(self, session):
+        pass
+
+    def close(self):
+        pass
+
+    def __len__(self):
+        return 0
+
+
+class TestRunnerPool:
+    def test_multi_runner_results_equal_single_runner_and_direct(
+        self, short_dir, arch
+    ):
+        """--runners 4 == --runners 1 == repro optimize, byte for byte."""
+        requests = [
+            _request(arch=arch, seed=seed) for seed in (3, 4)
+        ] + [_request(model="vgg19_bench", arch=arch)]
+        expected = [_direct_bytes(r) for r in requests]
+        for runners in (1, 4):
+            service = ReproService(
+                short_dir / f"state-r{runners}", runners=runners
+            )
+            try:
+                service.start()
+                ids = [
+                    service.submit(r.to_dict())["job_id"] for r in requests
+                ]
+                for job_id, want in zip(ids, expected):
+                    assert _drain(service, job_id)["state"] == "done"
+                    got = service.result(job_id)["solution_json"].encode()
+                    assert got == want, f"runners={runners} diverged"
+            finally:
+                service.stop()
+
+    def test_stalled_lease_is_reclaimed_and_late_result_discarded(
+        self, short_dir
+    ):
+        """A wedged runner loses its lease; its eventual result is
+        superseded, and the retry owns the job."""
+        wedged = threading.Event()
+        proceed = threading.Event()
+        calls = []
+
+        def script():
+            calls.append(threading.current_thread().name)
+            if len(calls) == 1:
+                wedged.set()
+                proceed.wait(30)
+            raise RuntimeError("search blew up")
+
+        service = ReproService(
+            short_dir / "state",
+            runners=1,
+            max_job_attempts=2,
+            retry_backoff_s=0.001,
+            heartbeat_timeout_s=0.05,
+            supervise_interval_s=0.02,
+        )
+        service.sessions = _StubSessions(script)
+        try:
+            job_id = service.submit(_request().to_dict())["job_id"]
+            service.start()
+            assert wedged.wait(30)
+            # The supervisor reclaims the stalled lease and hands the
+            # job to a fresh runner, whose attempt-2 failure is final.
+            job = _drain(service, job_id)
+            assert job["state"] == "failed"
+            assert job["attempt"] == 2
+            counters = get_registry().snapshot().counters
+            assert counters["service.lease.stalled"] >= 1
+            assert counters["service.lease.reclaimed"] >= 1
+            # Free the wedged runner: its late failure must be discarded
+            # (the job is already terminal), not double-counted.
+            proceed.set()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                counters = get_registry().snapshot().counters
+                if counters.get("service.lease.superseded", 0) >= 1:
+                    break
+                time.sleep(0.01)
+            assert (
+                get_registry().snapshot().counters["service.lease.superseded"]
+                >= 1
+            )
+            assert service.status(job_id)["state"] == "failed"  # unchanged
+        finally:
+            proceed.set()
+            service.stop()
+
+    def test_failing_search_retries_to_cap_then_fails(self, short_dir):
+        def script():
+            raise RuntimeError("deterministically broken")
+
+        service = ReproService(
+            short_dir / "state",
+            runners=2,
+            max_job_attempts=3,
+            retry_backoff_s=0.001,
+            supervise_interval_s=0.02,
+        )
+        service.sessions = _StubSessions(script)
+        try:
+            job_id = service.submit(_request().to_dict())["job_id"]
+            service.start()
+            job = _drain(service, job_id)
+            assert job["state"] == "failed"
+            assert job["attempt"] == 3
+            assert "attempt 3/3" in job["error"]
+            counters = get_registry().snapshot().counters
+            assert counters["service.lease.retries"] == 2
+            assert counters["service.lease.issued"] == 3
+        finally:
+            service.stop()
+
+
+class TestHealthAndDrain:
+    def test_health_reports_runners_leases_and_metrics(self, daemon):
+        submitted = daemon.client.submit(_request())
+        daemon.client.wait(submitted["job_id"])
+        health = daemon.client.health()
+        assert health["draining"] is False
+        assert health["runners_target"] == 1
+        assert len(health["runners"]) == 1
+        assert health["runners"][0]["alive"] is True
+        assert health["leases"] == []  # nothing in flight any more
+        assert health["lease_stats"]["issued"] >= 1
+        assert health["lease_stats"]["reclaimed"] == 0
+        # The metrics field is a full mergeable snapshot: a fleet
+        # aggregator can fold health responses from many daemons.
+        from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+        snapshot = MetricsSnapshot.from_dict(health["metrics"])
+        fleet = MetricsRegistry()
+        fleet.merge(snapshot)
+        fleet.merge(snapshot)
+        assert fleet.counter("service.searches").value == 2
+
+    def test_drain_rejects_new_work_and_stops_daemon(self, short_dir, arch):
+        harness = DaemonHarness(short_dir / "state").start()
+        submitted = harness.client.submit(_request(arch=arch))
+        harness.client.wait(submitted["job_id"])
+        summary = harness.client.drain()
+        assert summary["draining"] is True
+        assert summary["requeued"] == []
+        harness.thread.join(timeout=30)
+        assert not harness.thread.is_alive(), "daemon did not exit after drain"
+        harness.thread = None
+
+    def test_drain_requeues_running_jobs_for_successor(self, short_dir):
+        """A job that cannot finish inside the drain window is journaled
+        back to queued — the successor daemon picks it up."""
+        wedged = threading.Event()
+        proceed = threading.Event()
+
+        def script():
+            wedged.set()
+            proceed.wait(30)
+            raise RuntimeError("too late: the lease is gone")
+
+        service = ReproService(
+            short_dir / "state", runners=1, supervise_interval_s=0.02
+        )
+        service.sessions = _StubSessions(script)
+        job_id = service.submit(_request().to_dict())["job_id"]
+        service.start()
+        assert wedged.wait(30)
+        summary = service.drain(timeout_s=0.1)
+        assert summary["requeued"] == [job_id]
+        assert service.status(job_id)["state"] == "queued"
+        with pytest.raises(AdmissionError) as err:
+            service.submit(_request(seed=99).to_dict())
+        assert err.value.code == "draining"
+        proceed.set()
+        # The successor finishes the requeued job for real.
+        revived = ReproService(short_dir / "state")
+        try:
+            revived.start()
+            job = _drain(revived, job_id)
+            assert job["state"] == "done"
+            assert revived.result(job_id)["solution_json"].encode() == (
+                _direct_bytes(_request())
+            )
+        finally:
+            revived.stop()
+
+    def test_drain_is_idempotent(self, short_dir):
+        service = ReproService(short_dir / "state")
+        service.start()
+        first = service.drain(timeout_s=5.0)
+        second = service.drain(timeout_s=5.0)
+        assert first["draining"] and second["draining"]
+        assert second["requeued"] == []
 
 
 class TestWireProtocol:

@@ -6,8 +6,12 @@ import json
 
 import pytest
 
+import threading
+
+from repro.resilience.faults import InjectedRunnerDeath, ServiceFaultPlan
 from repro.service.jobs import (
     JOB_FORMAT,
+    JobIdAllocator,
     JobJournal,
     JobJournalError,
     JobRecord,
@@ -73,7 +77,125 @@ class TestNextJobId:
         assert next_job_id({"weird": None, "job-abc": None}) == "job-000001"
 
 
+class TestJobIdAllocator:
+    def test_continues_after_highest(self):
+        allocator = JobIdAllocator({"job-000002": None, "job-000007": None})
+        assert allocator.next() == "job-000008"
+        assert allocator.next() == "job-000009"
+
+    def test_ignores_malformed_ids(self):
+        allocator = JobIdAllocator({"weird": None, "job-abc": None})
+        assert allocator.next() == "job-000001"
+
+    def test_concurrent_draws_never_collide(self):
+        """The regression `next_job_id` had: N unsynchronized submitters
+        must each get a distinct id."""
+        allocator = JobIdAllocator({})
+        drawn: list[str] = []
+        lock = threading.Lock()
+
+        def draw() -> None:
+            ids = [allocator.next() for _ in range(50)]
+            with lock:
+                drawn.extend(ids)
+
+        threads = [threading.Thread(target=draw) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(drawn) == 8 * 50
+        assert len(set(drawn)) == len(drawn)
+
+
+class TestLeaseFields:
+    def test_round_trip(self):
+        record = _record(
+            state="running", runner_id="runner-3", lease_seq=17, attempt=2
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_defaults_are_unleased(self):
+        record = _record()
+        assert record.lease_seq == 0
+        assert record.attempt == 0
+        assert record.runner_id is None
+
+    def test_rejects_negative_lease_fields(self):
+        with pytest.raises(ValueError):
+            _record(lease_seq=-1)
+        with pytest.raises(ValueError):
+            _record(attempt=-1)
+
+    def test_journal_replays_lease_fields(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.open()
+        job = _record()
+        journal.record("queued", job)
+        job = job.advanced(
+            "running", runner_id="runner-1", lease_seq=1, attempt=1
+        )
+        journal.record("running", job)
+        journal.close()
+        replayed = JobJournal(path).open()["job-000001"]
+        assert replayed.runner_id == "runner-1"
+        assert replayed.lease_seq == 1
+        assert replayed.attempt == 1
+
+
 class TestJobJournal:
+    def test_header_extras_journaled(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(path)
+        journal.open(header_extras={"max_attempts": 5})
+        journal.close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["max_attempts"] == 5
+        # Reopen surfaces the persisted header.
+        reopened = JobJournal(path)
+        reopened.open()
+        assert reopened.header["max_attempts"] == 5
+        reopened.close()
+
+    def test_version1_journal_still_loads(self, tmp_path):
+        """Pre-lease journals (version 1, no lease fields) stay readable."""
+        path = tmp_path / "jobs.jsonl"
+        job = _record().to_dict()
+        for key in ("lease_seq", "attempt", "runner_id"):
+            del job[key]
+        path.write_text(
+            json.dumps({"format": JOB_FORMAT, "version": 1}) + "\n"
+            + json.dumps({"event": "queued", "job": job}) + "\n"
+        )
+        replayed = JobJournal(path).open()
+        record = replayed["job-000001"]
+        assert record.state == "queued"
+        assert record.lease_seq == 0 and record.attempt == 0
+
+    def test_torn_journal_fault_poisons_and_recovers(self, tmp_path):
+        """The injected torn append kills the journal mid-line; a reopen
+        recovers everything up to the tear."""
+        path = tmp_path / "jobs.jsonl"
+        journal = JobJournal(
+            path, faults=ServiceFaultPlan.single("torn-journal", index=1)
+        )
+        journal.open()
+        job = _record()
+        journal.record("queued", job)  # arrival 0: intact
+        with pytest.raises(InjectedRunnerDeath):
+            journal.record(
+                "running",
+                job.advanced(
+                    "running", runner_id="runner-1", lease_seq=1, attempt=1
+                ),
+            )  # arrival 1: torn mid-line
+        assert journal.closed
+        with pytest.raises(RuntimeError):
+            journal.record("queued", job)
+        assert not path.read_text().endswith("\n")  # the tear is real
+        replayed = JobJournal(path).open()
+        assert replayed["job-000001"].state == "queued"
     def test_fresh_open_writes_header(self, tmp_path):
         path = tmp_path / "jobs.jsonl"
         journal = JobJournal(path)

@@ -177,6 +177,68 @@ class TestPersistence:
         assert [e.fingerprint for e in store.ls()] == ["ab" * 32]
 
 
+class TestTornWrites:
+    """Crash-truncated files: the index rebuilds, objects become misses."""
+
+    def test_torn_index_tail_rebuilds_from_objects(self, tmp_path, solved):
+        *_, doc, _ = solved
+        store = SolutionStore(tmp_path / "store")
+        fps = [f"{i:02x}" * 32 for i in range(3)]
+        for i, fp in enumerate(fps):
+            store.put(fp, _fake_doc(doc, f"w{i}", 1000 + i))
+        index = tmp_path / "store" / "index.json"
+        payload = index.read_bytes()
+        index.write_bytes(payload[: len(payload) // 2])  # the torn write
+        rebuilt = SolutionStore(tmp_path / "store")
+        assert len(rebuilt) == 3
+        for fp in fps:
+            assert rebuilt.get(fp) is not None
+
+    def test_rebuilt_index_eviction_order_is_deterministic(
+        self, tmp_path, solved
+    ):
+        """Two identical rebuilds gc in the same order (re-sequenced by
+        sorted fingerprint, never by wall clock)."""
+        *_, doc, _ = solved
+        orders = []
+        for run in ("a", "b"):
+            store = SolutionStore(tmp_path / run)
+            for i in range(3):
+                store.put(f"{i:02x}" * 32, _fake_doc(doc, f"w{i}", 1000 + i))
+            (tmp_path / run / "index.json").write_text("{ torn")
+            rebuilt = SolutionStore(tmp_path / run)
+            size = rebuilt.info("00" * 32).size_bytes
+            orders.append(rebuilt.gc(size + 10))
+        assert orders[0] == orders[1]
+        assert orders[0] == [f"{i:02x}" * 32 for i in range(2)]
+
+    def test_torn_object_tail_is_a_miss(self, tmp_path, solved):
+        *_, doc, _ = solved
+        store = SolutionStore(tmp_path / "store")
+        fp = "ab" * 32
+        store.put(fp, _fake_doc(doc, "w", 7))
+        obj = tmp_path / "store" / "objects" / f"{fp}.json"
+        payload = obj.read_bytes()
+        obj.write_bytes(payload[: len(payload) - 5])  # truncated tail
+        assert store.get(fp) is None  # digest mismatch, never a wrong answer
+        assert fp not in store
+        assert get_registry().counter("store.corrupt").value == 1
+
+    def test_stale_staging_files_are_not_indexed(self, tmp_path, solved):
+        """A crash can leave `.tmpN` staging files behind; a rebuild
+        must not mistake them for objects."""
+        *_, doc, _ = solved
+        store = SolutionStore(tmp_path / "store")
+        fp = "ab" * 32
+        store.put(fp, _fake_doc(doc, "w", 7))
+        stale = tmp_path / "store" / "objects" / f"{'cd' * 32}.json.tmp3"
+        stale.write_bytes(b"{ half-written")
+        (tmp_path / "store" / "index.json").write_text("{ torn")
+        rebuilt = SolutionStore(tmp_path / "store")
+        assert len(rebuilt) == 1
+        assert fp in rebuilt
+
+
 class TestDocumentCheck:
     def test_accepts_valid(self, solved):
         *_, doc, _ = solved

@@ -1,0 +1,364 @@
+#!/usr/bin/env python
+"""Service-level chaos smoke: every fault kind, byte-identical results.
+
+Drives a real :class:`ReproService` (and, for wire faults, the full
+unix-socket daemon) through the service fault matrix — ``kill-runner``,
+``torn-journal``, ``corrupt-store``, ``drop-socket``, ``sigterm`` — and
+asserts the fault-tolerance contract end to end:
+
+* every scenario's final solution document is **byte-identical** to the
+  fault-free reference (which itself must match in-process
+  ``repro optimize``);
+* no job is lost or completed twice: after each scenario the job
+  journal passes the AD802/AD804-806 validators;
+* the recovery machinery actually ran (reclaims, retries, respawns,
+  corrupt-object evictions are counted and reported).
+
+``BENCH_serve_chaos.json`` records per-scenario wall time and the
+recovery counters for CI history.  Exit 1 on any contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.service_rules import check_service_state  # noqa: E402
+from repro.atoms.generation import SAParams  # noqa: E402
+from repro.config import ArchConfig  # noqa: E402
+from repro.framework import (  # noqa: E402
+    AtomicDataflowOptimizer,
+    OptimizerOptions,
+)
+from repro.models import get_model  # noqa: E402
+from repro.obs import get_registry, reset_registry  # noqa: E402
+from repro.resilience.faults import ServiceFaultPlan  # noqa: E402
+from repro.serialize import (  # noqa: E402
+    canonical_solution_bytes,
+    solution_to_dict,
+)
+from repro.service import (  # noqa: E402
+    CompileRequest,
+    ReproService,
+    ServeClient,
+    serve,
+)
+
+#: The pinned workload: small enough for CI, real enough to search.
+MODEL = "mobilenet_v2_bench"
+ARCH = ArchConfig(mesh_rows=4, mesh_cols=4)
+
+#: Tight supervision so reclaim paths run in smoke time, not ops time.
+FAST_SUPERVISION = dict(retry_backoff_s=0.001, supervise_interval_s=0.02)
+
+#: Counters worth keeping in the benchmark history.
+RECOVERY_COUNTERS = (
+    "service.lease.issued",
+    "service.lease.reclaimed",
+    "service.lease.retries",
+    "service.runner.respawned",
+    "service.searches",
+    "store.corrupt",
+)
+
+
+def _request(seed: int = 3) -> CompileRequest:
+    options = OptimizerOptions(
+        sa_params=SAParams(max_iterations=8), restarts=2, seed=seed, jobs=1
+    )
+    return CompileRequest(model=MODEL, arch=ARCH, options=options)
+
+
+def _drain(service: ReproService, job_id: str, timeout_s: float = 300.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        job = service.status(job_id)
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} stuck in {job['state']}")
+        time.sleep(0.02)
+
+
+def _wait_until(predicate, timeout_s: float = 60.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"{what} did not happen within {timeout_s}s")
+        time.sleep(0.01)
+
+
+def _counters() -> dict:
+    snapshot = get_registry().snapshot().counters
+    return {k: snapshot[k] for k in RECOVERY_COUNTERS if k in snapshot}
+
+
+class Scenario:
+    """One fault scenario: a fresh state dir, metrics, and a verdict."""
+
+    def __init__(self, name: str, failures: list[str]):
+        self.name = name
+        self.failures = failures
+        self.t0 = 0.0
+        self.record: dict = {"scenario": name}
+
+    def __enter__(self) -> "Scenario":
+        reset_registry()
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.record["seconds"] = round(time.perf_counter() - self.t0, 3)
+        self.record["counters"] = _counters()
+        if exc is not None:
+            self.failures.append(f"{self.name}: {type(exc).__name__}: {exc}")
+            self.record["error"] = str(exc)
+        print(
+            f"{self.name}: "
+            + ("FAIL" if exc is not None else "ok")
+            + f" ({self.record['seconds']}s)"
+        )
+        # A broken scenario must not stop the matrix — but interrupts do.
+        return exc_type is None or issubclass(exc_type, Exception)
+
+    def expect(self, condition: bool, problem: str) -> None:
+        if not condition:
+            self.failures.append(f"{self.name}: {problem}")
+
+    def check_journal(self, state_dir: Path) -> None:
+        report = check_service_state(state_dir)
+        self.expect(
+            report.ok, f"journal validators failed:\n{report.render()}"
+        )
+
+
+def run_matrix(tmp: Path) -> tuple[list[dict], list[str]]:
+    failures: list[str] = []
+    scenarios: list[dict] = []
+    request = _request()
+
+    # The in-process reference: what `repro optimize` would emit.
+    outcome = AtomicDataflowOptimizer(
+        get_model(MODEL), ARCH, request.options
+    ).optimize()
+    reference = canonical_solution_bytes(
+        solution_to_dict(outcome, request.options.dataflow, include_search=False)
+    )
+
+    def bytes_of(service: ReproService, job_id: str) -> bytes:
+        return service.result(job_id)["solution_json"].encode()
+
+    with Scenario("fault-free", failures) as s:
+        service = ReproService(tmp / "clean", **FAST_SUPERVISION)
+        try:
+            service.start()
+            job_id = service.submit(request.to_dict())["job_id"]
+            s.expect(
+                _drain(service, job_id)["state"] == "done", "job not done"
+            )
+            s.expect(
+                bytes_of(service, job_id) == reference,
+                "fault-free serve != direct optimize",
+            )
+        finally:
+            service.stop()
+        s.check_journal(tmp / "clean")
+        scenarios.append(s.record)
+
+    with Scenario("kill-runner", failures) as s:
+        plan = ServiceFaultPlan.single("kill-runner")
+        service = ReproService(
+            tmp / "kill", faults=plan, **FAST_SUPERVISION
+        )
+        try:
+            service.start()
+            job_id = service.submit(request.to_dict())["job_id"]
+            job = _drain(service, job_id)
+            s.expect(job["state"] == "done", f"job ended {job['state']}")
+            s.expect(job["attempt"] == 2, "job did not retry after the kill")
+            s.expect(
+                bytes_of(service, job_id) == reference,
+                "post-reclaim result != reference",
+            )
+        finally:
+            service.stop()
+        s.check_journal(tmp / "kill")
+        scenarios.append(s.record)
+
+    with Scenario("torn-journal", failures) as s:
+        # Arrival 0 is the submit's "queued" append; tear the lease.
+        plan = ServiceFaultPlan.single("torn-journal", index=1)
+        killed = ReproService(tmp / "torn", faults=plan, **FAST_SUPERVISION)
+        job_id = killed.submit(request.to_dict())["job_id"]
+        killed.start()
+        _wait_until(lambda: killed.journal.closed, what="journal tear")
+        killed.stop()
+        revived = ReproService(tmp / "torn", **FAST_SUPERVISION)
+        try:
+            s.expect(
+                revived.status(job_id)["state"] == "queued",
+                "torn lease not requeued on restart",
+            )
+            revived.start()
+            s.expect(
+                _drain(revived, job_id)["state"] == "done", "job not done"
+            )
+            s.expect(
+                bytes_of(revived, job_id) == reference,
+                "post-restart result != reference",
+            )
+        finally:
+            revived.stop()
+        s.check_journal(tmp / "torn")
+        scenarios.append(s.record)
+
+    with Scenario("corrupt-store", failures) as s:
+        plan = ServiceFaultPlan.single("corrupt-store")
+        service = ReproService(
+            tmp / "corrupt", faults=plan, **FAST_SUPERVISION
+        )
+        try:
+            service.start()
+            job_id = service.submit(request.to_dict())["job_id"]
+            s.expect(
+                _drain(service, job_id)["state"] == "done", "job not done"
+            )
+            try:
+                service.result(job_id)
+                s.expect(False, "corrupt object served instead of evicted")
+            except ValueError:
+                pass
+            retry_id = service.submit(request.to_dict())["job_id"]
+            retried = _drain(service, retry_id)
+            s.expect(
+                retried["state"] == "done" and retried["source"] == "search",
+                "resubmission did not re-search",
+            )
+            s.expect(
+                bytes_of(service, retry_id) == reference,
+                "re-searched result != reference",
+            )
+        finally:
+            service.stop()
+        s.check_journal(tmp / "corrupt")
+        scenarios.append(s.record)
+
+    with Scenario("drop-socket", failures) as s:
+        plan = ServiceFaultPlan.single("drop-socket", op="submit")
+        state_dir = tmp / "drop"
+        state_dir.mkdir()
+        socket_path = str(state_dir / "repro.sock")
+        service = ReproService(state_dir, faults=plan, **FAST_SUPERVISION)
+        thread = threading.Thread(
+            target=serve, args=(service, socket_path), daemon=True
+        )
+        thread.start()
+        client = ServeClient(socket_path, timeout_s=300.0)
+        _wait_until(lambda: _ping_ok(client), what="daemon startup")
+        try:
+            submitted = client.submit(request)
+            job = client.wait(submitted["job_id"])
+            s.expect(job["state"] == "done", f"job ended {job['state']}")
+            s.expect(
+                client.result(submitted["job_id"])["solution_json"].encode()
+                == reference,
+                "result through dropped socket != reference",
+            )
+            stats = client.stats()
+            s.expect(
+                stats["counters"].get("service.searches") == 1,
+                "client retry double-ran the search",
+            )
+        finally:
+            client.shutdown()
+            thread.join(timeout=30)
+        s.check_journal(state_dir)
+        scenarios.append(s.record)
+
+    with Scenario("sigterm", failures) as s:
+        plan = ServiceFaultPlan.single("sigterm")
+        running, queued = _request(), _request(seed=4)
+        service = ReproService(
+            tmp / "sigterm", faults=plan, runners=1, **FAST_SUPERVISION
+        )
+        first = service.submit(running.to_dict())["job_id"]
+        second = service.submit(queued.to_dict())["job_id"]
+        service.start()
+        _wait_until(lambda: service.journal.closed, what="injected drain")
+        s.expect(
+            service.status(first)["state"] == "done",
+            "running job did not finish before the drain",
+        )
+        s.expect(
+            service.status(second)["state"] == "queued",
+            "queued job did not survive the drain",
+        )
+        revived = ReproService(tmp / "sigterm", **FAST_SUPERVISION)
+        try:
+            revived.start()
+            s.expect(
+                _drain(revived, second)["state"] == "done",
+                "successor did not finish the queued job",
+            )
+            s.expect(
+                bytes_of(revived, first) == reference,
+                "drained job's result != reference",
+            )
+        finally:
+            revived.stop()
+        s.check_journal(tmp / "sigterm")
+        scenarios.append(s.record)
+
+    return scenarios, failures
+
+
+def _ping_ok(client: ServeClient) -> bool:
+    try:
+        client.ping()
+        return True
+    except OSError:
+        return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_serve_chaos.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        scenarios, failures = run_matrix(Path(tmp))
+
+    report = {
+        "benchmark": "serve-chaos-smoke",
+        "model": MODEL,
+        "arch": f"{ARCH.mesh_rows}x{ARCH.mesh_cols}",
+        "cpu_count": os.cpu_count(),
+        "scenarios": scenarios,
+        "byte_identical": not failures,
+        "failures": failures,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for problem in failures:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(
+        f"report written to {args.out}: {len(scenarios)} scenario(s), "
+        f"{len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
