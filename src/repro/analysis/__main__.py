@@ -207,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.journal:
         from repro.analysis.resilience_rules import check_checkpoint_journal
         from repro.analysis.service_rules import (
+            check_event_log,
             check_job_journal,
             check_job_leases,
             is_job_journal,
@@ -218,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
         if is_job_journal(args.journal):
             report = check_job_journal(args.journal)
             check_job_leases(args.journal, report)
+            events = Path(args.journal).parent / "events.jsonl"
+            if events.exists():
+                check_event_log(events, args.journal, report)
             return _finish(report, args.json)
         return _finish(check_checkpoint_journal(args.journal), args.json)
 

@@ -523,6 +523,151 @@ def run_self_check() -> tuple[bool, str]:
             lines,
         )
 
+        # Event-log agreement (AD807): a log derived from the journal's
+        # own oracle validates silently; a dropped or mislabeled event
+        # trips the rule.
+        from repro.analysis.service_rules import (
+            check_event_log,
+            check_trace_file,
+        )
+        from repro.service.events import (
+            TRACE_FORMAT,
+            TRACE_VERSION,
+            EventLog,
+            expected_events,
+        )
+
+        traced = [
+            (state, {**fields, "trace_id": "tr-selfcheck01"})
+            for state, fields in retried
+        ]
+        events_journal = lease_journal(traced)
+
+        def write_event_log(
+            name: str, drop_kind: str | None = None, trace_id: str | None = None
+        ) -> Path:
+            path = Path(tmp) / name
+            log = EventLog(path)
+            log.open()
+            for job_id, entries in sorted(
+                expected_events(events_journal).items()
+            ):
+                for entry in entries:
+                    if entry["kind"] == drop_kind:
+                        continue
+                    log.append(
+                        entry["kind"],
+                        job_id,
+                        trace_id=trace_id or entry["trace_id"],
+                        state=entry["state"],
+                    )
+            log.close()
+            return path
+
+        passed &= _expect_clean(
+            "service event log",
+            check_event_log(write_event_log("ev-clean.jsonl"), events_journal),
+            lines,
+        )
+        passed &= _expect(
+            "seeded missing lease event",
+            check_event_log(
+                write_event_log("ev-missing.jsonl", drop_kind="lease"),
+                events_journal,
+            ),
+            ("AD807",),
+            lines,
+        )
+        passed &= _expect(
+            "seeded mismatched event trace id",
+            check_event_log(
+                write_event_log("ev-trace.jsonl", trace_id="tr-wrong"),
+                events_journal,
+            ),
+            ("AD807",),
+            lines,
+        )
+
+        # Span-tree well-formedness (AD808): a nested forest validates
+        # silently; structural corruptions trip the rule.
+        from repro.obs.tracer import SpanRecord
+
+        def svc_span(name: str, start: float, dur: float, sid: int,
+                     parent: int, pid: int = 1000, **args: str) -> SpanRecord:
+            return SpanRecord(
+                name=name, category="service", start_us=start,
+                duration_us=dur, pid=pid, tid=1, span_id=sid,
+                parent_id=parent, args=tuple(sorted(args.items())),
+            )
+
+        root_span = svc_span(
+            "service.job", 0.0, 1000.0, 1, 0, trace="tr-selfcheck01"
+        )
+        tree = [
+            root_span,
+            svc_span("service.queue_wait", 10.0, 90.0, 2, 1),
+            svc_span("service.lease", 100.0, 800.0, 3, 1),
+            svc_span("search.pipeline", 150.0, 700.0, 4, 3),
+            svc_span("stage.sim", 200.0, 100.0, 1, 0, pid=2000),
+        ]
+
+        def trace_doc(name: str, spans: list[SpanRecord]) -> Path:
+            path = Path(tmp) / name
+            path.write_text(
+                json.dumps(
+                    {
+                        "format": TRACE_FORMAT,
+                        "version": TRACE_VERSION,
+                        "job_id": "job-000001",
+                        "trace_id": "tr-selfcheck01",
+                        "root_pid": 1000,
+                        "spans": [s.to_dict() for s in spans],
+                    },
+                    sort_keys=True,
+                ),
+                encoding="utf-8",
+            )
+            return path
+
+        passed &= _expect_clean(
+            "service job trace",
+            check_trace_file(trace_doc("tr-clean.json", tree)),
+            lines,
+        )
+        passed &= _expect(
+            "seeded double-rooted trace",
+            check_trace_file(
+                trace_doc(
+                    "tr-roots.json",
+                    tree + [svc_span("service.job", 0.0, 1000.0, 9, 0)],
+                )
+            ),
+            ("AD808",),
+            lines,
+        )
+        passed &= _expect(
+            "seeded orphan span parent",
+            check_trace_file(
+                trace_doc(
+                    "tr-orphan.json",
+                    tree + [svc_span("sa.anneal", 200.0, 100.0, 9, 99)],
+                )
+            ),
+            ("AD808",),
+            lines,
+        )
+        passed &= _expect(
+            "seeded child window overflow",
+            check_trace_file(
+                trace_doc(
+                    "tr-window.json",
+                    tree + [svc_span("sa.anneal", 850.0, 100.0, 9, 3)],
+                )
+            ),
+            ("AD808",),
+            lines,
+        )
+
     snapshot = {
         "max_queue_depth": 4,
         "default_quota": 2,

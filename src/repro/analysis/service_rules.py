@@ -20,6 +20,20 @@ job journal, and admission accounting.  Three rules guard them:
   depth cap, and (given the job table) no tenant holds more slots than
   it has non-terminal jobs.
 
+``AD804``-``AD806`` extend the journal checks to lease legality, orphan
+leases, and retry-cap accounting; the observability plane adds two more:
+
+* ``AD807`` — event-log agreement: the per-job event-kind sequence in
+  ``events.jsonl`` equals the sequence the job journal's state
+  transitions imply (:func:`repro.service.events.expected_events`),
+  ``seq`` strictly increases, kinds are known, trace ids match the
+  journal's, and every event names a journaled job;
+* ``AD808`` — per-job span-tree well-formedness: a persisted
+  ``traces/<job_id>.json`` parses, its daemon-pid spans form a tree
+  with exactly one root, no span names an absent same-pid parent, child
+  windows nest within their parents, and worker-process span windows
+  fall inside the root's.
+
 All imports of :mod:`repro.service` are deferred into the check
 functions: this module registers rules at :mod:`repro.analysis` import
 time and must not drag the service (and its executor machinery) along.
@@ -77,6 +91,22 @@ register_rule(
     "artifact",
     "retry-cap accounting: no job consumes more leases than the "
     "journaled max_attempts cap",
+)
+register_rule(
+    "AD807",
+    Severity.ERROR,
+    "artifact",
+    "event-log agreement: every job's event sequence in events.jsonl "
+    "must equal the sequence its journal transitions imply, with "
+    "monotone seq numbers and matching trace ids",
+)
+register_rule(
+    "AD808",
+    Severity.ERROR,
+    "artifact",
+    "trace well-formedness: a persisted job trace has exactly one root "
+    "span, no orphan parents, and child windows nested within their "
+    "parents",
 )
 
 #: Legal predecessor states for each job-journal event.  A job's first
@@ -225,7 +255,7 @@ def check_job_journal(
     path = Path(path)
     report.mark_checked(f"JobJournal({path.name})")
 
-    from repro.service.jobs import JOB_FORMAT, JOB_VERSION, JobRecord
+    from repro.service.jobs import _READABLE_VERSIONS, JOB_FORMAT, JobRecord
 
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
@@ -251,7 +281,7 @@ def check_job_journal(
             f"header is not a {JOB_FORMAT!r} header",
         )
         return report
-    if header.get("version") not in (1, JOB_VERSION):
+    if header.get("version") not in _READABLE_VERSIONS:
         report.emit(
             "AD802",
             f"{path.name}:1",
@@ -514,6 +544,252 @@ def check_job_leases(
     return report
 
 
+def check_event_log(
+    events_path: str | Path,
+    journal_path: str | Path,
+    report: Report | None = None,
+) -> Report:
+    """Run AD807: the event log must agree with the job journal.
+
+    Agreement is *class-wise* — ``requeue`` and ``reclaim`` are one
+    class (see :func:`repro.service.events.event_class`) because the
+    journal cannot distinguish a supervisor reclaim from an ordinary
+    requeue.  Events appended by restart reconciliation (flagged
+    ``recovered``) count like any other: a reconciled log is clean.
+    """
+    report = report if report is not None else Report()
+    events_path = Path(events_path)
+    report.mark_checked(f"EventLog({events_path.name})")
+
+    from repro.service.events import (
+        EVENT_KINDS,
+        EventLogError,
+        event_class,
+        expected_events,
+        read_events,
+    )
+
+    try:
+        _, events = read_events(events_path)
+    except (OSError, EventLogError) as exc:
+        report.emit("AD807", str(events_path), f"unreadable event log: {exc}")
+        return report
+    try:
+        expected = expected_events(journal_path)
+    except (OSError, EventLogError) as exc:
+        report.emit(
+            "AD807", str(journal_path), f"unreadable job journal: {exc}"
+        )
+        return report
+
+    last_seq = 0
+    actual: dict[str, list[dict]] = {}
+    for i, event in enumerate(events):
+        where = f"{events_path.name}:{i + 2}"  # +1 header, +1 one-based
+        seq = event.get("seq")
+        if not isinstance(seq, int) or seq <= last_seq:
+            report.emit(
+                "AD807",
+                where,
+                f"seq {seq!r} does not advance the event clock "
+                f"(last {last_seq}); seq must strictly increase",
+            )
+        else:
+            last_seq = seq
+        kind = event.get("kind")
+        if kind not in EVENT_KINDS:
+            report.emit("AD807", where, f"unknown event kind {kind!r}")
+            continue
+        job_id = event.get("job_id")
+        if not isinstance(job_id, str):
+            report.emit("AD807", where, f"event carries no job_id: {event!r}")
+            continue
+        if job_id not in expected:
+            report.emit(
+                "AD807",
+                where,
+                f"event names job {job_id} which the journal never recorded",
+            )
+            continue
+        actual.setdefault(job_id, []).append({**event, "_where": where})
+
+    for job_id in sorted(expected):
+        exp = expected[job_id]
+        act = actual.get(job_id, [])
+        for pos, entry in enumerate(exp):
+            if pos >= len(act):
+                report.emit(
+                    "AD807",
+                    str(events_path),
+                    f"job {job_id} is missing event #{pos + 1} "
+                    f"({entry['kind']!r}); the journal implies "
+                    f"{len(exp)} event(s), the log has {len(act)}",
+                )
+                break
+            got = act[pos]
+            got_class = event_class(str(got.get("kind")))
+            if got_class != entry["kind"]:
+                report.emit(
+                    "AD807",
+                    got["_where"],
+                    f"job {job_id} event #{pos + 1} is "
+                    f"{got.get('kind')!r}; the journal implies "
+                    f"{entry['kind']!r}",
+                )
+                break
+            want_trace = entry.get("trace_id")
+            got_trace = got.get("trace_id")
+            if want_trace is not None and got_trace != want_trace:
+                report.emit(
+                    "AD807",
+                    got["_where"],
+                    f"job {job_id} event #{pos + 1} carries trace "
+                    f"{got_trace!r}; the journal says {want_trace!r}",
+                )
+        if len(act) > len(exp):
+            report.emit(
+                "AD807",
+                act[len(exp)]["_where"],
+                f"job {job_id} has {len(act)} event(s); the journal "
+                f"implies only {len(exp)}",
+            )
+    return report
+
+
+#: Slack on same-process parent/child window nesting (float rounding).
+_SAME_PID_EPS_US = 0.5
+
+#: Slack on cross-process window containment: worker spans are stamped
+#: on each worker's own wall anchor (``time.time`` at tracer start), so
+#: their axis can sit several ms off the daemon's.
+_CROSS_PID_EPS_US = 100_000.0
+
+
+def check_trace_file(path: str | Path, report: Report | None = None) -> Report:
+    """Run AD808 over one persisted ``traces/<job_id>.json`` document."""
+    report = report if report is not None else Report()
+    path = Path(path)
+    report.mark_checked(f"JobTrace({path.name})")
+
+    from repro.obs.tracer import SpanRecord
+    from repro.service.events import TRACE_FORMAT, TRACE_VERSION
+
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        report.emit("AD808", str(path), f"unreadable trace document: {exc}")
+        return report
+    if not isinstance(doc, dict) or doc.get("format") != TRACE_FORMAT:
+        report.emit(
+            "AD808", str(path), f"not a {TRACE_FORMAT!r} document"
+        )
+        return report
+    if doc.get("version") != TRACE_VERSION:
+        report.emit(
+            "AD808",
+            str(path),
+            f"unsupported trace version {doc.get('version')!r}",
+        )
+        return report
+    root_pid = doc.get("root_pid")
+    if not isinstance(root_pid, int):
+        report.emit("AD808", str(path), "document carries no root_pid")
+        return report
+
+    spans: list[SpanRecord] = []
+    for i, raw in enumerate(doc.get("spans") or ()):
+        try:
+            spans.append(SpanRecord.from_dict(raw))
+        except ValueError as exc:
+            report.emit("AD808", f"{path.name}[spans][{i}]", str(exc))
+    if not spans:
+        report.emit("AD808", str(path), "trace document carries no spans")
+        return report
+
+    by_pid: dict[int, list[SpanRecord]] = {}
+    for span in spans:
+        by_pid.setdefault(span.pid, []).append(span)
+
+    daemon_spans = by_pid.get(root_pid, [])
+    roots = [s for s in daemon_spans if s.parent_id == 0]
+    if len(roots) != 1:
+        report.emit(
+            "AD808",
+            str(path),
+            f"expected exactly one root span in pid {root_pid}, found "
+            f"{len(roots)} ({sorted(s.name for s in roots)})",
+        )
+        return report
+    root = roots[0]
+    root_args = dict(root.args)
+    if root_args.get("trace") != doc.get("trace_id"):
+        report.emit(
+            "AD808",
+            str(path),
+            f"root span carries trace {root_args.get('trace')!r}; the "
+            f"document says {doc.get('trace_id')!r}",
+        )
+
+    # Same-process forests: every named parent exists, children nest.
+    for pid, group in sorted(by_pid.items()):
+        ids = {s.span_id: s for s in group}
+        if len(ids) != len(group):
+            report.emit(
+                "AD808",
+                str(path),
+                f"pid {pid} has duplicate span ids; (pid, id) must be "
+                "unique",
+            )
+            continue
+        for span in group:
+            if span.parent_id == 0:
+                continue
+            parent = ids.get(span.parent_id)
+            if parent is None:
+                report.emit(
+                    "AD808",
+                    str(path),
+                    f"span {span.name!r} (pid {pid}, id {span.span_id}) "
+                    f"names absent parent {span.parent_id} — an orphan",
+                )
+                continue
+            if (
+                span.start_us < parent.start_us - _SAME_PID_EPS_US
+                or span.start_us + span.duration_us
+                > parent.start_us + parent.duration_us + _SAME_PID_EPS_US
+            ):
+                report.emit(
+                    "AD808",
+                    str(path),
+                    f"span {span.name!r} (pid {pid}, id {span.span_id}) "
+                    f"window [{span.start_us:.1f}, "
+                    f"{span.start_us + span.duration_us:.1f}] escapes its "
+                    f"parent {parent.name!r} window [{parent.start_us:.1f}, "
+                    f"{parent.start_us + parent.duration_us:.1f}]",
+                )
+
+    # Worker-process spans must at least fall inside the root window
+    # (generously: their wall anchor is their own).
+    lo = root.start_us - _CROSS_PID_EPS_US
+    hi = root.start_us + root.duration_us + _CROSS_PID_EPS_US
+    for pid, group in sorted(by_pid.items()):
+        if pid == root_pid:
+            continue
+        for span in group:
+            if span.parent_id != 0:
+                continue  # nested under a same-pid parent, checked above
+            if span.start_us < lo or span.start_us + span.duration_us > hi:
+                report.emit(
+                    "AD808",
+                    str(path),
+                    f"worker span {span.name!r} (pid {pid}) window "
+                    f"[{span.start_us:.1f}, "
+                    f"{span.start_us + span.duration_us:.1f}] falls outside "
+                    f"the root job window",
+                )
+    return report
+
+
 def check_admission_accounting(
     snapshot: Mapping[str, Any],
     jobs: Mapping[str, Any] | None = None,
@@ -590,7 +866,8 @@ def check_service_state(
     state_dir: str | Path, report: Report | None = None
 ) -> Report:
     """Validate a serve state directory: AD801 on its store, AD802 and
-    AD804-806 on its job journal (whichever exist).
+    AD804-806 on its job journal, AD807 on its event log, and AD808 on
+    its persisted job traces (whichever exist).
 
     Accepts either a state directory (containing ``store/`` and
     ``jobs.jsonl``) or a bare store directory (containing
@@ -607,6 +884,12 @@ def check_service_state(
     if (state_dir / "jobs.jsonl").exists():
         check_job_journal(state_dir / "jobs.jsonl", report)
         check_job_leases(state_dir / "jobs.jsonl", report)
+        if (state_dir / "events.jsonl").exists():
+            check_event_log(
+                state_dir / "events.jsonl", state_dir / "jobs.jsonl", report
+            )
+        for trace_path in sorted((state_dir / "traces").glob("*.json")):
+            check_trace_file(trace_path, report)
         checked = True
     if not checked:
         report.emit(
@@ -620,9 +903,11 @@ def check_service_state(
 
 __all__ = [
     "check_admission_accounting",
+    "check_event_log",
     "check_job_journal",
     "check_job_leases",
     "check_service_state",
     "check_store",
+    "check_trace_file",
     "is_job_journal",
 ]

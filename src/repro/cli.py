@@ -440,7 +440,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the compile-service daemon (blocks until shutdown)."""
+    from repro.obs.tracer import ensure_tracing
     from repro.service import ReproService, serve, socket_path_problem
+
+    # Traced serving is the production mode: per-job span trees cost
+    # microseconds per span and `repro jobs --trace` depends on them.
+    ensure_tracing()
 
     quotas: dict[str, int] = {}
     for spec in args.tenant_quota or ():
@@ -472,7 +477,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     try:
-        serve(service, socket_path, drain_timeout_s=args.drain_timeout)
+        serve(
+            service,
+            socket_path,
+            drain_timeout_s=args.drain_timeout,
+            metrics_port=args.metrics_port,
+        )
     except KeyboardInterrupt:
         return 130
     return 0
@@ -543,11 +553,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 1
 
 
+def _print_latency_quantiles(latency: dict) -> None:
+    """Render the service SLO histograms as a p50/p95/p99 table."""
+    if not latency:
+        print("latency: no observations yet")
+        return
+    print("latency quantiles (seconds):")
+    print(
+        f"  {'histogram':<14}{'count':>7}{'mean':>9}{'p50':>9}"
+        f"{'p95':>9}{'p99':>9}{'max':>9}"
+    )
+    for name in sorted(latency):
+        q = latency[name]
+        print(
+            f"  {name:<14}{int(q['count']):>7}{q['mean']:>9.4f}"
+            f"{q['p50']:>9.4f}{q['p95']:>9.4f}{q['p99']:>9.4f}"
+            f"{q['max']:>9.4f}"
+        )
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     """List jobs / print stats / cancel on a running daemon."""
     import json as _json
 
     from repro.service import ServeClient, ServiceError
+    from repro.service.daemon import LATENCY_PREFIX
 
     try:
         client = ServeClient(args.socket)
@@ -560,11 +590,48 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             cancelled = client.cancel(args.cancel)
             print(f"{cancelled['job_id']}: {cancelled['state']}")
             return 0
+        if args.trace:
+            from repro.obs.export import trace_to_chrome
+            from repro.obs.tracer import SpanRecord
+
+            doc = client.trace(args.trace)
+            spans = [SpanRecord.from_dict(s) for s in doc["spans"]]
+            if not spans:
+                print(f"{args.trace}: no trace recorded "
+                      f"(daemon running untraced?)", file=sys.stderr)
+                return 1
+            out = args.out or f"{args.trace}.trace.json"
+            trace_to_chrome(
+                out,
+                spans=spans,
+                metadata={
+                    "job_id": doc["job_id"],
+                    "trace_id": doc.get("trace_id"),
+                },
+            )
+            print(
+                f"{args.trace}: {len(spans)} span(s) "
+                f"(trace {doc.get('trace_id')}) written to {out}"
+            )
+            return 0
         if args.stats:
-            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            stats = client.stats()
+            latency = stats.pop("latency", {})
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+            _print_latency_quantiles(latency)
             return 0
         if args.health:
-            print(_json.dumps(client.health(), indent=2, sort_keys=True))
+            health = client.health()
+            latency = health.pop("latency", {})
+            metrics = health.get("metrics", {})
+            # The quantile table replaces the raw bucket dicts.
+            metrics["histograms"] = {
+                name: hist
+                for name, hist in metrics.get("histograms", {}).items()
+                if not name.startswith(LATENCY_PREFIX)
+            }
+            print(_json.dumps(health, indent=2, sort_keys=True))
+            _print_latency_quantiles(latency)
             return 0
         if args.drain:
             drained = client.drain(timeout_s=args.timeout)
@@ -818,6 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=60.0,
         help="seconds a SIGTERM drain waits for running jobs (default 60)",
     )
+    p_srv.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve read-only /metrics (Prometheus), /healthz, and /jobs "
+        "over HTTP on 127.0.0.1:PORT (0 = ephemeral; default: off)",
+    )
 
     p_sub = sub.add_parser(
         "submit", help="submit one compile to a running daemon"
@@ -865,6 +937,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds --drain waits for running jobs (default 60)",
     )
     p_jobs.add_argument("--cancel", metavar="JOB", help="cancel a queued job")
+    p_jobs.add_argument(
+        "--trace", metavar="JOB",
+        help="export the job's stitched span tree as a Chrome/Perfetto "
+        "trace (see --out)",
+    )
+    p_jobs.add_argument(
+        "--out", metavar="JSON",
+        help="output path for --trace (default: <JOB>.trace.json)",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect / garbage-collect a solution store (offline)"

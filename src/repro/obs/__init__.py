@@ -40,6 +40,12 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     get_registry,
     reset_registry,
+    summarize_histograms,
+)
+from repro.obs.prom import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
 )
 from repro.obs.tracer import (
     SpanRecord,
@@ -74,8 +80,12 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "metrics_summary",
+    "parse_prometheus",
+    "render_prometheus",
     "reset_registry",
+    "sanitize_metric_name",
     "span",
+    "summarize_histograms",
     "trace_to_chrome",
     "tracing_enabled",
 ]

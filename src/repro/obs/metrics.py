@@ -24,7 +24,7 @@ from __future__ import annotations
 import bisect
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable, Mapping
 
 #: Default histogram buckets (upper bounds), tuned for wall-seconds of
 #: search stages: 1 ms .. 60 s, roughly geometric.
@@ -94,6 +94,32 @@ class Histogram:
         self.count += 1
         if value > self.max:
             self.max = value
+
+    @classmethod
+    def from_state(cls, name: str, state: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from one :class:`MetricsSnapshot` entry.
+
+        This is how quantiles are computed *from* a snapshot (the
+        ``health`` op ships bucket state, not live instruments).
+
+        Raises:
+            ValueError: On a malformed histogram state mapping.
+        """
+        try:
+            hist = cls(name, state["bounds"])
+            counts = [int(c) for c in state["counts"]]
+            if len(counts) != len(hist.counts):
+                raise ValueError(
+                    f"histogram {name!r}: {len(counts)} counts for "
+                    f"{len(hist.bounds)} bounds"
+                )
+            hist.counts = counts
+            hist.sum = float(state["sum"])
+            hist.count = int(state["count"])
+            hist.max = float(state["max"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed histogram state: {exc}") from None
+        return hist
 
     @property
     def mean(self) -> float:
@@ -180,7 +206,9 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Re-entrant: merge() holds the lock across its whole fold while
+        # calling counter()/gauge()/histogram(), which re-acquire it.
+        self._lock = threading.RLock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -268,24 +296,29 @@ class MetricsRegistry:
         """Fold a snapshot (typically from a worker) into this registry.
 
         Counters and histogram tallies add; gauges keep the max; a
-        histogram with different bucket bounds raises.
+        histogram with different bucket bounds raises.  The whole fold
+        runs under the registry lock, so a concurrent :meth:`snapshot`
+        (the ``/metrics`` scrape path, the ``health`` op) never observes
+        a half-merged histogram — ``sum(counts) == count`` holds in
+        every snapshot.
         """
-        for name, value in snapshot.counters.items():
-            self.counter(name).inc(value)
-        for name, value in snapshot.gauges.items():
-            gauge = self.gauge(name)
-            gauge.set(max(gauge.value, value))
-        for name, data in snapshot.histograms.items():
-            hist = self.histogram(name, data["bounds"])
-            if hist.bounds != tuple(data["bounds"]):
-                raise ValueError(
-                    f"histogram {name!r} bucket bounds differ; cannot merge"
-                )
-            for i, n in enumerate(data["counts"]):
-                hist.counts[i] += n
-            hist.sum += data["sum"]
-            hist.count += data["count"]
-            hist.max = max(hist.max, data["max"])
+        with self._lock:
+            for name, value in snapshot.counters.items():
+                self.counter(name).inc(value)
+            for name, value in snapshot.gauges.items():
+                gauge = self.gauge(name)
+                gauge.set(max(gauge.value, value))
+            for name, data in snapshot.histograms.items():
+                hist = self.histogram(name, data["bounds"])
+                if hist.bounds != tuple(data["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ; cannot merge"
+                    )
+                for i, n in enumerate(data["counts"]):
+                    hist.counts[i] += n
+                hist.sum += data["sum"]
+                hist.count += data["count"]
+                hist.max = max(hist.max, data["max"])
 
     def clear(self) -> None:
         """Drop every instrument."""
@@ -307,3 +340,30 @@ def reset_registry() -> MetricsRegistry:
     """Clear the global registry (test and CLI isolation) and return it."""
     _registry.clear()
     return _registry
+
+
+def summarize_histograms(
+    histograms: Mapping[str, Mapping[str, Any]], prefix: str = ""
+) -> dict[str, dict[str, float]]:
+    """Quantile summaries for snapshot histogram states.
+
+    Returns ``{short_name: {count, mean, max, p50, p95, p99}}`` for
+    every histogram whose name starts with ``prefix`` (the prefix is
+    stripped from the key).  This is what surfaces
+    :meth:`Histogram.quantile` to operators: ``repro jobs --health`` and
+    ``--stats`` render this instead of raw bucket dicts.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for name in sorted(histograms):
+        if not name.startswith(prefix):
+            continue
+        hist = Histogram.from_state(name, histograms[name])
+        summary[name[len(prefix):]] = {
+            "count": float(hist.count),
+            "mean": hist.mean,
+            "max": hist.max,
+            "p50": hist.quantile(0.5),
+            "p95": hist.quantile(0.95),
+            "p99": hist.quantile(0.99),
+        }
+    return summary

@@ -1,0 +1,207 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+:func:`render_prometheus` turns a snapshot into the Prometheus text
+format (version 0.0.4) served by the daemon's ``/metrics`` endpoint —
+stdlib only, no client library:
+
+* metric names are sanitized (``.`` and any other illegal character
+  become ``_``), with the original name kept as a ``# HELP`` line so
+  the mapping stays auditable;
+* counters and gauges render as single samples with ``# TYPE`` headers;
+* histograms render as *cumulative* ``_bucket`` samples with ``le``
+  labels ending in ``le="+Inf"`` (always equal to ``_count``), plus
+  ``_sum`` and ``_count`` samples.
+
+:func:`parse_prometheus` is the inverse used by tests and the smoke
+benchmark: a scraped page parses back into a snapshot whose totals
+match what was rendered (histogram ``max`` is not part of the
+exposition format and comes back as the last finite bucket bound that
+saw a sample, clamped conservatively to 0.0 when unknowable).
+
+Rendering is pure — callers grab a snapshot (which is lock-covered in
+:class:`~repro.obs.metrics.MetricsRegistry`) and format it, so scraping
+never races instrument updates or worker merges.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsSnapshot
+
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A Prometheus-legal metric name (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    sanitized = _ILLEGAL.sub("_", name)
+    if _LEADING_DIGIT.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: float) -> str:
+    """Format a sample value (integers stay integral, floats round-trip)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_le(bound: float) -> str:
+    """Format a bucket bound for the ``le`` label."""
+    return _fmt(float(bound))
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The snapshot as a Prometheus text-exposition page.
+
+    Families are emitted in sorted sanitized-name order so the output
+    is deterministic for golden-file tests and content hashing.
+    """
+    families: list[tuple[str, list[str]]] = []
+    for name, value in snapshot.counters.items():
+        metric = sanitize_metric_name(name)
+        families.append(
+            (
+                metric,
+                [
+                    f"# HELP {metric} {name}",
+                    f"# TYPE {metric} counter",
+                    f"{metric} {_fmt(value)}",
+                ],
+            )
+        )
+    for name, value in snapshot.gauges.items():
+        metric = sanitize_metric_name(name)
+        families.append(
+            (
+                metric,
+                [
+                    f"# HELP {metric} {name}",
+                    f"# TYPE {metric} gauge",
+                    f"{metric} {_fmt(value)}",
+                ],
+            )
+        )
+    for name, state in snapshot.histograms.items():
+        metric = sanitize_metric_name(name)
+        lines = [
+            f"# HELP {metric} {name}",
+            f"# TYPE {metric} histogram",
+        ]
+        cumulative = 0
+        for bound, count in zip(state["bounds"], state["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{metric}_bucket{{le="{_fmt_le(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {int(state["count"])}')
+        lines.append(f"{metric}_sum {_fmt(float(state['sum']))}")
+        lines.append(f"{metric}_count {int(state['count'])}")
+        families.append((metric, lines))
+    families.sort(key=lambda item: item[0])
+    page: list[str] = []
+    for _, lines in families:
+        page.extend(lines)
+    return "\n".join(page) + "\n" if page else ""
+
+
+def parse_prometheus(text: str) -> MetricsSnapshot:
+    """Parse a page rendered by :func:`render_prometheus` back to a snapshot.
+
+    The inverse is exact for counters, gauges, and histogram
+    ``bounds``/``counts``/``sum``/``count``; the histogram ``max`` is
+    not representable in the exposition format and is reconstructed as
+    the largest finite bucket bound whose bucket saw a sample (0.0 for
+    empty histograms or when only ``+Inf`` saw samples — a documented
+    lossy corner, which is why round-trip checks compare totals, not
+    ``max``).  Original (pre-sanitization) metric names are recovered
+    from the ``# HELP`` lines.
+
+    Raises:
+        ValueError: On a line that is neither a comment nor a sample.
+    """
+    help_names: dict[str, str] = {}
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            metric, _, original = rest.partition(" ")
+            help_names[metric] = original or metric
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            metric, _, kind = rest.partition(" ")
+            types[metric] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)$", line
+        )
+        if match is None:
+            raise ValueError(f"line {line_no}: unparseable sample {line!r}")
+        metric, label_text, value_text = match.groups()
+        labels: dict[str, str] = {}
+        if label_text:
+            for pair in label_text.split(","):
+                key, _, value = pair.partition("=")
+                labels[key.strip()] = value.strip().strip('"')
+        samples.append((metric, labels, float(value_text)))
+
+    def original(metric: str) -> str:
+        return help_names.get(metric, metric)
+
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    buckets: dict[str, list[tuple[float, int]]] = {}
+    for metric, labels, value in samples:
+        for base, kind in types.items():
+            if kind == "histogram" and metric in (
+                f"{base}_bucket", f"{base}_sum", f"{base}_count"
+            ):
+                hist = histograms.setdefault(
+                    original(base), {"sum": 0.0, "count": 0}
+                )
+                if metric.endswith("_sum"):
+                    hist["sum"] = value
+                elif metric.endswith("_count"):
+                    hist["count"] = int(value)
+                elif labels.get("le") != "+Inf":
+                    buckets.setdefault(original(base), []).append(
+                        (float(labels["le"]), int(value))
+                    )
+                break
+        else:
+            if types.get(metric) == "counter":
+                counters[original(metric)] = value
+            elif types.get(metric) == "gauge":
+                gauges[original(metric)] = value
+    for name, hist in histograms.items():
+        pairs = sorted(buckets.get(name, []))
+        bounds = tuple(bound for bound, _ in pairs)
+        cumulative = [count for _, count in pairs]
+        counts = [
+            count - (cumulative[i - 1] if i else 0)
+            for i, count in enumerate(cumulative)
+        ]
+        counts.append(int(hist["count"]) - (cumulative[-1] if cumulative else 0))
+        largest = 0.0
+        for bound, count in zip(bounds, counts):
+            if count:
+                largest = bound
+        hist["bounds"] = bounds
+        hist["counts"] = counts
+        hist["max"] = largest
+    return MetricsSnapshot(
+        counters=counters, gauges=gauges, histograms=histograms
+    )
+
+
+__all__ = ["parse_prometheus", "render_prometheus", "sanitize_metric_name"]

@@ -182,6 +182,38 @@ class Tracer:
         """An open span; use as ``with tracer.span("stage.sim"): ...``."""
         return _Span(self, name, category, args)
 
+    def allocate_id(self) -> int:
+        """Reserve a span id for a record built outside ``span(...)``.
+
+        The service daemon synthesizes spans (job root, queue wait,
+        lease hold) from its own bookkeeping timestamps; ids drawn here
+        share the tracer's counter, so synthesized and recorded spans
+        never collide within the process.
+        """
+        return self._next_id()
+
+    def start_capture(self) -> None:
+        """Route this thread's future records to a private buffer.
+
+        While a capture is active, spans completed on this thread (and
+        worker records fed through :meth:`absorb` on this thread) go
+        *only* to the capture buffer, not the shared record list — a
+        long-lived daemon attributes each job's spans to that job
+        without growing an unbounded global buffer.  Starting a new
+        capture discards any prior one on the same thread.
+        """
+        self._local.capture = []
+
+    def stop_capture(self) -> list[SpanRecord]:
+        """End this thread's capture and return what it collected.
+
+        Safe to call when no capture is active (returns ``[]``), so
+        error paths can unconditionally stop.
+        """
+        captured = getattr(self._local, "capture", None)
+        self._local.capture = None
+        return captured if captured is not None else []
+
     def _next_id(self) -> int:
         # itertools.count.__next__ is atomic under the GIL.
         return next(self._ids)
@@ -193,6 +225,10 @@ class Tracer:
         return stack
 
     def _record(self, record: SpanRecord) -> None:
+        capture = getattr(self._local, "capture", None)
+        if capture is not None:
+            capture.append(record)
+            return
         with self._lock:
             self._records.append(record)
 
@@ -209,7 +245,18 @@ class Tracer:
         return records
 
     def absorb(self, records: Iterable[SpanRecord]) -> None:
-        """Fold records drained from another tracer (e.g. a worker's)."""
+        """Fold records drained from another tracer (e.g. a worker's).
+
+        If the calling thread has an active capture (see
+        :meth:`start_capture`), the records land in that capture — the
+        pipeline absorbs worker observations on the thread running the
+        search, so a daemon runner's capture collects its own workers'
+        spans.
+        """
+        capture = getattr(self._local, "capture", None)
+        if capture is not None:
+            capture.extend(records)
+            return
         with self._lock:
             self._records.extend(records)
 
@@ -226,6 +273,18 @@ class _NoopTracer:
 
     def span(self, name: str, category: str = "search", **args: Any) -> _NoopSpan:
         return _NOOP_SPAN
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def allocate_id(self) -> int:
+        return 0
+
+    def start_capture(self) -> None:
+        return None
+
+    def stop_capture(self) -> list[SpanRecord]:
+        return []
 
     def drain(self) -> list[SpanRecord]:
         return []

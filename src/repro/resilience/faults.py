@@ -40,7 +40,8 @@ FAULT_KINDS = ("raise", "stall", "kill-worker", "corrupt-result")
 
 #: Every *service-level* fault kind (see :class:`ServiceFaultPlan`).
 SERVICE_FAULT_KINDS = (
-    "kill-runner", "torn-journal", "corrupt-store", "drop-socket", "sigterm"
+    "kill-runner", "torn-journal", "torn-events", "corrupt-store",
+    "drop-socket", "sigterm"
 )
 
 #: Phases a fault can target (the two fan-out phases of ``StagedSearch``).
@@ -225,6 +226,11 @@ class ServiceFaultSpec:
               prefix of its line, then the journal closes (a crashed
               ``fsync``); the daemon is dead from that point and a
               restart must recover from the last whole line;
+            * ``"torn-events"`` — the same torn write, but on the
+              service *event log* (``events.jsonl``): the log closes,
+              the appending runner dies, and a restart must truncate
+              the torn tail and reconcile the missing events from the
+              job journal (AD807 must pass afterwards);
             * ``"corrupt-store"`` — a freshly published store object
               gets a byte flipped, which the store's read-path digest
               check must catch (miss, recompute — never a wrong answer);

@@ -19,7 +19,13 @@ cache hits instead of repeated searches:
   the supervised lease-based runner pool, and the unix-socket
   line-delimited-JSON front end;
 * :mod:`~repro.service.client` — :class:`ServeClient`, the thin client
-  behind ``repro submit`` / ``repro jobs``.
+  behind ``repro submit`` / ``repro jobs``;
+* :mod:`~repro.service.events` — :class:`EventLog`, the append-only
+  service event log (``events.jsonl``) plus the AD807 journal-agreement
+  oracle and the per-job trace document format;
+* :mod:`~repro.service.metrics_http` — :class:`MetricsHTTPServer`, the
+  read-only ``/metrics`` / ``/healthz`` / ``/jobs`` HTTP exporter
+  behind ``repro serve --metrics-port``.
 
 Determinism contract: a served compile is bit-identical to the same
 ``repro optimize`` invocation — with any runner count, and across every
@@ -37,7 +43,9 @@ from repro.service.client import (
     socket_path_problem,
 )
 from repro.service.daemon import ReproService, serve
+from repro.service.events import EventLog, expected_events, read_events
 from repro.service.jobs import JobIdAllocator, JobJournal, JobRecord
+from repro.service.metrics_http import MetricsHTTPServer
 from repro.service.request import CompileRequest
 from repro.service.session import CompileSession, SessionManager
 from repro.service.store import SolutionStore, StoreEntry
@@ -47,9 +55,11 @@ __all__ = [
     "AdmissionError",
     "CompileRequest",
     "CompileSession",
+    "EventLog",
     "JobIdAllocator",
     "JobJournal",
     "JobRecord",
+    "MetricsHTTPServer",
     "ReproService",
     "SUN_PATH_LIMIT",
     "ServeClient",
@@ -57,6 +67,8 @@ __all__ = [
     "SessionManager",
     "SolutionStore",
     "StoreEntry",
+    "expected_events",
+    "read_events",
     "serve",
     "socket_path_problem",
 ]

@@ -250,6 +250,10 @@ class ServeClient:
         """Runner liveness, live leases, lease stats, metrics snapshot."""
         return self.call("health")["health"]
 
+    def trace(self, job_id: str) -> dict:
+        """The job's stitched span tree: ``{job_id, trace_id, root_pid, spans}``."""
+        return self.call("trace", job_id=job_id)
+
     def drain(self, timeout_s: float | None = 60.0) -> dict:
         """Gracefully drain the daemon (it exits once drained)."""
         return self.call("drain", timeout_s=timeout_s)

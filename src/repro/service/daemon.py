@@ -35,10 +35,27 @@ liveness, live leases, lease statistics, and a mergeable
 stops the daemon — no new admissions, running jobs journaled back to
 ``queued`` if they cannot finish in time, nothing lost.  No new
 dependencies; the stdlib ``socketserver`` does the listening.
+
+**Observability plane** (protocol v3): every submission mints a
+deterministic ``trace_id`` (sha256 of job id + fingerprint — no clocks,
+no randomness) that is journaled on the :class:`JobRecord`, echoed on
+every wire response, written to the append-only ``events.jsonl`` event
+log, and used to stitch a per-job span tree: a synthesized
+``service.job`` root covers submit→completion, with
+``service.queue_wait`` and ``service.lease`` children and — when
+tracing is enabled — every ``search.*``/``sa.*`` span the runner's
+capture collected, reparented under the lease span.  Latency SLO
+histograms (``service.latency.{queue_wait,lease_hold,compile_wall,
+e2e,cache_hit}``) and per-tenant counters feed the ``health``/``stats``
+ops and the HTTP ``/metrics`` exporter
+(:mod:`repro.service.metrics_http`).  None of it feeds back into
+search decisions: traced + scraped serving is byte-identical to
+untraced serving.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import signal
@@ -48,16 +65,17 @@ import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.obs.log import get_logger
-from repro.obs.metrics import get_registry
-from repro.obs.tracer import get_tracer
+from repro.obs.metrics import get_registry, summarize_histograms
+from repro.obs.tracer import SpanRecord, get_tracer
 from repro.resilience.faults import InjectedRunnerDeath, ServiceFaultPlan
 from repro.resilience.timing import Deadline, backoff_for
 from repro.serialize import solution_to_dict
 from repro.service.admission import AdmissionController, AdmissionError
 from repro.service.client import socket_path_problem
+from repro.service.events import TRACE_FORMAT, TRACE_VERSION, EventLog
 from repro.service.jobs import JobIdAllocator, JobJournal, JobRecord
 from repro.service.request import CompileRequest
 from repro.service.session import SessionManager
@@ -65,8 +83,13 @@ from repro.service.store import SolutionStore
 
 _log = get_logger(__name__)
 
-#: Wire protocol version, echoed by ``ping``.
-PROTOCOL_VERSION = 2
+#: Wire protocol version, echoed by ``ping``.  v3 added request tracing
+#: (``trace_id`` on every response, the ``trace`` op) and the service
+#: latency histograms surfaced by ``health``/``stats``.
+PROTOCOL_VERSION = 3
+
+#: Histogram name prefix of the service SLO latencies (seconds).
+LATENCY_PREFIX = "service.latency."
 
 
 @dataclass
@@ -79,6 +102,30 @@ class _Lease:
     attempt: int
     beat_seq: int
     deadline: Deadline = field(repr=False)
+
+
+@dataclass
+class _JobTrace:
+    """Per-job trace bookkeeping: latency clocks + collected spans.
+
+    ``*_s`` fields are ``perf_counter`` readings for the SLO histograms;
+    ``*_us`` fields are tracer wall-anchor timestamps for synthesized
+    spans (0.0 when tracing was off at submit).  ``root_id`` is the
+    pre-allocated span id of the ``service.job`` root, so children
+    synthesized before completion can already name their parent.
+    """
+
+    trace_id: str
+    tenant: str
+    root_id: int
+    submit_s: float
+    submit_us: float
+    enqueue_s: float = 0.0
+    enqueue_us: float = 0.0
+    lease_s: float = 0.0
+    lease_us: float = 0.0
+    lease_open: bool = False
+    spans: list[SpanRecord] = field(default_factory=list)
 
 
 class ReproService:
@@ -171,6 +218,20 @@ class ReproService:
         self._runner_threads: dict[str, threading.Thread] = {}
         self._runner_seq = 0
         self._supervisor: threading.Thread | None = None
+        (self.state_dir / "traces").mkdir(exist_ok=True)
+        self._traces: dict[str, _JobTrace] = {}
+        # The event log opens (and reconciles against the journal as it
+        # was on disk) before recovery requeues anything — a crash
+        # window between a journal append and its event append, or a
+        # torn-events fault, heals here, restoring AD807 agreement.
+        self.events = EventLog(self.state_dir / "events.jsonl", faults=faults)
+        self.events.open()
+        recovered_events = self.events.reconcile(self.state_dir / "jobs.jsonl")
+        if recovered_events:
+            _log.info("reconciled %d missing event(s)", recovered_events)
+            get_registry().counter("service.events.recovered").inc(
+                recovered_events
+            )
         self._recover()
 
     # -- restart recovery ---------------------------------------------------
@@ -197,6 +258,8 @@ class ReproService:
             requeued = job.advanced("queued", runner_id=None)
             self.journal.record("queued", requeued)
             self._jobs[job.job_id] = requeued
+            self._event("requeue", requeued, reason="restart")
+            self._trace_begin(requeued, time.perf_counter())
             try:
                 self.admission.admit(job.tenant)
                 self._slots[job.job_id] = job.tenant
@@ -253,6 +316,7 @@ class ReproService:
         self._closed = True
         self.sessions.close()
         self.journal.close()
+        self.events.close()
 
     def drain(self, timeout_s: float | None = 60.0) -> dict:
         """Graceful shutdown: stop admitting, checkpoint, journal, exit.
@@ -285,6 +349,10 @@ class ReproService:
                     record = job.advanced("queued", runner_id=None)
                     self.journal.record("queued", record)
                     self._jobs[job_id] = record
+                    self._event("requeue", record, reason="drain")
+                    jt = self._traces.get(job_id)
+                    if jt is not None:
+                        self._close_lease_trace_locked(jt)
                     requeued.append(job_id)
                     _log.warning(
                         "drain: requeued in-flight job %s (runner %s still busy)",
@@ -302,6 +370,7 @@ class ReproService:
             self._closed = True
             self.sessions.close()
             self.journal.close()
+            self.events.close()
             registry = get_registry()
             registry.counter("service.drained").inc()
             if requeued:
@@ -354,7 +423,13 @@ class ReproService:
                         job.attempt,
                         exc,
                     )
-                    self._retry_or_fail(job, str(exc) or type(exc).__name__)
+                    # Keep whatever spans the failed attempt captured —
+                    # they stitch into the job trace either way.
+                    self._retry_or_fail(
+                        job,
+                        str(exc) or type(exc).__name__,
+                        spans=get_tracer().stop_capture(),
+                    )
         except InjectedRunnerDeath:
             return
 
@@ -376,6 +451,40 @@ class ReproService:
             deadline=Deadline(self.heartbeat_timeout_s),
         )
         get_registry().counter("service.lease.issued").inc()
+        jt = self._traces.get(job.job_id)
+        if jt is not None:
+            now_s = time.perf_counter()
+            self._observe_latency("queue_wait", now_s - jt.enqueue_s)
+            jt.lease_s = now_s
+            jt.lease_open = True
+            tracer = get_tracer()
+            if tracer.enabled and jt.root_id:
+                now_us = tracer.now_us()
+                jt.spans.append(
+                    SpanRecord(
+                        name="service.queue_wait",
+                        category="service",
+                        start_us=jt.enqueue_us,
+                        duration_us=now_us - jt.enqueue_us,
+                        pid=os.getpid(),
+                        tid=threading.get_ident(),
+                        span_id=tracer.allocate_id(),
+                        parent_id=jt.root_id,
+                        args=(
+                            ("attempt", leased.attempt),
+                            ("runner", runner_id),
+                            ("trace", jt.trace_id),
+                        ),
+                    )
+                )
+                jt.lease_us = now_us
+        self._event(
+            "lease",
+            leased,
+            runner=runner_id,
+            attempt=leased.attempt,
+            lease_seq=seq,
+        )
         return leased
 
     def _beat(self, job_id: str) -> None:
@@ -393,21 +502,25 @@ class ReproService:
         request = CompileRequest.from_dict(job.request)
         fingerprint = job.fingerprint
         tracer = get_tracer()
+        # Capture this thread's spans for the job trace: everything the
+        # search records (and everything its workers ship back through
+        # absorb) lands in a per-job buffer instead of the process-wide
+        # one, so a long-lived daemon never accumulates unattributed
+        # spans.
+        if tracer.enabled:
+            tracer.start_capture()
         # A second store check at dequeue time: an identical job (or a
         # pre-kill incarnation of this one) may have published since
         # submission — recovered coalesced waiters finish here.
         if self.store.get(fingerprint) is not None:
             entry = self.store.info(fingerprint)
-            with tracer.span(
-                "service.transition", category="service",
-                job=job.job_id, to="done", source="cache",
-            ):
-                self._finish_done(
-                    job,
-                    source="cache",
-                    total_cycles=entry.total_cycles if entry else None,
-                    search_seconds=0.0,
-                )
+            self._finish_done(
+                job,
+                source="cache",
+                total_cycles=entry.total_cycles if entry else None,
+                search_seconds=0.0,
+                spans=tracer.stop_capture(),
+            )
             return
         self._beat(job.job_id)
         if self.faults is not None:
@@ -442,16 +555,13 @@ class ReproService:
         if self.faults is not None:
             if self.faults.take("corrupt-store", attempt=job.attempt) is not None:
                 self._corrupt_store_object(fingerprint)
-        with tracer.span(
-            "service.transition", category="service",
-            job=job.job_id, to="done", source="search",
-        ):
-            self._finish_done(
-                job,
-                source="search",
-                total_cycles=outcome.result.total_cycles,
-                search_seconds=outcome.search_seconds,
-            )
+        self._finish_done(
+            job,
+            source="search",
+            total_cycles=outcome.result.total_cycles,
+            search_seconds=outcome.search_seconds,
+            spans=tracer.stop_capture(),
+        )
         get_registry().counter("service.searches").inc()
 
     def _corrupt_store_object(self, fingerprint: str) -> None:
@@ -472,8 +582,10 @@ class ReproService:
         """Reap dead runners, reclaim their (and stalled) leases, respawn."""
         while not self._stop.wait(self.supervise_interval_s):
             with self._wakeup:
-                if self.journal.closed:
-                    return  # torn journal: the daemon is dead; restart recovers
+                if self.journal.closed or self.events.closed:
+                    # Torn journal or torn event log: the daemon is
+                    # dead; a restart truncates and recovers.
+                    return
                 if self._draining:
                     continue  # drain() owns shutdown bookkeeping
                 dead = [
@@ -516,6 +628,11 @@ class ReproService:
         job = self._jobs[job_id]
         get_registry().counter("service.lease.reclaimed").inc()
         _log.warning("reclaiming job %s: %s", job_id, reason)
+        jt = self._traces.get(job_id)
+        if jt is not None:
+            # The dead runner's captured spans died with its thread;
+            # close the lease window so lease_hold is still observed.
+            self._close_lease_trace_locked(jt)
         if job.attempt >= self.max_job_attempts:
             self._finish_failed_locked(
                 job,
@@ -523,24 +640,39 @@ class ReproService:
                 f"(attempt {job.attempt}/{self.max_job_attempts})",
             )
             return
-        self._requeue_locked(job)
+        self._requeue_locked(job, kind="reclaim", reason=reason)
 
-    def _requeue_locked(self, job: JobRecord) -> None:
+    def _requeue_locked(
+        self, job: JobRecord, kind: str = "requeue", reason: str | None = None
+    ) -> None:
         requeued = job.advanced("queued", runner_id=None)
         self.journal.record("queued", requeued)
         self._jobs[job.job_id] = requeued
         self._queue.append(job.job_id)
+        self._event(kind, requeued, reason=reason)
+        jt = self._traces.get(job.job_id)
+        if jt is not None:
+            jt.enqueue_s = time.perf_counter()
+            tracer = get_tracer()
+            if tracer.enabled and jt.root_id:
+                jt.enqueue_us = tracer.now_us()
         registry = get_registry()
         registry.counter("service.lease.retries").inc()
         registry.gauge("service.queue_depth").set(len(self._queue))
         self._wakeup.notify()
 
-    def _retry_or_fail(self, job: JobRecord, error: str) -> None:
+    def _retry_or_fail(
+        self, job: JobRecord, error: str, spans: Iterable[SpanRecord] = ()
+    ) -> None:
         """A leased job's attempt failed: requeue below the cap, else fail."""
         with self._wakeup:
             if self._lease_superseded_locked(job):
                 return
             self._leases.pop(job.job_id)
+            jt = self._traces.get(job.job_id)
+            if jt is not None:
+                attach = self._close_lease_trace_locked(jt)
+                self._stitch_spans_locked(jt, spans, attach)
             if job.attempt >= self.max_job_attempts:
                 self._finish_failed_locked(
                     job,
@@ -568,6 +700,162 @@ class ReproService:
             return True
         return False
 
+    # -- tracing, events, and SLO latency plumbing --------------------------
+
+    def _mint_trace(self, job_id: str, fingerprint: str) -> str:
+        """A deterministic trace id: no clocks, no randomness, and not
+        part of the request fingerprint (cache keys stay shared across
+        resubmissions; the trace id is unique per *job*)."""
+        digest = hashlib.sha256(f"{job_id}:{fingerprint}".encode("utf-8"))
+        return f"tr-{digest.hexdigest()[:16]}"
+
+    def _event(self, kind: str, job: JobRecord, **fields: Any) -> None:
+        """Append one event, correlated to the job's trace.
+
+        A no-op once the event log is torn/closed: the daemon is
+        already dead at that point and restart reconciliation rebuilds
+        whatever went unrecorded.
+        """
+        if self.events.closed:
+            return
+        self.events.append(kind, job.job_id, trace_id=job.trace_id, **fields)
+
+    def _observe_latency(self, name: str, seconds: float) -> None:
+        get_registry().histogram(f"{LATENCY_PREFIX}{name}").observe(seconds)
+
+    def _tenant_counter(self, tenant: str, what: str, n: int = 1) -> None:
+        get_registry().counter(f"service.tenant.{tenant}.{what}").inc(n)
+
+    def _trace_begin(self, job: JobRecord, submit_s: float) -> _JobTrace:
+        """Start per-job trace bookkeeping (at submit or restart requeue)."""
+        tracer = get_tracer()
+        submit_us = tracer.now_us() if tracer.enabled else 0.0
+        jt = _JobTrace(
+            trace_id=job.trace_id or "",
+            tenant=job.tenant,
+            root_id=tracer.allocate_id() if tracer.enabled else 0,
+            submit_s=submit_s,
+            submit_us=submit_us,
+            enqueue_s=time.perf_counter(),
+            enqueue_us=submit_us,
+        )
+        self._traces[job.job_id] = jt
+        return jt
+
+    def _close_lease_trace_locked(self, jt: _JobTrace) -> int:
+        """Observe lease-hold latency and synthesize the lease span.
+
+        Returns the span id later spans should attach to: the lease
+        span when one was synthesized, else the root (0 = tracing off).
+        """
+        if not jt.lease_open:
+            return jt.root_id
+        jt.lease_open = False
+        self._observe_latency("lease_hold", time.perf_counter() - jt.lease_s)
+        tracer = get_tracer()
+        if not (tracer.enabled and jt.root_id):
+            return jt.root_id
+        now_us = tracer.now_us()
+        lease_id = tracer.allocate_id()
+        jt.spans.append(
+            SpanRecord(
+                name="service.lease",
+                category="service",
+                start_us=jt.lease_us,
+                duration_us=now_us - jt.lease_us,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=lease_id,
+                parent_id=jt.root_id,
+                args=(("trace", jt.trace_id),),
+            )
+        )
+        return lease_id
+
+    def _stitch_spans_locked(
+        self, jt: _JobTrace, spans: Iterable[SpanRecord], attach_id: int
+    ) -> None:
+        """Fold a runner capture into the job trace.
+
+        Top-level spans from *this* process (parentless, or pointing at
+        a parent the capture never saw) are reparented under
+        ``attach_id`` (the lease span); worker-process spans keep their
+        own parent chains — AD808 checks them by window containment.
+        """
+        spans = list(spans)
+        if not spans:
+            return
+        pid = os.getpid()
+        known = {s.span_id for s in spans if s.pid == pid}
+        for span in spans:
+            if attach_id and span.pid == pid and (
+                span.parent_id == 0 or span.parent_id not in known
+            ):
+                span = replace(span, parent_id=attach_id)
+            jt.spans.append(span)
+
+    def _synthesize_root_locked(self, jt: _JobTrace, job: JobRecord) -> None:
+        """Record the ``service.job`` root span (submit → completion)."""
+        tracer = get_tracer()
+        if not (tracer.enabled and jt.root_id):
+            return
+        end_us = tracer.now_us()
+        jt.spans.append(
+            SpanRecord(
+                name="service.job",
+                category="service",
+                start_us=jt.submit_us,
+                duration_us=end_us - jt.submit_us,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=jt.root_id,
+                parent_id=0,
+                args=tuple(
+                    sorted(
+                        {
+                            "job": job.job_id,
+                            "trace": jt.trace_id,
+                            "tenant": job.tenant,
+                            "workload": job.model,
+                            "state": job.state,
+                            "source": job.source,
+                        }.items()
+                    )
+                ),
+            )
+        )
+
+    def _persist_trace_locked(self, jt: _JobTrace, job: JobRecord) -> None:
+        """Write ``traces/<job_id>.json`` (atomic replace; AD808 input)."""
+        if not jt.spans:
+            return
+        path = self.state_dir / "traces" / f"{job.job_id}.json"
+        doc = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "job_id": job.job_id,
+            "trace_id": jt.trace_id,
+            "root_pid": os.getpid(),
+            "spans": [span.to_dict() for span in jt.spans],
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _complete_trace_locked(
+        self, job: JobRecord, spans: Iterable[SpanRecord] = ()
+    ) -> None:
+        """Completion-side trace work shared by done/failed/cancelled."""
+        jt = self._traces.get(job.job_id)
+        if jt is None:
+            return
+        attach = self._close_lease_trace_locked(jt)
+        self._stitch_spans_locked(jt, spans, attach)
+        self._observe_latency("e2e", time.perf_counter() - jt.submit_s)
+        self._tenant_counter(job.tenant, "completed")
+        self._synthesize_root_locked(jt, job)
+        self._persist_trace_locked(jt, job)
+
     # -- transitions (all journal-first) ------------------------------------
 
     def _release(self, job_id: str) -> None:
@@ -581,6 +869,7 @@ class ReproService:
         source: str,
         total_cycles: int | None,
         search_seconds: float,
+        spans: Iterable[SpanRecord] = (),
     ) -> None:
         waiters: list[str] = []
         with self._lock:
@@ -596,6 +885,10 @@ class ReproService:
             self.journal.record("done", done)
             self._jobs[job.job_id] = done
             self._release(job.job_id)
+            self._event("complete", done, state="done", source=source)
+            if source == "search":
+                self._observe_latency("compile_wall", search_seconds)
+            self._complete_trace_locked(done, spans)
             if self._active.get(job.fingerprint) == job.job_id:
                 del self._active[job.fingerprint]
                 waiters = self._waiters.pop(job.job_id, [])
@@ -612,6 +905,10 @@ class ReproService:
                 self.journal.record("done", finished)
                 self._jobs[waiter_id] = finished
                 self._release(waiter_id)
+                self._event(
+                    "complete", finished, state="done", source="coalesced"
+                )
+                self._complete_trace_locked(finished)
             get_registry().counter("service.completed").inc(1 + len(waiters))
 
     def _finish_failed_locked(self, job: JobRecord, error: str) -> None:
@@ -620,6 +917,8 @@ class ReproService:
         self.journal.record("failed", failed)
         self._jobs[job.job_id] = failed
         self._release(job.job_id)
+        self._event("complete", failed, state="failed")
+        self._complete_trace_locked(failed)
         if self._active.get(job.fingerprint) == job.job_id:
             del self._active[job.fingerprint]
             waiters = self._waiters.pop(job.job_id, [])
@@ -633,17 +932,21 @@ class ReproService:
             self.journal.record("failed", finished)
             self._jobs[waiter_id] = finished
             self._release(waiter_id)
+            self._event("complete", finished, state="failed")
+            self._complete_trace_locked(finished)
         get_registry().counter("service.failed").inc(1 + len(waiters))
 
     # -- the service API (one method per wire op) ---------------------------
 
     def submit(self, doc: dict) -> dict:
-        """Admit one request; returns ``{"job_id", "state", "source"}``.
+        """Admit one request; returns ``{"job_id", "state", "source",
+        "trace_id"}``.
 
         Raises:
             ValueError: Malformed request (unknown keys, unknown model).
             AdmissionError: Queue full, tenant over quota, or draining.
         """
+        submit_s = time.perf_counter()
         with self._lock:
             if self._draining or self._closed:
                 raise AdmissionError(
@@ -655,59 +958,52 @@ class ReproService:
         except KeyError as exc:
             raise ValueError(f"unknown model {exc.args[0]!r}") from exc
         registry = get_registry()
-        tracer = get_tracer()
-        with tracer.span(
-            "service.submit", category="service",
-            workload=request.model, tenant=request.tenant,
-        ):
-            cached = self.store.get(fingerprint)
-            with self._wakeup:
-                if self._draining or self._closed:
-                    raise AdmissionError(
-                        "draining",
-                        "daemon is draining; resubmit to its successor",
-                    )
-                job_id = self._ids.next()
-                if cached is not None:
-                    entry = self.store.info(fingerprint)
-                    job = JobRecord(
-                        job_id=job_id,
-                        fingerprint=fingerprint,
-                        model=request.model,
-                        tenant=request.tenant,
-                        request=request.to_dict(),
-                        state="done",
-                        source="cache",
-                        total_cycles=entry.total_cycles if entry else None,
-                        search_seconds=0.0,
-                    )
-                    self.journal.record("done", job)
-                    self._jobs[job_id] = job
-                    registry.counter("service.cache_hits").inc()
-                    return {"job_id": job_id, "state": "done", "source": "cache"}
-                self.admission.admit(request.tenant)  # raises AdmissionError
-                primary = self._active.get(fingerprint)
-                if primary is not None:
-                    job = JobRecord(
-                        job_id=job_id,
-                        fingerprint=fingerprint,
-                        model=request.model,
-                        tenant=request.tenant,
-                        request=request.to_dict(),
-                        state="queued",
-                        source="coalesced",
-                    )
-                    self.journal.record("queued", job)
-                    self._jobs[job_id] = job
-                    self._slots[job_id] = request.tenant
-                    self._waiters.setdefault(primary, []).append(job_id)
-                    registry.counter("service.coalesced").inc()
-                    return {
-                        "job_id": job_id,
-                        "state": "queued",
-                        "source": "coalesced",
-                        "coalesced_with": primary,
-                    }
+        cached = self.store.get(fingerprint)
+        with self._wakeup:
+            if self._draining or self._closed:
+                raise AdmissionError(
+                    "draining",
+                    "daemon is draining; resubmit to its successor",
+                )
+            job_id = self._ids.next()
+            trace_id = self._mint_trace(job_id, fingerprint)
+            self._tenant_counter(request.tenant, "submitted")
+            if cached is not None:
+                entry = self.store.info(fingerprint)
+                job = JobRecord(
+                    job_id=job_id,
+                    fingerprint=fingerprint,
+                    model=request.model,
+                    tenant=request.tenant,
+                    request=request.to_dict(),
+                    state="done",
+                    source="cache",
+                    total_cycles=entry.total_cycles if entry else None,
+                    search_seconds=0.0,
+                    trace_id=trace_id,
+                )
+                self.journal.record("done", job)
+                self._jobs[job_id] = job
+                jt = self._trace_begin(job, submit_s)
+                self._event("submit", job, tenant=job.tenant, source="cache")
+                self._event("complete", job, state="done", source="cache")
+                self._observe_latency(
+                    "cache_hit", time.perf_counter() - submit_s
+                )
+                self._observe_latency("e2e", time.perf_counter() - submit_s)
+                self._tenant_counter(job.tenant, "completed")
+                self._synthesize_root_locked(jt, job)
+                self._persist_trace_locked(jt, job)
+                registry.counter("service.cache_hits").inc()
+                return {
+                    "job_id": job_id,
+                    "state": "done",
+                    "source": "cache",
+                    "trace_id": trace_id,
+                }
+            self.admission.admit(request.tenant)  # raises AdmissionError
+            primary = self._active.get(fingerprint)
+            if primary is not None:
                 job = JobRecord(
                     job_id=job_id,
                     fingerprint=fingerprint,
@@ -715,17 +1011,55 @@ class ReproService:
                     tenant=request.tenant,
                     request=request.to_dict(),
                     state="queued",
-                    source="search",
+                    source="coalesced",
+                    trace_id=trace_id,
                 )
                 self.journal.record("queued", job)
                 self._jobs[job_id] = job
                 self._slots[job_id] = request.tenant
-                self._active[fingerprint] = job_id
-                self._queue.append(job_id)
-                registry.counter("service.submitted").inc()
-                registry.gauge("service.queue_depth").set(len(self._queue))
-                self._wakeup.notify()
-                return {"job_id": job_id, "state": "queued", "source": "search"}
+                self._waiters.setdefault(primary, []).append(job_id)
+                self._trace_begin(job, submit_s)
+                self._event(
+                    "submit",
+                    job,
+                    tenant=job.tenant,
+                    source="coalesced",
+                    coalesced_with=primary,
+                )
+                registry.counter("service.coalesced").inc()
+                return {
+                    "job_id": job_id,
+                    "state": "queued",
+                    "source": "coalesced",
+                    "coalesced_with": primary,
+                    "trace_id": trace_id,
+                }
+            job = JobRecord(
+                job_id=job_id,
+                fingerprint=fingerprint,
+                model=request.model,
+                tenant=request.tenant,
+                request=request.to_dict(),
+                state="queued",
+                source="search",
+                trace_id=trace_id,
+            )
+            self.journal.record("queued", job)
+            self._jobs[job_id] = job
+            self._slots[job_id] = request.tenant
+            self._active[fingerprint] = job_id
+            self._queue.append(job_id)
+            self._trace_begin(job, submit_s)
+            self._event("submit", job, tenant=job.tenant, source="search")
+            registry.counter("service.submitted").inc()
+            registry.gauge("service.queue_depth").set(len(self._queue))
+            self._wakeup.notify()
+            return {
+                "job_id": job_id,
+                "state": "queued",
+                "source": "search",
+                "trace_id": trace_id,
+            }
 
     def status(self, job_id: str) -> dict:
         """The job's current record (raises KeyError on unknown id)."""
@@ -756,6 +1090,7 @@ class ReproService:
             "fingerprint": job.fingerprint,
             "total_cycles": job.total_cycles,
             "source": job.source,
+            "trace_id": job.trace_id,
             "solution_json": payload.decode("utf-8"),
         }
 
@@ -775,6 +1110,8 @@ class ReproService:
             self.journal.record("cancelled", cancelled)
             self._jobs[job_id] = cancelled
             self._release(job_id)
+            self._event("complete", cancelled, state="cancelled")
+            self._complete_trace_locked(cancelled)
             if self._active.get(job.fingerprint) == job_id:
                 # Cancelling a primary promotes nothing: waiters fail
                 # over to their own store check when the runner next
@@ -791,6 +1128,8 @@ class ReproService:
                     self.journal.record("failed", finished)
                     self._jobs[waiter_id] = finished
                     self._release(waiter_id)
+                    self._event("complete", finished, state="failed")
+                    self._complete_trace_locked(finished)
             get_registry().counter("service.cancelled").inc()
             return {"job_id": job_id, "state": "cancelled"}
 
@@ -850,6 +1189,9 @@ class ReproService:
             "queue_depth": queue_depth,
             "leases": leases,
             "lease_stats": lease_stats,
+            "latency": summarize_histograms(
+                snapshot.histograms, prefix=LATENCY_PREFIX
+            ),
             "metrics": snapshot.to_dict(),
         }
 
@@ -864,9 +1206,10 @@ class ReproService:
                 1 for t in self._runner_threads.values() if t.is_alive()
             )
             draining = self._draining
+        snapshot = get_registry().snapshot()
         counters = {
             name: value
-            for name, value in get_registry().snapshot().counters.items()
+            for name, value in snapshot.counters.items()
             if name.split(".")[0]
             in ("service", "store", "admission", "session", "context_cache")
         }
@@ -884,6 +1227,70 @@ class ReproService:
             "admission": self.admission.snapshot(),
             "sessions": len(self.sessions),
             "counters": counters,
+            "latency": summarize_histograms(
+                snapshot.histograms, prefix=LATENCY_PREFIX
+            ),
+        }
+
+    def jobs_summary(self) -> dict:
+        """Queue/lease summary for the HTTP ``/jobs`` endpoint."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            leases = [
+                {
+                    "job_id": lease.job_id,
+                    "runner_id": lease.runner_id,
+                    "lease_seq": lease.lease_seq,
+                    "attempt": lease.attempt,
+                }
+                for _, lease in sorted(self._leases.items())
+            ]
+            return {
+                "protocol": PROTOCOL_VERSION,
+                "queue_depth": len(self._queue),
+                "jobs_by_state": states,
+                "leases": leases,
+                "draining": self._draining,
+            }
+
+    def trace(self, job_id: str) -> dict:
+        """The job's stitched span tree (the ``trace`` wire op).
+
+        In-memory spans win while the daemon that ran the job is alive;
+        after a restart the persisted ``traces/<job_id>.json`` document
+        serves the same tree.  An untraced job returns an empty span
+        list (the trace id is still real).
+
+        Raises:
+            KeyError: Unknown job id.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            jt = self._traces.get(job_id)
+            if jt is not None and jt.spans:
+                return {
+                    "job_id": job_id,
+                    "trace_id": job.trace_id,
+                    "root_pid": os.getpid(),
+                    "spans": [span.to_dict() for span in jt.spans],
+                }
+            trace_id = job.trace_id
+        path = self.state_dir / "traces" / f"{job_id}.json"
+        if path.exists():
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            return {
+                "job_id": job_id,
+                "trace_id": doc.get("trace_id") or trace_id,
+                "root_pid": doc.get("root_pid"),
+                "spans": doc.get("spans", []),
+            }
+        return {
+            "job_id": job_id,
+            "trace_id": trace_id,
+            "root_pid": None,
+            "spans": [],
         }
 
 
@@ -901,6 +1308,7 @@ _OPS = frozenset(
         "jobs",
         "stats",
         "health",
+        "trace",
         "drain",
         "shutdown",
     }
@@ -929,6 +1337,8 @@ def _handle_op(service: ReproService, request: dict) -> dict:
             return {"ok": True, "stats": service.stats()}
         if op == "health":
             return {"ok": True, "health": service.health()}
+        if op == "trace":
+            return {"ok": True, **service.trace(_job_id(request))}
         if op == "drain":
             timeout_s = request.get("timeout_s", 60.0)
             if timeout_s is not None and not isinstance(timeout_s, (int, float)):
@@ -964,6 +1374,7 @@ def serve(
     service: ReproService,
     socket_path: str | os.PathLike,
     drain_timeout_s: float | None = 60.0,
+    metrics_port: int | None = None,
 ) -> None:
     """Run the wire front end until ``shutdown``/``drain``/SIGTERM (blocking).
 
@@ -972,6 +1383,12 @@ def serve(
     When running on the main thread, SIGTERM triggers a graceful drain
     (stop admitting, journal in-flight jobs, exit) bounded by
     ``drain_timeout_s``.
+
+    ``metrics_port`` (``repro serve --metrics-port``) additionally
+    starts the read-only HTTP exporter
+    (:class:`repro.service.metrics_http.MetricsHTTPServer`) on
+    ``127.0.0.1:<port>`` — ``/metrics`` (Prometheus), ``/healthz``,
+    ``/jobs``.
 
     Raises:
         ValueError: ``socket_path`` exceeds the platform ``sun_path``
@@ -1027,10 +1444,19 @@ def serve(
     if on_main_thread:
         previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
     service.start()
+    exporter = None
+    if metrics_port is not None:
+        from repro.service.metrics_http import MetricsHTTPServer
+
+        exporter = MetricsHTTPServer(service, port=metrics_port)
+        exporter.start()
+        _log.info("metrics exporter on http://127.0.0.1:%d", exporter.port)
     _log.info("serving on %s (state %s)", socket_path, service.state_dir)
     try:
         server.serve_forever()
     finally:
+        if exporter is not None:
+            exporter.stop()
         if on_main_thread and previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()
@@ -1039,4 +1465,4 @@ def serve(
             os.unlink(socket_path)
 
 
-__all__ = ["PROTOCOL_VERSION", "ReproService", "serve"]
+__all__ = ["LATENCY_PREFIX", "PROTOCOL_VERSION", "ReproService", "serve"]

@@ -1,0 +1,359 @@
+"""Structured service event log + per-job trace document formats.
+
+The daemon appends one JSON line to ``events.jsonl`` for every
+externally meaningful thing that happens to a job — ``submit``,
+``lease``, ``requeue``/``reclaim``, ``complete`` — each carrying the
+job's ``trace_id``, a strictly increasing ``seq``, and kind-specific
+fields (tenant, runner, attempt, reason...).  The log follows the same
+journal discipline as :class:`~repro.service.jobs.JobJournal`: a header
+line, flush + fsync per append, and a torn final line truncated on
+reopen.
+
+The log is *derived* observability data; the job journal stays the
+source of truth.  Their agreement is a checkable invariant (AD807 in
+:mod:`repro.analysis.service_rules`): the per-job event-kind sequence
+must equal the sequence implied by the journal's state transitions.
+:func:`expected_events` computes that implied sequence, and
+:meth:`EventLog.reconcile` repairs the log on restart — a daemon killed
+between a journal append and the matching event append (or by an
+injected ``torn-events`` fault) reopens the log, truncates the torn
+tail, and appends the missing events flagged ``"recovered": true`` —
+so a restarted daemon is always AD807-clean.
+
+This module also pins the on-disk format of per-job trace documents
+(``traces/<job_id>.json``), validated by AD808.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Any, Mapping
+
+from repro.resilience.faults import InjectedRunnerDeath, ServiceFaultPlan
+
+#: Format tag in the event-log header.
+EVENTS_FORMAT = "atomic-dataflow-service-events"
+EVENTS_VERSION = 1
+
+#: Format tag of a persisted per-job trace document.
+TRACE_FORMAT = "atomic-dataflow-job-trace"
+TRACE_VERSION = 1
+
+#: Every event kind the daemon emits, in rough lifecycle order.
+EVENT_KINDS = ("submit", "lease", "requeue", "reclaim", "complete")
+
+#: Kinds that mean "the job went back to the queue" — a supervisor
+#: reclaim and an ordinary requeue (retry, drain, restart) are the same
+#: transition in the job journal, so AD807 matches them as one class.
+REQUEUE_KINDS = frozenset({"requeue", "reclaim"})
+
+
+class EventLogError(ValueError):
+    """The event log on disk cannot be used."""
+
+
+def event_class(kind: str) -> str:
+    """The journal-agreement class of an event kind (see AD807)."""
+    return "requeue" if kind in REQUEUE_KINDS else kind
+
+
+class EventLog:
+    """Append-only JSONL log of service events (journal discipline).
+
+    Usage::
+
+        log = EventLog(path)
+        events = log.open()                   # replayed whole lines
+        log.append("submit", "job-000001", trace_id="tr-...", tenant="a")
+        log.close()
+
+    ``faults`` arms the ``torn-events`` chaos fault: one append writes
+    only a prefix of its line and the log closes — the appending thread
+    dies with :class:`~repro.resilience.faults.InjectedRunnerDeath`,
+    and a reopen on the same path must truncate the torn tail.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        faults: ServiceFaultPlan | None = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.faults = faults
+        self.header: dict[str, Any] = {}
+        self._fh: io.TextIOBase | None = None
+        self._seq = 0
+        self._events: list[dict[str, Any]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True when the log cannot accept appends (never opened,
+        explicitly closed, or killed by an injected torn write)."""
+        return self._fh is None
+
+    def open(
+        self, header_extras: Mapping[str, Any] | None = None
+    ) -> list[dict[str, Any]]:
+        """Open for appending; return every replayed event.
+
+        An existing log has its torn final line (if any) truncated and
+        the ``seq`` counter resumed past the highest replayed value.
+        """
+        fresh = not os.path.exists(self.path)
+        if not fresh:
+            self._load()
+            if self._keep_bytes is not None:
+                with open(self.path, "r+b") as raw:
+                    raw.truncate(self._keep_bytes)
+        self._fh = open(self.path, "a" if not fresh else "w", encoding="utf-8")
+        if fresh:
+            self.header = {"format": EVENTS_FORMAT, "version": EVENTS_VERSION}
+            for key, value in sorted((header_extras or {}).items()):
+                self.header.setdefault(key, value)
+            self._write_line_text(json.dumps(self.header, sort_keys=True))
+        return list(self._events)
+
+    def close(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            fh.close()
+
+    # -- appends -----------------------------------------------------------
+
+    def append(
+        self,
+        kind: str,
+        job_id: str,
+        trace_id: str | None = None,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """Durably append one event; returns the written record."""
+        if self._fh is None:
+            raise RuntimeError("event log is not open")
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        self._seq += 1
+        event: dict[str, Any] = {
+            "seq": self._seq,
+            "kind": kind,
+            "job_id": job_id,
+            "trace_id": trace_id,
+        }
+        for key, value in fields.items():
+            if value is not None:
+                event[key] = value
+        line = json.dumps(event, sort_keys=True)
+        if self.faults is not None and self.faults.take("torn-events") is not None:
+            fh, self._fh = self._fh, None  # the log dies with the write
+            fh.write(line[: max(1, len(line) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            fh.close()
+            raise InjectedRunnerDeath(
+                f"injected torn event append @ {kind} {job_id}"
+            )
+        self._write_line_text(line)
+        self._events.append(event)
+        return event
+
+    def _write_line_text(self, line: str) -> None:
+        assert self._fh is not None
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    # -- replay ------------------------------------------------------------
+
+    def _load(self) -> None:
+        self._keep_bytes: int | None = None
+        header, events, keep_bytes = _read_event_lines(self.path)
+        self.header = header
+        self._events = events
+        self._keep_bytes = keep_bytes
+        self._seq = max((int(e.get("seq", 0)) for e in events), default=0)
+
+    # -- restart reconciliation --------------------------------------------
+
+    def reconcile(self, journal_path: str | os.PathLike) -> int:
+        """Append events the job journal implies but the log is missing.
+
+        For every job whose actual event-kind sequence is a strict
+        prefix (class-wise) of the journal-implied one, the missing
+        suffix is appended with ``"recovered": true``.  A log that
+        *diverges* from the journal (not a prefix) is left alone —
+        that is corruption for AD807 to flag, not a crash window to
+        repair.  Returns the number of events appended.
+        """
+        if self._fh is None:
+            raise RuntimeError("event log is not open")
+        expected = expected_events(journal_path)
+        actual: dict[str, list[dict[str, Any]]] = {}
+        for event in self._events:
+            actual.setdefault(str(event.get("job_id")), []).append(event)
+        appended = 0
+        for job_id in sorted(expected):
+            exp = expected[job_id]
+            act = actual.get(job_id, [])
+            if len(act) >= len(exp):
+                continue
+            prefix_ok = all(
+                event_class(str(a.get("kind"))) == e["kind"]
+                for a, e in zip(act, exp)
+            )
+            if not prefix_ok:
+                continue
+            for entry in exp[len(act):]:
+                self.append(
+                    entry["kind"],
+                    job_id,
+                    trace_id=entry.get("trace_id"),
+                    state=entry.get("state"),
+                    recovered=True,
+                )
+                appended += 1
+        return appended
+
+
+def read_events(
+    path: str | os.PathLike,
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read an event log: ``(header, events)``, torn tail tolerated.
+
+    Raises:
+        EventLogError: Missing/alien header or a corrupt non-final line.
+    """
+    header, events, _ = _read_event_lines(path)
+    return header, events
+
+
+def _read_event_lines(
+    path: str | os.PathLike,
+) -> tuple[dict[str, Any], list[dict[str, Any]], int | None]:
+    path = os.fspath(path)
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise EventLogError(f"{path}: empty event log")
+    header = _parse_line(path, lines[0], line_no=1, final=False)
+    if header is None or header.get("format") != EVENTS_FORMAT:
+        raise EventLogError(f"{path}: not a {EVENTS_FORMAT} log")
+    if header.get("version") != EVENTS_VERSION:
+        raise EventLogError(
+            f"{path}: unsupported event log version "
+            f"{header.get('version')!r} (expected {EVENTS_VERSION})"
+        )
+    events: list[dict[str, Any]] = []
+    keep_bytes: int | None = None
+    last = len(lines) - 1
+    for i, line in enumerate(lines[1:], start=1):
+        obj = _parse_line(path, line, line_no=i + 1, final=i == last)
+        if obj is None:
+            # Torn final write of a killed daemon: compute the byte
+            # offset of the last whole line so open() can truncate.
+            keep = text
+            if keep.endswith("\n"):
+                keep = keep[:-1]
+            keep = keep[: len(keep) - len(lines[last])]
+            keep_bytes = len(keep.encode("utf-8"))
+            continue
+        events.append(obj)
+    return header, events, keep_bytes
+
+
+def _parse_line(
+    path: str, line: str, line_no: int, final: bool
+) -> dict[str, Any] | None:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError:
+        obj = None
+    if isinstance(obj, dict):
+        return obj
+    if final:
+        return None
+    raise EventLogError(
+        f"{path}:{line_no}: not a JSON object — corrupt event log"
+    )
+
+
+def expected_events(
+    journal_path: str | os.PathLike,
+) -> dict[str, list[dict[str, Any]]]:
+    """The per-job event sequence a job journal implies (AD807's oracle).
+
+    Walks every journal line in order and maps state transitions to
+    event-kind classes:
+
+    * a job's first record in state ``queued`` → ``submit``;
+    * a first record already ``done`` (store hit at submit) →
+      ``submit`` then ``complete``;
+    * a later ``queued`` record → ``requeue`` (reclaim, retry, drain,
+      or restart — one class, see :func:`event_class`);
+    * a ``running`` record → ``lease``;
+    * a later terminal record → ``complete``.
+
+    Returns ``{job_id: [{"kind", "state", "trace_id"}, ...]}``.  A torn
+    final journal line is skipped (its event was never emitted either —
+    the daemon appends journal-first).  Journal headers/versions are
+    not validated here; that is AD802's job.
+    """
+    journal_path = os.fspath(journal_path)
+    with open(journal_path, encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    expected: dict[str, list[dict[str, Any]]] = {}
+    last = len(lines) - 1
+    for i, line in enumerate(lines[1:], start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if i == last:
+                continue  # torn tail: no event was emitted for it
+            raise EventLogError(
+                f"{journal_path}:{i + 1}: corrupt job journal line"
+            ) from None
+        job = obj.get("job", {}) if isinstance(obj, dict) else {}
+        job_id = job.get("job_id")
+        state = job.get("state")
+        if not isinstance(job_id, str) or state is None:
+            continue
+        entry = {
+            "state": state,
+            "trace_id": job.get("trace_id"),
+        }
+        seen = expected.setdefault(job_id, [])
+        if not seen:
+            seen.append({"kind": "submit", **entry})
+            if state in ("done", "failed", "cancelled"):
+                seen.append({"kind": "complete", **entry})
+            continue
+        if state == "queued":
+            seen.append({"kind": "requeue", **entry})
+        elif state == "running":
+            seen.append({"kind": "lease", **entry})
+        else:
+            seen.append({"kind": "complete", **entry})
+    return expected
+
+
+__all__ = [
+    "EVENTS_FORMAT",
+    "EVENTS_VERSION",
+    "EVENT_KINDS",
+    "REQUEUE_KINDS",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "EventLog",
+    "EventLogError",
+    "event_class",
+    "expected_events",
+    "read_events",
+]

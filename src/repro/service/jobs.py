@@ -36,12 +36,12 @@ from repro.resilience.faults import InjectedRunnerDeath, ServiceFaultPlan
 #: Format tag in the job-journal header; bump the version on any
 #: record-shape change.
 JOB_FORMAT = "atomic-dataflow-job-journal"
-JOB_VERSION = 2
+JOB_VERSION = 3
 
 #: Journal versions :meth:`JobJournal.open` still replays (version-1
-#: records simply lack the lease fields, which default to "never
-#: leased").
-_READABLE_VERSIONS = (1, JOB_VERSION)
+#: records lack the lease fields, which default to "never leased";
+#: version-2 records lack ``trace_id``, which defaults to None).
+_READABLE_VERSIONS = (1, 2, JOB_VERSION)
 
 #: Every legal job state, in lifecycle order.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -64,6 +64,7 @@ _RECORD_KEYS = frozenset(
         "lease_seq",
         "attempt",
         "runner_id",
+        "trace_id",
     }
 )
 
@@ -99,6 +100,10 @@ class JobRecord:
         runner_id: Runner holding the live lease.  Cleared (None) when
             a reclaim/drain journals the job back to ``queued``; kept
             on terminal records as the runner that finished the job.
+        trace_id: Request trace id minted at submit time (journal v3);
+            deterministic (derived from the job id and fingerprint, no
+            clocks or randomness), carried on every wire response and
+            into the per-job span tree.  None on pre-v3 records.
     """
 
     job_id: str
@@ -114,6 +119,7 @@ class JobRecord:
     lease_seq: int = 0
     attempt: int = 0
     runner_id: str | None = None
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -144,6 +150,7 @@ class JobRecord:
             "lease_seq": self.lease_seq,
             "attempt": self.attempt,
             "runner_id": self.runner_id,
+            "trace_id": self.trace_id,
         }
 
     @classmethod

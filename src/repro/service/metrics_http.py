@@ -1,0 +1,147 @@
+"""Read-only HTTP observability exporter for the compile service.
+
+``repro serve --metrics-port N`` runs this next to the Unix-socket wire
+front end: a stdlib :class:`http.server.ThreadingHTTPServer` on
+``127.0.0.1`` whose three endpoints expose daemon state without any
+ability to mutate it:
+
+* ``GET /metrics`` — the live metrics registry rendered in Prometheus
+  text exposition format (version 0.0.4) via
+  :func:`repro.obs.prom.render_prometheus`;
+* ``GET /healthz`` — :meth:`ReproService.health` as JSON (the same
+  document ``repro jobs --health`` prints);
+* ``GET /jobs`` — :meth:`ReproService.jobs_summary` as JSON: queue
+  depth, per-state job counts, and active leases.
+
+Every handler reads a consistent snapshot under the owning lock
+(registry lock for ``/metrics``, service lock for the JSON endpoints),
+so scraping concurrently with job completion never observes a
+half-merged histogram — the regression test hammers exactly that.
+
+Zero dependencies beyond the standard library; GETs only (anything
+else is 405, unknown paths 404).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.prom import render_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.daemon import ReproService
+
+_log = get_logger("service.metrics_http")
+
+#: Content type mandated by the Prometheus text exposition format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """The ``/metrics`` + ``/healthz`` + ``/jobs`` exporter thread.
+
+    Usage::
+
+        exporter = MetricsHTTPServer(service, port=0)  # 0 = ephemeral
+        exporter.start()
+        ...  # scrape http://127.0.0.1:{exporter.port}/metrics
+        exporter.stop()
+
+    Binding happens in ``__init__`` so :attr:`port` is always the real
+    bound port — tests pass ``port=0`` and read it back.
+    """
+
+    def __init__(
+        self,
+        service: "ReproService",
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.service = service
+        handler = _make_handler(service)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (resolves ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("exporter already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+
+def _make_handler(service: "ReproService") -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        # Scrapes are high-frequency; route their access log to debug.
+        def log_message(self, format: str, *args: Any) -> None:
+            _log.debug("%s %s", self.address_string(), format % args)
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            try:
+                if path == "/metrics":
+                    body = render_prometheus(get_registry().snapshot())
+                    self._reply(200, PROM_CONTENT_TYPE, body)
+                elif path == "/healthz":
+                    self._reply_json(200, service.health())
+                elif path == "/jobs":
+                    self._reply_json(200, service.jobs_summary())
+                else:
+                    self._reply_json(404, {"error": f"no such path {path!r}"})
+            except Exception as exc:  # never kill the exporter thread
+                _log.warning("exporter error on %s: %s", path, exc)
+                try:
+                    self._reply_json(500, {"error": str(exc)})
+                except OSError:
+                    pass  # client hung up mid-reply
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            self._reply_json(405, {"error": "read-only exporter"})
+
+        do_PUT = do_POST
+        do_DELETE = do_POST
+
+        def _reply_json(self, status: int, obj: dict[str, Any]) -> None:
+            self._reply(
+                status,
+                "application/json; charset=utf-8",
+                json.dumps(obj, sort_keys=True) + "\n",
+            )
+
+        def _reply(self, status: int, content_type: str, body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+    return Handler
+
+
+__all__ = ["PROM_CONTENT_TYPE", "MetricsHTTPServer"]

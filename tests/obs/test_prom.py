@@ -1,0 +1,156 @@
+"""Tests for the Prometheus text exposition (render + parse + races)."""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+GOLDEN = Path(__file__).parent.parent / "fixtures" / "prometheus_golden.txt"
+
+
+def sample_registry() -> MetricsRegistry:
+    """The deterministic registry behind the golden-file test."""
+    reg = MetricsRegistry()
+    reg.counter("service.searches").inc(3)
+    reg.counter("9starts.with-digit").inc()
+    reg.gauge("queue.depth").set(2)
+    h = reg.histogram("service.latency.e2e", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    reg.histogram("service.latency.cache_hit", buckets=(0.1, 1.0, 10.0))
+    return reg
+
+
+class TestSanitization:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("service.latency.e2e") == (
+            "service_latency_e2e"
+        )
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("a_b:c123") == "a_b:c123"
+
+    def test_dashes_and_spaces(self):
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+
+
+class TestRender:
+    def test_matches_golden_file(self):
+        rendered = render_prometheus(sample_registry().snapshot())
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        page = render_prometheus(sample_registry().snapshot())
+        buckets = []
+        for line in page.splitlines():
+            if line.startswith("service_latency_e2e_bucket"):
+                buckets.append(float(line.rsplit(" ", 1)[1]))
+            if line.startswith("service_latency_e2e_count"):
+                count = float(line.rsplit(" ", 1)[1])
+        assert buckets == sorted(buckets), "bucket counts must be cumulative"
+        assert buckets[-1] == count, '+Inf bucket must equal _count'
+
+    def test_every_family_has_type_and_help(self):
+        page = render_prometheus(sample_registry().snapshot())
+        lines = page.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                assert lines[i - 1].startswith("# HELP ")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestRoundTrip:
+    def test_scraped_page_parses_back_to_same_totals(self):
+        snapshot = sample_registry().snapshot()
+        parsed = parse_prometheus(render_prometheus(snapshot))
+        assert parsed.counters == snapshot.counters
+        assert parsed.gauges == snapshot.gauges
+        assert set(parsed.histograms) == set(snapshot.histograms)
+        for name, state in snapshot.histograms.items():
+            got = parsed.histograms[name]
+            # max is not representable in the exposition format, so the
+            # round-trip contract covers totals, bounds, and counts.
+            assert got["count"] == state["count"]
+            assert got["sum"] == pytest.approx(state["sum"])
+            assert tuple(got["bounds"]) == tuple(state["bounds"])
+            assert list(got["counts"]) == list(state["counts"])
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("!!! not a metric line")
+
+
+class TestScrapeVsMergeRace:
+    def test_concurrent_scrapes_see_whole_merges(self):
+        """8 scraper threads race worker merges; every page is coherent.
+
+        The regression this pins: ``MetricsRegistry.merge`` folding a
+        worker snapshot bucket-by-bucket outside the lock let a scrape
+        observe a histogram whose bucket counts did not sum to its
+        ``count``.
+        """
+        reg = MetricsRegistry()
+
+        worker = MetricsRegistry()
+        worker.counter("service.searches").inc()
+        wh = worker.histogram("service.latency.e2e", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            wh.observe(v)
+        worker_snapshot = worker.snapshot()
+
+        rounds = 200
+        stop = threading.Event()
+        problems: list[str] = []
+
+        def merger():
+            for _ in range(rounds):
+                reg.merge(worker_snapshot)
+
+        def scraper():
+            while not stop.is_set():
+                page = render_prometheus(reg.snapshot())
+                if not page:
+                    continue
+                parsed = parse_prometheus(page)
+                for name, state in parsed.histograms.items():
+                    if sum(state["counts"]) != state["count"]:
+                        problems.append(
+                            f"{name}: buckets sum to "
+                            f"{sum(state['counts'])}, count says "
+                            f"{state['count']}"
+                        )
+                searches = parsed.counters.get("service.searches", 0)
+                e2e = parsed.histograms.get("service.latency.e2e", {})
+                if e2e and e2e["count"] != 3 * searches:
+                    problems.append(
+                        f"torn merge visible: {searches} merges but "
+                        f"{e2e['count']} observations"
+                    )
+
+        scrapers = [threading.Thread(target=scraper) for _ in range(8)]
+        mergers = [threading.Thread(target=merger) for _ in range(2)]
+        for t in scrapers + mergers:
+            t.start()
+        for t in mergers:
+            t.join()
+        stop.set()
+        for t in scrapers:
+            t.join()
+        assert not problems, problems[:5]
+        final = reg.snapshot()
+        assert final.counters["service.searches"] == 2 * rounds
+        assert final.histograms["service.latency.e2e"]["count"] == 6 * rounds

@@ -4,20 +4,32 @@ Each scenario arms one :class:`ServiceFaultPlan`, drives the service (or
 the full unix-socket daemon for wire faults) through the fault, and
 asserts the two halves of the determinism contract: no job is lost or
 completed twice, and every completed result is byte-identical to the
-fault-free ``repro optimize`` answer.  After each scenario the job
-journal must satisfy the AD802/AD804-806 validators.
+fault-free ``repro optimize`` answer.  After each scenario the full
+state dir must satisfy the AD802/AD804-808 validators — job journal,
+event log, and persisted traces alike.
+
+Every scenario runs *traced* (the ``repro serve`` production mode), so
+the whole fault matrix doubles as proof that tracing never perturbs
+recovery or results.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 
 import pytest
 
 from repro.analysis.service_rules import check_service_state
-from repro.obs import get_registry
+from repro.obs import disable_tracing, enable_tracing, get_registry
+from repro.obs.prom import parse_prometheus
 from repro.resilience.faults import ServiceFaultPlan, ServiceFaultSpec
-from repro.service import AdmissionError, ReproService
+from repro.service import (
+    AdmissionError,
+    MetricsHTTPServer,
+    ReproService,
+    read_events,
+)
 from tests.service.conftest import DaemonHarness
 from tests.service.test_daemon import _direct_bytes, _drain, _request
 
@@ -26,6 +38,14 @@ FAST_SUPERVISION = dict(
     retry_backoff_s=0.001,
     supervise_interval_s=0.02,
 )
+
+
+@pytest.fixture(autouse=True)
+def _traced_chaos():
+    """Chaos runs traced: fault recovery must not depend on tracing off."""
+    enable_tracing()
+    yield
+    disable_tracing()
 
 
 def _assert_journal_clean(state_dir) -> None:
@@ -49,6 +69,26 @@ class TestKillRunner:
         service = ReproService(
             short_dir / "state", faults=plan, **FAST_SUPERVISION
         )
+        # Scrape /metrics continuously through the kill-and-reclaim: the
+        # exporter must stay coherent under a daemon in active recovery.
+        exporter = MetricsHTTPServer(service, port=0)
+        exporter.start()
+        scrape_stop = threading.Event()
+        scrape_problems: list[str] = []
+
+        def scrape_loop():
+            import urllib.request
+
+            url = f"http://127.0.0.1:{exporter.port}/metrics"
+            while not scrape_stop.is_set():
+                with urllib.request.urlopen(url, timeout=10) as resp:
+                    body = resp.read().decode("utf-8")
+                for name, state in parse_prometheus(body).histograms.items():
+                    if sum(state["counts"]) != state["count"]:
+                        scrape_problems.append(f"torn scrape of {name}")
+
+        scraper = threading.Thread(target=scrape_loop)
+        scraper.start()
         try:
             job_id = service.submit(request.to_dict())["job_id"]
             service.start()
@@ -62,7 +102,11 @@ class TestKillRunner:
             assert counters["service.runner.respawned"] >= 1
             assert counters["service.lease.retries"] >= 1
         finally:
+            scrape_stop.set()
+            scraper.join(timeout=30)
+            exporter.stop()
             service.stop()
+        assert not scrape_problems, scrape_problems[:5]
         _assert_journal_clean(short_dir / "state")
 
     def test_permanent_kill_exhausts_retries_into_failed(
@@ -134,6 +178,43 @@ class TestTornJournal:
         finally:
             revived.stop()
         _assert_journal_clean(short_dir / "state")
+
+
+class TestTornEvents:
+    def test_torn_event_append_kills_daemon_restart_reconciles(
+        self, short_dir, arch
+    ):
+        request = _request(arch=arch)
+        expected = _direct_bytes(request)
+        # Arrivals at the torn-events point: the submit event is 0, the
+        # lease event is 1 — tear the lease event on the runner thread.
+        plan = ServiceFaultPlan.single("torn-events", index=1)
+        killed = ReproService(
+            short_dir / "state", faults=plan, **FAST_SUPERVISION
+        )
+        job_id = killed.submit(request.to_dict())["job_id"]
+        killed.start()
+        _wait_until(lambda: killed.events.closed, what="injected event tear")
+        killed.stop()
+        assert plan.fired_count("torn-events") == 1
+
+        # The journal got its "running" record (journal-first), so the
+        # restart requeues the job AND reconciles the missing lease
+        # event into the truncated log before serving.
+        revived = ReproService(short_dir / "state", **FAST_SUPERVISION)
+        try:
+            assert revived.status(job_id)["state"] == "queued"
+            revived.start()
+            job = _drain(revived, job_id)
+            assert job["state"] == "done"
+            assert revived.result(job_id)["solution_json"].encode() == expected
+        finally:
+            revived.stop()
+        _, events = read_events(short_dir / "state" / "events.jsonl")
+        assert any(
+            e["kind"] == "lease" and e.get("recovered") for e in events
+        ), "restart must reconcile the torn lease event"
+        _assert_journal_clean(short_dir / "state")  # AD807 over the log
 
 
 class TestCorruptStore:

@@ -18,6 +18,14 @@ The determinism contract is asserted here, not just reported: the served
 solution document must be bit-identical to what the same
 ``repro optimize`` invocation produces in-process.  ``BENCH_serve.json``
 records the latencies, speedups, and store hit ratio for CI history.
+
+The daemon runs in production mode — traced, with the ``/metrics``
+exporter attached — so the smoke run also exercises the observability
+plane: ``/metrics`` is scraped *while the cold search runs*, the
+exposition must parse back coherently, ``service.latency.e2e`` must
+count exactly the completed jobs, and the estimated tracing overhead
+must stay under :data:`MAX_TRACING_OVERHEAD`.  Those measurements land
+in ``BENCH_obs_serve.json``.
 """
 
 from __future__ import annotations
@@ -25,10 +33,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
 import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -39,12 +49,15 @@ from repro.framework import (  # noqa: E402
     OptimizerOptions,
 )
 from repro.models import get_model  # noqa: E402
+from repro.obs.prom import parse_prometheus  # noqa: E402
+from repro.obs.tracer import enable_tracing, get_tracer  # noqa: E402
 from repro.serialize import (  # noqa: E402
     canonical_solution_bytes,
     solution_to_dict,
 )
 from repro.service import (  # noqa: E402
     CompileRequest,
+    MetricsHTTPServer,
     ReproService,
     ServeClient,
     serve,
@@ -57,6 +70,9 @@ MODEL = "resnet50"
 #: byte-identical document at least this much faster than the cold search.
 MIN_HIT_SPEEDUP = 100.0
 
+#: Tracing must cost less than this fraction of the cold search wall.
+MAX_TRACING_OVERHEAD = 0.05
+
 
 class Daemon:
     """A real daemon (runner + unix-socket front end) on a state dir."""
@@ -66,10 +82,18 @@ class Daemon:
         self.socket_path = str(state_dir / "repro.sock")
         self.client = ServeClient(self.socket_path, timeout_s=1800.0)
         self.service: ReproService | None = None
+        self.exporter: MetricsHTTPServer | None = None
         self.thread: threading.Thread | None = None
+
+    @property
+    def metrics_port(self) -> int:
+        assert self.exporter is not None
+        return self.exporter.port
 
     def start(self) -> "Daemon":
         self.service = ReproService(self.state_dir / "state")
+        self.exporter = MetricsHTTPServer(self.service, port=0)
+        self.exporter.start()
         self.thread = threading.Thread(
             target=serve, args=(self.service, self.socket_path), daemon=True
         )
@@ -88,6 +112,9 @@ class Daemon:
         self.thread.join(timeout=60)
         if self.thread.is_alive():
             raise RuntimeError("daemon did not stop")
+        assert self.exporter is not None
+        self.exporter.stop()
+        self.exporter = None
         self.thread = None
         self.service = None
 
@@ -102,6 +129,25 @@ def timed_submit(daemon: Daemon, request: CompileRequest) -> tuple[dict, float]:
     return result, time.perf_counter() - t0
 
 
+def scrape(port: int, path: str) -> tuple[str, float]:
+    """GET one exporter endpoint; returns (body, wall seconds)."""
+    url = f"http://127.0.0.1:{port}{path}"
+    t0 = time.perf_counter()
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        body = resp.read().decode("utf-8")
+    return body, time.perf_counter() - t0
+
+
+def per_span_cost_s(samples: int = 20_000) -> float:
+    """Microbenched wall cost of recording one traced span."""
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        with tracer.span("bench.noop", category="bench"):
+            pass
+    return (time.perf_counter() - t0) / samples
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--restarts", type=int, default=8)
@@ -109,7 +155,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default="BENCH_serve.json", help="output JSON path"
     )
+    parser.add_argument(
+        "--obs-out",
+        default="BENCH_obs_serve.json",
+        help="observability report JSON path",
+    )
     args = parser.parse_args(argv)
+
+    # Production mode: the daemon serves traced with /metrics attached.
+    enable_tracing()
 
     options = OptimizerOptions(restarts=args.restarts, seed=args.seed, jobs=1)
     pinned = CompileRequest(model=MODEL, arch=DEFAULT_ARCH, options=options)
@@ -132,12 +186,37 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     failures: list[str] = []
+    scrape_ms: list[float] = []
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
         daemon = Daemon(Path(tmp)).start()
 
-        cold_result, cold_wall = timed_submit(daemon, pinned)
+        # Scrape /metrics continuously while the cold search runs: the
+        # exporter must answer mid-compile and every page must cohere.
+        scrape_stop = threading.Event()
+
+        def scrape_loop() -> None:
+            while not scrape_stop.is_set():
+                try:
+                    body, wall = scrape(daemon.metrics_port, "/metrics")
+                    scrape_ms.append(wall * 1000.0)
+                    for name, state in parse_prometheus(body).histograms.items():
+                        if sum(state["counts"]) != state["count"]:
+                            failures.append(f"torn mid-run scrape of {name}")
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(f"mid-run scrape failed: {exc!r}")
+                time.sleep(0.05)
+
+        scraper = threading.Thread(target=scrape_loop, daemon=True)
+        scraper.start()
+        try:
+            cold_result, cold_wall = timed_submit(daemon, pinned)
+        finally:
+            scrape_stop.set()
+            scraper.join(timeout=30)
         if cold_result["solution_json"].encode() != direct_bytes:
             failures.append("served cold compile != direct optimize (bytes)")
+        if not scrape_ms:
+            failures.append("no /metrics scrape completed during cold search")
 
         _, warm_wall = timed_submit(daemon, warm_probe)
 
@@ -151,6 +230,30 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"cache-hit speedup {hit_speedup:.0f}x < {MIN_HIT_SPEEDUP:.0f}x"
             )
+
+        # The exposition contract after three completed jobs: the e2e
+        # latency histogram must count exactly the jobs /jobs calls done.
+        metrics_body, metrics_wall = scrape(daemon.metrics_port, "/metrics")
+        scrape_ms.append(metrics_wall * 1000.0)
+        e2e = parse_prometheus(metrics_body).histograms.get(
+            "service.latency.e2e"
+        )
+        e2e_count = e2e["count"] if e2e else 0
+        jobs_doc = json.loads(scrape(daemon.metrics_port, "/jobs")[0])
+        done_jobs = jobs_doc["jobs_by_state"].get("done", 0)
+        if e2e_count != done_jobs:
+            failures.append(
+                f"service.latency.e2e count {e2e_count} != "
+                f"{done_jobs} completed jobs"
+            )
+        health_doc = json.loads(scrape(daemon.metrics_port, "/healthz")[0])
+        if not all(r["alive"] for r in health_doc.get("runners", [])):
+            failures.append("/healthz reported a dead runner")
+
+        # The cold job's stitched span tree sizes the overhead estimate.
+        trace_spans = len(daemon.client.trace(cold_result["job_id"])["spans"])
+        if not trace_spans:
+            failures.append("traced daemon produced no spans for cold job")
 
         stats = daemon.client.stats()
         daemon.stop()
@@ -188,17 +291,66 @@ def main(argv: list[str] | None = None) -> int:
         "counters": counters,
     }
 
+    # Traced-vs-untraced overhead: the spans the cold job actually
+    # recorded, priced at the microbenched per-span cost, against the
+    # cold search wall.  Direct A/B timing of two full searches would
+    # drown in search-time variance; this estimate is deterministic.
+    span_cost = per_span_cost_s()
+    traced_overhead = (
+        trace_spans * span_cost / cold_wall if cold_wall > 0 else 0.0
+    )
+    if traced_overhead >= MAX_TRACING_OVERHEAD:
+        failures.append(
+            f"tracing overhead {traced_overhead:.1%} >= "
+            f"{MAX_TRACING_OVERHEAD:.0%} of cold search wall"
+        )
+
+    obs_report = {
+        "benchmark": "obs-serve-smoke",
+        "model": MODEL,
+        "restarts": args.restarts,
+        "seed": args.seed,
+        "scrape_samples": len(scrape_ms),
+        "scrape_latency_ms": {
+            "mean": round(statistics.fmean(scrape_ms), 3),
+            "p95": round(
+                sorted(scrape_ms)[int(0.95 * (len(scrape_ms) - 1))], 3
+            ),
+            "max": round(max(scrape_ms), 3),
+        } if scrape_ms else None,
+        "e2e_histogram_count": e2e_count,
+        "completed_jobs": done_jobs,
+        "cold_trace_spans": trace_spans,
+        "per_span_cost_us": round(span_cost * 1e6, 3),
+        "traced_overhead_fraction": round(traced_overhead, 6),
+        "max_overhead_fraction": MAX_TRACING_OVERHEAD,
+    }
+
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
+        f.write("\n")
+    with open(args.obs_out, "w") as f:
+        json.dump(obs_report, f, indent=2)
         f.write("\n")
     print(
         f"{MODEL} restarts={args.restarts}: cold {cold_wall:.2f}s, "
         f"warm {warm_wall:.2f}s, hit {hit_wall * 1000:.1f}ms "
         f"({hit_speedup:.0f}x), restart hit {restart_wall * 1000:.1f}ms"
     )
+    print(
+        f"obs: {len(scrape_ms)} scrapes "
+        f"(mean {obs_report['scrape_latency_ms']['mean']:.2f}ms), "
+        f"{trace_spans} spans on cold job, tracing overhead "
+        f"{traced_overhead:.2%} (gate {MAX_TRACING_OVERHEAD:.0%})"
+        if scrape_ms
+        else "obs: no scrapes recorded"
+    )
     for problem in failures:
         print(f"FAIL: {problem}", file=sys.stderr)
-    print(f"report written to {args.out} (cpu_count={report['cpu_count']})")
+    print(
+        f"reports written to {args.out} and {args.obs_out} "
+        f"(cpu_count={report['cpu_count']})"
+    )
     return 1 if failures else 0
 
 
