@@ -48,6 +48,10 @@ from repro.analysis.static import (
     run_static_analysis,
     run_static_self_check,
 )
+from repro.analysis.tempering_rules import (
+    check_tempering_journal,
+    check_tempering_records,
+)
 from repro.analysis.timeline_rules import check_timeline
 from repro.analysis.trace_rules import check_search_trace
 
@@ -71,6 +75,8 @@ __all__ = [
     "check_schedule",
     "check_service_state",
     "check_store",
+    "check_tempering_journal",
+    "check_tempering_records",
     "check_timeline",
     "get_rule",
     "lint_paths",

@@ -206,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.journal:
         from repro.analysis.resilience_rules import check_checkpoint_journal
+        from repro.analysis.tempering_rules import check_tempering_journal
         from repro.analysis.service_rules import (
             check_event_log,
             check_job_journal,
@@ -223,7 +224,9 @@ def main(argv: list[str] | None = None) -> int:
             if events.exists():
                 check_event_log(events, args.journal, report)
             return _finish(report, args.json)
-        return _finish(check_checkpoint_journal(args.journal), args.json)
+        report = check_checkpoint_journal(args.journal)
+        check_tempering_journal(args.journal, report)
+        return _finish(report, args.json)
 
     if args.artifact:
         if not args.model:

@@ -191,6 +191,10 @@ def check_checkpoint_journal(
         if label in seen:
             report.emit("AD601", where, f"duplicate record for {label!r}")
         seen.add(label)
+        if record.get("kind") == "pt-segment":
+            # Tempering segment records follow their own schema; AD604
+            # (repro.analysis.tempering_rules) audits them.
+            continue
         missing = [
             k
             for k in ("fingerprint", "tiling", "rounds", "placement",

@@ -13,7 +13,11 @@ if the analysis subsystem ever rots.  Four legs:
    injected at every candidate index (raise, worker kill, corrupt
    result) and a checkpoint journal attached: it must survive, decide
    bit-identically to the fault-free run, leave traces that satisfy the
-   AD6xx resilience rules, and write a journal that passes AD601;
+   AD6xx resilience rules, and write a journal that passes AD601; a
+   parallel-tempering search then writes a segment journal that must
+   pass AD601 + AD604, and seeded exchange-history corruptions
+   (non-neighbor swap, decreasing sequence, duplicated replica id)
+   must each trip AD604;
 3. **Seeded negatives** — deliberately corrupted copies of those same
    artifacts (dependency swap, duplicate engine, phantom edge, corrupted
    search trace, broken retry annotations, tampered journal, duplicated
@@ -47,6 +51,10 @@ from repro.analysis.artifacts import validate_artifacts, validate_outcome
 from repro.analysis.resilience_rules import (
     check_checkpoint_journal,
     check_resilience_traces,
+)
+from repro.analysis.tempering_rules import (
+    check_tempering_journal,
+    check_tempering_records,
 )
 from repro.analysis.trace_rules import check_search_trace
 from repro.analysis.diagnostics import Report
@@ -247,6 +255,61 @@ def run_self_check() -> tuple[bool, str]:
             "seeded tampered journal",
             check_checkpoint_journal(tampered),
             ("AD601",),
+            lines,
+        )
+
+    # Tempering round-trip: a small replica-exchange search journals its
+    # segments; the journal must pass AD601 + AD604, and seeded
+    # corruptions of the exchange history must each trip AD604.
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-pt-") as tmp:
+        pt_journal = str(Path(tmp) / "tempering.jsonl")
+        pt = AtomicDataflowOptimizer(
+            get_model(SELF_CHECK_MODELS[0]),
+            arch,
+            replace(
+                options, rungs=3, exchange_every=4, checkpoint=pt_journal
+            ),
+        ).optimize()
+        passed &= _expect_clean(
+            "tempering outcome artifacts", validate_outcome(pt, arch), lines
+        )
+        pt_report = check_checkpoint_journal(pt_journal)
+        check_tempering_journal(pt_journal, pt_report)
+        passed &= _expect_clean(
+            "tempering segment journal", pt_report, lines
+        )
+
+        segs = [
+            doc
+            for doc in map(json.loads, Path(pt_journal).read_text().splitlines())
+            if isinstance(doc, dict) and doc.get("kind") == "pt-segment"
+        ]
+
+        def corrupt(mutate):
+            copies = json.loads(json.dumps(segs))
+            mutate(copies)
+            return check_tempering_records(copies)
+
+        passed &= _expect(
+            "seeded non-neighbor swap",
+            corrupt(
+                lambda s: s[0]["exchanges"][0].update(
+                    upper=s[0]["exchanges"][0]["lower"] + 2
+                )
+            ),
+            ("AD604",),
+            lines,
+        )
+        passed &= _expect(
+            "seeded decreasing exchange seq",
+            corrupt(lambda s: s[1]["exchanges"][0].update(seq=0)),
+            ("AD604",),
+            lines,
+        )
+        passed &= _expect(
+            "seeded duplicated replica id",
+            corrupt(lambda s: s[0].update(replicas=[0] * s[0]["rungs"])),
+            ("AD604",),
             lines,
         )
 

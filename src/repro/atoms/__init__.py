@@ -6,8 +6,10 @@ from repro.atoms.atom import Atom, AtomId, TileSize
 from repro.atoms.dag import AtomicDAG, build_atomic_dag
 from repro.atoms.generation import (
     AtomGenerator,
+    EnergyHistory,
     GAParams,
     GenerationResult,
+    RungState,
     SAParams,
     derive_vector_tiling,
     layer_sequential_tiling,
@@ -20,8 +22,10 @@ __all__ = [
     "AtomGenerator",
     "AtomId",
     "AtomicDAG",
+    "EnergyHistory",
     "GAParams",
     "GenerationResult",
+    "RungState",
     "SAParams",
     "TileGrid",
     "TileSize",

@@ -66,7 +66,14 @@ class SAParams:
         move_length_frac: ``Len`` as a fraction of the initial state ``S``.
         epsilon: Convergence threshold on normalized variance.
         temperature: Initial ``Temp``.
-        cooling: Decrease factor ``lambda`` applied each iteration.
+        cooling: Decrease factor ``lambda`` applied each iteration
+            (exponential schedule only).
+        schedule: Cooling schedule — ``"exponential"`` multiplies the
+            temperature by ``cooling`` each iteration; ``"linear"`` ramps
+            it from ``temperature`` to zero over ``max_iterations``.
+            Exponential cooling can freeze the chain before it has mixed
+            (the tensor-PCA exemplar's caveat), so the linear family is a
+            first-class member of the tempering proposal portfolio.
     """
 
     max_iterations: int = 200
@@ -74,6 +81,19 @@ class SAParams:
     epsilon: float = 0.01
     temperature: float = 1.0
     cooling: float = 0.98
+    schedule: str = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.schedule not in ("exponential", "linear"):
+            raise ValueError(f"unknown cooling schedule {self.schedule!r}")
+
+    def temperature_at(self, iteration: int) -> float:
+        """Temperature used by acceptance at 1-based ``iteration``."""
+        if self.schedule == "linear":
+            return self.temperature * max(
+                0.0, 1.0 - iteration / self.max_iterations
+            )
+        return self.temperature * self.cooling**iteration
 
 
 @dataclass(frozen=True)
@@ -84,6 +104,170 @@ class GAParams:
     population: int = 24
     mutation_rate: float = 0.3
     tournament: int = 3
+
+
+#: Retained samples of a chain's energy curve before downsampling kicks in.
+HISTORY_CAP = 1024
+
+
+@dataclass
+class EnergyHistory:
+    """A bounded energy-convergence curve (Fig. 5(b)) for long chains.
+
+    Appends are O(1) amortized: every ``stride``-th offered value is
+    retained, and when the retained set outgrows ``cap`` it is decimated
+    2:1 and the stride doubles.  Sample 0 (the initial energy) always
+    survives decimation, and retained samples stay evenly spaced — the
+    curve keeps its shape while memory stays bounded no matter how many
+    tempering segments a rung runs.  Best-energy bookkeeping never reads
+    the history; it is tracked exactly in :class:`RungState`.
+    """
+
+    cap: int = HISTORY_CAP
+    stride: int = 1
+    count: int = 0
+    samples: list[float] = field(default_factory=list)
+
+    def append(self, value: float) -> None:
+        if self.count % self.stride == 0:
+            self.samples.append(float(value))
+            if len(self.samples) > self.cap:
+                self.samples = self.samples[::2]
+                self.stride *= 2
+        self.count += 1
+
+    def values(self) -> list[float]:
+        return list(self.samples)
+
+    def to_dict(self) -> dict:
+        return {
+            "cap": self.cap,
+            "stride": self.stride,
+            "count": self.count,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "EnergyHistory":
+        return cls(
+            cap=int(doc["cap"]),
+            stride=int(doc["stride"]),
+            count=int(doc["count"]),
+            samples=[float(v) for v in doc["samples"]],
+        )
+
+
+@dataclass
+class RungState:
+    """The complete resumable state of one annealing chain (one rung).
+
+    Everything Algorithm 1's inner loop reads or writes — including the
+    chain's RNG — so :meth:`AtomGenerator.step_rung` can advance a chain
+    in arbitrary segments (between parallel-tempering exchanges) with
+    results bit-identical to one uninterrupted run.  ``to_dict`` is pure
+    JSON (the RNG serializes via ``bit_generator.state``; floats survive
+    JSON's repr round-trip exactly), which is what the tempering
+    coordinator journals at every segment boundary for ``--resume``.
+
+    Attributes:
+        assignment: Layer id -> current tile coefficients.
+        cycles: Per-compute-layer atom cycles under ``assignment``.
+        counts: Per-compute-layer atom counts under ``assignment``.
+        state: Current unified-cycle target ``S``.
+        energy: Current energy.
+        temperature: Acceptance temperature used by the last iteration.
+        iteration: Iterations executed so far.
+        move_len: Absolute move length (``Len``), fixed at init.
+        best_assignment: Best-energy assignment seen so far.
+        best_energy: Best energy seen so far.
+        best_state: ``S`` at the best-energy iteration.
+        history: Bounded energy curve.
+        rng: The chain's random stream (all stochasticity flows here).
+        parallel_hint: Engine count used for the parallelism deficit term.
+        converged: Energy reached ``epsilon``; the stepper is done.
+        replica: Identity of the configuration currently in this rung —
+            exchanges swap configurations between rungs, and the replica
+            ids must remain a permutation (validator AD604).
+    """
+
+    assignment: dict[int, Coeffs]
+    cycles: list[int]
+    counts: list[int]
+    state: float
+    energy: float
+    temperature: float
+    iteration: int
+    move_len: float
+    best_assignment: dict[int, Coeffs]
+    best_energy: float
+    best_state: float
+    history: EnergyHistory
+    rng: np.random.Generator
+    parallel_hint: int | None
+    converged: bool = False
+    replica: int = 0
+
+    #: State keys exchanged between rungs on an accepted swap: the
+    #: configuration and its identity travel; temperature, RNG stream,
+    #: history, and best-so-far bookkeeping stay with the rung.
+    SWAP_KEYS = (
+        "assignment", "cycles", "counts", "state", "energy", "replica",
+    )
+
+    def to_dict(self) -> dict:
+        return {
+            "assignment": {
+                str(k): list(v) for k, v in self.assignment.items()
+            },
+            "cycles": list(self.cycles),
+            "counts": list(self.counts),
+            "state": self.state,
+            "energy": self.energy,
+            "temperature": self.temperature,
+            "iteration": self.iteration,
+            "move_len": self.move_len,
+            "best_assignment": {
+                str(k): list(v) for k, v in self.best_assignment.items()
+            },
+            "best_energy": self.best_energy,
+            "best_state": self.best_state,
+            "history": self.history.to_dict(),
+            "rng": self.rng.bit_generator.state,
+            "parallel_hint": self.parallel_hint,
+            "converged": self.converged,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RungState":
+        rng = np.random.default_rng(0)
+        rng.bit_generator.state = doc["rng"]
+        hint = doc["parallel_hint"]
+        return cls(
+            assignment=_assignment_from_doc(doc["assignment"]),
+            cycles=[int(c) for c in doc["cycles"]],
+            counts=[int(c) for c in doc["counts"]],
+            state=float(doc["state"]),
+            energy=float(doc["energy"]),
+            temperature=float(doc["temperature"]),
+            iteration=int(doc["iteration"]),
+            move_len=float(doc["move_len"]),
+            best_assignment=_assignment_from_doc(doc["best_assignment"]),
+            best_energy=float(doc["best_energy"]),
+            best_state=float(doc["best_state"]),
+            history=EnergyHistory.from_dict(doc["history"]),
+            rng=rng,
+            parallel_hint=None if hint is None else int(hint),
+            converged=bool(doc["converged"]),
+            replica=int(doc["replica"]),
+        )
+
+
+def _assignment_from_doc(doc: dict) -> dict[int, Coeffs]:
+    return {
+        int(layer): tuple(int(c) for c in coeffs)  # type: ignore[misc]
+        for layer, coeffs in doc.items()
+    }
 
 
 @dataclass
@@ -386,31 +570,44 @@ class AtomGenerator:
 
     # ------------------------------------------------------------------ SA
 
-    def generate_sa(
+    def init_rung(
         self,
         params: SAParams = SAParams(),
+        rng: np.random.Generator | None = None,
         parallel_hint: int | None = None,
-    ) -> GenerationResult:
-        """Run Algorithm 1 and return the balanced tiling.
+        replica: int = 0,
+    ) -> RungState:
+        """Seed one annealing chain (Algorithm 1 lines 1-3) as a RungState.
 
         Args:
-            params: Annealing hyperparameters.
+            params: Annealing hyperparameters for this chain.
+            rng: The chain's own random stream; defaults to the
+                generator's (the single-chain :meth:`generate_sa` path).
             parallel_hint: When given (the framework passes the engine
                 count), layers are seeded at an even split into this many
                 atoms before annealing, so balance converges around a
                 granularity fine enough to occupy every engine; omitted
                 (Algorithm 1 verbatim), seeding is random.
+            replica: Replica identity for exchange-conservation tracking
+                (parallel tempering swaps configurations between rungs).
         """
         self._hint = parallel_hint
+        rng = rng if rng is not None else self.rng
         if parallel_hint is not None:
             assignment: dict[int, Coeffs] = {
                 n.node_id: self._even_coeffs(n, parallel_hint)
                 for n in self._compute_nodes
             }
         else:
-            assignment = {
-                n.node_id: self._random_coeffs(n) for n in self._compute_nodes
-            }
+            saved = self.rng
+            self.rng = rng
+            try:
+                assignment = {
+                    n.node_id: self._random_coeffs(n)
+                    for n in self._compute_nodes
+                }
+            finally:
+                self.rng = saved
         # Seed each layer near a feasible operating point before annealing.
         cycles = self._cycles_of(assignment)
         state = float(np.median(cycles))
@@ -420,65 +617,139 @@ class AtomGenerator:
             )
         cycles = self._cycles_of(assignment)
         counts = self._counts_of(assignment)
-        state = float(np.mean(cycles))
+        state_val = float(np.mean(cycles))
         energy = self._energy(cycles, counts)
-        move_len = params.move_length_frac * state
-        temperature = params.temperature
+        history = EnergyHistory()
+        history.append(energy)
+        return RungState(
+            assignment=assignment,
+            cycles=cycles,
+            counts=counts,
+            state=state_val,
+            energy=energy,
+            temperature=params.temperature,
+            iteration=0,
+            move_len=params.move_length_frac * state_val,
+            best_assignment=dict(assignment),
+            best_energy=energy,
+            best_state=state_val,
+            history=history,
+            rng=rng,
+            parallel_hint=parallel_hint,
+            replica=replica,
+        )
 
-        best_assignment, best_energy, best_state = dict(assignment), energy, state
-        history = [energy]
-        iterations = 0
+    def step_rung(
+        self,
+        state: RungState,
+        params: SAParams = SAParams(),
+        steps: int | None = None,
+    ) -> RungState:
+        """Advance one annealing chain by up to ``steps`` iterations.
+
+        The stepper is exactly the Algorithm 1 inner loop, resumable at
+        any iteration boundary: all chain state (including the RNG) lives
+        in ``state``, and the acceptance temperature is a pure function of
+        the iteration index, so running ``max_iterations`` in one call is
+        bit-identical to running it in arbitrary segments — the property
+        the parallel-tempering coordinator relies on.  Stops early once
+        the energy reaches ``params.epsilon`` (``state.converged``).
+        """
+        self._hint = state.parallel_hint
+        rng = state.rng
+        budget = (
+            params.max_iterations - state.iteration if steps is None else steps
+        )
         tracer = get_tracer()
-        with tracer.span(
+        executed = 0
+        while (
+            executed < budget
+            and state.iteration < params.max_iterations
+            and not state.converged
+        ):
+            with tracer.span(
+                "sa.iteration", category="sa", index=state.iteration
+            ):
+                executed += 1
+                state.iteration += 1
+                temperature = params.temperature_at(state.iteration)
+                state.temperature = temperature
+                state_move = max(
+                    1.0, state.state + float(rng.uniform(-1, 1)) * state.move_len
+                )
+                # Delta-cost bookkeeping: refitting to the moved state
+                # usually changes only a few layers, so only their
+                # cycle/count contributions are recomputed.  The energy
+                # itself is always re-evaluated over the full arrays —
+                # its variance term is not decomposable into running
+                # sums without changing float semantics.
+                candidate = dict(state.assignment)
+                cycles_move = list(state.cycles)
+                counts_move = list(state.counts)
+                for i, n in enumerate(self._compute_nodes):
+                    fitted = self._fit_layer_to_state(
+                        n, state.assignment[n.node_id], state_move
+                    )
+                    if fitted == state.assignment[n.node_id]:
+                        continue
+                    candidate[n.node_id] = fitted
+                    cycles_move[i] = self.atom_cycles(n, fitted)
+                    counts_move[i] = self._count_of(n, fitted)
+                energy_move = self._energy(cycles_move, counts_move)
+                accept_p = math.exp(
+                    min(0.0, (state.energy - energy_move))
+                    / max(temperature, 1e-12)
+                ) if energy_move > state.energy else 1.0
+                if rng.uniform(0, 1) <= accept_p:
+                    state.state, state.energy = state_move, energy_move
+                    state.assignment, state.cycles = candidate, cycles_move
+                    state.counts = counts_move
+                if state.energy < state.best_energy:
+                    state.best_assignment = dict(state.assignment)
+                    state.best_energy = state.energy
+                    state.best_state = state.state
+                state.history.append(state.energy)
+            if state.energy <= params.epsilon:
+                state.converged = True
+        return state
+
+    def rung_result(self, state: RungState) -> GenerationResult:
+        """Assemble a chain's best-so-far configuration into a result."""
+        return self._result(
+            state.best_assignment,
+            state.best_state,
+            state.best_energy,
+            state.history.values(),
+            state.iteration,
+        )
+
+    def generate_sa(
+        self,
+        params: SAParams = SAParams(),
+        parallel_hint: int | None = None,
+    ) -> GenerationResult:
+        """Run Algorithm 1 and return the balanced tiling.
+
+        A thin wrapper over the resumable stepper: one rung, initialized
+        from this generator's own RNG stream and stepped to completion.
+
+        Args:
+            params: Annealing hyperparameters.
+            parallel_hint: When given (the framework passes the engine
+                count), layers are seeded at an even split into this many
+                atoms before annealing, so balance converges around a
+                granularity fine enough to occupy every engine; omitted
+                (Algorithm 1 verbatim), seeding is random.
+        """
+        state = self.init_rung(params, parallel_hint=parallel_hint)
+        with get_tracer().span(
             "sa.anneal",
             category="sa",
             layers=len(self._compute_nodes),
             max_iterations=params.max_iterations,
         ):
-            for _ in range(params.max_iterations):
-                with tracer.span("sa.iteration", category="sa", index=iterations):
-                    iterations += 1
-                    state_move = max(
-                        1.0, state + float(self.rng.uniform(-1, 1)) * move_len
-                    )
-                    # Delta-cost bookkeeping: refitting to the moved state
-                    # usually changes only a few layers, so only their
-                    # cycle/count contributions are recomputed.  The energy
-                    # itself is always re-evaluated over the full arrays —
-                    # its variance term is not decomposable into running
-                    # sums without changing float semantics.
-                    candidate = dict(assignment)
-                    cycles_move = list(cycles)
-                    counts_move = list(counts)
-                    for i, n in enumerate(self._compute_nodes):
-                        fitted = self._fit_layer_to_state(
-                            n, assignment[n.node_id], state_move
-                        )
-                        if fitted == assignment[n.node_id]:
-                            continue
-                        candidate[n.node_id] = fitted
-                        cycles_move[i] = self.atom_cycles(n, fitted)
-                        counts_move[i] = self._count_of(n, fitted)
-                    energy_move = self._energy(cycles_move, counts_move)
-                    temperature *= params.cooling
-                    accept_p = math.exp(
-                        min(0.0, (energy - energy_move))
-                        / max(params.cooling * temperature, 1e-12)
-                    ) if energy_move > energy else 1.0
-                    if self.rng.uniform(0, 1) <= accept_p:
-                        state, energy = state_move, energy_move
-                        assignment, cycles = candidate, cycles_move
-                        counts = counts_move
-                    if energy < best_energy:
-                        best_assignment, best_energy = dict(assignment), energy
-                        best_state = state
-                    history.append(energy)
-                if energy <= params.epsilon:
-                    break
-
-        return self._result(
-            best_assignment, best_state, best_energy, history, iterations
-        )
+            self.step_rung(state, params)
+        return self.rung_result(state)
 
     # ------------------------------------------------------------------ GA
 

@@ -87,9 +87,36 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         help="independent SA restarts (the outer Fig. 4(b) loop)",
     )
     p.add_argument(
+        "--rungs", type=int, default=0,
+        help="parallel-tempering temperature rungs (replaces --restarts; "
+        "0 = disabled)",
+    )
+    p.add_argument(
+        "--exchange-every", type=int, default=25, metavar="ITERS",
+        help="iterations per tempering segment between neighbor-rung "
+        "swap proposals (default 25)",
+    )
+    p.add_argument(
+        "--portfolio", choices=("mixed", "exponential", "linear"),
+        default="mixed",
+        help="tempering proposal portfolio: which cooling-schedule family "
+        "the rungs run (mixed alternates by rung parity)",
+    )
+    p.add_argument(
+        "--sa-schedule", choices=("exponential", "linear"),
+        default="exponential",
+        help="cooling schedule of the plain (non-tempering) annealer",
+    )
+    p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for candidate fan-out (1 = inline; any "
         "value decides identically)",
+    )
+
+
+def _sa_params_from_args(args: argparse.Namespace) -> SAParams:
+    return SAParams(
+        max_iterations=args.sa_iterations, schedule=args.sa_schedule
     )
 
 
@@ -113,9 +140,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             dataflow=args.dataflow,
             batch=args.batch,
             scheduler=args.scheduler,
-            sa_params=SAParams(max_iterations=args.sa_iterations),
+            sa_params=_sa_params_from_args(args),
             seed=args.seed,
             restarts=args.restarts,
+            rungs=args.rungs,
+            exchange_every=args.exchange_every,
+            portfolio=args.portfolio,
             jobs=args.jobs,
             retries=args.retries,
             candidate_timeout_s=args.candidate_timeout,
@@ -280,9 +310,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         dataflow=args.dataflow,
         batch=args.batch,
         scheduler=args.scheduler,
-        sa_params=SAParams(max_iterations=args.sa_iterations),
+        sa_params=_sa_params_from_args(args),
         seed=args.seed,
         restarts=args.restarts,
+        rungs=args.rungs,
+        exchange_every=args.exchange_every,
+        portfolio=args.portfolio,
         jobs=args.jobs,
     )
     results = [
@@ -325,9 +358,12 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             dataflow=args.dataflow,
             batch=args.batch,
             scheduler="greedy",
-            sa_params=SAParams(max_iterations=args.sa_iterations),
+            sa_params=_sa_params_from_args(args),
             seed=args.seed,
             restarts=args.restarts,
+            rungs=args.rungs,
+            exchange_every=args.exchange_every,
+            portfolio=args.portfolio,
             jobs=args.jobs,
         )
         r = AtomicDataflowOptimizer(graph, arch, options).optimize().result
@@ -500,9 +536,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 dataflow=args.dataflow,
                 batch=args.batch,
                 scheduler=args.scheduler,
-                sa_params=SAParams(max_iterations=args.sa_iterations),
+                sa_params=_sa_params_from_args(args),
                 seed=args.seed,
                 restarts=args.restarts,
+                rungs=args.rungs,
+                exchange_every=args.exchange_every,
+                portfolio=args.portfolio,
                 jobs=args.jobs,
             ),
             tenant=args.tenant,

@@ -45,10 +45,16 @@ from repro.ir.graph import Graph
 
 #: Version of the fingerprint grammar; bump on any change to the
 #: canonical documents below (a bump invalidates every stored solution).
-FINGERPRINT_VERSION = 1
+#: v2: options grew the parallel-tempering knobs (``rungs``,
+#: ``exchange_every``, ``portfolio``) and ``sa_params.schedule``.
+FINGERPRINT_VERSION = 2
 
 #: ``OptimizerOptions`` fields that change how a search *executes* but
 #: never what it *decides* — excluded from the request fingerprint.
+#: The tempering knobs (``rungs``, ``exchange_every``, ``portfolio``)
+#: are deliberately *not* here: they pick the candidate set and the
+#: exchange protocol, so two requests differing in them may decide
+#: differently and must fingerprint differently.
 EXECUTION_KEYS = frozenset(
     {
         "jobs",

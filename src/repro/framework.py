@@ -36,6 +36,7 @@ from repro.pipeline import (
     CandidateTrace,
     EvenTilingStage,
     LayerSequentialSchedulingStage,
+    SATilingStage,
     SearchContext,
     SearchRun,
     StagedSearch,
@@ -49,6 +50,7 @@ from repro.obs.tracer import get_tracer
 from repro.resilience import CheckpointJournal, FaultPlan, RetryPolicy
 from repro.resilience.executor import ResilientExecutor
 from repro.resilience.faults import FaultSpec
+from repro.search.tempering import PORTFOLIOS, TemperingPlan
 from repro.scheduling.rounds import Schedule
 
 _log = get_logger(__name__)
@@ -81,7 +83,19 @@ class OptimizerOptions:
         sa_params: Annealing hyperparameters.
         lookahead: DP lookahead depth.
         restarts: Independent SA restarts; the best simulated candidate wins
-            (the outer iterative loop of Fig. 4(b)).
+            (the outer iterative loop of Fig. 4(b)).  Mutually exclusive
+            with ``rungs`` — tempering replaces the restart loop.
+        rungs: Parallel-tempering temperature rungs (0 disables).  When
+            set, the search runs one replica-exchange ladder of this many
+            coupled annealing chains (:mod:`repro.search.tempering`)
+            instead of independent restarts; every rung's final tiling is
+            evaluated and the best simulated candidate wins.  Requires
+            ``atom_generation="sa"``.
+        exchange_every: Iterations per tempering segment between
+            neighbor-rung swap proposals.
+        portfolio: Tempering proposal portfolio: ``"mixed"`` (default),
+            ``"exponential"``, or ``"linear"`` — which cooling-schedule
+            family the rungs run (mixed alternates by rung parity).
         seed: RNG seed for reproducibility.  Restart 0 draws from
             ``default_rng(seed)`` (bit-compatible with earlier releases);
             restarts 1..n-1 draw from ``SeedSequence(seed).spawn``
@@ -121,6 +135,9 @@ class OptimizerOptions:
     sa_params: SAParams = field(default_factory=SAParams)
     lookahead: int = 1
     restarts: int = 1
+    rungs: int = 0
+    exchange_every: int = 25
+    portfolio: str = "mixed"
     seed: int = 0
     jobs: int = 1
     dedup: bool = True
@@ -140,6 +157,23 @@ class OptimizerOptions:
             raise ValueError(f"unknown mapping {self.mapping!r}")
         if self.batch <= 0 or self.restarts <= 0:
             raise ValueError("batch and restarts must be positive")
+        if self.rungs < 0:
+            raise ValueError("rungs must be >= 0")
+        if self.exchange_every <= 0:
+            raise ValueError("exchange_every must be positive")
+        if self.portfolio not in PORTFOLIOS:
+            raise ValueError(
+                f"unknown portfolio {self.portfolio!r} "
+                f"(expected one of {', '.join(PORTFOLIOS)})"
+            )
+        if self.rungs:
+            if self.atom_generation != "sa":
+                raise ValueError('rungs requires atom_generation="sa"')
+            if self.restarts > 1:
+                raise ValueError(
+                    "rungs and restarts are mutually exclusive — "
+                    "tempering replaces the restart loop"
+                )
         if self.jobs <= 0:
             raise ValueError("jobs must be positive")
         if self.retries < 0:
@@ -313,6 +347,7 @@ class AtomicDataflowOptimizer:
             journal=journal,
             resume=o.resume,
             executor=self.executor,
+            tempering=self._tempering_plan(),
         )
         _log.info(
             "optimizing %s (batch %d, %d candidate(s), jobs=%d)",
@@ -371,11 +406,15 @@ class AtomicDataflowOptimizer:
             "num_engines": arch.num_engines,
             "seed": o.seed,
             "restarts": o.restarts,
+            "rungs": o.rungs,
+            "exchange_every": o.exchange_every,
+            "portfolio": o.portfolio,
             "atom_generation": o.atom_generation,
             "scheduler": o.scheduler,
             "mapping": o.mapping,
             "lookahead": o.lookahead,
             "sa_iterations": o.sa_params.max_iterations,
+            "sa_schedule": o.sa_params.schedule,
             "dedup": o.dedup,
         }
 
@@ -399,16 +438,46 @@ class AtomicDataflowOptimizer:
             + (f": {detail}" if detail else "")
         )
 
+    def _tempering_plan(self) -> TemperingPlan | None:
+        """The replica-exchange plan, or None outside tempering runs."""
+        o = self.options
+        if not o.rungs:
+            return None
+        return TemperingPlan(
+            rungs=o.rungs,
+            exchange_every=o.exchange_every,
+            portfolio=o.portfolio,
+            base=o.sa_params,
+            seed=o.seed,
+        )
+
     def _candidate_specs(self) -> list[CandidateSpec]:
-        """One spec per restart, plus the always-on even-split candidate.
+        """One spec per restart or rung, plus the even-split candidate.
 
         RNG streams: restart 0 uses ``default_rng(seed)`` directly
         (preserving single-restart outputs of earlier releases); further
         restarts use ``SeedSequence(seed).spawn`` children, which are
         deterministic and order-independent — the property that makes
-        ``jobs=1`` and ``jobs=k`` bit-identical.
+        ``jobs=1`` and ``jobs=k`` bit-identical.  Tempering rung specs
+        carry no RNG source: the coordinator owns every rung's stream
+        (``SeedSequence(seed).spawn`` child k for rung k).
         """
         o = self.options
+        plan = self._tempering_plan()
+        if plan is not None:
+            specs = [
+                CandidateSpec(
+                    label=f"pt[{k}]",
+                    tiling_stage=SATilingStage(
+                        params=plan.rung_params(k), rung=k
+                    ),
+                )
+                for k in range(plan.rungs)
+            ]
+            specs.append(
+                CandidateSpec(label="even-split", tiling_stage=EvenTilingStage())
+            )
+            return specs
         stage = tiling_stage_for(o.atom_generation, o.sa_params)
         sources: list = [o.seed]
         if o.restarts > 1:

@@ -65,6 +65,7 @@ from repro.atoms.atom import TileSize
 from repro.resilience.checkpoint import CheckpointJournal
 from repro.resilience.executor import ResilientExecutor, RetryPolicy, TaskReport
 from repro.resilience.faults import FaultPlan
+from repro.search.tempering import TemperingError, TemperingPlan, run_tempering
 from repro.atoms.partition import clamp_tile
 from repro.config import ArchConfig
 from repro.engine.cost_model import EngineCostModel
@@ -344,6 +345,11 @@ class CandidateTrace:
             candidate ("" when it never failed).
         restored: Whether the solution came from a checkpoint journal
             (``--resume``) instead of being evaluated this run.
+        rung: Parallel-tempering temperature rung this candidate annealed
+            on (None outside tempering searches).
+        swaps_proposed: Exchange proposals this rung participated in.
+        swaps_accepted: Exchange proposals this rung accepted (its
+            configuration migrated to/from a neighbor rung).
         tiling_seconds: Atom-generation stage wall time.
         dag_seconds: DAG partitioning wall time.
         schedule_seconds: Scheduling stage wall time (all orderings tried).
@@ -373,6 +379,9 @@ class CandidateTrace:
     attempts: int = 1
     error: str = ""
     restored: bool = False
+    rung: int | None = None
+    swaps_proposed: int = 0
+    swaps_accepted: int = 0
 
     @property
     def evaluated(self) -> bool:
@@ -435,6 +444,11 @@ class CandidateTrace:
             "attempts": self.attempts,
             "error": self.error,
             "restored": self.restored,
+            "rung": self.rung,
+            "swaps": {
+                "proposed": self.swaps_proposed,
+                "accepted": self.swaps_accepted,
+            },
         }
 
     @classmethod
@@ -474,6 +488,11 @@ class CandidateTrace:
                 attempts=int(doc.get("attempts", 1)),
                 error=doc.get("error", ""),
                 restored=bool(doc.get("restored", False)),
+                # Documents written before parallel tempering existed
+                # load as plain (rung-less) candidates.
+                rung=doc.get("rung"),
+                swaps_proposed=int(doc.get("swaps", {}).get("proposed", 0)),
+                swaps_accepted=int(doc.get("swaps", {}).get("accepted", 0)),
             )
         except (KeyError, TypeError) as exc:
             raise ValueError(f"malformed candidate trace: {exc}") from None
@@ -510,9 +529,18 @@ class TilingStage:
 
 @dataclass(frozen=True)
 class SATilingStage(TilingStage):
-    """Algorithm 1: simulated-annealing balanced tile sizes."""
+    """Algorithm 1: simulated-annealing balanced tile sizes.
+
+    ``rung`` marks the stage as one parallel-tempering temperature rung
+    (its ``params`` then carry that rung's portfolio member).  The
+    tempering coordinator anneals rung specs itself — segment-stepped,
+    with exchanges — so a rung stage's own :meth:`run` only executes on
+    the fallback path (tempering disabled or failed), where it anneals
+    the rung's portfolio member as an ordinary independent chain.
+    """
 
     params: SAParams = field(default_factory=SAParams)
+    rung: int | None = None
 
     def run(
         self, ctx: SearchContext, rng: np.random.Generator | None = None
@@ -975,6 +1003,9 @@ class _EvalItem:
     pipeline: CandidatePipeline
     strategy: str = "AD"
     faults: FaultPlan | None = None
+    rung: int | None = None
+    swaps_proposed: int = 0
+    swaps_accepted: int = 0
 
 
 def _run_tiling(attempt: int, item: _TilingItem):
@@ -1014,6 +1045,16 @@ def _run_evaluation(attempt: int, item: _EvalItem):
             strategy=item.strategy,
             tiling_energy=item.energy,
             tiling_seconds=item.tiling_seconds,
+        )
+    if item.rung is not None:
+        solution = replace(
+            solution,
+            trace=replace(
+                solution.trace,
+                rung=item.rung,
+                swaps_proposed=item.swaps_proposed,
+                swaps_accepted=item.swaps_accepted,
+            ),
         )
     if item.faults is not None:
         solution = item.faults.tamper(
@@ -1185,6 +1226,12 @@ class StagedSearch:
             does not shut the executor down — the owner keeps it alive
             across searches.  None (default) spawns a private executor
             per :meth:`run` call, exactly as before.
+        tempering: Replica-exchange plan
+            (:class:`~repro.search.tempering.TemperingPlan`).  When set,
+            the first ``tempering.rungs`` specs are annealed as one
+            coupled temperature ladder by the tempering coordinator
+            instead of independently; remaining specs run the normal
+            phase-1 path.
     """
 
     def __init__(
@@ -1198,6 +1245,7 @@ class StagedSearch:
         journal: CheckpointJournal | None = None,
         resume: bool = False,
         executor: ResilientExecutor | None = None,
+        tempering: "TemperingPlan | None" = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -1210,6 +1258,7 @@ class StagedSearch:
         self.journal = journal
         self.resume = resume
         self.executor = executor
+        self.tempering = tempering
 
     def run(
         self, specs: Sequence[CandidateSpec], strategy: str = "AD"
@@ -1243,13 +1292,47 @@ class StagedSearch:
     ) -> SearchRun:
         n = len(specs)
         tracer = get_tracer()
-        restored = self._restore(specs)
+        restored, records = self._restore(specs)
         if restored:
             _log.info("restored %d candidate(s) from checkpoint", len(restored))
             get_registry().counter("search.restored").inc(len(restored))
 
-        # Phase 1: tiling generation for everything not restored.
-        fresh = [i for i in range(n) if i not in restored]
+        # Phase 0: the replica-exchange ladder anneals the rung specs
+        # (by convention the first ``tempering.rungs`` specs) as one
+        # coupled process; its per-rung results enter the dedup barrier
+        # below exactly like restart tilings would.  Skipped when every
+        # rung already restored from the journal.
+        pt = self.tempering
+        pt_rungs = range(pt.rungs) if pt is not None else range(0)
+        pt_outcome = None
+        pt_error: TemperingError | None = None
+        if pt is not None and any(i not in restored for i in pt_rungs):
+            _log.info(
+                "phase tempering: %d rung(s) x %d segment(s) on %d job(s)",
+                pt.rungs, pt.segments, self.jobs,
+            )
+            try:
+                pt_outcome = run_tempering(
+                    pt,
+                    executor,
+                    parallel_hint=self.ctx.num_engines,
+                    journal=self.journal,
+                    resume_records=records if self.resume else None,
+                    faults=self.faults,
+                )
+            except TemperingError as exc:
+                # The ladder is coupled: one permanently lost rung sinks
+                # every rung.  The rung specs become failure traces and
+                # the search continues on what is left (the even-split
+                # floor candidate, restored solutions).
+                pt_error = exc
+                _log.error("tempering failed: %s", exc)
+
+        # Phase 1: tiling generation for everything not restored and not
+        # owned by the tempering coordinator.
+        fresh = [
+            i for i in range(n) if i not in restored and i not in pt_rungs
+        ]
         gen_payloads = [
             _TilingItem(
                 index=i,
@@ -1275,6 +1358,27 @@ class StagedSearch:
                 entries[i] = _unwrap_obs(report.value)
             else:
                 traces[i] = self._failure_trace(specs[i].label, "", report)
+        for i in pt_rungs:
+            if i in restored:
+                continue
+            if pt_outcome is not None:
+                res = pt_outcome.results[i]
+                entries[i] = (res.tiling, res.energy, pt_outcome.seconds[i])
+            else:
+                traces[i] = CandidateTrace(
+                    label=specs[i].label,
+                    fingerprint="",
+                    reason=(
+                        "interrupted"
+                        if pt_error is not None and pt_error.interrupted
+                        else f"failed after 1 attempt: {pt_error}"
+                    ),
+                    error=(
+                        ""
+                        if pt_error is not None and pt_error.interrupted
+                        else str(pt_error)
+                    ),
+                )
         for i, solution in restored.items():
             dag = solution.dag
             entries[i] = (
@@ -1285,6 +1389,18 @@ class StagedSearch:
 
         # Dedup barrier over every tiling that exists (fresh + restored).
         eval_items, skips = self._dedup(specs, entries, strategy)
+        if pt_outcome is not None:
+            eval_items = [
+                replace(
+                    item,
+                    rung=item.spec_index,
+                    swaps_proposed=pt_outcome.swaps_proposed[item.spec_index],
+                    swaps_accepted=pt_outcome.swaps_accepted[item.spec_index],
+                )
+                if item.spec_index in pt_rungs
+                else item
+                for item in eval_items
+            ]
         for i, skip in skips.items():
             traces[i] = skip
             restored.pop(i, None)
@@ -1346,20 +1462,25 @@ class StagedSearch:
 
     def _restore(
         self, specs: Sequence[CandidateSpec]
-    ) -> dict[int, CandidateSolution]:
-        """Load completed candidates from the journal (resume path)."""
+    ) -> tuple[dict[int, CandidateSolution], dict]:
+        """Load completed candidates from the journal (resume path).
+
+        Returns both the per-spec restored solutions and the raw label-
+        keyed journal records — the tempering coordinator resumes its
+        segment records (``pt-segment[s]``) from the same journal.
+        """
         if self.journal is None:
-            return {}
+            return {}, {}
         records = self.journal.open(resume=self.resume)
         restored: dict[int, CandidateSolution] = {}
         for i, spec in enumerate(specs):
             record = records.get(spec.label)
-            if record is None:
+            if record is None or record.get("kind") == "pt-segment":
                 continue
             solution = restore_solution(self.ctx, record)
             if solution is not None:
                 restored[i] = solution
-        return restored
+        return restored, records
 
     def _supervision_hooks(
         self, eval_payloads: list[_EvalItem], attempts: list[int]

@@ -1,0 +1,25 @@
+"""Search orchestration beyond independent restarts.
+
+Currently home to the parallel-tempering replica-exchange coordinator
+(:mod:`repro.search.tempering`), which replaces brute-force independent
+SA restarts with a coupled temperature ladder mapped onto the resilient
+worker pool.
+"""
+
+from __future__ import annotations
+
+from repro.search.tempering import (
+    ExchangeRecord,
+    TemperingError,
+    TemperingOutcome,
+    TemperingPlan,
+    run_tempering,
+)
+
+__all__ = [
+    "ExchangeRecord",
+    "TemperingError",
+    "TemperingOutcome",
+    "TemperingPlan",
+    "run_tempering",
+]

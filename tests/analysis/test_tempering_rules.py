@@ -1,0 +1,159 @@
+"""AD604 exchange-legality tests over synthetic tempering journals."""
+
+import json
+
+from repro.analysis.tempering_rules import (
+    check_tempering_journal,
+    check_tempering_records,
+)
+
+
+def _exchange(seq, segment, lower, accepted):
+    return {
+        "seq": seq,
+        "segment": segment,
+        "lower": lower,
+        "upper": lower + 1,
+        "energy_lower": 0.2,
+        "energy_upper": 0.4,
+        "accepted": accepted,
+    }
+
+
+def _record(segment, rungs, replicas, exchanges, next_seq):
+    return {
+        "label": f"pt-segment[{segment}]",
+        "kind": "pt-segment",
+        "segment": segment,
+        "rungs": rungs,
+        "states": [{"replica": r} for r in replicas],
+        "replicas": list(replicas),
+        "exchanges": exchanges,
+        "next_seq": next_seq,
+    }
+
+
+def _legal():
+    """Three rungs, two exchange segments, one accepted swap each."""
+    return [
+        _record(0, 3, [1, 0, 2], [_exchange(1, 0, 0, True)], 1),
+        _record(1, 3, [1, 2, 0], [_exchange(2, 1, 1, True)], 2),
+        _record(2, 3, [1, 2, 0], [], 2),  # harvest segment, no proposals
+    ]
+
+
+class TestLegalHistories:
+    def test_legal_history_is_clean(self):
+        assert check_tempering_records(_legal()).ok
+
+    def test_empty_record_set_is_clean(self):
+        assert check_tempering_records([]).ok
+
+    def test_rejected_swaps_leave_replicas_fixed(self):
+        records = [
+            _record(0, 2, [0, 1], [_exchange(1, 0, 0, False)], 1),
+            _record(1, 2, [0, 1], [], 1),
+        ]
+        assert check_tempering_records(records).ok
+
+
+class TestCorruptions:
+    def _fires(self, records):
+        report = check_tempering_records(records)
+        assert "AD604" in report.fired_rule_ids()
+
+    def test_non_neighbor_swap(self):
+        records = _legal()
+        records[0]["exchanges"][0]["upper"] = 2
+        self._fires(records)
+
+    def test_swap_outside_ladder(self):
+        records = _legal()
+        records[1]["exchanges"][0]["lower"] = 2
+        records[1]["exchanges"][0]["upper"] = 3
+        self._fires(records)
+
+    def test_parity_mismatch(self):
+        records = _legal()
+        records[1]["exchanges"][0]["lower"] = 0
+        records[1]["exchanges"][0]["upper"] = 1
+        self._fires(records)
+
+    def test_decreasing_seq(self):
+        records = _legal()
+        records[1]["exchanges"][0]["seq"] = 1
+        records[1]["next_seq"] = 1
+        self._fires(records)
+
+    def test_next_seq_breaks_chain(self):
+        records = _legal()
+        records[0]["next_seq"] = 7
+        self._fires(records)
+
+    def test_duplicated_replica_id(self):
+        records = _legal()
+        records[0]["replicas"] = [0, 0, 2]
+        for doc, r in zip(records[0]["states"], [0, 0, 2]):
+            doc["replica"] = r
+        self._fires(records)
+
+    def test_replicas_ignore_accepted_swap(self):
+        records = _legal()
+        # Segment 0 accepted (0,1) but the permutation claims identity.
+        records[0]["replicas"] = [0, 1, 2]
+        for doc, r in zip(records[0]["states"], [0, 1, 2]):
+            doc["replica"] = r
+        self._fires(records)
+
+    def test_state_replica_disagrees_with_record(self):
+        records = _legal()
+        records[0]["states"][0]["replica"] = 2
+        self._fires(records)
+
+    def test_segment_gap(self):
+        records = [_legal()[0], _legal()[2]]
+        self._fires(records)
+
+    def test_duplicate_segment(self):
+        records = [_legal()[0], _legal()[0]]
+        self._fires(records)
+
+    def test_rung_count_flips_mid_run(self):
+        records = _legal()
+        records[1]["rungs"] = 4
+        self._fires(records)
+
+
+class TestJournalFile:
+    def test_journal_without_tempering_records_is_clean(self, tmp_path):
+        path = tmp_path / "plain.jsonl"
+        path.write_text(
+            json.dumps({"format": "x", "version": 1, "key": {}}) + "\n"
+            + json.dumps({"label": "sa[0]", "fingerprint": "f"}) + "\n"
+        )
+        assert check_tempering_journal(path).ok
+
+    def test_journal_with_legal_records_is_clean(self, tmp_path):
+        path = tmp_path / "pt.jsonl"
+        lines = [json.dumps({"format": "x", "version": 1, "key": {}})]
+        lines += [json.dumps(r) for r in _legal()]
+        path.write_text("\n".join(lines) + "\n")
+        assert check_tempering_journal(path).ok
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "pt.jsonl"
+        lines = [json.dumps(r) for r in _legal()]
+        path.write_text("\n".join(lines) + "\n" + '{"label": "pt-seg')
+        assert check_tempering_journal(path).ok
+
+    def test_corrupt_record_fires_in_file_form(self, tmp_path):
+        records = _legal()
+        records[0]["exchanges"][0]["upper"] = 2
+        path = tmp_path / "pt.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        report = check_tempering_journal(path)
+        assert "AD604" in report.fired_rule_ids()
+
+    def test_missing_journal_reported(self, tmp_path):
+        report = check_tempering_journal(tmp_path / "absent.jsonl")
+        assert "AD604" in report.fired_rule_ids()

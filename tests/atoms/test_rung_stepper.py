@@ -1,0 +1,146 @@
+"""Tests for the resumable per-rung SA stepper.
+
+``generate_sa`` is now a thin wrapper over ``init_rung`` /
+``step_rung`` / ``rung_result``; these tests pin the decomposition's
+contracts: chunked stepping is bit-identical to one uninterrupted run,
+the cooling schedules follow their closed forms, ``RungState`` survives
+a JSON round-trip mid-chain, and the energy history stays bounded.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.atoms.generation import (
+    HISTORY_CAP,
+    AtomGenerator,
+    EnergyHistory,
+    RungState,
+    SAParams,
+)
+from repro.config import EngineConfig
+from repro.engine import EngineCostModel, get_dataflow
+from repro.ir import GraphBuilder
+from repro.ir.transforms import fuse_elementwise
+
+
+def _small_net():
+    b = GraphBuilder(name="stepper")
+    x = b.input(16, 16, 16)
+    x = b.conv_bn_relu(x, 32, kernel=3, name="c1")
+    x = b.conv_bn_relu(x, 32, kernel=3, name="c2")
+    x = b.max_pool(x, kernel=2, name="p")
+    x = b.conv_bn_relu(x, 64, kernel=3, name="c3")
+    return fuse_elementwise(b.build()).graph
+
+
+def _generator(seed=7):
+    engine = EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=32 * 1024)
+    cm = EngineCostModel(engine, get_dataflow("kc"))
+    return AtomGenerator(_small_net(), cm, rng=np.random.default_rng(seed))
+
+
+class TestSchedules:
+    def test_exponential_closed_form(self):
+        p = SAParams(temperature=2.0, cooling=0.9, max_iterations=10)
+        for i in range(12):
+            assert p.temperature_at(i) == pytest.approx(2.0 * 0.9**i)
+
+    def test_linear_ramp_hits_zero(self):
+        p = SAParams(
+            temperature=2.0, max_iterations=10, schedule="linear"
+        )
+        for i in range(10):
+            assert p.temperature_at(i) == pytest.approx(2.0 * (1 - i / 10))
+        assert p.temperature_at(10) == 0.0
+        assert p.temperature_at(15) == 0.0  # clamped, never negative
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            SAParams(schedule="geometric")
+
+    def test_linear_schedule_anneals_deterministically(self):
+        params = SAParams(max_iterations=25, schedule="linear")
+        r1 = _generator(3).generate_sa(params)
+        r2 = _generator(3).generate_sa(params)
+        assert r1.tiling == r2.tiling
+        assert r1.energy <= r1.history[0] + 1e-9
+
+
+class TestChunkedStepping:
+    @pytest.mark.parametrize("chunk", [1, 7, 100])
+    def test_equals_uninterrupted_run(self, chunk):
+        params = SAParams(max_iterations=30)
+        whole = _generator().generate_sa(params)
+
+        gen = _generator()
+        state = gen.init_rung(params)
+        while not state.converged and state.iteration < params.max_iterations:
+            gen.step_rung(state, params, steps=chunk)
+        chunked = gen.rung_result(state)
+
+        assert chunked.tiling == whole.tiling
+        assert chunked.energy == whole.energy
+        assert chunked.iterations == whole.iterations
+        assert chunked.history == whole.history
+
+    def test_state_json_roundtrip_mid_chain(self):
+        params = SAParams(max_iterations=30)
+        gen_a = _generator()
+        gen_b = _generator()
+        a = gen_a.init_rung(params)
+        b = gen_b.init_rung(params)
+        gen_a.step_rung(a, params, steps=11)
+        gen_b.step_rung(b, params, steps=11)
+
+        b = RungState.from_dict(json.loads(json.dumps(b.to_dict())))
+        gen_a.step_rung(a, params)
+        gen_b.step_rung(b, params)
+        assert a.to_dict() == b.to_dict()
+
+    def test_replica_and_hint_survive_roundtrip(self):
+        params = SAParams(max_iterations=5)
+        gen = _generator()
+        state = gen.init_rung(params, parallel_hint=4, replica=2)
+        back = RungState.from_dict(json.loads(json.dumps(state.to_dict())))
+        assert back.replica == 2
+        assert back.parallel_hint == 4
+
+
+class TestEnergyHistory:
+    def test_stays_bounded_and_keeps_endpoints(self):
+        h = EnergyHistory(cap=8)
+        for i in range(1000):
+            h.append(float(i))
+        assert len(h.values()) <= 8
+        assert h.count == 1000
+        assert h.values()[0] == 0.0
+        # Retained samples are the stride-spaced prefix of the stream.
+        assert h.values() == [float(i * h.stride) for i in range(len(h.values()))]
+
+    def test_short_chains_keep_every_sample(self):
+        h = EnergyHistory()
+        for i in range(50):
+            h.append(float(i))
+        assert h.values() == [float(i) for i in range(50)]
+        assert h.stride == 1
+
+    def test_roundtrip_continues_identically(self):
+        a = EnergyHistory(cap=8)
+        for i in range(37):
+            a.append(float(i))
+        b = EnergyHistory.from_dict(json.loads(json.dumps(a.to_dict())))
+        for i in range(37, 100):
+            a.append(float(i))
+            b.append(float(i))
+        assert a == b
+
+    def test_default_cap_is_history_cap(self):
+        assert EnergyHistory().cap == HISTORY_CAP
+
+    def test_generation_result_history_is_bounded(self):
+        # A long chain's result history must not grow without bound.
+        params = SAParams(max_iterations=40, epsilon=0.0)
+        res = _generator().generate_sa(params)
+        assert len(res.history) <= HISTORY_CAP

@@ -1,0 +1,214 @@
+"""Parallel-tempering tests: ladder construction, the determinism
+contract (``jobs=1`` ≡ ``jobs=N``), resume across a swap boundary, and
+the trace plumbing that carries rung/swap provenance to the caller."""
+
+import json
+
+import pytest
+
+from repro.atoms.generation import SAParams
+from repro.config import ArchConfig, EngineConfig
+from repro.framework import AtomicDataflowOptimizer, OptimizerOptions
+from repro.models import get_model
+from repro.pipeline import CandidateTrace
+from repro.search.tempering import (
+    LADDER_RATIO,
+    MOVE_FAMILIES,
+    ExchangeRecord,
+    TemperingPlan,
+)
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return ArchConfig(
+        mesh_rows=2, mesh_cols=2,
+        engine=EngineConfig(pe_rows=8, pe_cols=8, buffer_bytes=64 * 1024),
+    )
+
+
+def run_search(model, arch, **overrides):
+    settings = dict(
+        sa_params=SAParams(max_iterations=12),
+        rungs=3,
+        exchange_every=4,
+        seed=0,
+    )
+    settings.update(overrides)
+    options = OptimizerOptions(**settings)
+    return AtomicDataflowOptimizer(get_model(model), arch, options).optimize()
+
+
+def decisions(outcome):
+    return [
+        (t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles,
+         t.rung, t.swaps_proposed, t.swaps_accepted)
+        for t in outcome.traces
+    ]
+
+
+class TestPlan:
+    def test_ladder_temperatures_and_portfolio(self):
+        plan = TemperingPlan(
+            rungs=4, base=SAParams(temperature=1.5), portfolio="mixed"
+        )
+        for k in range(4):
+            p = plan.rung_params(k)
+            assert p.temperature == pytest.approx(1.5 * LADDER_RATIO**k)
+            assert p.schedule == ("exponential" if k % 2 == 0 else "linear")
+            assert p.move_length_frac == pytest.approx(
+                SAParams().move_length_frac * MOVE_FAMILIES[k % 3]
+            )
+
+    def test_pinned_portfolios(self):
+        for portfolio in ("exponential", "linear"):
+            plan = TemperingPlan(rungs=3, portfolio=portfolio)
+            assert all(
+                plan.rung_params(k).schedule == portfolio for k in range(3)
+            )
+
+    def test_segment_count_covers_iterations(self):
+        plan = TemperingPlan(
+            rungs=2, exchange_every=5, base=SAParams(max_iterations=12)
+        )
+        assert plan.segments == 3
+        assert TemperingPlan(rungs=2, exchange_every=100).segments == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rungs=0),
+            dict(rungs=2, exchange_every=0),
+            dict(rungs=2, portfolio="adaptive"),
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TemperingPlan(**kwargs)
+
+    def test_exchange_record_roundtrip(self):
+        rec = ExchangeRecord(
+            seq=3, segment=1, lower=1, upper=2,
+            energy_lower=0.25, energy_upper=0.5, accepted=True,
+        )
+        assert ExchangeRecord.from_dict(rec.to_dict()) == rec
+
+
+class TestOptions:
+    def test_rungs_require_sa(self):
+        with pytest.raises(ValueError, match="sa"):
+            OptimizerOptions(rungs=2, atom_generation="even")
+
+    def test_rungs_exclude_restarts(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            OptimizerOptions(rungs=2, restarts=4)
+
+    def test_bad_portfolio_rejected(self):
+        with pytest.raises(ValueError, match="portfolio"):
+            OptimizerOptions(rungs=2, portfolio="bogus")
+
+    def test_trace_swaps_roundtrip(self):
+        trace = CandidateTrace(
+            label="pt[1]", fingerprint="f" * 16, accepted=False,
+            reason="beaten", total_cycles=10,
+            rung=1, swaps_proposed=3, swaps_accepted=2,
+        )
+        back = CandidateTrace.from_dict(trace.to_dict())
+        assert (back.rung, back.swaps_proposed, back.swaps_accepted) == (1, 3, 2)
+
+    def test_trace_parses_pre_tempering_docs(self):
+        doc = CandidateTrace(
+            label="sa[0]", fingerprint="f" * 16, accepted=True,
+            reason="selected", total_cycles=10,
+        ).to_dict()
+        doc.pop("rung")
+        doc.pop("swaps")
+        back = CandidateTrace.from_dict(doc)
+        assert back.rung is None
+        assert (back.swaps_proposed, back.swaps_accepted) == (0, 0)
+
+
+class TestTemperedSearch:
+    def test_rung_provenance_on_traces(self, arch):
+        outcome = run_search("vgg19_bench", arch)
+        by_label = {t.label: t for t in outcome.traces}
+        assert set(by_label) == {"pt[0]", "pt[1]", "pt[2]", "even-split"}
+        for k in range(3):
+            assert by_label[f"pt[{k}]"].rung == k
+        assert by_label["even-split"].rung is None
+        # Two exchange segments: rungs 0 and 2 join one proposal each,
+        # the middle rung joins both.
+        assert by_label["pt[1]"].swaps_proposed == 2
+        assert sum(t.swaps_proposed for t in outcome.traces) == 4
+
+    def test_jobs_do_not_change_decisions(self, arch):
+        serial = run_search("vgg19_bench", arch, jobs=1)
+        parallel = run_search("vgg19_bench", arch, jobs=2)
+        assert decisions(parallel) == decisions(serial)
+        assert parallel.result.total_cycles == serial.result.total_cycles
+        assert parallel.result.to_dict() == serial.result.to_dict()
+
+    def test_resume_across_swap_boundary(self, arch, tmp_path):
+        baseline = run_search("vgg19_bench", arch)
+
+        journal = tmp_path / "pt.jsonl"
+        full = run_search("vgg19_bench", arch, checkpoint=str(journal))
+        assert decisions(full) == decisions(baseline)
+
+        lines = journal.read_text().splitlines()
+        keep = None
+        for i, line in enumerate(lines):
+            doc = json.loads(line)
+            if doc.get("kind") == "pt-segment" and any(
+                e["accepted"] for e in doc["exchanges"]
+            ):
+                keep = i
+                break
+        assert keep is not None, "no accepted swap; pick hotter params"
+        journal.write_text("\n".join(lines[: keep + 1]) + "\n")
+
+        resumed = run_search(
+            "vgg19_bench", arch, checkpoint=str(journal), resume=True
+        )
+        assert decisions(resumed) == decisions(baseline)
+        assert resumed.result.to_dict() == baseline.result.to_dict()
+
+    def test_resume_with_complete_journal_restores_everything(
+        self, arch, tmp_path
+    ):
+        journal = tmp_path / "pt.jsonl"
+        full = run_search("vgg19_bench", arch, checkpoint=str(journal))
+        resumed = run_search(
+            "vgg19_bench", arch, checkpoint=str(journal), resume=True
+        )
+        assert decisions(resumed) == decisions(full)
+        restored = [t for t in resumed.traces if t.restored]
+        assert restored, "completed candidates must restore from journal"
+
+    def test_corrupt_segment_record_costs_work_not_correctness(
+        self, arch, tmp_path
+    ):
+        baseline = run_search("vgg19_bench", arch)
+        journal = tmp_path / "pt.jsonl"
+        run_search("vgg19_bench", arch, checkpoint=str(journal))
+
+        lines = journal.read_text().splitlines()
+        mangled = []
+        for line in lines:
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                mangled.append(line)
+                continue
+            label = doc.get("label", "")
+            if doc.get("kind") != "pt-segment" and label.startswith("pt["):
+                continue  # force the rungs to re-run from segment records
+            if doc.get("kind") == "pt-segment" and doc["segment"] == 0:
+                doc["rungs"] = 99  # poison the prefix root
+            mangled.append(json.dumps(doc))
+        journal.write_text("\n".join(mangled) + "\n")
+
+        resumed = run_search(
+            "vgg19_bench", arch, checkpoint=str(journal), resume=True
+        )
+        assert decisions(resumed) == decisions(baseline)

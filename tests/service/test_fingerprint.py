@@ -116,7 +116,7 @@ class TestRequestFingerprint:
     def test_document_omits_execution_keys(self, graph):
         doc = request_to_dict(graph, DEFAULT_ARCH, OptimizerOptions(jobs=8))
         assert not (set(doc["options"]) & EXECUTION_KEYS)
-        assert doc["fingerprint_version"] == 1
+        assert doc["fingerprint_version"] == 2
 
     def test_full_sha256(self, graph):
         fp = request_fingerprint(graph, DEFAULT_ARCH, OptimizerOptions())

@@ -1,11 +1,15 @@
 #!/usr/bin/env python
 """Search-throughput smoke benchmark: serial vs parallel candidate fan-out.
 
-Runs the staged pipeline on two reduced zoo workloads with a fixed seed and
-``restarts`` candidates, once with ``jobs=1`` and once with ``jobs=N``, and
-writes ``BENCH_search.json`` with wall-seconds, candidates/second, and the
-measured speedup per workload.  The two arms must agree bit-identically on
-every search decision (that invariant is asserted here, not just tested).
+Runs the staged pipeline on two reduced zoo workloads with a fixed seed,
+once with ``jobs=1`` and once with ``jobs=N``, and writes
+``BENCH_search.json`` with wall-seconds, candidates/second, and the
+measured speedup per workload.  Each workload runs twice over: with
+``restarts`` independent candidates, and with a parallel-tempering
+ladder (``rungs``) whose exchange segments also fan across the pool.
+The two arms must agree bit-identically on every search decision —
+including rung/swap provenance — for both search modes (that invariant
+is asserted here, not just tested).
 
 Numbers are honest measurements of the machine they ran on: on a
 single-core runner the parallel arm pays process-pool overhead for no
@@ -35,10 +39,14 @@ from repro.models import get_model  # noqa: E402
 MODELS = ("vgg19_bench", "mobilenet_v2_bench")
 
 
-def run_arm(model: str, jobs: int, restarts: int, seed: int) -> dict:
+def run_arm(
+    model: str, jobs: int, restarts: int, seed: int, rungs: int = 0
+) -> dict:
     options = OptimizerOptions(
         sa_params=SAParams(max_iterations=40),
-        restarts=restarts,
+        restarts=1 if rungs else restarts,
+        rungs=rungs,
+        exchange_every=10,
         seed=seed,
         jobs=jobs,
     )
@@ -56,7 +64,8 @@ def run_arm(model: str, jobs: int, restarts: int, seed: int) -> dict:
         "candidates_per_second": round(stats.candidates / wall, 3),
         "total_cycles": outcome.result.total_cycles,
         "decisions": [
-            [t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles]
+            [t.label, t.fingerprint, t.accepted, t.reason, t.total_cycles,
+             t.rung, t.swaps_proposed, t.swaps_accepted]
             for t in outcome.traces
         ],
     }
@@ -66,6 +75,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--restarts", type=int, default=4)
+    parser.add_argument("--rungs", type=int, default=4)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--out", default="BENCH_search.json", help="output JSON path"
@@ -80,27 +90,34 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": {},
     }
     for model in MODELS:
-        serial = run_arm(model, 1, args.restarts, args.seed)
-        parallel = run_arm(model, args.jobs, args.restarts, args.seed)
-        if serial["decisions"] != parallel["decisions"]:
-            print(f"FAIL {model}: jobs=1 and jobs={args.jobs} diverged", file=sys.stderr)
-            return 1
-        speedup = serial["wall_seconds"] / parallel["wall_seconds"]
-        for arm in (serial, parallel):
-            del arm["decisions"]
-        report["workloads"][model] = {
-            "serial": serial,
-            "parallel": parallel,
-            "speedup": round(speedup, 3),
-            "decisions_identical": True,
-        }
-        print(
-            f"{model}: serial {serial['wall_seconds']:.2f}s "
-            f"({serial['candidates_per_second']:.2f} cand/s), "
-            f"jobs={args.jobs} {parallel['wall_seconds']:.2f}s "
-            f"({parallel['candidates_per_second']:.2f} cand/s), "
-            f"speedup {speedup:.2f}x, decisions identical"
-        )
+        for mode, rungs in (("restarts", 0), ("tempering", args.rungs)):
+            serial = run_arm(model, 1, args.restarts, args.seed, rungs)
+            parallel = run_arm(
+                model, args.jobs, args.restarts, args.seed, rungs
+            )
+            if serial["decisions"] != parallel["decisions"]:
+                print(
+                    f"FAIL {model} [{mode}]: jobs=1 and "
+                    f"jobs={args.jobs} diverged",
+                    file=sys.stderr,
+                )
+                return 1
+            speedup = serial["wall_seconds"] / parallel["wall_seconds"]
+            for arm in (serial, parallel):
+                del arm["decisions"]
+            report["workloads"][f"{model} [{mode}]"] = {
+                "serial": serial,
+                "parallel": parallel,
+                "speedup": round(speedup, 3),
+                "decisions_identical": True,
+            }
+            print(
+                f"{model} [{mode}]: serial {serial['wall_seconds']:.2f}s "
+                f"({serial['candidates_per_second']:.2f} cand/s), "
+                f"jobs={args.jobs} {parallel['wall_seconds']:.2f}s "
+                f"({parallel['candidates_per_second']:.2f} cand/s), "
+                f"speedup {speedup:.2f}x, decisions identical"
+            )
 
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)

@@ -1,0 +1,18 @@
+#!/usr/bin/env python
+"""Entry point for the pinned tempering-vs-restarts benchmark.
+
+Thin wrapper so CI can run the benchmark from a checkout without
+installing the package; all logic lives in :mod:`repro.pt_bench`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.pt_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
